@@ -1,0 +1,57 @@
+//! Figure 6 — ED² of the heterogeneous approach normalised to the optimum
+//! homogeneous design, per benchmark, for 1 and 2 buses — plus a Criterion
+//! measurement of the heterogeneous scheduling kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use heterovliw_core::explore::experiments::mean_normalized;
+use heterovliw_core::Study;
+use std::hint::black_box;
+use vliw_bench::{dump_json, format_bar};
+use vliw_machine::{ClockedConfig, MachineDesign, Time};
+use vliw_sched::{schedule_loop, ScheduleOptions};
+use vliw_workloads::{generate, spec_fp2000};
+
+/// Loops per benchmark for the printed figure (paper scale ÷ ~17 to keep
+/// `cargo bench` interactive; run the `paper` binary with `--loops 400`
+/// for full scale).
+const LOOPS: usize = 24;
+
+fn print_figure6() {
+    println!("\n== Figure 6: ED2 normalised to optimum homogeneous ==");
+    let mut all = Vec::new();
+    for buses in [1u32, 2] {
+        println!("-- {buses} bus(es) --");
+        let rows = Study::new()
+            .with_loops_per_benchmark(LOOPS)
+            .with_buses(buses)
+            .figure6()
+            .expect("pipeline runs");
+        for r in &rows {
+            println!("{}", format_bar(&r.benchmark, r.ed2_normalized));
+        }
+        println!("{}", format_bar("mean", mean_normalized(&rows)));
+        all.extend(rows);
+    }
+    dump_json("figure6", &all);
+}
+
+fn bench_hetero_scheduling(c: &mut Criterion) {
+    print_figure6();
+    // Kernel: heterogeneous modulo scheduling of one sixtrack loop.
+    let design = MachineDesign::paper_machine(1);
+    let bench = generate(&spec_fp2000()[8], 4);
+    let config =
+        ClockedConfig::heterogeneous(design, Time::from_ns(0.95), 1, Time::from_ns(1.25));
+    let opts = ScheduleOptions::default();
+    let ddg = bench.loops[0].ddg();
+    c.bench_function("schedule_hetero_sixtrack_loop", |b| {
+        b.iter(|| schedule_loop(black_box(ddg), &config, None, &opts).unwrap());
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_hetero_scheduling
+}
+criterion_main!(benches);

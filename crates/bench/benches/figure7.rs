@@ -1,0 +1,47 @@
+//! Figure 7 — ED² sensitivity to the number of supported frequencies —
+//! plus a Criterion measurement of clock selection under a discrete menu.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use heterovliw_core::Study;
+use std::hint::black_box;
+use vliw_bench::{dump_json, format_bar};
+use vliw_machine::{ClockedConfig, FrequencyMenu, MachineDesign, Time};
+use vliw_sched::timing::LoopClocks;
+
+const LOOPS: usize = 16;
+
+fn print_figure7() {
+    println!("\n== Figure 7: ED2 vs number of supported frequencies ==");
+    let mut all = Vec::new();
+    for buses in [1u32, 2] {
+        println!("-- {buses} bus(es) --");
+        let rows = Study::new()
+            .with_loops_per_benchmark(LOOPS)
+            .with_buses(buses)
+            .figure7()
+            .expect("pipeline runs");
+        for r in &rows {
+            println!("{}", format_bar(&r.menu, r.mean_ed2_normalized));
+        }
+        all.extend(rows);
+    }
+    dump_json("figure7", &all);
+}
+
+fn bench_clock_selection(c: &mut Criterion) {
+    print_figure7();
+    let design = MachineDesign::paper_machine(1);
+    let config =
+        ClockedConfig::heterogeneous(design, Time::from_ns(1.0), 1, Time::from_ns(1.5));
+    let menu = FrequencyMenu::uniform(16);
+    c.bench_function("loop_clocks_select_16freqs", |b| {
+        b.iter(|| LoopClocks::select(&config, &menu, black_box(Time::from_ns(6.0))));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_clock_selection
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Figure 8 — ED² sensitivity to the ICN/cache energy shares — plus a
+//! Criterion measurement of energy-model calibration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use heterovliw_core::Study;
+use std::hint::black_box;
+use vliw_bench::{dump_json, format_bar};
+use vliw_machine::{MachineDesign, Time};
+use vliw_power::{EnergyShares, PowerModel, ReferenceProfile};
+
+const LOOPS: usize = 16;
+
+fn print_figure8() {
+    println!("\n== Figure 8: ED2 vs ICN/cache energy shares ==");
+    let mut all = Vec::new();
+    for buses in [1u32, 2] {
+        println!("-- {buses} bus(es) --");
+        let rows = Study::new()
+            .with_loops_per_benchmark(LOOPS)
+            .with_buses(buses)
+            .figure8()
+            .expect("pipeline runs");
+        for r in &rows {
+            let label = format!(".{:02} / {:.2}", (r.icn_share * 100.0) as u32, r.cache_share);
+            println!("{}", format_bar(&label, r.mean_ed2_normalized));
+        }
+        all.extend(rows);
+    }
+    dump_json("figure8", &all);
+}
+
+fn bench_calibration(c: &mut Criterion) {
+    print_figure8();
+    let design = MachineDesign::paper_machine(1);
+    let profile = ReferenceProfile {
+        weighted_ins: 1_000_000.0,
+        comms: 120_000,
+        mem_accesses: 300_000,
+        exec_time: Time::from_ns(500_000.0),
+    };
+    c.bench_function("power_model_calibrate", |b| {
+        b.iter(|| {
+            PowerModel::calibrate(design, black_box(EnergyShares::PAPER), &profile)
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_calibration
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Figure 9 — ED² sensitivity to leakage shares — plus a Criterion
+//! measurement of whole-configuration energy estimation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use heterovliw_core::Study;
+use std::hint::black_box;
+use vliw_bench::{dump_json, format_bar};
+use vliw_machine::{ClockedConfig, MachineDesign, Time};
+use vliw_power::{EnergyShares, PowerModel, ReferenceProfile, UsageProfile};
+
+const LOOPS: usize = 16;
+
+fn print_figure9() {
+    println!("\n== Figure 9: ED2 vs leakage shares (cluster/ICN/cache) ==");
+    let mut all = Vec::new();
+    for buses in [1u32, 2] {
+        println!("-- {buses} bus(es) --");
+        let rows = Study::new()
+            .with_loops_per_benchmark(LOOPS)
+            .with_buses(buses)
+            .figure9()
+            .expect("pipeline runs");
+        for r in &rows {
+            let label = format!("{:.2}/{:.2}/{:.2}", r.leak_cluster, r.leak_icn, r.leak_cache);
+            println!("{}", format_bar(&label, r.mean_ed2_normalized));
+        }
+        all.extend(rows);
+    }
+    dump_json("figure9", &all);
+}
+
+fn bench_energy_estimate(c: &mut Criterion) {
+    print_figure9();
+    let design = MachineDesign::paper_machine(1);
+    let profile = ReferenceProfile {
+        weighted_ins: 1_000_000.0,
+        comms: 120_000,
+        mem_accesses: 300_000,
+        exec_time: Time::from_ns(500_000.0),
+    };
+    let power = PowerModel::calibrate(design, EnergyShares::PAPER, &profile);
+    let config =
+        ClockedConfig::heterogeneous(design, Time::from_ns(0.95), 1, Time::from_ns(1.25));
+    let usage = UsageProfile::homogeneous(&profile, design.num_clusters);
+    c.bench_function("estimate_energy_hetero", |b| {
+        b.iter(|| power.estimate_energy(black_box(&config), &usage));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_energy_estimate
+}
+criterion_main!(benches);

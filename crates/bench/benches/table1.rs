@@ -1,0 +1,41 @@
+//! Table 1 — instruction latencies and relative energies — plus a
+//! Criterion measurement of the `recMII` kernel that consumes them.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vliw_ir::{DdgBuilder, OpClass};
+
+fn print_table1() {
+    println!("\n== Table 1: latency and relative energy per instruction class ==");
+    println!("{:<24} {:>7} {:>7}", "class", "latency", "energy");
+    for class in OpClass::SOURCE_CLASSES {
+        println!(
+            "{:<24} {:>7} {:>7.1}",
+            class.to_string(),
+            class.latency(),
+            class.relative_energy()
+        );
+    }
+}
+
+fn bench_rec_mii(c: &mut Criterion) {
+    print_table1();
+    // A representative DDG: a 24-op chain with three nested recurrences.
+    let mut b = DdgBuilder::new("bench");
+    let ids: Vec<_> = (0..24)
+        .map(|i| b.op(format!("n{i}"), if i % 3 == 0 { OpClass::FpMul } else { OpClass::FpArith }))
+        .collect();
+    for w in ids.windows(2) {
+        b.flow(w[0], w[1]);
+    }
+    b.flow_carried(ids[7], ids[2], 1);
+    b.flow_carried(ids[15], ids[9], 2);
+    b.flow_carried(ids[23], ids[0], 4);
+    let ddg = b.build().unwrap();
+    c.bench_function("rec_mii_24op_3rec", |bench| {
+        bench.iter(|| black_box(&ddg).rec_mii());
+    });
+}
+
+criterion_group!(benches, bench_rec_mii);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Table 2 — % execution time per constraint class — plus a Criterion
+//! measurement of loop classification over a whole benchmark.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vliw_bench::dump_json;
+use vliw_machine::MachineDesign;
+use vliw_workloads::{classify, generate, spec_fp2000, suite};
+
+fn print_table2() {
+    println!("\n== Table 2: % execution time per constraint class ==");
+    let rows = heterovliw_core::explore::experiments::table2(&suite(24));
+    println!(
+        "{:<14} {:>14} {:>26} {:>18}",
+        "benchmark", "recMII<resMII", "resMII<=recMII<1.3resMII", "1.3resMII<=recMII"
+    );
+    for r in &rows {
+        println!(
+            "{:<14} {:>13.2}% {:>25.2}% {:>17.2}%",
+            r.benchmark, r.resource_pct, r.borderline_pct, r.recurrence_pct
+        );
+    }
+    dump_json("table2", &rows);
+}
+
+fn bench_classification(c: &mut Criterion) {
+    print_table2();
+    let design = MachineDesign::paper_machine(1);
+    let bench = generate(&spec_fp2000()[8], 24);
+    c.bench_function("classify_sixtrack_24loops", |b| {
+        b.iter(|| {
+            for l in &bench.loops {
+                black_box(classify(l.ddg(), design));
+            }
+        });
+    });
+}
+
+criterion_group!(benches, bench_classification);
+criterion_main!(benches);

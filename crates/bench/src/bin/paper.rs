@@ -1,0 +1,199 @@
+//! `paper` — regenerate the tables and figures of the CGO 2007 paper.
+//!
+//! ```text
+//! Usage: paper [EXPERIMENT] [--loops N] [--buses 1|2|both]
+//!
+//! EXPERIMENT: table1 | table2 | figure6 | figure7 | figure8 | figure9 | all
+//!             (default: all)
+//! --loops N   loops generated per benchmark (default 40)
+//! --buses B   bus configurations to run (default both)
+//! ```
+
+use std::process::ExitCode;
+
+use heterovliw_core::explore::experiments::{self, ExperimentOptions};
+use heterovliw_core::Study;
+use vliw_bench::dump_json;
+use vliw_ir::OpClass;
+use vliw_workloads::DEFAULT_LOOPS_PER_BENCHMARK;
+
+#[derive(Clone, Copy)]
+struct Args {
+    loops: usize,
+    buses: BusSel,
+}
+
+#[derive(Clone, Copy)]
+enum BusSel {
+    One,
+    Two,
+    Both,
+}
+
+impl BusSel {
+    fn list(self) -> &'static [u32] {
+        match self {
+            BusSel::One => &[1],
+            BusSel::Two => &[2],
+            BusSel::Both => &[1, 2],
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut experiment = "all".to_owned();
+    let mut args = Args { loops: DEFAULT_LOOPS_PER_BENCHMARK, buses: BusSel::Both };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--loops" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => args.loops = n,
+                _ => return usage("--loops needs a positive integer"),
+            },
+            "--buses" => match it.next().as_deref() {
+                Some("1") => args.buses = BusSel::One,
+                Some("2") => args.buses = BusSel::Two,
+                Some("both") => args.buses = BusSel::Both,
+                _ => return usage("--buses takes 1, 2 or both"),
+            },
+            "--help" | "-h" => return usage(""),
+            name if !name.starts_with('-') => experiment = name.to_owned(),
+            other => return usage(&format!("unknown flag {other}")),
+        }
+    }
+    let result = match experiment.as_str() {
+        "table1" => table1(),
+        "table2" => table2(args),
+        "figure6" => figure6(args),
+        "figure7" => figure7(args),
+        "figure8" => figure8(args),
+        "figure9" => figure9(args),
+        "all" => table1()
+            .and_then(|()| table2(args))
+            .and_then(|()| figure6(args))
+            .and_then(|()| figure7(args))
+            .and_then(|()| figure8(args))
+            .and_then(|()| figure9(args)),
+        other => return usage(&format!("unknown experiment {other}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!(
+        "usage: paper [table1|table2|figure6|figure7|figure8|figure9|all] \
+         [--loops N] [--buses 1|2|both]"
+    );
+    if msg.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE }
+}
+
+type AnyError = Box<dyn std::error::Error>;
+
+fn study(args: Args, buses: u32) -> Study {
+    Study::new().with_loops_per_benchmark(args.loops).with_buses(buses)
+}
+
+fn table1() -> Result<(), AnyError> {
+    println!("\n== Table 1: latency and relative energy per instruction class ==");
+    println!("{:<24} {:>7} {:>7}", "class", "latency", "energy");
+    for class in OpClass::SOURCE_CLASSES {
+        println!("{:<24} {:>7} {:>7.1}", class.to_string(), class.latency(), class.relative_energy());
+    }
+    Ok(())
+}
+
+fn table2(args: Args) -> Result<(), AnyError> {
+    println!("\n== Table 2: % execution time per constraint class ==");
+    let rows = study(args, 1).table2();
+    println!(
+        "{:<14} {:>14} {:>26} {:>18}",
+        "benchmark", "recMII<resMII", "resMII<=recMII<1.3resMII", "1.3resMII<=recMII"
+    );
+    for r in &rows {
+        println!(
+            "{:<14} {:>13.2}% {:>25.2}% {:>17.2}%",
+            r.benchmark, r.resource_pct, r.borderline_pct, r.recurrence_pct
+        );
+    }
+    dump_json("table2", &rows);
+    Ok(())
+}
+
+fn figure6(args: Args) -> Result<(), AnyError> {
+    println!("\n== Figure 6: ED2 of heterogeneous, normalised to optimum homogeneous ==");
+    let mut all = Vec::new();
+    for &buses in args.buses.list() {
+        println!("-- {buses} bus(es) --");
+        let rows = study(args, buses).figure6()?;
+        for r in &rows {
+            println!("{}", vliw_bench::format_bar(&r.benchmark, r.ed2_normalized));
+        }
+        println!("{}", vliw_bench::format_bar("mean", experiments::mean_normalized(&rows)));
+        all.extend(rows);
+    }
+    dump_json("figure6", &all);
+    Ok(())
+}
+
+fn figure7(args: Args) -> Result<(), AnyError> {
+    println!("\n== Figure 7: ED2 vs number of supported frequencies ==");
+    let mut all = Vec::new();
+    for &buses in args.buses.list() {
+        println!("-- {buses} bus(es) --");
+        let rows = study(args, buses).figure7()?;
+        for r in &rows {
+            println!("{}", vliw_bench::format_bar(&r.menu, r.mean_ed2_normalized));
+        }
+        all.extend(rows);
+    }
+    dump_json("figure7", &all);
+    Ok(())
+}
+
+fn figure8(args: Args) -> Result<(), AnyError> {
+    println!("\n== Figure 8: ED2 vs ICN/cache energy shares ==");
+    let mut all = Vec::new();
+    for &buses in args.buses.list() {
+        println!("-- {buses} bus(es) --");
+        let rows = study(args, buses).figure8()?;
+        for r in &rows {
+            let label = format!(".{:<2} / {:.2}", (r.icn_share * 100.0) as u32, r.cache_share);
+            println!("{}", vliw_bench::format_bar(&label, r.mean_ed2_normalized));
+        }
+        all.extend(rows);
+    }
+    dump_json("figure8", &all);
+    Ok(())
+}
+
+fn figure9(args: Args) -> Result<(), AnyError> {
+    println!("\n== Figure 9: ED2 vs leakage shares (cluster/ICN/cache) ==");
+    let mut all = Vec::new();
+    for &buses in args.buses.list() {
+        println!("-- {buses} bus(es) --");
+        let rows = study(args, buses).figure9()?;
+        for r in &rows {
+            let label = format!("{:.2}/{:.2}/{:.2}", r.leak_cluster, r.leak_icn, r.leak_cache);
+            println!("{}", vliw_bench::format_bar(&label, r.mean_ed2_normalized));
+        }
+        all.extend(rows);
+    }
+    dump_json("figure9", &all);
+    Ok(())
+}
+
+// The ExperimentOptions import is exercised implicitly through Study; keep
+// the explicit reference so the bin compiles against API changes loudly.
+#[allow(dead_code)]
+fn _assert_api(opts: ExperimentOptions) -> ExperimentOptions {
+    opts
+}

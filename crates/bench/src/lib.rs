@@ -1,0 +1,61 @@
+//! Shared helpers for the table/figure regeneration benches.
+//!
+//! Each bench target in `benches/` regenerates one table or figure of the
+//! paper: it prints the rows (and writes them as JSON next to Criterion's
+//! output) before benchmarking the computational kernel behind it.
+
+use std::fs;
+use std::path::PathBuf;
+
+use serde::Serialize;
+
+/// Where experiment row dumps go (`target/paper-results/`).
+///
+/// # Panics
+///
+/// Panics if the directory cannot be created.
+#[must_use]
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/paper-results");
+    fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Serialises `rows` as pretty JSON to `target/paper-results/<name>.json`.
+///
+/// # Panics
+///
+/// Panics on I/O or serialisation failure (benches want loud failures).
+pub fn dump_json<T: Serialize>(name: &str, rows: &T) {
+    let path = results_dir().join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(rows).expect("serialise rows");
+    fs::write(&path, json).expect("write rows");
+    println!("  [rows written to {}]", path.display());
+}
+
+/// Renders a simple aligned two-column table.
+#[must_use]
+pub fn format_bar(label: &str, value: f64) -> String {
+    let width = (value * 50.0).clamp(0.0, 60.0) as usize;
+    format!("{label:<16} {value:>7.3}  {}", "#".repeat(width))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_formatting() {
+        let s = format_bar("x", 0.8);
+        assert!(s.contains("0.800"));
+        assert!(s.contains('#'));
+    }
+
+    #[test]
+    fn dump_round_trips() {
+        dump_json("selftest", &vec![1, 2, 3]);
+        let read = std::fs::read_to_string(results_dir().join("selftest.json")).unwrap();
+        assert!(read.contains('2'));
+    }
+}

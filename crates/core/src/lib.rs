@@ -1,0 +1,222 @@
+//! End-to-end reproduction of *"Heterogeneous Clustered VLIW
+//! Microarchitectures"* (Aletà, Codina, González, Kaeli — CGO 2007).
+//!
+//! This crate is the front door of the `heterovliw` workspace. It
+//! re-exports every layer —
+//!
+//! * [`ir`] — loop data-dependence graphs and recurrence analysis,
+//! * [`machine`] — the clustered VLIW machine and MCD clocking model,
+//! * [`power`] — the §3.1 energy model, scaling laws and ED²,
+//! * [`sched`] — the §4 heterogeneous modulo scheduler,
+//! * [`sim`] — schedule validation, execution and profiling,
+//! * [`workloads`] — the synthetic SPECfp2000 loop suites,
+//! * [`explore`] — §3.2/§3.3 estimation, configuration selection and the
+//!   paper's experiment runners,
+//!
+//! — and offers [`Study`], a builder that strings the whole pipeline
+//! together the way the paper's evaluation does.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use heterovliw_core::Study;
+//!
+//! // Reproduce Figure 6 (1 bus) on a reduced suite.
+//! let study = Study::new().with_loops_per_benchmark(12).with_buses(1);
+//! let rows = study.figure6()?;
+//! for row in &rows {
+//!     println!("{:<14} ED2 = {:.3}", row.benchmark, row.ed2_normalized);
+//! }
+//! println!("mean = {:.3}", heterovliw_core::explore::experiments::mean_normalized(&rows));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub use vliw_explore as explore;
+pub use vliw_ir as ir;
+pub use vliw_machine as machine;
+pub use vliw_power as power;
+pub use vliw_sched as sched;
+pub use vliw_sim as sim;
+pub use vliw_workloads as workloads;
+
+use vliw_explore::experiments::{
+    self, BenchmarkResult, ExperimentOptions, Figure7Row, Figure8Row, Figure9Row, ProfiledSuite,
+    Table2Row,
+};
+use vliw_machine::FrequencyMenu;
+use vliw_power::EnergyShares;
+use vliw_sched::{SchedError, ScheduleOptions};
+use vliw_workloads::{suite, Benchmark, DEFAULT_LOOPS_PER_BENCHMARK};
+
+/// A configured reproduction study: the synthetic suite plus every knob
+/// the paper's evaluation turns.
+///
+/// Construction is cheap; the suite is generated lazily per call and is
+/// deterministic for a given configuration.
+#[derive(Debug, Clone)]
+pub struct Study {
+    loops_per_benchmark: usize,
+    buses: u32,
+    options: ExperimentOptions,
+}
+
+impl Study {
+    /// A study with the paper's defaults: 4-cluster machine, one bus,
+    /// unrestricted frequencies, the §5 energy shares, and the default
+    /// (10× reduced) suite size.
+    #[must_use]
+    pub fn new() -> Self {
+        Study {
+            loops_per_benchmark: DEFAULT_LOOPS_PER_BENCHMARK,
+            buses: 1,
+            options: ExperimentOptions::default(),
+        }
+    }
+
+    /// Sets the number of loops generated per benchmark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn with_loops_per_benchmark(mut self, n: usize) -> Self {
+        assert!(n > 0, "a study needs loops");
+        self.loops_per_benchmark = n;
+        self
+    }
+
+    /// Sets the number of inter-cluster buses (the paper reports 1 and 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buses == 0`.
+    #[must_use]
+    pub fn with_buses(mut self, buses: u32) -> Self {
+        assert!(buses > 0, "at least one bus");
+        self.buses = buses;
+        self
+    }
+
+    /// Sets the frequency menu (Figure 7's knob).
+    #[must_use]
+    pub fn with_menu(mut self, menu: FrequencyMenu) -> Self {
+        self.options.menu = menu;
+        self
+    }
+
+    /// Sets the reference energy shares (Figures 8/9's knob).
+    #[must_use]
+    pub fn with_shares(mut self, shares: EnergyShares) -> Self {
+        self.options.shares = shares;
+        self
+    }
+
+    /// Sets the scheduler options.
+    #[must_use]
+    pub fn with_sched_options(mut self, sched: ScheduleOptions) -> Self {
+        self.options.sched = sched;
+        self
+    }
+
+    /// The experiment options this study will use.
+    #[must_use]
+    pub fn options(&self) -> &ExperimentOptions {
+        &self.options
+    }
+
+    /// Generates the study's (deterministic) benchmark suite.
+    #[must_use]
+    pub fn suite(&self) -> Vec<Benchmark> {
+        suite(self.loops_per_benchmark)
+    }
+
+    /// Profiles the suite on the reference homogeneous machine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduling failures from the reference runs.
+    pub fn profile(&self) -> Result<ProfiledSuite, SchedError> {
+        experiments::profile_suite(&self.suite(), self.buses, &self.options.sched)
+    }
+
+    /// Figure 6: per-benchmark normalised ED².
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduling failures.
+    pub fn figure6(&self) -> Result<Vec<BenchmarkResult>, SchedError> {
+        experiments::figure6(&self.profile()?, &self.options)
+    }
+
+    /// Table 2: constraint-class time shares per benchmark.
+    #[must_use]
+    pub fn table2(&self) -> Vec<Table2Row> {
+        experiments::table2(&self.suite())
+    }
+
+    /// Figure 7: frequency-menu sensitivity.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduling failures.
+    pub fn figure7(&self) -> Result<Vec<Figure7Row>, SchedError> {
+        experiments::figure7(&self.profile()?, &self.options)
+    }
+
+    /// Figure 8: ICN/cache energy-share sensitivity.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduling failures.
+    pub fn figure8(&self) -> Result<Vec<Figure8Row>, SchedError> {
+        experiments::figure8(&self.profile()?, &self.options)
+    }
+
+    /// Figure 9: leakage-share sensitivity.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduling failures.
+    pub fn figure9(&self) -> Result<Vec<Figure9Row>, SchedError> {
+        experiments::figure9(&self.profile()?, &self.options)
+    }
+}
+
+impl Default for Study {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_round_trip() {
+        let s = Study::new()
+            .with_loops_per_benchmark(4)
+            .with_buses(2)
+            .with_menu(FrequencyMenu::uniform(8));
+        assert_eq!(s.suite().len(), 10);
+        assert_eq!(s.options().menu.len(), Some(8));
+    }
+
+    #[test]
+    fn table2_via_study() {
+        let rows = Study::new().with_loops_per_benchmark(6).table2();
+        assert_eq!(rows.len(), 10);
+        let sum: f64 = rows.iter().map(|r| r.resource_pct + r.borderline_pct + r.recurrence_pct).sum();
+        assert!((sum - 1000.0).abs() < 1e-6, "each row sums to 100%");
+    }
+
+    #[test]
+    #[should_panic(expected = "needs loops")]
+    fn zero_loops_panics() {
+        let _ = Study::new().with_loops_per_benchmark(0);
+    }
+}

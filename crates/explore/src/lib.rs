@@ -1,0 +1,39 @@
+//! Frequency/voltage design-space exploration and the CGO 2007 paper's
+//! experiment runners.
+//!
+//! This crate closes the loop of the paper's methodology:
+//!
+//! 1. **Profile** a benchmark on the reference homogeneous machine
+//!    ([`profile_benchmark`]) — every loop is actually modulo scheduled and
+//!    simulated, yielding the dynamic information (§3) the models consume;
+//! 2. **Estimate** execution time and energy of *any* candidate
+//!    configuration from that profile alone (§3.2's IT / `it_length`
+//!    estimation combined with §3.1's energy model, [`estimate_program`]);
+//! 3. Search the **optimum homogeneous** baseline (§5.1,
+//!    [`optimum_homogeneous`]) and **select** the best heterogeneous
+//!    configuration (§3.3, [`select_heterogeneous`]);
+//! 4. **Run** the selected configuration for real — every loop is
+//!    re-scheduled with the heterogeneous modulo scheduler and ED² is
+//!    measured, not estimated ([`experiments`]).
+//!
+//! The [`experiments`] module regenerates every table and figure of the
+//! paper's evaluation (Table 2, Figures 6–9); `vliw-bench` wraps them as
+//! benches.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod estimate;
+pub mod experiments;
+mod homog;
+mod profile;
+mod select;
+
+pub use estimate::{estimate_loop_it, estimate_program, HetEstimate};
+pub use homog::{optimum_homogeneous, optimum_homogeneous_suite, HomogChoice, SuiteBaseline};
+pub use profile::{
+    profile_benchmark, reference_usage_scaled, suite_reference, BenchmarkProfile, LoopProfile,
+    T_TOTAL,
+};
+pub use select::{select_heterogeneous, HeteroChoice};

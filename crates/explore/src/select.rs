@@ -1,0 +1,160 @@
+//! Heterogeneous configuration selection (§3.3 of the paper).
+//!
+//! Explores the paper's design alternatives — fast-cluster cycle times of
+//! {0.9, 0.95, 1, 1.05, 1.1}× the reference, slow/fast ratios of
+//! {1, 1.25, 1.33, 1.5}, one fast cluster — and per-component supply
+//! voltages, estimating every candidate's ED² with the §3 models and
+//! returning the minimiser.
+
+use vliw_machine::{ClockedConfig, FrequencyMenu, MachineDesign, Time};
+use vliw_power::PowerModel;
+
+use crate::estimate::{estimate_program, HetEstimate};
+use crate::homog::optimise_voltages_grouped;
+use crate::profile::BenchmarkProfile;
+
+/// The fast-cluster cycle-time factors explored (×reference cycle), §5.
+pub const FAST_FACTORS: [f64; 5] = [0.90, 0.95, 1.00, 1.05, 1.10];
+
+/// The slow/fast cycle-time ratios explored, §5. Ratio 1 covers the
+/// "all clusters at the same frequency" outcome the paper reports for
+/// register- and resource-constrained programs.
+pub const SLOW_RATIOS: [f64; 4] = [1.0, 1.25, 1.33, 1.5];
+
+/// The configuration the §3.3 selection scheme picked, with its model
+/// estimates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeteroChoice {
+    /// The chosen clocked configuration (cycle times + voltages).
+    pub config: ClockedConfig,
+    /// Model-estimated time/energy/ED².
+    pub estimate: HetEstimate,
+}
+
+/// Selects frequencies and voltages for the heterogeneous machine: the
+/// candidate minimising *estimated* ED².
+///
+/// Returns `None` only if no candidate is feasible (cannot happen for the
+/// paper's ranges, where the all-reference candidate always qualifies).
+#[must_use]
+pub fn select_heterogeneous(
+    profile: &BenchmarkProfile,
+    design: MachineDesign,
+    power: &PowerModel,
+    menu: &FrequencyMenu,
+) -> Option<HeteroChoice> {
+    let mut best: Option<HeteroChoice> = None;
+    for fast_factor in FAST_FACTORS {
+        for slow_ratio in SLOW_RATIOS {
+            let fast = Time::from_ns(ClockedConfig::REFERENCE_CYCLE.as_ns() * fast_factor);
+            let slow = Time::from_ns(fast.as_ns() * slow_ratio);
+            let base = ClockedConfig::heterogeneous(design, fast, 1, slow);
+            // Voltages do not change the time estimate, only energy — so
+            // optimise them by coordinate descent on estimated energy,
+            // with independent supplies for the fast and slow groups.
+            let groups: Vec<Vec<usize>> = if slow_ratio > 1.0 {
+                vec![vec![0], (1..usize::from(design.num_clusters)).collect()]
+            } else {
+                vec![(0..usize::from(design.num_clusters)).collect()]
+            };
+            // Homogeneous candidates are evaluated with the *exact* model
+            // (§5.1: the schedule is the reference schedule, so counts are
+            // known); heterogeneous ones use the §3.2 estimators.
+            let exact_uniform = slow_ratio == 1.0;
+            let evaluate_config = |candidate: &ClockedConfig| -> Option<HetEstimate> {
+                if exact_uniform {
+                    let factor = fast.as_ns() / ClockedConfig::REFERENCE_CYCLE.as_ns();
+                    let usage = crate::profile::reference_usage_scaled(
+                        profile,
+                        design.num_clusters,
+                        factor,
+                    );
+                    let energy = power.estimate_energy(candidate, &usage)?;
+                    let secs = usage.exec_time.as_secs();
+                    Some(HetEstimate {
+                        exec_time: usage.exec_time,
+                        energy,
+                        ed2: energy * secs * secs,
+                    })
+                } else {
+                    estimate_program(profile, candidate, menu, power)
+                }
+            };
+            let evaluate = |voltages: vliw_machine::Voltages| {
+                if !voltages.in_range() {
+                    return None;
+                }
+                let candidate = base.clone().with_voltages(voltages);
+                evaluate_config(&candidate).map(|e| e.energy)
+            };
+            let Some(voltages) = optimise_voltages_grouped(design, &groups, evaluate) else {
+                continue;
+            };
+            let config = base.with_voltages(voltages);
+            let Some(estimate) = evaluate_config(&config) else {
+                continue;
+            };
+            if best.as_ref().is_none_or(|b| estimate.ed2 < b.estimate.ed2) {
+                best = Some(HeteroChoice { config, estimate });
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vliw_power::EnergyShares;
+    use vliw_sched::ScheduleOptions;
+    use vliw_workloads::{generate, spec_fp2000};
+
+    use crate::profile::profile_benchmark;
+
+    fn setup(idx: usize, n: usize) -> (BenchmarkProfile, MachineDesign, PowerModel) {
+        let design = MachineDesign::paper_machine(1);
+        let bench = generate(&spec_fp2000()[idx], n);
+        let p = profile_benchmark(&bench, design, &ScheduleOptions::default()).unwrap();
+        let power = PowerModel::calibrate(design, EnergyShares::PAPER, &p.reference);
+        (p, design, power)
+    }
+
+    #[test]
+    fn recurrence_benchmark_gets_a_speed_gap() {
+        // sixtrack: the selection should pick a fast cluster strictly
+        // faster than the slow ones (big recurrence wins, §5.2).
+        let (p, design, power) = setup(8, 8);
+        let choice =
+            select_heterogeneous(&p, design, &power, &FrequencyMenu::unrestricted()).unwrap();
+        let fast = choice.config.fastest_cluster_cycle();
+        let slow = choice.config.slowest_cluster_cycle();
+        assert!(slow > fast, "sixtrack wants heterogeneity: fast {fast}, slow {slow}");
+        assert!(choice.config.voltages().in_range());
+    }
+
+    #[test]
+    fn estimated_ed2_beats_reference_homogeneous() {
+        let (p, design, power) = setup(6, 6); // lucas
+        let choice =
+            select_heterogeneous(&p, design, &power, &FrequencyMenu::unrestricted()).unwrap();
+        let secs = p.reference.exec_time.as_secs();
+        let reference_ed2 = secs * secs; // energy 1 by calibration
+        assert!(
+            choice.estimate.ed2 < reference_ed2,
+            "selection must not regress the reference point"
+        );
+    }
+
+    #[test]
+    fn resource_benchmark_prefers_uniform_frequencies() {
+        // swim: 100 % resource constrained — slowing 3 clusters shrinks
+        // slot capacity and hurts time, so the model should keep the
+        // frequency gap small (ratio 1) and save energy with voltage.
+        let (p, design, power) = setup(1, 8);
+        let choice =
+            select_heterogeneous(&p, design, &power, &FrequencyMenu::unrestricted()).unwrap();
+        let ratio = choice.config.slowest_cluster_cycle().as_ns()
+            / choice.config.fastest_cluster_cycle().as_ns();
+        assert!(ratio < 1.26, "swim should avoid large frequency gaps, got ratio {ratio}");
+    }
+}

@@ -1,0 +1,205 @@
+//! Fluent construction of [`Ddg`]s.
+
+use crate::ddg::{Ddg, DepEdge, DepKind, EdgeId, OpId, Operation};
+use crate::error::BuildError;
+use crate::op::OpClass;
+
+/// Incrementally builds a [`Ddg`].
+///
+/// Operations are created first with [`DdgBuilder::op`]; dependences are
+/// added with [`DdgBuilder::dep`] (distance 0, flow kind) or the more general
+/// [`DdgBuilder::dep_full`]. By default the latency of a dependence is the
+/// Table 1 latency of its *producer*; pass an explicit latency to model
+/// ordering constraints or forwarding.
+///
+/// # Example
+///
+/// ```
+/// use vliw_ir::{DdgBuilder, OpClass};
+///
+/// let mut b = DdgBuilder::new("dot-product");
+/// let load_a = b.op("load a[i]", OpClass::FpMemory);
+/// let load_b = b.op("load b[i]", OpClass::FpMemory);
+/// let mul = b.op("a[i]*b[i]", OpClass::FpMul);
+/// let acc = b.op("sum +=", OpClass::FpArith);
+/// b.flow(load_a, mul);
+/// b.flow(load_b, mul);
+/// b.flow(mul, acc);
+/// b.dep_full(acc, acc, vliw_ir::OpClass::FpArith.latency(), 1, vliw_ir::DepKind::Flow);
+/// let ddg = b.build()?;
+/// assert_eq!(ddg.num_ops(), 4);
+/// assert_eq!(ddg.rec_mii(), 3); // the accumulator recurrence
+/// # Ok::<(), vliw_ir::BuildError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DdgBuilder {
+    name: String,
+    ops: Vec<Operation>,
+    edges: Vec<PendingEdge>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PendingEdge {
+    src: OpId,
+    dst: OpId,
+    latency: u32,
+    distance: u32,
+    kind: DepKind,
+}
+
+impl DdgBuilder {
+    /// Creates an empty builder for a loop called `name`.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), ops: Vec::new(), edges: Vec::new() }
+    }
+
+    /// Adds an operation and returns its identifier.
+    pub fn op(&mut self, name: impl Into<String>, class: OpClass) -> OpId {
+        let id = OpId(self.ops.len() as u32);
+        self.ops.push(Operation::new(id, class, name));
+        id
+    }
+
+    /// Number of operations added so far.
+    #[must_use]
+    pub fn num_ops(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Adds a same-iteration dependence with an explicit latency.
+    pub fn dep(&mut self, src: OpId, dst: OpId, latency: u32) -> &mut Self {
+        self.dep_full(src, dst, latency, 0, DepKind::Flow)
+    }
+
+    /// Adds a dependence with explicit latency and iteration distance.
+    pub fn dep_dist(&mut self, src: OpId, dst: OpId, latency: u32, distance: u32) -> &mut Self {
+        self.dep_full(src, dst, latency, distance, DepKind::Flow)
+    }
+
+    /// Adds a same-iteration *flow* dependence whose latency is the
+    /// producer's Table 1 latency — the common case for register values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` was not created by this builder.
+    pub fn flow(&mut self, src: OpId, dst: OpId) -> &mut Self {
+        let latency = self.ops[src.index()].latency();
+        self.dep_full(src, dst, latency, 0, DepKind::Flow)
+    }
+
+    /// Adds a loop-carried *flow* dependence (producer-latency, distance
+    /// `distance`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` was not created by this builder.
+    pub fn flow_carried(&mut self, src: OpId, dst: OpId, distance: u32) -> &mut Self {
+        let latency = self.ops[src.index()].latency();
+        self.dep_full(src, dst, latency, distance, DepKind::Flow)
+    }
+
+    /// Adds a pure ordering dependence (no value communicated).
+    pub fn order(&mut self, src: OpId, dst: OpId, latency: u32, distance: u32) -> &mut Self {
+        self.dep_full(src, dst, latency, distance, DepKind::Order)
+    }
+
+    /// Adds a dependence with every field explicit.
+    pub fn dep_full(
+        &mut self,
+        src: OpId,
+        dst: OpId,
+        latency: u32,
+        distance: u32,
+        kind: DepKind,
+    ) -> &mut Self {
+        self.edges.push(PendingEdge { src, dst, latency, distance, kind });
+        self
+    }
+
+    /// Finalizes the graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::UnknownOp`] if an edge references an operation
+    /// id this builder never produced, or [`BuildError::ZeroDistanceSelfLoop`]
+    /// for a same-iteration self-dependence.
+    pub fn build(self) -> Result<Ddg, BuildError> {
+        let num_ops = self.ops.len();
+        let mut edges = Vec::with_capacity(self.edges.len());
+        for (i, e) in self.edges.iter().enumerate() {
+            for end in [e.src, e.dst] {
+                if end.index() >= num_ops {
+                    return Err(BuildError::UnknownOp { op: end.0, num_ops });
+                }
+            }
+            if e.src == e.dst && e.distance == 0 {
+                return Err(BuildError::ZeroDistanceSelfLoop {
+                    op: self.ops[e.src.index()].name().to_owned(),
+                });
+            }
+            edges.push(DepEdge::new(EdgeId(i as u32), e.src, e.dst, e.latency, e.distance, e.kind));
+        }
+        Ok(Ddg::from_parts(self.name, self.ops, edges))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_unknown_op() {
+        let mut b = DdgBuilder::new("t");
+        let a = b.op("a", OpClass::IntArith);
+        b.dep(a, OpId(42), 1);
+        assert_eq!(b.build().unwrap_err(), BuildError::UnknownOp { op: 42, num_ops: 1 });
+    }
+
+    #[test]
+    fn rejects_zero_distance_self_loop() {
+        let mut b = DdgBuilder::new("t");
+        let a = b.op("a", OpClass::IntArith);
+        b.dep(a, a, 1);
+        assert!(matches!(b.build(), Err(BuildError::ZeroDistanceSelfLoop { .. })));
+    }
+
+    #[test]
+    fn accepts_carried_self_loop() {
+        let mut b = DdgBuilder::new("t");
+        let a = b.op("a", OpClass::FpArith);
+        b.flow_carried(a, a, 1);
+        let g = b.build().unwrap();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.rec_mii(), 3);
+    }
+
+    #[test]
+    fn flow_uses_producer_latency() {
+        let mut b = DdgBuilder::new("t");
+        let m = b.op("mul", OpClass::FpMul);
+        let a = b.op("add", OpClass::FpArith);
+        b.flow(m, a);
+        let g = b.build().unwrap();
+        assert_eq!(g.edges().next().unwrap().latency(), 6);
+    }
+
+    #[test]
+    fn order_edges_are_not_flow() {
+        let mut b = DdgBuilder::new("t");
+        let s = b.op("store", OpClass::FpMemory);
+        let l = b.op("load", OpClass::FpMemory);
+        b.order(s, l, 1, 1);
+        let g = b.build().unwrap();
+        let e = g.edges().next().unwrap();
+        assert!(!e.is_flow());
+        assert_eq!(e.kind(), DepKind::Order);
+    }
+
+    #[test]
+    fn empty_builder_builds_empty_graph() {
+        let g = DdgBuilder::new("empty").build().unwrap();
+        assert!(g.is_empty());
+        assert_eq!(g.rec_mii(), 0);
+    }
+}

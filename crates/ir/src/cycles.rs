@@ -1,0 +1,251 @@
+//! Elementary-circuit enumeration (Johnson's algorithm).
+//!
+//! The partitioner mostly reasons about recurrences at SCC granularity
+//! ([`crate::StronglyConnectedComponents::recurrences`]), but tests,
+//! diagnostics and the Figure 4 example need the actual circuits. Since the
+//! number of elementary circuits can be exponential, enumeration takes a
+//! [`CircuitLimit`] and stops early once reached.
+
+use std::collections::HashSet;
+
+use crate::ddg::{Ddg, OpId};
+use crate::scc::StronglyConnectedComponents;
+
+/// Bound on how many circuits to enumerate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CircuitLimit(pub usize);
+
+impl Default for CircuitLimit {
+    fn default() -> Self {
+        CircuitLimit(10_000)
+    }
+}
+
+/// An elementary dependence circuit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Circuit {
+    /// Operations on the circuit, in traversal order.
+    pub ops: Vec<OpId>,
+    /// Total latency around the circuit.
+    pub latency: u32,
+    /// Total iteration distance around the circuit.
+    pub distance: u32,
+}
+
+impl Circuit {
+    /// `ceil(latency / distance)`: the smallest `II` this circuit admits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit's distance is zero (unschedulable).
+    #[must_use]
+    pub fn min_ii(&self) -> u32 {
+        assert!(self.distance > 0, "zero-distance circuit has no feasible II");
+        self.latency.div_ceil(self.distance)
+    }
+}
+
+/// Enumerates up to `limit` elementary circuits of `ddg`.
+///
+/// Circuits are discovered per strongly connected component with a
+/// Johnson-style blocked DFS. The traversal is deterministic: nodes are
+/// visited in id order.
+#[must_use]
+pub fn elementary_circuits(ddg: &Ddg, limit: CircuitLimit) -> Vec<Circuit> {
+    let sccs = StronglyConnectedComponents::compute(ddg);
+    let mut out = Vec::new();
+    for (_, members) in sccs.iter() {
+        if out.len() >= limit.0 {
+            break;
+        }
+        if members.len() == 1 {
+            // Self-loops only.
+            let v = members[0];
+            for e in ddg.succs(v) {
+                if e.dst() == v {
+                    out.push(Circuit {
+                        ops: vec![v],
+                        latency: e.latency(),
+                        distance: e.distance(),
+                    });
+                    if out.len() >= limit.0 {
+                        break;
+                    }
+                }
+            }
+            continue;
+        }
+        enumerate_component(ddg, members, limit, &mut out);
+    }
+    out
+}
+
+fn enumerate_component(
+    ddg: &Ddg,
+    members: &[OpId],
+    limit: CircuitLimit,
+    out: &mut Vec<Circuit>,
+) {
+    let member_set: HashSet<OpId> = members.iter().copied().collect();
+    let mut sorted = members.to_vec();
+    sorted.sort();
+    // For each start node s (ascending), find circuits whose minimum node is
+    // s, restricting the search to nodes ≥ s inside the SCC.
+    for (si, &s) in sorted.iter().enumerate() {
+        if out.len() >= limit.0 {
+            return;
+        }
+        let allowed: HashSet<OpId> =
+            sorted[si..].iter().copied().collect();
+        let mut path: Vec<(OpId, u32, u32)> = vec![(s, 0, 0)]; // (node, lat-in, dist-in)
+        let mut on_path: HashSet<OpId> = HashSet::from([s]);
+        dfs(ddg, s, s, &member_set, &allowed, &mut path, &mut on_path, limit, out);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs(
+    ddg: &Ddg,
+    start: OpId,
+    current: OpId,
+    member_set: &HashSet<OpId>,
+    allowed: &HashSet<OpId>,
+    path: &mut Vec<(OpId, u32, u32)>,
+    on_path: &mut HashSet<OpId>,
+    limit: CircuitLimit,
+    out: &mut Vec<Circuit>,
+) {
+    if out.len() >= limit.0 {
+        return;
+    }
+    let mut succs: Vec<_> = ddg
+        .succs(current)
+        .filter(|e| member_set.contains(&e.dst()) && allowed.contains(&e.dst()))
+        .collect();
+    succs.sort_by_key(|e| (e.dst(), e.id()));
+    for e in succs {
+        let next = e.dst();
+        if next == start {
+            // Completed a circuit (length ≥ 2 here; self-loops handled
+            // separately unless start==current at path length 1).
+            if path.len() >= 2 || current != start {
+                let latency: u32 =
+                    path.iter().map(|&(_, l, _)| l).sum::<u32>() + e.latency();
+                let distance: u32 =
+                    path.iter().map(|&(_, _, d)| d).sum::<u32>() + e.distance();
+                out.push(Circuit {
+                    ops: path.iter().map(|&(n, _, _)| n).collect(),
+                    latency,
+                    distance,
+                });
+                if out.len() >= limit.0 {
+                    return;
+                }
+            }
+            continue;
+        }
+        if on_path.contains(&next) {
+            continue;
+        }
+        path.push((next, e.latency(), e.distance()));
+        on_path.insert(next);
+        dfs(ddg, start, next, member_set, allowed, path, on_path, limit, out);
+        on_path.remove(&next);
+        path.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DdgBuilder;
+    use crate::op::OpClass;
+
+    #[test]
+    fn single_triangle() {
+        let mut b = DdgBuilder::new("t");
+        let a = b.op("a", OpClass::IntArith);
+        let c = b.op("b", OpClass::IntArith);
+        let d = b.op("c", OpClass::IntArith);
+        b.dep(a, c, 1).dep(c, d, 2).dep_dist(d, a, 3, 2);
+        let g = b.build().unwrap();
+        let circuits = elementary_circuits(&g, CircuitLimit::default());
+        assert_eq!(circuits.len(), 1);
+        let c0 = &circuits[0];
+        assert_eq!(c0.ops.len(), 3);
+        assert_eq!(c0.latency, 6);
+        assert_eq!(c0.distance, 2);
+        assert_eq!(c0.min_ii(), 3);
+    }
+
+    #[test]
+    fn self_loop_circuit() {
+        let mut b = DdgBuilder::new("t");
+        let a = b.op("a", OpClass::FpArith);
+        b.dep_dist(a, a, 3, 1);
+        let g = b.build().unwrap();
+        let circuits = elementary_circuits(&g, CircuitLimit::default());
+        assert_eq!(circuits.len(), 1);
+        assert_eq!(circuits[0].ops, vec![a]);
+        assert_eq!(circuits[0].min_ii(), 3);
+    }
+
+    #[test]
+    fn theta_graph_has_two_circuits() {
+        // a→b with two back edges b→a (different distances).
+        let mut b = DdgBuilder::new("t");
+        let a = b.op("a", OpClass::IntArith);
+        let c = b.op("b", OpClass::IntArith);
+        b.dep(a, c, 1);
+        b.dep_dist(c, a, 1, 1);
+        b.dep_dist(c, a, 5, 3);
+        let g = b.build().unwrap();
+        let mut iis: Vec<u32> = elementary_circuits(&g, CircuitLimit::default())
+            .iter()
+            .map(Circuit::min_ii)
+            .collect();
+        iis.sort_unstable();
+        assert_eq!(iis, vec![2, 2]); // (1+1)/1=2 and (1+5)/3=2
+    }
+
+    #[test]
+    fn limit_truncates_enumeration() {
+        // Complete-ish digraph on 6 nodes has many circuits.
+        let mut b = DdgBuilder::new("t");
+        let ids: Vec<_> = (0..6).map(|i| b.op(format!("n{i}"), OpClass::IntArith)).collect();
+        for &u in &ids {
+            for &v in &ids {
+                if u != v {
+                    b.dep_dist(u, v, 1, 1);
+                }
+            }
+        }
+        let g = b.build().unwrap();
+        let circuits = elementary_circuits(&g, CircuitLimit(7));
+        assert_eq!(circuits.len(), 7);
+    }
+
+    #[test]
+    fn circuits_match_scc_critical_ratio() {
+        let mut b = DdgBuilder::new("t");
+        let a = b.op("a", OpClass::IntArith);
+        let c = b.op("b", OpClass::IntArith);
+        let d = b.op("c", OpClass::IntArith);
+        b.dep(a, c, 2).dep_dist(c, a, 2, 1);
+        b.dep(c, d, 4).dep_dist(d, c, 4, 2);
+        let g = b.build().unwrap();
+        let worst = elementary_circuits(&g, CircuitLimit::default())
+            .iter()
+            .map(Circuit::min_ii)
+            .max()
+            .unwrap();
+        assert_eq!(worst, g.rec_mii());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-distance circuit")]
+    fn zero_distance_circuit_min_ii_panics() {
+        let c = Circuit { ops: vec![OpId(0)], latency: 3, distance: 0 };
+        let _ = c.min_ii();
+    }
+}

@@ -1,0 +1,514 @@
+//! Data-dependence graphs for loop bodies.
+
+use std::fmt;
+
+use crate::error::IrError;
+use crate::op::{FuKind, OpClass};
+
+/// Identifier of an operation inside one [`Ddg`].
+///
+/// Indices are dense: `OpId(i)` addresses the `i`-th operation of the graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OpId(pub u32);
+
+impl OpId {
+    /// The operation's dense index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of a dependence edge inside one [`Ddg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EdgeId(pub u32);
+
+impl EdgeId {
+    /// The edge's dense index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The kind of a dependence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DepKind {
+    /// Register flow dependence: the consumer reads the value the producer
+    /// writes, so it is also a *communication* candidate when producer and
+    /// consumer land in different clusters.
+    #[default]
+    Flow,
+    /// Memory or control ordering dependence. It constrains the schedule but
+    /// never moves a value between register files, so it costs no bus slot.
+    Order,
+}
+
+/// One operation of the loop body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Operation {
+    id: OpId,
+    class: OpClass,
+    name: String,
+}
+
+impl Operation {
+    pub(crate) fn new(id: OpId, class: OpClass, name: impl Into<String>) -> Self {
+        Self { id, class, name: name.into() }
+    }
+
+    /// The operation's identifier within its graph.
+    #[must_use]
+    pub fn id(&self) -> OpId {
+        self.id
+    }
+
+    /// The operation's class (latency/energy/FU routing).
+    #[must_use]
+    pub fn class(&self) -> OpClass {
+        self.class
+    }
+
+    /// Human-readable name used in diagnostics and DOT dumps.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Issue latency in cycles (Table 1).
+    #[must_use]
+    pub fn latency(&self) -> u32 {
+        self.class.latency()
+    }
+
+    /// The functional-unit kind this operation occupies.
+    #[must_use]
+    pub fn fu_kind(&self) -> FuKind {
+        self.class.fu_kind()
+    }
+}
+
+/// A dependence `src → dst` with a latency (cycles the consumer must wait
+/// after the producer issues) and an iteration distance (`0` for
+/// same-iteration, `k > 0` for a value carried across `k` iterations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DepEdge {
+    id: EdgeId,
+    src: OpId,
+    dst: OpId,
+    latency: u32,
+    distance: u32,
+    kind: DepKind,
+}
+
+impl DepEdge {
+    pub(crate) fn new(
+        id: EdgeId,
+        src: OpId,
+        dst: OpId,
+        latency: u32,
+        distance: u32,
+        kind: DepKind,
+    ) -> Self {
+        Self { id, src, dst, latency, distance, kind }
+    }
+
+    /// The edge's identifier within its graph.
+    #[must_use]
+    pub fn id(&self) -> EdgeId {
+        self.id
+    }
+
+    /// Producer operation.
+    #[must_use]
+    pub fn src(&self) -> OpId {
+        self.src
+    }
+
+    /// Consumer operation.
+    #[must_use]
+    pub fn dst(&self) -> OpId {
+        self.dst
+    }
+
+    /// Cycles the consumer must wait after the producer issues.
+    #[must_use]
+    pub fn latency(&self) -> u32 {
+        self.latency
+    }
+
+    /// Iteration distance (`omega`).
+    #[must_use]
+    pub fn distance(&self) -> u32 {
+        self.distance
+    }
+
+    /// Dependence kind (register flow vs. pure ordering).
+    #[must_use]
+    pub fn kind(&self) -> DepKind {
+        self.kind
+    }
+
+    /// Whether the edge carries a register value that must be communicated
+    /// if its endpoints are assigned to different clusters.
+    #[must_use]
+    pub fn is_flow(&self) -> bool {
+        self.kind == DepKind::Flow
+    }
+}
+
+/// A loop-body data-dependence graph.
+///
+/// Construct one with [`crate::DdgBuilder`]; the builder validates endpoint
+/// indices and rejects zero-distance self-loops, so a `Ddg` is always
+/// structurally sound (it may still contain zero-distance *cycles*, which
+/// [`Ddg::validate_schedulable`] reports).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ddg {
+    name: String,
+    ops: Vec<Operation>,
+    edges: Vec<DepEdge>,
+    succ: Vec<Vec<EdgeId>>,
+    pred: Vec<Vec<EdgeId>>,
+}
+
+impl Ddg {
+    pub(crate) fn from_parts(name: String, ops: Vec<Operation>, edges: Vec<DepEdge>) -> Self {
+        let mut succ = vec![Vec::new(); ops.len()];
+        let mut pred = vec![Vec::new(); ops.len()];
+        for e in &edges {
+            succ[e.src.index()].push(e.id);
+            pred[e.dst.index()].push(e.id);
+        }
+        Self { name, ops, edges, succ, pred }
+    }
+
+    /// The loop's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of operations.
+    #[must_use]
+    pub fn num_ops(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Number of dependence edges.
+    #[must_use]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the graph has no operations.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The operation with identifier `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this graph.
+    #[must_use]
+    pub fn op(&self, id: OpId) -> &Operation {
+        &self.ops[id.index()]
+    }
+
+    /// The edge with identifier `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this graph.
+    #[must_use]
+    pub fn edge(&self, id: EdgeId) -> &DepEdge {
+        &self.edges[id.index()]
+    }
+
+    /// Iterate over all operations.
+    pub fn ops(&self) -> impl ExactSizeIterator<Item = &Operation> + '_ {
+        self.ops.iter()
+    }
+
+    /// Iterate over all operation identifiers.
+    pub fn op_ids(&self) -> impl ExactSizeIterator<Item = OpId> + Clone {
+        (0..self.ops.len() as u32).map(OpId)
+    }
+
+    /// Iterate over all edges.
+    pub fn edges(&self) -> impl ExactSizeIterator<Item = &DepEdge> + '_ {
+        self.edges.iter()
+    }
+
+    /// Outgoing edges of `id`.
+    pub fn succs(&self, id: OpId) -> impl Iterator<Item = &DepEdge> + '_ {
+        self.succ[id.index()].iter().map(|e| &self.edges[e.index()])
+    }
+
+    /// Incoming edges of `id`.
+    pub fn preds(&self, id: OpId) -> impl Iterator<Item = &DepEdge> + '_ {
+        self.pred[id.index()].iter().map(|e| &self.edges[e.index()])
+    }
+
+    /// Number of operations that occupy functional-unit kind `kind`.
+    #[must_use]
+    pub fn count_fu(&self, kind: FuKind) -> usize {
+        self.ops.iter().filter(|o| o.fu_kind() == kind).count()
+    }
+
+    /// Number of memory operations.
+    #[must_use]
+    pub fn count_memory_ops(&self) -> usize {
+        self.ops.iter().filter(|o| o.class().is_memory()).count()
+    }
+
+    /// Sum of Table 1 relative energies over all operations: the dynamic
+    /// energy of one loop iteration in "integer-add units".
+    #[must_use]
+    pub fn iteration_energy(&self) -> f64 {
+        self.ops.iter().map(|o| o.class().relative_energy()).sum()
+    }
+
+    /// Checks the graph can be modulo scheduled at *some* initiation
+    /// interval: every dependence cycle must have positive total distance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::ZeroDistanceCycle`] naming an operation on a cycle
+    /// whose edges all have distance zero; such a loop body has no valid
+    /// schedule at any `II`.
+    pub fn validate_schedulable(&self) -> Result<(), IrError> {
+        // A zero-distance cycle is a cycle in the subgraph of distance-0
+        // edges; detect via DFS three-colouring.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Colour {
+            White,
+            Grey,
+            Black,
+        }
+        let mut colour = vec![Colour::White; self.ops.len()];
+        // Iterative DFS with explicit stack of (node, next-edge-index).
+        for root in 0..self.ops.len() {
+            if colour[root] != Colour::White {
+                continue;
+            }
+            let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
+            colour[root] = Colour::Grey;
+            while let Some((u, next)) = stack.last().copied() {
+                let succ_edges = &self.succ[u];
+                if next < succ_edges.len() {
+                    stack.last_mut().expect("stack is non-empty").1 += 1;
+                    let e = &self.edges[succ_edges[next].index()];
+                    if e.distance() != 0 {
+                        continue;
+                    }
+                    let v = e.dst().index();
+                    match colour[v] {
+                        Colour::White => {
+                            colour[v] = Colour::Grey;
+                            stack.push((v, 0));
+                        }
+                        Colour::Grey => {
+                            return Err(IrError::ZeroDistanceCycle {
+                                op: self.ops[v].name().to_owned(),
+                            });
+                        }
+                        Colour::Black => {}
+                    }
+                } else {
+                    colour[u] = Colour::Black;
+                    stack.pop();
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The recurrence-constrained minimum initiation interval, in cycles of
+    /// a homogeneous machine: `max` over all dependence cycles of
+    /// `ceil(total latency / total distance)`.
+    ///
+    /// Returns `0` for acyclic graphs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has a zero-distance cycle (no finite `recMII`
+    /// exists); call [`Ddg::validate_schedulable`] first to handle that case
+    /// gracefully.
+    #[must_use]
+    pub fn rec_mii(&self) -> u32 {
+        crate::ratio::min_feasible_ii(self)
+            .expect("zero-distance cycle: graph is unschedulable at any II")
+    }
+}
+
+/// A loop: a DDG plus the dynamic information the paper's models consume.
+///
+/// `trip_count` is the average number of iterations observed in the profile
+/// of the reference homogeneous machine; `weight` is the fraction of whole-
+/// program execution time this loop accounts for (the per-benchmark weights
+/// in Table 2 are aggregates of these).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Loop {
+    ddg: Ddg,
+    trip_count: u64,
+    weight: f64,
+}
+
+impl Loop {
+    /// Wraps a DDG with profile data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trip_count == 0` or `weight` is not finite and positive.
+    #[must_use]
+    pub fn new(ddg: Ddg, trip_count: u64, weight: f64) -> Self {
+        assert!(trip_count > 0, "a profiled loop ran at least once");
+        assert!(
+            weight.is_finite() && weight > 0.0,
+            "loop weight must be positive and finite, got {weight}"
+        );
+        Self { ddg, trip_count, weight }
+    }
+
+    /// The loop body's dependence graph.
+    #[must_use]
+    pub fn ddg(&self) -> &Ddg {
+        &self.ddg
+    }
+
+    /// Average number of iterations per invocation.
+    #[must_use]
+    pub fn trip_count(&self) -> u64 {
+        self.trip_count
+    }
+
+    /// Fraction of program execution time spent in this loop.
+    #[must_use]
+    pub fn weight(&self) -> f64 {
+        self.weight
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DdgBuilder;
+
+    fn chain(n: usize) -> Ddg {
+        let mut b = DdgBuilder::new("chain");
+        let ids: Vec<_> = (0..n).map(|i| b.op(format!("n{i}"), OpClass::IntArith)).collect();
+        for w in ids.windows(2) {
+            b.dep(w[0], w[1], 1);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn adjacency_is_consistent() {
+        let g = chain(4);
+        assert_eq!(g.num_ops(), 4);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.succs(OpId(0)).count(), 1);
+        assert_eq!(g.preds(OpId(0)).count(), 0);
+        assert_eq!(g.preds(OpId(3)).count(), 1);
+        assert_eq!(g.succs(OpId(3)).count(), 0);
+        for e in g.edges() {
+            assert!(g.succs(e.src()).any(|s| s.id() == e.id()));
+            assert!(g.preds(e.dst()).any(|p| p.id() == e.id()));
+        }
+    }
+
+    #[test]
+    fn acyclic_graph_is_schedulable_with_zero_recmii() {
+        let g = chain(5);
+        g.validate_schedulable().unwrap();
+        assert_eq!(g.rec_mii(), 0);
+    }
+
+    #[test]
+    fn zero_distance_cycle_is_detected() {
+        let mut b = DdgBuilder::new("bad");
+        let a = b.op("a", OpClass::IntArith);
+        let c = b.op("b", OpClass::IntArith);
+        b.dep(a, c, 1);
+        b.dep(c, a, 1);
+        let g = b.build().unwrap();
+        let err = g.validate_schedulable().unwrap_err();
+        assert!(matches!(err, IrError::ZeroDistanceCycle { .. }));
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn carried_cycle_is_schedulable() {
+        let mut b = DdgBuilder::new("carried");
+        let a = b.op("a", OpClass::FpArith);
+        let c = b.op("b", OpClass::FpArith);
+        b.flow(a, c);
+        b.flow_carried(c, a, 1);
+        let g = b.build().unwrap();
+        g.validate_schedulable().unwrap();
+        // Two fp ops of latency 3 each around a distance-1 cycle.
+        assert_eq!(g.rec_mii(), 6);
+    }
+
+    #[test]
+    fn zero_distance_cycle_in_larger_component_is_found() {
+        // A diamond with a distance-0 back edge hidden behind an OK branch.
+        let mut b = DdgBuilder::new("bad2");
+        let a = b.op("a", OpClass::IntArith);
+        let x = b.op("x", OpClass::IntArith);
+        let y = b.op("y", OpClass::IntArith);
+        let z = b.op("z", OpClass::IntArith);
+        b.dep(a, x, 0);
+        b.dep(x, y, 0);
+        b.dep(y, z, 0);
+        b.dep(z, x, 1); // distance 0 → cycle x→y→z→x
+        let g = b.build().unwrap();
+        assert!(g.validate_schedulable().is_err());
+    }
+
+    #[test]
+    fn fu_and_memory_counts() {
+        let mut b = DdgBuilder::new("mix");
+        b.op("l", OpClass::FpMemory);
+        b.op("s", OpClass::IntMemory);
+        b.op("f", OpClass::FpMul);
+        b.op("i", OpClass::IntArith);
+        let g = b.build().unwrap();
+        assert_eq!(g.count_fu(FuKind::Mem), 2);
+        assert_eq!(g.count_fu(FuKind::Fp), 1);
+        assert_eq!(g.count_fu(FuKind::Int), 1);
+        assert_eq!(g.count_memory_ops(), 2);
+        let expected = 1.0 + 1.0 + 1.5 + 1.0;
+        assert!((g.iteration_energy() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "ran at least once")]
+    fn loop_rejects_zero_trip_count() {
+        let _ = Loop::new(chain(2), 0, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight must be positive")]
+    fn loop_rejects_bad_weight() {
+        let _ = Loop::new(chain(2), 10, 0.0);
+    }
+
+    #[test]
+    fn loop_accessors() {
+        let l = Loop::new(chain(3), 100, 0.25);
+        assert_eq!(l.trip_count(), 100);
+        assert_eq!(l.weight(), 0.25);
+        assert_eq!(l.ddg().num_ops(), 3);
+    }
+}

@@ -1,0 +1,91 @@
+//! Graphviz DOT export for DDGs.
+
+use std::fmt::Write as _;
+
+use crate::ddg::Ddg;
+
+/// Renders `ddg` as a Graphviz `digraph`.
+///
+/// Loop-carried edges are dashed and annotated with their distance; every
+/// edge shows its latency. Useful for debugging partitions and for
+/// documentation figures.
+///
+/// # Example
+///
+/// ```
+/// use vliw_ir::{DdgBuilder, OpClass, to_dot};
+/// let mut b = DdgBuilder::new("tiny");
+/// let a = b.op("a", OpClass::IntArith);
+/// let c = b.op("b", OpClass::FpMul);
+/// b.flow(a, c);
+/// let dot = to_dot(&b.build()?);
+/// assert!(dot.contains("digraph"));
+/// # Ok::<(), vliw_ir::BuildError>(())
+/// ```
+#[must_use]
+pub fn to_dot(ddg: &Ddg) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph \"{}\" {{", escape(ddg.name()));
+    let _ = writeln!(s, "  rankdir=TB;");
+    for op in ddg.ops() {
+        let _ = writeln!(
+            s,
+            "  {} [label=\"{}\\n{} (lat {})\"];",
+            op.id(),
+            escape(op.name()),
+            op.class(),
+            op.latency()
+        );
+    }
+    for e in ddg.edges() {
+        if e.distance() == 0 {
+            let _ = writeln!(s, "  {} -> {} [label=\"{}\"];", e.src(), e.dst(), e.latency());
+        } else {
+            let _ = writeln!(
+                s,
+                "  {} -> {} [label=\"{} ({})\", style=dashed];",
+                e.src(),
+                e.dst(),
+                e.latency(),
+                e.distance()
+            );
+        }
+    }
+    s.push_str("}\n");
+    s
+}
+
+fn escape(raw: &str) -> String {
+    raw.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DdgBuilder;
+    use crate::op::OpClass;
+
+    #[test]
+    fn dot_contains_nodes_and_edges() {
+        let mut b = DdgBuilder::new("demo");
+        let a = b.op("load", OpClass::FpMemory);
+        let c = b.op("mul", OpClass::FpMul);
+        b.flow(a, c);
+        b.flow_carried(c, c, 1);
+        let dot = to_dot(&b.build().unwrap());
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("n0 -> n1"));
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.contains("load"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn names_are_escaped() {
+        let mut b = DdgBuilder::new("has\"quote");
+        b.op("weird\"name", OpClass::IntArith);
+        let dot = to_dot(&b.build().unwrap());
+        assert!(dot.contains("has\\\"quote"));
+        assert!(dot.contains("weird\\\"name"));
+    }
+}

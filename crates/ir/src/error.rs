@@ -1,0 +1,78 @@
+//! Error types for graph construction and analysis.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported while building a [`crate::Ddg`] with
+/// [`crate::DdgBuilder`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BuildError {
+    /// An edge referenced an operation id not created by this builder.
+    UnknownOp {
+        /// The offending identifier.
+        op: u32,
+        /// Number of operations the builder currently holds.
+        num_ops: usize,
+    },
+    /// A self-edge with distance zero was added; such an edge can never be
+    /// satisfied by any schedule.
+    ZeroDistanceSelfLoop {
+        /// Name of the operation with the impossible self-dependence.
+        op: String,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UnknownOp { op, num_ops } => {
+                write!(f, "edge references operation n{op} but only {num_ops} operations exist")
+            }
+            BuildError::ZeroDistanceSelfLoop { op } => {
+                write!(f, "operation `{op}` depends on itself within the same iteration")
+            }
+        }
+    }
+}
+
+impl Error for BuildError {}
+
+/// Errors reported by analyses over a built [`crate::Ddg`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IrError {
+    /// The graph contains a dependence cycle whose total iteration distance
+    /// is zero; no initiation interval can schedule it.
+    ZeroDistanceCycle {
+        /// Name of one operation on the offending cycle.
+        op: String,
+    },
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::ZeroDistanceCycle { op } => {
+                write!(f, "dependence cycle through `{op}` has zero total iteration distance")
+            }
+        }
+    }
+}
+
+impl Error for IrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = BuildError::UnknownOp { op: 7, num_ops: 3 };
+        assert!(e.to_string().contains("n7"));
+        let e = BuildError::ZeroDistanceSelfLoop { op: "x".into() };
+        assert!(e.to_string().contains('x'));
+        let e = IrError::ZeroDistanceCycle { op: "y".into() };
+        assert!(e.to_string().contains('y'));
+    }
+}

@@ -1,0 +1,62 @@
+//! Loop intermediate representation for clustered VLIW modulo scheduling.
+//!
+//! This crate implements the compiler-side substrate of the CGO 2007 paper
+//! *"Heterogeneous Clustered VLIW Microarchitectures"* (Aletà, Codina,
+//! González, Kaeli): typed loop operations, data-dependence graphs (DDGs)
+//! with `(latency, distance)` dependence edges, recurrence (strongly
+//! connected component) analysis, elementary-circuit enumeration, and the
+//! recurrence-constrained minimum initiation interval (`recMII`) computed as
+//! a maximum cycle ratio.
+//!
+//! The modulo scheduler in `vliw-sched` and the workload generator in
+//! `vliw-workloads` both build on these types.
+//!
+//! # Example
+//!
+//! Build the three-operation recurrence of the paper's Figure 4 and compute
+//! its `recMII`:
+//!
+//! ```
+//! use vliw_ir::{DdgBuilder, OpClass};
+//!
+//! let mut b = DdgBuilder::new("figure4");
+//! let a = b.op("A", OpClass::IntArith);
+//! let bb = b.op("B", OpClass::IntArith);
+//! let c = b.op("C", OpClass::IntArith);
+//! let d = b.op("D", OpClass::IntArith);
+//! let e = b.op("E", OpClass::IntArith);
+//! b.dep(a, bb, 1); // same-iteration edges, unit latency (Figure 4)
+//! b.dep(bb, c, 1);
+//! b.dep_dist(c, a, 1, 1); // loop-carried edge closing the recurrence
+//! b.dep(a, d, 1);
+//! b.dep(d, e, 1);
+//! let ddg = b.build().unwrap();
+//!
+//! // Every op has latency 1, the {A, B, C} circuit has distance 1, so
+//! // recMII = ceil(3 / 1) = 3 (Figure 4 of the paper).
+//! assert_eq!(ddg.rec_mii(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod builder;
+mod cycles;
+mod ddg;
+mod dot;
+mod error;
+mod op;
+mod ratio;
+mod scc;
+mod toposort;
+
+pub use builder::DdgBuilder;
+pub use cycles::{Circuit, CircuitLimit, elementary_circuits};
+pub use ddg::{DepEdge, DepKind, Ddg, EdgeId, Loop, OpId, Operation};
+pub use dot::to_dot;
+pub use error::{BuildError, IrError};
+pub use op::{FuKind, OpClass};
+pub use ratio::{max_cycle_ratio, min_feasible_ii, CycleRatio};
+pub use scc::{condensation, Recurrence, SccId, StronglyConnectedComponents};
+pub use toposort::{topological_order, TopoError};

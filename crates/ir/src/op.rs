@@ -1,0 +1,224 @@
+//! Operation classes and the functional-unit kinds they occupy.
+
+use std::fmt;
+
+/// The kind of functional unit an operation occupies for one cycle when it
+/// issues.
+///
+/// Mirrors the machine of the paper's evaluation (§5): each cluster holds one
+/// integer FU, one floating-point FU and one memory port; inter-cluster
+/// copies occupy a register bus owned by the interconnection network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FuKind {
+    /// Integer functional unit.
+    Int,
+    /// Floating-point functional unit.
+    Fp,
+    /// Memory port (loads and stores).
+    Mem,
+    /// Inter-cluster register bus (explicit copy operations).
+    Bus,
+}
+
+impl FuKind {
+    /// All functional-unit kinds that live *inside* a cluster.
+    pub const CLUSTER_KINDS: [FuKind; 3] = [FuKind::Int, FuKind::Fp, FuKind::Mem];
+}
+
+impl fmt::Display for FuKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FuKind::Int => "int",
+            FuKind::Fp => "fp",
+            FuKind::Mem => "mem",
+            FuKind::Bus => "bus",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Operation classes with the latencies and relative energies of the paper's
+/// Table 1.
+///
+/// Latency is in cycles of the cluster the operation executes on (clusters
+/// share one design, so cycle *counts* are frequency-independent; only the
+/// cycle *time* changes across heterogeneous clusters). Energy is relative
+/// to an integer add and is consumed in the executing cluster's domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OpClass {
+    /// Integer load or store (Table 1 "Memory", INT column).
+    IntMemory,
+    /// Floating-point load or store (Table 1 "Memory", FP column).
+    FpMemory,
+    /// Integer arithmetic / logic.
+    IntArith,
+    /// Floating-point add/sub/compare.
+    FpArith,
+    /// Integer multiply.
+    IntMul,
+    /// Floating-point multiply.
+    FpMul,
+    /// Integer divide / modulo / sqrt.
+    IntDiv,
+    /// Floating-point divide / sqrt.
+    FpDiv,
+    /// Inter-cluster register copy inserted by the scheduler.
+    Copy,
+}
+
+impl OpClass {
+    /// All "source program" classes, i.e. everything except the
+    /// scheduler-inserted [`OpClass::Copy`].
+    pub const SOURCE_CLASSES: [OpClass; 8] = [
+        OpClass::IntMemory,
+        OpClass::FpMemory,
+        OpClass::IntArith,
+        OpClass::FpArith,
+        OpClass::IntMul,
+        OpClass::FpMul,
+        OpClass::IntDiv,
+        OpClass::FpDiv,
+    ];
+
+    /// Latency in cycles (Table 1 of the paper).
+    #[must_use]
+    pub const fn latency(self) -> u32 {
+        match self {
+            OpClass::IntMemory | OpClass::FpMemory => 2,
+            OpClass::IntArith => 1,
+            OpClass::FpArith => 3,
+            OpClass::IntMul => 2,
+            OpClass::FpMul => 6,
+            OpClass::IntDiv => 6,
+            OpClass::FpDiv => 18,
+            // One bus transfer; the extra inter-domain synchronisation cycle
+            // is modelled by the scheduler, not here.
+            OpClass::Copy => 1,
+        }
+    }
+
+    /// Dynamic energy of one execution relative to an integer add
+    /// (Table 1 of the paper). Copies are accounted on the bus instead and
+    /// report `0` here.
+    #[must_use]
+    pub const fn relative_energy(self) -> f64 {
+        match self {
+            OpClass::IntMemory | OpClass::FpMemory => 1.0,
+            OpClass::IntArith => 1.0,
+            OpClass::FpArith => 1.2,
+            OpClass::IntMul => 1.1,
+            OpClass::FpMul => 1.5,
+            OpClass::IntDiv => 1.4,
+            OpClass::FpDiv => 2.0,
+            OpClass::Copy => 0.0,
+        }
+    }
+
+    /// The functional-unit kind this class occupies at issue.
+    #[must_use]
+    pub const fn fu_kind(self) -> FuKind {
+        match self {
+            OpClass::IntMemory | OpClass::FpMemory => FuKind::Mem,
+            OpClass::IntArith | OpClass::IntMul | OpClass::IntDiv => FuKind::Int,
+            OpClass::FpArith | OpClass::FpMul | OpClass::FpDiv => FuKind::Fp,
+            OpClass::Copy => FuKind::Bus,
+        }
+    }
+
+    /// Whether the operation accesses the memory hierarchy.
+    #[must_use]
+    pub const fn is_memory(self) -> bool {
+        matches!(self, OpClass::IntMemory | OpClass::FpMemory)
+    }
+
+    /// Whether this is a scheduler-inserted inter-cluster copy.
+    #[must_use]
+    pub const fn is_copy(self) -> bool {
+        matches!(self, OpClass::Copy)
+    }
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpClass::IntMemory => "imem",
+            OpClass::FpMemory => "fmem",
+            OpClass::IntArith => "iadd",
+            OpClass::FpArith => "fadd",
+            OpClass::IntMul => "imul",
+            OpClass::FpMul => "fmul",
+            OpClass::IntDiv => "idiv",
+            OpClass::FpDiv => "fdiv",
+            OpClass::Copy => "copy",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_latencies_match_paper() {
+        // Table 1 of the paper, verbatim.
+        assert_eq!(OpClass::IntMemory.latency(), 2);
+        assert_eq!(OpClass::FpMemory.latency(), 2);
+        assert_eq!(OpClass::IntArith.latency(), 1);
+        assert_eq!(OpClass::FpArith.latency(), 3);
+        assert_eq!(OpClass::IntMul.latency(), 2);
+        assert_eq!(OpClass::FpMul.latency(), 6);
+        assert_eq!(OpClass::IntDiv.latency(), 6);
+        assert_eq!(OpClass::FpDiv.latency(), 18);
+    }
+
+    #[test]
+    fn table1_energies_match_paper() {
+        assert_eq!(OpClass::IntMemory.relative_energy(), 1.0);
+        assert_eq!(OpClass::FpMemory.relative_energy(), 1.0);
+        assert_eq!(OpClass::IntArith.relative_energy(), 1.0);
+        assert_eq!(OpClass::FpArith.relative_energy(), 1.2);
+        assert_eq!(OpClass::IntMul.relative_energy(), 1.1);
+        assert_eq!(OpClass::FpMul.relative_energy(), 1.5);
+        assert_eq!(OpClass::IntDiv.relative_energy(), 1.4);
+        assert_eq!(OpClass::FpDiv.relative_energy(), 2.0);
+    }
+
+    #[test]
+    fn fu_kind_routing() {
+        assert_eq!(OpClass::IntMemory.fu_kind(), FuKind::Mem);
+        assert_eq!(OpClass::FpMemory.fu_kind(), FuKind::Mem);
+        assert_eq!(OpClass::IntArith.fu_kind(), FuKind::Int);
+        assert_eq!(OpClass::IntMul.fu_kind(), FuKind::Int);
+        assert_eq!(OpClass::IntDiv.fu_kind(), FuKind::Int);
+        assert_eq!(OpClass::FpArith.fu_kind(), FuKind::Fp);
+        assert_eq!(OpClass::FpMul.fu_kind(), FuKind::Fp);
+        assert_eq!(OpClass::FpDiv.fu_kind(), FuKind::Fp);
+        assert_eq!(OpClass::Copy.fu_kind(), FuKind::Bus);
+    }
+
+    #[test]
+    fn memory_predicate() {
+        for class in OpClass::SOURCE_CLASSES {
+            assert_eq!(
+                class.is_memory(),
+                matches!(class, OpClass::IntMemory | OpClass::FpMemory)
+            );
+        }
+        assert!(!OpClass::Copy.is_memory());
+        assert!(OpClass::Copy.is_copy());
+    }
+
+    #[test]
+    fn display_is_nonempty_and_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for class in OpClass::SOURCE_CLASSES.into_iter().chain([OpClass::Copy]) {
+            let s = class.to_string();
+            assert!(!s.is_empty());
+            assert!(seen.insert(s), "duplicate display name for {class:?}");
+        }
+        for kind in FuKind::CLUSTER_KINDS.into_iter().chain([FuKind::Bus]) {
+            assert!(!kind.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,351 @@
+//! Maximum cycle ratio and the recurrence-constrained minimum initiation
+//! interval.
+//!
+//! For a dependence cycle `c` with total latency `lat(c)` and total
+//! iteration distance `dist(c)`, a modulo schedule with initiation interval
+//! `II` exists only if `lat(c) ≤ II · dist(c)`. The binding quantity is the
+//! *maximum cycle ratio* `max_c lat(c) / dist(c)`; its ceiling is `recMII`.
+//!
+//! Feasibility of a candidate `II` is decided exactly in integer arithmetic
+//! with a Bellman–Ford positive-cycle test on edge weights
+//! `lat − II · dist`, and `recMII` is found by binary search over integers —
+//! no floating-point rounding can mis-classify a loop. The real-valued ratio
+//! (used to order recurrences by criticality and for diagnostics) is then
+//! refined by bisection.
+
+use std::cmp::Ordering;
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::ddg::{Ddg, OpId};
+
+/// A maximum cycle ratio: the real value (approximate) together with its
+/// exact integer ceiling.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CycleRatio {
+    value: f64,
+    ceil: u32,
+}
+
+impl CycleRatio {
+    /// The ratio as a float (bisected to ~1e-9 relative precision).
+    #[must_use]
+    pub fn value(self) -> f64 {
+        self.value
+    }
+
+    /// The exact smallest integer `II` admitting the critical cycle.
+    #[must_use]
+    pub fn ceil(self) -> u32 {
+        self.ceil
+    }
+}
+
+impl PartialOrd for CycleRatio {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        // Order primarily by the exact ceiling, breaking ties with the
+        // refined real value, so sorting never contradicts the exact part.
+        match self.ceil.cmp(&other.ceil) {
+            Ordering::Equal => self.value.partial_cmp(&other.value),
+            ord => Some(ord),
+        }
+    }
+}
+
+impl fmt::Display for CycleRatio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4} (ceil {})", self.value, self.ceil)
+    }
+}
+
+/// Internal compact edge representation over remapped node indices.
+struct SubGraph {
+    num_nodes: usize,
+    edges: Vec<(usize, usize, u32, u32)>, // (src, dst, latency, distance)
+}
+
+impl SubGraph {
+    fn whole(ddg: &Ddg) -> Self {
+        let edges = ddg
+            .edges()
+            .map(|e| (e.src().index(), e.dst().index(), e.latency(), e.distance()))
+            .collect();
+        Self { num_nodes: ddg.num_ops(), edges }
+    }
+
+    fn induced(ddg: &Ddg, members: &[OpId]) -> Self {
+        let remap: HashMap<OpId, usize> =
+            members.iter().enumerate().map(|(i, &op)| (op, i)).collect();
+        let mut edges = Vec::new();
+        for &op in members {
+            for e in ddg.succs(op) {
+                if let Some(&dst) = remap.get(&e.dst()) {
+                    edges.push((remap[&op], dst, e.latency(), e.distance()));
+                }
+            }
+        }
+        Self { num_nodes: members.len(), edges }
+    }
+
+    /// Exact test: does a cycle with `Σlat − ii · Σdist > 0` exist?
+    fn positive_cycle_at(&self, ii: i64) -> bool {
+        self.positive_cycle(|lat, dist| i128::from(lat) - i128::from(ii) * i128::from(dist))
+    }
+
+    /// Approximate test at a real ratio.
+    fn positive_cycle_at_real(&self, r: f64) -> bool {
+        // Scale to integers: weights lat*SCALE - round(r*SCALE)*dist keeps
+        // the test monotone in r while staying in exact arithmetic.
+        const SCALE: f64 = 1e9;
+        let rs = (r * SCALE).round() as i128;
+        self.positive_cycle(|lat, dist| {
+            i128::from(lat) * (SCALE as i128) - rs * i128::from(dist)
+        })
+    }
+
+    /// Bellman–Ford longest-path positive-cycle detection.
+    fn positive_cycle(&self, weight: impl Fn(u32, u32) -> i128) -> bool {
+        if self.num_nodes == 0 || self.edges.is_empty() {
+            return false;
+        }
+        // Longest-path potentials from a virtual source connected to every
+        // node with weight 0.
+        let mut dist = vec![0i128; self.num_nodes];
+        for _ in 0..self.num_nodes {
+            let mut changed = false;
+            for &(u, v, lat, d) in &self.edges {
+                let w = weight(lat, d);
+                if dist[u] + w > dist[v] {
+                    dist[v] = dist[u] + w;
+                    changed = true;
+                }
+            }
+            if !changed {
+                return false;
+            }
+        }
+        // Still relaxing after |V| passes ⇒ positive cycle.
+        let mut extra = false;
+        for &(u, v, lat, d) in &self.edges {
+            if dist[u] + weight(lat, d) > dist[v] {
+                extra = true;
+                break;
+            }
+        }
+        extra
+    }
+
+    fn total_latency(&self) -> i64 {
+        self.edges.iter().map(|&(_, _, lat, _)| i64::from(lat)).sum()
+    }
+
+    /// Smallest integer `ii ≥ 0` with no positive cycle, or `None` when even
+    /// `ii = Σlat` leaves one (i.e. a zero-distance cycle exists).
+    fn min_feasible_ii(&self) -> Option<u32> {
+        let hi = self.total_latency();
+        if self.positive_cycle_at(hi) {
+            return None;
+        }
+        let (mut lo, mut hi) = (0i64, hi);
+        // Invariant: infeasible below lo (when lo>0), feasible at hi.
+        if !self.positive_cycle_at(0) {
+            return Some(0);
+        }
+        while lo + 1 < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.positive_cycle_at(mid) {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Some(u32::try_from(hi).expect("II bounded by total latency which fits u32"))
+    }
+
+    /// Bisect the real maximum cycle ratio, given that a cycle exists.
+    fn max_ratio(&self) -> Option<CycleRatio> {
+        let ceil = self.min_feasible_ii()?;
+        if ceil == 0 {
+            // Feasible at 0: either acyclic or only non-positive cycles.
+            // Distinguish: a cycle exists iff relaxation at a very negative
+            // ratio... simpler: check for any cycle via the distance-weights
+            // trick — a cycle exists iff positive cycle on weights dist+lat+1.
+            let has_cycle = self.positive_cycle(|lat, d| i128::from(lat) + i128::from(d) + 1);
+            if !has_cycle {
+                return None;
+            }
+            return Some(CycleRatio { value: 0.0, ceil: 0 });
+        }
+        let (mut lo, mut hi) = (f64::from(ceil - 1), f64::from(ceil));
+        for _ in 0..60 {
+            let mid = 0.5 * (lo + hi);
+            if self.positive_cycle_at_real(mid) {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Some(CycleRatio { value: 0.5 * (lo + hi), ceil })
+    }
+}
+
+/// The maximum cycle ratio of the whole graph, or `None` if acyclic.
+///
+/// # Panics
+///
+/// Panics if the graph contains a zero-distance cycle (the ratio is
+/// unbounded); run [`Ddg::validate_schedulable`] first.
+#[must_use]
+pub fn max_cycle_ratio(ddg: &Ddg) -> Option<CycleRatio> {
+    let sub = SubGraph::whole(ddg);
+    if sub.min_feasible_ii().is_none() {
+        panic!("zero-distance cycle: maximum cycle ratio is unbounded");
+    }
+    sub.max_ratio()
+}
+
+/// The maximum cycle ratio of the subgraph induced by `members`, or `None`
+/// if that subgraph is acyclic.
+///
+/// # Panics
+///
+/// Panics if the induced subgraph contains a zero-distance cycle.
+#[must_use]
+pub fn max_cycle_ratio_in(ddg: &Ddg, members: &[OpId]) -> Option<CycleRatio> {
+    let sub = SubGraph::induced(ddg, members);
+    if sub.min_feasible_ii().is_none() {
+        panic!("zero-distance cycle: maximum cycle ratio is unbounded");
+    }
+    sub.max_ratio()
+}
+
+/// `recMII`: the smallest integer `II` compatible with every dependence
+/// cycle, or `None` when a zero-distance cycle makes the loop unschedulable.
+#[must_use]
+pub fn min_feasible_ii(ddg: &Ddg) -> Option<u32> {
+    SubGraph::whole(ddg).min_feasible_ii()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DdgBuilder;
+    use crate::op::OpClass;
+
+    fn ratio(g: &Ddg) -> CycleRatio {
+        max_cycle_ratio(g).expect("graph has a cycle")
+    }
+
+    #[test]
+    fn acyclic_has_no_ratio() {
+        let mut b = DdgBuilder::new("t");
+        let a = b.op("a", OpClass::IntArith);
+        let c = b.op("b", OpClass::IntArith);
+        b.dep(a, c, 5);
+        let g = b.build().unwrap();
+        assert!(max_cycle_ratio(&g).is_none());
+        assert_eq!(min_feasible_ii(&g), Some(0));
+    }
+
+    #[test]
+    fn simple_self_loop_ratio() {
+        let mut b = DdgBuilder::new("t");
+        let a = b.op("a", OpClass::IntArith);
+        b.dep_dist(a, a, 7, 2);
+        let g = b.build().unwrap();
+        let r = ratio(&g);
+        assert_eq!(r.ceil(), 4); // ceil(7/2)
+        assert!((r.value() - 3.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn figure4_recurrence() {
+        // Paper Figure 4: {A,B,C} with unit latencies, distance 1 → recMII 3.
+        let mut b = DdgBuilder::new("fig4");
+        let a = b.op("A", OpClass::IntArith);
+        let bb = b.op("B", OpClass::IntArith);
+        let c = b.op("C", OpClass::IntArith);
+        b.dep(a, bb, 1).dep(bb, c, 1).dep_dist(c, a, 1, 1);
+        let g = b.build().unwrap();
+        let r = ratio(&g);
+        assert_eq!(r.ceil(), 3);
+        assert!((r.value() - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn max_over_multiple_cycles() {
+        let mut b = DdgBuilder::new("t");
+        // Cycle 1: ratio 2/1 = 2. Cycle 2: ratio 9/4 = 2.25 → recMII 3.
+        let a = b.op("a", OpClass::IntArith);
+        let c = b.op("b", OpClass::IntArith);
+        b.dep(a, c, 1).dep_dist(c, a, 1, 1);
+        let d = b.op("c", OpClass::IntArith);
+        b.dep_dist(d, d, 9, 4);
+        let g = b.build().unwrap();
+        let r = ratio(&g);
+        assert_eq!(r.ceil(), 3);
+        assert!((r.value() - 2.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn induced_subgraph_ignores_outside_cycles() {
+        let mut b = DdgBuilder::new("t");
+        let a = b.op("a", OpClass::IntArith);
+        let c = b.op("b", OpClass::IntArith);
+        b.dep(a, c, 1).dep_dist(c, a, 1, 1); // cycle {a,b}, ratio 2
+        let d = b.op("c", OpClass::IntArith);
+        b.dep_dist(d, d, 10, 1); // self-cycle ratio 10
+        let g = b.build().unwrap();
+        let r = max_cycle_ratio_in(&g, &[OpId(0), OpId(1)]).unwrap();
+        assert_eq!(r.ceil(), 2);
+        assert!(max_cycle_ratio_in(&g, &[OpId(0)]).is_none());
+    }
+
+    #[test]
+    fn zero_latency_cycle_gives_zero_ratio() {
+        let mut b = DdgBuilder::new("t");
+        let a = b.op("a", OpClass::IntArith);
+        b.dep_dist(a, a, 0, 3);
+        let g = b.build().unwrap();
+        let r = ratio(&g);
+        assert_eq!(r.ceil(), 0);
+        assert_eq!(r.value(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-distance cycle")]
+    fn zero_distance_cycle_panics() {
+        let mut b = DdgBuilder::new("t");
+        let a = b.op("a", OpClass::IntArith);
+        let c = b.op("b", OpClass::IntArith);
+        b.dep(a, c, 1).dep(c, a, 1);
+        let g = b.build().unwrap();
+        let _ = max_cycle_ratio(&g);
+    }
+
+    #[test]
+    fn ordering_follows_ceiling_then_value() {
+        let a = CycleRatio { value: 2.25, ceil: 3 };
+        let b = CycleRatio { value: 3.0, ceil: 3 };
+        let c = CycleRatio { value: 1.0, ceil: 1 };
+        assert!(a < b);
+        assert!(c < a);
+        assert!(!a.to_string().is_empty());
+    }
+
+    #[test]
+    fn long_cycle_exact_ceiling() {
+        // 25 fp-arith ops (latency 3) around a distance-4 cycle:
+        // ratio = 75/4 = 18.75 → ceil 19.
+        let mut b = DdgBuilder::new("t");
+        let ids: Vec<_> = (0..25).map(|i| b.op(format!("n{i}"), OpClass::FpArith)).collect();
+        for w in ids.windows(2) {
+            b.dep(w[0], w[1], 3);
+        }
+        b.dep_dist(*ids.last().unwrap(), ids[0], 3, 4);
+        let g = b.build().unwrap();
+        let r = ratio(&g);
+        assert_eq!(r.ceil(), 19);
+        assert!((r.value() - 18.75).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,308 @@
+//! Strongly connected components and recurrence extraction.
+//!
+//! In modulo scheduling, *recurrences* — dependence cycles spanning one or
+//! more iterations — bound the initiation interval from below and drive the
+//! heterogeneous partitioner's pre-placement pass (paper §4.1.1). Every
+//! dependence cycle lives inside one strongly connected component of the
+//! DDG, so we treat each non-trivial SCC as a recurrence unit: it must not
+//! be split across clusters during coarsening.
+
+use crate::ddg::{Ddg, OpId};
+use crate::ratio::{max_cycle_ratio_in, CycleRatio};
+
+/// Identifier of a strongly connected component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SccId(pub u32);
+
+impl SccId {
+    /// The component's dense index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The strongly connected components of a DDG, computed with Tarjan's
+/// algorithm (iterative, so deep graphs cannot overflow the stack).
+#[derive(Debug, Clone)]
+pub struct StronglyConnectedComponents {
+    /// `membership[op] = scc` for every operation.
+    membership: Vec<SccId>,
+    /// Members of each component, in discovery order.
+    components: Vec<Vec<OpId>>,
+}
+
+impl StronglyConnectedComponents {
+    /// Computes the SCCs of `ddg`.
+    #[must_use]
+    pub fn compute(ddg: &Ddg) -> Self {
+        let n = ddg.num_ops();
+        let mut index = vec![usize::MAX; n];
+        let mut lowlink = vec![usize::MAX; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut membership = vec![SccId(u32::MAX); n];
+        let mut components: Vec<Vec<OpId>> = Vec::new();
+        let mut next_index = 0usize;
+
+        // Explicit DFS state: (node, iterator position over successors).
+        enum Frame {
+            Enter(usize),
+            Resume(usize, usize),
+        }
+        for root in 0..n {
+            if index[root] != usize::MAX {
+                continue;
+            }
+            let mut frames = vec![Frame::Enter(root)];
+            while let Some(frame) = frames.pop() {
+                match frame {
+                    Frame::Enter(v) => {
+                        index[v] = next_index;
+                        lowlink[v] = next_index;
+                        next_index += 1;
+                        stack.push(v);
+                        on_stack[v] = true;
+                        frames.push(Frame::Resume(v, 0));
+                    }
+                    Frame::Resume(v, mut ei) => {
+                        let succs: Vec<usize> =
+                            ddg.succs(OpId(v as u32)).map(|e| e.dst().index()).collect();
+                        let mut descended = false;
+                        while ei < succs.len() {
+                            let w = succs[ei];
+                            ei += 1;
+                            if index[w] == usize::MAX {
+                                frames.push(Frame::Resume(v, ei));
+                                frames.push(Frame::Enter(w));
+                                descended = true;
+                                break;
+                            } else if on_stack[w] {
+                                lowlink[v] = lowlink[v].min(index[w]);
+                            }
+                        }
+                        if descended {
+                            continue;
+                        }
+                        if lowlink[v] == index[v] {
+                            let scc = SccId(components.len() as u32);
+                            let mut members = Vec::new();
+                            loop {
+                                let w = stack.pop().expect("tarjan stack underflow");
+                                on_stack[w] = false;
+                                membership[w] = scc;
+                                members.push(OpId(w as u32));
+                                if w == v {
+                                    break;
+                                }
+                            }
+                            members.reverse();
+                            components.push(members);
+                        }
+                        // Propagate lowlink to parent, if any.
+                        if let Some(Frame::Resume(p, _)) = frames.last() {
+                            let p = *p;
+                            lowlink[p] = lowlink[p].min(lowlink[v]);
+                        }
+                    }
+                }
+            }
+        }
+        Self { membership, components }
+    }
+
+    /// Number of components.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Whether the graph had no operations.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// The component containing operation `op`.
+    #[must_use]
+    pub fn component_of(&self, op: OpId) -> SccId {
+        self.membership[op.index()]
+    }
+
+    /// Members of component `scc`.
+    #[must_use]
+    pub fn members(&self, scc: SccId) -> &[OpId] {
+        &self.components[scc.index()]
+    }
+
+    /// Iterate over `(SccId, members)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (SccId, &[OpId])> + '_ {
+        self.components
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (SccId(i as u32), m.as_slice()))
+    }
+
+    /// Extracts the non-trivial recurrences of `ddg`: one [`Recurrence`] per
+    /// SCC that contains a dependence cycle, with its critical cycle ratio.
+    ///
+    /// Single-node components count only if the node has a (carried)
+    /// self-edge.
+    #[must_use]
+    pub fn recurrences(&self, ddg: &Ddg) -> Vec<Recurrence> {
+        let mut out = Vec::new();
+        for (scc, members) in self.iter() {
+            let cyclic = members.len() > 1
+                || ddg
+                    .succs(members[0])
+                    .any(|e| e.dst() == members[0]);
+            if !cyclic {
+                continue;
+            }
+            let ratio = max_cycle_ratio_in(ddg, members)
+                .expect("SCC marked cyclic must contain a cycle");
+            out.push(Recurrence { scc, ops: members.to_vec(), critical_ratio: ratio });
+        }
+        // Most critical first (paper §4.1.1 orders by criticality).
+        out.sort_by(|a, b| {
+            b.critical_ratio
+                .partial_cmp(&a.critical_ratio)
+                .expect("cycle ratios are finite")
+        });
+        out
+    }
+}
+
+/// A recurrence: the operations of one cyclic SCC plus the critical cycle
+/// ratio (`total latency / total distance`, maximized over the SCC's
+/// cycles).
+///
+/// `ceil(critical_ratio)` cycles is the tightest `II` this recurrence admits
+/// on a cluster running at the reference frequency; multiplied by a cluster's
+/// cycle time it yields the recurrence's contribution to `recMIT`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recurrence {
+    /// The SCC this recurrence corresponds to.
+    pub scc: SccId,
+    /// Operations on the recurrence (all members of the SCC).
+    pub ops: Vec<OpId>,
+    /// Maximum `latency/distance` ratio over the SCC's cycles.
+    pub critical_ratio: CycleRatio,
+}
+
+impl Recurrence {
+    /// The smallest integer `II` (in cycles) at which this recurrence can be
+    /// scheduled on a single cluster.
+    #[must_use]
+    pub fn min_ii(&self) -> u32 {
+        self.critical_ratio.ceil()
+    }
+}
+
+/// Returns, for each operation, the SCC it belongs to, plus the component
+/// list — convenience wrapper over
+/// [`StronglyConnectedComponents::compute`].
+#[must_use]
+pub fn condensation(ddg: &Ddg) -> StronglyConnectedComponents {
+    StronglyConnectedComponents::compute(ddg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DdgBuilder;
+    use crate::op::OpClass;
+
+    #[test]
+    fn chain_has_singleton_components() {
+        let mut b = DdgBuilder::new("chain");
+        let a = b.op("a", OpClass::IntArith);
+        let c = b.op("b", OpClass::IntArith);
+        let d = b.op("c", OpClass::IntArith);
+        b.dep(a, c, 1).dep(c, d, 1);
+        let g = b.build().unwrap();
+        let sccs = condensation(&g);
+        assert_eq!(sccs.len(), 3);
+        assert!(sccs.recurrences(&g).is_empty());
+    }
+
+    #[test]
+    fn cycle_is_one_component() {
+        let mut b = DdgBuilder::new("cyc");
+        let a = b.op("a", OpClass::IntArith);
+        let c = b.op("b", OpClass::IntArith);
+        let d = b.op("c", OpClass::IntArith);
+        let e = b.op("d", OpClass::IntArith);
+        b.dep(a, c, 1).dep(c, d, 1).dep_dist(d, a, 1, 1).dep(d, e, 1);
+        let g = b.build().unwrap();
+        let sccs = condensation(&g);
+        assert_eq!(sccs.len(), 2);
+        assert_eq!(sccs.component_of(a), sccs.component_of(c));
+        assert_eq!(sccs.component_of(a), sccs.component_of(d));
+        assert_ne!(sccs.component_of(a), sccs.component_of(e));
+        let recs = sccs.recurrences(&g);
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].ops.len(), 3);
+        assert_eq!(recs[0].min_ii(), 3);
+    }
+
+    #[test]
+    fn self_loop_is_a_recurrence() {
+        let mut b = DdgBuilder::new("self");
+        let a = b.op("acc", OpClass::FpArith);
+        b.flow_carried(a, a, 1);
+        let g = b.build().unwrap();
+        let recs = condensation(&g).recurrences(&g);
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].min_ii(), 3);
+    }
+
+    #[test]
+    fn recurrences_sorted_most_critical_first() {
+        let mut b = DdgBuilder::new("two-recs");
+        // Light recurrence: 1-cycle latency, distance 1 → ratio 1.
+        let a = b.op("a", OpClass::IntArith);
+        b.flow_carried(a, a, 1);
+        // Heavy recurrence: fp divide self-loop → ratio 18.
+        let d = b.op("d", OpClass::FpDiv);
+        b.flow_carried(d, d, 1);
+        let g = b.build().unwrap();
+        let recs = condensation(&g).recurrences(&g);
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].min_ii(), 18);
+        assert_eq!(recs[1].min_ii(), 1);
+    }
+
+    #[test]
+    fn two_entangled_cycles_form_one_scc() {
+        let mut b = DdgBuilder::new("theta");
+        let a = b.op("a", OpClass::IntArith);
+        let c = b.op("b", OpClass::IntArith);
+        let d = b.op("c", OpClass::IntArith);
+        b.dep(a, c, 1);
+        b.dep_dist(c, a, 1, 1);
+        b.dep(c, d, 1);
+        b.dep_dist(d, c, 1, 2);
+        let g = b.build().unwrap();
+        let sccs = condensation(&g);
+        assert_eq!(sccs.len(), 1);
+        let recs = sccs.recurrences(&g);
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].ops.len(), 3);
+        // Critical cycle is a↔b: latency 2 / distance 1 = 2 vs b↔c: 2/2 = 1.
+        assert_eq!(recs[0].min_ii(), 2);
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow_stack() {
+        let mut b = DdgBuilder::new("deep");
+        let n = 100_000;
+        let ids: Vec<_> = (0..n).map(|i| b.op(format!("n{i}"), OpClass::IntArith)).collect();
+        for w in ids.windows(2) {
+            b.dep(w[0], w[1], 1);
+        }
+        let g = b.build().unwrap();
+        let sccs = condensation(&g);
+        assert_eq!(sccs.len(), n);
+    }
+}

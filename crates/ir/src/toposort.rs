@@ -1,0 +1,120 @@
+//! Topological ordering over the acyclic part of a DDG.
+//!
+//! Modulo schedulers process operations in an order compatible with the
+//! same-iteration (distance-0) dependences; loop-carried edges may point
+//! "backwards" and are ignored here. The distance-0 subgraph of a
+//! schedulable DDG is a DAG ([`crate::Ddg::validate_schedulable`]).
+
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+
+use crate::ddg::{Ddg, OpId};
+
+/// Error returned when the distance-0 subgraph is cyclic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopoError {
+    /// Name of an operation on the zero-distance cycle.
+    pub op: String,
+}
+
+impl fmt::Display for TopoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "zero-distance dependence cycle through `{}`", self.op)
+    }
+}
+
+impl Error for TopoError {}
+
+/// Kahn topological sort over distance-0 edges.
+///
+/// Ties are broken by operation id, so the order is deterministic.
+///
+/// # Errors
+///
+/// Returns [`TopoError`] if the distance-0 subgraph contains a cycle.
+pub fn topological_order(ddg: &Ddg) -> Result<Vec<OpId>, TopoError> {
+    let n = ddg.num_ops();
+    let mut indeg = vec![0usize; n];
+    for e in ddg.edges() {
+        if e.distance() == 0 {
+            indeg[e.dst().index()] += 1;
+        }
+    }
+    let mut queue: VecDeque<usize> =
+        (0..n).filter(|&v| indeg[v] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(v) = queue.pop_front() {
+        order.push(OpId(v as u32));
+        for e in ddg.succs(OpId(v as u32)) {
+            if e.distance() == 0 {
+                let w = e.dst().index();
+                indeg[w] -= 1;
+                if indeg[w] == 0 {
+                    queue.push_back(w);
+                }
+            }
+        }
+    }
+    if order.len() != n {
+        let stuck = (0..n)
+            .find(|&v| indeg[v] > 0)
+            .expect("some node must have positive in-degree");
+        return Err(TopoError { op: ddg.op(OpId(stuck as u32)).name().to_owned() });
+    }
+    Ok(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DdgBuilder;
+    use crate::op::OpClass;
+
+    #[test]
+    fn respects_distance_zero_edges() {
+        let mut b = DdgBuilder::new("t");
+        let a = b.op("a", OpClass::IntArith);
+        let c = b.op("b", OpClass::IntArith);
+        let d = b.op("c", OpClass::IntArith);
+        b.dep(d, c, 1).dep(c, a, 1);
+        let g = b.build().unwrap();
+        let order = topological_order(&g).unwrap();
+        let pos =
+            |id: OpId| order.iter().position(|&x| x == id).unwrap();
+        assert!(pos(d) < pos(c));
+        assert!(pos(c) < pos(a));
+    }
+
+    #[test]
+    fn carried_back_edges_are_ignored() {
+        let mut b = DdgBuilder::new("t");
+        let a = b.op("a", OpClass::IntArith);
+        let c = b.op("b", OpClass::IntArith);
+        b.dep(a, c, 1).dep_dist(c, a, 1, 1);
+        let g = b.build().unwrap();
+        assert_eq!(topological_order(&g).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn zero_distance_cycle_is_an_error() {
+        let mut b = DdgBuilder::new("t");
+        let a = b.op("a", OpClass::IntArith);
+        let c = b.op("b", OpClass::IntArith);
+        b.dep(a, c, 1).dep(c, a, 1);
+        let g = b.build().unwrap();
+        let err = topological_order(&g).unwrap_err();
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        let mut b = DdgBuilder::new("t");
+        for i in 0..8 {
+            b.op(format!("n{i}"), OpClass::IntArith);
+        }
+        let g = b.build().unwrap();
+        let order = topological_order(&g).unwrap();
+        assert_eq!(order, (0..8).map(OpId).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,66 @@
+//! Machine description for heterogeneous clustered VLIW processors.
+//!
+//! Models the microarchitecture of the CGO 2007 paper *"Heterogeneous
+//! Clustered VLIW Microarchitectures"* (§2.1, §5): a statically scheduled
+//! processor whose resources are split into clusters (each with its own
+//! functional units, memory port and register file), an inter-cluster
+//! register-bus network, and a shared on-chip memory hierarchy — organised
+//! as a multi-clock-domain (MCD) design where every cluster, the
+//! interconnect and the cache can run at a different frequency and voltage.
+//!
+//! The crate provides:
+//!
+//! * exact integer time arithmetic ([`Time`], femtosecond resolution) so
+//!   `II = IT / T_cyc` relations never suffer floating-point drift;
+//! * the resource description ([`ClusterDesign`], [`MachineDesign`]) of the
+//!   paper's evaluation machine (4 clusters × 1 int FU / 1 fp FU / 1 memory
+//!   port / 16 registers, 1 or 2 buses);
+//! * per-component clocking ([`ClockedConfig`], [`DomainId`]) with the MCD
+//!   synchronisation-queue penalty of Figure 2;
+//! * discrete frequency menus ([`FrequencyMenu`]) modelling the
+//!   multiplier/divider clock-generation network, used by the Figure 7
+//!   sensitivity study.
+//!
+//! # Example
+//!
+//! ```
+//! use vliw_machine::{ClockedConfig, MachineDesign, Time};
+//!
+//! let design = MachineDesign::paper_machine(1); // 4 clusters, 1 bus
+//! let reference = ClockedConfig::reference(design);
+//! assert!(reference.is_homogeneous());
+//! assert_eq!(reference.cluster_cycle(0.into()), Time::from_ns(1.0));
+//!
+//! // One fast cluster at 0.9 ns, three slow ones at 1.2 ns.
+//! let hetero = ClockedConfig::heterogeneous(
+//!     design,
+//!     Time::from_ns(0.9),
+//!     1,
+//!     Time::from_ns(1.2),
+//! );
+//! assert!(!hetero.is_homogeneous());
+//! assert_eq!(hetero.fastest_cluster_cycle(), Time::from_ns(0.9));
+//! // ICN and cache follow the fastest cluster (paper §5).
+//! assert_eq!(hetero.icn_cycle(), Time::from_ns(0.9));
+//! assert_eq!(hetero.cache_cycle(), Time::from_ns(0.9));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod clocking;
+mod config;
+mod design;
+mod time;
+
+pub use clocking::{effective_cycle_ns, FrequencyMenu, MenuKind};
+pub use config::{ClockedConfig, DomainId, Voltages};
+pub use design::{ClusterDesign, ClusterId, MachineDesign};
+pub use time::Time;
+
+/// Re-export of the shared Table 1 ISA description (latency and relative
+/// energy per operation class) that lives in [`vliw_ir`].
+pub mod isa {
+    pub use vliw_ir::{FuKind, OpClass};
+}

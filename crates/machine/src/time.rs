@@ -1,0 +1,267 @@
+//! Exact integer time arithmetic.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Sub};
+
+/// A duration with femtosecond resolution, stored as an integer.
+///
+/// Heterogeneous modulo scheduling constantly relates wall-clock quantities
+/// (the initiation time `IT`, cycle times) through exact equalities like
+/// `IT = II · T_cyc`. Representing time as `u64` femtoseconds makes the
+/// "does component X synchronise at this IT?" test an exact divisibility
+/// check instead of a floating-point tolerance.
+///
+/// One nanosecond is `1_000_000` femtoseconds, so a `u64` spans ~5 hours:
+/// far more than any loop schedule needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Time(u64);
+
+impl Time {
+    /// The zero duration.
+    pub const ZERO: Time = Time(0);
+
+    /// Femtoseconds per nanosecond.
+    pub const FS_PER_NS: u64 = 1_000_000;
+
+    /// Constructs from integer femtoseconds.
+    #[must_use]
+    pub const fn from_fs(fs: u64) -> Self {
+        Time(fs)
+    }
+
+    /// Constructs from (possibly fractional) nanoseconds, rounding to the
+    /// nearest femtosecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ns` is negative, NaN, or too large for the representation.
+    #[must_use]
+    pub fn from_ns(ns: f64) -> Self {
+        assert!(ns.is_finite() && ns >= 0.0, "time must be finite and non-negative: {ns}");
+        let fs = (ns * Self::FS_PER_NS as f64).round();
+        assert!(fs <= u64::MAX as f64, "time out of range: {ns} ns");
+        Time(fs as u64)
+    }
+
+    /// The duration in femtoseconds.
+    #[must_use]
+    pub const fn as_fs(self) -> u64 {
+        self.0
+    }
+
+    /// The duration in nanoseconds (lossy only beyond 2^53 fs).
+    #[must_use]
+    pub fn as_ns(self) -> f64 {
+        self.0 as f64 / Self::FS_PER_NS as f64
+    }
+
+    /// The duration in seconds.
+    #[must_use]
+    pub fn as_secs(self) -> f64 {
+        self.as_ns() * 1e-9
+    }
+
+    /// Whether this duration is zero.
+    #[must_use]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// `self / cycle`, rounded down: how many full cycles of length `cycle`
+    /// fit in `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycle` is zero.
+    #[must_use]
+    pub fn div_floor(self, cycle: Time) -> u64 {
+        assert!(!cycle.is_zero(), "division by zero-length cycle");
+        self.0 / cycle.0
+    }
+
+    /// `self / cycle`, rounded up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycle` is zero.
+    #[must_use]
+    pub fn div_ceil(self, cycle: Time) -> u64 {
+        assert!(!cycle.is_zero(), "division by zero-length cycle");
+        self.0.div_ceil(cycle.0)
+    }
+
+    /// Whether `self` is an exact multiple of `cycle` — the synchronisation
+    /// condition `IT = II · T_cyc` for some integer `II`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycle` is zero.
+    #[must_use]
+    pub fn is_multiple_of(self, cycle: Time) -> bool {
+        assert!(!cycle.is_zero(), "division by zero-length cycle");
+        self.0.is_multiple_of(cycle.0)
+    }
+
+    /// The smallest multiple of `cycle` that is `>= self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycle` is zero.
+    #[must_use]
+    pub fn round_up_to(self, cycle: Time) -> Time {
+        Time(self.div_ceil(cycle) * cycle.0)
+    }
+
+    /// Saturating subtraction.
+    #[must_use]
+    pub fn saturating_sub(self, rhs: Time) -> Time {
+        Time(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Frequency in GHz corresponding to this cycle time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the duration is zero.
+    #[must_use]
+    pub fn freq_ghz(self) -> f64 {
+        assert!(!self.is_zero(), "zero cycle time has no frequency");
+        1.0 / self.as_ns()
+    }
+}
+
+impl Add for Time {
+    type Output = Time;
+    fn add(self, rhs: Time) -> Time {
+        Time(self.0.checked_add(rhs.0).expect("time overflow"))
+    }
+}
+
+impl AddAssign for Time {
+    fn add_assign(&mut self, rhs: Time) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Time {
+    type Output = Time;
+    fn sub(self, rhs: Time) -> Time {
+        Time(self.0.checked_sub(rhs.0).expect("time underflow"))
+    }
+}
+
+impl Mul<u64> for Time {
+    type Output = Time;
+    fn mul(self, rhs: u64) -> Time {
+        Time(self.0.checked_mul(rhs).expect("time overflow"))
+    }
+}
+
+impl Mul<Time> for u64 {
+    type Output = Time;
+    fn mul(self, rhs: Time) -> Time {
+        rhs * self
+    }
+}
+
+impl Sum for Time {
+    fn sum<I: Iterator<Item = Time>>(iter: I) -> Time {
+        iter.fold(Time::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6} ns", self.as_ns())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn ns_round_trip() {
+        assert_eq!(Time::from_ns(1.0).as_fs(), 1_000_000);
+        assert_eq!(Time::from_ns(0.9).as_fs(), 900_000);
+        assert_eq!(Time::from_ns(1.5).as_ns(), 1.5);
+        assert_eq!(Time::from_ns(3.333).as_fs(), 3_333_000);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Time::from_ns(1.0);
+        let b = Time::from_ns(0.5);
+        assert_eq!(a + b, Time::from_ns(1.5));
+        assert_eq!(a - b, b);
+        assert_eq!(a * 3, Time::from_ns(3.0));
+        assert_eq!(3 * a, Time::from_ns(3.0));
+        assert_eq!([a, b, b].into_iter().sum::<Time>(), Time::from_ns(2.0));
+    }
+
+    #[test]
+    fn divisibility_is_exact() {
+        // Figure 3 of the paper: IT = 3 ns, clusters at 1 ns and 1.5 ns.
+        let it = Time::from_ns(3.0);
+        let c1 = Time::from_ns(1.0);
+        let c2 = Time::from_ns(1.5);
+        assert!(it.is_multiple_of(c1));
+        assert!(it.is_multiple_of(c2));
+        assert_eq!(it.div_floor(c1), 3); // II for cluster 1
+        assert_eq!(it.div_floor(c2), 2); // II for cluster 2
+    }
+
+    #[test]
+    fn round_up_to_cycle() {
+        let c = Time::from_ns(1.5);
+        assert_eq!(Time::from_ns(3.1).round_up_to(c), Time::from_ns(4.5));
+        assert_eq!(Time::from_ns(3.0).round_up_to(c), Time::from_ns(3.0));
+    }
+
+    #[test]
+    fn freq_conversion() {
+        assert!((Time::from_ns(1.0).freq_ghz() - 1.0).abs() < 1e-12);
+        assert!((Time::from_ns(0.5).freq_ghz() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn subtraction_underflow_panics() {
+        let _ = Time::from_ns(1.0) - Time::from_ns(2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_ns_panics() {
+        let _ = Time::from_ns(-0.5);
+    }
+
+    #[test]
+    fn display_shows_ns() {
+        assert_eq!(Time::from_ns(1.25).to_string(), "1.250000 ns");
+    }
+
+    proptest! {
+        #[test]
+        fn round_up_is_smallest_multiple(t in 0u64..10_000_000, c in 1u64..5_000_000) {
+            let t = Time::from_fs(t);
+            let c = Time::from_fs(c);
+            let r = t.round_up_to(c);
+            prop_assert!(r >= t);
+            prop_assert!(r.is_multiple_of(c));
+            prop_assert!(r.as_fs() < t.as_fs() + c.as_fs());
+        }
+
+        #[test]
+        fn div_floor_ceil_consistent(t in 0u64..10_000_000, c in 1u64..5_000_000) {
+            let t = Time::from_fs(t);
+            let c = Time::from_fs(c);
+            let fl = t.div_floor(c);
+            let ce = t.div_ceil(c);
+            prop_assert!(ce == fl || ce == fl + 1);
+            prop_assert_eq!(ce == fl, t.is_multiple_of(c));
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! Calibration of per-event energy units from the reference homogeneous
+//! machine (§3.1 of the paper).
+
+use vliw_machine::{MachineDesign, Time};
+
+/// Aggregate profile of one program (or loop suite) executing on the
+/// reference homogeneous machine.
+///
+/// `weighted_ins` counts executed instructions weighted by their Table 1
+/// relative energy ("integer-add units"), which realises the paper's
+/// "divide the instructions into classes and assign the appropriate energy"
+/// refinement while keeping a single unit energy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReferenceProfile {
+    /// Executed instructions, weighted by relative energy (add-units).
+    pub weighted_ins: f64,
+    /// Inter-cluster communications (bus transfers).
+    pub comms: u64,
+    /// Memory-hierarchy accesses.
+    pub mem_accesses: u64,
+    /// Total execution time on the reference machine.
+    pub exec_time: Time,
+}
+
+impl ReferenceProfile {
+    /// Validates the profile: a reference run executed work in finite time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weighted_ins` is not positive/finite or `exec_time` is
+    /// zero.
+    pub fn validate(&self) {
+        assert!(
+            self.weighted_ins.is_finite() && self.weighted_ins > 0.0,
+            "reference run must execute instructions"
+        );
+        assert!(!self.exec_time.is_zero(), "reference run must take time");
+    }
+}
+
+/// How the reference machine's total energy splits across components
+/// (§5 of the paper).
+///
+/// `icn` and `cache` are fractions of *total* energy; the cluster share is
+/// the remainder. The three `leak_*` fields give the *static* fraction
+/// within each component's energy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyShares {
+    /// Fraction of total energy consumed by the interconnect.
+    pub icn: f64,
+    /// Fraction of total energy consumed by the memory hierarchy.
+    pub cache: f64,
+    /// Leakage fraction of cluster energy.
+    pub leak_cluster: f64,
+    /// Leakage fraction of ICN energy.
+    pub leak_icn: f64,
+    /// Leakage fraction of cache energy.
+    pub leak_cache: f64,
+}
+
+impl EnergyShares {
+    /// The paper's baseline: one third of energy in the memory hierarchy,
+    /// 10 % in the interconnect; leakage is one third of cluster energy,
+    /// 10 % of ICN energy (bus usage is very high) and two thirds of cache
+    /// energy.
+    pub const PAPER: EnergyShares = EnergyShares {
+        icn: 0.10,
+        cache: 1.0 / 3.0,
+        leak_cluster: 1.0 / 3.0,
+        leak_icn: 0.10,
+        leak_cache: 2.0 / 3.0,
+    };
+
+    /// Builds shares with explicit ICN/cache totals (Figure 8's sweep).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shares are out of `[0, 1)` or sum to 1 or more.
+    #[must_use]
+    pub fn with_component_shares(icn: f64, cache: f64) -> Self {
+        EnergyShares { icn, cache, ..Self::PAPER }.validated()
+    }
+
+    /// Builds shares with explicit leakage fractions (Figure 9's sweep).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any fraction is outside `[0, 1]`.
+    #[must_use]
+    pub fn with_leakage(leak_cluster: f64, leak_icn: f64, leak_cache: f64) -> Self {
+        EnergyShares { leak_cluster, leak_icn, leak_cache, ..Self::PAPER }.validated()
+    }
+
+    /// Fraction of total energy consumed by the clusters.
+    #[must_use]
+    pub fn cluster(&self) -> f64 {
+        1.0 - self.icn - self.cache
+    }
+
+    fn validated(self) -> Self {
+        let frac = |v: f64| v.is_finite() && (0.0..=1.0).contains(&v);
+        assert!(frac(self.icn) && frac(self.cache), "component shares must be in [0,1]");
+        assert!(self.icn + self.cache < 1.0, "cluster share must remain positive");
+        assert!(
+            frac(self.leak_cluster) && frac(self.leak_icn) && frac(self.leak_cache),
+            "leakage fractions must be in [0,1]"
+        );
+        self
+    }
+}
+
+impl Default for EnergyShares {
+    fn default() -> Self {
+        Self::PAPER
+    }
+}
+
+/// Per-event and per-second unit energies calibrated so that the reference
+/// run consumes exactly **1 unit of total energy** (all estimates are
+/// therefore directly comparable ratios, as in the paper's figures).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyUnits {
+    /// Dynamic energy of one add-unit of weighted instructions.
+    pub e_ins: f64,
+    /// Dynamic energy of one bus communication.
+    pub e_comm: f64,
+    /// Dynamic energy of one cache access.
+    pub e_access: f64,
+    /// Static energy per second of *one* cluster at reference voltage.
+    pub e_static_cluster_per_s: f64,
+    /// Static energy per second of the ICN at reference voltage.
+    pub e_static_icn_per_s: f64,
+    /// Static energy per second of the cache at reference voltage.
+    pub e_static_cache_per_s: f64,
+}
+
+impl EnergyUnits {
+    /// Calibrates unit energies from a reference profile and the energy
+    /// shares.
+    ///
+    /// If the profile contains zero communications or memory accesses, the
+    /// corresponding dynamic share is folded into leakage of that component
+    /// (the component still burns its share; it just has no per-event
+    /// carrier), keeping total energy exactly 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile is invalid (see
+    /// [`ReferenceProfile::validate`]).
+    #[must_use]
+    pub fn calibrate(
+        design: MachineDesign,
+        shares: EnergyShares,
+        profile: &ReferenceProfile,
+    ) -> Self {
+        profile.validate();
+        let secs = profile.exec_time.as_secs();
+        let cluster_total = shares.cluster();
+        let icn_total = shares.icn;
+        let cache_total = shares.cache;
+
+        let cluster_dynamic = cluster_total * (1.0 - shares.leak_cluster);
+        let cluster_static = cluster_total * shares.leak_cluster;
+        let e_ins = cluster_dynamic / profile.weighted_ins;
+        let e_static_cluster_per_s =
+            cluster_static / secs / f64::from(design.num_clusters);
+
+        let (e_comm, icn_static) = if profile.comms > 0 {
+            (icn_total * (1.0 - shares.leak_icn) / profile.comms as f64, icn_total * shares.leak_icn)
+        } else {
+            (0.0, icn_total)
+        };
+        let e_static_icn_per_s = icn_static / secs;
+
+        let (e_access, cache_static) = if profile.mem_accesses > 0 {
+            (
+                cache_total * (1.0 - shares.leak_cache) / profile.mem_accesses as f64,
+                cache_total * shares.leak_cache,
+            )
+        } else {
+            (0.0, cache_total)
+        };
+        let e_static_cache_per_s = cache_static / secs;
+
+        EnergyUnits {
+            e_ins,
+            e_comm,
+            e_access,
+            e_static_cluster_per_s,
+            e_static_icn_per_s,
+            e_static_cache_per_s,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> ReferenceProfile {
+        ReferenceProfile {
+            weighted_ins: 1000.0,
+            comms: 100,
+            mem_accesses: 250,
+            exec_time: Time::from_ns(2000.0),
+        }
+    }
+
+    #[test]
+    fn paper_shares() {
+        let s = EnergyShares::PAPER;
+        assert!((s.cluster() - (1.0 - 0.1 - 1.0 / 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn calibration_reconstructs_unit_total() {
+        let design = MachineDesign::paper_machine(1);
+        let p = profile();
+        let u = EnergyUnits::calibrate(design, EnergyShares::PAPER, &p);
+        let secs = p.exec_time.as_secs();
+        let total = u.e_ins * p.weighted_ins
+            + u.e_comm * p.comms as f64
+            + u.e_access * p.mem_accesses as f64
+            + secs
+                * (u.e_static_cluster_per_s * 4.0
+                    + u.e_static_icn_per_s
+                    + u.e_static_cache_per_s);
+        assert!((total - 1.0).abs() < 1e-12, "total = {total}");
+    }
+
+    #[test]
+    fn shares_are_respected() {
+        let design = MachineDesign::paper_machine(1);
+        let p = profile();
+        let u = EnergyUnits::calibrate(design, EnergyShares::PAPER, &p);
+        let secs = p.exec_time.as_secs();
+        let cache = u.e_access * p.mem_accesses as f64 + secs * u.e_static_cache_per_s;
+        assert!((cache - 1.0 / 3.0).abs() < 1e-12);
+        let icn = u.e_comm * p.comms as f64 + secs * u.e_static_icn_per_s;
+        assert!((icn - 0.1).abs() < 1e-12);
+        // Leakage split inside the cache: two thirds static.
+        assert!((secs * u.e_static_cache_per_s - (1.0 / 3.0) * (2.0 / 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_comms_fold_into_leakage() {
+        let design = MachineDesign::paper_machine(1);
+        let p = ReferenceProfile { comms: 0, ..profile() };
+        let u = EnergyUnits::calibrate(design, EnergyShares::PAPER, &p);
+        assert_eq!(u.e_comm, 0.0);
+        let secs = p.exec_time.as_secs();
+        assert!((secs * u.e_static_icn_per_s - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn figure8_constructor() {
+        let s = EnergyShares::with_component_shares(0.2, 0.3);
+        assert!((s.cluster() - 0.5).abs() < 1e-12);
+        assert_eq!(s.leak_cache, EnergyShares::PAPER.leak_cache);
+    }
+
+    #[test]
+    fn figure9_constructor() {
+        let s = EnergyShares::with_leakage(0.4, 0.15, 0.7);
+        assert_eq!(s.icn, EnergyShares::PAPER.icn);
+        assert_eq!(s.leak_cluster, 0.4);
+    }
+
+    #[test]
+    #[should_panic(expected = "cluster share must remain positive")]
+    fn oversized_shares_panic() {
+        let _ = EnergyShares::with_component_shares(0.6, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "must take time")]
+    fn zero_time_profile_panics() {
+        let p = ReferenceProfile { exec_time: Time::ZERO, ..profile() };
+        p.validate();
+    }
+}

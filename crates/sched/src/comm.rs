@@ -1,0 +1,450 @@
+//! The extended scheduling graph: loop operations plus the explicit
+//! inter-cluster copy operations a partition induces.
+//!
+//! Once every operation is assigned a cluster, register values that flow
+//! between clusters must travel over the interconnect: the scheduler
+//! materialises one broadcast copy node per communicated producer
+//! (paper §2.1: "clusters communicate register values among them using
+//! special copy instructions and a set of dedicated register buses" — a
+//! bus is a broadcast medium, so one transfer serves every consumer).
+//!
+//! All edge latencies are pre-converted to *ticks* (the exact common time
+//! base of [`LoopClocks`]), folding in:
+//!
+//! * Table 1 latencies in the producer's execution domain — memory
+//!   operations complete in cache cycles since the hierarchy is its own
+//!   clock domain;
+//! * one bus cycle per copy;
+//! * the MCD synchronisation-queue penalty (one receiving-domain cycle) for
+//!   every crossing between domains of different frequency (Figure 2).
+
+use std::collections::HashMap;
+
+use vliw_ir::{Ddg, DepKind, FuKind, OpClass, OpId};
+use vliw_machine::{ClockedConfig, ClusterId, DomainId};
+
+use crate::timing::LoopClocks;
+
+/// Identifier of a node in the extended graph. Indices `< num_real` are the
+/// DDG's operations (same numbering); the rest are inserted copies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Dense index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Where a node executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodePlace {
+    /// A real operation issuing in a cluster.
+    Cluster(ClusterId),
+    /// A copy occupying an inter-cluster bus.
+    Bus,
+}
+
+/// A dependence edge of the extended graph, with latency in ticks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExtEdge {
+    /// Producer node.
+    pub src: NodeId,
+    /// Consumer node.
+    pub dst: NodeId,
+    /// Latency in ticks.
+    pub latency_ticks: u64,
+    /// Iteration distance.
+    pub distance: u32,
+    /// Whether the edge carries a register value (`false` for pure ordering
+    /// dependences, which need no register and no bus transfer).
+    pub value: bool,
+}
+
+/// An inserted inter-cluster copy.
+///
+/// A register bus is a broadcast medium: one copy puts the producer's value
+/// on the bus for one ICN cycle and *every* cluster that needs it latches
+/// it into its register file (paying its own synchronisation queue), so
+/// exactly one copy exists per communicated producer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CopyNode {
+    /// The operation whose result is transferred.
+    pub producer: OpId,
+}
+
+/// The extended graph over which the iterative modulo scheduler runs.
+#[derive(Debug, Clone)]
+pub struct ExtGraph {
+    num_real: usize,
+    places: Vec<NodePlace>,
+    fu_kinds: Vec<FuKind>,
+    copies: Vec<CopyNode>,
+    edges: Vec<ExtEdge>,
+    succ: Vec<Vec<usize>>,
+    pred: Vec<Vec<usize>>,
+    /// Result latency of each node in ticks (used for `it_length`).
+    result_latency_ticks: Vec<u64>,
+}
+
+impl ExtGraph {
+    /// Builds the extended graph for `ddg` under cluster `assignment`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment.len() != ddg.num_ops()` or an assigned cluster
+    /// is out of range for the configuration.
+    #[must_use]
+    pub fn build(
+        ddg: &Ddg,
+        assignment: &[ClusterId],
+        config: &ClockedConfig,
+        clocks: &LoopClocks,
+    ) -> Self {
+        assert_eq!(assignment.len(), ddg.num_ops(), "one cluster per operation");
+        for &c in assignment {
+            assert!(
+                c.index() < usize::from(config.design().num_clusters),
+                "cluster {c} out of range"
+            );
+        }
+        let num_real = ddg.num_ops();
+        let mut places: Vec<NodePlace> = assignment
+            .iter()
+            .map(|&c| NodePlace::Cluster(c))
+            .collect();
+        let mut fu_kinds: Vec<FuKind> =
+            ddg.ops().map(|o| o.fu_kind()).collect();
+        let mut result_latency_ticks: Vec<u64> = ddg
+            .op_ids()
+            .map(|op| result_latency(ddg.op(op).class(), assignment[op.index()], config, clocks))
+            .collect();
+
+        let mut copies: Vec<CopyNode> = Vec::new();
+        let mut copy_index: HashMap<OpId, NodeId> = HashMap::new();
+        let mut edges: Vec<ExtEdge> = Vec::new();
+
+        let icn_ticks = clocks.domain_cycle_ticks(DomainId::Icn);
+
+        for e in ddg.edges() {
+            let src_cluster = assignment[e.src().index()];
+            let dst_cluster = assignment[e.dst().index()];
+            let src_node = NodeId(e.src().0);
+            let dst_node = NodeId(e.dst().0);
+            let needs_copy =
+                e.kind() == DepKind::Flow && src_cluster != dst_cluster;
+            if !needs_copy {
+                // Same-cluster flow or pure ordering: a direct edge. Edge
+                // latency is expressed in the producer's execution-domain
+                // cycles; reuse the producer's result latency when the edge
+                // carries the full Table 1 latency, otherwise scale the
+                // explicit latency by the producer's cluster cycle.
+                let class = ddg.op(e.src()).class();
+                let lat_ticks = if e.latency() == class.latency() {
+                    result_latency_ticks[e.src().index()]
+                } else {
+                    u64::from(e.latency())
+                        * clocks.domain_cycle_ticks(DomainId::Cluster(src_cluster))
+                };
+                edges.push(ExtEdge {
+                    src: src_node,
+                    dst: dst_node,
+                    latency_ticks: lat_ticks,
+                    distance: e.distance(),
+                    value: e.kind() == DepKind::Flow,
+                });
+                continue;
+            }
+            // Cross-cluster flow: route through a broadcast copy (one per
+            // producer; every consuming cluster latches from the bus).
+            let copy_node = *copy_index.entry(e.src()).or_insert_with(|| {
+                let id = NodeId((num_real + copies.len()) as u32);
+                copies.push(CopyNode { producer: e.src() });
+                places.push(NodePlace::Bus);
+                fu_kinds.push(FuKind::Bus);
+                // A copy holds the bus for one ICN cycle.
+                result_latency_ticks.push(icn_ticks);
+                // Producer result → bus, paying the cluster→ICN sync queue.
+                let sync_in = u64::from(config.sync_penalty_cycles(
+                    DomainId::Cluster(src_cluster),
+                    DomainId::Icn,
+                )) * icn_ticks;
+                edges.push(ExtEdge {
+                    src: src_node,
+                    dst: id,
+                    latency_ticks: result_latency_ticks[e.src().index()] + sync_in,
+                    distance: 0,
+                    value: true,
+                });
+                id
+            });
+            // Bus → consumer cluster, paying the ICN→cluster sync queue.
+            let sync_out = u64::from(
+                config.sync_penalty_cycles(DomainId::Icn, DomainId::Cluster(dst_cluster)),
+            ) * clocks.domain_cycle_ticks(DomainId::Cluster(dst_cluster));
+            edges.push(ExtEdge {
+                src: copy_node,
+                dst: dst_node,
+                latency_ticks: icn_ticks + sync_out,
+                distance: e.distance(),
+                value: true,
+            });
+        }
+
+        let n = places.len();
+        let mut succ = vec![Vec::new(); n];
+        let mut pred = vec![Vec::new(); n];
+        for (i, e) in edges.iter().enumerate() {
+            succ[e.src.index()].push(i);
+            pred[e.dst.index()].push(i);
+        }
+        ExtGraph { num_real, places, fu_kinds, copies, edges, succ, pred, result_latency_ticks }
+    }
+
+    /// Total nodes (real operations + copies).
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.places.len()
+    }
+
+    /// Number of real operations (indices `0..num_real`).
+    #[must_use]
+    pub fn num_real(&self) -> usize {
+        self.num_real
+    }
+
+    /// The inserted copies, indexed `num_real..`.
+    #[must_use]
+    pub fn copies(&self) -> &[CopyNode] {
+        &self.copies
+    }
+
+    /// Where node `n` executes.
+    #[must_use]
+    pub fn place(&self, n: NodeId) -> NodePlace {
+        self.places[n.index()]
+    }
+
+    /// The functional-unit kind node `n` occupies.
+    #[must_use]
+    pub fn fu_kind(&self, n: NodeId) -> FuKind {
+        self.fu_kinds[n.index()]
+    }
+
+    /// The clock domain node `n` issues in.
+    #[must_use]
+    pub fn issue_domain(&self, n: NodeId) -> DomainId {
+        match self.places[n.index()] {
+            NodePlace::Cluster(c) => DomainId::Cluster(c),
+            NodePlace::Bus => DomainId::Icn,
+        }
+    }
+
+    /// Result latency of node `n`, in ticks.
+    #[must_use]
+    pub fn result_latency_ticks(&self, n: NodeId) -> u64 {
+        self.result_latency_ticks[n.index()]
+    }
+
+    /// All edges.
+    #[must_use]
+    pub fn edges(&self) -> &[ExtEdge] {
+        &self.edges
+    }
+
+    /// Outgoing edges of `n`.
+    pub fn succs(&self, n: NodeId) -> impl Iterator<Item = &ExtEdge> + '_ {
+        self.succ[n.index()].iter().map(|&i| &self.edges[i])
+    }
+
+    /// Incoming edges of `n`.
+    pub fn preds(&self, n: NodeId) -> impl Iterator<Item = &ExtEdge> + '_ {
+        self.pred[n.index()].iter().map(|&i| &self.edges[i])
+    }
+
+    /// Iterate over all node ids.
+    pub fn nodes(&self) -> impl ExactSizeIterator<Item = NodeId> + Clone {
+        (0..self.places.len() as u32).map(NodeId)
+    }
+}
+
+/// Result latency of one operation class issued from `cluster`, in ticks.
+///
+/// Memory operations complete in the cache's clock domain (two cache cycles,
+/// §5's all-hit assumption) and pay the synchronisation queues in and out of
+/// that domain when the frequencies differ; everything else completes in the
+/// issuing cluster's cycles.
+fn result_latency(
+    class: OpClass,
+    cluster: ClusterId,
+    config: &ClockedConfig,
+    clocks: &LoopClocks,
+) -> u64 {
+    let cluster_dom = DomainId::Cluster(cluster);
+    let cluster_ticks = clocks.domain_cycle_ticks(cluster_dom);
+    if class.is_memory() {
+        let cache_ticks = clocks.domain_cycle_ticks(DomainId::Cache);
+        let sync_in =
+            u64::from(config.sync_penalty_cycles(cluster_dom, DomainId::Cache)) * cache_ticks;
+        let sync_out =
+            u64::from(config.sync_penalty_cycles(DomainId::Cache, cluster_dom)) * cluster_ticks;
+        u64::from(class.latency()) * cache_ticks + sync_in + sync_out
+    } else {
+        u64::from(class.latency()) * cluster_ticks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vliw_ir::DdgBuilder;
+    use vliw_machine::{FrequencyMenu, MachineDesign, Time};
+
+    fn two_cluster_config() -> ClockedConfig {
+        let design = MachineDesign::new(2, vliw_machine::ClusterDesign::PAPER, 1);
+        ClockedConfig::heterogeneous(design, Time::from_ns(1.0), 1, Time::from_ns(1.5))
+    }
+
+    fn simple_ddg() -> Ddg {
+        let mut b = DdgBuilder::new("t");
+        let a = b.op("a", OpClass::IntArith);
+        let c = b.op("b", OpClass::IntArith);
+        b.flow(a, c);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn same_cluster_flow_has_no_copy() {
+        let config = two_cluster_config();
+        let clocks =
+            LoopClocks::select(&config, &FrequencyMenu::unrestricted(), Time::from_ns(3.0))
+                .unwrap();
+        let ddg = simple_ddg();
+        let g = ExtGraph::build(&ddg, &[ClusterId(0), ClusterId(0)], &config, &clocks);
+        assert_eq!(g.num_nodes(), 2);
+        assert!(g.copies().is_empty());
+        assert_eq!(g.edges().len(), 1);
+        // 1 int-arith cycle on the 1 ns cluster = 2 ticks (L=6, II=3).
+        assert_eq!(g.edges()[0].latency_ticks, 2);
+    }
+
+    #[test]
+    fn cross_cluster_flow_inserts_copy_with_sync() {
+        let config = two_cluster_config();
+        let clocks =
+            LoopClocks::select(&config, &FrequencyMenu::unrestricted(), Time::from_ns(3.0))
+                .unwrap();
+        let ddg = simple_ddg();
+        // Producer in fast C0, consumer in slow C1.
+        let g = ExtGraph::build(&ddg, &[ClusterId(0), ClusterId(1)], &config, &clocks);
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.copies().len(), 1);
+        assert_eq!(g.copies()[0].producer, OpId(0));
+        assert_eq!(g.place(NodeId(2)), NodePlace::Bus);
+        assert_eq!(g.fu_kind(NodeId(2)), FuKind::Bus);
+        // L = 6 (IIs: fast 3, slow 2, icn 3). ICN cycle = 2 ticks, slow
+        // cluster cycle = 3 ticks.
+        // Edge a→copy: 1 cycle × 2 ticks + sync(C0→ICN)=0 (same freq) = 2.
+        let to_copy = g.preds(NodeId(2)).next().unwrap();
+        assert_eq!(to_copy.latency_ticks, 2);
+        // Edge copy→b: 1 ICN cycle (2) + sync(ICN→C1)=1 slow cycle (3) = 5.
+        let from_copy = g.succs(NodeId(2)).next().unwrap();
+        assert_eq!(from_copy.latency_ticks, 5);
+    }
+
+    #[test]
+    fn copies_are_deduplicated_per_producer() {
+        let mut b = DdgBuilder::new("fanout");
+        let a = b.op("a", OpClass::IntArith);
+        let c1 = b.op("u1", OpClass::IntArith);
+        let c2 = b.op("u2", OpClass::IntArith);
+        let c3 = b.op("u3", OpClass::IntArith);
+        b.flow(a, c1);
+        b.flow(a, c2);
+        b.flow(a, c3);
+        let ddg = b.build().unwrap();
+        let config = two_cluster_config();
+        let clocks =
+            LoopClocks::select(&config, &FrequencyMenu::unrestricted(), Time::from_ns(3.0))
+                .unwrap();
+        // Two consumers in C1, one in C0 alongside the producer: one
+        // broadcast serves both remote consumers.
+        let g = ExtGraph::build(
+            &ddg,
+            &[ClusterId(0), ClusterId(1), ClusterId(1), ClusterId(0)],
+            &config,
+            &clocks,
+        );
+        assert_eq!(g.copies().len(), 1, "one broadcast serves both C1 consumers");
+        // Copy has two outgoing edges.
+        assert_eq!(g.succs(NodeId(4)).count(), 2);
+        // A third consumer in yet another cluster still reuses the copy.
+        let g = ExtGraph::build(
+            &ddg,
+            &[ClusterId(0), ClusterId(1), ClusterId(1), ClusterId(1)],
+            &config,
+            &clocks,
+        );
+        assert_eq!(g.copies().len(), 1);
+        assert_eq!(g.succs(NodeId(4)).count(), 3);
+    }
+
+    #[test]
+    fn order_edges_never_get_copies() {
+        let mut b = DdgBuilder::new("order");
+        let s = b.op("store", OpClass::FpMemory);
+        let l = b.op("load", OpClass::FpMemory);
+        b.order(s, l, 1, 1);
+        let ddg = b.build().unwrap();
+        let config = two_cluster_config();
+        let clocks =
+            LoopClocks::select(&config, &FrequencyMenu::unrestricted(), Time::from_ns(3.0))
+                .unwrap();
+        let g = ExtGraph::build(&ddg, &[ClusterId(0), ClusterId(1)], &config, &clocks);
+        assert!(g.copies().is_empty());
+        assert_eq!(g.edges().len(), 1);
+        assert_eq!(g.edges()[0].distance, 1);
+    }
+
+    #[test]
+    fn memory_latency_accrues_in_cache_cycles() {
+        let mut b = DdgBuilder::new("mem");
+        let l = b.op("load", OpClass::FpMemory);
+        let u = b.op("use", OpClass::FpArith);
+        b.flow(l, u);
+        let ddg = b.build().unwrap();
+        let config = two_cluster_config();
+        let clocks =
+            LoopClocks::select(&config, &FrequencyMenu::unrestricted(), Time::from_ns(3.0))
+                .unwrap();
+        // Load in the slow cluster: cache runs at fast frequency (2-tick
+        // cycles), so 2 cache cycles = 4 ticks, plus 1 cache-cycle sync in
+        // (2) + 1 slow-cluster-cycle sync out (3) = 9 ticks.
+        let g = ExtGraph::build(&ddg, &[ClusterId(1), ClusterId(1)], &config, &clocks);
+        assert_eq!(g.edges()[0].latency_ticks, 9);
+        // Load in the fast cluster (same domain frequency as the cache):
+        // just 2 × 2 = 4 ticks.
+        let g = ExtGraph::build(&ddg, &[ClusterId(0), ClusterId(0)], &config, &clocks);
+        assert_eq!(g.edges()[0].latency_ticks, 4);
+    }
+
+    #[test]
+    fn carried_distance_moves_to_copy_consumer_edge() {
+        let mut b = DdgBuilder::new("carried");
+        let a = b.op("a", OpClass::IntArith);
+        let c = b.op("b", OpClass::IntArith);
+        b.flow_carried(a, c, 2);
+        let ddg = b.build().unwrap();
+        let config = two_cluster_config();
+        let clocks =
+            LoopClocks::select(&config, &FrequencyMenu::unrestricted(), Time::from_ns(3.0))
+                .unwrap();
+        let g = ExtGraph::build(&ddg, &[ClusterId(0), ClusterId(1)], &config, &clocks);
+        let to_copy = g.preds(NodeId(2)).next().unwrap();
+        let from_copy = g.succs(NodeId(2)).next().unwrap();
+        assert_eq!(to_copy.distance, 0);
+        assert_eq!(from_copy.distance, 2);
+    }
+}

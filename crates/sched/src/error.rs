@@ -1,0 +1,84 @@
+//! Scheduler error type.
+
+use std::error::Error;
+use std::fmt;
+
+use vliw_machine::Time;
+
+/// Errors produced while modulo scheduling a loop.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SchedError {
+    /// No initiation time within the search horizon satisfies the machine's
+    /// synchronisation and capacity constraints.
+    NoFeasibleIt {
+        /// Loop being scheduled.
+        loop_name: String,
+        /// Why the search failed.
+        reason: String,
+    },
+    /// The scheduler exhausted its retry budget without finding a valid
+    /// schedule.
+    NoSchedule {
+        /// Loop being scheduled.
+        loop_name: String,
+        /// Number of initiation times attempted.
+        attempts: u32,
+        /// The last initiation time tried.
+        last_it: Time,
+    },
+    /// The DDG cannot be modulo scheduled at any `II` (zero-distance cycle).
+    Unschedulable {
+        /// Loop being scheduled.
+        loop_name: String,
+    },
+    /// A critical recurrence does not fit in any cluster at the current
+    /// initiation time (the partitioner's pre-placement pass failed; the
+    /// driver reacts by increasing the `IT`).
+    RecurrenceDoesNotFit {
+        /// Loop being scheduled.
+        loop_name: String,
+        /// Minimum `II` (cycles) the recurrence needs.
+        min_ii: u32,
+    },
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::NoFeasibleIt { loop_name, reason } => {
+                write!(f, "loop `{loop_name}`: no feasible initiation time ({reason})")
+            }
+            SchedError::NoSchedule { loop_name, attempts, last_it } => write!(
+                f,
+                "loop `{loop_name}`: no schedule after {attempts} initiation times (last {last_it})"
+            ),
+            SchedError::Unschedulable { loop_name } => {
+                write!(f, "loop `{loop_name}`: zero-distance dependence cycle")
+            }
+            SchedError::RecurrenceDoesNotFit { loop_name, min_ii } => write!(
+                f,
+                "loop `{loop_name}`: a recurrence needing II >= {min_ii} fits in no cluster"
+            ),
+        }
+    }
+}
+
+impl Error for SchedError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SchedError::NoSchedule {
+            loop_name: "l".into(),
+            attempts: 5,
+            last_it: Time::from_ns(7.0),
+        };
+        let s = e.to_string();
+        assert!(s.contains('l') && s.contains('5') && s.contains("7.0"));
+        assert!(!SchedError::Unschedulable { loop_name: "x".into() }.to_string().is_empty());
+    }
+}

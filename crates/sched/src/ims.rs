@@ -1,0 +1,534 @@
+//! Rau-style iterative modulo scheduling over the extended graph.
+//!
+//! Operations are placed highest-priority-first (priority = height: the
+//! longest dependence path, in ticks, from the operation to the end of the
+//! iteration). Each operation is tried in a window of one initiation
+//! interval starting at its dependence-earliest cycle; if no slot is free,
+//! it is *forced* in and the conflicting occupants are ejected and
+//! rescheduled later, within a bounded budget (Rau's IMS \[28\]).
+//!
+//! Heterogeneity enters through the time base: every node issues on its own
+//! domain's cycle grid (cluster cycles for operations, ICN cycles for
+//! copies), and dependences are checked in exact ticks, so a fast-cluster
+//! producer and a slow-cluster consumer never miscommunicate.
+
+
+use vliw_machine::{ClockedConfig, DomainId};
+
+use crate::comm::{ExtGraph, NodeId, NodePlace};
+use crate::mrt::{BusMrt, ClusterMrt};
+use crate::regs::max_lives;
+use crate::timing::LoopClocks;
+
+/// A complete placement of every extended-graph node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImsResult {
+    /// Issue cycle of each node, in its own domain's local cycles.
+    pub issue_cycles: Vec<u64>,
+    /// Issue time of each node, in ticks.
+    pub issue_ticks: Vec<u64>,
+    /// MaxLives per cluster.
+    pub max_live: Vec<u32>,
+}
+
+/// Why scheduling at the current initiation time failed. Every variant is
+/// cured (eventually) by increasing the `IT`, which the driver does.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImsFailure {
+    /// A dependence cycle is longer than one initiation time even before
+    /// resources are considered (copies and synchronisation pushed a
+    /// recurrence over budget).
+    PositiveCycle,
+    /// The eject-and-retry budget ran out.
+    BudgetExhausted,
+    /// The schedule exists but needs more registers than a cluster has.
+    RegisterPressure(Vec<u32>),
+}
+
+/// Default eject-and-retry budget multiplier.
+pub const DEFAULT_BUDGET_RATIO: u32 = 16;
+
+/// Hard cap on issue cycles, guarding against runaway forced placement.
+const CYCLE_CAP: u64 = 1 << 20;
+
+/// Schedules `graph` at the clocks' initiation time.
+///
+/// # Errors
+///
+/// Returns an [`ImsFailure`] when no schedule exists at this `IT` within
+/// the budget; the caller reacts by increasing the `IT` (Figure 5).
+pub fn schedule(
+    graph: &ExtGraph,
+    config: &ClockedConfig,
+    clocks: &LoopClocks,
+    budget_ratio: u32,
+) -> Result<ImsResult, ImsFailure> {
+    let n = graph.num_nodes();
+    if n == 0 {
+        return Ok(ImsResult {
+            issue_cycles: Vec::new(),
+            issue_ticks: Vec::new(),
+            max_live: vec![0; usize::from(config.design().num_clusters)],
+        });
+    }
+    let l = clocks.ticks_per_it();
+    let heights = compute_heights(graph, l).ok_or(ImsFailure::PositiveCycle)?;
+
+    let design = config.design();
+    let mut cluster_mrts: Vec<ClusterMrt> = design
+        .clusters()
+        .map(|c| ClusterMrt::new(design.cluster, clocks.cluster_ii(c)))
+        .collect();
+    let mut bus_mrt = BusMrt::new(design.buses, clocks.icn_ii());
+
+    let mut sched: Vec<Option<u64>> = vec![None; n];
+    let mut prev_cycle: Vec<Option<u64>> = vec![None; n];
+    let mut budget: u64 = u64::from(budget_ratio) * n as u64;
+
+    let cyc_ticks = |v: NodeId| clocks.domain_cycle_ticks(issue_domain(graph, v));
+    // Highest unscheduled priority first, id as tie-break.
+    let pick = |sched: &[Option<u64>]| {
+        (0..n)
+            .filter(|&i| sched[i].is_none())
+            .max_by_key(|&i| (heights[i], std::cmp::Reverse(i)))
+            .map(|i| NodeId(i as u32))
+    };
+    while let Some(v) = pick(&sched) {
+        if budget == 0 {
+            return Err(ImsFailure::BudgetExhausted);
+        }
+        budget -= 1;
+
+        // Dependence-earliest start from currently scheduled predecessors.
+        let vt = cyc_ticks(v);
+        let mut est_ticks: i128 = 0;
+        for e in graph.preds(v) {
+            if let Some(src_cycle) = sched[e.src.index()] {
+                let src_tick =
+                    i128::from(src_cycle) * i128::from(cyc_ticks(e.src));
+                let t = src_tick + i128::from(e.latency_ticks)
+                    - i128::from(e.distance) * i128::from(l);
+                est_ticks = est_ticks.max(t);
+            }
+        }
+        let mut estart = if est_ticks <= 0 {
+            0
+        } else {
+            let t = est_ticks as u128;
+            u64::try_from(t.div_ceil(u128::from(vt))).expect("cycle fits u64")
+        };
+        if let Some(p) = prev_cycle[v.index()] {
+            estart = estart.max(p + 1);
+        }
+        if estart > CYCLE_CAP {
+            return Err(ImsFailure::BudgetExhausted);
+        }
+
+        // Search one II window for a free slot; otherwise force estart.
+        let ii = clocks.domain_ii(issue_domain(graph, v));
+        let window_slot = (estart..estart + ii)
+            .find(|&c| slot_free(graph, v, c, &cluster_mrts, &bus_mrt));
+        let cycle = window_slot.unwrap_or(estart);
+
+        if !slot_free(graph, v, cycle, &cluster_mrts, &bus_mrt) {
+            eject_conflicting(
+                graph,
+                v,
+                cycle,
+                &mut sched,
+                &mut cluster_mrts,
+                &mut bus_mrt,
+            );
+        }
+        reserve(graph, v, cycle, &mut cluster_mrts, &mut bus_mrt);
+        sched[v.index()] = Some(cycle);
+        prev_cycle[v.index()] = Some(cycle);
+
+        // Eject scheduled successors whose dependence is now violated.
+        let v_tick = i128::from(cycle) * i128::from(vt);
+        let mut to_eject: Vec<NodeId> = Vec::new();
+        for e in graph.succs(v) {
+            if e.dst == v {
+                continue;
+            }
+            if let Some(dst_cycle) = sched[e.dst.index()] {
+                let dst_tick =
+                    i128::from(dst_cycle) * i128::from(cyc_ticks(e.dst));
+                if dst_tick
+                    < v_tick + i128::from(e.latency_ticks) - i128::from(e.distance) * i128::from(l)
+                {
+                    to_eject.push(e.dst);
+                }
+            }
+        }
+        for w in to_eject {
+            if let Some(c) = sched[w.index()].take() {
+                release(graph, w, c, &mut cluster_mrts, &mut bus_mrt);
+            }
+        }
+    }
+
+    let issue_cycles: Vec<u64> = sched.into_iter().map(|s| s.expect("all scheduled")).collect();
+    let issue_ticks: Vec<u64> = issue_cycles
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| c * cyc_ticks(NodeId(i as u32)))
+        .collect();
+    let live = max_lives(graph, clocks, design.num_clusters, &issue_ticks);
+    let over = live
+        .iter()
+        .any(|&lv| lv > design.cluster.registers);
+    if over {
+        return Err(ImsFailure::RegisterPressure(live));
+    }
+    Ok(ImsResult { issue_cycles, issue_ticks, max_live: live })
+}
+
+fn issue_domain(graph: &ExtGraph, v: NodeId) -> DomainId {
+    graph.issue_domain(v)
+}
+
+fn slot_free(
+    graph: &ExtGraph,
+    v: NodeId,
+    cycle: u64,
+    cluster_mrts: &[ClusterMrt],
+    bus_mrt: &BusMrt,
+) -> bool {
+    match graph.place(v) {
+        NodePlace::Cluster(c) => cluster_mrts[c.index()].is_free(graph.fu_kind(v), cycle),
+        NodePlace::Bus => bus_mrt.is_free(cycle),
+    }
+}
+
+fn reserve(
+    graph: &ExtGraph,
+    v: NodeId,
+    cycle: u64,
+    cluster_mrts: &mut [ClusterMrt],
+    bus_mrt: &mut BusMrt,
+) {
+    match graph.place(v) {
+        NodePlace::Cluster(c) => cluster_mrts[c.index()].reserve(graph.fu_kind(v), cycle),
+        NodePlace::Bus => {
+            let _ = bus_mrt.reserve(cycle);
+        }
+    }
+}
+
+fn release(
+    graph: &ExtGraph,
+    v: NodeId,
+    cycle: u64,
+    cluster_mrts: &mut [ClusterMrt],
+    bus_mrt: &mut BusMrt,
+) {
+    match graph.place(v) {
+        NodePlace::Cluster(c) => cluster_mrts[c.index()].release(graph.fu_kind(v), cycle),
+        NodePlace::Bus => bus_mrt.release(cycle),
+    }
+}
+
+/// Ejects every scheduled node that occupies the resource `v` needs at
+/// `cycle` (same domain, same FU kind, same modulo row).
+fn eject_conflicting(
+    graph: &ExtGraph,
+    v: NodeId,
+    cycle: u64,
+    sched: &mut [Option<u64>],
+    cluster_mrts: &mut [ClusterMrt],
+    bus_mrt: &mut BusMrt,
+) {
+    let place = graph.place(v);
+    let kind = graph.fu_kind(v);
+    let (ii, row) = match place {
+        NodePlace::Cluster(c) => {
+            let ii = cluster_mrts[c.index()].ii();
+            (ii, cycle % ii)
+        }
+        NodePlace::Bus => {
+            let ii = bus_mrt.ii();
+            (ii, cycle % ii)
+        }
+    };
+    let occupants: Vec<(NodeId, u64)> = sched
+        .iter()
+        .enumerate()
+        .filter_map(|(i, s)| s.map(|c| (NodeId(i as u32), c)))
+        .filter(|&(w, c)| {
+            w != v && graph.place(w) == place && graph.fu_kind(w) == kind && c % ii == row
+        })
+        .collect();
+    for (w, c) in occupants {
+        sched[w.index()] = None;
+        release(graph, w, c, cluster_mrts, bus_mrt);
+    }
+}
+
+/// Longest dependence path (in ticks) from each node to the end of an
+/// iteration, with loop-carried edges discounted by `distance · L`.
+///
+/// Returns `None` when the relaxation does not converge — a dependence
+/// cycle is positive at this `IT`, so no schedule exists.
+#[must_use]
+pub fn compute_heights(graph: &ExtGraph, l: u64) -> Option<Vec<i64>> {
+    let n = graph.num_nodes();
+    let mut height: Vec<i64> = graph
+        .nodes()
+        .map(|v| i64::try_from(graph.result_latency_ticks(v)).expect("latency fits i64"))
+        .collect();
+    for _ in 0..=n {
+        let mut changed = false;
+        for e in graph.edges() {
+            let w = i64::try_from(e.latency_ticks).expect("latency fits i64")
+                - i64::try_from(u64::from(e.distance) * l).expect("distance·L fits i64");
+            let candidate = w + height[e.dst.index()];
+            if candidate > height[e.src.index()] {
+                height[e.src.index()] = candidate;
+                changed = true;
+            }
+        }
+        if !changed {
+            return Some(height);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vliw_ir::{Ddg, DdgBuilder, OpClass};
+    use vliw_machine::{ClockedConfig, ClusterId, FrequencyMenu, MachineDesign, Time};
+
+    fn reference() -> ClockedConfig {
+        ClockedConfig::reference(MachineDesign::paper_machine(1))
+    }
+
+    fn clocks_for(config: &ClockedConfig, it_ns: f64) -> LoopClocks {
+        LoopClocks::select(config, &FrequencyMenu::unrestricted(), Time::from_ns(it_ns)).unwrap()
+    }
+
+    /// Checks every dependence of a scheduled graph in exact ticks.
+    fn assert_valid(graph: &ExtGraph, clocks: &LoopClocks, result: &ImsResult) {
+        let l = i128::from(clocks.ticks_per_it());
+        for e in graph.edges() {
+            let src = i128::from(result.issue_ticks[e.src.index()]);
+            let dst = i128::from(result.issue_ticks[e.dst.index()]);
+            assert!(
+                dst >= src + i128::from(e.latency_ticks) - i128::from(e.distance) * l,
+                "dependence {:?}→{:?} violated",
+                e.src,
+                e.dst
+            );
+        }
+    }
+
+    fn int_chain(len: usize) -> Ddg {
+        let mut b = DdgBuilder::new("chain");
+        let ids: Vec<_> = (0..len).map(|i| b.op(format!("n{i}"), OpClass::IntArith)).collect();
+        for w in ids.windows(2) {
+            b.flow(w[0], w[1]);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn schedules_chain_on_one_cluster() {
+        let config = reference();
+        // II = 4 so the single int FU of cluster 0 can hold all four ops.
+        let clocks = clocks_for(&config, 4.0);
+        let ddg = int_chain(4);
+        let g = ExtGraph::build(&ddg, &[ClusterId(0); 4], &config, &clocks);
+        let r = schedule(&g, &config, &clocks, DEFAULT_BUDGET_RATIO).unwrap();
+        assert_valid(&g, &clocks, &r);
+        // Ops issue one per cycle down the chain.
+        for w in r.issue_ticks.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn resource_conflict_forces_modulo_separation() {
+        // 3 independent int ops, 1 int FU, II = 3: all three must land on
+        // distinct modulo rows.
+        let design = MachineDesign::new(
+            1,
+            vliw_machine::ClusterDesign { int_fus: 1, fp_fus: 1, mem_ports: 1, registers: 16 },
+            1,
+        );
+        let config = ClockedConfig::reference(design);
+        let clocks = clocks_for(&config, 3.0);
+        let mut b = DdgBuilder::new("par");
+        for i in 0..3 {
+            b.op(format!("n{i}"), OpClass::IntArith);
+        }
+        let ddg = b.build().unwrap();
+        let g = ExtGraph::build(&ddg, &[ClusterId(0); 3], &config, &clocks);
+        let r = schedule(&g, &config, &clocks, DEFAULT_BUDGET_RATIO).unwrap();
+        let mut rows: Vec<u64> = r.issue_cycles.iter().map(|c| c % 3).collect();
+        rows.sort_unstable();
+        assert_eq!(rows, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn too_many_ops_for_capacity_fails() {
+        // 4 int ops on 1 int FU at II = 3: pigeonhole ⇒ no schedule.
+        let design = MachineDesign::new(
+            1,
+            vliw_machine::ClusterDesign { int_fus: 1, fp_fus: 1, mem_ports: 1, registers: 16 },
+            1,
+        );
+        let config = ClockedConfig::reference(design);
+        let clocks = clocks_for(&config, 3.0);
+        let mut b = DdgBuilder::new("par");
+        for i in 0..4 {
+            b.op(format!("n{i}"), OpClass::IntArith);
+        }
+        let ddg = b.build().unwrap();
+        let g = ExtGraph::build(&ddg, &[ClusterId(0); 4], &config, &clocks);
+        assert_eq!(
+            schedule(&g, &config, &clocks, DEFAULT_BUDGET_RATIO),
+            Err(ImsFailure::BudgetExhausted)
+        );
+    }
+
+    #[test]
+    fn recurrence_too_tight_is_positive_cycle() {
+        // Accumulator with latency 3 at II 2: recurrence cannot fit.
+        let config = reference();
+        let clocks = clocks_for(&config, 2.0);
+        let mut b = DdgBuilder::new("acc");
+        let a = b.op("acc", OpClass::FpArith);
+        b.flow_carried(a, a, 1);
+        let ddg = b.build().unwrap();
+        let g = ExtGraph::build(&ddg, &[ClusterId(0)], &config, &clocks);
+        assert_eq!(
+            schedule(&g, &config, &clocks, DEFAULT_BUDGET_RATIO),
+            Err(ImsFailure::PositiveCycle)
+        );
+    }
+
+    #[test]
+    fn recurrence_fits_at_its_min_ii() {
+        let config = reference();
+        let clocks = clocks_for(&config, 3.0);
+        let mut b = DdgBuilder::new("acc");
+        let a = b.op("acc", OpClass::FpArith);
+        b.flow_carried(a, a, 1);
+        let ddg = b.build().unwrap();
+        let g = ExtGraph::build(&ddg, &[ClusterId(0)], &config, &clocks);
+        let r = schedule(&g, &config, &clocks, DEFAULT_BUDGET_RATIO).unwrap();
+        assert_valid(&g, &clocks, &r);
+    }
+
+    #[test]
+    fn cross_cluster_communication_is_scheduled_on_the_bus() {
+        let config = reference();
+        let clocks = clocks_for(&config, 2.0);
+        let ddg = int_chain(2);
+        let g = ExtGraph::build(&ddg, &[ClusterId(0), ClusterId(1)], &config, &clocks);
+        assert_eq!(g.copies().len(), 1);
+        let r = schedule(&g, &config, &clocks, DEFAULT_BUDGET_RATIO).unwrap();
+        assert_valid(&g, &clocks, &r);
+        // Copy issues after the producer's result and before the consumer.
+        assert!(r.issue_ticks[2] > r.issue_ticks[0]);
+        assert!(r.issue_ticks[1] > r.issue_ticks[2]);
+    }
+
+    #[test]
+    fn bus_contention_serialises_copies() {
+        // Two values crossing clusters with a single bus and II_icn = 1:
+        // impossible; at II_icn = 2 they take distinct bus rows.
+        let config = reference();
+        let clocks = clocks_for(&config, 2.0);
+        let mut b = DdgBuilder::new("two-comms");
+        let a1 = b.op("a1", OpClass::IntArith);
+        let a2 = b.op("a2", OpClass::IntArith);
+        let u1 = b.op("u1", OpClass::IntArith);
+        let u2 = b.op("u2", OpClass::IntArith);
+        b.flow(a1, u1);
+        b.flow(a2, u2);
+        let ddg = b.build().unwrap();
+        let g = ExtGraph::build(
+            &ddg,
+            &[ClusterId(0), ClusterId(0), ClusterId(1), ClusterId(1)],
+            &config,
+            &clocks,
+        );
+        assert_eq!(g.copies().len(), 2);
+        let r = schedule(&g, &config, &clocks, DEFAULT_BUDGET_RATIO).unwrap();
+        assert_valid(&g, &clocks, &r);
+        assert_ne!(r.issue_cycles[4] % 2, r.issue_cycles[5] % 2);
+    }
+
+    #[test]
+    fn heterogeneous_clusters_respect_tick_arithmetic() {
+        let design = MachineDesign::new(2, vliw_machine::ClusterDesign::PAPER, 1);
+        let config =
+            ClockedConfig::heterogeneous(design, Time::from_ns(1.0), 1, Time::from_ns(1.5));
+        let clocks = clocks_for(&config, 3.0);
+        let ddg = int_chain(4);
+        // Alternate clusters to exercise cross-domain edges.
+        let g = ExtGraph::build(
+            &ddg,
+            &[ClusterId(0), ClusterId(1), ClusterId(0), ClusterId(1)],
+            &config,
+            &clocks,
+        );
+        let r = schedule(&g, &config, &clocks, DEFAULT_BUDGET_RATIO).unwrap();
+        assert_valid(&g, &clocks, &r);
+        assert_eq!(g.copies().len(), 3);
+    }
+
+    #[test]
+    fn register_pressure_is_reported() {
+        // A cluster with 2 registers and many long-lived values.
+        let design = MachineDesign::new(
+            1,
+            vliw_machine::ClusterDesign { int_fus: 4, fp_fus: 4, mem_ports: 4, registers: 2 },
+            1,
+        );
+        let config = ClockedConfig::reference(design);
+        let clocks = clocks_for(&config, 2.0);
+        let mut b = DdgBuilder::new("pressure");
+        // 6 producers whose values are all read late by one consumer chain.
+        let producers: Vec<_> =
+            (0..6).map(|i| b.op(format!("p{i}"), OpClass::IntArith)).collect();
+        let sink = b.op("sink", OpClass::FpDiv);
+        let sink2 = b.op("sink2", OpClass::IntArith);
+        b.flow(sink, sink2);
+        for &p in &producers {
+            b.dep_full(p, sink2, 1, 0, vliw_ir::DepKind::Flow);
+        }
+        let _ = sink;
+        let ddg = b.build().unwrap();
+        let g = ExtGraph::build(&ddg, &[ClusterId(0); 8], &config, &clocks);
+        match schedule(&g, &config, &clocks, DEFAULT_BUDGET_RATIO) {
+            Err(ImsFailure::RegisterPressure(lv)) => assert!(lv[0] > 2),
+            other => panic!("expected register pressure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn heights_detect_positive_cycle() {
+        let config = reference();
+        let clocks = clocks_for(&config, 1.0);
+        let mut b = DdgBuilder::new("tight");
+        let a = b.op("a", OpClass::FpMul); // latency 6
+        b.flow_carried(a, a, 1);
+        let ddg = b.build().unwrap();
+        let g = ExtGraph::build(&ddg, &[ClusterId(0)], &config, &clocks);
+        assert!(compute_heights(&g, clocks.ticks_per_it()).is_none());
+    }
+
+    #[test]
+    fn empty_graph_schedules_trivially() {
+        let config = reference();
+        let clocks = clocks_for(&config, 1.0);
+        let ddg = DdgBuilder::new("empty").build().unwrap();
+        let g = ExtGraph::build(&ddg, &[], &config, &clocks);
+        let r = schedule(&g, &config, &clocks, DEFAULT_BUDGET_RATIO).unwrap();
+        assert!(r.issue_cycles.is_empty());
+    }
+}

@@ -1,0 +1,219 @@
+//! Modulo reservation tables.
+//!
+//! A modulo-scheduled resource is busy at local cycle `s` in *every*
+//! iteration, so it occupies row `s mod II` of a reservation table with `II`
+//! rows. Each cluster owns one table per functional-unit kind; the
+//! interconnect owns one table for its buses.
+
+use vliw_ir::FuKind;
+use vliw_machine::ClusterDesign;
+
+/// Per-cluster modulo reservation table (rows × FU kinds).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterMrt {
+    ii: u64,
+    design: ClusterDesign,
+    int_rows: Vec<u32>,
+    fp_rows: Vec<u32>,
+    mem_rows: Vec<u32>,
+}
+
+impl ClusterMrt {
+    /// Creates an empty table for a cluster running at initiation interval
+    /// `ii`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ii == 0`.
+    #[must_use]
+    pub fn new(design: ClusterDesign, ii: u64) -> Self {
+        assert!(ii > 0, "initiation interval must be positive");
+        let n = usize::try_from(ii).expect("II fits in memory");
+        ClusterMrt {
+            ii,
+            design,
+            int_rows: vec![0; n],
+            fp_rows: vec![0; n],
+            mem_rows: vec![0; n],
+        }
+    }
+
+    /// The table's initiation interval.
+    #[must_use]
+    pub fn ii(&self) -> u64 {
+        self.ii
+    }
+
+    fn rows(&self, kind: FuKind) -> &Vec<u32> {
+        match kind {
+            FuKind::Int => &self.int_rows,
+            FuKind::Fp => &self.fp_rows,
+            FuKind::Mem => &self.mem_rows,
+            FuKind::Bus => panic!("buses are not cluster resources"),
+        }
+    }
+
+    fn rows_mut(&mut self, kind: FuKind) -> &mut Vec<u32> {
+        match kind {
+            FuKind::Int => &mut self.int_rows,
+            FuKind::Fp => &mut self.fp_rows,
+            FuKind::Mem => &mut self.mem_rows,
+            FuKind::Bus => panic!("buses are not cluster resources"),
+        }
+    }
+
+    /// Whether a unit of `kind` is free at local cycle `cycle`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` is [`FuKind::Bus`].
+    #[must_use]
+    pub fn is_free(&self, kind: FuKind, cycle: u64) -> bool {
+        let row = (cycle % self.ii) as usize;
+        self.rows(kind)[row] < self.design.fu_count(kind)
+    }
+
+    /// Reserves a unit of `kind` at local cycle `cycle`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no unit is free at that row (callers check
+    /// [`ClusterMrt::is_free`] first) or if `kind` is [`FuKind::Bus`].
+    pub fn reserve(&mut self, kind: FuKind, cycle: u64) {
+        assert!(self.is_free(kind, cycle), "reserving an occupied {kind} slot");
+        let ii = self.ii;
+        self.rows_mut(kind)[(cycle % ii) as usize] += 1;
+    }
+
+    /// Releases a previously reserved unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing was reserved at that row.
+    pub fn release(&mut self, kind: FuKind, cycle: u64) {
+        let ii = self.ii;
+        let row = &mut self.rows_mut(kind)[(cycle % ii) as usize];
+        assert!(*row > 0, "releasing an empty {kind} slot");
+        *row -= 1;
+    }
+
+    /// Ops of `kind` that can still be placed (total free slot count).
+    #[must_use]
+    pub fn free_slots(&self, kind: FuKind) -> u64 {
+        let cap = u64::from(self.design.fu_count(kind)) * self.ii;
+        let used: u64 = self.rows(kind).iter().map(|&u| u64::from(u)).sum();
+        cap - used
+    }
+}
+
+/// The interconnect's modulo reservation table: `buses` transfers per row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BusMrt {
+    ii: u64,
+    buses: u32,
+    rows: Vec<u32>,
+}
+
+impl BusMrt {
+    /// Creates an empty bus table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ii == 0` or `buses == 0`.
+    #[must_use]
+    pub fn new(buses: u32, ii: u64) -> Self {
+        assert!(ii > 0, "initiation interval must be positive");
+        assert!(buses > 0, "at least one bus");
+        BusMrt { ii, buses, rows: vec![0; usize::try_from(ii).expect("II fits in memory")] }
+    }
+
+    /// The table's initiation interval.
+    #[must_use]
+    pub fn ii(&self) -> u64 {
+        self.ii
+    }
+
+    /// Whether a bus is free at ICN-local cycle `cycle`.
+    #[must_use]
+    pub fn is_free(&self, cycle: u64) -> bool {
+        self.rows[(cycle % self.ii) as usize] < self.buses
+    }
+
+    /// Reserves a bus at ICN-local cycle `cycle`, returning the bus index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if all buses are busy at that row.
+    pub fn reserve(&mut self, cycle: u64) -> u32 {
+        assert!(self.is_free(cycle), "reserving an occupied bus slot");
+        let row = &mut self.rows[(cycle % self.ii) as usize];
+        let bus = *row;
+        *row += 1;
+        bus
+    }
+
+    /// Releases a previously reserved bus slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing was reserved at that row.
+    pub fn release(&mut self, cycle: u64) {
+        let row = &mut self.rows[(cycle % self.ii) as usize];
+        assert!(*row > 0, "releasing an empty bus slot");
+        *row -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modulo_conflicts() {
+        let mut mrt = ClusterMrt::new(ClusterDesign::PAPER, 3);
+        assert!(mrt.is_free(FuKind::Int, 1));
+        mrt.reserve(FuKind::Int, 1);
+        // Cycle 4 maps to the same row (4 mod 3 = 1).
+        assert!(!mrt.is_free(FuKind::Int, 4));
+        // A different kind is unaffected.
+        assert!(mrt.is_free(FuKind::Fp, 4));
+        mrt.release(FuKind::Int, 4);
+        assert!(mrt.is_free(FuKind::Int, 1));
+    }
+
+    #[test]
+    fn capacity_per_row_follows_design() {
+        let design = ClusterDesign { int_fus: 2, fp_fus: 1, mem_ports: 1, registers: 16 };
+        let mut mrt = ClusterMrt::new(design, 2);
+        mrt.reserve(FuKind::Int, 0);
+        assert!(mrt.is_free(FuKind::Int, 0), "two int FUs");
+        mrt.reserve(FuKind::Int, 0);
+        assert!(!mrt.is_free(FuKind::Int, 0));
+        assert_eq!(mrt.free_slots(FuKind::Int), 2); // row 1 still empty
+    }
+
+    #[test]
+    #[should_panic(expected = "occupied")]
+    fn double_reserve_panics() {
+        let mut mrt = ClusterMrt::new(ClusterDesign::PAPER, 2);
+        mrt.reserve(FuKind::Mem, 0);
+        mrt.reserve(FuKind::Mem, 2);
+    }
+
+    #[test]
+    fn bus_mrt_round_trip() {
+        let mut bus = BusMrt::new(2, 4);
+        assert_eq!(bus.reserve(1), 0);
+        assert_eq!(bus.reserve(5), 1); // same row, second bus
+        assert!(!bus.is_free(9));
+        bus.release(1);
+        assert!(bus.is_free(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "buses are not cluster resources")]
+    fn bus_kind_in_cluster_mrt_panics() {
+        let mrt = ClusterMrt::new(ClusterDesign::PAPER, 2);
+        let _ = mrt.is_free(FuKind::Bus, 0);
+    }
+}

@@ -1,0 +1,371 @@
+//! Coarsening: heavy-edge matching over macronodes (§4.1's multilevel step
+//! one) and the greedy seed assignment of the coarsest graph.
+
+use std::collections::HashMap;
+
+use vliw_ir::{Ddg, DepKind, FuKind, OpId};
+use vliw_machine::{ClockedConfig, ClusterId};
+
+use super::pin::Pinned;
+use crate::timing::LoopClocks;
+
+/// The multilevel hierarchy produced by coarsening.
+///
+/// Level 0 is the finest granularity: one *base group* per free operation,
+/// plus one per pinned recurrence (recurrences are never split during
+/// coarsening, §4.1.1). `merges[k]` maps level-`k` node indices to
+/// level-`k+1` indices; `seed` assigns every coarsest-level node to a
+/// cluster.
+#[derive(Debug, Clone)]
+pub(crate) struct Hierarchy {
+    pub base_groups: Vec<Vec<OpId>>,
+    pub base_pin: Vec<Option<ClusterId>>,
+    pub merges: Vec<Vec<usize>>,
+    pub seed: Vec<ClusterId>,
+}
+
+impl Hierarchy {
+    /// Number of levels (≥ 1; level 0 is the base).
+    pub(crate) fn num_levels(&self) -> usize {
+        self.merges.len() + 1
+    }
+
+    /// The composition of base groups at `level`: for each level-`level`
+    /// node, the list of base-group indices it contains.
+    pub(crate) fn base_groups_at(&self, level: usize) -> Vec<Vec<usize>> {
+        let mut groups: Vec<Vec<usize>> =
+            (0..self.base_groups.len()).map(|i| vec![i]).collect();
+        for merge in self.merges.iter().take(level) {
+            let parents = merge.iter().copied().max().map_or(0, |m| m + 1);
+            let mut next: Vec<Vec<usize>> = vec![Vec::new(); parents];
+            for (child, &parent) in merge.iter().enumerate() {
+                next[parent].extend(groups[child].iter().copied());
+            }
+            groups = next;
+        }
+        groups
+    }
+}
+
+/// Builds the hierarchy: base groups, matching-based merge levels, and the
+/// coarsest-level seed assignment.
+pub(crate) fn coarsen(
+    ddg: &Ddg,
+    pinned: &Pinned,
+    config: &ClockedConfig,
+    clocks: &LoopClocks,
+) -> Hierarchy {
+    // --- Base groups: one per pinned recurrence home-set, one per free op.
+    let mut base_groups: Vec<Vec<OpId>> = Vec::new();
+    let mut base_pin: Vec<Option<ClusterId>> = Vec::new();
+    let mut group_of_op: Vec<usize> = vec![usize::MAX; ddg.num_ops()];
+    // Pinned ops: group by (pin target, SCC) — approximated by flood over
+    // pinned neighbours sharing a target. Recurrences were pinned whole, so
+    // grouping by connected pinned component per cluster is exact enough:
+    // we simply group all pinned ops per *recurrence* using the fact that
+    // pin assigns per recurrence; reconstruct via SCCs.
+    let sccs = vliw_ir::condensation(ddg);
+    let mut scc_group: HashMap<u32, usize> = HashMap::new();
+    for op in ddg.op_ids() {
+        if let Some(home) = pinned[op.index()] {
+            let scc = sccs.component_of(op);
+            let g = *scc_group.entry(scc.0).or_insert_with(|| {
+                base_groups.push(Vec::new());
+                base_pin.push(Some(home));
+                base_groups.len() - 1
+            });
+            base_groups[g].push(op);
+            group_of_op[op.index()] = g;
+        }
+    }
+    for op in ddg.op_ids() {
+        if pinned[op.index()].is_none() {
+            base_groups.push(vec![op]);
+            base_pin.push(None);
+            group_of_op[op.index()] = base_groups.len() - 1;
+        }
+    }
+
+    // --- Matching levels.
+    let num_clusters = usize::from(config.design().num_clusters);
+    let mut merges: Vec<Vec<usize>> = Vec::new();
+    // current[i] = set of base groups; cur_pin[i] = pin state.
+    let mut current: Vec<Vec<usize>> = (0..base_groups.len()).map(|i| vec![i]).collect();
+    let mut cur_pin: Vec<Option<ClusterId>> = base_pin.clone();
+
+    loop {
+        let free = cur_pin.iter().filter(|p| p.is_none()).count();
+        if free <= num_clusters {
+            break;
+        }
+        // Edge weights between current nodes (flow edges only: those are
+        // the communications a split would cost).
+        let mut node_of_op: Vec<usize> = vec![usize::MAX; ddg.num_ops()];
+        for (i, bgs) in current.iter().enumerate() {
+            for &bg in bgs {
+                for &op in &base_groups[bg] {
+                    node_of_op[op.index()] = i;
+                }
+            }
+        }
+        let mut weights: HashMap<(usize, usize), u64> = HashMap::new();
+        for e in ddg.edges() {
+            if e.kind() != DepKind::Flow {
+                continue;
+            }
+            let (a, b) = (node_of_op[e.src().index()], node_of_op[e.dst().index()]);
+            if a == b {
+                continue;
+            }
+            let key = (a.min(b), a.max(b));
+            *weights.entry(key).or_insert(0) += 1;
+        }
+        let mut pairs: Vec<((usize, usize), u64)> = weights.into_iter().collect();
+        // Heaviest edges first; deterministic tie-break by indices.
+        pairs.sort_by_key(|&((a, b), w)| (std::cmp::Reverse(w), a, b));
+
+        let mut matched = vec![false; current.len()];
+        let mut merge_map: Vec<usize> = vec![usize::MAX; current.len()];
+        let mut next_index = 0;
+        let mut merged_any = false;
+        for ((a, b), _) in pairs {
+            if matched[a] || matched[b] || cur_pin[a].is_some() || cur_pin[b].is_some() {
+                continue;
+            }
+            matched[a] = true;
+            matched[b] = true;
+            merge_map[a] = next_index;
+            merge_map[b] = next_index;
+            next_index += 1;
+            merged_any = true;
+            if current.len() - next_index <= num_clusters {
+                break;
+            }
+        }
+        if !merged_any {
+            break;
+        }
+        for slot in &mut merge_map {
+            if *slot == usize::MAX {
+                *slot = next_index;
+                next_index += 1;
+            }
+        }
+        let mut next: Vec<Vec<usize>> = vec![Vec::new(); next_index];
+        let mut next_pin: Vec<Option<ClusterId>> = vec![None; next_index];
+        for (i, &p) in merge_map.iter().enumerate() {
+            next[p].extend(current[i].iter().copied());
+            if cur_pin[i].is_some() {
+                next_pin[p] = cur_pin[i];
+            }
+        }
+        merges.push(merge_map);
+        current = next;
+        cur_pin = next_pin;
+    }
+
+    // --- Seed assignment at the coarsest level.
+    let seed = seed_assignment(ddg, &base_groups, &current, &cur_pin, config, clocks);
+
+    Hierarchy { base_groups, base_pin, merges, seed }
+}
+
+/// Greedy load-balanced assignment of the coarsest macronodes.
+fn seed_assignment(
+    ddg: &Ddg,
+    base_groups: &[Vec<OpId>],
+    coarsest: &[Vec<usize>],
+    pins: &[Option<ClusterId>],
+    config: &ClockedConfig,
+    clocks: &LoopClocks,
+) -> Vec<ClusterId> {
+    let design = config.design();
+    let clusters: Vec<ClusterId> = design.clusters().collect();
+    // load[c][kind-index] = ops of that kind assigned so far.
+    let kind_index = |k: FuKind| match k {
+        FuKind::Int => 0usize,
+        FuKind::Fp => 1,
+        FuKind::Mem => 2,
+        FuKind::Bus => unreachable!("ops never occupy the bus directly"),
+    };
+    let mut load = vec![[0u64; 3]; clusters.len()];
+    let node_counts: Vec<[u64; 3]> = coarsest
+        .iter()
+        .map(|bgs| {
+            let mut c = [0u64; 3];
+            for &bg in bgs {
+                for &op in &base_groups[bg] {
+                    c[kind_index(ddg.op(op).fu_kind())] += 1;
+                }
+            }
+            c
+        })
+        .collect();
+    let relative_load = |load: &[u64; 3], c: ClusterId| -> f64 {
+        let ii = clocks.cluster_ii(c) as f64;
+        let mut worst = 0f64;
+        for (i, kind) in [FuKind::Int, FuKind::Fp, FuKind::Mem].into_iter().enumerate() {
+            let cap = f64::from(design.cluster.fu_count(kind)) * ii;
+            let l = if cap > 0.0 { load[i] as f64 / cap } else if load[i] > 0 { f64::INFINITY } else { 0.0 };
+            worst = worst.max(l);
+        }
+        worst
+    };
+
+    let mut assignment = vec![ClusterId(0); coarsest.len()];
+    // Pinned first (fixed), then free nodes heaviest-first.
+    let mut order: Vec<usize> = (0..coarsest.len()).collect();
+    order.sort_by_key(|&i| {
+        (
+            pins[i].is_none(),
+            std::cmp::Reverse(node_counts[i].iter().sum::<u64>()),
+            i,
+        )
+    });
+    for i in order {
+        let target = match pins[i] {
+            Some(c) => c,
+            None => clusters
+                .iter()
+                .copied()
+                .min_by(|&a, &b| {
+                    let mut la = load[a.index()];
+                    let mut lb = load[b.index()];
+                    for k in 0..3 {
+                        la[k] += node_counts[i][k];
+                        lb[k] += node_counts[i][k];
+                    }
+                    relative_load(&la, a)
+                        .partial_cmp(&relative_load(&lb, b))
+                        .expect("loads are not NaN")
+                        .then(a.cmp(&b))
+                })
+                .expect("at least one cluster"),
+        };
+        for k in 0..3 {
+            load[target.index()][k] += node_counts[i][k];
+        }
+        assignment[i] = target;
+    }
+    assignment
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vliw_ir::{DdgBuilder, OpClass};
+    use vliw_machine::{FrequencyMenu, MachineDesign, Time};
+
+    fn setup(it_ns: f64) -> (ClockedConfig, LoopClocks) {
+        let config = ClockedConfig::reference(MachineDesign::paper_machine(1));
+        let clocks =
+            LoopClocks::select(&config, &FrequencyMenu::unrestricted(), Time::from_ns(it_ns))
+                .unwrap();
+        (config, clocks)
+    }
+
+    #[test]
+    fn coarsens_chain_to_cluster_count() {
+        let mut b = DdgBuilder::new("chain");
+        let ids: Vec<_> = (0..16).map(|i| b.op(format!("n{i}"), OpClass::IntArith)).collect();
+        for w in ids.windows(2) {
+            b.flow(w[0], w[1]);
+        }
+        let ddg = b.build().unwrap();
+        let (config, clocks) = setup(4.0);
+        let h = coarsen(&ddg, &vec![None; 16], &config, &clocks);
+        assert!(h.num_levels() > 1, "16 ops must coarsen at least once");
+        let coarsest = h.base_groups_at(h.num_levels() - 1);
+        assert!(coarsest.len() <= 16);
+        assert!(coarsest.len() >= 4);
+        assert_eq!(h.seed.len(), coarsest.len());
+        // Every base group appears exactly once at every level.
+        for level in 0..h.num_levels() {
+            let groups = h.base_groups_at(level);
+            let mut seen: Vec<usize> = groups.into_iter().flatten().collect();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..16).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn pinned_recurrence_stays_whole_and_fixed() {
+        let mut b = DdgBuilder::new("rec");
+        let x = b.op("x", OpClass::IntArith);
+        let y = b.op("y", OpClass::IntArith);
+        b.flow(x, y);
+        b.flow_carried(y, x, 1);
+        for i in 0..6 {
+            b.op(format!("free{i}"), OpClass::IntArith);
+        }
+        let ddg = b.build().unwrap();
+        let (config, clocks) = setup(4.0);
+        let mut pinned = vec![None; 8];
+        pinned[0] = Some(ClusterId(2));
+        pinned[1] = Some(ClusterId(2));
+        let h = coarsen(&ddg, &pinned, &config, &clocks);
+        // The two pinned ops share one base group pinned to C2.
+        let pinned_groups: Vec<usize> = (0..h.base_groups.len())
+            .filter(|&g| h.base_pin[g].is_some())
+            .collect();
+        assert_eq!(pinned_groups.len(), 1);
+        assert_eq!(h.base_groups[pinned_groups[0]].len(), 2);
+        assert_eq!(h.base_pin[pinned_groups[0]], Some(ClusterId(2)));
+        // Seed respects the pin.
+        let coarsest = h.base_groups_at(h.num_levels() - 1);
+        for (node, bgs) in coarsest.iter().enumerate() {
+            if bgs.contains(&pinned_groups[0]) {
+                assert_eq!(h.seed[node], ClusterId(2));
+            }
+        }
+    }
+
+    #[test]
+    fn seed_balances_independent_ops() {
+        // 8 independent int ops on 4 clusters with II 2 ⇒ 2 per cluster.
+        let mut b = DdgBuilder::new("par");
+        for i in 0..8 {
+            b.op(format!("n{i}"), OpClass::IntArith);
+        }
+        let ddg = b.build().unwrap();
+        let (config, clocks) = setup(2.0);
+        let h = coarsen(&ddg, &vec![None; 8], &config, &clocks);
+        let coarsest = h.base_groups_at(h.num_levels() - 1);
+        let mut per_cluster = [0usize; 4];
+        for (node, bgs) in coarsest.iter().enumerate() {
+            per_cluster[h.seed[node].index()] += bgs.len();
+        }
+        assert_eq!(per_cluster, [2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn heavy_edges_merge_first() {
+        // Two 2-op blobs connected internally by 3 edges, to each other by 1.
+        let mut b = DdgBuilder::new("blobs");
+        let a0 = b.op("a0", OpClass::IntArith);
+        let a1 = b.op("a1", OpClass::IntArith);
+        let c0 = b.op("b0", OpClass::IntArith);
+        let c1 = b.op("b1", OpClass::IntArith);
+        for _ in 0..3 {
+            b.flow(a0, a1);
+            b.flow(c0, c1);
+        }
+        b.flow(a1, c0);
+        // Plus free ops so coarsening has room to run (free > 4 clusters).
+        for i in 0..4 {
+            b.op(format!("f{i}"), OpClass::IntArith);
+        }
+        let ddg = b.build().unwrap();
+        let (config, clocks) = setup(4.0);
+        let h = coarsen(&ddg, &vec![None; 8], &config, &clocks);
+        // After the first matching level, a0+a1 are together and b0+b1 are
+        // together.
+        let level1 = h.base_groups_at(1);
+        let find = |op: usize| level1.iter().position(|g| {
+            g.iter().any(|&bg| h.base_groups[bg].contains(&vliw_ir::OpId(op as u32)))
+        });
+        assert_eq!(find(0), find(1));
+        assert_eq!(find(2), find(3));
+        assert_ne!(find(0), find(2));
+    }
+}

@@ -1,0 +1,144 @@
+//! Multilevel DDG partitioning for heterogeneous cluster assignment
+//! (§4.1 of the paper).
+//!
+//! The pipeline:
+//!
+//! 1. **Recurrence pre-placement** (`pin`): recurrences whose latency
+//!    approaches or exceeds some cluster's `II` budget are placed whole —
+//!    most critical first — into the *slowest* cluster that can still
+//!    schedule them, keeping energy low without hurting the `IT`
+//!    (§4.1.1).
+//! 2. **Coarsening** (`coarsen`): heavy-edge matching fuses strongly
+//!    connected macronodes until roughly one macronode per cluster
+//!    remains; a greedy load-balanced seed assignment follows.
+//! 3. **Refinement** (`refine`): walking the hierarchy from coarsest to
+//!    finest, macronodes are greedily moved between clusters whenever the
+//!    move lowers the estimated ED² of a *pseudo-schedule*
+//!    ([`evaluate_partition`]) —
+//!    an `O(V + E)` approximation of the final schedule combined with the
+//!    §3.1 energy model.
+//!
+//! For homogeneous machines with no power model the ED² objective
+//! degenerates to (estimated) execution time, recovering the baseline
+//! partitioner of the paper's prior work \[2\]\[3\].
+
+mod coarsen;
+mod pin;
+mod pseudo;
+mod refine;
+
+pub use pseudo::{evaluate_partition, PseudoEval};
+
+use vliw_ir::{condensation, Ddg};
+use vliw_machine::{ClockedConfig, ClusterId};
+use vliw_power::PowerModel;
+
+use crate::error::SchedError;
+use crate::timing::LoopClocks;
+
+/// A cluster assignment for every operation of a DDG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// `assignment[op] = cluster`.
+    pub assignment: Vec<ClusterId>,
+}
+
+impl Partition {
+    /// The trivial partition placing everything in cluster 0.
+    #[must_use]
+    pub fn all_in_first(num_ops: usize) -> Self {
+        Partition { assignment: vec![ClusterId(0); num_ops] }
+    }
+
+    /// Number of operations covered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Whether the partition covers no operations.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.assignment.is_empty()
+    }
+}
+
+/// What the partitioner optimises.
+#[derive(Debug, Clone, Copy)]
+pub struct PartitionObjective<'a> {
+    /// Energy model; `None` reduces ED² to execution time (the homogeneous
+    /// baseline objective).
+    pub power: Option<&'a PowerModel>,
+    /// Loop trip count used when estimating execution time and energy.
+    pub trip_count: u64,
+}
+
+impl Default for PartitionObjective<'_> {
+    fn default() -> Self {
+        PartitionObjective { power: None, trip_count: 100 }
+    }
+}
+
+/// Computes a cluster assignment for `ddg` at the given clocks.
+///
+/// # Errors
+///
+/// Returns [`SchedError::RecurrenceDoesNotFit`] when some recurrence cannot
+/// be placed in any cluster at this initiation time — the driver reacts by
+/// increasing the `IT`.
+pub fn compute_partition(
+    ddg: &Ddg,
+    config: &ClockedConfig,
+    clocks: &LoopClocks,
+    objective: &PartitionObjective<'_>,
+) -> Result<Partition, SchedError> {
+    let num_clusters = config.design().num_clusters;
+    if ddg.is_empty() {
+        return Ok(Partition { assignment: Vec::new() });
+    }
+    if num_clusters == 1 {
+        return Ok(Partition::all_in_first(ddg.num_ops()));
+    }
+
+    let recurrences = condensation(ddg).recurrences(ddg);
+    let pinned = pin::pin_recurrences(ddg, &recurrences, config, clocks)?;
+    let hierarchy = coarsen::coarsen(ddg, &pinned, config, clocks);
+    let assignment = refine::refine(ddg, &hierarchy, &recurrences, config, clocks, objective);
+    Ok(Partition { assignment })
+}
+
+/// The coarsening seed without refinement: pinned recurrences plus the
+/// greedy load-balanced placement. A useful *second* candidate for the
+/// scheduling driver — refinement optimises an estimate and occasionally
+/// walks away from partitions the exact scheduler would prefer.
+///
+/// # Errors
+///
+/// Returns [`SchedError::RecurrenceDoesNotFit`] as [`compute_partition`]
+/// does.
+pub fn compute_partition_unrefined(
+    ddg: &Ddg,
+    config: &ClockedConfig,
+    clocks: &LoopClocks,
+) -> Result<Partition, SchedError> {
+    let num_clusters = config.design().num_clusters;
+    if ddg.is_empty() {
+        return Ok(Partition { assignment: Vec::new() });
+    }
+    if num_clusters == 1 {
+        return Ok(Partition::all_in_first(ddg.num_ops()));
+    }
+    let recurrences = condensation(ddg).recurrences(ddg);
+    let pinned = pin::pin_recurrences(ddg, &recurrences, config, clocks)?;
+    let hierarchy = coarsen::coarsen(ddg, &pinned, config, clocks);
+    let coarsest = hierarchy.base_groups_at(hierarchy.num_levels() - 1);
+    let mut assignment = vec![vliw_machine::ClusterId(0); ddg.num_ops()];
+    for (node, bgs) in coarsest.iter().enumerate() {
+        for &bg in bgs {
+            for &op in &hierarchy.base_groups[bg] {
+                assignment[op.index()] = hierarchy.seed[node];
+            }
+        }
+    }
+    Ok(Partition { assignment })
+}

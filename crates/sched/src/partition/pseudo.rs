@@ -1,0 +1,349 @@
+//! Pseudo-schedules: fast `O(V + E)` estimates of the schedule a partition
+//! will produce (§4.1.2, after \[3\]).
+//!
+//! A pseudo-schedule does not place operations in slots; it estimates the
+//! two quantities the refinement objective needs:
+//!
+//! * the **initiation time** the partition will force — resource rows per
+//!   cluster, bus rows for the communications the partition implies, and
+//!   per-cluster recurrence constraints (a recurrence placed in a slow
+//!   cluster stretches the `IT`; one split across clusters additionally
+//!   pays bus and synchronisation latencies);
+//! * the **iteration length** — an ASAP pass over the acyclic (distance-0)
+//!   part of the graph with communication latencies folded in.
+//!
+//! Combined with the §3.1 energy model this yields the estimated ED² the
+//! refiner minimises; without a power model the estimate degenerates to
+//! execution time (homogeneous baseline objective).
+
+use std::collections::HashSet;
+
+use vliw_ir::{Ddg, DepKind, FuKind, Recurrence};
+use vliw_machine::{ClockedConfig, ClusterId, DomainId};
+use vliw_power::UsageProfile;
+use vliw_machine::Time;
+
+use super::PartitionObjective;
+use crate::timing::LoopClocks;
+
+/// The pseudo-schedule's estimates for one candidate partition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PseudoEval {
+    /// Estimated initiation time, ns.
+    pub est_it_ns: f64,
+    /// Estimated total execution time, ns.
+    pub est_exec_ns: f64,
+    /// Estimated energy (reference-run units; `1.0` when no power model).
+    pub energy: f64,
+    /// The objective: energy × delay².
+    pub ed2: f64,
+}
+
+/// Evaluates `assignment` (one cluster per op).
+///
+/// Infeasible partitions (e.g. FP work in a cluster with no FP units)
+/// return `ed2 = ∞` so the refiner steers away from them.
+///
+/// # Panics
+///
+/// Panics if `assignment.len() != ddg.num_ops()`.
+#[must_use]
+pub fn evaluate_partition(
+    ddg: &Ddg,
+    assignment: &[ClusterId],
+    recurrences: &[Recurrence],
+    config: &ClockedConfig,
+    clocks: &LoopClocks,
+    objective: &PartitionObjective<'_>,
+) -> PseudoEval {
+    assert_eq!(assignment.len(), ddg.num_ops(), "one cluster per operation");
+    let design = config.design();
+    let it_ns = clocks.it().as_ns();
+    let cycle_ns =
+        |c: ClusterId| it_ns / clocks.cluster_ii(c) as f64;
+    let icn_cycle_ns = it_ns / clocks.icn_ii() as f64;
+    let cache_cycle_ns = it_ns / clocks.cache_ii() as f64;
+
+    let mut est_it = it_ns;
+    let infeasible = PseudoEval {
+        est_it_ns: f64::INFINITY,
+        est_exec_ns: f64::INFINITY,
+        energy: f64::INFINITY,
+        ed2: f64::INFINITY,
+    };
+
+    // --- Resource rows per cluster.
+    let mut counts = vec![[0u64; 3]; usize::from(design.num_clusters)];
+    let kind_index = |k: FuKind| match k {
+        FuKind::Int => 0usize,
+        FuKind::Fp => 1,
+        FuKind::Mem => 2,
+        FuKind::Bus => unreachable!("real ops never occupy the bus"),
+    };
+    for op in ddg.ops() {
+        counts[assignment[op.id().index()].index()][kind_index(op.fu_kind())] += 1;
+    }
+    for c in design.clusters() {
+        for (ki, kind) in [FuKind::Int, FuKind::Fp, FuKind::Mem].into_iter().enumerate() {
+            let n = counts[c.index()][ki];
+            if n == 0 {
+                continue;
+            }
+            let fus = u64::from(design.cluster.fu_count(kind));
+            if fus == 0 {
+                return infeasible;
+            }
+            let rows = n.div_ceil(fus);
+            est_it = est_it.max(rows as f64 * cycle_ns(c));
+        }
+    }
+
+    // --- Bus rows for the communications this partition implies (one
+    // broadcast per producer whose value leaves its cluster).
+    let mut comm_producers: HashSet<u32> = HashSet::new();
+    for e in ddg.edges() {
+        if e.kind() != DepKind::Flow {
+            continue;
+        }
+        let (s, d) = (assignment[e.src().index()], assignment[e.dst().index()]);
+        if s != d {
+            comm_producers.insert(e.src().0);
+        }
+    }
+    let comms = comm_producers.len() as u64;
+    if comms > 0 {
+        let rows = comms.div_ceil(u64::from(design.buses));
+        est_it = est_it.max(rows as f64 * icn_cycle_ns);
+    }
+
+    // --- Recurrence constraints.
+    for rec in recurrences {
+        let used: HashSet<ClusterId> =
+            rec.ops.iter().map(|&op| assignment[op.index()]).collect();
+        let slowest_used_ns = used
+            .iter()
+            .map(|&c| cycle_ns(c))
+            .fold(0.0f64, f64::max);
+        let mut needed = rec.critical_ratio.value() * slowest_used_ns;
+        if used.len() > 1 {
+            // Split recurrence: every crossing inside it pays a bus
+            // transfer plus two synchronisation-queue cycles.
+            let crossings = ddg
+                .edges()
+                .filter(|e| {
+                    e.kind() == DepKind::Flow
+                        && rec.ops.contains(&e.src())
+                        && rec.ops.contains(&e.dst())
+                        && assignment[e.src().index()] != assignment[e.dst().index()]
+                })
+                .count() as f64;
+            needed += crossings * 3.0 * icn_cycle_ns;
+        }
+        est_it = est_it.max(needed);
+    }
+
+    // --- Iteration length: ASAP over the distance-0 subgraph.
+    let order = vliw_ir::topological_order(ddg).expect("validated DDG has an acyclic core");
+    let mut finish = vec![0.0f64; ddg.num_ops()];
+    let mut itlen = 0.0f64;
+    for &v in &order {
+        let cluster = assignment[v.index()];
+        let mut start = 0.0f64;
+        for e in ddg.preds(v) {
+            if e.distance() != 0 {
+                continue;
+            }
+            let mut ready = finish[e.src().index()];
+            if e.kind() == DepKind::Flow && assignment[e.src().index()] != cluster {
+                // Bus transfer + two sync-queue cycles, as in the extended
+                // graph's copy path.
+                ready += 3.0 * icn_cycle_ns;
+            }
+            start = start.max(ready);
+        }
+        let class = ddg.op(v).class();
+        let lat_ns = if class.is_memory() {
+            let cluster_dom = DomainId::Cluster(cluster);
+            let syncs = f64::from(
+                config.sync_penalty_cycles(cluster_dom, DomainId::Cache)
+                    + config.sync_penalty_cycles(DomainId::Cache, cluster_dom),
+            );
+            (f64::from(class.latency()) + syncs) * cache_cycle_ns
+        } else {
+            f64::from(class.latency()) * cycle_ns(cluster)
+        };
+        finish[v.index()] = start + lat_ns;
+        itlen = itlen.max(finish[v.index()]);
+    }
+
+    let trips = objective.trip_count.max(1) as f64;
+    let est_exec_ns = (trips - 1.0) * est_it + itlen;
+
+    // --- Energy.
+    let energy = match objective.power {
+        // Time-only objective: rank by execution time, with a small
+        // communication penalty as a strong tie-break — the homogeneous
+        // baseline \[3\] also prefers comm-lean partitions among equals,
+        // and comm-lean partitions schedule more robustly.
+        None => 1.0 + 0.002 * comms as f64,
+        Some(power) => {
+            let mut weighted = vec![0.0f64; usize::from(design.num_clusters)];
+            for op in ddg.ops() {
+                weighted[assignment[op.id().index()].index()] +=
+                    op.class().relative_energy() * trips;
+            }
+            let usage = UsageProfile {
+                weighted_ins_per_cluster: weighted,
+                comms: comms * objective.trip_count,
+                mem_accesses: ddg.count_memory_ops() as u64 * objective.trip_count,
+                exec_time: Time::from_ns(est_exec_ns),
+            };
+            match power.estimate_energy(config, &usage) {
+                Some(e) => e,
+                None => return infeasible,
+            }
+        }
+    };
+    let secs = est_exec_ns * 1e-9;
+    PseudoEval { est_it_ns: est_it, est_exec_ns, energy, ed2: energy * secs * secs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vliw_ir::{condensation, DdgBuilder, OpClass};
+    use vliw_machine::{FrequencyMenu, MachineDesign, Time};
+
+    fn setup(it_ns: f64) -> (ClockedConfig, LoopClocks) {
+        let config = ClockedConfig::reference(MachineDesign::paper_machine(1));
+        let clocks =
+            LoopClocks::select(&config, &FrequencyMenu::unrestricted(), Time::from_ns(it_ns))
+                .unwrap();
+        (config, clocks)
+    }
+
+    fn objective() -> PartitionObjective<'static> {
+        PartitionObjective { power: None, trip_count: 100 }
+    }
+
+    #[test]
+    fn balanced_beats_overloaded() {
+        // 8 int ops: all in one cluster needs 8 rows (II 2 ⇒ IT inflation);
+        // spreading 2 per cluster fits.
+        let mut b = DdgBuilder::new("par");
+        for i in 0..8 {
+            b.op(format!("n{i}"), OpClass::IntArith);
+        }
+        let ddg = b.build().unwrap();
+        let (config, clocks) = setup(2.0);
+        let recs = [];
+        let all_one = vec![ClusterId(0); 8];
+        let spread: Vec<ClusterId> =
+            (0..8).map(|i| ClusterId((i % 4) as u8)).collect();
+        let bad =
+            evaluate_partition(&ddg, &all_one, &recs, &config, &clocks, &objective());
+        let good =
+            evaluate_partition(&ddg, &spread, &recs, &config, &clocks, &objective());
+        assert!(good.ed2 < bad.ed2);
+        assert!(bad.est_it_ns >= 8.0, "8 rows of 1 ns each");
+        assert!((good.est_it_ns - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn communication_costs_show_up() {
+        // A tight chain: splitting it across clusters adds bus latency.
+        let mut b = DdgBuilder::new("chain");
+        let ids: Vec<_> = (0..4).map(|i| b.op(format!("n{i}"), OpClass::IntArith)).collect();
+        for w in ids.windows(2) {
+            b.flow(w[0], w[1]);
+        }
+        let ddg = b.build().unwrap();
+        let (config, clocks) = setup(4.0);
+        let recs = [];
+        let together = vec![ClusterId(0); 4];
+        let split = vec![ClusterId(0), ClusterId(1), ClusterId(0), ClusterId(1)];
+        let t = evaluate_partition(&ddg, &together, &recs, &config, &clocks, &objective());
+        let s = evaluate_partition(&ddg, &split, &recs, &config, &clocks, &objective());
+        assert!(t.ed2 < s.ed2, "communication-free partition must win");
+    }
+
+    #[test]
+    fn split_recurrence_is_penalised() {
+        let mut b = DdgBuilder::new("rec");
+        let x = b.op("x", OpClass::IntArith);
+        let y = b.op("y", OpClass::IntArith);
+        b.flow(x, y);
+        b.flow_carried(y, x, 1);
+        let ddg = b.build().unwrap();
+        let (config, clocks) = setup(4.0);
+        let recs = condensation(&ddg).recurrences(&ddg);
+        let whole = vec![ClusterId(0); 2];
+        let split = vec![ClusterId(0), ClusterId(1)];
+        let w = evaluate_partition(&ddg, &whole, &recs, &config, &clocks, &objective());
+        let s = evaluate_partition(&ddg, &split, &recs, &config, &clocks, &objective());
+        assert!(w.est_it_ns < s.est_it_ns);
+    }
+
+    #[test]
+    fn slow_cluster_recurrence_stretches_it() {
+        let design = MachineDesign::paper_machine(1);
+        let config =
+            ClockedConfig::heterogeneous(design, Time::from_ns(1.0), 1, Time::from_ns(2.0));
+        let clocks =
+            LoopClocks::select(&config, &FrequencyMenu::unrestricted(), Time::from_ns(4.0))
+                .unwrap();
+        let mut b = DdgBuilder::new("rec");
+        let x = b.op("x", OpClass::FpArith);
+        b.flow_carried(x, x, 1); // ratio 3
+        let ddg = b.build().unwrap();
+        let recs = condensation(&ddg).recurrences(&ddg);
+        let fast = vec![ClusterId(0)];
+        let slow = vec![ClusterId(1)];
+        let f = evaluate_partition(&ddg, &fast, &recs, &config, &clocks, &objective());
+        let s = evaluate_partition(&ddg, &slow, &recs, &config, &clocks, &objective());
+        // In the fast cluster the recurrence needs 3 ns; in the slow one 6.
+        assert!((f.est_it_ns - 4.0).abs() < 1e-6, "fits inside IT 4");
+        assert!((s.est_it_ns - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn energy_model_prefers_work_in_cheap_clusters() {
+        use vliw_power::{EnergyShares, PowerModel, ReferenceProfile};
+        let design = MachineDesign::paper_machine(1);
+        let profile = ReferenceProfile {
+            weighted_ins: 10_000.0,
+            comms: 500,
+            mem_accesses: 2_000,
+            exec_time: Time::from_ns(10_000.0),
+        };
+        let power = PowerModel::calibrate(design, EnergyShares::PAPER, &profile);
+        let config = ClockedConfig::heterogeneous(
+            design,
+            Time::from_ns(1.0),
+            1,
+            Time::from_ns(1.25),
+        )
+        .with_voltages(vliw_machine::Voltages {
+            clusters: vec![1.0, 0.8, 0.8, 0.8],
+            icn: 1.0,
+            cache: 1.0,
+        });
+        let clocks =
+            LoopClocks::select(&config, &FrequencyMenu::unrestricted(), Time::from_ns(5.0))
+                .unwrap();
+        // Independent ops: either all in the fast/hot cluster or spread to
+        // the cheap ones.
+        let mut b = DdgBuilder::new("par");
+        for i in 0..4 {
+            b.op(format!("n{i}"), OpClass::FpArith);
+        }
+        let ddg = b.build().unwrap();
+        let obj = PartitionObjective { power: Some(&power), trip_count: 100 };
+        let hot = vec![ClusterId(0); 4];
+        let cheap = vec![ClusterId(1), ClusterId(1), ClusterId(2), ClusterId(3)];
+        let h = evaluate_partition(&ddg, &hot, &[], &config, &clocks, &obj);
+        let c = evaluate_partition(&ddg, &cheap, &[], &config, &clocks, &obj);
+        assert!(c.energy < h.energy);
+        assert!(c.ed2 < h.ed2);
+    }
+}

@@ -1,0 +1,204 @@
+//! Multilevel refinement (§4.1.2): greedy macronode moves guided by
+//! pseudo-schedule ED².
+
+use vliw_ir::Recurrence;
+use vliw_machine::{ClockedConfig, ClusterId};
+
+use super::coarsen::Hierarchy;
+use super::pseudo::evaluate_partition;
+use super::PartitionObjective;
+use crate::timing::LoopClocks;
+use vliw_ir::Ddg;
+
+/// Maximum improvement passes per hierarchy level.
+const PASS_LIMIT: usize = 6;
+
+/// Refines the hierarchy's seed assignment from the coarsest level down to
+/// the base, returning the final per-op cluster assignment.
+pub(crate) fn refine(
+    ddg: &Ddg,
+    hierarchy: &Hierarchy,
+    recurrences: &[Recurrence],
+    config: &ClockedConfig,
+    clocks: &LoopClocks,
+    objective: &PartitionObjective<'_>,
+) -> Vec<ClusterId> {
+    // Assignment per *base group*, seeded from the coarsest level.
+    let coarsest_level = hierarchy.num_levels() - 1;
+    let coarsest = hierarchy.base_groups_at(coarsest_level);
+    let mut base_assign: Vec<ClusterId> = vec![ClusterId(0); hierarchy.base_groups.len()];
+    for (node, bgs) in coarsest.iter().enumerate() {
+        for &bg in bgs {
+            base_assign[bg] = hierarchy.seed[node];
+        }
+    }
+
+    let clusters: Vec<ClusterId> = config.design().clusters().collect();
+    // Walk levels coarsest → finest; at each level try moving whole
+    // macronodes between clusters.
+    for level in (0..hierarchy.num_levels()).rev() {
+        let groups = hierarchy.base_groups_at(level);
+        let mut current_eval = {
+            let assignment = induce(ddg, hierarchy, &base_assign);
+            evaluate_partition(ddg, &assignment, recurrences, config, clocks, objective)
+        };
+        for _pass in 0..PASS_LIMIT {
+            let mut improved = false;
+            for bgs in &groups {
+                // Pinned groups are fixed (recurrence pre-placement).
+                if bgs.iter().any(|&bg| hierarchy.base_pin[bg].is_some()) {
+                    continue;
+                }
+                let from = base_assign[bgs[0]];
+                let mut best: Option<(ClusterId, super::pseudo::PseudoEval)> = None;
+                for &to in &clusters {
+                    if to == from {
+                        continue;
+                    }
+                    for &bg in bgs {
+                        base_assign[bg] = to;
+                    }
+                    let assignment = induce(ddg, hierarchy, &base_assign);
+                    let eval = evaluate_partition(
+                        ddg,
+                        &assignment,
+                        recurrences,
+                        config,
+                        clocks,
+                        objective,
+                    );
+                    if eval.ed2 < current_eval.ed2
+                        && best.as_ref().is_none_or(|(_, b)| eval.ed2 < b.ed2)
+                    {
+                        best = Some((to, eval));
+                    }
+                }
+                match best {
+                    Some((to, eval)) => {
+                        for &bg in bgs {
+                            base_assign[bg] = to;
+                        }
+                        current_eval = eval;
+                        improved = true;
+                    }
+                    None => {
+                        // Restore.
+                        for &bg in bgs {
+                            base_assign[bg] = from;
+                        }
+                    }
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+    }
+    induce(ddg, hierarchy, &base_assign)
+}
+
+/// Expands a base-group assignment to a per-op assignment.
+fn induce(ddg: &Ddg, hierarchy: &Hierarchy, base_assign: &[ClusterId]) -> Vec<ClusterId> {
+    let mut assignment = vec![ClusterId(0); ddg.num_ops()];
+    for (bg, ops) in hierarchy.base_groups.iter().enumerate() {
+        for &op in ops {
+            assignment[op.index()] = base_assign[bg];
+        }
+    }
+    assignment
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::{compute_partition, PartitionObjective};
+    use vliw_ir::{DdgBuilder, OpClass};
+    use vliw_machine::{FrequencyMenu, MachineDesign, Time};
+
+    fn setup(it_ns: f64) -> (ClockedConfig, LoopClocks) {
+        let config = ClockedConfig::reference(MachineDesign::paper_machine(1));
+        let clocks =
+            LoopClocks::select(&config, &FrequencyMenu::unrestricted(), Time::from_ns(it_ns))
+                .unwrap();
+        (config, clocks)
+    }
+
+    #[test]
+    fn partition_keeps_tight_chain_together() {
+        let mut b = DdgBuilder::new("chain");
+        let ids: Vec<_> = (0..3).map(|i| b.op(format!("n{i}"), OpClass::IntArith)).collect();
+        for w in ids.windows(2) {
+            b.flow(w[0], w[1]);
+        }
+        let ddg = b.build().unwrap();
+        let (config, clocks) = setup(3.0);
+        let p =
+            compute_partition(&ddg, &config, &clocks, &PartitionObjective::default()).unwrap();
+        // A 3-op chain fits one cluster (II 3); splitting costs a bus trip.
+        let first = p.assignment[0];
+        assert!(p.assignment.iter().all(|&c| c == first), "{:?}", p.assignment);
+    }
+
+    #[test]
+    fn partition_spreads_parallel_work() {
+        let mut b = DdgBuilder::new("par");
+        for i in 0..8 {
+            b.op(format!("n{i}"), OpClass::IntArith);
+        }
+        let ddg = b.build().unwrap();
+        let (config, clocks) = setup(2.0);
+        let p =
+            compute_partition(&ddg, &config, &clocks, &PartitionObjective::default()).unwrap();
+        let mut per = [0usize; 4];
+        for &c in &p.assignment {
+            per[c.index()] += 1;
+        }
+        assert_eq!(per, [2, 2, 2, 2], "{:?}", p.assignment);
+    }
+
+    #[test]
+    fn recurrence_is_pinned_to_slow_cluster_in_hetero() {
+        let design = MachineDesign::paper_machine(1);
+        let config =
+            ClockedConfig::heterogeneous(design, Time::from_ns(1.0), 1, Time::from_ns(2.0));
+        let clocks =
+            LoopClocks::select(&config, &FrequencyMenu::unrestricted(), Time::from_ns(6.0))
+                .unwrap();
+        let mut b = DdgBuilder::new("rec+free");
+        let x = b.op("x", OpClass::FpArith);
+        b.flow_carried(x, x, 1); // min II 3 ⇒ fits slow clusters (II 3)
+        for i in 0..3 {
+            b.op(format!("f{i}"), OpClass::IntArith);
+        }
+        let ddg = b.build().unwrap();
+        let p =
+            compute_partition(&ddg, &config, &clocks, &PartitionObjective::default()).unwrap();
+        assert_eq!(config.cluster_cycle(p.assignment[0]), Time::from_ns(2.0));
+    }
+
+    #[test]
+    fn single_cluster_machine_takes_everything() {
+        let design = MachineDesign::new(1, vliw_machine::ClusterDesign::PAPER, 1);
+        let config = ClockedConfig::reference(design);
+        let clocks =
+            LoopClocks::select(&config, &FrequencyMenu::unrestricted(), Time::from_ns(8.0))
+                .unwrap();
+        let mut b = DdgBuilder::new("all");
+        for i in 0..5 {
+            b.op(format!("n{i}"), OpClass::IntArith);
+        }
+        let ddg = b.build().unwrap();
+        let p =
+            compute_partition(&ddg, &config, &clocks, &PartitionObjective::default()).unwrap();
+        assert!(p.assignment.iter().all(|&c| c == ClusterId(0)));
+    }
+
+    #[test]
+    fn empty_ddg_gives_empty_partition() {
+        let ddg = DdgBuilder::new("empty").build().unwrap();
+        let (config, clocks) = setup(1.0);
+        let p =
+            compute_partition(&ddg, &config, &clocks, &PartitionObjective::default()).unwrap();
+        assert!(p.is_empty());
+    }
+}

@@ -1,0 +1,278 @@
+//! Register-pressure analysis of a modulo schedule (MaxLives).
+//!
+//! In a modulo-scheduled loop, a value defined at tick `d` and last read at
+//! tick `r` is live for `r − d` ticks *in every iteration*, and iterations
+//! overlap every `L` ticks (one initiation time). A lifetime of length
+//! `len` therefore occupies `⌊len / L⌋` registers at every instant plus one
+//! more inside the wrapped window `[d mod L, (d + len) mod L)`. The maximum
+//! simultaneous count over one `L`-tick window — *MaxLives* — must not
+//! exceed the cluster's register-file size for the schedule to be
+//! allocatable.
+
+use crate::comm::{ExtGraph, NodePlace};
+use crate::timing::LoopClocks;
+
+/// Per-cluster MaxLives of a schedule.
+///
+/// `issue_ticks[n]` is the issue time of extended-graph node `n` in ticks.
+/// Values are attributed to the register file that holds them: an
+/// operation's result lives in its own cluster; a broadcast copy's result
+/// lives in *every* cluster that consumes it.
+///
+/// # Panics
+///
+/// Panics if `issue_ticks.len() != graph.num_nodes()`.
+#[must_use]
+pub fn max_lives(
+    graph: &ExtGraph,
+    clocks: &LoopClocks,
+    num_clusters: u8,
+    issue_ticks: &[u64],
+) -> Vec<u32> {
+    let l = clocks.ticks_per_it();
+    let intervals = lifetime_intervals(graph, clocks, num_clusters, issue_ticks);
+    intervals.iter().map(|iv| max_overlap(iv, l)).collect()
+}
+
+/// Sum of all register lifetimes, in ticks — the quantity the paper's §3.2
+/// "lifetime slots" feasibility check consumes (`Σ lifetimes` must fit in
+/// `registers · II` per cluster).
+///
+/// # Panics
+///
+/// Panics if `issue_ticks.len() != graph.num_nodes()`.
+#[must_use]
+pub fn lifetime_sum_ticks(
+    graph: &ExtGraph,
+    clocks: &LoopClocks,
+    num_clusters: u8,
+    issue_ticks: &[u64],
+) -> u64 {
+    lifetime_intervals(graph, clocks, num_clusters, issue_ticks)
+        .iter()
+        .flatten()
+        .map(|&(s, e)| e - s)
+        .sum()
+}
+
+/// Per-cluster `[def, last_read)` intervals of every register value.
+fn lifetime_intervals(
+    graph: &ExtGraph,
+    clocks: &LoopClocks,
+    num_clusters: u8,
+    issue_ticks: &[u64],
+) -> Vec<Vec<(u64, u64)>> {
+    assert_eq!(issue_ticks.len(), graph.num_nodes(), "one issue tick per node");
+    let l = clocks.ticks_per_it();
+    let mut intervals: Vec<Vec<(u64, u64)>> = vec![Vec::new(); usize::from(num_clusters)];
+
+    for n in graph.nodes() {
+        match graph.place(n) {
+            NodePlace::Cluster(home) => {
+                // A real op's value is ready after its result latency and
+                // lives in its own cluster until the last local read. A
+                // copy reads from this register file at its own issue,
+                // which is covered because the copy is a successor of the
+                // producer in the extended graph.
+                let def = issue_ticks[n.index()] + graph.result_latency_ticks(n);
+                let mut last_read: Option<u64> = None;
+                for e in graph.succs(n) {
+                    if !e.value {
+                        continue;
+                    }
+                    let read = issue_ticks[e.dst.index()] + u64::from(e.distance) * l;
+                    last_read = Some(last_read.map_or(read, |r| r.max(read)));
+                }
+                if let Some(end) = last_read {
+                    // A valid schedule reads after the def; clamp
+                    // defensively so a broken caller sees pressure rather
+                    // than underflow.
+                    intervals[home.index()].push((def, end.max(def)));
+                }
+            }
+            NodePlace::Bus => {
+                // A broadcast copy lands a value in *every* consuming
+                // cluster's register file: one interval per consumer
+                // cluster, from the (per-cluster) arrival to the last read
+                // in that cluster.
+                let mut per_cluster: Vec<Option<(u64, u64)>> =
+                    vec![None; usize::from(num_clusters)];
+                for e in graph.succs(n) {
+                    if !e.value {
+                        continue;
+                    }
+                    let NodePlace::Cluster(c) = graph.place(e.dst) else {
+                        continue; // copies never feed copies
+                    };
+                    let def = issue_ticks[n.index()] + e.latency_ticks;
+                    let read = issue_ticks[e.dst.index()] + u64::from(e.distance) * l;
+                    let slot = &mut per_cluster[c.index()];
+                    *slot = Some(match *slot {
+                        None => (def, read.max(def)),
+                        Some((d, r)) => (d.min(def), r.max(read.max(def))),
+                    });
+                }
+                for (c, slot) in per_cluster.into_iter().enumerate() {
+                    if let Some((def, end)) = slot {
+                        intervals[c].push((def, end.max(def)));
+                    }
+                }
+            }
+        }
+    }
+    intervals
+}
+
+/// Maximum number of simultaneously live `[start, end)` intervals folded
+/// modulo `l`.
+fn max_overlap(intervals: &[(u64, u64)], l: u64) -> u32 {
+    if intervals.is_empty() {
+        return 0;
+    }
+    // Baseline: whole wraps.
+    let mut base: u64 = 0;
+    // Sweep events on [0, l).
+    let mut events: Vec<(u64, i64)> = Vec::with_capacity(intervals.len() * 2);
+    for &(start, end) in intervals {
+        let len = end - start;
+        base += len / l;
+        let rem = len % l;
+        if rem == 0 {
+            continue;
+        }
+        let s = start % l;
+        let e = (start + rem) % l;
+        if s < e {
+            events.push((s, 1));
+            events.push((e, -1));
+        } else {
+            // Wrapped remainder: live on [s, l) and [0, e).
+            base += 1;
+            events.push((e, -1));
+            events.push((s, 1));
+        }
+    }
+    events.sort_unstable_by_key(|&(t, d)| (t, d));
+    let mut current = i64::try_from(base).expect("pressure fits i64");
+    let mut best = current;
+    for (_, d) in events {
+        current += d;
+        best = best.max(current);
+    }
+    u32::try_from(best.max(0)).expect("pressure fits u32")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vliw_ir::{DdgBuilder, OpClass};
+    use vliw_machine::{ClockedConfig, ClusterId, FrequencyMenu, MachineDesign, Time};
+
+    fn homogeneous_clocks(it_ns: f64) -> (ClockedConfig, LoopClocks) {
+        let config = ClockedConfig::reference(MachineDesign::paper_machine(1));
+        let clocks =
+            LoopClocks::select(&config, &FrequencyMenu::unrestricted(), Time::from_ns(it_ns))
+                .unwrap();
+        (config, clocks)
+    }
+
+    #[test]
+    fn single_short_value() {
+        // a → b in one cluster, II = 4, a at cycle 0, b at cycle 1.
+        let mut b = DdgBuilder::new("t");
+        let a = b.op("a", OpClass::IntArith);
+        let c = b.op("b", OpClass::IntArith);
+        b.flow(a, c);
+        let ddg = b.build().unwrap();
+        let (config, clocks) = homogeneous_clocks(4.0);
+        let g = ExtGraph::build(&ddg, &[ClusterId(0), ClusterId(0)], &config, &clocks);
+        // Ticks: L=4, 1 tick per cycle. a issues at 0 (ready at 1), b reads
+        // at its issue, tick 2 ⇒ the value lives for 1 tick.
+        let lives = max_lives(&g, &clocks, 4, &[0, 2]);
+        assert_eq!(lives, vec![1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn long_lifetime_overlaps_iterations() {
+        // Value live for 2.5 IIs ⇒ 3 overlapping copies at its busiest.
+        let mut b = DdgBuilder::new("t");
+        let a = b.op("a", OpClass::IntArith);
+        let c = b.op("b", OpClass::IntArith);
+        b.flow(a, c);
+        let ddg = b.build().unwrap();
+        let (config, clocks) = homogeneous_clocks(4.0);
+        let g = ExtGraph::build(&ddg, &[ClusterId(0), ClusterId(0)], &config, &clocks);
+        // a at 0 (ready at 1), b reads at 11: lifetime 10 ticks, L=4:
+        // floor(10/4)=2 everywhere + 1 on [1, 3) ⇒ max 3.
+        let lives = max_lives(&g, &clocks, 4, &[0, 11]);
+        assert_eq!(lives[0], 3);
+    }
+
+    #[test]
+    fn carried_read_extends_lifetime() {
+        let mut b = DdgBuilder::new("t");
+        let a = b.op("a", OpClass::IntArith);
+        let c = b.op("b", OpClass::IntArith);
+        b.flow_carried(a, c, 2);
+        let ddg = b.build().unwrap();
+        let (config, clocks) = homogeneous_clocks(4.0);
+        let g = ExtGraph::build(&ddg, &[ClusterId(0), ClusterId(0)], &config, &clocks);
+        // a ready at 1; b issues at 1 but reads the value from 2 iterations
+        // back ⇒ read at 1 + 2·4 = 9; lifetime 8 ⇒ 2 everywhere.
+        let lives = max_lives(&g, &clocks, 4, &[0, 1]);
+        assert_eq!(lives[0], 2);
+    }
+
+    #[test]
+    fn copy_value_pressures_destination_cluster() {
+        let mut b = DdgBuilder::new("t");
+        let a = b.op("a", OpClass::IntArith);
+        let c = b.op("b", OpClass::IntArith);
+        b.flow(a, c);
+        let ddg = b.build().unwrap();
+        let (config, clocks) = homogeneous_clocks(4.0);
+        let g = ExtGraph::build(&ddg, &[ClusterId(0), ClusterId(1)], &config, &clocks);
+        assert_eq!(g.copies().len(), 1);
+        // a at tick 0 (C0), copy at tick 2 (bus), b at tick 4 (C1).
+        let lives = max_lives(&g, &clocks, 4, &[0, 4, 2]);
+        // C0 holds a's value from 1 to the copy's read at 2.
+        assert_eq!(lives[0], 1);
+        // C1 holds the copied value from its arrival (copy issue 2 + 1 bus
+        // cycle, same-frequency domains ⇒ no sync) until b reads at 4.
+        assert_eq!(lives[1], 1);
+    }
+
+    #[test]
+    fn sink_without_consumers_needs_no_register() {
+        let mut b = DdgBuilder::new("t");
+        b.op("store", OpClass::FpMemory);
+        let ddg = b.build().unwrap();
+        let (config, clocks) = homogeneous_clocks(2.0);
+        let g = ExtGraph::build(&ddg, &[ClusterId(0)], &config, &clocks);
+        assert_eq!(max_lives(&g, &clocks, 4, &[0]), vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn order_edges_create_no_pressure() {
+        let mut b = DdgBuilder::new("t");
+        let s = b.op("s", OpClass::FpMemory);
+        let l = b.op("l", OpClass::FpMemory);
+        b.order(s, l, 1, 0);
+        let ddg = b.build().unwrap();
+        let (config, clocks) = homogeneous_clocks(2.0);
+        let g = ExtGraph::build(&ddg, &[ClusterId(0), ClusterId(0)], &config, &clocks);
+        assert_eq!(max_lives(&g, &clocks, 4, &[0, 4]), vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn max_overlap_exact_boundaries() {
+        // Two abutting intervals never overlap.
+        assert_eq!(max_overlap(&[(0, 2), (2, 4)], 4), 1);
+        // Identical intervals stack.
+        assert_eq!(max_overlap(&[(0, 3), (0, 3), (0, 3)], 4), 3);
+        // Zero-length interval contributes nothing.
+        assert_eq!(max_overlap(&[(1, 1)], 4), 0);
+        // Exactly one full wrap counts once everywhere.
+        assert_eq!(max_overlap(&[(3, 7)], 4), 1);
+    }
+}

@@ -1,0 +1,449 @@
+//! Heterogeneous modulo-scheduling timing: initiation time, per-component
+//! initiation intervals, and the minimum initiation time (§2.2 of the
+//! paper).
+//!
+//! On a heterogeneous machine the elapsed time between consecutive
+//! iterations — the *initiation time* `IT` — is one global constant, but
+//! each clock domain sees its own integer *initiation interval*
+//! `II_X = IT · f_X`. [`LoopClocks`] captures one consistent choice of
+//! `(frequency, II)` pairs for every domain at a given `IT` (the "Select IIs
+//! & freqs" box of Figure 5), and fixes an exact sub-cycle time unit — the
+//! *tick*, `IT / L` where `L = lcm(II_X)` — in which every domain's cycle
+//! length is an integer. All schedule arithmetic happens in ticks, so no
+//! floating-point rounding can violate a dependence.
+
+use vliw_ir::{Ddg, FuKind};
+use vliw_machine::{ClockedConfig, ClusterId, DomainId, FrequencyMenu, Time};
+
+use crate::SchedError;
+
+/// A consistent clock assignment for one loop at one initiation time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopClocks {
+    it: Time,
+    cluster_iis: Vec<u64>,
+    icn_ii: u64,
+    cache_ii: u64,
+    ticks_per_it: u64,
+}
+
+impl LoopClocks {
+    /// Upper bound on `L = lcm(II_X)` before we refuse a configuration as
+    /// pathological (it would make tick arithmetic needlessly huge).
+    const MAX_TICKS: u64 = 1 << 42;
+
+    /// Selects `(frequency, II)` pairs for every domain at initiation time
+    /// `it`, or `None` when some domain cannot synchronise (no supported
+    /// frequency divides `it`) — the caller must then increase the `IT`
+    /// ("synchronization problems", §4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `it` is zero.
+    #[must_use]
+    pub fn select(config: &ClockedConfig, menu: &FrequencyMenu, it: Time) -> Option<Self> {
+        assert!(!it.is_zero(), "initiation time must be positive");
+        let mut cluster_iis = Vec::with_capacity(usize::from(config.design().num_clusters));
+        for c in config.design().clusters() {
+            cluster_iis.push(menu.available_ii(config.cluster_cycle(c), it)?);
+        }
+        let icn_ii = menu.available_ii(config.icn_cycle(), it)?;
+        let cache_ii = menu.available_ii(config.cache_cycle(), it)?;
+        let mut l: u64 = 1;
+        for &ii in cluster_iis.iter().chain([&icn_ii, &cache_ii]) {
+            l = lcm(l, ii);
+            if l > Self::MAX_TICKS {
+                return None;
+            }
+        }
+        Some(LoopClocks { it, cluster_iis, icn_ii, cache_ii, ticks_per_it: l })
+    }
+
+    /// The initiation time.
+    #[must_use]
+    pub fn it(&self) -> Time {
+        self.it
+    }
+
+    /// The initiation interval of cluster `c`, in that cluster's cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    #[must_use]
+    pub fn cluster_ii(&self, c: ClusterId) -> u64 {
+        self.cluster_iis[c.index()]
+    }
+
+    /// The interconnect's initiation interval.
+    #[must_use]
+    pub fn icn_ii(&self) -> u64 {
+        self.icn_ii
+    }
+
+    /// The memory hierarchy's initiation interval.
+    #[must_use]
+    pub fn cache_ii(&self) -> u64 {
+        self.cache_ii
+    }
+
+    /// The initiation interval of an arbitrary domain.
+    #[must_use]
+    pub fn domain_ii(&self, domain: DomainId) -> u64 {
+        match domain {
+            DomainId::Cluster(c) => self.cluster_ii(c),
+            DomainId::Icn => self.icn_ii,
+            DomainId::Cache => self.cache_ii,
+        }
+    }
+
+    /// Ticks per initiation time (`L`): the exact common time base.
+    #[must_use]
+    pub fn ticks_per_it(&self) -> u64 {
+        self.ticks_per_it
+    }
+
+    /// Length of one cycle of `domain`, in ticks (exact).
+    #[must_use]
+    pub fn domain_cycle_ticks(&self, domain: DomainId) -> u64 {
+        self.ticks_per_it / self.domain_ii(domain)
+    }
+
+    /// Converts a tick count to wall-clock time (rounded to femtoseconds).
+    #[must_use]
+    pub fn ticks_to_time(&self, ticks: u64) -> Time {
+        let fs = u128::from(ticks) * u128::from(self.it.as_fs()) / u128::from(self.ticks_per_it);
+        Time::from_fs(u64::try_from(fs).expect("schedule length fits the time representation"))
+    }
+
+    /// The effective frequency of `domain` in GHz (`II / IT`).
+    #[must_use]
+    pub fn effective_freq_ghz(&self, domain: DomainId) -> f64 {
+        self.domain_ii(domain) as f64 / self.it.as_ns()
+    }
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 { a } else { gcd(b, a % b) }
+}
+
+fn lcm(a: u64, b: u64) -> u64 {
+    a / gcd(a, b) * b
+}
+
+/// The recurrence-constrained minimum initiation time (§2.2):
+/// `recMIT = recMII · min_C T_cyc(C)` — the critical recurrence paced by the
+/// fastest cluster.
+///
+/// # Panics
+///
+/// Panics if the DDG has a zero-distance cycle.
+#[must_use]
+pub fn rec_mit(ddg: &Ddg, config: &ClockedConfig) -> Time {
+    config.fastest_cluster_cycle() * u64::from(ddg.rec_mii())
+}
+
+/// The resource-constrained minimum initiation time: the smallest
+/// synchronisable `IT` at which every functional-unit kind has enough slots
+/// machine-wide (`Σ_C n_FU(C) · II_C ≥ uses`).
+///
+/// # Errors
+///
+/// Returns [`SchedError::NoFeasibleIt`] when no `IT` within the search
+/// horizon satisfies the capacity constraints (e.g. a machine with no FP
+/// units asked to run FP code).
+pub fn res_mit(
+    ddg: &Ddg,
+    config: &ClockedConfig,
+    menu: &FrequencyMenu,
+) -> Result<Time, SchedError> {
+    let design = config.design();
+    for kind in FuKind::CLUSTER_KINDS {
+        if ddg.count_fu(kind) > 0 && design.total_fu_count(kind) == 0 {
+            return Err(SchedError::NoFeasibleIt {
+                loop_name: ddg.name().to_owned(),
+                reason: format!("machine has no {kind} units"),
+            });
+        }
+    }
+    let mut it = config.fastest_cluster_cycle();
+    for _ in 0..MAX_IT_CANDIDATES {
+        if let Some(clocks) = LoopClocks::select(config, menu, it) {
+            if capacity_ok(ddg, config, &clocks) {
+                return Ok(it);
+            }
+        }
+        it = next_it_candidate(config, menu, it);
+    }
+    Err(SchedError::NoFeasibleIt {
+        loop_name: ddg.name().to_owned(),
+        reason: "no synchronisable IT with sufficient capacity within horizon".to_owned(),
+    })
+}
+
+/// Maximum number of candidate `IT`s examined before giving up.
+pub(crate) const MAX_IT_CANDIDATES: u32 = 100_000;
+
+/// Whether machine-wide FU capacity covers the loop at these clocks.
+#[must_use]
+pub fn capacity_ok(ddg: &Ddg, config: &ClockedConfig, clocks: &LoopClocks) -> bool {
+    let design = config.design();
+    for kind in FuKind::CLUSTER_KINDS {
+        let uses = ddg.count_fu(kind) as u64;
+        let capacity: u64 = design
+            .clusters()
+            .map(|c| u64::from(design.cluster.fu_count(kind)) * clocks.cluster_ii(c))
+            .sum();
+        if uses > capacity {
+            return false;
+        }
+    }
+    true
+}
+
+/// The minimum initiation time `MIT = max(recMIT, resMIT)` (§2.2).
+///
+/// # Errors
+///
+/// Propagates [`SchedError::NoFeasibleIt`] from the resource search.
+///
+/// # Panics
+///
+/// Panics if the DDG has a zero-distance cycle.
+pub fn compute_mit(
+    ddg: &Ddg,
+    config: &ClockedConfig,
+    menu: &FrequencyMenu,
+) -> Result<Time, SchedError> {
+    Ok(rec_mit(ddg, config).max(res_mit(ddg, config, menu)?))
+}
+
+/// The smallest `IT' > it` at which some domain's `II` can change — the
+/// next point worth re-testing when synchronisation or capacity fails.
+///
+/// For unrestricted menus these are the multiples of each domain's maximum-
+/// frequency cycle time; for discrete menus, multiples of each supported
+/// cycle time. Always returns a strictly larger time, so IT searches
+/// terminate.
+#[must_use]
+pub fn next_it_candidate(config: &ClockedConfig, menu: &FrequencyMenu, it: Time) -> Time {
+    let mut best: Option<Time> = None;
+    let mut consider = |cycle: Time| {
+        let next = (it + Time::from_fs(1)).round_up_to(cycle);
+        best = Some(match best {
+            Some(b) => b.min(next),
+            None => next,
+        });
+    };
+    for domain in config.domains() {
+        let min_cycle = config.domain_cycle(domain);
+        match menu.cycle_times_at_least(min_cycle) {
+            None => consider(min_cycle),
+            Some(cts) => {
+                for ct in cts {
+                    consider(ct);
+                }
+            }
+        }
+    }
+    best.unwrap_or_else(|| it + Time::from_fs(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vliw_ir::{DdgBuilder, OpClass};
+    use vliw_machine::MachineDesign;
+
+    fn hetero_2cluster(fast_ns: f64, slow_ns: f64) -> ClockedConfig {
+        let design = MachineDesign::new(2, vliw_machine::ClusterDesign::PAPER, 1);
+        ClockedConfig::heterogeneous(design, Time::from_ns(fast_ns), 1, Time::from_ns(slow_ns))
+    }
+
+    #[test]
+    fn figure3_iis() {
+        // Paper Figure 3: IT = 3 ns, C1 at 1 ns → II 3; C2 at 1.5 ns → II 2.
+        let config = hetero_2cluster(1.0, 1.5);
+        let clocks =
+            LoopClocks::select(&config, &FrequencyMenu::unrestricted(), Time::from_ns(3.0))
+                .unwrap();
+        assert_eq!(clocks.cluster_ii(ClusterId(0)), 3);
+        assert_eq!(clocks.cluster_ii(ClusterId(1)), 2);
+        // ICN/cache run with the fast cluster.
+        assert_eq!(clocks.icn_ii(), 3);
+        assert_eq!(clocks.cache_ii(), 3);
+        // L = lcm(3, 2) = 6 ticks; C1 cycles are 2 ticks, C2 cycles 3 ticks.
+        assert_eq!(clocks.ticks_per_it(), 6);
+        assert_eq!(clocks.domain_cycle_ticks(DomainId::Cluster(ClusterId(0))), 2);
+        assert_eq!(clocks.domain_cycle_ticks(DomainId::Cluster(ClusterId(1))), 3);
+        assert_eq!(clocks.ticks_to_time(6), Time::from_ns(3.0));
+        assert_eq!(clocks.ticks_to_time(2), Time::from_ns(1.0));
+    }
+
+    /// The 5-instruction, 2-cluster example of Figure 4.
+    fn figure4_ddg() -> Ddg {
+        let mut b = DdgBuilder::new("fig4");
+        let a = b.op("A", OpClass::IntArith);
+        let bb = b.op("B", OpClass::IntArith);
+        let c = b.op("C", OpClass::IntArith);
+        let d = b.op("D", OpClass::IntArith);
+        let e = b.op("E", OpClass::IntArith);
+        b.dep(a, bb, 1).dep(bb, c, 1).dep_dist(c, a, 1, 1);
+        b.dep(a, d, 1).dep(d, e, 1);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn figure4_mit() {
+        // C1 at 1 ns, C2 at 1.67 ns; 5 single-cycle int instructions, one
+        // int FU per cluster; recurrence {A,B,C} of latency 3.
+        let design = MachineDesign::new(
+            2,
+            vliw_machine::ClusterDesign { int_fus: 1, fp_fus: 1, mem_ports: 1, registers: 16 },
+            1,
+        );
+        let config = ClockedConfig::heterogeneous(
+            design,
+            Time::from_ns(1.0),
+            1,
+            Time::from_ns(1.67),
+        );
+        let ddg = figure4_ddg();
+        let menu = FrequencyMenu::unrestricted();
+
+        // recMIT = 3 cycles × 1 ns = 3 ns.
+        assert_eq!(rec_mit(&ddg, &config), Time::from_ns(3.0));
+
+        // resMIT: need II_C1 + II_C2 ≥ 5; at IT = 2·1.67 = 3.34 ns we get
+        // 3 + 2 = 5 slots (the paper's table reads "IT = 3.33" with exact
+        // thirds; at femtosecond resolution the threshold is 2 × 1.67 ns).
+        let res = res_mit(&ddg, &config, &menu).unwrap();
+        assert_eq!(res, Time::from_ns(3.34));
+
+        // MIT = max(3.0, 3.34).
+        let mit = compute_mit(&ddg, &config, &menu).unwrap();
+        assert_eq!(mit, Time::from_ns(3.34));
+    }
+
+    #[test]
+    fn figure4_ii_table() {
+        // The (IT → II_C1, II_C2) table of Figure 4.
+        let config = hetero_2cluster(1.0, 1.67);
+        let menu = FrequencyMenu::unrestricted();
+        let cases = [
+            (1.0, 1, 0),
+            (1.67, 1, 1),
+            (2.0, 2, 1),
+            (3.0, 3, 1),
+            (3.34, 3, 2),
+        ];
+        for (it_ns, ii1, ii2) in cases {
+            let it = Time::from_ns(it_ns);
+            match LoopClocks::select(&config, &menu, it) {
+                Some(clocks) => {
+                    assert!(ii2 > 0, "II=0 must fail selection (IT={it_ns})");
+                    assert_eq!(clocks.cluster_ii(ClusterId(0)), ii1, "II_C1 at IT={it_ns}");
+                    assert_eq!(clocks.cluster_ii(ClusterId(1)), ii2, "II_C2 at IT={it_ns}");
+                }
+                None => assert_eq!(ii2, 0, "selection failed only when a domain gets II=0"),
+            }
+        }
+    }
+
+    #[test]
+    fn homogeneous_clocks_recover_classic_ms() {
+        let config = ClockedConfig::reference(MachineDesign::paper_machine(1));
+        let clocks =
+            LoopClocks::select(&config, &FrequencyMenu::unrestricted(), Time::from_ns(4.0))
+                .unwrap();
+        for c in config.design().clusters() {
+            assert_eq!(clocks.cluster_ii(c), 4);
+        }
+        assert_eq!(clocks.ticks_per_it(), 4);
+        assert_eq!(clocks.domain_cycle_ticks(DomainId::Icn), 1);
+    }
+
+    #[test]
+    fn menu_synchronisation_failure_bubbles_up() {
+        let config = ClockedConfig::reference(MachineDesign::paper_machine(1));
+        let menu = FrequencyMenu::uniform(4);
+        // 3.7 ns is not a multiple of any eligible menu cycle time.
+        assert!(LoopClocks::select(&config, &menu, Time::from_ns(3.7)).is_none());
+        assert!(LoopClocks::select(&config, &menu, Time::from_ns(4.0)).is_some());
+    }
+
+    #[test]
+    fn next_candidate_advances_to_cycle_multiples() {
+        let config = hetero_2cluster(1.0, 1.5);
+        let menu = FrequencyMenu::unrestricted();
+        // After 3.0 ns, the next II change is at 3.0 + something: multiples
+        // of 1.0 (→ 4.0) and of 1.5 (→ 4.5) ⇒ 4.0... but from 3.0 the next
+        // multiple of 1.0 above is 4.0 and of 1.5 is 4.5; minimum is 4.0.
+        assert_eq!(
+            next_it_candidate(&config, &menu, Time::from_ns(3.0)),
+            Time::from_ns(4.0)
+        );
+        // From 3.2 ns: next multiple of 1.0 is 4.0; of 1.5 is 4.5 ⇒ 4.0.
+        assert_eq!(
+            next_it_candidate(&config, &menu, Time::from_ns(3.2)),
+            Time::from_ns(4.0)
+        );
+        // Strictly increasing even from a multiple of everything.
+        let it = Time::from_ns(6.0);
+        assert!(next_it_candidate(&config, &menu, it) > it);
+    }
+
+    #[test]
+    fn res_mit_scales_with_workload() {
+        let config = ClockedConfig::reference(MachineDesign::paper_machine(1));
+        let menu = FrequencyMenu::unrestricted();
+        // 9 int ops on 4 int FUs ⇒ needs II ≥ 3 ⇒ resMIT = 3 ns.
+        let mut b = DdgBuilder::new("ints");
+        for i in 0..9 {
+            b.op(format!("i{i}"), OpClass::IntArith);
+        }
+        let ddg = b.build().unwrap();
+        assert_eq!(res_mit(&ddg, &config, &menu).unwrap(), Time::from_ns(3.0));
+    }
+
+    #[test]
+    fn heterogeneous_res_mit_counts_slow_cluster_slots() {
+        // 2 clusters, fast 1 ns / slow 2 ns, 1 int FU each, 6 int ops.
+        let config = hetero_2cluster(1.0, 2.0);
+        let menu = FrequencyMenu::unrestricted();
+        let mut b = DdgBuilder::new("ints");
+        for i in 0..6 {
+            b.op(format!("i{i}"), OpClass::IntArith);
+        }
+        let ddg = b.build().unwrap();
+        // At IT = 4 ns: II = 4 + 2 = 6 slots ⇒ fits. At 3 ns: 3 + 1 = 4 < 6.
+        assert_eq!(res_mit(&ddg, &config, &menu).unwrap(), Time::from_ns(4.0));
+    }
+
+    #[test]
+    fn impossible_workload_is_an_error() {
+        let design = MachineDesign::new(
+            1,
+            vliw_machine::ClusterDesign { int_fus: 1, fp_fus: 0, mem_ports: 1, registers: 16 },
+            1,
+        );
+        let config = ClockedConfig::reference(design);
+        let mut b = DdgBuilder::new("fp");
+        b.op("f", OpClass::FpArith);
+        let ddg = b.build().unwrap();
+        let err = res_mit(&ddg, &config, &FrequencyMenu::unrestricted()).unwrap_err();
+        assert!(err.to_string().contains("no fp units"));
+    }
+
+    #[test]
+    fn effective_frequency() {
+        let config = hetero_2cluster(1.0, 1.5);
+        let clocks =
+            LoopClocks::select(&config, &FrequencyMenu::unrestricted(), Time::from_ns(3.0))
+                .unwrap();
+        let f0 = clocks.effective_freq_ghz(DomainId::Cluster(ClusterId(0)));
+        let f1 = clocks.effective_freq_ghz(DomainId::Cluster(ClusterId(1)));
+        assert!((f0 - 1.0).abs() < 1e-9);
+        assert!((f1 - 2.0 / 3.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,347 @@
+//! Schedule validation and execution.
+
+use std::collections::HashMap;
+
+use vliw_ir::{Ddg, FuKind};
+use vliw_machine::{ClockedConfig, DomainId};
+use vliw_sched::{max_lives, ExtGraph, NodeId, NodePlace, ScheduledLoop};
+
+use crate::report::{SimReport, Violation};
+
+/// Rebuilds the extended graph and the per-node issue ticks of `sched`,
+/// checking the shapes line up.
+fn rebuild(
+    ddg: &Ddg,
+    config: &ClockedConfig,
+    sched: &ScheduledLoop,
+) -> Result<(ExtGraph, Vec<u64>), Vec<Violation>> {
+    let mut violations = Vec::new();
+    if sched.assignment().len() != ddg.num_ops() {
+        violations.push(Violation::Shape {
+            detail: format!(
+                "schedule covers {} ops, DDG has {}",
+                sched.assignment().len(),
+                ddg.num_ops()
+            ),
+        });
+        return Err(violations);
+    }
+    let graph = ExtGraph::build(ddg, sched.assignment(), config, sched.clocks());
+    if graph.copies().len() != sched.copies().len() {
+        violations.push(Violation::Shape {
+            detail: format!(
+                "partition implies {} copies, schedule has {}",
+                graph.copies().len(),
+                sched.copies().len()
+            ),
+        });
+        return Err(violations);
+    }
+    for (i, (expect, got)) in graph.copies().iter().zip(sched.copies()).enumerate() {
+        if expect.producer != got.producer {
+            violations.push(Violation::Shape {
+                detail: format!(
+                    "copy {i}: expected producer {}, schedule says {}",
+                    expect.producer, got.producer
+                ),
+            });
+        }
+    }
+    if !violations.is_empty() {
+        return Err(violations);
+    }
+    let clocks = sched.clocks();
+    let mut ticks = Vec::with_capacity(graph.num_nodes());
+    for op in ddg.op_ids() {
+        ticks.push(sched.op_tick(op));
+    }
+    for i in 0..sched.copies().len() {
+        ticks.push(sched.copy_tick(i));
+    }
+    // Cross-check tick/cycle consistency for real ops.
+    for op in ddg.op_ids() {
+        let domain = DomainId::Cluster(sched.assignment()[op.index()]);
+        let expect = sched.op_cycle(op) * clocks.domain_cycle_ticks(domain);
+        if expect != sched.op_tick(op) {
+            violations.push(Violation::Shape {
+                detail: format!("op {op}: cycle/tick mismatch ({expect} vs {})", sched.op_tick(op)),
+            });
+        }
+    }
+    if violations.is_empty() { Ok((graph, ticks)) } else { Err(violations) }
+}
+
+/// Exhaustively validates `sched` against the DDG and machine: dependences
+/// (exact ticks, all steady-state instances), modulo resource reservations
+/// (cluster FUs, memory ports, buses) and register pressure.
+///
+/// # Errors
+///
+/// Returns every violation found, so a broken scheduler can be debugged in
+/// one pass.
+pub fn validate(
+    ddg: &Ddg,
+    config: &ClockedConfig,
+    sched: &ScheduledLoop,
+) -> Result<(), Vec<Violation>> {
+    let (graph, ticks) = rebuild(ddg, config, sched)?;
+    let clocks = sched.clocks();
+    let l = i64::try_from(clocks.ticks_per_it()).expect("L fits i64");
+    let mut violations = Vec::new();
+
+    let describe = |n: NodeId| -> String {
+        if n.index() < graph.num_real() {
+            ddg.op(vliw_ir::OpId(n.0)).name().to_owned()
+        } else {
+            let c = &graph.copies()[n.index() - graph.num_real()];
+            format!("copy({})", c.producer)
+        }
+    };
+
+    // Dependences: the steady-state inequality covers all instances.
+    for e in graph.edges() {
+        let src = i64::try_from(ticks[e.src.index()]).expect("tick fits i64");
+        let dst = i64::try_from(ticks[e.dst.index()]).expect("tick fits i64");
+        let required = src + i64::try_from(e.latency_ticks).expect("latency fits i64")
+            - i64::from(e.distance) * l;
+        if dst < required {
+            violations.push(Violation::Dependence {
+                src: describe(e.src),
+                dst: describe(e.dst),
+                required_tick: required,
+                actual_tick: dst,
+            });
+        }
+    }
+
+    // Resources: rebuild occupancy from scratch.
+    let design = config.design();
+    let mut cluster_rows: HashMap<(u8, FuKind, u64), u32> = HashMap::new();
+    for op in ddg.op_ids() {
+        let cluster = sched.assignment()[op.index()];
+        let ii = clocks.cluster_ii(cluster);
+        let kind = ddg.op(op).fu_kind();
+        *cluster_rows
+            .entry((cluster.0, kind, sched.op_cycle(op) % ii))
+            .or_insert(0) += 1;
+    }
+    for ((c, kind, row), used) in cluster_rows {
+        let capacity = design.cluster.fu_count(kind);
+        if used > capacity {
+            violations.push(Violation::Resource {
+                resource: format!("C{c} {kind}"),
+                row,
+                used,
+                capacity,
+            });
+        }
+    }
+    let mut bus_rows: HashMap<u64, u32> = HashMap::new();
+    for copy in sched.copies() {
+        *bus_rows.entry(copy.cycle % clocks.icn_ii()).or_insert(0) += 1;
+    }
+    for (row, used) in bus_rows {
+        if used > design.buses {
+            violations.push(Violation::Resource {
+                resource: "bus".to_owned(),
+                row,
+                used,
+                capacity: design.buses,
+            });
+        }
+    }
+
+    // Registers.
+    let live = max_lives(&graph, clocks, design.num_clusters, &ticks);
+    for (c, &needed) in live.iter().enumerate() {
+        if needed > design.cluster.registers {
+            violations.push(Violation::Registers {
+                cluster: format!("C{c}"),
+                needed,
+                available: design.cluster.registers,
+            });
+        }
+    }
+
+    if violations.is_empty() { Ok(()) } else { Err(violations) }
+}
+
+/// Executes `iterations` iterations of `sched`, measuring execution time
+/// from the actual last event and counting the energy model's inputs.
+///
+/// The measurement is independent of
+/// [`ScheduledLoop::exec_time`]: the execution end is the maximum over all
+/// node instances of `issue + latency` in the final iteration, converted
+/// back to wall-clock time.
+///
+/// # Panics
+///
+/// Panics if the schedule does not match the DDG (run [`validate`] first
+/// for a graceful report).
+#[must_use]
+pub fn simulate(
+    ddg: &Ddg,
+    config: &ClockedConfig,
+    sched: &ScheduledLoop,
+    iterations: u64,
+) -> SimReport {
+    let (graph, ticks) = match rebuild(ddg, config, sched) {
+        Ok(x) => x,
+        Err(v) => panic!("schedule/DDG mismatch: {}", v[0]),
+    };
+    let clocks = sched.clocks();
+    let num_clusters = usize::from(config.design().num_clusters);
+    if iterations == 0 || ddg.is_empty() {
+        return SimReport {
+            iterations,
+            exec_time: vliw_machine::Time::ZERO,
+            instructions: 0,
+            weighted_ins_per_cluster: vec![0.0; num_clusters],
+            comms: 0,
+            mem_accesses: 0,
+        };
+    }
+
+    // Last event: every node's final-iteration completion.
+    let l = clocks.ticks_per_it();
+    let last_start = (iterations - 1) * l;
+    let end_tick = graph
+        .nodes()
+        .map(|n| last_start + ticks[n.index()] + graph.result_latency_ticks(n))
+        .max()
+        .unwrap_or(0);
+
+    let mut weighted = vec![0.0f64; num_clusters];
+    for op in ddg.ops() {
+        let c = sched.assignment()[op.id().index()];
+        weighted[c.index()] += op.class().relative_energy() * iterations as f64;
+    }
+    let comms = graph
+        .nodes()
+        .filter(|&n| graph.place(n) == NodePlace::Bus)
+        .count() as u64
+        * iterations;
+    SimReport {
+        iterations,
+        exec_time: clocks.ticks_to_time(end_tick),
+        instructions: ddg.num_ops() as u64 * iterations,
+        weighted_ins_per_cluster: weighted,
+        comms,
+        mem_accesses: ddg.count_memory_ops() as u64 * iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vliw_ir::{DdgBuilder, OpClass};
+    use vliw_machine::{ClusterId, MachineDesign, Time};
+    use vliw_sched::{schedule_loop, schedule_loop_with_partition, Partition, ScheduleOptions};
+
+    fn reference() -> ClockedConfig {
+        ClockedConfig::reference(MachineDesign::paper_machine(1))
+    }
+
+    fn fir_ddg() -> Ddg {
+        let mut b = DdgBuilder::new("fir");
+        let l0 = b.op("ld x", OpClass::FpMemory);
+        let l1 = b.op("ld c", OpClass::FpMemory);
+        let m = b.op("mul", OpClass::FpMul);
+        let acc = b.op("acc", OpClass::FpArith);
+        let st = b.op("st", OpClass::FpMemory);
+        b.flow(l0, m);
+        b.flow(l1, m);
+        b.flow(m, acc);
+        b.flow_carried(acc, acc, 1);
+        b.flow(acc, st);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn scheduler_output_validates() {
+        let config = reference();
+        let ddg = fir_ddg();
+        let s = schedule_loop(&ddg, &config, None, &ScheduleOptions::default()).unwrap();
+        validate(&ddg, &config, &s).unwrap();
+    }
+
+    #[test]
+    fn heterogeneous_schedule_validates() {
+        let design = MachineDesign::paper_machine(1);
+        let config =
+            ClockedConfig::heterogeneous(design, Time::from_ns(1.0), 1, Time::from_ns(1.5));
+        let ddg = fir_ddg();
+        let s = schedule_loop(&ddg, &config, None, &ScheduleOptions::default()).unwrap();
+        validate(&ddg, &config, &s).unwrap();
+    }
+
+    #[test]
+    fn simulation_counts_match_analytic_model() {
+        let config = reference();
+        let ddg = fir_ddg();
+        let s = schedule_loop(&ddg, &config, None, &ScheduleOptions::default()).unwrap();
+        let r = simulate(&ddg, &config, &s, 500);
+        assert_eq!(r.iterations, 500);
+        assert_eq!(r.instructions, 5 * 500);
+        assert_eq!(r.mem_accesses, 3 * 500);
+        assert_eq!(r.comms, s.comms_per_iter() * 500);
+        assert_eq!(r.exec_time, s.exec_time(500), "measured end = analytic (N-1)·IT + it_length");
+        let usage = s.usage(500);
+        assert_eq!(usage.weighted_ins_per_cluster, r.weighted_ins_per_cluster);
+    }
+
+    #[test]
+    fn zero_iterations_are_empty() {
+        let config = reference();
+        let ddg = fir_ddg();
+        let s = schedule_loop(&ddg, &config, None, &ScheduleOptions::default()).unwrap();
+        let r = simulate(&ddg, &config, &s, 0);
+        assert_eq!(r.exec_time, Time::ZERO);
+        assert_eq!(r.instructions, 0);
+    }
+
+    #[test]
+    fn forced_bad_partition_is_caught_by_shape_check() {
+        let config = reference();
+        let ddg = fir_ddg();
+        let s = schedule_loop(&ddg, &config, None, &ScheduleOptions::default()).unwrap();
+        // Validate against a *different* DDG: one op fewer.
+        let mut b = DdgBuilder::new("other");
+        b.op("only", OpClass::IntArith);
+        let other = b.build().unwrap();
+        let err = validate(&other, &config, &s).unwrap_err();
+        assert!(matches!(err[0], Violation::Shape { .. }));
+    }
+
+    #[test]
+    fn split_assignment_produces_comms_and_still_validates() {
+        let config = reference();
+        let ddg = fir_ddg();
+        // Pin loads away from the consumers to force bus traffic.
+        let partition = Partition {
+            assignment: vec![
+                ClusterId(1),
+                ClusterId(2),
+                ClusterId(0),
+                ClusterId(0),
+                ClusterId(3),
+            ],
+        };
+        let s = schedule_loop_with_partition(&ddg, &config, &partition, &ScheduleOptions::default())
+            .unwrap();
+        assert!(s.comms_per_iter() >= 3);
+        validate(&ddg, &config, &s).unwrap();
+        let r = simulate(&ddg, &config, &s, 10);
+        assert_eq!(r.comms, s.comms_per_iter() * 10);
+    }
+
+    #[test]
+    fn exec_time_grows_linearly_with_iterations() {
+        let config = reference();
+        let ddg = fir_ddg();
+        let s = schedule_loop(&ddg, &config, None, &ScheduleOptions::default()).unwrap();
+        let r1 = simulate(&ddg, &config, &s, 100);
+        let r2 = simulate(&ddg, &config, &s, 200);
+        assert_eq!(r2.exec_time - r1.exec_time, s.it() * 100);
+    }
+}

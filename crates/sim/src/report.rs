@@ -1,0 +1,131 @@
+//! Simulation reports and violation diagnostics.
+
+use std::fmt;
+
+use vliw_machine::Time;
+
+/// A constraint broken by a (claimed) schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Violation {
+    /// A dependence instance is not satisfied.
+    Dependence {
+        /// Producer node description.
+        src: String,
+        /// Consumer node description.
+        dst: String,
+        /// Required earliest consumer tick.
+        required_tick: i64,
+        /// Actual consumer tick.
+        actual_tick: i64,
+    },
+    /// More operations share a modulo resource row than units exist.
+    Resource {
+        /// Which resource ("C2 int", "bus", …).
+        resource: String,
+        /// The overfull modulo row.
+        row: u64,
+        /// Occupants.
+        used: u32,
+        /// Units available.
+        capacity: u32,
+    },
+    /// A cluster needs more registers than its file holds.
+    Registers {
+        /// The cluster.
+        cluster: String,
+        /// MaxLives measured.
+        needed: u32,
+        /// Registers available.
+        available: u32,
+    },
+    /// The schedule does not match the DDG (wrong op count, mismatched
+    /// copies, …) — indicates caller error rather than scheduler error.
+    Shape {
+        /// Description of the mismatch.
+        detail: String,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::Dependence { src, dst, required_tick, actual_tick } => write!(
+                f,
+                "dependence {src} -> {dst}: consumer at tick {actual_tick}, needs >= {required_tick}"
+            ),
+            Violation::Resource { resource, row, used, capacity } => {
+                write!(f, "resource {resource}: row {row} holds {used} ops, capacity {capacity}")
+            }
+            Violation::Registers { cluster, needed, available } => {
+                write!(f, "cluster {cluster}: needs {needed} registers, has {available}")
+            }
+            Violation::Shape { detail } => write!(f, "schedule shape mismatch: {detail}"),
+        }
+    }
+}
+
+/// What `N` iterations of a validated schedule did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Number of iterations executed.
+    pub iterations: u64,
+    /// Wall-clock execution time.
+    pub exec_time: Time,
+    /// Total operations issued (excluding copies).
+    pub instructions: u64,
+    /// Energy-weighted instruction count per cluster (add-units).
+    pub weighted_ins_per_cluster: Vec<f64>,
+    /// Bus communications performed.
+    pub comms: u64,
+    /// Memory-hierarchy accesses performed.
+    pub mem_accesses: u64,
+}
+
+impl SimReport {
+    /// Total energy-weighted instructions across clusters.
+    #[must_use]
+    pub fn total_weighted_ins(&self) -> f64 {
+        self.weighted_ins_per_cluster.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn violations_display() {
+        let v = Violation::Dependence {
+            src: "a".into(),
+            dst: "b".into(),
+            required_tick: 5,
+            actual_tick: 3,
+        };
+        assert!(v.to_string().contains("needs >= 5"));
+        let v = Violation::Resource {
+            resource: "C1 mem".into(),
+            row: 2,
+            used: 3,
+            capacity: 1,
+        };
+        assert!(v.to_string().contains("C1 mem"));
+        let v = Violation::Registers { cluster: "C0".into(), needed: 20, available: 16 };
+        assert!(v.to_string().contains("20"));
+        let v = Violation::Shape { detail: "x".into() };
+        assert!(!v.to_string().is_empty());
+    }
+
+    #[test]
+    fn report_totals() {
+        let r = SimReport {
+            iterations: 10,
+            exec_time: Time::from_ns(100.0),
+            instructions: 50,
+            weighted_ins_per_cluster: vec![10.0, 5.5, 0.0, 4.5],
+            comms: 7,
+            mem_accesses: 20,
+        };
+        assert!((r.total_weighted_ins() - 20.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,329 @@
+//! Single-loop generation with exact constraint-class control.
+
+use rand::Rng;
+
+use vliw_ir::{Ddg, DdgBuilder, OpClass, OpId};
+use vliw_machine::MachineDesign;
+
+use crate::classify::{classify, res_mii_machine, LoopClass};
+
+/// How many instructions sit on a recurrence-constrained loop's critical
+/// recurrence.
+///
+/// The paper's §5.2 explanation of Figure 6 hinges on this: sixtrack,
+/// facerec and lucas win big because their critical recurrences are *small*
+/// (few instructions must move to the fast cluster), while fma3d and apsi
+/// save less energy because theirs are *large*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RecurrenceSize {
+    /// 1–2 operations on the critical recurrence.
+    Small,
+    /// 2–4 operations.
+    Medium,
+    /// 5–9 operations.
+    Large,
+}
+
+impl RecurrenceSize {
+    fn sample_len(self, rng: &mut impl Rng) -> usize {
+        match self {
+            RecurrenceSize::Small => rng.gen_range(1..=2),
+            RecurrenceSize::Medium => rng.gen_range(2..=4),
+            RecurrenceSize::Large => rng.gen_range(5..=9),
+        }
+    }
+}
+
+/// Parameters for one generated loop.
+#[derive(Debug, Clone)]
+pub struct LoopParams {
+    /// Loop name (diagnostics only).
+    pub name: String,
+    /// The constraint class the loop must land in (asserted).
+    pub class: LoopClass,
+    /// Critical-recurrence size for recurrence-constrained loops.
+    pub rec_size: RecurrenceSize,
+    /// Target machine-wide `resMII` (drives body size), ≥ 1.
+    pub target_res_mii: u32,
+}
+
+/// Generates one loop body whose Table 2 class is exactly `params.class`
+/// on `design`.
+///
+/// The generator is constructive: memory operations are sized to pin
+/// `resMII` at `target_res_mii`, and the recurrence (if any) is built to
+/// land `recMII` in the requested band, then the result is asserted.
+///
+/// # Panics
+///
+/// Panics if `target_res_mii == 0` (and, defensively, if construction ever
+/// misses its class — a generator bug, not a user error).
+pub fn generate_loop(rng: &mut impl Rng, params: &LoopParams, design: MachineDesign) -> Ddg {
+    let r = params.target_res_mii;
+    assert!(r >= 1, "target resMII must be at least 1");
+    let units = design.total_fu_count(vliw_ir::FuKind::Mem);
+    // Memory is the binding resource: exactly `units · r` memory ops.
+    let mem_total = (units * r) as usize;
+    let num_stores = (mem_total / 4).max(1);
+    let num_loads = mem_total - num_stores;
+    let fp_budget = (design.total_fu_count(vliw_ir::FuKind::Fp) * r) as usize;
+    let int_budget = (design.total_fu_count(vliw_ir::FuKind::Int) * r) as usize;
+
+    let mut b = DdgBuilder::new(params.name.clone());
+
+    // Address arithmetic: a few int ops feeding loads.
+    let num_int_addr = rng.gen_range(0..=(int_budget / 2).min(usize::try_from(r).unwrap()));
+    let addr_ops: Vec<OpId> =
+        (0..num_int_addr).map(|i| b.op(format!("addr{i}"), OpClass::IntArith)).collect();
+
+    // Loads.
+    let loads: Vec<OpId> = (0..num_loads)
+        .map(|i| {
+            let l = b.op(format!("ld{i}"), OpClass::FpMemory);
+            if !addr_ops.is_empty() && rng.gen_bool(0.5) {
+                let a = addr_ops[rng.gen_range(0..addr_ops.len())];
+                b.flow(a, l);
+            }
+            l
+        })
+        .collect();
+
+    // The recurrence, when the class asks for one.
+    let mut fp_used = 0usize;
+    let int_used = num_int_addr;
+    let mut rec_tail: Option<OpId> = None;
+    match params.class {
+        LoopClass::Resource => {
+            // Optionally a trivial induction recurrence (recMII 1 < R when
+            // R ≥ 2; for R = 1 skip it to keep recMII 0 < 1).
+            if r >= 2 && int_used < int_budget && rng.gen_bool(0.5) {
+                let iv = b.op("induction", OpClass::IntArith);
+                b.flow_carried(iv, iv, 1);
+            }
+        }
+        LoopClass::Borderline => {
+            // An int chain of exactly R unit-latency ops, distance 1:
+            // recMII = R, inside [R, 1.3·R).
+            let k = usize::try_from(r).unwrap();
+            assert!(int_used + k <= int_budget, "borderline chain exceeds int budget");
+            let chain: Vec<OpId> =
+                (0..k).map(|i| b.op(format!("bchain{i}"), OpClass::IntArith)).collect();
+            for w in chain.windows(2) {
+                b.flow(w[0], w[1]);
+            }
+            b.flow_carried(*chain.last().expect("k >= 1"), chain[0], 1);
+            rec_tail = Some(*chain.last().expect("k >= 1"));
+            if !loads.is_empty() {
+                b.flow(loads[rng.gen_range(0..loads.len())], chain[0]);
+            }
+        }
+        LoopClass::Recurrence => {
+            // An fp chain whose latency/distance lands recMII in
+            // [ceil(1.3·R), ~3·R].
+            let min_rec = (1.3 * f64::from(r)).ceil() as u64;
+            // The chain may use at most the whole fp budget (tiny loops cap
+            // a Large request; the class is still exact).
+            let max_len = fp_budget.max(1);
+            let mut len = params.rec_size.sample_len(rng).min(max_len);
+            let mut classes: Vec<OpClass> = Vec::with_capacity(len);
+            classes.push(OpClass::FpMul); // anchor: latency 6
+            for _ in 1..len {
+                classes.push(if rng.gen_bool(0.85) { OpClass::FpArith } else { OpClass::FpMul });
+            }
+            let mut total_latency: u64 =
+                classes.iter().map(|c| u64::from(c.latency())).sum();
+            // Grow the chain until a distance-1 recurrence can reach the
+            // band (keeps the op count as close to rec_size as possible).
+            while total_latency < min_rec && len < max_len {
+                classes.push(OpClass::FpArith);
+                len += 1;
+                total_latency += u64::from(OpClass::FpArith.latency());
+            }
+            if total_latency < min_rec {
+                // Budget-bound chain: promote the anchor to a divide
+                // (latency 18 covers every resMII this generator targets).
+                total_latency += u64::from(OpClass::FpDiv.latency()) - u64::from(classes[0].latency());
+                classes[0] = OpClass::FpDiv;
+            }
+            assert!(
+                total_latency >= min_rec,
+                "recurrence chain cannot reach the band (R = {r})"
+            );
+            // Choose a target recMII in the band and derive the distance.
+            let hi = (3 * u64::from(r)).max(min_rec);
+            let target = rng.gen_range(min_rec..=hi);
+            let d = u32::try_from((total_latency / target).max(1)).expect("distance fits u32");
+            debug_assert!(total_latency.div_ceil(u64::from(d)) >= min_rec);
+            assert!(fp_used + len <= fp_budget, "recurrence exceeds fp budget (R = {r})");
+            let chain: Vec<OpId> = classes
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| b.op(format!("rchain{i}"), c))
+                .collect();
+            for w in chain.windows(2) {
+                b.flow(w[0], w[1]);
+            }
+            b.flow_carried(*chain.last().expect("len >= 1"), chain[0], d);
+            fp_used += len;
+            rec_tail = Some(*chain.last().expect("len >= 1"));
+            if !loads.is_empty() {
+                b.flow(loads[rng.gen_range(0..loads.len())], chain[0]);
+            }
+        }
+    }
+
+    // Free-floating fp compute tree: layered, consuming loads and earlier
+    // fp values.
+    let body_budget = fp_budget.saturating_sub(fp_used);
+    let body_count = if body_budget == 0 {
+        0
+    } else {
+        rng.gen_range((body_budget / 2).max(1)..=body_budget)
+    };
+    let mut fp_values: Vec<OpId> = loads.clone();
+    let mut last_fp: Vec<OpId> = Vec::new();
+    for i in 0..body_count {
+        let roll: f64 = rng.gen();
+        let class = if roll < 0.65 {
+            OpClass::FpArith
+        } else if roll < 0.95 {
+            OpClass::FpMul
+        } else {
+            OpClass::FpDiv
+        };
+        let op = b.op(format!("fp{i}"), class);
+        let inputs = rng.gen_range(1..=2usize);
+        for _ in 0..inputs {
+            if !fp_values.is_empty() {
+                let src = fp_values[rng.gen_range(0..fp_values.len())];
+                b.flow(src, op);
+            }
+        }
+        fp_values.push(op);
+        last_fp.push(op);
+    }
+
+    // Stores consume the freshest values (recurrence output included).
+    for i in 0..num_stores {
+        let st = b.op(format!("st{i}"), OpClass::FpMemory);
+        let src = if let (0, Some(tail)) = (i, rec_tail) {
+            tail
+        } else if !last_fp.is_empty() {
+            last_fp[rng.gen_range(0..last_fp.len())]
+        } else if !fp_values.is_empty() {
+            fp_values[rng.gen_range(0..fp_values.len())]
+        } else {
+            continue;
+        };
+        b.flow(src, st);
+    }
+
+    let ddg = b.build().expect("generator produces well-formed graphs");
+    debug_assert!(ddg.validate_schedulable().is_ok());
+    assert_eq!(
+        res_mii_machine(&ddg, design),
+        r,
+        "loop `{}`: generator missed its resMII target",
+        params.name
+    );
+    let got = classify(&ddg, design);
+    assert_eq!(
+        got, params.class,
+        "loop `{}`: generator missed its class (recMII {}, resMII {})",
+        params.name,
+        ddg.rec_mii(),
+        res_mii_machine(&ddg, design)
+    );
+    ddg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn design() -> MachineDesign {
+        MachineDesign::paper_machine(1)
+    }
+
+    fn params(class: LoopClass, size: RecurrenceSize, r: u32) -> LoopParams {
+        LoopParams { name: format!("{class:?}-{r}"), class, rec_size: size, target_res_mii: r }
+    }
+
+    #[test]
+    fn every_class_and_size_generates() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for class in LoopClass::ALL {
+            for size in [RecurrenceSize::Small, RecurrenceSize::Medium, RecurrenceSize::Large] {
+                for r in 1..=5 {
+                    // The generator asserts its own postconditions.
+                    let ddg = generate_loop(&mut rng, &params(class, size, r), design());
+                    assert!(ddg.num_ops() >= 4);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = params(LoopClass::Recurrence, RecurrenceSize::Medium, 3);
+        let a = generate_loop(&mut SmallRng::seed_from_u64(42), &p, design());
+        let b = generate_loop(&mut SmallRng::seed_from_u64(42), &p, design());
+        assert_eq!(a, b);
+        let c = generate_loop(&mut SmallRng::seed_from_u64(43), &p, design());
+        assert!(a != c || a.num_ops() == c.num_ops(), "different seeds may differ");
+    }
+
+    #[test]
+    fn small_recurrences_have_few_ops_on_cycle() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        for r in 2..=4 {
+            let ddg = generate_loop(
+                &mut rng,
+                &params(LoopClass::Recurrence, RecurrenceSize::Small, r),
+                design(),
+            );
+            let recs = vliw_ir::condensation(&ddg).recurrences(&ddg);
+            let critical = recs.first().expect("recurrence-constrained loop has a recurrence");
+            assert!(critical.ops.len() <= 4, "small recurrence, got {}", critical.ops.len());
+        }
+    }
+
+    #[test]
+    fn large_recurrences_have_many_ops_on_cycle() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        let ddg = generate_loop(
+            &mut rng,
+            &params(LoopClass::Recurrence, RecurrenceSize::Large, 3),
+            design(),
+        );
+        let recs = vliw_ir::condensation(&ddg).recurrences(&ddg);
+        assert!(recs.iter().any(|r| r.ops.len() >= 5));
+    }
+
+    #[test]
+    fn generated_loops_schedule_on_the_reference_machine() {
+        use vliw_machine::ClockedConfig;
+
+        let config = ClockedConfig::reference(design());
+        let mut rng = SmallRng::seed_from_u64(21);
+        for class in LoopClass::ALL {
+            for r in 2..=4 {
+                let ddg = generate_loop(
+                    &mut rng,
+                    &params(class, RecurrenceSize::Medium, r),
+                    design(),
+                );
+                let s = vliw_sched::schedule_loop(
+                    &ddg,
+                    &config,
+                    None,
+                    &vliw_sched::ScheduleOptions::default(),
+                )
+                .expect("generated loop must schedule");
+                assert!(s.it() >= vliw_machine::Time::from_ns(1.0));
+            }
+        }
+    }
+}

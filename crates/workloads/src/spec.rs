@@ -1,0 +1,144 @@
+//! Per-benchmark generation profiles calibrated to the paper's Table 2.
+
+use crate::genloop::RecurrenceSize;
+
+/// Generation profile for one SPECfp2000 benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchmarkSpec {
+    /// SPEC benchmark name.
+    pub name: &'static str,
+    /// Fractions of execution time in (resource, borderline, recurrence)
+    /// constrained loops — Table 2 of the paper, rows in [0, 1].
+    pub class_time_shares: [f64; 3],
+    /// Size of critical recurrences (drives Figure 6's per-benchmark
+    /// benefit spread, per the paper's §5.2 analysis).
+    pub rec_size: RecurrenceSize,
+    /// Range of loop trip counts (applu's loops "are executed a small
+    /// number of times", §5.2).
+    pub trip_counts: (u64, u64),
+    /// Deterministic generation seed.
+    pub seed: u64,
+}
+
+/// The ten SPECfp2000 benchmarks of the paper's evaluation, with Table 2's
+/// constraint-class mix.
+#[must_use]
+pub fn spec_fp2000() -> [BenchmarkSpec; 10] {
+    [
+        BenchmarkSpec {
+            name: "168.wupwise",
+            class_time_shares: [0.1404, 0.6876, 0.1720],
+            rec_size: RecurrenceSize::Medium,
+            trip_counts: (50, 400),
+            seed: 0xA001,
+        },
+        BenchmarkSpec {
+            name: "171.swim",
+            class_time_shares: [1.0, 0.0, 0.0],
+            rec_size: RecurrenceSize::Medium,
+            trip_counts: (100, 800),
+            seed: 0xA002,
+        },
+        BenchmarkSpec {
+            name: "172.mgrid",
+            class_time_shares: [0.9554, 0.0, 0.0446],
+            rec_size: RecurrenceSize::Medium,
+            trip_counts: (100, 800),
+            seed: 0xA003,
+        },
+        BenchmarkSpec {
+            name: "173.applu",
+            class_time_shares: [0.3194, 0.0617, 0.6189],
+            rec_size: RecurrenceSize::Medium,
+            // Low trip counts: it_length matters as much as the IT (§5.2).
+            trip_counts: (6, 24),
+            seed: 0xA004,
+        },
+        BenchmarkSpec {
+            name: "178.galgel",
+            class_time_shares: [0.3327, 0.0918, 0.5755],
+            rec_size: RecurrenceSize::Medium,
+            trip_counts: (50, 400),
+            seed: 0xA005,
+        },
+        BenchmarkSpec {
+            name: "187.facerec",
+            class_time_shares: [0.1659, 0.0, 0.8341],
+            rec_size: RecurrenceSize::Small,
+            trip_counts: (80, 500),
+            seed: 0xA006,
+        },
+        BenchmarkSpec {
+            name: "189.lucas",
+            class_time_shares: [0.3213, 0.0002, 0.6785],
+            rec_size: RecurrenceSize::Small,
+            trip_counts: (80, 500),
+            seed: 0xA007,
+        },
+        BenchmarkSpec {
+            name: "191.fma3d",
+            class_time_shares: [0.1522, 0.0296, 0.8182],
+            rec_size: RecurrenceSize::Large,
+            trip_counts: (50, 400),
+            seed: 0xA008,
+        },
+        BenchmarkSpec {
+            name: "200.sixtrack",
+            class_time_shares: [0.0008, 0.0, 0.9992],
+            rec_size: RecurrenceSize::Small,
+            trip_counts: (100, 600),
+            seed: 0xA009,
+        },
+        BenchmarkSpec {
+            name: "301.apsi",
+            class_time_shares: [0.1550, 0.0337, 0.8113],
+            rec_size: RecurrenceSize::Large,
+            trip_counts: (50, 400),
+            seed: 0xA00A,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shares_sum_to_one() {
+        for spec in spec_fp2000() {
+            let sum: f64 = spec.class_time_shares.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "{}: shares sum to {sum}", spec.name);
+        }
+    }
+
+    #[test]
+    fn names_and_seeds_are_unique() {
+        let specs = spec_fp2000();
+        let names: std::collections::HashSet<_> = specs.iter().map(|s| s.name).collect();
+        assert_eq!(names.len(), 10);
+        let seeds: std::collections::HashSet<_> = specs.iter().map(|s| s.seed).collect();
+        assert_eq!(seeds.len(), 10);
+    }
+
+    #[test]
+    fn table2_rows_match_paper() {
+        let specs = spec_fp2000();
+        // Spot-check the rows quoted in the paper's analysis.
+        let sixtrack = specs.iter().find(|s| s.name == "200.sixtrack").unwrap();
+        assert!((sixtrack.class_time_shares[2] - 0.9992).abs() < 1e-12);
+        let swim = specs.iter().find(|s| s.name == "171.swim").unwrap();
+        assert_eq!(swim.class_time_shares, [1.0, 0.0, 0.0]);
+        let wupwise = specs.iter().find(|s| s.name == "168.wupwise").unwrap();
+        assert!((wupwise.class_time_shares[1] - 0.6876).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trip_count_ranges_are_sane() {
+        for spec in spec_fp2000() {
+            assert!(spec.trip_counts.0 >= 1);
+            assert!(spec.trip_counts.0 < spec.trip_counts.1);
+        }
+        let applu = spec_fp2000().into_iter().find(|s| s.name == "173.applu").unwrap();
+        assert!(applu.trip_counts.1 <= 30, "applu runs few iterations");
+    }
+}

@@ -1,0 +1,183 @@
+//! Whole-benchmark and whole-suite generation.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use vliw_ir::Loop;
+use vliw_machine::MachineDesign;
+
+use crate::classify::LoopClass;
+use crate::genloop::{generate_loop, LoopParams};
+use crate::spec::{spec_fp2000, BenchmarkSpec};
+
+/// Default loops per benchmark. The paper's suite holds >4000 loops over
+/// ten benchmarks (~400 each); the default here is a 10× scale-down that
+/// preserves every per-benchmark statistic the experiments consume while
+/// keeping the full Figure 6 pipeline interactive. Pass a larger count to
+/// [`generate`]/[`suite`] to approach the paper's scale.
+pub const DEFAULT_LOOPS_PER_BENCHMARK: usize = 40;
+
+/// A benchmark: a named, weighted set of software-pipelinable loops.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Benchmark {
+    /// SPEC benchmark name.
+    pub name: String,
+    /// Loops with DDGs, trip counts and execution-time weights
+    /// (weights sum to 1).
+    pub loops: Vec<Loop>,
+}
+
+impl Benchmark {
+    /// Total execution-time weight (1 by construction; exposed for tests).
+    #[must_use]
+    pub fn total_weight(&self) -> f64 {
+        self.loops.iter().map(Loop::weight).sum()
+    }
+}
+
+/// Generates one benchmark with `num_loops` loops on the paper's 4-cluster
+/// machine shape.
+///
+/// Loops are allocated to constraint classes proportionally to the spec's
+/// Table 2 time shares (every non-zero class gets at least one loop), and
+/// each class's share is split across its loops with ±50 % jitter.
+///
+/// # Panics
+///
+/// Panics if `num_loops == 0`.
+#[must_use]
+pub fn generate(spec: &BenchmarkSpec, num_loops: usize) -> Benchmark {
+    assert!(num_loops > 0, "a benchmark needs at least one loop");
+    let design = MachineDesign::paper_machine(1);
+    let mut rng = SmallRng::seed_from_u64(spec.seed);
+
+    // Allocate loop counts per class: largest-share classes first, with
+    // every non-zero class getting at least one loop.
+    let mut counts = [0usize; 3];
+    for (i, &share) in spec.class_time_shares.iter().enumerate() {
+        if share > 0.0 {
+            counts[i] = ((share * num_loops as f64).round() as usize).max(1);
+        }
+    }
+    // Rebalance to exactly num_loops by adjusting the largest class.
+    let largest = (0..3)
+        .max_by(|&a, &b| {
+            spec.class_time_shares[a]
+                .partial_cmp(&spec.class_time_shares[b])
+                .expect("shares are finite")
+        })
+        .expect("three classes");
+    let total: usize = counts.iter().sum();
+    counts[largest] = (counts[largest] + num_loops).saturating_sub(total).max(1);
+
+    let mut loops = Vec::new();
+    for (ci, class) in LoopClass::ALL.into_iter().enumerate() {
+        let n = counts[ci];
+        if n == 0 || spec.class_time_shares[ci] == 0.0 {
+            continue;
+        }
+        // Split the class's time share across its loops with jitter.
+        let mut raw: Vec<f64> = (0..n).map(|_| rng.gen_range(0.5..1.5)).collect();
+        let norm: f64 = raw.iter().sum();
+        for w in &mut raw {
+            *w *= spec.class_time_shares[ci] / norm;
+        }
+        for (li, weight) in raw.into_iter().enumerate() {
+            let params = LoopParams {
+                name: format!("{}/{class:?}{li}", spec.name),
+                class,
+                rec_size: spec.rec_size,
+                target_res_mii: rng.gen_range(2..=5),
+            };
+            let ddg = generate_loop(&mut rng, &params, design);
+            let trips = rng.gen_range(spec.trip_counts.0..=spec.trip_counts.1);
+            loops.push(Loop::new(ddg, trips, weight));
+        }
+    }
+    Benchmark { name: spec.name.to_owned(), loops }
+}
+
+/// Generates the full ten-benchmark suite with `loops_per_benchmark` loops
+/// each.
+///
+/// # Panics
+///
+/// Panics if `loops_per_benchmark == 0`.
+#[must_use]
+pub fn suite(loops_per_benchmark: usize) -> Vec<Benchmark> {
+    spec_fp2000()
+        .iter()
+        .map(|spec| generate(spec, loops_per_benchmark))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::classify;
+
+    #[test]
+    fn weights_sum_to_one() {
+        for spec in spec_fp2000().iter().take(3) {
+            let b = generate(spec, 20);
+            assert!((b.total_weight() - 1.0).abs() < 1e-9, "{}", b.name);
+        }
+    }
+
+    #[test]
+    fn class_mix_matches_table2() {
+        let design = MachineDesign::paper_machine(1);
+        for spec in spec_fp2000() {
+            let b = generate(&spec, 30);
+            let mut shares = [0.0f64; 3];
+            for l in &b.loops {
+                let class = classify(l.ddg(), design);
+                let idx = LoopClass::ALL.iter().position(|&c| c == class).unwrap();
+                shares[idx] += l.weight();
+            }
+            for (i, (got, want)) in
+                shares.iter().zip(&spec.class_time_shares).enumerate()
+            {
+                // Small shares can deviate by one loop's rounding; the
+                // *time* share itself is exact by construction.
+                assert!(
+                    (got - want).abs() < 1e-9,
+                    "{}: class {i} share {got} vs Table 2 {want}",
+                    spec.name,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn suite_is_deterministic() {
+        let a = suite(8);
+        let b = suite(8);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 10);
+    }
+
+    #[test]
+    fn loop_counts_are_respected() {
+        for spec in spec_fp2000().iter().take(2) {
+            let b = generate(spec, 25);
+            // Within rounding of the class allocation.
+            assert!(b.loops.len() >= 24 && b.loops.len() <= 27, "{}", b.loops.len());
+        }
+    }
+
+    #[test]
+    fn trip_counts_stay_in_range() {
+        let spec = spec_fp2000()[3]; // applu
+        let b = generate(&spec, 20);
+        for l in &b.loops {
+            assert!(l.trip_count() >= 6 && l.trip_count() <= 24);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one loop")]
+    fn zero_loops_panics() {
+        let _ = generate(&spec_fp2000()[0], 0);
+    }
+}

@@ -1,0 +1,14 @@
+//! `heterovliw` — umbrella crate of the CGO 2007 *Heterogeneous Clustered
+//! VLIW Microarchitectures* reproduction.
+//!
+//! Everything lives in [`heterovliw_core`] and the layer crates it
+//! re-exports; this crate simply flattens them for convenient `use`:
+//!
+//! ```
+//! use heterovliw::{ir::DdgBuilder, machine::MachineDesign};
+//! let design = MachineDesign::paper_machine(1);
+//! assert_eq!(design.num_clusters, 4);
+//! let _ = DdgBuilder::new("loop");
+//! ```
+
+pub use heterovliw_core::{explore, ir, machine, power, sched, sim, workloads, Study};

@@ -1,0 +1,82 @@
+//! Property-based integration tests: randomly generated loops must always
+//! produce sound schedules on arbitrary (sane) machine configurations.
+
+use proptest::prelude::*;
+
+use heterovliw::ir::{Ddg, DdgBuilder, OpClass};
+use heterovliw::machine::{ClockedConfig, MachineDesign, Time};
+use heterovliw::sched::{schedule_loop, ScheduleOptions};
+use heterovliw::sim::validate;
+
+/// A random schedulable DDG: a layered DAG plus an optional carried
+/// accumulator recurrence.
+fn arb_ddg() -> impl Strategy<Value = Ddg> {
+    (
+        2usize..14,                      // body ops
+        proptest::collection::vec(0usize..6, 0..16), // extra edges (src offset)
+        proptest::option::of(1u32..3),   // recurrence distance
+        0usize..4,                       // memory op count
+    )
+        .prop_map(|(n, extra, rec_dist, mems)| {
+            let mut b = DdgBuilder::new("prop");
+            let classes = [OpClass::IntArith, OpClass::FpArith, OpClass::FpMul];
+            let ids: Vec<_> = (0..n)
+                .map(|i| b.op(format!("n{i}"), classes[i % classes.len()]))
+                .collect();
+            for w in ids.windows(2) {
+                b.flow(w[0], w[1]);
+            }
+            for (i, &off) in extra.iter().enumerate() {
+                let src = i % n;
+                let dst = (src + 1 + off) % n;
+                if src < dst {
+                    b.flow(ids[src], ids[dst]);
+                }
+            }
+            for (i, &dst) in ids.iter().enumerate().take(mems.min(n)) {
+                let m = b.op(format!("mem{i}"), OpClass::FpMemory);
+                b.flow(m, dst);
+            }
+            if let Some(d) = rec_dist {
+                b.flow_carried(ids[n - 1], ids[0], d);
+            }
+            b.build().expect("generated graphs are well-formed")
+        })
+}
+
+fn arb_config() -> impl Strategy<Value = ClockedConfig> {
+    (900u64..1100, 1.0f64..1.6, 1u8..4, 1u32..3).prop_map(
+        |(fast_fs_k, ratio, num_fast, buses)| {
+            let design = MachineDesign::paper_machine(buses);
+            let fast = Time::from_fs(fast_fs_k * 1000);
+            let slow = Time::from_ns(fast.as_ns() * ratio);
+            ClockedConfig::heterogeneous(design, fast, num_fast, slow)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Whatever loop and machine we draw, the scheduler's output passes
+    /// the simulator's independent validation.
+    #[test]
+    fn schedules_are_always_sound(ddg in arb_ddg(), config in arb_config()) {
+        let s = schedule_loop(&ddg, &config, None, &ScheduleOptions::default())
+            .expect("generated loops are schedulable");
+        validate(&ddg, &config, &s).expect("schedule validates");
+        // IT respects the recurrence bound paced by the fastest cluster.
+        let rec_bound = config.fastest_cluster_cycle() * u64::from(ddg.rec_mii());
+        prop_assert!(s.it() >= rec_bound);
+    }
+
+    /// Execution time is exactly linear in the iteration count.
+    #[test]
+    fn exec_time_is_affine(ddg in arb_ddg(), config in arb_config(), n in 1u64..500) {
+        let s = schedule_loop(&ddg, &config, None, &ScheduleOptions::default())
+            .expect("schedulable");
+        let t1 = s.exec_time(n);
+        let t2 = s.exec_time(n + 7);
+        prop_assert_eq!(t2 - t1, s.it() * 7);
+    }
+}
