@@ -40,8 +40,7 @@ fn bench_hetero_scheduling(c: &mut Criterion) {
     // Kernel: heterogeneous modulo scheduling of one sixtrack loop.
     let design = MachineDesign::paper_machine(1);
     let bench = generate(&spec_fp2000()[8], 4);
-    let config =
-        ClockedConfig::heterogeneous(design, Time::from_ns(0.95), 1, Time::from_ns(1.25));
+    let config = ClockedConfig::heterogeneous(design, Time::from_ns(0.95), 1, Time::from_ns(1.25));
     let opts = ScheduleOptions::default();
     let ddg = bench.loops[0].ddg();
     c.bench_function("schedule_hetero_sixtrack_loop", |b| {

@@ -31,8 +31,7 @@ fn print_figure7() {
 fn bench_clock_selection(c: &mut Criterion) {
     print_figure7();
     let design = MachineDesign::paper_machine(1);
-    let config =
-        ClockedConfig::heterogeneous(design, Time::from_ns(1.0), 1, Time::from_ns(1.5));
+    let config = ClockedConfig::heterogeneous(design, Time::from_ns(1.0), 1, Time::from_ns(1.5));
     let menu = FrequencyMenu::uniform(16);
     c.bench_function("loop_clocks_select_16freqs", |b| {
         b.iter(|| LoopClocks::select(&config, &menu, black_box(Time::from_ns(6.0))));

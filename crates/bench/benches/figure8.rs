@@ -21,7 +21,11 @@ fn print_figure8() {
             .figure8()
             .expect("pipeline runs");
         for r in &rows {
-            let label = format!(".{:02} / {:.2}", (r.icn_share * 100.0) as u32, r.cache_share);
+            let label = format!(
+                ".{:02} / {:.2}",
+                (r.icn_share * 100.0) as u32,
+                r.cache_share
+            );
             println!("{}", format_bar(&label, r.mean_ed2_normalized));
         }
         all.extend(rows);
@@ -39,9 +43,7 @@ fn bench_calibration(c: &mut Criterion) {
         exec_time: Time::from_ns(500_000.0),
     };
     c.bench_function("power_model_calibrate", |b| {
-        b.iter(|| {
-            PowerModel::calibrate(design, black_box(EnergyShares::PAPER), &profile)
-        });
+        b.iter(|| PowerModel::calibrate(design, black_box(EnergyShares::PAPER), &profile));
     });
 }
 

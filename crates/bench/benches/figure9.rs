@@ -21,7 +21,10 @@ fn print_figure9() {
             .figure9()
             .expect("pipeline runs");
         for r in &rows {
-            let label = format!("{:.2}/{:.2}/{:.2}", r.leak_cluster, r.leak_icn, r.leak_cache);
+            let label = format!(
+                "{:.2}/{:.2}/{:.2}",
+                r.leak_cluster, r.leak_icn, r.leak_cache
+            );
             println!("{}", format_bar(&label, r.mean_ed2_normalized));
         }
         all.extend(rows);
@@ -39,8 +42,7 @@ fn bench_energy_estimate(c: &mut Criterion) {
         exec_time: Time::from_ns(500_000.0),
     };
     let power = PowerModel::calibrate(design, EnergyShares::PAPER, &profile);
-    let config =
-        ClockedConfig::heterogeneous(design, Time::from_ns(0.95), 1, Time::from_ns(1.25));
+    let config = ClockedConfig::heterogeneous(design, Time::from_ns(0.95), 1, Time::from_ns(1.25));
     let usage = UsageProfile::homogeneous(&profile, design.num_clusters);
     c.bench_function("estimate_energy_hetero", |b| {
         b.iter(|| power.estimate_energy(black_box(&config), &usage));

@@ -23,7 +23,16 @@ fn bench_rec_mii(c: &mut Criterion) {
     // A representative DDG: a 24-op chain with three nested recurrences.
     let mut b = DdgBuilder::new("bench");
     let ids: Vec<_> = (0..24)
-        .map(|i| b.op(format!("n{i}"), if i % 3 == 0 { OpClass::FpMul } else { OpClass::FpArith }))
+        .map(|i| {
+            b.op(
+                format!("n{i}"),
+                if i % 3 == 0 {
+                    OpClass::FpMul
+                } else {
+                    OpClass::FpArith
+                },
+            )
+        })
         .collect();
     for w in ids.windows(2) {
         b.flow(w[0], w[1]);

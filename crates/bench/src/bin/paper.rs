@@ -42,7 +42,10 @@ impl BusSel {
 
 fn main() -> ExitCode {
     let mut experiment = "all".to_owned();
-    let mut args = Args { loops: DEFAULT_LOOPS_PER_BENCHMARK, buses: BusSel::Both };
+    let mut args = Args {
+        loops: DEFAULT_LOOPS_PER_BENCHMARK,
+        buses: BusSel::Both,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -93,21 +96,47 @@ fn usage(msg: &str) -> ExitCode {
         "usage: paper [table1|table2|figure6|figure7|figure8|figure9|all] \
          [--loops N] [--buses 1|2|both]"
     );
-    if msg.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE }
+    if msg.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 type AnyError = Box<dyn std::error::Error>;
 
 fn study(args: Args, buses: u32) -> Study {
-    Study::new().with_loops_per_benchmark(args.loops).with_buses(buses)
+    Study::new()
+        .with_loops_per_benchmark(args.loops)
+        .with_buses(buses)
+}
+
+/// One row of Table 1, serialised alongside the printed table.
+#[derive(serde::Serialize)]
+struct Table1Row {
+    class: String,
+    latency: u32,
+    relative_energy: f64,
 }
 
 fn table1() -> Result<(), AnyError> {
     println!("\n== Table 1: latency and relative energy per instruction class ==");
     println!("{:<24} {:>7} {:>7}", "class", "latency", "energy");
+    let mut rows = Vec::new();
     for class in OpClass::SOURCE_CLASSES {
-        println!("{:<24} {:>7} {:>7.1}", class.to_string(), class.latency(), class.relative_energy());
+        println!(
+            "{:<24} {:>7} {:>7.1}",
+            class.to_string(),
+            class.latency(),
+            class.relative_energy()
+        );
+        rows.push(Table1Row {
+            class: class.to_string(),
+            latency: class.latency(),
+            relative_energy: class.relative_energy(),
+        });
     }
+    dump_json("table1", &rows);
     Ok(())
 }
 
@@ -137,7 +166,10 @@ fn figure6(args: Args) -> Result<(), AnyError> {
         for r in &rows {
             println!("{}", vliw_bench::format_bar(&r.benchmark, r.ed2_normalized));
         }
-        println!("{}", vliw_bench::format_bar("mean", experiments::mean_normalized(&rows)));
+        println!(
+            "{}",
+            vliw_bench::format_bar("mean", experiments::mean_normalized(&rows))
+        );
         all.extend(rows);
     }
     dump_json("figure6", &all);
@@ -166,7 +198,11 @@ fn figure8(args: Args) -> Result<(), AnyError> {
         println!("-- {buses} bus(es) --");
         let rows = study(args, buses).figure8()?;
         for r in &rows {
-            let label = format!(".{:<2} / {:.2}", (r.icn_share * 100.0) as u32, r.cache_share);
+            let label = format!(
+                ".{:<2} / {:.2}",
+                (r.icn_share * 100.0) as u32,
+                r.cache_share
+            );
             println!("{}", vliw_bench::format_bar(&label, r.mean_ed2_normalized));
         }
         all.extend(rows);
@@ -182,7 +218,10 @@ fn figure9(args: Args) -> Result<(), AnyError> {
         println!("-- {buses} bus(es) --");
         let rows = study(args, buses).figure9()?;
         for r in &rows {
-            let label = format!("{:.2}/{:.2}/{:.2}", r.leak_cluster, r.leak_icn, r.leak_cache);
+            let label = format!(
+                "{:.2}/{:.2}/{:.2}",
+                r.leak_cluster, r.leak_icn, r.leak_cache
+            );
             println!("{}", vliw_bench::format_bar(&label, r.mean_ed2_normalized));
         }
         all.extend(rows);

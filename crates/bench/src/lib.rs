@@ -16,8 +16,7 @@ use serde::Serialize;
 /// Panics if the directory cannot be created.
 #[must_use]
 pub fn results_dir() -> PathBuf {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../../target/paper-results");
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/paper-results");
     fs::create_dir_all(&dir).expect("create results dir");
     dir
 }

@@ -1,0 +1,81 @@
+//! CLI contract tests for the `paper` binary: exit codes, `--help`, and the
+//! JSON artefacts scripting depends on.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn paper(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_paper"))
+        .args(args)
+        .output()
+        .expect("run paper binary")
+}
+
+fn results_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/paper-results")
+}
+
+#[test]
+fn help_exits_zero_and_prints_usage() {
+    for flag in ["--help", "-h"] {
+        let out = paper(&[flag]);
+        assert!(out.status.success(), "{flag} must exit 0");
+        let text = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            text.contains("usage: paper"),
+            "usage text on {flag}: {text}"
+        );
+        assert!(text.contains("--loops"), "flags documented: {text}");
+    }
+}
+
+#[test]
+fn bad_args_exit_nonzero() {
+    let cases: &[&[&str]] = &[
+        &["--loops"],         // missing value
+        &["--loops", "0"],    // not positive
+        &["--loops", "many"], // not a number
+        &["--buses", "3"],    // unsupported bus count
+        &["--frobnicate"],    // unknown flag
+        &["figure42"],        // unknown experiment
+    ];
+    for args in cases {
+        let out = paper(args);
+        assert!(!out.status.success(), "paper {args:?} must fail");
+        let text = String::from_utf8_lossy(&out.stderr);
+        assert!(text.contains("error:"), "stderr explains {args:?}: {text}");
+        assert!(text.contains("usage: paper"), "usage shown for {args:?}");
+    }
+}
+
+#[test]
+fn table1_smoke_produces_json() {
+    let out = paper(&["table1", "--loops", "2"]);
+    assert!(
+        out.status.success(),
+        "table1 run: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Table 1"), "prints the table: {stdout}");
+
+    let json = std::fs::read_to_string(results_dir().join("table1.json")).expect("table1.json");
+    assert!(json.trim_start().starts_with('['), "rows are a JSON array");
+    for key in ["\"class\"", "\"latency\"", "\"relative_energy\"", "fdiv"] {
+        assert!(json.contains(key), "json has {key}: {json}");
+    }
+}
+
+#[test]
+fn table2_small_run_produces_json_rows() {
+    let out = paper(&["table2", "--loops", "2"]);
+    assert!(
+        out.status.success(),
+        "table2 run: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = std::fs::read_to_string(results_dir().join("table2.json")).expect("table2.json");
+    for key in ["\"benchmark\"", "171.swim", "301.apsi"] {
+        assert!(json.contains(key), "json has {key}");
+    }
+}

@@ -210,7 +210,10 @@ mod tests {
     fn table2_via_study() {
         let rows = Study::new().with_loops_per_benchmark(6).table2();
         assert_eq!(rows.len(), 10);
-        let sum: f64 = rows.iter().map(|r| r.resource_pct + r.borderline_pct + r.recurrence_pct).sum();
+        let sum: f64 = rows
+            .iter()
+            .map(|r| r.resource_pct + r.borderline_pct + r.recurrence_pct)
+            .sum();
         assert!((sum - 1000.0).abs() < 1e-6, "each row sums to 100%");
     }
 

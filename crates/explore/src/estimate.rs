@@ -57,7 +57,10 @@ fn capacity_fits(
     clocks: &LoopClocks,
 ) -> bool {
     use vliw_ir::FuKind;
-    for (i, kind) in [FuKind::Int, FuKind::Fp, FuKind::Mem].into_iter().enumerate() {
+    for (i, kind) in [FuKind::Int, FuKind::Fp, FuKind::Mem]
+        .into_iter()
+        .enumerate()
+    {
         let capacity: u64 = design
             .clusters()
             .map(|c| u64::from(design.cluster.fu_count(kind)) * clocks.cluster_ii(c))
@@ -79,8 +82,7 @@ fn comms_fit(
 
 fn lifetimes_fit(profile: &LoopProfile, design: vliw_machine::MachineDesign, it: Time) -> bool {
     // Register files provide `registers · IT` register-time per iteration.
-    let provided_fs =
-        u128::from(design.total_registers()) * u128::from(it.as_fs());
+    let provided_fs = u128::from(design.total_registers()) * u128::from(it.as_fs());
     u128::from(profile.lifetime_time.as_fs()) <= provided_fs
 }
 
@@ -177,7 +179,11 @@ pub fn estimate_program(
     };
     let energy = power.estimate_energy(config, &usage)?;
     let secs = exec_time.as_secs();
-    Some(HetEstimate { exec_time, energy, ed2: energy * secs * secs })
+    Some(HetEstimate {
+        exec_time,
+        energy,
+        ed2: energy * secs * secs,
+    })
 }
 
 #[cfg(test)]
@@ -208,7 +214,11 @@ mod tests {
         // T_TOTAL and energy is near 1.
         let ratio = est.exec_time.as_ns() / crate::profile::T_TOTAL.as_ns();
         assert!(ratio > 0.3 && ratio < 1.5, "time ratio {ratio}");
-        assert!(est.energy > 0.5 && est.energy < 1.5, "energy {}", est.energy);
+        assert!(
+            est.energy > 0.5 && est.energy < 1.5,
+            "energy {}",
+            est.energy
+        );
     }
 
     #[test]
@@ -216,12 +226,8 @@ mod tests {
         let (p, design) = profiled(8, 6); // sixtrack
         let menu = FrequencyMenu::unrestricted();
         let reference = ClockedConfig::reference(design);
-        let fast = ClockedConfig::heterogeneous(
-            design,
-            Time::from_ns(0.9),
-            1,
-            Time::from_ns(0.9 * 1.25),
-        );
+        let fast =
+            ClockedConfig::heterogeneous(design, Time::from_ns(0.9), 1, Time::from_ns(0.9 * 1.25));
         for l in &p.loops {
             let it_ref = estimate_loop_it(l, &reference, &menu).unwrap();
             let it_fast = estimate_loop_it(l, &fast, &menu).unwrap();
@@ -242,12 +248,8 @@ mod tests {
         let reference = ClockedConfig::reference(design);
         // One fast cluster at the reference speed, three at 1.5 ns: slot
         // capacity shrinks, so resource-bound ITs must grow.
-        let hetero = ClockedConfig::heterogeneous(
-            design,
-            Time::from_ns(1.0),
-            1,
-            Time::from_ns(1.5),
-        );
+        let hetero =
+            ClockedConfig::heterogeneous(design, Time::from_ns(1.0), 1, Time::from_ns(1.5));
         let mut grew = 0;
         for l in &p.loops {
             let a = estimate_loop_it(l, &reference, &menu).unwrap();
@@ -263,12 +265,8 @@ mod tests {
     #[test]
     fn it_length_estimate_uses_mean_cycle_time() {
         let (p, design) = profiled(0, 4);
-        let hetero = ClockedConfig::heterogeneous(
-            design,
-            Time::from_ns(1.0),
-            2,
-            Time::from_ns(2.0),
-        );
+        let hetero =
+            ClockedConfig::heterogeneous(design, Time::from_ns(1.0), 2, Time::from_ns(2.0));
         let l = &p.loops[0];
         let est = estimate_it_length(l, &hetero);
         // Mean cycle time = (1+1+2+2)/4 = 1.5 ⇒ itlen scales by 1.5.

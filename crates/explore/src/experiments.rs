@@ -74,7 +74,11 @@ pub fn profile_suite(
     for bench in suite {
         profiles.push(profile_benchmark(bench, design, sched)?);
     }
-    Ok(ProfiledSuite { design, profiles, benches: suite.to_vec() })
+    Ok(ProfiledSuite {
+        design,
+        profiles,
+        benches: suite.to_vec(),
+    })
 }
 
 /// One Figure 6 bar: a benchmark's heterogeneous ED², measured and
@@ -130,8 +134,7 @@ pub fn run_benchmark(
     if het.config.is_homogeneous() {
         let factor =
             het.config.fastest_cluster_cycle().as_ns() / ClockedConfig::REFERENCE_CYCLE.as_ns();
-        let usage =
-            crate::profile::reference_usage_scaled(profile, design.num_clusters, factor);
+        let usage = crate::profile::reference_usage_scaled(profile, design.num_clusters, factor);
         let energy_het = power
             .estimate_energy(&het.config, &usage)
             .expect("selected configuration is electrically feasible");
@@ -211,8 +214,11 @@ pub fn figure6(
     profiled: &ProfiledSuite,
     opts: &ExperimentOptions,
 ) -> Result<Vec<BenchmarkResult>, SchedError> {
-    let power =
-        PowerModel::calibrate(profiled.design, opts.shares, &suite_reference(&profiled.profiles));
+    let power = PowerModel::calibrate(
+        profiled.design,
+        opts.shares,
+        &suite_reference(&profiled.profiles),
+    );
     let baseline = optimum_homogeneous_suite(&profiled.profiles, profiled.design, &power);
     profiled
         .benches
@@ -258,7 +264,10 @@ pub fn table2(suite: &[Benchmark]) -> Vec<Table2Row> {
             let mut shares = [0.0f64; 3];
             for l in &bench.loops {
                 let class = classify(l.ddg(), design);
-                let idx = LoopClass::ALL.iter().position(|&c| c == class).expect("3 classes");
+                let idx = LoopClass::ALL
+                    .iter()
+                    .position(|&c| c == class)
+                    .expect("3 classes");
                 shares[idx] += l.weight();
             }
             Table2Row {
@@ -287,9 +296,18 @@ pub struct Figure7Row {
 pub fn figure7_menus() -> Vec<(String, FrequencyMenu)> {
     vec![
         ("any freq".to_owned(), FrequencyMenu::unrestricted()),
-        ("16 freqs".to_owned(), FrequencyMenu::from_kind(MenuKind::Uniform(16))),
-        ("8 freqs".to_owned(), FrequencyMenu::from_kind(MenuKind::Uniform(8))),
-        ("4 freqs".to_owned(), FrequencyMenu::from_kind(MenuKind::Uniform(4))),
+        (
+            "16 freqs".to_owned(),
+            FrequencyMenu::from_kind(MenuKind::Uniform(16)),
+        ),
+        (
+            "8 freqs".to_owned(),
+            FrequencyMenu::from_kind(MenuKind::Uniform(8)),
+        ),
+        (
+            "4 freqs".to_owned(),
+            FrequencyMenu::from_kind(MenuKind::Uniform(4)),
+        ),
     ]
 }
 
@@ -304,7 +322,10 @@ pub fn figure7(
 ) -> Result<Vec<Figure7Row>, SchedError> {
     let mut rows = Vec::new();
     for (name, menu) in figure7_menus() {
-        let opts = ExperimentOptions { menu, ..base.clone() };
+        let opts = ExperimentOptions {
+            menu,
+            ..base.clone()
+        };
         let results = figure6(profiled, &opts)?;
         rows.push(Figure7Row {
             menu: name,
@@ -330,8 +351,13 @@ pub struct Figure8Row {
 }
 
 /// The (ICN, cache) share variants of Figure 8.
-pub const FIGURE8_SHARES: [(f64, f64); 5] =
-    [(0.10, 0.25), (0.10, 1.0 / 3.0), (0.15, 0.30), (0.20, 0.25), (0.20, 0.30)];
+pub const FIGURE8_SHARES: [(f64, f64); 5] = [
+    (0.10, 0.25),
+    (0.10, 1.0 / 3.0),
+    (0.15, 0.30),
+    (0.20, 0.25),
+    (0.20, 0.30),
+];
 
 /// Figure 8: sensitivity to the ICN/cache energy shares of the reference
 /// machine. A fresh optimum homogeneous baseline is computed per variant,
@@ -419,7 +445,10 @@ mod tests {
 
     fn small_suite() -> Vec<Benchmark> {
         // One strongly recurrence-bound and one resource-bound benchmark.
-        vec![generate(&spec_fp2000()[8], 6), generate(&spec_fp2000()[1], 6)]
+        vec![
+            generate(&spec_fp2000()[8], 6),
+            generate(&spec_fp2000()[1], 6),
+        ]
     }
 
     #[test]

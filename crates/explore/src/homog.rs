@@ -28,8 +28,8 @@ pub struct HomogChoice {
 /// Cycle-time grid explored for the homogeneous baseline, as multiples of
 /// the reference cycle.
 const CYCLE_FACTORS: [f64; 17] = [
-    0.80, 0.85, 0.90, 0.95, 1.00, 1.05, 1.10, 1.15, 1.20, 1.25, 1.30, 1.35, 1.40, 1.45, 1.50,
-    1.55, 1.60,
+    0.80, 0.85, 0.90, 0.95, 1.00, 1.05, 1.10, 1.15, 1.20, 1.25, 1.30, 1.35, 1.40, 1.45, 1.50, 1.55,
+    1.60,
 ];
 
 /// Voltage-grid step (volts).
@@ -56,7 +56,8 @@ pub fn optimum_homogeneous(
         let exec_time = Time::from_ns(profile.reference.exec_time.as_ns() * factor);
         let usage = UsageProfile {
             weighted_ins_per_cluster: vec![
-                profile.reference.weighted_ins / f64::from(design.num_clusters);
+                profile.reference.weighted_ins
+                    / f64::from(design.num_clusters);
                 usize::from(design.num_clusters)
             ],
             comms: profile.reference.comms,
@@ -80,7 +81,12 @@ pub fn optimum_homogeneous(
         let secs = exec_time.as_secs();
         let ed2 = energy * secs * secs;
         if best.as_ref().is_none_or(|b| ed2 < b.ed2) {
-            best = Some(HomogChoice { config, exec_time, energy, ed2 });
+            best = Some(HomogChoice {
+                config,
+                exec_time,
+                energy,
+                ed2,
+            });
         }
     }
     best.expect("the reference operating point is always feasible")
@@ -159,7 +165,11 @@ pub fn optimum_homogeneous_suite(
             continue;
         }
         if best.as_ref().is_none_or(|b| suite_ed2 < b.suite_ed2) {
-            best = Some(SuiteBaseline { config, per_benchmark, suite_ed2 });
+            best = Some(SuiteBaseline {
+                config,
+                per_benchmark,
+                suite_ed2,
+            });
         }
     }
     best.expect("the reference operating point is always feasible")

@@ -203,7 +203,10 @@ mod tests {
         let design = MachineDesign::paper_machine(1);
         let p = profile_benchmark(&bench, design, &ScheduleOptions::default()).unwrap();
         let with_recs = p.loops.iter().filter(|l| l.rec_weighted_ins > 0.0).count();
-        assert!(with_recs >= p.loops.len() - 1, "sixtrack loops are recurrence bound");
+        assert!(
+            with_recs >= p.loops.len() - 1,
+            "sixtrack loops are recurrence bound"
+        );
         for l in &p.loops {
             assert!(l.rec_weighted_ins <= l.weighted_ins + 1e-9);
         }

@@ -128,7 +128,10 @@ mod tests {
             select_heterogeneous(&p, design, &power, &FrequencyMenu::unrestricted()).unwrap();
         let fast = choice.config.fastest_cluster_cycle();
         let slow = choice.config.slowest_cluster_cycle();
-        assert!(slow > fast, "sixtrack wants heterogeneity: fast {fast}, slow {slow}");
+        assert!(
+            slow > fast,
+            "sixtrack wants heterogeneity: fast {fast}, slow {slow}"
+        );
         assert!(choice.config.voltages().in_range());
     }
 
@@ -155,6 +158,9 @@ mod tests {
             select_heterogeneous(&p, design, &power, &FrequencyMenu::unrestricted()).unwrap();
         let ratio = choice.config.slowest_cluster_cycle().as_ns()
             / choice.config.fastest_cluster_cycle().as_ns();
-        assert!(ratio < 1.26, "swim should avoid large frequency gaps, got ratio {ratio}");
+        assert!(
+            ratio < 1.26,
+            "swim should avoid large frequency gaps, got ratio {ratio}"
+        );
     }
 }

@@ -51,7 +51,11 @@ impl DdgBuilder {
     /// Creates an empty builder for a loop called `name`.
     #[must_use]
     pub fn new(name: impl Into<String>) -> Self {
-        Self { name: name.into(), ops: Vec::new(), edges: Vec::new() }
+        Self {
+            name: name.into(),
+            ops: Vec::new(),
+            edges: Vec::new(),
+        }
     }
 
     /// Adds an operation and returns its identifier.
@@ -113,7 +117,13 @@ impl DdgBuilder {
         distance: u32,
         kind: DepKind,
     ) -> &mut Self {
-        self.edges.push(PendingEdge { src, dst, latency, distance, kind });
+        self.edges.push(PendingEdge {
+            src,
+            dst,
+            latency,
+            distance,
+            kind,
+        });
         self
     }
 
@@ -138,7 +148,14 @@ impl DdgBuilder {
                     op: self.ops[e.src.index()].name().to_owned(),
                 });
             }
-            edges.push(DepEdge::new(EdgeId(i as u32), e.src, e.dst, e.latency, e.distance, e.kind));
+            edges.push(DepEdge::new(
+                EdgeId(i as u32),
+                e.src,
+                e.dst,
+                e.latency,
+                e.distance,
+                e.kind,
+            ));
         }
         Ok(Ddg::from_parts(self.name, self.ops, edges))
     }
@@ -153,7 +170,10 @@ mod tests {
         let mut b = DdgBuilder::new("t");
         let a = b.op("a", OpClass::IntArith);
         b.dep(a, OpId(42), 1);
-        assert_eq!(b.build().unwrap_err(), BuildError::UnknownOp { op: 42, num_ops: 1 });
+        assert_eq!(
+            b.build().unwrap_err(),
+            BuildError::UnknownOp { op: 42, num_ops: 1 }
+        );
     }
 
     #[test]
@@ -161,7 +181,10 @@ mod tests {
         let mut b = DdgBuilder::new("t");
         let a = b.op("a", OpClass::IntArith);
         b.dep(a, a, 1);
-        assert!(matches!(b.build(), Err(BuildError::ZeroDistanceSelfLoop { .. })));
+        assert!(matches!(
+            b.build(),
+            Err(BuildError::ZeroDistanceSelfLoop { .. })
+        ));
     }
 
     #[test]

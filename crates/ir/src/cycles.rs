@@ -40,7 +40,10 @@ impl Circuit {
     /// Panics if the circuit's distance is zero (unschedulable).
     #[must_use]
     pub fn min_ii(&self) -> u32 {
-        assert!(self.distance > 0, "zero-distance circuit has no feasible II");
+        assert!(
+            self.distance > 0,
+            "zero-distance circuit has no feasible II"
+        );
         self.latency.div_ceil(self.distance)
     }
 }
@@ -80,12 +83,7 @@ pub fn elementary_circuits(ddg: &Ddg, limit: CircuitLimit) -> Vec<Circuit> {
     out
 }
 
-fn enumerate_component(
-    ddg: &Ddg,
-    members: &[OpId],
-    limit: CircuitLimit,
-    out: &mut Vec<Circuit>,
-) {
+fn enumerate_component(ddg: &Ddg, members: &[OpId], limit: CircuitLimit, out: &mut Vec<Circuit>) {
     let member_set: HashSet<OpId> = members.iter().copied().collect();
     let mut sorted = members.to_vec();
     sorted.sort();
@@ -95,11 +93,20 @@ fn enumerate_component(
         if out.len() >= limit.0 {
             return;
         }
-        let allowed: HashSet<OpId> =
-            sorted[si..].iter().copied().collect();
+        let allowed: HashSet<OpId> = sorted[si..].iter().copied().collect();
         let mut path: Vec<(OpId, u32, u32)> = vec![(s, 0, 0)]; // (node, lat-in, dist-in)
         let mut on_path: HashSet<OpId> = HashSet::from([s]);
-        dfs(ddg, s, s, &member_set, &allowed, &mut path, &mut on_path, limit, out);
+        dfs(
+            ddg,
+            s,
+            s,
+            &member_set,
+            &allowed,
+            &mut path,
+            &mut on_path,
+            limit,
+            out,
+        );
     }
 }
 
@@ -129,10 +136,8 @@ fn dfs(
             // Completed a circuit (length ≥ 2 here; self-loops handled
             // separately unless start==current at path length 1).
             if path.len() >= 2 || current != start {
-                let latency: u32 =
-                    path.iter().map(|&(_, l, _)| l).sum::<u32>() + e.latency();
-                let distance: u32 =
-                    path.iter().map(|&(_, _, d)| d).sum::<u32>() + e.distance();
+                let latency: u32 = path.iter().map(|&(_, l, _)| l).sum::<u32>() + e.latency();
+                let distance: u32 = path.iter().map(|&(_, _, d)| d).sum::<u32>() + e.distance();
                 out.push(Circuit {
                     ops: path.iter().map(|&(n, _, _)| n).collect(),
                     latency,
@@ -149,7 +154,9 @@ fn dfs(
         }
         path.push((next, e.latency(), e.distance()));
         on_path.insert(next);
-        dfs(ddg, start, next, member_set, allowed, path, on_path, limit, out);
+        dfs(
+            ddg, start, next, member_set, allowed, path, on_path, limit, out,
+        );
         on_path.remove(&next);
         path.pop();
     }
@@ -212,7 +219,9 @@ mod tests {
     fn limit_truncates_enumeration() {
         // Complete-ish digraph on 6 nodes has many circuits.
         let mut b = DdgBuilder::new("t");
-        let ids: Vec<_> = (0..6).map(|i| b.op(format!("n{i}"), OpClass::IntArith)).collect();
+        let ids: Vec<_> = (0..6)
+            .map(|i| b.op(format!("n{i}"), OpClass::IntArith))
+            .collect();
         for &u in &ids {
             for &v in &ids {
                 if u != v {
@@ -245,7 +254,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "zero-distance circuit")]
     fn zero_distance_circuit_min_ii_panics() {
-        let c = Circuit { ops: vec![OpId(0)], latency: 3, distance: 0 };
+        let c = Circuit {
+            ops: vec![OpId(0)],
+            latency: 3,
+            distance: 0,
+        };
         let _ = c.min_ii();
     }
 }

@@ -60,7 +60,11 @@ pub struct Operation {
 
 impl Operation {
     pub(crate) fn new(id: OpId, class: OpClass, name: impl Into<String>) -> Self {
-        Self { id, class, name: name.into() }
+        Self {
+            id,
+            class,
+            name: name.into(),
+        }
     }
 
     /// The operation's identifier within its graph.
@@ -116,7 +120,14 @@ impl DepEdge {
         distance: u32,
         kind: DepKind,
     ) -> Self {
-        Self { id, src, dst, latency, distance, kind }
+        Self {
+            id,
+            src,
+            dst,
+            latency,
+            distance,
+            kind,
+        }
     }
 
     /// The edge's identifier within its graph.
@@ -186,7 +197,13 @@ impl Ddg {
             succ[e.src.index()].push(e.id);
             pred[e.dst.index()].push(e.id);
         }
-        Self { name, ops, edges, succ, pred }
+        Self {
+            name,
+            ops,
+            edges,
+            succ,
+            pred,
+        }
     }
 
     /// The loop's name.
@@ -376,7 +393,11 @@ impl Loop {
             weight.is_finite() && weight > 0.0,
             "loop weight must be positive and finite, got {weight}"
         );
-        Self { ddg, trip_count, weight }
+        Self {
+            ddg,
+            trip_count,
+            weight,
+        }
     }
 
     /// The loop body's dependence graph.
@@ -405,7 +426,9 @@ mod tests {
 
     fn chain(n: usize) -> Ddg {
         let mut b = DdgBuilder::new("chain");
-        let ids: Vec<_> = (0..n).map(|i| b.op(format!("n{i}"), OpClass::IntArith)).collect();
+        let ids: Vec<_> = (0..n)
+            .map(|i| b.op(format!("n{i}"), OpClass::IntArith))
+            .collect();
         for w in ids.windows(2) {
             b.dep(w[0], w[1], 1);
         }

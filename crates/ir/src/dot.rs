@@ -39,7 +39,13 @@ pub fn to_dot(ddg: &Ddg) -> String {
     }
     for e in ddg.edges() {
         if e.distance() == 0 {
-            let _ = writeln!(s, "  {} -> {} [label=\"{}\"];", e.src(), e.dst(), e.latency());
+            let _ = writeln!(
+                s,
+                "  {} -> {} [label=\"{}\"];",
+                e.src(),
+                e.dst(),
+                e.latency()
+            );
         } else {
             let _ = writeln!(
                 s,

@@ -27,10 +27,16 @@ impl fmt::Display for BuildError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             BuildError::UnknownOp { op, num_ops } => {
-                write!(f, "edge references operation n{op} but only {num_ops} operations exist")
+                write!(
+                    f,
+                    "edge references operation n{op} but only {num_ops} operations exist"
+                )
             }
             BuildError::ZeroDistanceSelfLoop { op } => {
-                write!(f, "operation `{op}` depends on itself within the same iteration")
+                write!(
+                    f,
+                    "operation `{op}` depends on itself within the same iteration"
+                )
             }
         }
     }
@@ -54,7 +60,10 @@ impl fmt::Display for IrError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             IrError::ZeroDistanceCycle { op } => {
-                write!(f, "dependence cycle through `{op}` has zero total iteration distance")
+                write!(
+                    f,
+                    "dependence cycle through `{op}` has zero total iteration distance"
+                )
             }
         }
     }

@@ -52,8 +52,8 @@ mod scc;
 mod toposort;
 
 pub use builder::DdgBuilder;
-pub use cycles::{Circuit, CircuitLimit, elementary_circuits};
-pub use ddg::{DepEdge, DepKind, Ddg, EdgeId, Loop, OpId, Operation};
+pub use cycles::{elementary_circuits, Circuit, CircuitLimit};
+pub use ddg::{Ddg, DepEdge, DepKind, EdgeId, Loop, OpId, Operation};
 pub use dot::to_dot;
 pub use error::{BuildError, IrError};
 pub use op::{FuKind, OpClass};

@@ -70,7 +70,10 @@ impl SubGraph {
             .edges()
             .map(|e| (e.src().index(), e.dst().index(), e.latency(), e.distance()))
             .collect();
-        Self { num_nodes: ddg.num_ops(), edges }
+        Self {
+            num_nodes: ddg.num_ops(),
+            edges,
+        }
     }
 
     fn induced(ddg: &Ddg, members: &[OpId]) -> Self {
@@ -84,7 +87,10 @@ impl SubGraph {
                 }
             }
         }
-        Self { num_nodes: members.len(), edges }
+        Self {
+            num_nodes: members.len(),
+            edges,
+        }
     }
 
     /// Exact test: does a cycle with `Σlat − ii · Σdist > 0` exist?
@@ -98,9 +104,7 @@ impl SubGraph {
         // the test monotone in r while staying in exact arithmetic.
         const SCALE: f64 = 1e9;
         let rs = (r * SCALE).round() as i128;
-        self.positive_cycle(|lat, dist| {
-            i128::from(lat) * (SCALE as i128) - rs * i128::from(dist)
-        })
+        self.positive_cycle(|lat, dist| i128::from(lat) * (SCALE as i128) - rs * i128::from(dist))
     }
 
     /// Bellman–Ford longest-path positive-cycle detection.
@@ -136,7 +140,10 @@ impl SubGraph {
     }
 
     fn total_latency(&self) -> i64 {
-        self.edges.iter().map(|&(_, _, lat, _)| i64::from(lat)).sum()
+        self.edges
+            .iter()
+            .map(|&(_, _, lat, _)| i64::from(lat))
+            .sum()
     }
 
     /// Smallest integer `ii ≥ 0` with no positive cycle, or `None` when even
@@ -174,7 +181,10 @@ impl SubGraph {
             if !has_cycle {
                 return None;
             }
-            return Some(CycleRatio { value: 0.0, ceil: 0 });
+            return Some(CycleRatio {
+                value: 0.0,
+                ceil: 0,
+            });
         }
         let (mut lo, mut hi) = (f64::from(ceil - 1), f64::from(ceil));
         for _ in 0..60 {
@@ -185,7 +195,10 @@ impl SubGraph {
                 hi = mid;
             }
         }
-        Some(CycleRatio { value: 0.5 * (lo + hi), ceil })
+        Some(CycleRatio {
+            value: 0.5 * (lo + hi),
+            ceil,
+        })
     }
 }
 
@@ -325,9 +338,18 @@ mod tests {
 
     #[test]
     fn ordering_follows_ceiling_then_value() {
-        let a = CycleRatio { value: 2.25, ceil: 3 };
-        let b = CycleRatio { value: 3.0, ceil: 3 };
-        let c = CycleRatio { value: 1.0, ceil: 1 };
+        let a = CycleRatio {
+            value: 2.25,
+            ceil: 3,
+        };
+        let b = CycleRatio {
+            value: 3.0,
+            ceil: 3,
+        };
+        let c = CycleRatio {
+            value: 1.0,
+            ceil: 1,
+        };
         assert!(a < b);
         assert!(c < a);
         assert!(!a.to_string().is_empty());
@@ -338,7 +360,9 @@ mod tests {
         // 25 fp-arith ops (latency 3) around a distance-4 cycle:
         // ratio = 75/4 = 18.75 → ceil 19.
         let mut b = DdgBuilder::new("t");
-        let ids: Vec<_> = (0..25).map(|i| b.op(format!("n{i}"), OpClass::FpArith)).collect();
+        let ids: Vec<_> = (0..25)
+            .map(|i| b.op(format!("n{i}"), OpClass::FpArith))
+            .collect();
         for w in ids.windows(2) {
             b.dep(w[0], w[1], 3);
         }

@@ -108,7 +108,10 @@ impl StronglyConnectedComponents {
                 }
             }
         }
-        Self { membership, components }
+        Self {
+            membership,
+            components,
+        }
     }
 
     /// Number of components.
@@ -152,16 +155,17 @@ impl StronglyConnectedComponents {
     pub fn recurrences(&self, ddg: &Ddg) -> Vec<Recurrence> {
         let mut out = Vec::new();
         for (scc, members) in self.iter() {
-            let cyclic = members.len() > 1
-                || ddg
-                    .succs(members[0])
-                    .any(|e| e.dst() == members[0]);
+            let cyclic = members.len() > 1 || ddg.succs(members[0]).any(|e| e.dst() == members[0]);
             if !cyclic {
                 continue;
             }
-            let ratio = max_cycle_ratio_in(ddg, members)
-                .expect("SCC marked cyclic must contain a cycle");
-            out.push(Recurrence { scc, ops: members.to_vec(), critical_ratio: ratio });
+            let ratio =
+                max_cycle_ratio_in(ddg, members).expect("SCC marked cyclic must contain a cycle");
+            out.push(Recurrence {
+                scc,
+                ops: members.to_vec(),
+                critical_ratio: ratio,
+            });
         }
         // Most critical first (paper §4.1.1 orders by criticality).
         out.sort_by(|a, b| {
@@ -233,7 +237,10 @@ mod tests {
         let c = b.op("b", OpClass::IntArith);
         let d = b.op("c", OpClass::IntArith);
         let e = b.op("d", OpClass::IntArith);
-        b.dep(a, c, 1).dep(c, d, 1).dep_dist(d, a, 1, 1).dep(d, e, 1);
+        b.dep(a, c, 1)
+            .dep(c, d, 1)
+            .dep_dist(d, a, 1, 1)
+            .dep(d, e, 1);
         let g = b.build().unwrap();
         let sccs = condensation(&g);
         assert_eq!(sccs.len(), 2);
@@ -297,7 +304,9 @@ mod tests {
     fn deep_chain_does_not_overflow_stack() {
         let mut b = DdgBuilder::new("deep");
         let n = 100_000;
-        let ids: Vec<_> = (0..n).map(|i| b.op(format!("n{i}"), OpClass::IntArith)).collect();
+        let ids: Vec<_> = (0..n)
+            .map(|i| b.op(format!("n{i}"), OpClass::IntArith))
+            .collect();
         for w in ids.windows(2) {
             b.dep(w[0], w[1], 1);
         }

@@ -41,8 +41,7 @@ pub fn topological_order(ddg: &Ddg) -> Result<Vec<OpId>, TopoError> {
             indeg[e.dst().index()] += 1;
         }
     }
-    let mut queue: VecDeque<usize> =
-        (0..n).filter(|&v| indeg[v] == 0).collect();
+    let mut queue: VecDeque<usize> = (0..n).filter(|&v| indeg[v] == 0).collect();
     let mut order = Vec::with_capacity(n);
     while let Some(v) = queue.pop_front() {
         order.push(OpId(v as u32));
@@ -60,7 +59,9 @@ pub fn topological_order(ddg: &Ddg) -> Result<Vec<OpId>, TopoError> {
         let stuck = (0..n)
             .find(|&v| indeg[v] > 0)
             .expect("some node must have positive in-degree");
-        return Err(TopoError { op: ddg.op(OpId(stuck as u32)).name().to_owned() });
+        return Err(TopoError {
+            op: ddg.op(OpId(stuck as u32)).name().to_owned(),
+        });
     }
     Ok(order)
 }
@@ -80,8 +81,7 @@ mod tests {
         b.dep(d, c, 1).dep(c, a, 1);
         let g = b.build().unwrap();
         let order = topological_order(&g).unwrap();
-        let pos =
-            |id: OpId| order.iter().position(|&x| x == id).unwrap();
+        let pos = |id: OpId| order.iter().position(|&x| x == id).unwrap();
         assert!(pos(d) < pos(c));
         assert!(pos(c) < pos(a));
     }

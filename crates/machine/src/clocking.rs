@@ -80,7 +80,9 @@ impl FrequencyMenu {
         // the grid rather than extending the range.
         let base = Time::from_ns(2.0 / f64::from(n));
         let cts: Vec<Time> = (1..=u64::from(n)).map(|k| base * k).collect();
-        FrequencyMenu { cycle_times: Some(cts) }
+        FrequencyMenu {
+            cycle_times: Some(cts),
+        }
     }
 
     /// Builds a menu from the given [`MenuKind`].
@@ -119,7 +121,10 @@ impl FrequencyMenu {
     /// Panics if `min_cycle` is zero.
     #[must_use]
     pub fn available_ii(&self, min_cycle: Time, it: Time) -> Option<u64> {
-        assert!(!min_cycle.is_zero(), "component cycle time must be positive");
+        assert!(
+            !min_cycle.is_zero(),
+            "component cycle time must be positive"
+        );
         match &self.cycle_times {
             None => {
                 // Any frequency: run at exactly II / IT where II is the
@@ -168,9 +173,15 @@ mod tests {
         assert_eq!(m.len(), None);
         assert!(!m.is_empty());
         // IT = 3.333 ns with a 1 ns component ⇒ II = 3 (Figure 4's table).
-        assert_eq!(m.available_ii(Time::from_ns(1.0), Time::from_ns(3.333)), Some(3));
+        assert_eq!(
+            m.available_ii(Time::from_ns(1.0), Time::from_ns(3.333)),
+            Some(3)
+        );
         // IT = 3.333 ns with a 1.667 ns component: floor(3333000/1667000) = 1.
-        assert_eq!(m.available_ii(Time::from_ns(1.667), Time::from_ns(3.333)), Some(1));
+        assert_eq!(
+            m.available_ii(Time::from_ns(1.667), Time::from_ns(3.333)),
+            Some(1)
+        );
     }
 
     #[test]

@@ -51,7 +51,11 @@ impl Voltages {
     /// The reference supplies: 1 V everywhere (paper §5 baseline).
     #[must_use]
     pub fn reference(num_clusters: u8) -> Self {
-        Voltages { clusters: vec![1.0; usize::from(num_clusters)], icn: 1.0, cache: 1.0 }
+        Voltages {
+            clusters: vec![1.0; usize::from(num_clusters)],
+            icn: 1.0,
+            cache: 1.0,
+        }
     }
 
     /// The supply of `domain`.
@@ -139,13 +143,19 @@ impl ClockedConfig {
         num_fast: u8,
         slow_cycle: Time,
     ) -> Self {
-        assert!(!fast_cycle.is_zero() && !slow_cycle.is_zero(), "cycle times must be positive");
+        assert!(
+            !fast_cycle.is_zero() && !slow_cycle.is_zero(),
+            "cycle times must be positive"
+        );
         assert!(
             (1..=design.num_clusters).contains(&num_fast),
             "num_fast must be in 1..={}",
             design.num_clusters
         );
-        assert!(slow_cycle >= fast_cycle, "slow clusters cannot be faster than fast ones");
+        assert!(
+            slow_cycle >= fast_cycle,
+            "slow clusters cannot be faster than fast ones"
+        );
         let mut cluster_cycles = vec![slow_cycle; usize::from(design.num_clusters)];
         for c in cluster_cycles.iter_mut().take(usize::from(num_fast)) {
             *c = fast_cycle;
@@ -189,7 +199,13 @@ impl ClockedConfig {
                 && !cache_cycle.is_zero(),
             "cycle times must be positive"
         );
-        ClockedConfig { design, cluster_cycles, icn_cycle, cache_cycle, voltages }
+        ClockedConfig {
+            design,
+            cluster_cycles,
+            icn_cycle,
+            cache_cycle,
+            voltages,
+        }
     }
 
     /// Replaces the supply voltages.
@@ -260,13 +276,21 @@ impl ClockedConfig {
     /// Never panics: designs have at least one cluster.
     #[must_use]
     pub fn fastest_cluster_cycle(&self) -> Time {
-        *self.cluster_cycles.iter().min().expect("at least one cluster")
+        *self
+            .cluster_cycles
+            .iter()
+            .min()
+            .expect("at least one cluster")
     }
 
     /// The longest cluster cycle time.
     #[must_use]
     pub fn slowest_cluster_cycle(&self) -> Time {
-        *self.cluster_cycles.iter().max().expect("at least one cluster")
+        *self
+            .cluster_cycles
+            .iter()
+            .max()
+            .expect("at least one cluster")
     }
 
     /// Clusters sorted slowest-first — the pre-placement order of the
@@ -303,8 +327,7 @@ impl ClockedConfig {
     /// All domains of this machine.
     #[must_use]
     pub fn domains(&self) -> Vec<DomainId> {
-        let mut v: Vec<DomainId> =
-            self.design.clusters().map(DomainId::Cluster).collect();
+        let mut v: Vec<DomainId> = self.design.clusters().map(DomainId::Cluster).collect();
         v.push(DomainId::Icn);
         v.push(DomainId::Cache);
         v
@@ -331,12 +354,7 @@ mod tests {
 
     #[test]
     fn heterogeneous_shape_follows_paper() {
-        let c = ClockedConfig::heterogeneous(
-            design(),
-            Time::from_ns(0.95),
-            1,
-            Time::from_ns(1.25),
-        );
+        let c = ClockedConfig::heterogeneous(design(), Time::from_ns(0.95), 1, Time::from_ns(1.25));
         assert_eq!(c.cluster_cycle(ClusterId(0)), Time::from_ns(0.95));
         for i in 1..4 {
             assert_eq!(c.cluster_cycle(ClusterId(i)), Time::from_ns(1.25));
@@ -350,12 +368,7 @@ mod tests {
 
     #[test]
     fn slowest_first_ordering() {
-        let c = ClockedConfig::heterogeneous(
-            design(),
-            Time::from_ns(1.0),
-            2,
-            Time::from_ns(1.5),
-        );
+        let c = ClockedConfig::heterogeneous(design(), Time::from_ns(1.0), 2, Time::from_ns(1.5));
         let order = c.clusters_slowest_first();
         assert_eq!(c.cluster_cycle(order[0]), Time::from_ns(1.5));
         assert_eq!(c.cluster_cycle(order[1]), Time::from_ns(1.5));
@@ -370,12 +383,7 @@ mod tests {
             hom.sync_penalty_cycles(DomainId::Cluster(ClusterId(0)), DomainId::Icn),
             0
         );
-        let het = ClockedConfig::heterogeneous(
-            design(),
-            Time::from_ns(1.0),
-            1,
-            Time::from_ns(1.5),
-        );
+        let het = ClockedConfig::heterogeneous(design(), Time::from_ns(1.0), 1, Time::from_ns(1.5));
         // Fast cluster ↔ ICN share a frequency: no penalty.
         assert_eq!(
             het.sync_penalty_cycles(DomainId::Cluster(ClusterId(0)), DomainId::Icn),
@@ -387,7 +395,10 @@ mod tests {
             1
         );
         assert_eq!(
-            het.sync_penalty_cycles(DomainId::Cluster(ClusterId(1)), DomainId::Cluster(ClusterId(2))),
+            het.sync_penalty_cycles(
+                DomainId::Cluster(ClusterId(1)),
+                DomainId::Cluster(ClusterId(2))
+            ),
             0,
             "two slow clusters share a frequency"
         );
@@ -416,23 +427,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "slow clusters cannot be faster")]
     fn inverted_speeds_panic() {
-        let _ = ClockedConfig::heterogeneous(
-            design(),
-            Time::from_ns(1.2),
-            1,
-            Time::from_ns(0.9),
-        );
+        let _ = ClockedConfig::heterogeneous(design(), Time::from_ns(1.2), 1, Time::from_ns(0.9));
     }
 
     #[test]
     #[should_panic(expected = "num_fast")]
     fn zero_fast_clusters_panics() {
-        let _ = ClockedConfig::heterogeneous(
-            design(),
-            Time::from_ns(1.0),
-            0,
-            Time::from_ns(1.5),
-        );
+        let _ = ClockedConfig::heterogeneous(design(), Time::from_ns(1.0), 0, Time::from_ns(1.5));
     }
 
     #[test]

@@ -48,8 +48,12 @@ pub struct ClusterDesign {
 impl ClusterDesign {
     /// The per-cluster design of the paper's evaluation machine:
     /// 1 fp FU, 1 int FU, 1 memory port, 16 registers.
-    pub const PAPER: ClusterDesign =
-        ClusterDesign { int_fus: 1, fp_fus: 1, mem_ports: 1, registers: 16 };
+    pub const PAPER: ClusterDesign = ClusterDesign {
+        int_fus: 1,
+        fp_fus: 1,
+        mem_ports: 1,
+        registers: 16,
+    };
 
     /// Number of functional units of kind `kind` (zero for [`FuKind::Bus`],
     /// which belongs to the interconnect, not a cluster).
@@ -98,7 +102,11 @@ impl MachineDesign {
     #[must_use]
     pub fn paper_machine(buses: u32) -> Self {
         assert!(buses > 0, "a clustered machine needs at least one bus");
-        MachineDesign { num_clusters: 4, cluster: ClusterDesign::PAPER, buses }
+        MachineDesign {
+            num_clusters: 4,
+            cluster: ClusterDesign::PAPER,
+            buses,
+        }
     }
 
     /// Creates a machine with `num_clusters` copies of `cluster` and
@@ -111,7 +119,11 @@ impl MachineDesign {
     pub fn new(num_clusters: u8, cluster: ClusterDesign, buses: u32) -> Self {
         assert!(num_clusters > 0, "a machine needs at least one cluster");
         assert!(buses > 0, "a clustered machine needs at least one bus");
-        MachineDesign { num_clusters, cluster, buses }
+        MachineDesign {
+            num_clusters,
+            cluster,
+            buses,
+        }
     }
 
     /// Iterate over all cluster ids.
@@ -175,7 +187,10 @@ mod tests {
     #[test]
     fn bus_is_not_a_cluster_resource() {
         assert_eq!(ClusterDesign::PAPER.fu_count(FuKind::Bus), 0);
-        assert_eq!(MachineDesign::paper_machine(2).total_fu_count(FuKind::Bus), 2);
+        assert_eq!(
+            MachineDesign::paper_machine(2).total_fu_count(FuKind::Bus),
+            2
+        );
     }
 
     #[test]

@@ -38,7 +38,10 @@ impl Time {
     /// Panics if `ns` is negative, NaN, or too large for the representation.
     #[must_use]
     pub fn from_ns(ns: f64) -> Self {
-        assert!(ns.is_finite() && ns >= 0.0, "time must be finite and non-negative: {ns}");
+        assert!(
+            ns.is_finite() && ns >= 0.0,
+            "time must be finite and non-negative: {ns}"
+        );
         let fs = (ns * Self::FS_PER_NS as f64).round();
         assert!(fs <= u64::MAX as f64, "time out of range: {ns} ns");
         Time(fs as u64)

@@ -58,11 +58,26 @@ impl AlphaPowerModel {
     /// `vth_ref >= vdd_ref`, or if `alpha < 1`.
     #[must_use]
     pub fn new(alpha: f64, vdd_ref: f64, vth_ref: f64, freq_ref_ghz: f64) -> Self {
-        assert!(alpha.is_finite() && alpha >= 1.0, "alpha must be >= 1, got {alpha}");
-        assert!(vdd_ref.is_finite() && vdd_ref > 0.0, "vdd_ref must be positive");
-        assert!(vth_ref.is_finite() && vth_ref > 0.0, "vth_ref must be positive");
-        assert!(vth_ref < vdd_ref, "reference threshold must be below reference supply");
-        assert!(freq_ref_ghz.is_finite() && freq_ref_ghz > 0.0, "freq_ref must be positive");
+        assert!(
+            alpha.is_finite() && alpha >= 1.0,
+            "alpha must be >= 1, got {alpha}"
+        );
+        assert!(
+            vdd_ref.is_finite() && vdd_ref > 0.0,
+            "vdd_ref must be positive"
+        );
+        assert!(
+            vth_ref.is_finite() && vth_ref > 0.0,
+            "vth_ref must be positive"
+        );
+        assert!(
+            vth_ref < vdd_ref,
+            "reference threshold must be below reference supply"
+        );
+        assert!(
+            freq_ref_ghz.is_finite() && freq_ref_ghz > 0.0,
+            "freq_ref must be positive"
+        );
         Self {
             alpha,
             vdd_ref,
@@ -128,7 +143,10 @@ impl AlphaPowerModel {
     /// Panics if `freq_ghz` or `vdd` is not positive and finite.
     #[must_use]
     pub fn threshold_for(&self, freq_ghz: f64, vdd: f64) -> Option<f64> {
-        assert!(freq_ghz.is_finite() && freq_ghz > 0.0, "frequency must be positive");
+        assert!(
+            freq_ghz.is_finite() && freq_ghz > 0.0,
+            "frequency must be positive"
+        );
         assert!(vdd.is_finite() && vdd > 0.0, "vdd must be positive");
         // Invert f/f0 = (vdd0/vdd) * ((vdd - vth)/(vdd0 - vth0))^alpha.
         let ratio = freq_ghz / self.freq_ref_ghz * (vdd / self.vdd_ref);
@@ -155,7 +173,10 @@ mod tests {
     fn reference_point_round_trips() {
         let m = AlphaPowerModel::paper_reference();
         let vth = m.threshold_for(1.0, 1.0).unwrap();
-        assert!((vth - 0.25).abs() < 1e-9, "reference solve returns reference vth, got {vth}");
+        assert!(
+            (vth - 0.25).abs() < 1e-9,
+            "reference solve returns reference vth, got {vth}"
+        );
         assert!((m.max_freq_ghz(1.0, 0.25) - 1.0).abs() < 1e-9);
     }
 

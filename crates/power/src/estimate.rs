@@ -85,7 +85,12 @@ impl PowerModel {
         profile: &ReferenceProfile,
     ) -> Self {
         let units = EnergyUnits::calibrate(design, shares, profile);
-        PowerModel { design, shares, units, alpha: AlphaPowerModel::paper_reference() }
+        PowerModel {
+            design,
+            shares,
+            units,
+            alpha: AlphaPowerModel::paper_reference(),
+        }
     }
 
     /// Replaces the α-power model (for technology sensitivity studies).
@@ -123,7 +128,11 @@ impl PowerModel {
     /// domain's frequency is unreachable at its supply voltage (no valid
     /// threshold exists).
     #[must_use]
-    pub fn domain_scaling(&self, config: &ClockedConfig, domain: DomainId) -> Option<DomainScaling> {
+    pub fn domain_scaling(
+        &self,
+        config: &ClockedConfig,
+        domain: DomainId,
+    ) -> Option<DomainScaling> {
         let vdd = config.voltages().domain(domain);
         let freq = config.domain_cycle(domain).freq_ghz();
         let vth = self.alpha.threshold_for(freq, vdd)?;
@@ -231,9 +240,12 @@ mod tests {
         let design = m.design();
         // Same cycle count, 1.25 ns cycles at 0.9 V, same wall-clock usage
         // scaled: here simply keep the usage identical to isolate voltage.
-        let slow = ClockedConfig::homogeneous(design, Time::from_ns(1.25)).with_voltages(
-            Voltages { clusters: vec![0.9; 4], icn: 0.9, cache: 1.0 },
-        );
+        let slow =
+            ClockedConfig::homogeneous(design, Time::from_ns(1.25)).with_voltages(Voltages {
+                clusters: vec![0.9; 4],
+                icn: 0.9,
+                cache: 1.0,
+            });
         let usage = UsageProfile::homogeneous(&reference_profile(), 4);
         let e_slow = m.estimate_energy(&slow, &usage).unwrap();
         // Dynamic scales by 0.81 on clusters and ICN; cache still 1.0 V but
@@ -246,9 +258,11 @@ mod tests {
         let m = model();
         let design = m.design();
         // 0.5 ns cycles (2 GHz) at 0.7 V is unreachable.
-        let cfg = ClockedConfig::homogeneous(design, Time::from_ns(0.5)).with_voltages(
-            Voltages { clusters: vec![0.7; 4], icn: 0.7, cache: 0.7 },
-        );
+        let cfg = ClockedConfig::homogeneous(design, Time::from_ns(0.5)).with_voltages(Voltages {
+            clusters: vec![0.7; 4],
+            icn: 0.7,
+            cache: 0.7,
+        });
         let usage = UsageProfile::homogeneous(&reference_profile(), 4);
         assert!(m.estimate_energy(&cfg, &usage).is_none());
     }

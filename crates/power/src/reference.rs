@@ -78,7 +78,12 @@ impl EnergyShares {
     /// Panics if the shares are out of `[0, 1)` or sum to 1 or more.
     #[must_use]
     pub fn with_component_shares(icn: f64, cache: f64) -> Self {
-        EnergyShares { icn, cache, ..Self::PAPER }.validated()
+        EnergyShares {
+            icn,
+            cache,
+            ..Self::PAPER
+        }
+        .validated()
     }
 
     /// Builds shares with explicit leakage fractions (Figure 9's sweep).
@@ -88,7 +93,13 @@ impl EnergyShares {
     /// Panics if any fraction is outside `[0, 1]`.
     #[must_use]
     pub fn with_leakage(leak_cluster: f64, leak_icn: f64, leak_cache: f64) -> Self {
-        EnergyShares { leak_cluster, leak_icn, leak_cache, ..Self::PAPER }.validated()
+        EnergyShares {
+            leak_cluster,
+            leak_icn,
+            leak_cache,
+            ..Self::PAPER
+        }
+        .validated()
     }
 
     /// Fraction of total energy consumed by the clusters.
@@ -99,8 +110,14 @@ impl EnergyShares {
 
     fn validated(self) -> Self {
         let frac = |v: f64| v.is_finite() && (0.0..=1.0).contains(&v);
-        assert!(frac(self.icn) && frac(self.cache), "component shares must be in [0,1]");
-        assert!(self.icn + self.cache < 1.0, "cluster share must remain positive");
+        assert!(
+            frac(self.icn) && frac(self.cache),
+            "component shares must be in [0,1]"
+        );
+        assert!(
+            self.icn + self.cache < 1.0,
+            "cluster share must remain positive"
+        );
         assert!(
             frac(self.leak_cluster) && frac(self.leak_icn) && frac(self.leak_cache),
             "leakage fractions must be in [0,1]"
@@ -162,11 +179,13 @@ impl EnergyUnits {
         let cluster_dynamic = cluster_total * (1.0 - shares.leak_cluster);
         let cluster_static = cluster_total * shares.leak_cluster;
         let e_ins = cluster_dynamic / profile.weighted_ins;
-        let e_static_cluster_per_s =
-            cluster_static / secs / f64::from(design.num_clusters);
+        let e_static_cluster_per_s = cluster_static / secs / f64::from(design.num_clusters);
 
         let (e_comm, icn_static) = if profile.comms > 0 {
-            (icn_total * (1.0 - shares.leak_icn) / profile.comms as f64, icn_total * shares.leak_icn)
+            (
+                icn_total * (1.0 - shares.leak_icn) / profile.comms as f64,
+                icn_total * shares.leak_icn,
+            )
         } else {
             (0.0, icn_total)
         };
@@ -222,9 +241,7 @@ mod tests {
             + u.e_comm * p.comms as f64
             + u.e_access * p.mem_accesses as f64
             + secs
-                * (u.e_static_cluster_per_s * 4.0
-                    + u.e_static_icn_per_s
-                    + u.e_static_cache_per_s);
+                * (u.e_static_cluster_per_s * 4.0 + u.e_static_icn_per_s + u.e_static_cache_per_s);
         assert!((total - 1.0).abs() < 1e-12, "total = {total}");
     }
 
@@ -245,7 +262,10 @@ mod tests {
     #[test]
     fn zero_comms_fold_into_leakage() {
         let design = MachineDesign::paper_machine(1);
-        let p = ReferenceProfile { comms: 0, ..profile() };
+        let p = ReferenceProfile {
+            comms: 0,
+            ..profile()
+        };
         let u = EnergyUnits::calibrate(design, EnergyShares::PAPER, &p);
         assert_eq!(u.e_comm, 0.0);
         let secs = p.exec_time.as_secs();
@@ -275,7 +295,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "must take time")]
     fn zero_time_profile_panics() {
-        let p = ReferenceProfile { exec_time: Time::ZERO, ..profile() };
+        let p = ReferenceProfile {
+            exec_time: Time::ZERO,
+            ..profile()
+        };
         p.validate();
     }
 }

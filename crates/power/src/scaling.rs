@@ -58,13 +58,19 @@ pub fn dynamic_scale(vdd: f64, vdd_ref: f64) -> f64 {
 pub fn static_scale(vdd: f64, vth: f64, vdd_ref: f64, vth_ref: f64, swing: f64) -> f64 {
     check_voltage(vdd, "vdd");
     check_voltage(vdd_ref, "vdd_ref");
-    assert!(vth.is_finite() && vth_ref.is_finite(), "thresholds must be finite");
+    assert!(
+        vth.is_finite() && vth_ref.is_finite(),
+        "thresholds must be finite"
+    );
     assert!(swing.is_finite() && swing > 0.0, "swing must be positive");
     10f64.powf((vth_ref - vth) / swing) * (vdd / vdd_ref)
 }
 
 fn check_voltage(v: f64, name: &str) {
-    assert!(v.is_finite() && v > 0.0, "{name} must be positive and finite, got {v}");
+    assert!(
+        v.is_finite() && v > 0.0,
+        "{name} must be positive and finite, got {v}"
+    );
 }
 
 #[cfg(test)]
@@ -75,7 +81,10 @@ mod tests {
     #[test]
     fn reference_point_scales_to_one() {
         assert_eq!(dynamic_scale(1.0, 1.0), 1.0);
-        assert_eq!(static_scale(1.0, 0.25, 1.0, 0.25, SUBTHRESHOLD_SWING_V), 1.0);
+        assert_eq!(
+            static_scale(1.0, 0.25, 1.0, 0.25, SUBTHRESHOLD_SWING_V),
+            1.0
+        );
     }
 
     #[test]

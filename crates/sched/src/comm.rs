@@ -111,12 +111,9 @@ impl ExtGraph {
             );
         }
         let num_real = ddg.num_ops();
-        let mut places: Vec<NodePlace> = assignment
-            .iter()
-            .map(|&c| NodePlace::Cluster(c))
-            .collect();
-        let mut fu_kinds: Vec<FuKind> =
-            ddg.ops().map(|o| o.fu_kind()).collect();
+        let mut places: Vec<NodePlace> =
+            assignment.iter().map(|&c| NodePlace::Cluster(c)).collect();
+        let mut fu_kinds: Vec<FuKind> = ddg.ops().map(|o| o.fu_kind()).collect();
         let mut result_latency_ticks: Vec<u64> = ddg
             .op_ids()
             .map(|op| result_latency(ddg.op(op).class(), assignment[op.index()], config, clocks))
@@ -133,8 +130,7 @@ impl ExtGraph {
             let dst_cluster = assignment[e.dst().index()];
             let src_node = NodeId(e.src().0);
             let dst_node = NodeId(e.dst().0);
-            let needs_copy =
-                e.kind() == DepKind::Flow && src_cluster != dst_cluster;
+            let needs_copy = e.kind() == DepKind::Flow && src_cluster != dst_cluster;
             if !needs_copy {
                 // Same-cluster flow or pure ordering: a direct edge. Edge
                 // latency is expressed in the producer's execution-domain
@@ -167,10 +163,9 @@ impl ExtGraph {
                 // A copy holds the bus for one ICN cycle.
                 result_latency_ticks.push(icn_ticks);
                 // Producer result → bus, paying the cluster→ICN sync queue.
-                let sync_in = u64::from(config.sync_penalty_cycles(
-                    DomainId::Cluster(src_cluster),
-                    DomainId::Icn,
-                )) * icn_ticks;
+                let sync_in = u64::from(
+                    config.sync_penalty_cycles(DomainId::Cluster(src_cluster), DomainId::Icn),
+                ) * icn_ticks;
                 edges.push(ExtEdge {
                     src: src_node,
                     dst: id,
@@ -200,7 +195,16 @@ impl ExtGraph {
             succ[e.src.index()].push(i);
             pred[e.dst.index()].push(i);
         }
-        ExtGraph { num_real, places, fu_kinds, copies, edges, succ, pred, result_latency_ticks }
+        ExtGraph {
+            num_real,
+            places,
+            fu_kinds,
+            copies,
+            edges,
+            succ,
+            pred,
+            result_latency_ticks,
+        }
     }
 
     /// Total nodes (real operations + copies).
@@ -377,7 +381,11 @@ mod tests {
             &config,
             &clocks,
         );
-        assert_eq!(g.copies().len(), 1, "one broadcast serves both C1 consumers");
+        assert_eq!(
+            g.copies().len(),
+            1,
+            "one broadcast serves both C1 consumers"
+        );
         // Copy has two outgoing edges.
         assert_eq!(g.succs(NodeId(4)).count(), 2);
         // A third consumer in yet another cluster still reuses the copy.

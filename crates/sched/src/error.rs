@@ -47,9 +47,16 @@ impl fmt::Display for SchedError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SchedError::NoFeasibleIt { loop_name, reason } => {
-                write!(f, "loop `{loop_name}`: no feasible initiation time ({reason})")
+                write!(
+                    f,
+                    "loop `{loop_name}`: no feasible initiation time ({reason})"
+                )
             }
-            SchedError::NoSchedule { loop_name, attempts, last_it } => write!(
+            SchedError::NoSchedule {
+                loop_name,
+                attempts,
+                last_it,
+            } => write!(
                 f,
                 "loop `{loop_name}`: no schedule after {attempts} initiation times (last {last_it})"
             ),
@@ -79,6 +86,10 @@ mod tests {
         };
         let s = e.to_string();
         assert!(s.contains('l') && s.contains('5') && s.contains("7.0"));
-        assert!(!SchedError::Unschedulable { loop_name: "x".into() }.to_string().is_empty());
+        assert!(!SchedError::Unschedulable {
+            loop_name: "x".into()
+        }
+        .to_string()
+        .is_empty());
     }
 }

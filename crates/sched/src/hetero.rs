@@ -81,15 +81,19 @@ fn schedule_impl(
     opts: &ScheduleOptions,
     fixed: Option<&Partition>,
 ) -> Result<ScheduledLoop, SchedError> {
-    ddg.validate_schedulable().map_err(|_| SchedError::Unschedulable {
-        loop_name: ddg.name().to_owned(),
-    })?;
+    ddg.validate_schedulable()
+        .map_err(|_| SchedError::Unschedulable {
+            loop_name: ddg.name().to_owned(),
+        })?;
     if let Some(p) = fixed {
         assert_eq!(p.len(), ddg.num_ops(), "fixed partition must cover the DDG");
     }
     let mit = compute_mit(ddg, config, &opts.menu)?;
     let mut it = mit;
-    let objective = PartitionObjective { power, trip_count: opts.trip_count };
+    let objective = PartitionObjective {
+        power,
+        trip_count: opts.trip_count,
+    };
 
     for attempt in 0..opts.max_it_attempts {
         let Some(clocks) = LoopClocks::select(config, &opts.menu, it) else {
@@ -111,8 +115,10 @@ fn schedule_impl(
                     Err(e) => return Err(e),
                 }
                 if power.is_some() {
-                    let time_objective =
-                        PartitionObjective { power: None, trip_count: opts.trip_count };
+                    let time_objective = PartitionObjective {
+                        power: None,
+                        trip_count: opts.trip_count,
+                    };
                     if let Ok(p) = compute_partition(ddg, config, &clocks, &time_objective) {
                         if !candidates.contains(&p.assignment) {
                             candidates.push(p.assignment);
@@ -122,9 +128,7 @@ fn schedule_impl(
                 // The unrefined load-balance seed is a cheap third opinion
                 // for every run (profiling included), keeping schedule
                 // quality consistent across pipeline stages.
-                if let Ok(p) =
-                    crate::partition::compute_partition_unrefined(ddg, config, &clocks)
-                {
+                if let Ok(p) = crate::partition::compute_partition_unrefined(ddg, config, &clocks) {
                     if !candidates.contains(&p.assignment) {
                         candidates.push(p.assignment);
                     }
@@ -212,7 +216,10 @@ mod tests {
         // 3 memory ops on 4 ports fit at II 1, but dependences stretch the
         // iteration; IT must be at least the fastest conceivable.
         assert!(s.it() >= Time::from_ns(1.0));
-        assert!(s.it_length() > s.it(), "software pipelining overlaps iterations");
+        assert!(
+            s.it_length() > s.it(),
+            "software pipelining overlaps iterations"
+        );
         assert_eq!(s.assignment().len(), 8);
         // Executing N iterations takes (N-1)·IT + it_length.
         let t10 = s.exec_time(10);
@@ -258,11 +265,16 @@ mod tests {
     fn fixed_partition_is_respected() {
         let config = reference();
         let ddg = stencil();
-        let partition = Partition { assignment: vec![vliw_machine::ClusterId(1); 8] };
+        let partition = Partition {
+            assignment: vec![vliw_machine::ClusterId(1); 8],
+        };
         let s =
             schedule_loop_with_partition(&ddg, &config, &partition, &ScheduleOptions::default())
                 .unwrap();
-        assert!(s.assignment().iter().all(|&c| c == vliw_machine::ClusterId(1)));
+        assert!(s
+            .assignment()
+            .iter()
+            .all(|&c| c == vliw_machine::ClusterId(1)));
         assert_eq!(s.comms_per_iter(), 0);
     }
 
@@ -289,7 +301,11 @@ mod tests {
         let usage = s.usage(50);
         let total_ins: f64 = usage.weighted_ins_per_cluster.iter().sum();
         assert!((total_ins - ddg.iteration_energy() * 50.0).abs() < 1e-9);
-        assert_eq!(usage.mem_accesses, 4 * 50, "3 loads + 1 store per iteration");
+        assert_eq!(
+            usage.mem_accesses,
+            4 * 50,
+            "3 loads + 1 store per iteration"
+        );
         assert_eq!(usage.comms, s.comms_per_iter() * 50);
         assert_eq!(usage.exec_time, s.exec_time(50));
     }

@@ -12,7 +12,6 @@
 //! copies), and dependences are checked in exact ticks, so a fast-cluster
 //! producer and a slow-cluster consumer never miscommunicate.
 
-
 use vliw_machine::{ClockedConfig, DomainId};
 
 use crate::comm::{ExtGraph, NodeId, NodePlace};
@@ -104,10 +103,9 @@ pub fn schedule(
         let mut est_ticks: i128 = 0;
         for e in graph.preds(v) {
             if let Some(src_cycle) = sched[e.src.index()] {
-                let src_tick =
-                    i128::from(src_cycle) * i128::from(cyc_ticks(e.src));
-                let t = src_tick + i128::from(e.latency_ticks)
-                    - i128::from(e.distance) * i128::from(l);
+                let src_tick = i128::from(src_cycle) * i128::from(cyc_ticks(e.src));
+                let t =
+                    src_tick + i128::from(e.latency_ticks) - i128::from(e.distance) * i128::from(l);
                 est_ticks = est_ticks.max(t);
             }
         }
@@ -126,19 +124,12 @@ pub fn schedule(
 
         // Search one II window for a free slot; otherwise force estart.
         let ii = clocks.domain_ii(issue_domain(graph, v));
-        let window_slot = (estart..estart + ii)
-            .find(|&c| slot_free(graph, v, c, &cluster_mrts, &bus_mrt));
+        let window_slot =
+            (estart..estart + ii).find(|&c| slot_free(graph, v, c, &cluster_mrts, &bus_mrt));
         let cycle = window_slot.unwrap_or(estart);
 
         if !slot_free(graph, v, cycle, &cluster_mrts, &bus_mrt) {
-            eject_conflicting(
-                graph,
-                v,
-                cycle,
-                &mut sched,
-                &mut cluster_mrts,
-                &mut bus_mrt,
-            );
+            eject_conflicting(graph, v, cycle, &mut sched, &mut cluster_mrts, &mut bus_mrt);
         }
         reserve(graph, v, cycle, &mut cluster_mrts, &mut bus_mrt);
         sched[v.index()] = Some(cycle);
@@ -152,8 +143,7 @@ pub fn schedule(
                 continue;
             }
             if let Some(dst_cycle) = sched[e.dst.index()] {
-                let dst_tick =
-                    i128::from(dst_cycle) * i128::from(cyc_ticks(e.dst));
+                let dst_tick = i128::from(dst_cycle) * i128::from(cyc_ticks(e.dst));
                 if dst_tick
                     < v_tick + i128::from(e.latency_ticks) - i128::from(e.distance) * i128::from(l)
                 {
@@ -168,20 +158,25 @@ pub fn schedule(
         }
     }
 
-    let issue_cycles: Vec<u64> = sched.into_iter().map(|s| s.expect("all scheduled")).collect();
+    let issue_cycles: Vec<u64> = sched
+        .into_iter()
+        .map(|s| s.expect("all scheduled"))
+        .collect();
     let issue_ticks: Vec<u64> = issue_cycles
         .iter()
         .enumerate()
         .map(|(i, &c)| c * cyc_ticks(NodeId(i as u32)))
         .collect();
     let live = max_lives(graph, clocks, design.num_clusters, &issue_ticks);
-    let over = live
-        .iter()
-        .any(|&lv| lv > design.cluster.registers);
+    let over = live.iter().any(|&lv| lv > design.cluster.registers);
     if over {
         return Err(ImsFailure::RegisterPressure(live));
     }
-    Ok(ImsResult { issue_cycles, issue_ticks, max_live: live })
+    Ok(ImsResult {
+        issue_cycles,
+        issue_ticks,
+        max_live: live,
+    })
 }
 
 fn issue_domain(graph: &ExtGraph, v: NodeId) -> DomainId {
@@ -326,7 +321,9 @@ mod tests {
 
     fn int_chain(len: usize) -> Ddg {
         let mut b = DdgBuilder::new("chain");
-        let ids: Vec<_> = (0..len).map(|i| b.op(format!("n{i}"), OpClass::IntArith)).collect();
+        let ids: Vec<_> = (0..len)
+            .map(|i| b.op(format!("n{i}"), OpClass::IntArith))
+            .collect();
         for w in ids.windows(2) {
             b.flow(w[0], w[1]);
         }
@@ -354,7 +351,12 @@ mod tests {
         // distinct modulo rows.
         let design = MachineDesign::new(
             1,
-            vliw_machine::ClusterDesign { int_fus: 1, fp_fus: 1, mem_ports: 1, registers: 16 },
+            vliw_machine::ClusterDesign {
+                int_fus: 1,
+                fp_fus: 1,
+                mem_ports: 1,
+                registers: 16,
+            },
             1,
         );
         let config = ClockedConfig::reference(design);
@@ -376,7 +378,12 @@ mod tests {
         // 4 int ops on 1 int FU at II = 3: pigeonhole ⇒ no schedule.
         let design = MachineDesign::new(
             1,
-            vliw_machine::ClusterDesign { int_fus: 1, fp_fus: 1, mem_ports: 1, registers: 16 },
+            vliw_machine::ClusterDesign {
+                int_fus: 1,
+                fp_fus: 1,
+                mem_ports: 1,
+                registers: 16,
+            },
             1,
         );
         let config = ClockedConfig::reference(design);
@@ -486,15 +493,21 @@ mod tests {
         // A cluster with 2 registers and many long-lived values.
         let design = MachineDesign::new(
             1,
-            vliw_machine::ClusterDesign { int_fus: 4, fp_fus: 4, mem_ports: 4, registers: 2 },
+            vliw_machine::ClusterDesign {
+                int_fus: 4,
+                fp_fus: 4,
+                mem_ports: 4,
+                registers: 2,
+            },
             1,
         );
         let config = ClockedConfig::reference(design);
         let clocks = clocks_for(&config, 2.0);
         let mut b = DdgBuilder::new("pressure");
         // 6 producers whose values are all read late by one consumer chain.
-        let producers: Vec<_> =
-            (0..6).map(|i| b.op(format!("p{i}"), OpClass::IntArith)).collect();
+        let producers: Vec<_> = (0..6)
+            .map(|i| b.op(format!("p{i}"), OpClass::IntArith))
+            .collect();
         let sink = b.op("sink", OpClass::FpDiv);
         let sink2 = b.op("sink2", OpClass::IntArith);
         b.flow(sink, sink2);

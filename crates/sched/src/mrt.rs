@@ -80,7 +80,10 @@ impl ClusterMrt {
     /// Panics if no unit is free at that row (callers check
     /// [`ClusterMrt::is_free`] first) or if `kind` is [`FuKind::Bus`].
     pub fn reserve(&mut self, kind: FuKind, cycle: u64) {
-        assert!(self.is_free(kind, cycle), "reserving an occupied {kind} slot");
+        assert!(
+            self.is_free(kind, cycle),
+            "reserving an occupied {kind} slot"
+        );
         let ii = self.ii;
         self.rows_mut(kind)[(cycle % ii) as usize] += 1;
     }
@@ -124,7 +127,11 @@ impl BusMrt {
     pub fn new(buses: u32, ii: u64) -> Self {
         assert!(ii > 0, "initiation interval must be positive");
         assert!(buses > 0, "at least one bus");
-        BusMrt { ii, buses, rows: vec![0; usize::try_from(ii).expect("II fits in memory")] }
+        BusMrt {
+            ii,
+            buses,
+            rows: vec![0; usize::try_from(ii).expect("II fits in memory")],
+        }
     }
 
     /// The table's initiation interval.
@@ -183,7 +190,12 @@ mod tests {
 
     #[test]
     fn capacity_per_row_follows_design() {
-        let design = ClusterDesign { int_fus: 2, fp_fus: 1, mem_ports: 1, registers: 16 };
+        let design = ClusterDesign {
+            int_fus: 2,
+            fp_fus: 1,
+            mem_ports: 1,
+            registers: 16,
+        };
         let mut mrt = ClusterMrt::new(design, 2);
         mrt.reserve(FuKind::Int, 0);
         assert!(mrt.is_free(FuKind::Int, 0), "two int FUs");

@@ -33,8 +33,7 @@ impl Hierarchy {
     /// The composition of base groups at `level`: for each level-`level`
     /// node, the list of base-group indices it contains.
     pub(crate) fn base_groups_at(&self, level: usize) -> Vec<Vec<usize>> {
-        let mut groups: Vec<Vec<usize>> =
-            (0..self.base_groups.len()).map(|i| vec![i]).collect();
+        let mut groups: Vec<Vec<usize>> = (0..self.base_groups.len()).map(|i| vec![i]).collect();
         for merge in self.merges.iter().take(level) {
             let parents = merge.iter().copied().max().map_or(0, |m| m + 1);
             let mut next: Vec<Vec<usize>> = vec![Vec::new(); parents];
@@ -167,7 +166,12 @@ pub(crate) fn coarsen(
     // --- Seed assignment at the coarsest level.
     let seed = seed_assignment(ddg, &base_groups, &current, &cur_pin, config, clocks);
 
-    Hierarchy { base_groups, base_pin, merges, seed }
+    Hierarchy {
+        base_groups,
+        base_pin,
+        merges,
+        seed,
+    }
 }
 
 /// Greedy load-balanced assignment of the coarsest macronodes.
@@ -204,9 +208,18 @@ fn seed_assignment(
     let relative_load = |load: &[u64; 3], c: ClusterId| -> f64 {
         let ii = clocks.cluster_ii(c) as f64;
         let mut worst = 0f64;
-        for (i, kind) in [FuKind::Int, FuKind::Fp, FuKind::Mem].into_iter().enumerate() {
+        for (i, kind) in [FuKind::Int, FuKind::Fp, FuKind::Mem]
+            .into_iter()
+            .enumerate()
+        {
             let cap = f64::from(design.cluster.fu_count(kind)) * ii;
-            let l = if cap > 0.0 { load[i] as f64 / cap } else if load[i] > 0 { f64::INFINITY } else { 0.0 };
+            let l = if cap > 0.0 {
+                load[i] as f64 / cap
+            } else if load[i] > 0 {
+                f64::INFINITY
+            } else {
+                0.0
+            };
             worst = worst.max(l);
         }
         worst
@@ -258,16 +271,21 @@ mod tests {
 
     fn setup(it_ns: f64) -> (ClockedConfig, LoopClocks) {
         let config = ClockedConfig::reference(MachineDesign::paper_machine(1));
-        let clocks =
-            LoopClocks::select(&config, &FrequencyMenu::unrestricted(), Time::from_ns(it_ns))
-                .unwrap();
+        let clocks = LoopClocks::select(
+            &config,
+            &FrequencyMenu::unrestricted(),
+            Time::from_ns(it_ns),
+        )
+        .unwrap();
         (config, clocks)
     }
 
     #[test]
     fn coarsens_chain_to_cluster_count() {
         let mut b = DdgBuilder::new("chain");
-        let ids: Vec<_> = (0..16).map(|i| b.op(format!("n{i}"), OpClass::IntArith)).collect();
+        let ids: Vec<_> = (0..16)
+            .map(|i| b.op(format!("n{i}"), OpClass::IntArith))
+            .collect();
         for w in ids.windows(2) {
             b.flow(w[0], w[1]);
         }
@@ -361,9 +379,12 @@ mod tests {
         // After the first matching level, a0+a1 are together and b0+b1 are
         // together.
         let level1 = h.base_groups_at(1);
-        let find = |op: usize| level1.iter().position(|g| {
-            g.iter().any(|&bg| h.base_groups[bg].contains(&vliw_ir::OpId(op as u32)))
-        });
+        let find = |op: usize| {
+            level1.iter().position(|g| {
+                g.iter()
+                    .any(|&bg| h.base_groups[bg].contains(&vliw_ir::OpId(op as u32)))
+            })
+        };
         assert_eq!(find(0), find(1));
         assert_eq!(find(2), find(3));
         assert_ne!(find(0), find(2));

@@ -47,7 +47,9 @@ impl Partition {
     /// The trivial partition placing everything in cluster 0.
     #[must_use]
     pub fn all_in_first(num_ops: usize) -> Self {
-        Partition { assignment: vec![ClusterId(0); num_ops] }
+        Partition {
+            assignment: vec![ClusterId(0); num_ops],
+        }
     }
 
     /// Number of operations covered.
@@ -75,7 +77,10 @@ pub struct PartitionObjective<'a> {
 
 impl Default for PartitionObjective<'_> {
     fn default() -> Self {
-        PartitionObjective { power: None, trip_count: 100 }
+        PartitionObjective {
+            power: None,
+            trip_count: 100,
+        }
     }
 }
 
@@ -94,7 +99,9 @@ pub fn compute_partition(
 ) -> Result<Partition, SchedError> {
     let num_clusters = config.design().num_clusters;
     if ddg.is_empty() {
-        return Ok(Partition { assignment: Vec::new() });
+        return Ok(Partition {
+            assignment: Vec::new(),
+        });
     }
     if num_clusters == 1 {
         return Ok(Partition::all_in_first(ddg.num_ops()));
@@ -123,7 +130,9 @@ pub fn compute_partition_unrefined(
 ) -> Result<Partition, SchedError> {
     let num_clusters = config.design().num_clusters;
     if ddg.is_empty() {
-        return Ok(Partition { assignment: Vec::new() });
+        return Ok(Partition {
+            assignment: Vec::new(),
+        });
     }
     if num_clusters == 1 {
         return Ok(Partition::all_in_first(ddg.num_ops()));

@@ -137,7 +137,10 @@ mod tests {
         let ddg = b.build().unwrap();
         let recs = condensation(&ddg).recurrences(&ddg);
         let err = pin_recurrences(&ddg, &recs, &config, &clocks).unwrap_err();
-        assert!(matches!(err, SchedError::RecurrenceDoesNotFit { min_ii: 6, .. }));
+        assert!(matches!(
+            err,
+            SchedError::RecurrenceDoesNotFit { min_ii: 6, .. }
+        ));
     }
 
     #[test]
@@ -164,8 +167,7 @@ mod tests {
             assert_eq!(pinned[2 * i], pinned[2 * i + 1]);
         }
         // …and the three land in three different clusters (capacity).
-        let homes: std::collections::HashSet<_> =
-            (0..3).map(|i| pinned[2 * i].unwrap()).collect();
+        let homes: std::collections::HashSet<_> = (0..3).map(|i| pinned[2 * i].unwrap()).collect();
         assert_eq!(homes.len(), 3);
     }
 

@@ -19,9 +19,9 @@
 use std::collections::HashSet;
 
 use vliw_ir::{Ddg, DepKind, FuKind, Recurrence};
+use vliw_machine::Time;
 use vliw_machine::{ClockedConfig, ClusterId, DomainId};
 use vliw_power::UsageProfile;
-use vliw_machine::Time;
 
 use super::PartitionObjective;
 use crate::timing::LoopClocks;
@@ -59,8 +59,7 @@ pub fn evaluate_partition(
     assert_eq!(assignment.len(), ddg.num_ops(), "one cluster per operation");
     let design = config.design();
     let it_ns = clocks.it().as_ns();
-    let cycle_ns =
-        |c: ClusterId| it_ns / clocks.cluster_ii(c) as f64;
+    let cycle_ns = |c: ClusterId| it_ns / clocks.cluster_ii(c) as f64;
     let icn_cycle_ns = it_ns / clocks.icn_ii() as f64;
     let cache_cycle_ns = it_ns / clocks.cache_ii() as f64;
 
@@ -84,7 +83,10 @@ pub fn evaluate_partition(
         counts[assignment[op.id().index()].index()][kind_index(op.fu_kind())] += 1;
     }
     for c in design.clusters() {
-        for (ki, kind) in [FuKind::Int, FuKind::Fp, FuKind::Mem].into_iter().enumerate() {
+        for (ki, kind) in [FuKind::Int, FuKind::Fp, FuKind::Mem]
+            .into_iter()
+            .enumerate()
+        {
             let n = counts[c.index()][ki];
             if n == 0 {
                 continue;
@@ -118,12 +120,8 @@ pub fn evaluate_partition(
 
     // --- Recurrence constraints.
     for rec in recurrences {
-        let used: HashSet<ClusterId> =
-            rec.ops.iter().map(|&op| assignment[op.index()]).collect();
-        let slowest_used_ns = used
-            .iter()
-            .map(|&c| cycle_ns(c))
-            .fold(0.0f64, f64::max);
+        let used: HashSet<ClusterId> = rec.ops.iter().map(|&op| assignment[op.index()]).collect();
+        let slowest_used_ns = used.iter().map(|&c| cycle_ns(c)).fold(0.0f64, f64::max);
         let mut needed = rec.critical_ratio.value() * slowest_used_ns;
         if used.len() > 1 {
             // Split recurrence: every crossing inside it pays a bus
@@ -205,7 +203,12 @@ pub fn evaluate_partition(
         }
     };
     let secs = est_exec_ns * 1e-9;
-    PseudoEval { est_it_ns: est_it, est_exec_ns, energy, ed2: energy * secs * secs }
+    PseudoEval {
+        est_it_ns: est_it,
+        est_exec_ns,
+        energy,
+        ed2: energy * secs * secs,
+    }
 }
 
 #[cfg(test)]
@@ -216,14 +219,20 @@ mod tests {
 
     fn setup(it_ns: f64) -> (ClockedConfig, LoopClocks) {
         let config = ClockedConfig::reference(MachineDesign::paper_machine(1));
-        let clocks =
-            LoopClocks::select(&config, &FrequencyMenu::unrestricted(), Time::from_ns(it_ns))
-                .unwrap();
+        let clocks = LoopClocks::select(
+            &config,
+            &FrequencyMenu::unrestricted(),
+            Time::from_ns(it_ns),
+        )
+        .unwrap();
         (config, clocks)
     }
 
     fn objective() -> PartitionObjective<'static> {
-        PartitionObjective { power: None, trip_count: 100 }
+        PartitionObjective {
+            power: None,
+            trip_count: 100,
+        }
     }
 
     #[test]
@@ -238,12 +247,9 @@ mod tests {
         let (config, clocks) = setup(2.0);
         let recs = [];
         let all_one = vec![ClusterId(0); 8];
-        let spread: Vec<ClusterId> =
-            (0..8).map(|i| ClusterId((i % 4) as u8)).collect();
-        let bad =
-            evaluate_partition(&ddg, &all_one, &recs, &config, &clocks, &objective());
-        let good =
-            evaluate_partition(&ddg, &spread, &recs, &config, &clocks, &objective());
+        let spread: Vec<ClusterId> = (0..8).map(|i| ClusterId((i % 4) as u8)).collect();
+        let bad = evaluate_partition(&ddg, &all_one, &recs, &config, &clocks, &objective());
+        let good = evaluate_partition(&ddg, &spread, &recs, &config, &clocks, &objective());
         assert!(good.ed2 < bad.ed2);
         assert!(bad.est_it_ns >= 8.0, "8 rows of 1 ns each");
         assert!((good.est_it_ns - 2.0).abs() < 1e-9);
@@ -253,7 +259,9 @@ mod tests {
     fn communication_costs_show_up() {
         // A tight chain: splitting it across clusters adds bus latency.
         let mut b = DdgBuilder::new("chain");
-        let ids: Vec<_> = (0..4).map(|i| b.op(format!("n{i}"), OpClass::IntArith)).collect();
+        let ids: Vec<_> = (0..4)
+            .map(|i| b.op(format!("n{i}"), OpClass::IntArith))
+            .collect();
         for w in ids.windows(2) {
             b.flow(w[0], w[1]);
         }
@@ -317,17 +325,13 @@ mod tests {
             exec_time: Time::from_ns(10_000.0),
         };
         let power = PowerModel::calibrate(design, EnergyShares::PAPER, &profile);
-        let config = ClockedConfig::heterogeneous(
-            design,
-            Time::from_ns(1.0),
-            1,
-            Time::from_ns(1.25),
-        )
-        .with_voltages(vliw_machine::Voltages {
-            clusters: vec![1.0, 0.8, 0.8, 0.8],
-            icn: 1.0,
-            cache: 1.0,
-        });
+        let config =
+            ClockedConfig::heterogeneous(design, Time::from_ns(1.0), 1, Time::from_ns(1.25))
+                .with_voltages(vliw_machine::Voltages {
+                    clusters: vec![1.0, 0.8, 0.8, 0.8],
+                    icn: 1.0,
+                    cache: 1.0,
+                });
         let clocks =
             LoopClocks::select(&config, &FrequencyMenu::unrestricted(), Time::from_ns(5.0))
                 .unwrap();
@@ -338,7 +342,10 @@ mod tests {
             b.op(format!("n{i}"), OpClass::FpArith);
         }
         let ddg = b.build().unwrap();
-        let obj = PartitionObjective { power: Some(&power), trip_count: 100 };
+        let obj = PartitionObjective {
+            power: Some(&power),
+            trip_count: 100,
+        };
         let hot = vec![ClusterId(0); 4];
         let cheap = vec![ClusterId(1), ClusterId(1), ClusterId(2), ClusterId(3)];
         let h = evaluate_partition(&ddg, &hot, &[], &config, &clocks, &obj);

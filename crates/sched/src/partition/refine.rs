@@ -117,26 +117,34 @@ mod tests {
 
     fn setup(it_ns: f64) -> (ClockedConfig, LoopClocks) {
         let config = ClockedConfig::reference(MachineDesign::paper_machine(1));
-        let clocks =
-            LoopClocks::select(&config, &FrequencyMenu::unrestricted(), Time::from_ns(it_ns))
-                .unwrap();
+        let clocks = LoopClocks::select(
+            &config,
+            &FrequencyMenu::unrestricted(),
+            Time::from_ns(it_ns),
+        )
+        .unwrap();
         (config, clocks)
     }
 
     #[test]
     fn partition_keeps_tight_chain_together() {
         let mut b = DdgBuilder::new("chain");
-        let ids: Vec<_> = (0..3).map(|i| b.op(format!("n{i}"), OpClass::IntArith)).collect();
+        let ids: Vec<_> = (0..3)
+            .map(|i| b.op(format!("n{i}"), OpClass::IntArith))
+            .collect();
         for w in ids.windows(2) {
             b.flow(w[0], w[1]);
         }
         let ddg = b.build().unwrap();
         let (config, clocks) = setup(3.0);
-        let p =
-            compute_partition(&ddg, &config, &clocks, &PartitionObjective::default()).unwrap();
+        let p = compute_partition(&ddg, &config, &clocks, &PartitionObjective::default()).unwrap();
         // A 3-op chain fits one cluster (II 3); splitting costs a bus trip.
         let first = p.assignment[0];
-        assert!(p.assignment.iter().all(|&c| c == first), "{:?}", p.assignment);
+        assert!(
+            p.assignment.iter().all(|&c| c == first),
+            "{:?}",
+            p.assignment
+        );
     }
 
     #[test]
@@ -147,8 +155,7 @@ mod tests {
         }
         let ddg = b.build().unwrap();
         let (config, clocks) = setup(2.0);
-        let p =
-            compute_partition(&ddg, &config, &clocks, &PartitionObjective::default()).unwrap();
+        let p = compute_partition(&ddg, &config, &clocks, &PartitionObjective::default()).unwrap();
         let mut per = [0usize; 4];
         for &c in &p.assignment {
             per[c.index()] += 1;
@@ -171,8 +178,7 @@ mod tests {
             b.op(format!("f{i}"), OpClass::IntArith);
         }
         let ddg = b.build().unwrap();
-        let p =
-            compute_partition(&ddg, &config, &clocks, &PartitionObjective::default()).unwrap();
+        let p = compute_partition(&ddg, &config, &clocks, &PartitionObjective::default()).unwrap();
         assert_eq!(config.cluster_cycle(p.assignment[0]), Time::from_ns(2.0));
     }
 
@@ -188,8 +194,7 @@ mod tests {
             b.op(format!("n{i}"), OpClass::IntArith);
         }
         let ddg = b.build().unwrap();
-        let p =
-            compute_partition(&ddg, &config, &clocks, &PartitionObjective::default()).unwrap();
+        let p = compute_partition(&ddg, &config, &clocks, &PartitionObjective::default()).unwrap();
         assert!(p.assignment.iter().all(|&c| c == ClusterId(0)));
     }
 
@@ -197,8 +202,7 @@ mod tests {
     fn empty_ddg_gives_empty_partition() {
         let ddg = DdgBuilder::new("empty").build().unwrap();
         let (config, clocks) = setup(1.0);
-        let p =
-            compute_partition(&ddg, &config, &clocks, &PartitionObjective::default()).unwrap();
+        let p = compute_partition(&ddg, &config, &clocks, &PartitionObjective::default()).unwrap();
         assert!(p.is_empty());
     }
 }

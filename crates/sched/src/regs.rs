@@ -62,7 +62,11 @@ fn lifetime_intervals(
     num_clusters: u8,
     issue_ticks: &[u64],
 ) -> Vec<Vec<(u64, u64)>> {
-    assert_eq!(issue_ticks.len(), graph.num_nodes(), "one issue tick per node");
+    assert_eq!(
+        issue_ticks.len(),
+        graph.num_nodes(),
+        "one issue tick per node"
+    );
     let l = clocks.ticks_per_it();
     let mut intervals: Vec<Vec<(u64, u64)>> = vec![Vec::new(); usize::from(num_clusters)];
 
@@ -170,9 +174,12 @@ mod tests {
 
     fn homogeneous_clocks(it_ns: f64) -> (ClockedConfig, LoopClocks) {
         let config = ClockedConfig::reference(MachineDesign::paper_machine(1));
-        let clocks =
-            LoopClocks::select(&config, &FrequencyMenu::unrestricted(), Time::from_ns(it_ns))
-                .unwrap();
+        let clocks = LoopClocks::select(
+            &config,
+            &FrequencyMenu::unrestricted(),
+            Time::from_ns(it_ns),
+        )
+        .unwrap();
         (config, clocks)
     }
 

@@ -69,12 +69,8 @@ impl ScheduledLoop {
             weighted[assignment[op.id().index()].index()] += op.class().relative_energy();
         }
         let mem_accesses_per_iter = ddg.count_memory_ops() as u64;
-        let lifetime_sum_ticks = crate::regs::lifetime_sum_ticks(
-            graph,
-            &clocks,
-            num_clusters,
-            &result.issue_ticks,
-        );
+        let lifetime_sum_ticks =
+            crate::regs::lifetime_sum_ticks(graph, &clocks, num_clusters, &result.issue_ticks);
         ScheduledLoop {
             clocks,
             assignment,

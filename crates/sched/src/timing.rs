@@ -56,7 +56,13 @@ impl LoopClocks {
                 return None;
             }
         }
-        Some(LoopClocks { it, cluster_iis, icn_ii, cache_ii, ticks_per_it: l })
+        Some(LoopClocks {
+            it,
+            cluster_iis,
+            icn_ii,
+            cache_ii,
+            ticks_per_it: l,
+        })
     }
 
     /// The initiation time.
@@ -124,7 +130,11 @@ impl LoopClocks {
 }
 
 fn gcd(a: u64, b: u64) -> u64 {
-    if b == 0 { a } else { gcd(b, a % b) }
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
 }
 
 fn lcm(a: u64, b: u64) -> u64 {
@@ -274,8 +284,14 @@ mod tests {
         assert_eq!(clocks.cache_ii(), 3);
         // L = lcm(3, 2) = 6 ticks; C1 cycles are 2 ticks, C2 cycles 3 ticks.
         assert_eq!(clocks.ticks_per_it(), 6);
-        assert_eq!(clocks.domain_cycle_ticks(DomainId::Cluster(ClusterId(0))), 2);
-        assert_eq!(clocks.domain_cycle_ticks(DomainId::Cluster(ClusterId(1))), 3);
+        assert_eq!(
+            clocks.domain_cycle_ticks(DomainId::Cluster(ClusterId(0))),
+            2
+        );
+        assert_eq!(
+            clocks.domain_cycle_ticks(DomainId::Cluster(ClusterId(1))),
+            3
+        );
         assert_eq!(clocks.ticks_to_time(6), Time::from_ns(3.0));
         assert_eq!(clocks.ticks_to_time(2), Time::from_ns(1.0));
     }
@@ -299,15 +315,16 @@ mod tests {
         // int FU per cluster; recurrence {A,B,C} of latency 3.
         let design = MachineDesign::new(
             2,
-            vliw_machine::ClusterDesign { int_fus: 1, fp_fus: 1, mem_ports: 1, registers: 16 },
+            vliw_machine::ClusterDesign {
+                int_fus: 1,
+                fp_fus: 1,
+                mem_ports: 1,
+                registers: 16,
+            },
             1,
         );
-        let config = ClockedConfig::heterogeneous(
-            design,
-            Time::from_ns(1.0),
-            1,
-            Time::from_ns(1.67),
-        );
+        let config =
+            ClockedConfig::heterogeneous(design, Time::from_ns(1.0), 1, Time::from_ns(1.67));
         let ddg = figure4_ddg();
         let menu = FrequencyMenu::unrestricted();
 
@@ -424,7 +441,12 @@ mod tests {
     fn impossible_workload_is_an_error() {
         let design = MachineDesign::new(
             1,
-            vliw_machine::ClusterDesign { int_fus: 1, fp_fus: 0, mem_ports: 1, registers: 16 },
+            vliw_machine::ClusterDesign {
+                int_fus: 1,
+                fp_fus: 0,
+                mem_ports: 1,
+                registers: 16,
+            },
             1,
         );
         let config = ClockedConfig::reference(design);

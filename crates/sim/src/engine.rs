@@ -64,11 +64,18 @@ fn rebuild(
         let expect = sched.op_cycle(op) * clocks.domain_cycle_ticks(domain);
         if expect != sched.op_tick(op) {
             violations.push(Violation::Shape {
-                detail: format!("op {op}: cycle/tick mismatch ({expect} vs {})", sched.op_tick(op)),
+                detail: format!(
+                    "op {op}: cycle/tick mismatch ({expect} vs {})",
+                    sched.op_tick(op)
+                ),
             });
         }
     }
-    if violations.is_empty() { Ok((graph, ticks)) } else { Err(violations) }
+    if violations.is_empty() {
+        Ok((graph, ticks))
+    } else {
+        Err(violations)
+    }
 }
 
 /// Exhaustively validates `sched` against the DDG and machine: dependences
@@ -163,7 +170,11 @@ pub fn validate(
         }
     }
 
-    if violations.is_empty() { Ok(()) } else { Err(violations) }
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(violations)
+    }
 }
 
 /// Executes `iterations` iterations of `sched`, measuring execution time
@@ -285,7 +296,11 @@ mod tests {
         assert_eq!(r.instructions, 5 * 500);
         assert_eq!(r.mem_accesses, 3 * 500);
         assert_eq!(r.comms, s.comms_per_iter() * 500);
-        assert_eq!(r.exec_time, s.exec_time(500), "measured end = analytic (N-1)·IT + it_length");
+        assert_eq!(
+            r.exec_time,
+            s.exec_time(500),
+            "measured end = analytic (N-1)·IT + it_length"
+        );
         let usage = s.usage(500);
         assert_eq!(usage.weighted_ins_per_cluster, r.weighted_ins_per_cluster);
     }
@@ -327,8 +342,9 @@ mod tests {
                 ClusterId(3),
             ],
         };
-        let s = schedule_loop_with_partition(&ddg, &config, &partition, &ScheduleOptions::default())
-            .unwrap();
+        let s =
+            schedule_loop_with_partition(&ddg, &config, &partition, &ScheduleOptions::default())
+                .unwrap();
         assert!(s.comms_per_iter() >= 3);
         validate(&ddg, &config, &s).unwrap();
         let r = simulate(&ddg, &config, &s, 10);

@@ -110,7 +110,11 @@ mod tests {
             capacity: 1,
         };
         assert!(v.to_string().contains("C1 mem"));
-        let v = Violation::Registers { cluster: "C0".into(), needed: 20, available: 16 };
+        let v = Violation::Registers {
+            cluster: "C0".into(),
+            needed: 20,
+            available: 16,
+        };
         assert!(v.to_string().contains("20"));
         let v = Violation::Shape { detail: "x".into() };
         assert!(!v.to_string().is_empty());

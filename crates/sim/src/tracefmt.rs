@@ -33,12 +33,7 @@ use vliw_sched::ScheduledLoop;
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[must_use]
-pub fn trace(
-    ddg: &Ddg,
-    config: &ClockedConfig,
-    sched: &ScheduledLoop,
-    iterations: u64,
-) -> String {
+pub fn trace(ddg: &Ddg, config: &ClockedConfig, sched: &ScheduledLoop, iterations: u64) -> String {
     let _ = config;
     let clocks = sched.clocks();
     let l = clocks.ticks_per_it();
@@ -84,7 +79,12 @@ pub fn trace(
         sched.it_length()
     );
     for e in events {
-        let _ = writeln!(out, "  t={:<10} {}", format!("{:.3}ns", clocks.ticks_to_time(e.tick).as_ns()), e.text);
+        let _ = writeln!(
+            out,
+            "  t={:<10} {}",
+            format!("{:.3}ns", clocks.ticks_to_time(e.tick).as_ns()),
+            e.text
+        );
     }
     out
 }
@@ -114,7 +114,9 @@ mod tests {
     #[test]
     fn events_are_time_sorted() {
         let mut b = DdgBuilder::new("t");
-        let ids: Vec<_> = (0..4).map(|i| b.op(format!("n{i}"), OpClass::IntArith)).collect();
+        let ids: Vec<_> = (0..4)
+            .map(|i| b.op(format!("n{i}"), OpClass::IntArith))
+            .collect();
         for w in ids.windows(2) {
             b.flow(w[0], w[1]);
         }

@@ -19,8 +19,11 @@ pub enum LoopClass {
 
 impl LoopClass {
     /// All classes, in Table 2 column order.
-    pub const ALL: [LoopClass; 3] =
-        [LoopClass::Resource, LoopClass::Borderline, LoopClass::Recurrence];
+    pub const ALL: [LoopClass; 3] = [
+        LoopClass::Resource,
+        LoopClass::Borderline,
+        LoopClass::Recurrence,
+    ];
 
     /// Table 2 column header for this class.
     #[must_use]
@@ -111,7 +114,7 @@ mod tests {
         b.dep_full(x, x, 5, 1, vliw_ir::DepKind::Flow);
         let ddg = b.build().unwrap();
         assert_eq!(res_mii_machine(&ddg, design()), 5); // 17 int ops → ceil(17/4)=5
-        // Whoops: adding x raises resMII to 5; 5 ≤ 5 < 6.5 ⇒ borderline still.
+                                                        // Whoops: adding x raises resMII to 5; 5 ≤ 5 < 6.5 ⇒ borderline still.
         assert_eq!(classify(&ddg, design()), LoopClass::Borderline);
     }
 

@@ -73,8 +73,9 @@ pub fn generate_loop(rng: &mut impl Rng, params: &LoopParams, design: MachineDes
 
     // Address arithmetic: a few int ops feeding loads.
     let num_int_addr = rng.gen_range(0..=(int_budget / 2).min(usize::try_from(r).unwrap()));
-    let addr_ops: Vec<OpId> =
-        (0..num_int_addr).map(|i| b.op(format!("addr{i}"), OpClass::IntArith)).collect();
+    let addr_ops: Vec<OpId> = (0..num_int_addr)
+        .map(|i| b.op(format!("addr{i}"), OpClass::IntArith))
+        .collect();
 
     // Loads.
     let loads: Vec<OpId> = (0..num_loads)
@@ -105,9 +106,13 @@ pub fn generate_loop(rng: &mut impl Rng, params: &LoopParams, design: MachineDes
             // An int chain of exactly R unit-latency ops, distance 1:
             // recMII = R, inside [R, 1.3·R).
             let k = usize::try_from(r).unwrap();
-            assert!(int_used + k <= int_budget, "borderline chain exceeds int budget");
-            let chain: Vec<OpId> =
-                (0..k).map(|i| b.op(format!("bchain{i}"), OpClass::IntArith)).collect();
+            assert!(
+                int_used + k <= int_budget,
+                "borderline chain exceeds int budget"
+            );
+            let chain: Vec<OpId> = (0..k)
+                .map(|i| b.op(format!("bchain{i}"), OpClass::IntArith))
+                .collect();
             for w in chain.windows(2) {
                 b.flow(w[0], w[1]);
             }
@@ -128,10 +133,13 @@ pub fn generate_loop(rng: &mut impl Rng, params: &LoopParams, design: MachineDes
             let mut classes: Vec<OpClass> = Vec::with_capacity(len);
             classes.push(OpClass::FpMul); // anchor: latency 6
             for _ in 1..len {
-                classes.push(if rng.gen_bool(0.85) { OpClass::FpArith } else { OpClass::FpMul });
+                classes.push(if rng.gen_bool(0.85) {
+                    OpClass::FpArith
+                } else {
+                    OpClass::FpMul
+                });
             }
-            let mut total_latency: u64 =
-                classes.iter().map(|c| u64::from(c.latency())).sum();
+            let mut total_latency: u64 = classes.iter().map(|c| u64::from(c.latency())).sum();
             // Grow the chain until a distance-1 recurrence can reach the
             // band (keeps the op count as close to rec_size as possible).
             while total_latency < min_rec && len < max_len {
@@ -142,7 +150,8 @@ pub fn generate_loop(rng: &mut impl Rng, params: &LoopParams, design: MachineDes
             if total_latency < min_rec {
                 // Budget-bound chain: promote the anchor to a divide
                 // (latency 18 covers every resMII this generator targets).
-                total_latency += u64::from(OpClass::FpDiv.latency()) - u64::from(classes[0].latency());
+                total_latency +=
+                    u64::from(OpClass::FpDiv.latency()) - u64::from(classes[0].latency());
                 classes[0] = OpClass::FpDiv;
             }
             assert!(
@@ -154,7 +163,10 @@ pub fn generate_loop(rng: &mut impl Rng, params: &LoopParams, design: MachineDes
             let target = rng.gen_range(min_rec..=hi);
             let d = u32::try_from((total_latency / target).max(1)).expect("distance fits u32");
             debug_assert!(total_latency.div_ceil(u64::from(d)) >= min_rec);
-            assert!(fp_used + len <= fp_budget, "recurrence exceeds fp budget (R = {r})");
+            assert!(
+                fp_used + len <= fp_budget,
+                "recurrence exceeds fp budget (R = {r})"
+            );
             let chain: Vec<OpId> = classes
                 .iter()
                 .enumerate()
@@ -228,7 +240,8 @@ pub fn generate_loop(rng: &mut impl Rng, params: &LoopParams, design: MachineDes
     );
     let got = classify(&ddg, design);
     assert_eq!(
-        got, params.class,
+        got,
+        params.class,
         "loop `{}`: generator missed its class (recMII {}, resMII {})",
         params.name,
         ddg.rec_mii(),
@@ -248,14 +261,23 @@ mod tests {
     }
 
     fn params(class: LoopClass, size: RecurrenceSize, r: u32) -> LoopParams {
-        LoopParams { name: format!("{class:?}-{r}"), class, rec_size: size, target_res_mii: r }
+        LoopParams {
+            name: format!("{class:?}-{r}"),
+            class,
+            rec_size: size,
+            target_res_mii: r,
+        }
     }
 
     #[test]
     fn every_class_and_size_generates() {
         let mut rng = SmallRng::seed_from_u64(7);
         for class in LoopClass::ALL {
-            for size in [RecurrenceSize::Small, RecurrenceSize::Medium, RecurrenceSize::Large] {
+            for size in [
+                RecurrenceSize::Small,
+                RecurrenceSize::Medium,
+                RecurrenceSize::Large,
+            ] {
                 for r in 1..=5 {
                     // The generator asserts its own postconditions.
                     let ddg = generate_loop(&mut rng, &params(class, size, r), design());
@@ -272,7 +294,10 @@ mod tests {
         let b = generate_loop(&mut SmallRng::seed_from_u64(42), &p, design());
         assert_eq!(a, b);
         let c = generate_loop(&mut SmallRng::seed_from_u64(43), &p, design());
-        assert!(a != c || a.num_ops() == c.num_ops(), "different seeds may differ");
+        assert!(
+            a != c || a.num_ops() == c.num_ops(),
+            "different seeds may differ"
+        );
     }
 
     #[test]
@@ -285,8 +310,14 @@ mod tests {
                 design(),
             );
             let recs = vliw_ir::condensation(&ddg).recurrences(&ddg);
-            let critical = recs.first().expect("recurrence-constrained loop has a recurrence");
-            assert!(critical.ops.len() <= 4, "small recurrence, got {}", critical.ops.len());
+            let critical = recs
+                .first()
+                .expect("recurrence-constrained loop has a recurrence");
+            assert!(
+                critical.ops.len() <= 4,
+                "small recurrence, got {}",
+                critical.ops.len()
+            );
         }
     }
 

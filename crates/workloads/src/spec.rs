@@ -107,7 +107,11 @@ mod tests {
     fn shares_sum_to_one() {
         for spec in spec_fp2000() {
             let sum: f64 = spec.class_time_shares.iter().sum();
-            assert!((sum - 1.0).abs() < 1e-9, "{}: shares sum to {sum}", spec.name);
+            assert!(
+                (sum - 1.0).abs() < 1e-9,
+                "{}: shares sum to {sum}",
+                spec.name
+            );
         }
     }
 
@@ -138,7 +142,10 @@ mod tests {
             assert!(spec.trip_counts.0 >= 1);
             assert!(spec.trip_counts.0 < spec.trip_counts.1);
         }
-        let applu = spec_fp2000().into_iter().find(|s| s.name == "173.applu").unwrap();
+        let applu = spec_fp2000()
+            .into_iter()
+            .find(|s| s.name == "173.applu")
+            .unwrap();
         assert!(applu.trip_counts.1 <= 30, "applu runs few iterations");
     }
 }

@@ -94,7 +94,10 @@ pub fn generate(spec: &BenchmarkSpec, num_loops: usize) -> Benchmark {
             loops.push(Loop::new(ddg, trips, weight));
         }
     }
-    Benchmark { name: spec.name.to_owned(), loops }
+    Benchmark {
+        name: spec.name.to_owned(),
+        loops,
+    }
 }
 
 /// Generates the full ten-benchmark suite with `loops_per_benchmark` loops
@@ -135,9 +138,7 @@ mod tests {
                 let idx = LoopClass::ALL.iter().position(|&c| c == class).unwrap();
                 shares[idx] += l.weight();
             }
-            for (i, (got, want)) in
-                shares.iter().zip(&spec.class_time_shares).enumerate()
-            {
+            for (i, (got, want)) in shares.iter().zip(&spec.class_time_shares).enumerate() {
                 // Small shares can deviate by one loop's rounding; the
                 // *time* share itself is exact by construction.
                 assert!(
@@ -162,7 +163,11 @@ mod tests {
         for spec in spec_fp2000().iter().take(2) {
             let b = generate(spec, 25);
             // Within rounding of the class allocation.
-            assert!(b.loops.len() >= 24 && b.loops.len() <= 27, "{}", b.loops.len());
+            assert!(
+                b.loops.len() >= 24 && b.loops.len() <= 27,
+                "{}",
+                b.loops.len()
+            );
         }
     }
 

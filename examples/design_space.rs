@@ -7,10 +7,10 @@
 //! cargo run --release --example design_space
 //! ```
 
+use heterovliw::explore::experiments::{run_benchmark, ExperimentOptions};
 use heterovliw::explore::{
     optimum_homogeneous_suite, profile_benchmark, select_heterogeneous, suite_reference,
 };
-use heterovliw::explore::experiments::{run_benchmark, ExperimentOptions};
 use heterovliw::machine::{FrequencyMenu, MachineDesign};
 use heterovliw::power::{EnergyShares, PowerModel};
 use heterovliw::sched::ScheduleOptions;
@@ -21,7 +21,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // recurrence-constrained loops, small critical recurrences).
     let spec = spec_fp2000()[8];
     let bench = generate(&spec, 16);
-    println!("benchmark {} with {} synthetic loops", bench.name, bench.loops.len());
+    println!(
+        "benchmark {} with {} synthetic loops",
+        bench.name,
+        bench.loops.len()
+    );
 
     let design = MachineDesign::paper_machine(1);
     let profile = profile_benchmark(&bench, design, &ScheduleOptions::default())?;
@@ -30,8 +34,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         profile.reference.weighted_ins, profile.reference.comms, profile.reference.mem_accesses
     );
 
-    let power =
-        PowerModel::calibrate(design, EnergyShares::PAPER, &suite_reference(std::slice::from_ref(&profile)));
+    let power = PowerModel::calibrate(
+        design,
+        EnergyShares::PAPER,
+        &suite_reference(std::slice::from_ref(&profile)),
+    );
 
     let baseline = optimum_homogeneous_suite(std::slice::from_ref(&profile), design, &power);
     println!(
@@ -41,8 +48,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let menu = FrequencyMenu::unrestricted();
-    let het = select_heterogeneous(&profile, design, &power, &menu)
-        .expect("selection space is feasible");
+    let het =
+        select_heterogeneous(&profile, design, &power, &menu).expect("selection space is feasible");
     println!(
         "selected heterogeneous: fast {} @ {:.2} V, slow {} @ {:.2} V",
         het.config.fastest_cluster_cycle(),

@@ -15,12 +15,7 @@ use heterovliw::sched::timing::{compute_mit, rec_mit, res_mit, LoopClocks};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ----- Figure 3: IT = 3 ns on clusters at 1 ns and 1.5 ns. -----
     let design2 = MachineDesign::new(2, ClusterDesign::PAPER, 1);
-    let fig3 = ClockedConfig::heterogeneous(
-        design2,
-        Time::from_ns(1.0),
-        1,
-        Time::from_ns(1.5),
-    );
+    let fig3 = ClockedConfig::heterogeneous(design2, Time::from_ns(1.0), 1, Time::from_ns(1.5));
     let clocks = LoopClocks::select(&fig3, &FrequencyMenu::unrestricted(), Time::from_ns(3.0))
         .expect("3 ns divides both cycle times");
     println!("Figure 3: IT = {}", clocks.it());
@@ -41,12 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     b.dep(d, e, 1);
     let ddg = b.build()?;
 
-    let fig4 = ClockedConfig::heterogeneous(
-        design2,
-        Time::from_ns(1.0),
-        1,
-        Time::from_ns(1.67),
-    );
+    let fig4 = ClockedConfig::heterogeneous(design2, Time::from_ns(1.0), 1, Time::from_ns(1.67));
     let menu = FrequencyMenu::unrestricted();
     println!("\nFigure 4: 5 instructions, recurrence {{A,B,C}} of latency 3");
     println!("  recMII  = {} cycles", ddg.rec_mii());
@@ -55,7 +45,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  MIT     = {}", compute_mit(&ddg, &fig4, &menu)?);
 
     // The (IT → II) table from the figure.
-    println!("\n  {:>8} {:>6} {:>6} {:>9}", "IT", "II_C1", "II_C2", "capacity");
+    println!(
+        "\n  {:>8} {:>6} {:>6} {:>9}",
+        "IT", "II_C1", "II_C2", "capacity"
+    );
     for it_ns in [1.0, 1.67, 2.0, 3.0, 3.34] {
         let it = Time::from_ns(it_ns);
         match LoopClocks::select(&fig4, &menu, it) {

@@ -27,14 +27,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     b.flow(acc, st);
     let ddg = b.build()?;
 
-    println!("recMII = {} cycles (the accumulator recurrence)\n", ddg.rec_mii());
+    println!(
+        "recMII = {} cycles (the accumulator recurrence)\n",
+        ddg.rec_mii()
+    );
 
     // The paper's machine: 4 clusters × (1 int FU, 1 fp FU, 1 memory port,
     // 16 registers), one inter-cluster bus. One fast cluster at 0.95 ns,
     // three low-power clusters at 1.25 ns.
     let design = MachineDesign::paper_machine(1);
-    let hetero =
-        ClockedConfig::heterogeneous(design, Time::from_ns(0.95), 1, Time::from_ns(1.25));
+    let hetero = ClockedConfig::heterogeneous(design, Time::from_ns(0.95), 1, Time::from_ns(1.25));
 
     let sched = schedule_loop(&ddg, &hetero, None, &ScheduleOptions::default())?;
     println!(
@@ -63,6 +65,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.comms
     );
 
-    println!("\nkernel (2 iterations):\n{}", trace(&ddg, &hetero, &sched, 2));
+    println!(
+        "\nkernel (2 iterations):\n{}",
+        trace(&ddg, &hetero, &sched, 2)
+    );
     Ok(())
 }

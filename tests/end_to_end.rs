@@ -17,8 +17,7 @@ use heterovliw::workloads::{generate, spec_fp2000, suite};
 fn whole_suite_schedules_and_validates() {
     let design = MachineDesign::paper_machine(1);
     let reference = ClockedConfig::reference(design);
-    let hetero =
-        ClockedConfig::heterogeneous(design, Time::from_ns(0.95), 1, Time::from_ns(1.25));
+    let hetero = ClockedConfig::heterogeneous(design, Time::from_ns(0.95), 1, Time::from_ns(1.25));
     let mut opts = ScheduleOptions::default();
     for bench in suite(6) {
         for l in &bench.loops {
@@ -27,7 +26,12 @@ fn whole_suite_schedules_and_validates() {
                 let s = schedule_loop(l.ddg(), config, None, &opts)
                     .unwrap_or_else(|e| panic!("{}: {e}", l.ddg().name()));
                 validate(l.ddg(), config, &s).unwrap_or_else(|v| {
-                    panic!("{}: {} violations, first: {}", l.ddg().name(), v.len(), v[0])
+                    panic!(
+                        "{}: {} violations, first: {}",
+                        l.ddg().name(),
+                        v.len(),
+                        v[0]
+                    )
                 });
                 let r = simulate(l.ddg(), config, &s, l.trip_count());
                 assert_eq!(r.exec_time, s.exec_time(l.trip_count()));
@@ -40,8 +44,11 @@ fn whole_suite_schedules_and_validates() {
 /// ED², with the strongest benefit on a recurrence-bound benchmark.
 #[test]
 fn figure6_shape_holds_on_reduced_suite() {
-    let benches =
-        vec![generate(&spec_fp2000()[8], 8), generate(&spec_fp2000()[5], 8), generate(&spec_fp2000()[1], 8)];
+    let benches = vec![
+        generate(&spec_fp2000()[8], 8),
+        generate(&spec_fp2000()[5], 8),
+        generate(&spec_fp2000()[1], 8),
+    ];
     let profiled = profile_suite(&benches, 1, &ScheduleOptions::default()).unwrap();
     let rows = figure6(&profiled, &ExperimentOptions::default()).unwrap();
     assert_eq!(rows.len(), 3);
@@ -102,7 +109,10 @@ fn energy_accounting_is_consistent() {
     let power = PowerModel::calibrate(design, EnergyShares::PAPER, &reference);
     let usage = s.usage(200);
     let energy = power.estimate_energy(&config, &usage).unwrap();
-    assert!((energy - 1.0).abs() < 1e-9, "self-calibration returns unity, got {energy}");
+    assert!(
+        (energy - 1.0).abs() < 1e-9,
+        "self-calibration returns unity, got {energy}"
+    );
 }
 
 /// A deliberately bad fixed partition is either scheduled correctly or
@@ -110,7 +120,9 @@ fn energy_accounting_is_consistent() {
 #[test]
 fn pathological_partition_stays_sound() {
     let mut b = DdgBuilder::new("zigzag");
-    let ids: Vec<_> = (0..8).map(|i| b.op(format!("n{i}"), OpClass::IntArith)).collect();
+    let ids: Vec<_> = (0..8)
+        .map(|i| b.op(format!("n{i}"), OpClass::IntArith))
+        .collect();
     for w in ids.windows(2) {
         b.flow(w[0], w[1]);
     }

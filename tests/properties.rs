@@ -12,10 +12,10 @@ use heterovliw::sim::validate;
 /// accumulator recurrence.
 fn arb_ddg() -> impl Strategy<Value = Ddg> {
     (
-        2usize..14,                      // body ops
+        2usize..14,                                  // body ops
         proptest::collection::vec(0usize..6, 0..16), // extra edges (src offset)
-        proptest::option::of(1u32..3),   // recurrence distance
-        0usize..4,                       // memory op count
+        proptest::option::of(1u32..3),               // recurrence distance
+        0usize..4,                                   // memory op count
     )
         .prop_map(|(n, extra, rec_dist, mems)| {
             let mut b = DdgBuilder::new("prop");
@@ -45,14 +45,12 @@ fn arb_ddg() -> impl Strategy<Value = Ddg> {
 }
 
 fn arb_config() -> impl Strategy<Value = ClockedConfig> {
-    (900u64..1100, 1.0f64..1.6, 1u8..4, 1u32..3).prop_map(
-        |(fast_fs_k, ratio, num_fast, buses)| {
-            let design = MachineDesign::paper_machine(buses);
-            let fast = Time::from_fs(fast_fs_k * 1000);
-            let slow = Time::from_ns(fast.as_ns() * ratio);
-            ClockedConfig::heterogeneous(design, fast, num_fast, slow)
-        },
-    )
+    (900u64..1100, 1.0f64..1.6, 1u8..4, 1u32..3).prop_map(|(fast_fs_k, ratio, num_fast, buses)| {
+        let design = MachineDesign::paper_machine(buses);
+        let fast = Time::from_fs(fast_fs_k * 1000);
+        let slow = Time::from_ns(fast.as_ns() * ratio);
+        ClockedConfig::heterogeneous(design, fast, num_fast, slow)
+    })
 }
 
 proptest! {

@@ -1,0 +1,148 @@
+//! Vendored, API-compatible subset of `criterion`.
+//!
+//! Offline build: provides [`Criterion::bench_function`], [`Bencher::iter`],
+//! [`black_box`] and the [`criterion_group!`] / [`criterion_main!`] macros —
+//! enough to compile and run the workspace's figure/table benches. It
+//! measures wall-clock means over `sample_size` samples and prints one line
+//! per benchmark; no statistics, plots or HTML reports.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimiser from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs `f` as the benchmark `id`, printing a mean-time summary line.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            iters: 1,
+        };
+        for _ in 0..self.sample_size {
+            f(&mut b);
+        }
+        let total: Duration = b.samples.iter().sum();
+        let runs = b.samples.len().max(1) as u32;
+        println!(
+            "{id:<40} time: {:>12?} (mean of {runs} samples)",
+            total / runs
+        );
+        self
+    }
+}
+
+/// Times one closure invocation per sample.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measures one execution of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.samples.push(start.elapsed());
+    }
+}
+
+/// Groups benchmark functions under one entry point, mirroring criterion's
+/// two accepted forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emits `main` running the given groups. Under `cargo test` (which passes
+/// `--test` to harness-less bench binaries) the benches are skipped so test
+/// runs stay fast.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            if std::env::args().any(|a| a == "--test") {
+                println!("criterion stub: --test mode, benches skipped");
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut hits = 0u32;
+        Criterion::default()
+            .sample_size(3)
+            .bench_function("t", |b| {
+                b.iter(|| {
+                    hits += 1;
+                });
+            });
+        assert_eq!(hits, 3);
+    }
+
+    fn target(c: &mut Criterion) {
+        c.bench_function("group_target", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    criterion_group!(simple, target);
+    criterion_group! {
+        name = configured;
+        config = Criterion::default().sample_size(2);
+        targets = target
+    }
+
+    #[test]
+    fn groups_are_callable() {
+        simple();
+        configured();
+    }
+}

@@ -1,0 +1,150 @@
+//! Vendored, API-compatible subset of `serde`.
+//!
+//! The build environment is offline, so this workspace ships the slice of
+//! serde it uses: the [`Serialize`] trait plus a `#[derive(Serialize)]`
+//! proc-macro (re-exported from the sibling `serde_derive` stub). Instead of
+//! serde's full serializer abstraction, [`Serialize`] writes compact JSON
+//! straight into a `String`; `serde_json` formats on top of that. This is
+//! sufficient for the row structs the experiment runners dump.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::Serialize;
+
+/// Types that can render themselves as compact JSON.
+pub trait Serialize {
+    /// Appends this value's JSON encoding to `out`.
+    fn serialize_into(&self, out: &mut String);
+}
+
+/// Appends a JSON string literal (with escaping) to `out`.
+pub fn write_json_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl Serialize for str {
+    fn serialize_into(&self, out: &mut String) {
+        write_json_str(self, out);
+    }
+}
+
+impl Serialize for String {
+    fn serialize_into(&self, out: &mut String) {
+        write_json_str(self, out);
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_into(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+macro_rules! impl_serialize_display {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_into(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+    )*};
+}
+impl_serialize_display!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+macro_rules! impl_serialize_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_into(&self, out: &mut String) {
+                if self.is_finite() {
+                    out.push_str(&self.to_string());
+                } else {
+                    // JSON has no NaN/Inf; serde_json emits null.
+                    out.push_str("null");
+                }
+            }
+        }
+    )*};
+}
+impl_serialize_float!(f32, f64);
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_into(&self, out: &mut String) {
+        (**self).serialize_into(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_into(&self, out: &mut String) {
+        match self {
+            Some(v) => v.serialize_into(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_into(&self, out: &mut String) {
+        out.push('[');
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            v.serialize_into(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_into(&self, out: &mut String) {
+        self.as_slice().serialize_into(out);
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_into(&self, out: &mut String) {
+        self.as_slice().serialize_into(out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Serialize;
+
+    #[test]
+    fn primitives_and_containers() {
+        let mut out = String::new();
+        vec![1u32, 2, 3].serialize_into(&mut out);
+        assert_eq!(out, "[1,2,3]");
+
+        let mut out = String::new();
+        ("he\"llo".to_owned()).serialize_into(&mut out);
+        assert_eq!(out, "\"he\\\"llo\"");
+
+        let mut out = String::new();
+        Option::<u32>::None.serialize_into(&mut out);
+        assert_eq!(out, "null");
+
+        let mut out = String::new();
+        f64::NAN.serialize_into(&mut out);
+        assert_eq!(out, "null");
+
+        let mut out = String::new();
+        1.5f64.serialize_into(&mut out);
+        assert_eq!(out, "1.5");
+    }
+}

@@ -1,0 +1,145 @@
+//! `#[derive(Serialize)]` for the vendored serde stub.
+//!
+//! Hand-rolled on top of `proc_macro` alone (no `syn`/`quote` in the offline
+//! build). Supports plain structs with named fields — exactly what the
+//! experiment row types use. Anything else gets a clear compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (the vendored stub trait) for a struct with
+/// named fields, emitting a JSON object keyed by field name.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_struct(input) {
+        Ok((name, fields)) => {
+            let mut body = String::from("out.push('{');\n");
+            for (i, f) in fields.iter().enumerate() {
+                if i > 0 {
+                    body.push_str("out.push(',');\n");
+                }
+                body.push_str(&format!(
+                    "out.push_str(\"\\\"{f}\\\":\");\n\
+                     serde::Serialize::serialize_into(&self.{f}, out);\n"
+                ));
+            }
+            body.push_str("out.push('}');");
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn serialize_into(&self, out: &mut String) {{\n{body}\n}}\n\
+                 }}"
+            )
+            .parse()
+            .expect("generated impl parses")
+        }
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("error parses"),
+    }
+}
+
+/// Extracts `(struct_name, field_names)` from a derive input stream.
+fn parse_struct(input: TokenStream) -> Result<(String, Vec<String>), String> {
+    let mut tokens = input.into_iter().peekable();
+    let mut name = None;
+    while let Some(tt) = tokens.next() {
+        match tt {
+            // Skip outer attributes: `#` followed by a bracket group.
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                tokens.next();
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                match tokens.next() {
+                    Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                    _ => return Err("expected struct name".to_owned()),
+                }
+                break;
+            }
+            TokenTree::Ident(id) if id.to_string() == "enum" || id.to_string() == "union" => {
+                return Err("the vendored serde derive only supports structs".to_owned());
+            }
+            _ => {}
+        }
+    }
+    let name = name.ok_or_else(|| "no struct found in derive input".to_owned())?;
+    for tt in tokens {
+        match tt {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                return Ok((name, parse_fields(g.stream())?));
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!(
+                    "the vendored serde derive does not support tuple struct {name}"
+                ));
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                return Err(format!(
+                    "the vendored serde derive does not support generic struct {name}"
+                ));
+            }
+            _ => {}
+        }
+    }
+    Err(format!(
+        "the vendored serde derive does not support unit struct {name}"
+    ))
+}
+
+/// Extracts field names from the body of a braced struct.
+fn parse_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // Field prelude: attributes, then optional `pub` / `pub(...)`.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        match tokens.next() {
+            Some(TokenTree::Ident(field)) => fields.push(field.to_string()),
+            None => break,
+            Some(other) => return Err(format!("unexpected token {other} in struct body")),
+        }
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => return Err("expected `:` after field name".to_owned()),
+        }
+        // Skip the type: consume until a top-level comma. Generic angle
+        // brackets never contain top-level commas visible here because
+        // `TokenStream` groups only (), [] and {} — so track `<`/`>` depth.
+        let mut angle_depth = 0i32;
+        loop {
+            match tokens.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                    angle_depth += 1;
+                    tokens.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                    angle_depth -= 1;
+                    tokens.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => {
+                    tokens.next();
+                    break;
+                }
+                _ => {
+                    tokens.next();
+                }
+            }
+        }
+    }
+    Ok(fields)
+}

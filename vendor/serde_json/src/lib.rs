@@ -1,0 +1,123 @@
+//! Vendored, API-compatible subset of `serde_json`: [`to_string`] and
+//! [`to_string_pretty`] over the serde stub's compact-JSON `Serialize`.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+/// Serialisation error. The stub's serializers are infallible, so this is
+/// only here so call sites can keep `serde_json::to_string(..)?` shapes.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde_json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialises `value` as compact JSON.
+///
+/// # Errors
+///
+/// Never fails in the vendored stub; the `Result` mirrors upstream.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize_into(&mut out);
+    Ok(out)
+}
+
+/// Serialises `value` as pretty-printed JSON (two-space indent, like
+/// upstream `serde_json`).
+///
+/// # Errors
+///
+/// Never fails in the vendored stub; the `Result` mirrors upstream.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(prettify(&to_string(value)?))
+}
+
+/// Re-formats well-formed compact JSON with newlines and two-space indents.
+fn prettify(compact: &str) -> String {
+    let mut out = String::with_capacity(compact.len() * 2);
+    let mut depth = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    let mut chars = compact.chars().peekable();
+    while let Some(c) = chars.next() {
+        if in_string {
+            out.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_string = true;
+                out.push(c);
+            }
+            '{' | '[' => {
+                let close = if c == '{' { '}' } else { ']' };
+                if chars.peek() == Some(&close) {
+                    // Keep empty containers on one line.
+                    out.push(c);
+                    out.push(close);
+                    chars.next();
+                } else {
+                    depth += 1;
+                    out.push(c);
+                    newline_indent(&mut out, depth);
+                }
+            }
+            '}' | ']' => {
+                depth = depth.saturating_sub(1);
+                newline_indent(&mut out, depth);
+                out.push(c);
+            }
+            ',' => {
+                out.push(c);
+                newline_indent(&mut out, depth);
+            }
+            ':' => {
+                out.push(c);
+                out.push(' ');
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn newline_indent(out: &mut String, depth: usize) {
+    out.push('\n');
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_and_pretty() {
+        let rows = vec![vec![1u32, 2], vec![3]];
+        assert_eq!(to_string(&rows).unwrap(), "[[1,2],[3]]");
+        let pretty = to_string_pretty(&rows).unwrap();
+        assert_eq!(pretty, "[\n  [\n    1,\n    2\n  ],\n  [\n    3\n  ]\n]");
+    }
+
+    #[test]
+    fn braces_inside_strings_do_not_confuse_pretty() {
+        let s = "a{b}[c],d:\"e\\\"".to_owned();
+        let compact = to_string(&s).unwrap();
+        assert_eq!(prettify(&compact), compact);
+    }
+}
