@@ -1,17 +1,27 @@
 //! `paper` — regenerate the tables and figures of the CGO 2007 paper.
 //!
 //! ```text
-//! Usage: paper [EXPERIMENT] [--loops N] [--buses 1|2|both]
+//! Usage: paper [EXPERIMENT] [--experiment NAME] [--loops N]
+//!              [--buses 1|2|both] [--jobs N]
 //!
 //! EXPERIMENT: table1 | table2 | figure6 | figure7 | figure8 | figure9 | all
-//!             (default: all)
+//!             (default: all; positional and --experiment are equivalent)
 //! --loops N   loops generated per benchmark (default 40)
 //! --buses B   bus configurations to run (default both)
+//! --jobs N    worker threads for the exploration pipeline
+//!             (default 0 = available parallelism; output is identical
+//!             for every N)
 //! ```
+//!
+//! Each experiment's elapsed wall-time is reported on stderr as
+//! `[time] <experiment>: <seconds> s`, so CI perf gates and humans get
+//! timing without external tooling.
 
+use std::collections::HashMap;
 use std::process::ExitCode;
+use std::time::Instant;
 
-use heterovliw_core::explore::experiments::{self, ExperimentOptions};
+use heterovliw_core::explore::experiments::{self, ProfiledSuite};
 use heterovliw_core::Study;
 use vliw_bench::dump_json;
 use vliw_ir::OpClass;
@@ -21,6 +31,7 @@ use vliw_workloads::DEFAULT_LOOPS_PER_BENCHMARK;
 struct Args {
     loops: usize,
     buses: BusSel,
+    jobs: usize,
 }
 
 #[derive(Clone, Copy)]
@@ -45,6 +56,7 @@ fn main() -> ExitCode {
     let mut args = Args {
         loops: DEFAULT_LOOPS_PER_BENCHMARK,
         buses: BusSel::Both,
+        jobs: 0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -59,24 +71,37 @@ fn main() -> ExitCode {
                 Some("both") => args.buses = BusSel::Both,
                 _ => return usage("--buses takes 1, 2 or both"),
             },
+            "--jobs" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => args.jobs = n,
+                None => return usage("--jobs needs a non-negative integer (0 = auto)"),
+            },
+            "--experiment" => match it.next() {
+                Some(name) => experiment = name,
+                None => return usage("--experiment needs a name"),
+            },
             "--help" | "-h" => return usage(""),
             name if !name.starts_with('-') => experiment = name.to_owned(),
             other => return usage(&format!("unknown flag {other}")),
         }
     }
+    // Reference profiles (and the measurement memo cache they carry) are
+    // shared across every experiment of this invocation: `all` profiles
+    // each bus count once, and Figure 7's unrestricted-menu variant reuses
+    // Figure 6's measured configurations outright.
+    let mut store = ProfiledStore::new(args);
     let result = match experiment.as_str() {
-        "table1" => table1(),
-        "table2" => table2(args),
-        "figure6" => figure6(args),
-        "figure7" => figure7(args),
-        "figure8" => figure8(args),
-        "figure9" => figure9(args),
-        "all" => table1()
-            .and_then(|()| table2(args))
-            .and_then(|()| figure6(args))
-            .and_then(|()| figure7(args))
-            .and_then(|()| figure8(args))
-            .and_then(|()| figure9(args)),
+        "table1" => timed("table1", table1),
+        "table2" => timed("table2", || table2(args)),
+        "figure6" => timed("figure6", || figure6(args, &mut store)),
+        "figure7" => timed("figure7", || figure7(args, &mut store)),
+        "figure8" => timed("figure8", || figure8(args, &mut store)),
+        "figure9" => timed("figure9", || figure9(args, &mut store)),
+        "all" => timed("table1", table1)
+            .and_then(|()| timed("table2", || table2(args)))
+            .and_then(|()| timed("figure6", || figure6(args, &mut store)))
+            .and_then(|()| timed("figure7", || figure7(args, &mut store)))
+            .and_then(|()| timed("figure8", || figure8(args, &mut store)))
+            .and_then(|()| timed("figure9", || figure9(args, &mut store))),
         other => return usage(&format!("unknown experiment {other}")),
     };
     match result {
@@ -88,13 +113,22 @@ fn main() -> ExitCode {
     }
 }
 
+/// Runs one experiment and reports its wall-time on stderr (stdout and the
+/// JSON artefacts stay byte-identical regardless of timing or job count).
+fn timed(name: &str, run: impl FnOnce() -> Result<(), AnyError>) -> Result<(), AnyError> {
+    let start = Instant::now();
+    let result = run();
+    eprintln!("[time] {name}: {:.3} s", start.elapsed().as_secs_f64());
+    result
+}
+
 fn usage(msg: &str) -> ExitCode {
     if !msg.is_empty() {
         eprintln!("error: {msg}");
     }
     eprintln!(
         "usage: paper [table1|table2|figure6|figure7|figure8|figure9|all] \
-         [--loops N] [--buses 1|2|both]"
+         [--experiment NAME] [--loops N] [--buses 1|2|both] [--jobs N]"
     );
     if msg.is_empty() {
         ExitCode::SUCCESS
@@ -109,6 +143,32 @@ fn study(args: Args, buses: u32) -> Study {
     Study::new()
         .with_loops_per_benchmark(args.loops)
         .with_buses(buses)
+        .with_jobs(args.jobs)
+}
+
+/// Lazily profiled suites, one per bus count, shared by every experiment
+/// of one invocation so reference profiling runs once and the measurement
+/// memo cache accumulates across figures.
+struct ProfiledStore {
+    args: Args,
+    per_bus: HashMap<u32, ProfiledSuite>,
+}
+
+impl ProfiledStore {
+    fn new(args: Args) -> Self {
+        ProfiledStore {
+            args,
+            per_bus: HashMap::new(),
+        }
+    }
+
+    fn get(&mut self, buses: u32) -> Result<&ProfiledSuite, AnyError> {
+        if !self.per_bus.contains_key(&buses) {
+            let profiled = study(self.args, buses).profile()?;
+            self.per_bus.insert(buses, profiled);
+        }
+        Ok(&self.per_bus[&buses])
+    }
 }
 
 /// One row of Table 1, serialised alongside the printed table.
@@ -157,12 +217,14 @@ fn table2(args: Args) -> Result<(), AnyError> {
     Ok(())
 }
 
-fn figure6(args: Args) -> Result<(), AnyError> {
+fn figure6(args: Args, store: &mut ProfiledStore) -> Result<(), AnyError> {
     println!("\n== Figure 6: ED2 of heterogeneous, normalised to optimum homogeneous ==");
     let mut all = Vec::new();
     for &buses in args.buses.list() {
         println!("-- {buses} bus(es) --");
-        let rows = study(args, buses).figure6()?;
+        let study = study(args, buses);
+        let rows =
+            experiments::figure6_with(store.get(buses)?, study.options(), &study.executor())?;
         for r in &rows {
             println!("{}", vliw_bench::format_bar(&r.benchmark, r.ed2_normalized));
         }
@@ -176,12 +238,14 @@ fn figure6(args: Args) -> Result<(), AnyError> {
     Ok(())
 }
 
-fn figure7(args: Args) -> Result<(), AnyError> {
+fn figure7(args: Args, store: &mut ProfiledStore) -> Result<(), AnyError> {
     println!("\n== Figure 7: ED2 vs number of supported frequencies ==");
     let mut all = Vec::new();
     for &buses in args.buses.list() {
         println!("-- {buses} bus(es) --");
-        let rows = study(args, buses).figure7()?;
+        let study = study(args, buses);
+        let rows =
+            experiments::figure7_with(store.get(buses)?, study.options(), &study.executor())?;
         for r in &rows {
             println!("{}", vliw_bench::format_bar(&r.menu, r.mean_ed2_normalized));
         }
@@ -191,12 +255,14 @@ fn figure7(args: Args) -> Result<(), AnyError> {
     Ok(())
 }
 
-fn figure8(args: Args) -> Result<(), AnyError> {
+fn figure8(args: Args, store: &mut ProfiledStore) -> Result<(), AnyError> {
     println!("\n== Figure 8: ED2 vs ICN/cache energy shares ==");
     let mut all = Vec::new();
     for &buses in args.buses.list() {
         println!("-- {buses} bus(es) --");
-        let rows = study(args, buses).figure8()?;
+        let study = study(args, buses);
+        let rows =
+            experiments::figure8_with(store.get(buses)?, study.options(), &study.executor())?;
         for r in &rows {
             let label = format!(
                 ".{:<2} / {:.2}",
@@ -211,12 +277,14 @@ fn figure8(args: Args) -> Result<(), AnyError> {
     Ok(())
 }
 
-fn figure9(args: Args) -> Result<(), AnyError> {
+fn figure9(args: Args, store: &mut ProfiledStore) -> Result<(), AnyError> {
     println!("\n== Figure 9: ED2 vs leakage shares (cluster/ICN/cache) ==");
     let mut all = Vec::new();
     for &buses in args.buses.list() {
         println!("-- {buses} bus(es) --");
-        let rows = study(args, buses).figure9()?;
+        let study = study(args, buses);
+        let rows =
+            experiments::figure9_with(store.get(buses)?, study.options(), &study.executor())?;
         for r in &rows {
             let label = format!(
                 "{:.2}/{:.2}/{:.2}",
@@ -228,11 +296,4 @@ fn figure9(args: Args) -> Result<(), AnyError> {
     }
     dump_json("figure9", &all);
     Ok(())
-}
-
-// The ExperimentOptions import is exercised implicitly through Study; keep
-// the explicit reference so the bin compiles against API changes loudly.
-#[allow(dead_code)]
-fn _assert_api(opts: ExperimentOptions) -> ExperimentOptions {
-    opts
 }

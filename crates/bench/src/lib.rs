@@ -23,13 +23,21 @@ pub fn results_dir() -> PathBuf {
 
 /// Serialises `rows` as pretty JSON to `target/paper-results/<name>.json`.
 ///
+/// The write is atomic (temp file + rename in the same directory), so a
+/// concurrent reader never observes a truncated or partially written
+/// artefact — several `paper` processes may run at once under the test
+/// harness or CI.
+///
 /// # Panics
 ///
 /// Panics on I/O or serialisation failure (benches want loud failures).
 pub fn dump_json<T: Serialize>(name: &str, rows: &T) {
-    let path = results_dir().join(format!("{name}.json"));
+    let dir = results_dir();
+    let path = dir.join(format!("{name}.json"));
+    let tmp = dir.join(format!("{name}.json.tmp.{}", std::process::id()));
     let json = serde_json::to_string_pretty(rows).expect("serialise rows");
-    fs::write(&path, json).expect("write rows");
+    fs::write(&tmp, json).expect("write rows");
+    fs::rename(&tmp, &path).expect("publish rows");
     println!("  [rows written to {}]", path.display());
 }
 

@@ -32,12 +32,16 @@ fn help_exits_zero_and_prints_usage() {
 #[test]
 fn bad_args_exit_nonzero() {
     let cases: &[&[&str]] = &[
-        &["--loops"],         // missing value
-        &["--loops", "0"],    // not positive
-        &["--loops", "many"], // not a number
-        &["--buses", "3"],    // unsupported bus count
-        &["--frobnicate"],    // unknown flag
-        &["figure42"],        // unknown experiment
+        &["--loops"],               // missing value
+        &["--loops", "0"],          // not positive
+        &["--loops", "many"],       // not a number
+        &["--buses", "3"],          // unsupported bus count
+        &["--jobs"],                // missing value
+        &["--jobs", "many"],        // not a number
+        &["--experiment"],          // missing name
+        &["--experiment", "fig42"], // unknown experiment
+        &["--frobnicate"],          // unknown flag
+        &["figure42"],              // unknown experiment
     ];
     for args in cases {
         let out = paper(args);
@@ -64,6 +68,64 @@ fn table1_smoke_produces_json() {
     for key in ["\"class\"", "\"latency\"", "\"relative_energy\"", "fdiv"] {
         assert!(json.contains(key), "json has {key}: {json}");
     }
+}
+
+#[test]
+fn experiment_flag_and_jobs_report_wall_time() {
+    // `--experiment NAME` is equivalent to the positional form, `--jobs`
+    // is accepted, and elapsed wall-time lands on stderr. Uses figure7 so
+    // this test's JSON artefact is disjoint from every other test's (the
+    // harness runs tests — and hence `paper` processes — concurrently).
+    let out = paper(&[
+        "--experiment",
+        "figure7",
+        "--loops",
+        "1",
+        "--buses",
+        "2",
+        "--jobs",
+        "2",
+    ]);
+    assert!(
+        out.status.success(),
+        "figure7 via --experiment: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("[time] figure7:"),
+        "wall-time on stderr: {stderr}"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Figure 7"), "prints the figure: {stdout}");
+}
+
+#[test]
+fn parallel_json_is_byte_identical_to_serial() {
+    // The acceptance property, end to end through the binary: the JSON
+    // artefact of a parallel run matches the serial run byte for byte.
+    let run = |jobs: &str| -> String {
+        let out = paper(&[
+            "--experiment",
+            "figure6",
+            "--loops",
+            "1",
+            "--buses",
+            "1",
+            "--jobs",
+            jobs,
+        ]);
+        assert!(
+            out.status.success(),
+            "figure6 --jobs {jobs}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        std::fs::read_to_string(results_dir().join("figure6.json")).expect("figure6.json")
+    };
+    let serial = run("1");
+    let parallel = run("4");
+    assert_eq!(serial, parallel, "--jobs must not change the JSON");
+    assert!(serial.contains("ed2_normalized"));
 }
 
 #[test]

@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub use vliw_exec as exec;
 pub use vliw_explore as explore;
 pub use vliw_ir as ir;
 pub use vliw_machine as machine;
@@ -43,6 +44,7 @@ pub use vliw_sched as sched;
 pub use vliw_sim as sim;
 pub use vliw_workloads as workloads;
 
+use vliw_exec::Executor;
 use vliw_explore::experiments::{
     self, BenchmarkResult, ExperimentOptions, Figure7Row, Figure8Row, Figure9Row, ProfiledSuite,
     Table2Row,
@@ -62,18 +64,21 @@ pub struct Study {
     loops_per_benchmark: usize,
     buses: u32,
     options: ExperimentOptions,
+    exec: Executor,
 }
 
 impl Study {
     /// A study with the paper's defaults: 4-cluster machine, one bus,
-    /// unrestricted frequencies, the §5 energy shares, and the default
-    /// (10× reduced) suite size.
+    /// unrestricted frequencies, the §5 energy shares, the default
+    /// (10× reduced) suite size, and serial execution (see
+    /// [`Study::with_jobs`]).
     #[must_use]
     pub fn new() -> Self {
         Study {
             loops_per_benchmark: DEFAULT_LOOPS_PER_BENCHMARK,
             buses: 1,
             options: ExperimentOptions::default(),
+            exec: Executor::serial(),
         }
     }
 
@@ -122,6 +127,24 @@ impl Study {
         self
     }
 
+    /// Sets how many worker threads the exploration pipeline fans out
+    /// across (`0` means "use the machine's available parallelism").
+    ///
+    /// Results are **identical for every job count** — candidate grids and
+    /// benchmark sweeps are reduced in deterministic input order — so this
+    /// knob only changes wall-clock time.
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.exec = Executor::new(jobs);
+        self
+    }
+
+    /// The executor the experiment runners will fan out across.
+    #[must_use]
+    pub fn executor(&self) -> Executor {
+        self.exec
+    }
+
     /// The experiment options this study will use.
     #[must_use]
     pub fn options(&self) -> &ExperimentOptions {
@@ -140,7 +163,7 @@ impl Study {
     ///
     /// Propagates scheduling failures from the reference runs.
     pub fn profile(&self) -> Result<ProfiledSuite, SchedError> {
-        experiments::profile_suite(&self.suite(), self.buses, &self.options.sched)
+        experiments::profile_suite_with(&self.suite(), self.buses, &self.options.sched, &self.exec)
     }
 
     /// Figure 6: per-benchmark normalised ED².
@@ -149,13 +172,13 @@ impl Study {
     ///
     /// Propagates scheduling failures.
     pub fn figure6(&self) -> Result<Vec<BenchmarkResult>, SchedError> {
-        experiments::figure6(&self.profile()?, &self.options)
+        experiments::figure6_with(&self.profile()?, &self.options, &self.exec)
     }
 
     /// Table 2: constraint-class time shares per benchmark.
     #[must_use]
     pub fn table2(&self) -> Vec<Table2Row> {
-        experiments::table2(&self.suite())
+        experiments::table2_with(&self.suite(), &self.exec)
     }
 
     /// Figure 7: frequency-menu sensitivity.
@@ -164,7 +187,7 @@ impl Study {
     ///
     /// Propagates scheduling failures.
     pub fn figure7(&self) -> Result<Vec<Figure7Row>, SchedError> {
-        experiments::figure7(&self.profile()?, &self.options)
+        experiments::figure7_with(&self.profile()?, &self.options, &self.exec)
     }
 
     /// Figure 8: ICN/cache energy-share sensitivity.
@@ -173,7 +196,7 @@ impl Study {
     ///
     /// Propagates scheduling failures.
     pub fn figure8(&self) -> Result<Vec<Figure8Row>, SchedError> {
-        experiments::figure8(&self.profile()?, &self.options)
+        experiments::figure8_with(&self.profile()?, &self.options, &self.exec)
     }
 
     /// Figure 9: leakage-share sensitivity.
@@ -182,7 +205,7 @@ impl Study {
     ///
     /// Propagates scheduling failures.
     pub fn figure9(&self) -> Result<Vec<Figure9Row>, SchedError> {
-        experiments::figure9(&self.profile()?, &self.options)
+        experiments::figure9_with(&self.profile()?, &self.options, &self.exec)
     }
 }
 

@@ -101,20 +101,23 @@ pub fn estimate_it_length(profile: &LoopProfile, config: &ClockedConfig) -> Time
     Time::from_ns(cycles * mean_ct_ns)
 }
 
-/// Estimates a whole benchmark on `config`: execution time via
-/// [`estimate_loop_it`] + the `it_length` approximation, energy via the §3.1 model
-/// with the critical-recurrence instructions attributed to the fastest
-/// cluster(s) and the rest to the remaining clusters.
+/// Estimates the *usage profile* (per-cluster instruction distribution,
+/// event counts, execution time) of a whole benchmark on `config` — the
+/// voltage-independent half of [`estimate_program`].
 ///
-/// Returns `None` when some loop cannot synchronise or a domain's
-/// (frequency, voltage) pair is electrically infeasible.
+/// Cycle times and the frequency menu fully determine the result; supply
+/// voltages only enter the energy model afterwards. The selection scheme
+/// exploits that split: one usage estimate per candidate configuration is
+/// shared across the entire voltage-descent grid.
+///
+/// Returns `None` when some loop cannot synchronise within the search
+/// horizon.
 #[must_use]
-pub fn estimate_program(
+pub fn estimate_usage(
     profile: &BenchmarkProfile,
     config: &ClockedConfig,
     menu: &FrequencyMenu,
-    power: &PowerModel,
-) -> Option<HetEstimate> {
+) -> Option<UsageProfile> {
     let design = config.design();
     let fastest = config.fastest_cluster_cycle();
     let fast_clusters: Vec<ClusterId> = design
@@ -170,20 +173,49 @@ pub fn estimate_program(
         mems += l.invocations * l.mem_accesses as f64 * l.trips as f64;
     }
 
-    let exec_time = Time::from_ns(total_ns);
-    let usage = UsageProfile {
+    Some(UsageProfile {
         weighted_ins_per_cluster: weighted,
         comms: comms.round() as u64,
         mem_accesses: mems.round() as u64,
-        exec_time,
-    };
-    let energy = power.estimate_energy(config, &usage)?;
-    let secs = exec_time.as_secs();
+        exec_time: Time::from_ns(total_ns),
+    })
+}
+
+/// Turns a usage estimate into a full [`HetEstimate`] by pricing it with
+/// the §3.1 energy model at `config`'s voltages.
+///
+/// Returns `None` when a domain's (frequency, voltage) pair is
+/// electrically infeasible.
+#[must_use]
+pub fn price_usage(
+    usage: &UsageProfile,
+    config: &ClockedConfig,
+    power: &PowerModel,
+) -> Option<HetEstimate> {
+    let energy = power.estimate_energy(config, usage)?;
+    let secs = usage.exec_time.as_secs();
     Some(HetEstimate {
-        exec_time,
+        exec_time: usage.exec_time,
         energy,
         ed2: energy * secs * secs,
     })
+}
+
+/// Estimates a whole benchmark on `config`: execution time via
+/// [`estimate_loop_it`] + the `it_length` approximation, energy via the §3.1 model
+/// with the critical-recurrence instructions attributed to the fastest
+/// cluster(s) and the rest to the remaining clusters.
+///
+/// Returns `None` when some loop cannot synchronise or a domain's
+/// (frequency, voltage) pair is electrically infeasible.
+#[must_use]
+pub fn estimate_program(
+    profile: &BenchmarkProfile,
+    config: &ClockedConfig,
+    menu: &FrequencyMenu,
+    power: &PowerModel,
+) -> Option<HetEstimate> {
+    price_usage(&estimate_usage(profile, config, menu)?, config, power)
 }
 
 #[cfg(test)]

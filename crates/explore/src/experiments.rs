@@ -15,14 +15,15 @@
 
 use serde::Serialize;
 
+use vliw_exec::{Executor, MemoCache};
 use vliw_machine::{ClockedConfig, FrequencyMenu, MachineDesign, MenuKind, Time};
 use vliw_power::{EnergyShares, PowerModel, UsageProfile};
 use vliw_sched::{schedule_loop, SchedError, ScheduleOptions};
 use vliw_workloads::{classify, Benchmark, LoopClass};
 
-use crate::homog::{optimum_homogeneous_suite, HomogChoice};
+use crate::homog::{optimum_homogeneous_suite_with, HomogChoice};
 use crate::profile::{profile_benchmark, suite_reference, BenchmarkProfile};
-use crate::select::select_heterogeneous;
+use crate::select::select_heterogeneous_with;
 
 /// Options shared by all experiment runners.
 #[derive(Debug, Clone)]
@@ -47,6 +48,77 @@ impl Default for ExperimentOptions {
     }
 }
 
+/// The memoisation key of one *measured* heterogeneous evaluation: the
+/// benchmark plus everything that determines its schedules — the clocked
+/// configuration (cycle times and voltages), the scheduler options
+/// (including the frequency menu) and the power model driving the
+/// partitioner's ED² objective.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MeasureKey {
+    benchmark: String,
+    power_fingerprint: u64,
+    config: Vec<u64>,
+    sched: Vec<u64>,
+}
+
+impl MeasureKey {
+    fn new(
+        bench: &Benchmark,
+        config: &ClockedConfig,
+        power: &PowerModel,
+        sched: &ScheduleOptions,
+    ) -> Self {
+        let design = config.design();
+        let mut fp = Vec::with_capacity(2 * usize::from(design.num_clusters) + 4);
+        for c in design.clusters() {
+            fp.push(config.cluster_cycle(c).as_fs());
+        }
+        fp.push(config.icn_cycle().as_fs());
+        fp.push(config.cache_cycle().as_fs());
+        for &vdd in &config.voltages().clusters {
+            fp.push(vdd.to_bits());
+        }
+        fp.push(config.voltages().icn.to_bits());
+        fp.push(config.voltages().cache.to_bits());
+        // Scheduler options field by field — exact values, no lossy digest.
+        // The per-loop trip count is overwritten from the benchmark while
+        // measuring, so it is deliberately left out of the key.
+        let mut sched_fp = vec![
+            u64::from(sched.budget_ratio),
+            u64::from(sched.max_it_attempts),
+        ];
+        match sched.menu.cycle_times_at_least(Time::from_fs(1)) {
+            // Unrestricted menus have no cycle-time list; tag the variant.
+            None => sched_fp.push(u64::MAX),
+            Some(cts) => {
+                sched_fp.push(cts.len() as u64);
+                sched_fp.extend(cts.iter().map(|ct| ct.as_fs()));
+            }
+        }
+        MeasureKey {
+            benchmark: bench.name.clone(),
+            power_fingerprint: power.fingerprint(),
+            config: fp,
+            sched: sched_fp,
+        }
+    }
+}
+
+/// Memoisation table mapping a [`MeasureKey`] to the measured usage
+/// profile of that configuration (the expensive part: re-scheduling every
+/// loop with the heterogeneous modulo scheduler). Scheduling errors are
+/// memoised too — they are just as deterministic as successes.
+///
+/// Hits require the *whole* key to repeat — benchmark, configuration,
+/// scheduler options (menu included) and power model — because any of
+/// those can change the schedules. That happens when the same sweep runs
+/// twice on one [`ProfiledSuite`], and across experiments sharing one
+/// suite under identical options (the `paper` binary reuses one suite per
+/// bus count, so Figure 7's unrestricted-menu variant reuses Figure 6's
+/// measurements outright). Figure 8/9 variants recalibrate the power
+/// model, which can change partitions, so they correctly miss.
+pub type MeasureCache = MemoCache<MeasureKey, Result<UsageProfile, SchedError>>;
+
 /// A reference-profiled suite for one bus count; reusable across variant
 /// sweeps (profiling is share- and menu-independent).
 #[derive(Debug)]
@@ -57,9 +129,22 @@ pub struct ProfiledSuite {
     pub profiles: Vec<BenchmarkProfile>,
     /// The benchmarks themselves (needed to re-schedule loops).
     pub benches: Vec<Benchmark>,
+    /// Measured-configuration memoisation shared by every experiment run
+    /// on this suite (the key embeds the power model and scheduler
+    /// options, so cross-variant reuse is sound).
+    cache: MeasureCache,
 }
 
-/// Profiles `suite` on the paper's machine with `buses` buses.
+impl ProfiledSuite {
+    /// The measurement memoisation cache (for hit/miss statistics).
+    #[must_use]
+    pub fn cache(&self) -> &MeasureCache {
+        &self.cache
+    }
+}
+
+/// Profiles `suite` on the paper's machine with `buses` buses. Serial
+/// shorthand for [`profile_suite_with`].
 ///
 /// # Errors
 ///
@@ -69,15 +154,29 @@ pub fn profile_suite(
     buses: u32,
     sched: &ScheduleOptions,
 ) -> Result<ProfiledSuite, SchedError> {
+    profile_suite_with(suite, buses, sched, &Executor::serial())
+}
+
+/// [`profile_suite`] with per-benchmark profiling fanned out across
+/// `exec`'s worker pool (profiles come back in suite order).
+///
+/// # Errors
+///
+/// Propagates scheduling failures from the reference runs (the
+/// lowest-indexed failing benchmark, matching the serial path).
+pub fn profile_suite_with(
+    suite: &[Benchmark],
+    buses: u32,
+    sched: &ScheduleOptions,
+    exec: &Executor,
+) -> Result<ProfiledSuite, SchedError> {
     let design = MachineDesign::paper_machine(buses);
-    let mut profiles = Vec::with_capacity(suite.len());
-    for bench in suite {
-        profiles.push(profile_benchmark(bench, design, sched)?);
-    }
+    let profiles = exec.try_map(suite, |_, bench| profile_benchmark(bench, design, sched))?;
     Ok(ProfiledSuite {
         design,
         profiles,
         benches: suite.to_vec(),
+        cache: MeasureCache::new(),
     })
 }
 
@@ -110,7 +209,8 @@ pub struct BenchmarkResult {
 }
 
 /// Runs the measurement pipeline for one profiled benchmark against a
-/// suite-level baseline.
+/// suite-level baseline. Serial, uncached shorthand for
+/// [`run_benchmark_with`].
 ///
 /// # Errors
 ///
@@ -123,7 +223,41 @@ pub fn run_benchmark(
     power: &PowerModel,
     opts: &ExperimentOptions,
 ) -> Result<BenchmarkResult, SchedError> {
-    let het = select_heterogeneous(profile, design, power, &opts.menu)
+    run_benchmark_with(
+        bench,
+        profile,
+        hom,
+        design,
+        power,
+        opts,
+        &Executor::serial(),
+        None,
+    )
+}
+
+/// [`run_benchmark`] with the §3.3 candidate sweep and the per-loop
+/// measurement fanned out across `exec`'s worker pool, and the measured
+/// usage optionally memoised in `cache`.
+///
+/// The result is identical for every worker count and with or without the
+/// cache: candidates are reduced in grid order and per-loop contributions
+/// are folded in loop order.
+///
+/// # Errors
+///
+/// Propagates heterogeneous scheduling failures.
+#[allow(clippy::too_many_arguments)]
+pub fn run_benchmark_with(
+    bench: &Benchmark,
+    profile: &BenchmarkProfile,
+    hom: &HomogChoice,
+    design: MachineDesign,
+    power: &PowerModel,
+    opts: &ExperimentOptions,
+    exec: &Executor,
+    cache: Option<&MeasureCache>,
+) -> Result<BenchmarkResult, SchedError> {
+    let het = select_heterogeneous_with(profile, design, power, &opts.menu, exec)
         .expect("the selection space contains feasible points");
 
     // When the selection lands on a *homogeneous* configuration (the paper
@@ -155,31 +289,36 @@ pub fn run_benchmark(
         });
     }
 
-    // Measure the selected configuration by actually scheduling every loop.
+    // Measure the selected configuration by actually scheduling every
+    // loop (memoised when a cache is supplied).
     let mut sched_opts = opts.sched.clone();
     sched_opts.menu = opts.menu.clone();
-    let mut total_ns = 0.0f64;
-    let mut weighted = vec![0.0f64; usize::from(design.num_clusters)];
-    let mut comms = 0.0f64;
-    let mut mems = 0.0f64;
-    for (l, lp) in bench.loops.iter().zip(&profile.loops) {
-        sched_opts.trip_count = l.trip_count();
-        let s = schedule_loop(l.ddg(), &het.config, Some(power), &sched_opts)?;
-        let usage = s.usage(l.trip_count());
-        total_ns += lp.invocations * usage.exec_time.as_ns();
-        for (w, u) in weighted.iter_mut().zip(&usage.weighted_ins_per_cluster) {
-            *w += lp.invocations * u;
-        }
-        comms += lp.invocations * usage.comms as f64;
-        mems += lp.invocations * usage.mem_accesses as f64;
-    }
-    let exec_time_het = Time::from_ns(total_ns);
-    let usage = UsageProfile {
-        weighted_ins_per_cluster: weighted,
-        comms: comms.round() as u64,
-        mem_accesses: mems.round() as u64,
-        exec_time: exec_time_het,
+    let usage = match cache {
+        Some(cache) => cache.get_or_compute(
+            MeasureKey::new(bench, &het.config, power, &sched_opts),
+            || {
+                measure_usage(
+                    bench,
+                    profile,
+                    &het.config,
+                    power,
+                    &sched_opts,
+                    design,
+                    exec,
+                )
+            },
+        )?,
+        None => measure_usage(
+            bench,
+            profile,
+            &het.config,
+            power,
+            &sched_opts,
+            design,
+            exec,
+        )?,
     };
+    let exec_time_het = usage.exec_time;
     let energy_het = power
         .estimate_energy(&het.config, &usage)
         .expect("selected configuration is electrically feasible");
@@ -201,7 +340,47 @@ pub fn run_benchmark(
     })
 }
 
+/// Schedules every loop of `bench` on `config` and aggregates the
+/// invocation-weighted usage profile. Per-loop scheduling fans out across
+/// `exec`; contributions are folded in loop order, so the result is
+/// bit-identical for every worker count.
+fn measure_usage(
+    bench: &Benchmark,
+    profile: &BenchmarkProfile,
+    config: &ClockedConfig,
+    power: &PowerModel,
+    sched_opts: &ScheduleOptions,
+    design: MachineDesign,
+    exec: &Executor,
+) -> Result<UsageProfile, SchedError> {
+    let per_loop = exec.try_map(&bench.loops, |_, l| {
+        let mut o = sched_opts.clone();
+        o.trip_count = l.trip_count();
+        let s = schedule_loop(l.ddg(), config, Some(power), &o)?;
+        Ok(s.usage(l.trip_count()))
+    })?;
+    let mut total_ns = 0.0f64;
+    let mut weighted = vec![0.0f64; usize::from(design.num_clusters)];
+    let mut comms = 0.0f64;
+    let mut mems = 0.0f64;
+    for (usage, lp) in per_loop.iter().zip(&profile.loops) {
+        total_ns += lp.invocations * usage.exec_time.as_ns();
+        for (w, u) in weighted.iter_mut().zip(&usage.weighted_ins_per_cluster) {
+            *w += lp.invocations * u;
+        }
+        comms += lp.invocations * usage.comms as f64;
+        mems += lp.invocations * usage.mem_accesses as f64;
+    }
+    Ok(UsageProfile {
+        weighted_ins_per_cluster: weighted,
+        comms: comms.round() as u64,
+        mem_accesses: mems.round() as u64,
+        exec_time: Time::from_ns(total_ns),
+    })
+}
+
 /// Figure 6: per-benchmark normalised ED² of the heterogeneous approach.
+/// Serial shorthand for [`figure6_with`].
 ///
 /// Calibrates the energy model once on the whole suite's reference run and
 /// normalises every benchmark against one suite-wide optimum homogeneous
@@ -214,21 +393,55 @@ pub fn figure6(
     profiled: &ProfiledSuite,
     opts: &ExperimentOptions,
 ) -> Result<Vec<BenchmarkResult>, SchedError> {
+    figure6_with(profiled, opts, &Executor::serial())
+}
+
+/// [`figure6`] with the per-benchmark measurement pipeline fanned out
+/// across `exec`'s worker pool.
+///
+/// Each benchmark (selection + heterogeneous re-scheduling) is one job;
+/// the homogeneous baseline search fans its cycle-time grid out first.
+/// Rows come back in suite order and measured configurations are memoised
+/// in the suite's [`MeasureCache`], so repeated calls (Figures 7–9's
+/// variant sweeps) skip re-measuring configurations they have seen.
+///
+/// # Errors
+///
+/// Propagates scheduling failures (the lowest-indexed failing benchmark,
+/// matching the serial path).
+pub fn figure6_with(
+    profiled: &ProfiledSuite,
+    opts: &ExperimentOptions,
+    exec: &Executor,
+) -> Result<Vec<BenchmarkResult>, SchedError> {
     let power = PowerModel::calibrate(
         profiled.design,
         opts.shares,
         &suite_reference(&profiled.profiles),
     );
-    let baseline = optimum_homogeneous_suite(&profiled.profiles, profiled.design, &power);
-    profiled
+    let baseline =
+        optimum_homogeneous_suite_with(&profiled.profiles, profiled.design, &power, exec);
+    let jobs: Vec<(&Benchmark, &BenchmarkProfile, &HomogChoice)> = profiled
         .benches
         .iter()
         .zip(&profiled.profiles)
         .zip(&baseline.per_benchmark)
-        .map(|((bench, profile), hom)| {
-            run_benchmark(bench, profile, hom, profiled.design, &power, opts)
-        })
-        .collect()
+        .map(|((bench, profile), hom)| (bench, profile, hom))
+        .collect();
+    // One worker per benchmark; the per-candidate/per-loop fan-out inside
+    // run_benchmark_with stays serial to avoid oversubscribing the pool.
+    exec.try_map(&jobs, |_, &(bench, profile, hom)| {
+        run_benchmark_with(
+            bench,
+            profile,
+            hom,
+            profiled.design,
+            &power,
+            opts,
+            &Executor::serial(),
+            Some(&profiled.cache),
+        )
+    })
 }
 
 /// Arithmetic mean of the normalised ED² column.
@@ -254,30 +467,35 @@ pub struct Table2Row {
 }
 
 /// Table 2: classifies every loop of the suite and aggregates execution-
-/// time weights per constraint class.
+/// time weights per constraint class. Serial shorthand for
+/// [`table2_with`].
 #[must_use]
 pub fn table2(suite: &[Benchmark]) -> Vec<Table2Row> {
+    table2_with(suite, &Executor::serial())
+}
+
+/// [`table2`] with per-benchmark classification fanned out across `exec`'s
+/// worker pool (rows come back in suite order).
+#[must_use]
+pub fn table2_with(suite: &[Benchmark], exec: &Executor) -> Vec<Table2Row> {
     let design = MachineDesign::paper_machine(1);
-    suite
-        .iter()
-        .map(|bench| {
-            let mut shares = [0.0f64; 3];
-            for l in &bench.loops {
-                let class = classify(l.ddg(), design);
-                let idx = LoopClass::ALL
-                    .iter()
-                    .position(|&c| c == class)
-                    .expect("3 classes");
-                shares[idx] += l.weight();
-            }
-            Table2Row {
-                benchmark: bench.name.clone(),
-                resource_pct: shares[0] * 100.0,
-                borderline_pct: shares[1] * 100.0,
-                recurrence_pct: shares[2] * 100.0,
-            }
-        })
-        .collect()
+    exec.map(suite, |_, bench| {
+        let mut shares = [0.0f64; 3];
+        for l in &bench.loops {
+            let class = classify(l.ddg(), design);
+            let idx = LoopClass::ALL
+                .iter()
+                .position(|&c| c == class)
+                .expect("3 classes");
+            shares[idx] += l.weight();
+        }
+        Table2Row {
+            benchmark: bench.name.clone(),
+            resource_pct: shares[0] * 100.0,
+            borderline_pct: shares[1] * 100.0,
+            recurrence_pct: shares[2] * 100.0,
+        }
+    })
 }
 
 /// One Figure 7 bar: mean normalised ED² for a frequency-menu size.
@@ -311,7 +529,8 @@ pub fn figure7_menus() -> Vec<(String, FrequencyMenu)> {
     ]
 }
 
-/// Figure 7: sensitivity to the number of supported frequencies.
+/// Figure 7: sensitivity to the number of supported frequencies. Serial
+/// shorthand for [`figure7_with`].
 ///
 /// # Errors
 ///
@@ -320,13 +539,28 @@ pub fn figure7(
     profiled: &ProfiledSuite,
     base: &ExperimentOptions,
 ) -> Result<Vec<Figure7Row>, SchedError> {
+    figure7_with(profiled, base, &Executor::serial())
+}
+
+/// [`figure7`] with every menu variant's benchmark sweep fanned out across
+/// `exec`'s worker pool (variants run in sequence; each fans out across
+/// benchmarks and shares the suite's measurement cache).
+///
+/// # Errors
+///
+/// Propagates scheduling failures.
+pub fn figure7_with(
+    profiled: &ProfiledSuite,
+    base: &ExperimentOptions,
+    exec: &Executor,
+) -> Result<Vec<Figure7Row>, SchedError> {
     let mut rows = Vec::new();
     for (name, menu) in figure7_menus() {
         let opts = ExperimentOptions {
             menu,
             ..base.clone()
         };
-        let results = figure6(profiled, &opts)?;
+        let results = figure6_with(profiled, &opts, exec)?;
         rows.push(Figure7Row {
             menu: name,
             buses: profiled.design.buses,
@@ -361,7 +595,7 @@ pub const FIGURE8_SHARES: [(f64, f64); 5] = [
 
 /// Figure 8: sensitivity to the ICN/cache energy shares of the reference
 /// machine. A fresh optimum homogeneous baseline is computed per variant,
-/// as in the paper.
+/// as in the paper. Serial shorthand for [`figure8_with`].
 ///
 /// # Errors
 ///
@@ -370,13 +604,27 @@ pub fn figure8(
     profiled: &ProfiledSuite,
     base: &ExperimentOptions,
 ) -> Result<Vec<Figure8Row>, SchedError> {
+    figure8_with(profiled, base, &Executor::serial())
+}
+
+/// [`figure8`] with every share variant's benchmark sweep fanned out
+/// across `exec`'s worker pool.
+///
+/// # Errors
+///
+/// Propagates scheduling failures.
+pub fn figure8_with(
+    profiled: &ProfiledSuite,
+    base: &ExperimentOptions,
+    exec: &Executor,
+) -> Result<Vec<Figure8Row>, SchedError> {
     let mut rows = Vec::new();
     for (icn, cache) in FIGURE8_SHARES {
         let opts = ExperimentOptions {
             shares: EnergyShares::with_component_shares(icn, cache),
             ..base.clone()
         };
-        let results = figure6(profiled, &opts)?;
+        let results = figure6_with(profiled, &opts, exec)?;
         rows.push(Figure8Row {
             icn_share: icn,
             cache_share: cache,
@@ -411,7 +659,7 @@ pub const FIGURE9_LEAKS: [(f64, f64, f64); 4] = [
 ];
 
 /// Figure 9: sensitivity to the leakage fractions of the reference
-/// machine.
+/// machine. Serial shorthand for [`figure9_with`].
 ///
 /// # Errors
 ///
@@ -420,13 +668,27 @@ pub fn figure9(
     profiled: &ProfiledSuite,
     base: &ExperimentOptions,
 ) -> Result<Vec<Figure9Row>, SchedError> {
+    figure9_with(profiled, base, &Executor::serial())
+}
+
+/// [`figure9`] with every leakage variant's benchmark sweep fanned out
+/// across `exec`'s worker pool.
+///
+/// # Errors
+///
+/// Propagates scheduling failures.
+pub fn figure9_with(
+    profiled: &ProfiledSuite,
+    base: &ExperimentOptions,
+    exec: &Executor,
+) -> Result<Vec<Figure9Row>, SchedError> {
     let mut rows = Vec::new();
     for (lc, li, lca) in FIGURE9_LEAKS {
         let opts = ExperimentOptions {
             shares: EnergyShares::with_leakage(lc, li, lca),
             ..base.clone()
         };
-        let results = figure6(profiled, &opts)?;
+        let results = figure6_with(profiled, &opts, exec)?;
         rows.push(Figure9Row {
             leak_cluster: lc,
             leak_icn: li,
@@ -486,5 +748,63 @@ mod tests {
         let rows = table2(&suite);
         let json = serde_json::to_string(&rows).unwrap();
         assert!(json.contains("200.sixtrack"));
+    }
+
+    /// The acceptance property of the parallel engine: fanning the whole
+    /// pipeline (profiling, baseline search, selection, measurement)
+    /// across a worker pool produces **byte-identical JSON** to the serial
+    /// path.
+    #[test]
+    fn parallel_pipeline_is_byte_identical_to_serial() {
+        let suite = small_suite();
+        let opts = ExperimentOptions::default();
+
+        let serial_profiled = profile_suite(&suite, 1, &opts.sched).unwrap();
+        let serial7 = figure7(&serial_profiled, &opts).unwrap();
+        let serial6 = figure6(&serial_profiled, &opts).unwrap();
+
+        let pool = Executor::new(4);
+        let par_profiled = profile_suite_with(&suite, 1, &opts.sched, &pool).unwrap();
+        let par7 = figure7_with(&par_profiled, &opts, &pool).unwrap();
+        let par6 = figure6_with(&par_profiled, &opts, &pool).unwrap();
+
+        assert_eq!(
+            serde_json::to_string(&serial7).unwrap(),
+            serde_json::to_string(&par7).unwrap(),
+            "figure7 must not depend on the worker count"
+        );
+        assert_eq!(
+            serde_json::to_string(&serial6).unwrap(),
+            serde_json::to_string(&par6).unwrap(),
+            "figure6 must not depend on the worker count"
+        );
+    }
+
+    /// Repeating a sweep on the same profiled suite hits the measurement
+    /// cache instead of re-scheduling, without changing the rows.
+    #[test]
+    fn measurement_cache_collapses_repeated_sweeps() {
+        let suite = small_suite();
+        let opts = ExperimentOptions::default();
+        let profiled = profile_suite(&suite, 1, &opts.sched).unwrap();
+
+        let first = figure6(&profiled, &opts).unwrap();
+        let misses_after_first = profiled.cache().misses();
+        let second = figure6(&profiled, &opts).unwrap();
+
+        assert_eq!(
+            serde_json::to_string(&first).unwrap(),
+            serde_json::to_string(&second).unwrap(),
+            "cache hits must not change results"
+        );
+        assert_eq!(
+            profiled.cache().misses(),
+            misses_after_first,
+            "the second sweep must be served from the cache"
+        );
+        assert!(
+            profiled.cache().hits() > 0,
+            "repeated configurations must hit"
+        );
     }
 }

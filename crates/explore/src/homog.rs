@@ -7,6 +7,7 @@
 //! cycle count is invariant and execution time scales linearly with the
 //! cycle time, while energy follows §3.1 directly.
 
+use vliw_exec::Executor;
 use vliw_machine::{ClockedConfig, MachineDesign, Time, Voltages};
 use vliw_power::{PowerModel, UsageProfile};
 
@@ -49,47 +50,74 @@ pub fn optimum_homogeneous(
     design: MachineDesign,
     power: &PowerModel,
 ) -> HomogChoice {
+    optimum_homogeneous_with(profile, design, power, &Executor::serial())
+}
+
+/// [`optimum_homogeneous`] with the cycle-time grid fanned out across
+/// `exec`'s worker pool; the minimiser is reduced in grid order, so the
+/// result is identical for every worker count.
+///
+/// # Panics
+///
+/// Panics if no feasible homogeneous configuration exists (cannot happen
+/// for the paper's reference machine).
+#[must_use]
+pub fn optimum_homogeneous_with(
+    profile: &BenchmarkProfile,
+    design: MachineDesign,
+    power: &PowerModel,
+    exec: &Executor,
+) -> HomogChoice {
+    let candidates = exec.map(&CYCLE_FACTORS, |_, &factor| {
+        homogeneous_candidate(profile, design, power, factor)
+    });
     let mut best: Option<HomogChoice> = None;
-    for factor in CYCLE_FACTORS {
-        let cycle = Time::from_ns(ClockedConfig::REFERENCE_CYCLE.as_ns() * factor);
-        // Same schedules, scaled cycle time ⇒ exact time scaling.
-        let exec_time = Time::from_ns(profile.reference.exec_time.as_ns() * factor);
-        let usage = UsageProfile {
-            weighted_ins_per_cluster: vec![
-                profile.reference.weighted_ins
-                    / f64::from(design.num_clusters);
-                usize::from(design.num_clusters)
-            ],
-            comms: profile.reference.comms,
-            mem_accesses: profile.reference.mem_accesses,
-            exec_time,
-        };
-        let evaluate = |voltages: Voltages| -> Option<f64> {
-            if !voltages.in_range() {
-                return None;
-            }
-            let config = ClockedConfig::homogeneous(design, cycle).with_voltages(voltages);
-            power.estimate_energy(&config, &usage)
-        };
-        let Some(voltages) = optimise_voltages(design, evaluate) else {
-            continue;
-        };
-        let config = ClockedConfig::homogeneous(design, cycle).with_voltages(voltages);
-        let Some(energy) = power.estimate_energy(&config, &usage) else {
-            continue;
-        };
-        let secs = exec_time.as_secs();
-        let ed2 = energy * secs * secs;
-        if best.as_ref().is_none_or(|b| ed2 < b.ed2) {
-            best = Some(HomogChoice {
-                config,
-                exec_time,
-                energy,
-                ed2,
-            });
+    for choice in candidates.into_iter().flatten() {
+        if best.as_ref().is_none_or(|b| choice.ed2 < b.ed2) {
+            best = Some(choice);
         }
     }
     best.expect("the reference operating point is always feasible")
+}
+
+/// Evaluates one homogeneous cycle factor: voltage descent + exact pricing.
+fn homogeneous_candidate(
+    profile: &BenchmarkProfile,
+    design: MachineDesign,
+    power: &PowerModel,
+    factor: f64,
+) -> Option<HomogChoice> {
+    let cycle = Time::from_ns(ClockedConfig::REFERENCE_CYCLE.as_ns() * factor);
+    // Same schedules, scaled cycle time ⇒ exact time scaling.
+    let exec_time = Time::from_ns(profile.reference.exec_time.as_ns() * factor);
+    let usage = UsageProfile {
+        weighted_ins_per_cluster: vec![
+            profile.reference.weighted_ins
+                / f64::from(design.num_clusters);
+            usize::from(design.num_clusters)
+        ],
+        comms: profile.reference.comms,
+        mem_accesses: profile.reference.mem_accesses,
+        exec_time,
+    };
+    let evaluate = |voltages: Voltages| -> Option<f64> {
+        if !voltages.in_range() {
+            return None;
+        }
+        let config = ClockedConfig::homogeneous(design, cycle).with_voltages(voltages);
+        power.estimate_energy(&config, &usage)
+    };
+    let voltages = optimise_voltages(design, evaluate)?;
+    let config = ClockedConfig::homogeneous(design, cycle).with_voltages(voltages);
+    let energy = power.estimate_energy(&config, &usage)?;
+    let secs = exec_time.as_secs();
+    let ed2 = energy * secs * secs;
+    Some(HomogChoice {
+        config,
+        exec_time,
+        energy,
+        ed2,
+    })
 }
 
 /// A suite-wide homogeneous baseline: one configuration for the whole
@@ -120,59 +148,80 @@ pub fn optimum_homogeneous_suite(
     design: MachineDesign,
     power: &PowerModel,
 ) -> SuiteBaseline {
+    optimum_homogeneous_suite_with(profiles, design, power, &Executor::serial())
+}
+
+/// [`optimum_homogeneous_suite`] with the cycle-time grid fanned out
+/// across `exec`'s worker pool; the minimiser is reduced in grid order, so
+/// the result is identical for every worker count.
+///
+/// # Panics
+///
+/// Panics if `profiles` is empty or no configuration is feasible.
+#[must_use]
+pub fn optimum_homogeneous_suite_with(
+    profiles: &[BenchmarkProfile],
+    design: MachineDesign,
+    power: &PowerModel,
+    exec: &Executor,
+) -> SuiteBaseline {
     assert!(!profiles.is_empty(), "empty suite");
+    let candidates = exec.map(&CYCLE_FACTORS, |_, &factor| {
+        suite_candidate(profiles, design, power, factor)
+    });
     let mut best: Option<SuiteBaseline> = None;
-    for factor in CYCLE_FACTORS {
-        let cycle = Time::from_ns(ClockedConfig::REFERENCE_CYCLE.as_ns() * factor);
-        let usages: Vec<_> = profiles
-            .iter()
-            .map(|p| crate::profile::reference_usage_scaled(p, design.num_clusters, factor))
-            .collect();
-        let evaluate = |voltages: Voltages| -> Option<f64> {
-            if !voltages.in_range() {
-                return None;
-            }
-            let config = ClockedConfig::homogeneous(design, cycle).with_voltages(voltages);
-            let mut total = 0.0;
-            for usage in &usages {
-                total += power.estimate_energy(&config, usage)?;
-            }
-            Some(total)
-        };
-        let Some(voltages) = optimise_voltages(design, evaluate) else {
-            continue;
-        };
-        let config = ClockedConfig::homogeneous(design, cycle).with_voltages(voltages);
-        let mut per_benchmark = Vec::with_capacity(profiles.len());
-        let mut suite_ed2 = 0.0;
-        let mut feasible = true;
-        for usage in &usages {
-            let Some(energy) = power.estimate_energy(&config, usage) else {
-                feasible = false;
-                break;
-            };
-            let secs = usage.exec_time.as_secs();
-            let ed2 = energy * secs * secs;
-            suite_ed2 += ed2;
-            per_benchmark.push(HomogChoice {
-                config: config.clone(),
-                exec_time: usage.exec_time,
-                energy,
-                ed2,
-            });
-        }
-        if !feasible {
-            continue;
-        }
-        if best.as_ref().is_none_or(|b| suite_ed2 < b.suite_ed2) {
-            best = Some(SuiteBaseline {
-                config,
-                per_benchmark,
-                suite_ed2,
-            });
+    for choice in candidates.into_iter().flatten() {
+        if best.as_ref().is_none_or(|b| choice.suite_ed2 < b.suite_ed2) {
+            best = Some(choice);
         }
     }
     best.expect("the reference operating point is always feasible")
+}
+
+/// Evaluates one suite-wide homogeneous cycle factor.
+fn suite_candidate(
+    profiles: &[BenchmarkProfile],
+    design: MachineDesign,
+    power: &PowerModel,
+    factor: f64,
+) -> Option<SuiteBaseline> {
+    let cycle = Time::from_ns(ClockedConfig::REFERENCE_CYCLE.as_ns() * factor);
+    let usages: Vec<_> = profiles
+        .iter()
+        .map(|p| crate::profile::reference_usage_scaled(p, design.num_clusters, factor))
+        .collect();
+    let evaluate = |voltages: Voltages| -> Option<f64> {
+        if !voltages.in_range() {
+            return None;
+        }
+        let config = ClockedConfig::homogeneous(design, cycle).with_voltages(voltages);
+        let mut total = 0.0;
+        for usage in &usages {
+            total += power.estimate_energy(&config, usage)?;
+        }
+        Some(total)
+    };
+    let voltages = optimise_voltages(design, evaluate)?;
+    let config = ClockedConfig::homogeneous(design, cycle).with_voltages(voltages);
+    let mut per_benchmark = Vec::with_capacity(profiles.len());
+    let mut suite_ed2 = 0.0;
+    for usage in &usages {
+        let energy = power.estimate_energy(&config, usage)?;
+        let secs = usage.exec_time.as_secs();
+        let ed2 = energy * secs * secs;
+        suite_ed2 += ed2;
+        per_benchmark.push(HomogChoice {
+            config: config.clone(),
+            exec_time: usage.exec_time,
+            energy,
+            ed2,
+        });
+    }
+    Some(SuiteBaseline {
+        config,
+        per_benchmark,
+        suite_ed2,
+    })
 }
 
 /// Coordinate-descent voltage optimisation for a *homogeneous* machine:

@@ -30,10 +30,27 @@ mod homog;
 mod profile;
 mod select;
 
-pub use estimate::{estimate_loop_it, estimate_program, HetEstimate};
-pub use homog::{optimum_homogeneous, optimum_homogeneous_suite, HomogChoice, SuiteBaseline};
+pub use estimate::{estimate_loop_it, estimate_program, estimate_usage, price_usage, HetEstimate};
+pub use homog::{
+    optimum_homogeneous, optimum_homogeneous_suite, optimum_homogeneous_suite_with,
+    optimum_homogeneous_with, HomogChoice, SuiteBaseline,
+};
 pub use profile::{
     profile_benchmark, reference_usage_scaled, suite_reference, BenchmarkProfile, LoopProfile,
     T_TOTAL,
 };
-pub use select::{select_heterogeneous, HeteroChoice};
+pub use select::{candidate_grid, select_heterogeneous, select_heterogeneous_with, HeteroChoice};
+
+// Everything the parallel experiment runners share across worker threads.
+const fn _assert_send_sync<T: Send + Sync>() {}
+const _: () = {
+    _assert_send_sync::<BenchmarkProfile>();
+    _assert_send_sync::<LoopProfile>();
+    _assert_send_sync::<HeteroChoice>();
+    _assert_send_sync::<HomogChoice>();
+    _assert_send_sync::<SuiteBaseline>();
+    _assert_send_sync::<HetEstimate>();
+    _assert_send_sync::<experiments::ProfiledSuite>();
+    _assert_send_sync::<experiments::ExperimentOptions>();
+    _assert_send_sync::<experiments::MeasureCache>();
+};

@@ -6,10 +6,11 @@
 //! voltages, estimating every candidate's ED² with the §3 models and
 //! returning the minimiser.
 
+use vliw_exec::Executor;
 use vliw_machine::{ClockedConfig, FrequencyMenu, MachineDesign, Time};
-use vliw_power::PowerModel;
+use vliw_power::{PowerModel, UsageProfile};
 
-use crate::estimate::{estimate_program, HetEstimate};
+use crate::estimate::{estimate_usage, price_usage, HetEstimate};
 use crate::homog::optimise_voltages_grouped;
 use crate::profile::BenchmarkProfile;
 
@@ -31,8 +32,22 @@ pub struct HeteroChoice {
     pub estimate: HetEstimate,
 }
 
+/// The `(fast cycle factor, slow/fast ratio)` grid of §5, in the
+/// deterministic order every caller (serial or parallel) evaluates it.
+#[must_use]
+pub fn candidate_grid() -> Vec<(f64, f64)> {
+    let mut grid = Vec::with_capacity(FAST_FACTORS.len() * SLOW_RATIOS.len());
+    for fast_factor in FAST_FACTORS {
+        for slow_ratio in SLOW_RATIOS {
+            grid.push((fast_factor, slow_ratio));
+        }
+    }
+    grid
+}
+
 /// Selects frequencies and voltages for the heterogeneous machine: the
-/// candidate minimising *estimated* ED².
+/// candidate minimising *estimated* ED². Serial shorthand for
+/// [`select_heterogeneous_with`].
 ///
 /// Returns `None` only if no candidate is feasible (cannot happen for the
 /// paper's ranges, where the all-reference candidate always qualifies).
@@ -43,63 +58,84 @@ pub fn select_heterogeneous(
     power: &PowerModel,
     menu: &FrequencyMenu,
 ) -> Option<HeteroChoice> {
+    select_heterogeneous_with(profile, design, power, menu, &Executor::serial())
+}
+
+/// [`select_heterogeneous`] with the candidate grid fanned out across
+/// `exec`'s worker pool.
+///
+/// Each of the 20 `(fast factor, slow ratio)` candidates is evaluated
+/// independently — usage estimation once, then voltage coordinate descent
+/// on energy alone — and the minimiser is reduced in grid order, so the
+/// result is identical for every worker count.
+#[must_use]
+pub fn select_heterogeneous_with(
+    profile: &BenchmarkProfile,
+    design: MachineDesign,
+    power: &PowerModel,
+    menu: &FrequencyMenu,
+    exec: &Executor,
+) -> Option<HeteroChoice> {
+    let grid = candidate_grid();
+    let evaluated = exec.map(&grid, |_, &(fast_factor, slow_ratio)| {
+        evaluate_candidate(profile, design, power, menu, fast_factor, slow_ratio)
+    });
+    // Reduce in input order with a strict `<`: the first minimum wins,
+    // exactly as the original nested loops behaved.
     let mut best: Option<HeteroChoice> = None;
-    for fast_factor in FAST_FACTORS {
-        for slow_ratio in SLOW_RATIOS {
-            let fast = Time::from_ns(ClockedConfig::REFERENCE_CYCLE.as_ns() * fast_factor);
-            let slow = Time::from_ns(fast.as_ns() * slow_ratio);
-            let base = ClockedConfig::heterogeneous(design, fast, 1, slow);
-            // Voltages do not change the time estimate, only energy — so
-            // optimise them by coordinate descent on estimated energy,
-            // with independent supplies for the fast and slow groups.
-            let groups: Vec<Vec<usize>> = if slow_ratio > 1.0 {
-                vec![vec![0], (1..usize::from(design.num_clusters)).collect()]
-            } else {
-                vec![(0..usize::from(design.num_clusters)).collect()]
-            };
-            // Homogeneous candidates are evaluated with the *exact* model
-            // (§5.1: the schedule is the reference schedule, so counts are
-            // known); heterogeneous ones use the §3.2 estimators.
-            let exact_uniform = slow_ratio == 1.0;
-            let evaluate_config = |candidate: &ClockedConfig| -> Option<HetEstimate> {
-                if exact_uniform {
-                    let factor = fast.as_ns() / ClockedConfig::REFERENCE_CYCLE.as_ns();
-                    let usage = crate::profile::reference_usage_scaled(
-                        profile,
-                        design.num_clusters,
-                        factor,
-                    );
-                    let energy = power.estimate_energy(candidate, &usage)?;
-                    let secs = usage.exec_time.as_secs();
-                    Some(HetEstimate {
-                        exec_time: usage.exec_time,
-                        energy,
-                        ed2: energy * secs * secs,
-                    })
-                } else {
-                    estimate_program(profile, candidate, menu, power)
-                }
-            };
-            let evaluate = |voltages: vliw_machine::Voltages| {
-                if !voltages.in_range() {
-                    return None;
-                }
-                let candidate = base.clone().with_voltages(voltages);
-                evaluate_config(&candidate).map(|e| e.energy)
-            };
-            let Some(voltages) = optimise_voltages_grouped(design, &groups, evaluate) else {
-                continue;
-            };
-            let config = base.with_voltages(voltages);
-            let Some(estimate) = evaluate_config(&config) else {
-                continue;
-            };
-            if best.as_ref().is_none_or(|b| estimate.ed2 < b.estimate.ed2) {
-                best = Some(HeteroChoice { config, estimate });
-            }
+    for choice in evaluated.into_iter().flatten() {
+        if best
+            .as_ref()
+            .is_none_or(|b| choice.estimate.ed2 < b.estimate.ed2)
+        {
+            best = Some(choice);
         }
     }
     best
+}
+
+/// Evaluates one `(fast factor, slow ratio)` candidate: usage estimate,
+/// voltage coordinate descent, final pricing.
+fn evaluate_candidate(
+    profile: &BenchmarkProfile,
+    design: MachineDesign,
+    power: &PowerModel,
+    menu: &FrequencyMenu,
+    fast_factor: f64,
+    slow_ratio: f64,
+) -> Option<HeteroChoice> {
+    let fast = Time::from_ns(ClockedConfig::REFERENCE_CYCLE.as_ns() * fast_factor);
+    let slow = Time::from_ns(fast.as_ns() * slow_ratio);
+    let base = ClockedConfig::heterogeneous(design, fast, 1, slow);
+    // Voltages do not change the time estimate, only energy — so the usage
+    // profile is computed once per candidate and the coordinate descent
+    // below prices voltages against it, with independent supplies for the
+    // fast and slow groups.
+    let groups: Vec<Vec<usize>> = if slow_ratio > 1.0 {
+        vec![vec![0], (1..usize::from(design.num_clusters)).collect()]
+    } else {
+        vec![(0..usize::from(design.num_clusters)).collect()]
+    };
+    // Homogeneous candidates are evaluated with the *exact* model (§5.1:
+    // the schedule is the reference schedule, so counts are known);
+    // heterogeneous ones use the §3.2 estimators.
+    let usage: UsageProfile = if slow_ratio == 1.0 {
+        let factor = fast.as_ns() / ClockedConfig::REFERENCE_CYCLE.as_ns();
+        crate::profile::reference_usage_scaled(profile, design.num_clusters, factor)
+    } else {
+        estimate_usage(profile, &base, menu)?
+    };
+    let evaluate = |voltages: vliw_machine::Voltages| {
+        if !voltages.in_range() {
+            return None;
+        }
+        let candidate = base.clone().with_voltages(voltages);
+        power.estimate_energy(&candidate, &usage)
+    };
+    let voltages = optimise_voltages_grouped(design, &groups, evaluate)?;
+    let config = base.with_voltages(voltages);
+    let estimate = price_usage(&usage, &config, power)?;
+    Some(HeteroChoice { config, estimate })
 }
 
 #[cfg(test)]

@@ -64,3 +64,19 @@ pub use time::Time;
 pub mod isa {
     pub use vliw_ir::{FuKind, OpClass};
 }
+
+// The exploration layer fans candidate evaluations out across a thread
+// pool; everything it carries across threads must be `Send + Sync`. These
+// compile-time assertions keep that audit from regressing silently.
+const fn _assert_send_sync<T: Send + Sync>() {}
+const _: () = {
+    _assert_send_sync::<MachineDesign>();
+    _assert_send_sync::<ClusterDesign>();
+    _assert_send_sync::<ClusterId>();
+    _assert_send_sync::<ClockedConfig>();
+    _assert_send_sync::<Voltages>();
+    _assert_send_sync::<DomainId>();
+    _assert_send_sync::<FrequencyMenu>();
+    _assert_send_sync::<MenuKind>();
+    _assert_send_sync::<Time>();
+};

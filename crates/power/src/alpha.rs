@@ -106,6 +106,19 @@ impl AlphaPowerModel {
         self.swing
     }
 
+    /// The delay exponent α.
+    #[must_use]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The reference frequency (GHz) reached at the reference operating
+    /// point.
+    #[must_use]
+    pub fn freq_ref_ghz(&self) -> f64 {
+        self.freq_ref_ghz
+    }
+
     /// The reference threshold voltage (0.25 V for the paper's model).
     #[must_use]
     pub fn vth_ref(&self) -> f64 {

@@ -187,6 +187,48 @@ impl PowerModel {
         static_per_s += self.units.e_static_cache_per_s * cache.sigma;
         Some(dynamic + static_per_s * secs)
     }
+
+    /// A stable 64-bit fingerprint of every quantity that influences this
+    /// model's estimates: the machine design, the calibration shares, the
+    /// calibrated unit energies and the α-power parameters.
+    ///
+    /// Two models with equal fingerprints produce identical estimates for
+    /// every `(config, usage)` pair, which makes the fingerprint a sound
+    /// memoisation-key component for caches layered over the exploration
+    /// pipeline. Floats are hashed by bit pattern, so the fingerprint is
+    /// exact (no epsilon classes) and deterministic across runs.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.design.num_clusters.hash(&mut h);
+        self.design.buses.hash(&mut h);
+        self.design.cluster.int_fus.hash(&mut h);
+        self.design.cluster.fp_fus.hash(&mut h);
+        self.design.cluster.mem_ports.hash(&mut h);
+        self.design.cluster.registers.hash(&mut h);
+        for v in [
+            self.shares.icn,
+            self.shares.cache,
+            self.shares.leak_cluster,
+            self.shares.leak_icn,
+            self.shares.leak_cache,
+            self.units.e_ins,
+            self.units.e_comm,
+            self.units.e_access,
+            self.units.e_static_cluster_per_s,
+            self.units.e_static_icn_per_s,
+            self.units.e_static_cache_per_s,
+            self.alpha.alpha(),
+            self.alpha.vdd_ref(),
+            self.alpha.vth_ref(),
+            self.alpha.freq_ref_ghz(),
+            self.alpha.swing(),
+        ] {
+            v.to_bits().hash(&mut h);
+        }
+        h.finish()
+    }
 }
 
 #[cfg(test)]

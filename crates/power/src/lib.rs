@@ -71,3 +71,14 @@ pub use scaling::{dynamic_scale, static_scale, SUBTHRESHOLD_SWING_V};
 pub fn ed2(energy: f64, delay_s: f64) -> f64 {
     energy * delay_s * delay_s
 }
+
+// Power models are shared by reference with the exploration worker pool.
+const fn _assert_send_sync<T: Send + Sync>() {}
+const _: () = {
+    _assert_send_sync::<PowerModel>();
+    _assert_send_sync::<EnergyShares>();
+    _assert_send_sync::<EnergyUnits>();
+    _assert_send_sync::<ReferenceProfile>();
+    _assert_send_sync::<UsageProfile>();
+    _assert_send_sync::<AlphaPowerModel>();
+};

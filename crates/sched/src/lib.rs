@@ -76,3 +76,13 @@ pub use partition::{
 pub use regs::{lifetime_sum_ticks, max_lives};
 pub use schedule::{ScheduledCopy, ScheduledLoop};
 pub use timing::LoopClocks;
+
+// Scheduling inputs/outputs cross the exploration worker pool.
+const fn _assert_send_sync<T: Send + Sync>() {}
+const _: () = {
+    _assert_send_sync::<ScheduleOptions>();
+    _assert_send_sync::<ScheduledLoop>();
+    _assert_send_sync::<SchedError>();
+    _assert_send_sync::<LoopClocks>();
+    _assert_send_sync::<Partition>();
+};

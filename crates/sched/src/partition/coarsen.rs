@@ -356,6 +356,86 @@ mod tests {
         assert_eq!(per_cluster, [2, 2, 2, 2]);
     }
 
+    /// Coarsening only *groups* operations — at every level of the
+    /// hierarchy the macronodes cover each base group exactly once, so the
+    /// per-FU-kind op counts (the node weights the seed balancer uses) and
+    /// the total iteration energy are preserved verbatim.
+    #[test]
+    fn coarsening_preserves_node_weights() {
+        let mut b = DdgBuilder::new("weights");
+        let classes = [
+            OpClass::IntArith,
+            OpClass::FpArith,
+            OpClass::FpMemory,
+            OpClass::FpMul,
+            OpClass::FpDiv,
+            OpClass::IntArith,
+            OpClass::FpMemory,
+            OpClass::FpArith,
+            OpClass::IntArith,
+            OpClass::FpArith,
+        ];
+        let ids: Vec<_> = classes
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| b.op(format!("w{i}"), c))
+            .collect();
+        // A couple of flow edges so matching has something to chew on,
+        // plus one pinned recurrence.
+        b.flow(ids[0], ids[1]);
+        b.flow(ids[1], ids[2]);
+        b.flow(ids[3], ids[4]);
+        b.flow_carried(ids[4], ids[3], 1);
+        let ddg = b.build().unwrap();
+        let (config, clocks) = setup(8.0);
+        let mut pinned = vec![None; ddg.num_ops()];
+        pinned[3] = Some(ClusterId(1));
+        pinned[4] = Some(ClusterId(1));
+        let h = coarsen(&ddg, &pinned, &config, &clocks);
+        assert!(h.num_levels() > 1, "10 ops must coarsen at least once");
+
+        let kind_index = |k: FuKind| match k {
+            FuKind::Int => 0usize,
+            FuKind::Fp => 1,
+            FuKind::Mem => 2,
+            FuKind::Bus => unreachable!("ops never occupy the bus"),
+        };
+        let mut base_counts = [0u64; 3];
+        let mut base_energy = 0.0f64;
+        for op in ddg.op_ids() {
+            base_counts[kind_index(ddg.op(op).fu_kind())] += 1;
+            base_energy += ddg.op(op).class().relative_energy();
+        }
+
+        for level in 0..h.num_levels() {
+            let groups = h.base_groups_at(level);
+            let mut counts = [0u64; 3];
+            let mut energy = 0.0f64;
+            let mut covered = vec![0u32; h.base_groups.len()];
+            for bgs in &groups {
+                for &bg in bgs {
+                    covered[bg] += 1;
+                    for &op in &h.base_groups[bg] {
+                        counts[kind_index(ddg.op(op).fu_kind())] += 1;
+                        energy += ddg.op(op).class().relative_energy();
+                    }
+                }
+            }
+            assert!(
+                covered.iter().all(|&c| c == 1),
+                "level {level}: every base group appears exactly once"
+            );
+            assert_eq!(
+                counts, base_counts,
+                "level {level}: per-kind op counts preserved"
+            );
+            assert!(
+                (energy - base_energy).abs() < 1e-9,
+                "level {level}: iteration energy preserved ({energy} vs {base_energy})"
+            );
+        }
+    }
+
     #[test]
     fn heavy_edges_merge_first() {
         // Two 2-op blobs connected internally by 3 edges, to each other by 1.

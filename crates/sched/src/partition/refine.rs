@@ -205,4 +205,104 @@ mod tests {
         let p = compute_partition(&ddg, &config, &clocks, &PartitionObjective::default()).unwrap();
         assert!(p.is_empty());
     }
+
+    /// A family of DDG shapes exercising chains, fans, recurrences and
+    /// mixed FU kinds.
+    fn shape_zoo() -> Vec<Ddg> {
+        let mut zoo = Vec::new();
+
+        // Chain of mixed op kinds.
+        let mut b = DdgBuilder::new("chain-mixed");
+        let classes = [
+            OpClass::IntArith,
+            OpClass::FpArith,
+            OpClass::FpMemory,
+            OpClass::FpMul,
+            OpClass::IntArith,
+            OpClass::FpArith,
+            OpClass::FpMemory,
+            OpClass::IntArith,
+        ];
+        let ids: Vec<_> = classes
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| b.op(format!("c{i}"), c))
+            .collect();
+        for w in ids.windows(2) {
+            b.flow(w[0], w[1]);
+        }
+        zoo.push(b.build().unwrap());
+
+        // Fan: one producer feeding many consumers.
+        let mut b = DdgBuilder::new("fan");
+        let src = b.op("src", OpClass::FpMemory);
+        for i in 0..9 {
+            let dst = b.op(format!("f{i}"), OpClass::FpArith);
+            b.flow(src, dst);
+        }
+        zoo.push(b.build().unwrap());
+
+        // Two recurrences plus free parallel work.
+        let mut b = DdgBuilder::new("recs");
+        let x = b.op("x", OpClass::FpArith);
+        b.flow_carried(x, x, 1);
+        let y0 = b.op("y0", OpClass::IntArith);
+        let y1 = b.op("y1", OpClass::IntArith);
+        b.flow(y0, y1);
+        b.flow_carried(y1, y0, 1);
+        for i in 0..7 {
+            b.op(format!("free{i}"), OpClass::IntArith);
+        }
+        zoo.push(b.build().unwrap());
+
+        zoo
+    }
+
+    /// Refinement starts from the coarsening seed and only accepts moves
+    /// that strictly lower the pseudo-schedule ED², so the refined
+    /// partition's estimated cost can never exceed the unrefined seed's.
+    #[test]
+    fn refinement_never_increases_estimated_cost() {
+        use crate::partition::{compute_partition_unrefined, evaluate_partition};
+
+        let design = MachineDesign::paper_machine(1);
+        let configs = [
+            ClockedConfig::reference(design),
+            ClockedConfig::heterogeneous(design, Time::from_ns(1.0), 1, Time::from_ns(1.5)),
+        ];
+        let objective = PartitionObjective::default();
+        for ddg in shape_zoo() {
+            let recurrences = vliw_ir::condensation(&ddg).recurrences(&ddg);
+            for config in &configs {
+                let clocks =
+                    LoopClocks::select(config, &FrequencyMenu::unrestricted(), Time::from_ns(9.0))
+                        .unwrap();
+                let seed = compute_partition_unrefined(&ddg, config, &clocks).unwrap();
+                let refined = compute_partition(&ddg, config, &clocks, &objective).unwrap();
+                let seed_eval = evaluate_partition(
+                    &ddg,
+                    &seed.assignment,
+                    &recurrences,
+                    config,
+                    &clocks,
+                    &objective,
+                );
+                let refined_eval = evaluate_partition(
+                    &ddg,
+                    &refined.assignment,
+                    &recurrences,
+                    config,
+                    &clocks,
+                    &objective,
+                );
+                assert!(
+                    refined_eval.ed2 <= seed_eval.ed2 * (1.0 + 1e-12),
+                    "{}: refinement worsened cost ({} -> {})",
+                    ddg.name(),
+                    seed_eval.ed2,
+                    refined_eval.ed2
+                );
+            }
+        }
+    }
 }

@@ -53,3 +53,11 @@ pub use classify::{classify, res_mii_machine, LoopClass};
 pub use genloop::{generate_loop, LoopParams, RecurrenceSize};
 pub use spec::{spec_fp2000, BenchmarkSpec};
 pub use suite::{generate, suite, Benchmark, DEFAULT_LOOPS_PER_BENCHMARK};
+
+// Benchmarks are shared by reference with the exploration worker pool.
+const fn _assert_send_sync<T: Send + Sync>() {}
+const _: () = {
+    _assert_send_sync::<Benchmark>();
+    _assert_send_sync::<BenchmarkSpec>();
+    _assert_send_sync::<LoopClass>();
+};

@@ -1,0 +1,123 @@
+#!/usr/bin/env bash
+# Benchmark-regression gate for the exploration pipeline.
+#
+# Runs a representative experiment (`paper --experiment figure6` on a
+# reduced suite) under /usr/bin/time, records wall-time plus the mean
+# normalised ED² metrics into BENCH_pr.json, and fails when either drifts
+# from the committed BENCH_baseline.json beyond tolerance:
+#
+#   * metrics: relative drift > BENCH_METRIC_TOL   (default 1 %)
+#     — the pipeline is deterministic, so any metric drift means the
+#       *results* changed, not just the speed;
+#   * wall-time: > BENCH_TIME_RATIO × baseline      (default 3×)
+#     — generous because CI runners vary, but a pipeline that suddenly
+#       takes 3× longer is a real regression.
+#
+# Usage:
+#   scripts/perf_gate.sh                  # measure + compare
+#   scripts/perf_gate.sh --write-baseline # measure + (re)write the baseline
+#
+# Environment:
+#   PAPER_BIN         paper binary (default target/release/paper)
+#   BENCH_LOOPS       loops per benchmark (default 16)
+#   BENCH_OUT         output json (default BENCH_pr.json)
+#   BENCH_BASELINE    baseline json (default BENCH_baseline.json)
+#   BENCH_METRIC_TOL  relative metric tolerance (default 0.01)
+#   BENCH_TIME_RATIO  wall-time regression multiplier (default 3.0)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BIN="${PAPER_BIN:-$ROOT/target/release/paper}"
+OUT="${BENCH_OUT:-$ROOT/BENCH_pr.json}"
+BASELINE="${BENCH_BASELINE:-$ROOT/BENCH_baseline.json}"
+LOOPS="${BENCH_LOOPS:-16}"
+METRIC_TOL="${BENCH_METRIC_TOL:-0.01}"
+TIME_RATIO="${BENCH_TIME_RATIO:-3.0}"
+
+if [[ ! -x "$BIN" ]]; then
+    echo "error: $BIN not found — build it with: cargo build --release" >&2
+    exit 1
+fi
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+echo "== perf gate: figure6 --loops $LOOPS --buses 1 =="
+if [[ -x /usr/bin/time ]]; then
+    /usr/bin/time -p "$BIN" --experiment figure6 --loops "$LOOPS" --buses 1 --jobs 0 \
+        >"$tmp/stdout" 2>"$tmp/stderr"
+    wall="$(awk '/^real/ {print $2}' "$tmp/stderr")"
+else
+    # Portable fallback for environments without GNU time; the binary's own
+    # stderr [time] line still gives per-experiment wall-time.
+    start_ns="$(date +%s%N)"
+    "$BIN" --experiment figure6 --loops "$LOOPS" --buses 1 --jobs 0 \
+        >"$tmp/stdout" 2>"$tmp/stderr"
+    end_ns="$(date +%s%N)"
+    wall="$(awk -v a="$start_ns" -v b="$end_ns" 'BEGIN {printf "%.2f", (b - a) / 1e9}')"
+fi
+grep -E '^\[time\]|^real' "$tmp/stderr" || true
+
+python3 - "$ROOT/target/paper-results/figure6.json" "$OUT" "$LOOPS" "$wall" <<'EOF'
+import json, statistics, sys
+rows = json.load(open(sys.argv[1]))
+mean = statistics.fmean(r["ed2_normalized"] for r in rows)
+mean_time = statistics.fmean(r["exec_time_het_ns"] for r in rows)
+record = {
+    "experiment": "figure6",
+    "loops": int(sys.argv[3]),
+    "buses": 1,
+    "mean_ed2_normalized": mean,
+    "mean_exec_time_het_ns": mean_time,
+    "wall_time_s": float(sys.argv[4]),
+}
+json.dump(record, open(sys.argv[2], "w"), indent=2)
+print(f"measured: mean ED2 {mean:.6f}, wall {record['wall_time_s']:.2f} s")
+EOF
+
+if [[ "${1:-}" == "--write-baseline" ]]; then
+    cp "$OUT" "$BASELINE"
+    echo "baseline written to $BASELINE"
+    exit 0
+fi
+
+if [[ ! -f "$BASELINE" ]]; then
+    echo "error: no baseline at $BASELINE — commit one via: scripts/perf_gate.sh --write-baseline" >&2
+    exit 1
+fi
+
+python3 - "$BASELINE" "$OUT" "$METRIC_TOL" "$TIME_RATIO" <<'EOF'
+import json, sys
+base = json.load(open(sys.argv[1]))
+pr = json.load(open(sys.argv[2]))
+tol, ratio = float(sys.argv[3]), float(sys.argv[4])
+for key in ("experiment", "loops", "buses"):
+    if base.get(key) != pr.get(key):
+        print(f"perf gate FAILED: workload mismatch on {key!r}: "
+              f"baseline {base.get(key)!r} vs pr {pr.get(key)!r} — "
+              "metrics are not comparable (regenerate the baseline with "
+              "scripts/perf_gate.sh --write-baseline)")
+        sys.exit(1)
+failures = []
+for key in ("mean_ed2_normalized", "mean_exec_time_het_ns"):
+    b, p = base[key], pr[key]
+    drift = abs(p - b) / abs(b) if b else abs(p)
+    status = "FAIL" if drift > tol else "ok"
+    print(f"  {key}: baseline {b:.6g}, pr {p:.6g}, drift {drift:.2%} ({status})")
+    if drift > tol:
+        failures.append(f"{key} drifted {drift:.2%} > {tol:.2%}")
+b, p = base["wall_time_s"], pr["wall_time_s"]
+# Floor the baseline at 2 s so sub-second workloads are not gated on
+# runner startup noise.
+limit = max(b, 2.0) * ratio
+status = "FAIL" if p > limit else "ok"
+print(f"  wall_time_s: baseline {b:.2f}, pr {p:.2f}, limit {limit:.2f} ({status})")
+if p > limit:
+    failures.append(f"wall time {p:.2f} s exceeds limit {limit:.2f} s ({ratio}x max(baseline, 2 s))")
+if failures:
+    print("perf gate FAILED:")
+    for f in failures:
+        print(f"  - {f}")
+    sys.exit(1)
+print("perf gate passed")
+EOF
