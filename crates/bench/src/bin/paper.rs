@@ -1,21 +1,32 @@
 //! `paper` — regenerate the tables and figures of the CGO 2007 paper.
 //!
 //! ```text
-//! Usage: paper [EXPERIMENT] [--experiment NAME] [--loops N]
+//! Usage: paper [EXPERIMENT] [--experiment NAME] [--loops-per-benchmark N]
 //!              [--buses 1|2|both] [--jobs N]
 //!
-//! EXPERIMENT: table1 | table2 | figure6 | figure7 | figure8 | figure9 | all
+//! EXPERIMENT: table1 | table2 | figure6 | figure7 | figure8 | figure9 |
+//!             schedbench | all
 //!             (default: all; positional and --experiment are equivalent)
-//! --loops N   loops generated per benchmark (default 40)
+//! --loops-per-benchmark N
+//!             loops generated per benchmark (default 40 — the interactive
+//!             10x scale-down; ~400 reproduces the paper's suite size).
+//!             `--loops N` is an accepted shorthand.
 //! --buses B   bus configurations to run (default both)
 //! --jobs N    worker threads for the exploration pipeline
-//!             (default 0 = available parallelism; output is identical
-//!             for every N)
+//!             (default 0 = available parallelism; absurd values are
+//!             clamped with a warning; output is identical for every N)
 //! ```
 //!
 //! Each experiment's elapsed wall-time is reported on stderr as
 //! `[time] <experiment>: <seconds> s`, so CI perf gates and humans get
 //! timing without external tooling.
+//!
+//! Every suite-scale row dump (`table2`, `figure6`–`figure9`) is
+//! accompanied by a `<name>.meta.json` sidecar recording which suite
+//! scale (loops per benchmark) and bus selection produced it, so a saved
+//! artefact is self-describing without perturbing the byte-stable row
+//! files themselves. `table1` is scale-independent and `schedbench`
+//! embeds its scale in the record, so neither writes a sidecar.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -61,9 +72,9 @@ fn main() -> ExitCode {
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--loops" => match it.next().and_then(|v| v.parse().ok()) {
+            "--loops" | "--loops-per-benchmark" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(n) if n > 0 => args.loops = n,
-                _ => return usage("--loops needs a positive integer"),
+                _ => return usage("--loops-per-benchmark needs a positive integer"),
             },
             "--buses" => match it.next().as_deref() {
                 Some("1") => args.buses = BusSel::One,
@@ -96,6 +107,7 @@ fn main() -> ExitCode {
         "figure7" => timed("figure7", || figure7(args, &mut store)),
         "figure8" => timed("figure8", || figure8(args, &mut store)),
         "figure9" => timed("figure9", || figure9(args, &mut store)),
+        "schedbench" => timed("schedbench", || schedbench(args)),
         "all" => timed("table1", table1)
             .and_then(|()| timed("table2", || table2(args)))
             .and_then(|()| timed("figure6", || figure6(args, &mut store)))
@@ -127,8 +139,8 @@ fn usage(msg: &str) -> ExitCode {
         eprintln!("error: {msg}");
     }
     eprintln!(
-        "usage: paper [table1|table2|figure6|figure7|figure8|figure9|all] \
-         [--experiment NAME] [--loops N] [--buses 1|2|both] [--jobs N]"
+        "usage: paper [table1|table2|figure6|figure7|figure8|figure9|schedbench|all] \
+         [--experiment NAME] [--loops-per-benchmark N] [--buses 1|2|both] [--jobs N]"
     );
     if msg.is_empty() {
         ExitCode::SUCCESS
@@ -138,6 +150,30 @@ fn usage(msg: &str) -> ExitCode {
 }
 
 type AnyError = Box<dyn std::error::Error>;
+
+/// Sidecar metadata describing which suite scale a row dump came from.
+///
+/// Written as `<name>.meta.json` next to `<name>.json` so saved artefacts
+/// are self-describing (a 40-loop interactive dump and a ~400-loop
+/// paper-scale dump are distinguishable after the fact) without changing a
+/// single byte of the row files the determinism and perf gates compare.
+#[derive(serde::Serialize)]
+struct DumpMeta {
+    experiment: String,
+    loops_per_benchmark: usize,
+    buses: Vec<u32>,
+}
+
+fn dump_meta(name: &str, args: Args) {
+    dump_json(
+        &format!("{name}.meta"),
+        &DumpMeta {
+            experiment: name.to_owned(),
+            loops_per_benchmark: args.loops,
+            buses: args.buses.list().to_vec(),
+        },
+    );
+}
 
 fn study(args: Args, buses: u32) -> Study {
     Study::new()
@@ -214,6 +250,7 @@ fn table2(args: Args) -> Result<(), AnyError> {
         );
     }
     dump_json("table2", &rows);
+    dump_meta("table2", args);
     Ok(())
 }
 
@@ -235,6 +272,7 @@ fn figure6(args: Args, store: &mut ProfiledStore) -> Result<(), AnyError> {
         all.extend(rows);
     }
     dump_json("figure6", &all);
+    dump_meta("figure6", args);
     Ok(())
 }
 
@@ -252,6 +290,7 @@ fn figure7(args: Args, store: &mut ProfiledStore) -> Result<(), AnyError> {
         all.extend(rows);
     }
     dump_json("figure7", &all);
+    dump_meta("figure7", args);
     Ok(())
 }
 
@@ -274,6 +313,73 @@ fn figure8(args: Args, store: &mut ProfiledStore) -> Result<(), AnyError> {
         all.extend(rows);
     }
     dump_json("figure8", &all);
+    dump_meta("figure8", args);
+    Ok(())
+}
+
+/// One `schedbench` record: raw scheduler throughput on the synthetic
+/// suite. Unlike the figure/table dumps this artefact carries wall-clock
+/// measurements, so it is *not* byte-stable across runs — it exists for
+/// the CI perf gate, which compares `loops_per_second` against the
+/// committed baseline.
+#[derive(serde::Serialize)]
+struct SchedBenchRecord {
+    experiment: String,
+    loops_per_benchmark: usize,
+    loops_scheduled: u64,
+    wall_time_s: f64,
+    loops_per_second: f64,
+}
+
+/// `schedbench`: modulo-schedules every loop of the suite on the reference
+/// homogeneous machine and on one heterogeneous configuration, end to end
+/// through the §4 pipeline (partition + IMS + IT retry), and reports the
+/// aggregate loops-scheduled-per-second throughput.
+fn schedbench(args: Args) -> Result<(), AnyError> {
+    use heterovliw_core::machine::{ClockedConfig, MachineDesign, Time};
+    use heterovliw_core::sched::{schedule_loop_ws, SchedWorkspace, ScheduleOptions};
+
+    println!("\n== schedbench: scheduler throughput (loops/second) ==");
+    let suite = heterovliw_core::workloads::suite(args.loops);
+    let design = MachineDesign::paper_machine(1);
+    let configs = [
+        ClockedConfig::reference(design),
+        ClockedConfig::heterogeneous(design, Time::from_ns(1.0), 1, Time::from_ns(1.5)),
+    ];
+    let base_opts = ScheduleOptions::default();
+    // One workspace for the whole run, exactly as the exploration pipeline
+    // holds one per worker thread.
+    let mut ws = SchedWorkspace::new();
+    let mut scheduled = 0u64;
+    let start = Instant::now();
+    for bench in &suite {
+        for l in &bench.loops {
+            let mut opts = base_opts.clone();
+            opts.trip_count = l.trip_count();
+            for config in &configs {
+                schedule_loop_ws(l.ddg(), config, None, &opts, &mut ws)
+                    .map_err(|e| format!("schedbench: {e}"))?;
+                scheduled += 1;
+            }
+        }
+    }
+    let wall = start.elapsed().as_secs_f64();
+    let lps = if wall > 0.0 {
+        scheduled as f64 / wall
+    } else {
+        f64::INFINITY
+    };
+    println!("scheduled {scheduled} loops in {wall:.3} s => {lps:.1} loops/s");
+    dump_json(
+        "schedbench",
+        &SchedBenchRecord {
+            experiment: "schedbench".to_owned(),
+            loops_per_benchmark: args.loops,
+            loops_scheduled: scheduled,
+            wall_time_s: wall,
+            loops_per_second: lps,
+        },
+    );
     Ok(())
 }
 
@@ -295,5 +401,6 @@ fn figure9(args: Args, store: &mut ProfiledStore) -> Result<(), AnyError> {
         all.extend(rows);
     }
     dump_json("figure9", &all);
+    dump_meta("figure9", args);
     Ok(())
 }

@@ -57,14 +57,40 @@ pub struct Executor {
 }
 
 impl Executor {
+    /// How many times `available_parallelism` a requested worker count may
+    /// exceed before it is considered absurd and clamped (with a floor so
+    /// small machines still honour modest oversubscription for tests and
+    /// I/O-bound workloads).
+    const OVERSUBSCRIPTION_LIMIT: usize = 16;
+    const CLAMP_FLOOR: usize = 128;
+
     /// A pool with `jobs` workers; `0` means "use the machine's available
     /// parallelism" (like `make -j`).
+    ///
+    /// Absurd requests — more than 16 × `available_parallelism` (and at
+    /// least 128) workers — are clamped to the machine's available
+    /// parallelism with a warning on stderr, instead of silently spawning
+    /// thousands of threads.
     #[must_use]
     pub fn new(jobs: usize) -> Self {
-        match NonZeroUsize::new(jobs) {
-            Some(jobs) => Executor { jobs },
-            None => Self::auto(),
+        let Some(requested) = NonZeroUsize::new(jobs) else {
+            return Self::auto();
+        };
+        let avail = Self::auto().jobs.get();
+        let cap = (avail * Self::OVERSUBSCRIPTION_LIMIT).max(Self::CLAMP_FLOOR);
+        if requested.get() > cap {
+            // Once per process: a pipeline constructs many executors from
+            // the same `--jobs` value and one warning is enough.
+            static CLAMP_WARNING: std::sync::Once = std::sync::Once::new();
+            CLAMP_WARNING.call_once(|| {
+                eprintln!(
+                    "warning: --jobs {requested} is absurd for this machine \
+                     (available parallelism {avail}); clamping to {avail}"
+                );
+            });
+            return Self::auto();
         }
+        Executor { jobs: requested }
     }
 
     /// A single-worker pool: `map` degenerates to a plain serial loop on
@@ -116,9 +142,38 @@ impl Executor {
         R: Send,
         F: Fn(usize, &T) -> R + Sync,
     {
+        self.map_init(items, || (), |(), i, t| f(i, t))
+    }
+
+    /// [`Executor::map`] with **per-worker state**: every worker thread
+    /// calls `init` exactly once and threads the resulting value through
+    /// all jobs it executes.
+    ///
+    /// This is how the exploration layer gives each worker one long-lived
+    /// `SchedWorkspace`: scheduling state is reused across every loop a
+    /// worker processes, without any cross-thread sharing. Since `f` must
+    /// produce results independent of the state's history, the output is
+    /// identical to `map` for any worker count (the serial path uses one
+    /// state for all items).
+    ///
+    /// # Panics
+    ///
+    /// Propagates panics from `init` and `f`.
+    pub fn map_init<T, R, S, I, F>(&self, items: &[T], init: I, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize, &T) -> R + Sync,
+    {
         let workers = self.jobs.get().min(items.len());
         if workers <= 1 {
-            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+            let mut state = init();
+            return items
+                .iter()
+                .enumerate()
+                .map(|(i, t)| f(&mut state, i, t))
+                .collect();
         }
 
         let (job_tx, job_rx) = mpsc::sync_channel::<usize>(workers * QUEUE_DEPTH);
@@ -157,9 +212,11 @@ impl Executor {
                 let res_tx = res_tx.clone();
                 let job_rx = &job_rx;
                 let live = &live;
+                let init = &init;
                 let f = &f;
                 scope.spawn(move || {
                     let _guard = RxGuard { live, job_rx };
+                    let mut state = init();
                     loop {
                         // Hold the receiver lock only while popping;
                         // ignore poisoning (a panicked sibling is
@@ -174,7 +231,7 @@ impl Executor {
                             }
                         };
                         let Ok(idx) = idx else { break };
-                        let result = f(idx, &items[idx]);
+                        let result = f(&mut state, idx, &items[idx]);
                         if res_tx.send((idx, result)).is_err() {
                             break;
                         }
@@ -225,10 +282,29 @@ impl Executor {
         E: Send,
         F: Fn(usize, &T) -> Result<R, E> + Sync,
     {
+        self.try_map_init(items, || (), |(), i, t| f(i, t))
+    }
+
+    /// [`Executor::try_map`] with per-worker state (see
+    /// [`Executor::map_init`]): fallible jobs, first error in input order,
+    /// one `init` per worker thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of the lowest-indexed failing item.
+    pub fn try_map_init<T, R, E, S, I, F>(&self, items: &[T], init: I, f: F) -> Result<Vec<R>, E>
+    where
+        T: Sync,
+        R: Send,
+        E: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize, &T) -> Result<R, E> + Sync,
+    {
         if self.jobs.get().min(items.len()) <= 1 {
+            let mut state = init();
             let mut out = Vec::with_capacity(items.len());
             for (i, t) in items.iter().enumerate() {
-                out.push(f(i, t)?);
+                out.push(f(&mut state, i, t)?);
             }
             return Ok(out);
         }
@@ -237,11 +313,11 @@ impl Executor {
         // (a skip implies an even lower error), so the scan below returns
         // exactly the error the serial loop would.
         let watermark = AtomicU64::new(u64::MAX);
-        let evaluated = self.map(items, |i, t| {
+        let evaluated = self.map_init(items, init, |state, i, t| {
             if (i as u64) > watermark.load(Ordering::Acquire) {
                 return None;
             }
-            let r = f(i, t);
+            let r = f(state, i, t);
             if r.is_err() {
                 watermark.fetch_min(i as u64, Ordering::AcqRel);
             }
@@ -495,6 +571,58 @@ mod tests {
             "an early error must cancel most remaining work ({} evaluated)",
             evaluated.load(Ordering::Relaxed)
         );
+    }
+
+    #[test]
+    fn map_init_threads_state_through_workers() {
+        let items: Vec<u64> = (0..200).collect();
+        let inits = AtomicUsize::new(0);
+        let out = Executor::new(4).map_init(
+            &items,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                Vec::<u64>::new() // per-worker scratch, grown then reused
+            },
+            |scratch, _, &x| {
+                scratch.clear();
+                scratch.extend(0..=x);
+                scratch.iter().sum::<u64>()
+            },
+        );
+        let expect: Vec<u64> = items.iter().map(|&x| x * (x + 1) / 2).collect();
+        assert_eq!(out, expect);
+        let n = inits.load(Ordering::Relaxed);
+        assert!((1..=4).contains(&n), "one init per worker, got {n}");
+    }
+
+    #[test]
+    fn try_map_init_matches_serial_semantics() {
+        let items: Vec<u32> = (0..50).collect();
+        let r = Executor::new(4).try_map_init(
+            &items,
+            || 0u32,
+            |_, _, &x| {
+                if x % 7 == 3 {
+                    Err(format!("bad {x}"))
+                } else {
+                    Ok(x)
+                }
+            },
+        );
+        assert_eq!(r, Err("bad 3".to_owned()));
+    }
+
+    #[test]
+    fn absurd_job_counts_are_clamped() {
+        let avail = Executor::auto().jobs();
+        let absurd = (avail * Executor::OVERSUBSCRIPTION_LIMIT).max(Executor::CLAMP_FLOOR) + 1;
+        assert_eq!(
+            Executor::new(absurd).jobs(),
+            avail,
+            "absurd request clamps to available parallelism"
+        );
+        // Reasonable oversubscription is honoured verbatim.
+        assert_eq!(Executor::new(64).jobs(), 64);
     }
 
     #[test]

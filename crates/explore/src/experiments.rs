@@ -18,11 +18,11 @@ use serde::Serialize;
 use vliw_exec::{Executor, MemoCache};
 use vliw_machine::{ClockedConfig, FrequencyMenu, MachineDesign, MenuKind, Time};
 use vliw_power::{EnergyShares, PowerModel, UsageProfile};
-use vliw_sched::{schedule_loop, SchedError, ScheduleOptions};
+use vliw_sched::{schedule_loop_ws, SchedError, SchedWorkspace, ScheduleOptions};
 use vliw_workloads::{classify, Benchmark, LoopClass};
 
 use crate::homog::{optimum_homogeneous_suite_with, HomogChoice};
-use crate::profile::{profile_benchmark, suite_reference, BenchmarkProfile};
+use crate::profile::{profile_benchmark_ws, suite_reference, BenchmarkProfile};
 use crate::select::select_heterogeneous_with;
 
 /// Options shared by all experiment runners.
@@ -158,7 +158,9 @@ pub fn profile_suite(
 }
 
 /// [`profile_suite`] with per-benchmark profiling fanned out across
-/// `exec`'s worker pool (profiles come back in suite order).
+/// `exec`'s worker pool (profiles come back in suite order). Each worker
+/// thread owns one [`SchedWorkspace`] reused across every benchmark it
+/// profiles.
 ///
 /// # Errors
 ///
@@ -171,7 +173,9 @@ pub fn profile_suite_with(
     exec: &Executor,
 ) -> Result<ProfiledSuite, SchedError> {
     let design = MachineDesign::paper_machine(buses);
-    let profiles = exec.try_map(suite, |_, bench| profile_benchmark(bench, design, sched))?;
+    let profiles = exec.try_map_init(suite, SchedWorkspace::new, |ws, _, bench| {
+        profile_benchmark_ws(bench, design, sched, ws)
+    })?;
     Ok(ProfiledSuite {
         design,
         profiles,
@@ -342,8 +346,9 @@ pub fn run_benchmark_with(
 
 /// Schedules every loop of `bench` on `config` and aggregates the
 /// invocation-weighted usage profile. Per-loop scheduling fans out across
-/// `exec`; contributions are folded in loop order, so the result is
-/// bit-identical for every worker count.
+/// `exec` with one [`SchedWorkspace`] per worker thread; contributions are
+/// folded in loop order, so the result is bit-identical for every worker
+/// count.
 fn measure_usage(
     bench: &Benchmark,
     profile: &BenchmarkProfile,
@@ -353,10 +358,10 @@ fn measure_usage(
     design: MachineDesign,
     exec: &Executor,
 ) -> Result<UsageProfile, SchedError> {
-    let per_loop = exec.try_map(&bench.loops, |_, l| {
+    let per_loop = exec.try_map_init(&bench.loops, SchedWorkspace::new, |ws, _, l| {
         let mut o = sched_opts.clone();
         o.trip_count = l.trip_count();
-        let s = schedule_loop(l.ddg(), config, Some(power), &o)?;
+        let s = schedule_loop_ws(l.ddg(), config, Some(power), &o, ws)?;
         Ok(s.usage(l.trip_count()))
     })?;
     let mut total_ns = 0.0f64;

@@ -36,8 +36,8 @@ pub use homog::{
     optimum_homogeneous_with, HomogChoice, SuiteBaseline,
 };
 pub use profile::{
-    profile_benchmark, reference_usage_scaled, suite_reference, BenchmarkProfile, LoopProfile,
-    T_TOTAL,
+    profile_benchmark, profile_benchmark_ws, reference_usage_scaled, suite_reference,
+    BenchmarkProfile, LoopProfile, T_TOTAL,
 };
 pub use select::{candidate_grid, select_heterogeneous, select_heterogeneous_with, HeteroChoice};
 

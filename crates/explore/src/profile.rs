@@ -1,9 +1,9 @@
 //! Reference-machine profiling (the paper's §3 "profile data").
 
-use vliw_ir::{condensation, FuKind};
+use vliw_ir::FuKind;
 use vliw_machine::{ClockedConfig, MachineDesign, Time};
 use vliw_power::ReferenceProfile;
-use vliw_sched::{schedule_loop, SchedError, ScheduleOptions, ScheduledLoop};
+use vliw_sched::{schedule_loop_ws, SchedError, SchedWorkspace, ScheduleOptions, ScheduledLoop};
 use vliw_workloads::Benchmark;
 
 /// Nominal whole-program execution time on the reference machine. Loop
@@ -115,6 +115,23 @@ pub fn profile_benchmark(
     design: MachineDesign,
     sched_opts: &ScheduleOptions,
 ) -> Result<BenchmarkProfile, SchedError> {
+    profile_benchmark_ws(bench, design, sched_opts, &mut SchedWorkspace::new())
+}
+
+/// [`profile_benchmark`] with a caller-provided scheduling workspace,
+/// reused across every loop of the benchmark (and across benchmarks when
+/// the caller keeps one workspace per worker thread). Results are
+/// identical.
+///
+/// # Errors
+///
+/// As [`profile_benchmark`].
+pub fn profile_benchmark_ws(
+    bench: &Benchmark,
+    design: MachineDesign,
+    sched_opts: &ScheduleOptions,
+    ws: &mut SchedWorkspace,
+) -> Result<BenchmarkProfile, SchedError> {
     let config = ClockedConfig::reference(design);
     let mut loops = Vec::with_capacity(bench.loops.len());
     let mut agg_ins = 0.0f64;
@@ -125,12 +142,12 @@ pub fn profile_benchmark(
         let ddg = l.ddg();
         let mut opts = sched_opts.clone();
         opts.trip_count = l.trip_count();
-        let sched: ScheduledLoop = schedule_loop(ddg, &config, None, &opts)?;
+        let sched: ScheduledLoop = schedule_loop_ws(ddg, &config, None, &opts, ws)?;
         let exec_time_ref = sched.exec_time(l.trip_count());
         let invocations = l.weight() * T_TOTAL.as_ns() / exec_time_ref.as_ns();
 
-        let recs = condensation(ddg).recurrences(ddg);
-        let rec_weighted_ins: f64 = recs
+        let rec_weighted_ins: f64 = ddg
+            .recurrences()
             .iter()
             .flat_map(|r| r.ops.iter())
             .map(|&op| ddg.op(op).class().relative_energy())

@@ -1,9 +1,42 @@
 //! Data-dependence graphs for loop bodies.
+//!
+//! # Storage and index stability
+//!
+//! A [`Ddg`] is stored densely: operations live in one `Vec` addressed by
+//! [`OpId`], edges in one `Vec` addressed by [`EdgeId`], and the adjacency
+//! is *compressed sparse row* (CSR) — one flat `Vec<EdgeId>` per direction
+//! plus an offset table, so walking a node's successors touches one
+//! contiguous slice instead of chasing per-node heap cells.
+//!
+//! The index invariants every layer above relies on:
+//!
+//! * **`OpId` order = insertion order = CSR row order.** `OpId(i)` is the
+//!   `i`-th operation passed to the builder, row `i` of both CSR tables,
+//!   and index `i` of every side table (cluster assignments, issue cycles,
+//!   heights, …) in `vliw-sched` and `vliw-sim`.
+//! * **`EdgeId` order = insertion order.** Within one CSR row the edge ids
+//!   appear in ascending order, so iteration order over `succs`/`preds`
+//!   is exactly the builder's edge insertion order.
+//! * A `Ddg` is immutable after [`crate::DdgBuilder::build`]; the analysis
+//!   caches below are therefore computed at most once per graph.
+//!
+//! # Analysis caches
+//!
+//! The modulo-scheduling pipeline re-analyses the same graph once per
+//! candidate configuration and once per `IT` retry. The quantities that
+//! depend only on the graph — strongly connected components, recurrences,
+//! the distance-0 topological order, `recMII`, per-FU-kind op counts and
+//! the iteration energy — are memoised on the `Ddg` itself (lazily, via
+//! [`std::sync::OnceLock`], so construction stays cheap and the caches are
+//! shared across threads).
 
 use std::fmt;
+use std::sync::OnceLock;
 
 use crate::error::IrError;
 use crate::op::{FuKind, OpClass};
+use crate::scc::{Recurrence, StronglyConnectedComponents};
+use crate::toposort::TopoError;
 
 /// Identifier of an operation inside one [`Ddg`].
 ///
@@ -174,35 +207,70 @@ impl DepEdge {
     }
 }
 
+/// Lazily computed analyses of one immutable [`Ddg`].
+///
+/// Every field is a pure function of the graph, so cached values are
+/// byte-identical to fresh recomputation; the caches only change *when*
+/// the work happens, never the result.
+#[derive(Debug, Clone, Default)]
+struct AnalysisCaches {
+    sccs: OnceLock<StronglyConnectedComponents>,
+    recurrences: OnceLock<Vec<Recurrence>>,
+    topo: OnceLock<Result<Vec<OpId>, TopoError>>,
+    rec_mii: OnceLock<Option<u32>>,
+    /// Op counts indexed `[int, fp, mem, bus]`.
+    fu_counts: OnceLock<[usize; 4]>,
+    iteration_energy: OnceLock<f64>,
+}
+
 /// A loop-body data-dependence graph.
 ///
 /// Construct one with [`crate::DdgBuilder`]; the builder validates endpoint
 /// indices and rejects zero-distance self-loops, so a `Ddg` is always
 /// structurally sound (it may still contain zero-distance *cycles*, which
 /// [`Ddg::validate_schedulable`] reports).
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Adjacency is stored in CSR form and graph-level analyses (SCCs,
+/// recurrences, topological order, `recMII`) are cached on the graph —
+/// see the crate docs for the index-stability invariants.
+#[derive(Debug, Clone)]
 pub struct Ddg {
     name: String,
     ops: Vec<Operation>,
     edges: Vec<DepEdge>,
-    succ: Vec<Vec<EdgeId>>,
-    pred: Vec<Vec<EdgeId>>,
+    /// CSR offsets: successors of op `i` are `succ_adj[succ_off[i]..succ_off[i + 1]]`.
+    succ_off: Vec<u32>,
+    succ_adj: Vec<EdgeId>,
+    pred_off: Vec<u32>,
+    pred_adj: Vec<EdgeId>,
+    caches: AnalysisCaches,
 }
+
+/// Equality is structural — name, operations and edges. The CSR tables are
+/// a function of the edges and the analysis caches a function of the whole
+/// graph, so neither can distinguish two structurally equal graphs (and a
+/// populated cache must not make a graph unequal to its unpopulated twin).
+impl PartialEq for Ddg {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name && self.ops == other.ops && self.edges == other.edges
+    }
+}
+
+impl Eq for Ddg {}
 
 impl Ddg {
     pub(crate) fn from_parts(name: String, ops: Vec<Operation>, edges: Vec<DepEdge>) -> Self {
-        let mut succ = vec![Vec::new(); ops.len()];
-        let mut pred = vec![Vec::new(); ops.len()];
-        for e in &edges {
-            succ[e.src.index()].push(e.id);
-            pred[e.dst.index()].push(e.id);
-        }
+        let (succ_off, succ_adj) = csr(ops.len(), &edges, |e| e.src.index());
+        let (pred_off, pred_adj) = csr(ops.len(), &edges, |e| e.dst.index());
         Self {
             name,
             ops,
             edges,
-            succ,
-            pred,
+            succ_off,
+            succ_adj,
+            pred_off,
+            pred_adj,
+            caches: AnalysisCaches::default(),
         }
     }
 
@@ -265,37 +333,115 @@ impl Ddg {
         self.edges.iter()
     }
 
+    /// Identifiers of the outgoing edges of `id`, in insertion order — the
+    /// raw CSR row, for allocation-free traversals.
+    #[must_use]
+    pub fn succ_edge_ids(&self, id: OpId) -> &[EdgeId] {
+        let i = id.index();
+        &self.succ_adj[self.succ_off[i] as usize..self.succ_off[i + 1] as usize]
+    }
+
+    /// Identifiers of the incoming edges of `id`, in insertion order.
+    #[must_use]
+    pub fn pred_edge_ids(&self, id: OpId) -> &[EdgeId] {
+        let i = id.index();
+        &self.pred_adj[self.pred_off[i] as usize..self.pred_off[i + 1] as usize]
+    }
+
     /// Outgoing edges of `id`.
-    pub fn succs(&self, id: OpId) -> impl Iterator<Item = &DepEdge> + '_ {
-        self.succ[id.index()].iter().map(|e| &self.edges[e.index()])
+    pub fn succs(&self, id: OpId) -> impl ExactSizeIterator<Item = &DepEdge> + '_ {
+        self.succ_edge_ids(id)
+            .iter()
+            .map(|e| &self.edges[e.index()])
     }
 
     /// Incoming edges of `id`.
-    pub fn preds(&self, id: OpId) -> impl Iterator<Item = &DepEdge> + '_ {
-        self.pred[id.index()].iter().map(|e| &self.edges[e.index()])
+    pub fn preds(&self, id: OpId) -> impl ExactSizeIterator<Item = &DepEdge> + '_ {
+        self.pred_edge_ids(id)
+            .iter()
+            .map(|e| &self.edges[e.index()])
     }
 
     /// Number of operations that occupy functional-unit kind `kind`.
     #[must_use]
     pub fn count_fu(&self, kind: FuKind) -> usize {
-        self.ops.iter().filter(|o| o.fu_kind() == kind).count()
+        let index = |k: FuKind| match k {
+            FuKind::Int => 0usize,
+            FuKind::Fp => 1,
+            FuKind::Mem => 2,
+            FuKind::Bus => 3,
+        };
+        let counts = self.caches.fu_counts.get_or_init(|| {
+            let mut counts = [0usize; 4];
+            for op in &self.ops {
+                counts[index(op.fu_kind())] += 1;
+            }
+            counts
+        });
+        counts[index(kind)]
     }
 
     /// Number of memory operations.
     #[must_use]
     pub fn count_memory_ops(&self) -> usize {
-        self.ops.iter().filter(|o| o.class().is_memory()).count()
+        // Memory operations are exactly the ops routed to memory ports.
+        self.count_fu(FuKind::Mem)
     }
 
     /// Sum of Table 1 relative energies over all operations: the dynamic
     /// energy of one loop iteration in "integer-add units".
     #[must_use]
     pub fn iteration_energy(&self) -> f64 {
-        self.ops.iter().map(|o| o.class().relative_energy()).sum()
+        *self
+            .caches
+            .iteration_energy
+            .get_or_init(|| self.ops.iter().map(|o| o.class().relative_energy()).sum())
+    }
+
+    /// The strongly connected components of this graph, computed once and
+    /// cached (the partitioner consults them on every scheduling attempt).
+    #[must_use]
+    pub fn sccs(&self) -> &StronglyConnectedComponents {
+        self.caches
+            .sccs
+            .get_or_init(|| StronglyConnectedComponents::compute(self))
+    }
+
+    /// The non-trivial recurrences of this graph, most critical first
+    /// (computed once and cached; see
+    /// [`StronglyConnectedComponents::recurrences`]).
+    #[must_use]
+    pub fn recurrences(&self) -> &[Recurrence] {
+        self.caches
+            .recurrences
+            .get_or_init(|| self.sccs().recurrences(self))
+    }
+
+    /// The deterministic Kahn topological order of the distance-0 subgraph,
+    /// computed once and cached (the partition refiner evaluates hundreds
+    /// of candidate moves per loop, each needing this order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopoError`] when the distance-0 subgraph is cyclic (the
+    /// loop is unschedulable at any `II`).
+    pub fn topo_order(&self) -> Result<&[OpId], TopoError> {
+        match self
+            .caches
+            .topo
+            .get_or_init(|| crate::toposort::compute_topological_order(self))
+        {
+            Ok(order) => Ok(order),
+            Err(e) => Err(e.clone()),
+        }
     }
 
     /// Checks the graph can be modulo scheduled at *some* initiation
     /// interval: every dependence cycle must have positive total distance.
+    ///
+    /// A zero-distance cycle is exactly a cycle of the distance-0 subgraph,
+    /// so this is answered from the cached topological order — the check is
+    /// O(1) after the first call on a graph.
     ///
     /// # Errors
     ///
@@ -303,50 +449,10 @@ impl Ddg {
     /// whose edges all have distance zero; such a loop body has no valid
     /// schedule at any `II`.
     pub fn validate_schedulable(&self) -> Result<(), IrError> {
-        // A zero-distance cycle is a cycle in the subgraph of distance-0
-        // edges; detect via DFS three-colouring.
-        #[derive(Clone, Copy, PartialEq)]
-        enum Colour {
-            White,
-            Grey,
-            Black,
+        match self.topo_order() {
+            Ok(_) => Ok(()),
+            Err(e) => Err(IrError::ZeroDistanceCycle { op: e.op }),
         }
-        let mut colour = vec![Colour::White; self.ops.len()];
-        // Iterative DFS with explicit stack of (node, next-edge-index).
-        for root in 0..self.ops.len() {
-            if colour[root] != Colour::White {
-                continue;
-            }
-            let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
-            colour[root] = Colour::Grey;
-            while let Some((u, next)) = stack.last().copied() {
-                let succ_edges = &self.succ[u];
-                if next < succ_edges.len() {
-                    stack.last_mut().expect("stack is non-empty").1 += 1;
-                    let e = &self.edges[succ_edges[next].index()];
-                    if e.distance() != 0 {
-                        continue;
-                    }
-                    let v = e.dst().index();
-                    match colour[v] {
-                        Colour::White => {
-                            colour[v] = Colour::Grey;
-                            stack.push((v, 0));
-                        }
-                        Colour::Grey => {
-                            return Err(IrError::ZeroDistanceCycle {
-                                op: self.ops[v].name().to_owned(),
-                            });
-                        }
-                        Colour::Black => {}
-                    }
-                } else {
-                    colour[u] = Colour::Black;
-                    stack.pop();
-                }
-            }
-        }
-        Ok(())
     }
 
     /// The recurrence-constrained minimum initiation interval, in cycles of
@@ -362,9 +468,70 @@ impl Ddg {
     /// gracefully.
     #[must_use]
     pub fn rec_mii(&self) -> u32 {
-        crate::ratio::min_feasible_ii(self)
+        self.caches
+            .rec_mii
+            .get_or_init(|| crate::ratio::compute_min_feasible_ii(self))
             .expect("zero-distance cycle: graph is unschedulable at any II")
     }
+
+    /// Cached `recMII`, or `None` when a zero-distance cycle makes the loop
+    /// unschedulable (the non-panicking form of [`Ddg::rec_mii`]).
+    #[must_use]
+    pub fn rec_mii_checked(&self) -> Option<u32> {
+        *self
+            .caches
+            .rec_mii
+            .get_or_init(|| crate::ratio::compute_min_feasible_ii(self))
+    }
+}
+
+fn csr(
+    num_ops: usize,
+    edges: &[DepEdge],
+    row: impl Fn(&DepEdge) -> usize,
+) -> (Vec<u32>, Vec<EdgeId>) {
+    build_csr(num_ops, edges, EdgeId(0), row, |_, e| e.id)
+}
+
+/// Builds one compressed-sparse-row direction over `items`: an offset
+/// table (`num_rows + 1` entries, row `r`'s elements at
+/// `adj[off[r]..off[r + 1]]`) plus the flat adjacency array, **stable in
+/// item order within each row** — the layout contract every CSR graph in
+/// the workspace shares ([`Ddg`] here, `ExtGraph` in `vliw-sched`).
+///
+/// `row` maps an item to its row, `elem(i, item)` to the stored adjacency
+/// element (`fill` is an arbitrary placeholder overwritten before use).
+///
+/// # Panics
+///
+/// Panics if `row` returns an index `>= num_rows` or there are more than
+/// `u32::MAX` items.
+pub fn build_csr<T, A: Copy>(
+    num_rows: usize,
+    items: &[T],
+    fill: A,
+    row: impl Fn(&T) -> usize,
+    elem: impl Fn(u32, &T) -> A,
+) -> (Vec<u32>, Vec<A>) {
+    assert!(
+        u32::try_from(items.len()).is_ok(),
+        "CSR item count fits u32"
+    );
+    let mut off = vec![0u32; num_rows + 1];
+    for t in items {
+        off[row(t) + 1] += 1;
+    }
+    for i in 0..num_rows {
+        off[i + 1] += off[i];
+    }
+    let mut adj = vec![fill; items.len()];
+    let mut cursor = off.clone();
+    for (i, t) in items.iter().enumerate() {
+        let r = row(t);
+        adj[cursor[r] as usize] = elem(i as u32, t);
+        cursor[r] += 1;
+    }
+    (off, adj)
 }
 
 /// A loop: a DDG plus the dynamic information the paper's models consume.

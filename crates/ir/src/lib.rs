@@ -11,6 +11,25 @@
 //! The modulo scheduler in `vliw-sched` and the workload generator in
 //! `vliw-workloads` both build on these types.
 //!
+//! # Storage and index stability
+//!
+//! Graphs are stored densely — `u32` [`OpId`]/[`EdgeId`] newtypes over
+//! flat arrays, with compressed-sparse-row (CSR) adjacency — and
+//! graph-level analyses (SCCs, recurrences, topological order, `recMII`,
+//! FU counts, iteration energy) are computed once and cached on the
+//! immutable [`Ddg`]. Every layer above relies on these invariants:
+//!
+//! * **`OpId` order = insertion order = CSR row order**: `OpId(i)` is the
+//!   `i`-th operation passed to the builder, row `i` of both CSR tables,
+//!   and index `i` of every scheduler side table (cluster assignments,
+//!   issue cycles, heights, …).
+//! * **`EdgeId` order = insertion order**, and within one CSR row edge
+//!   ids ascend, so [`Ddg::succs`]/[`Ddg::preds`] iterate in the
+//!   builder's edge-insertion order.
+//! * A [`Ddg`] is immutable after [`DdgBuilder::build`]; the analysis
+//!   caches are therefore pure memoisation and can never change a
+//!   result, only when the work happens.
+//!
 //! # Example
 //!
 //! Build the three-operation recurrence of the paper's Figure 4 and compute
@@ -53,7 +72,7 @@ mod toposort;
 
 pub use builder::DdgBuilder;
 pub use cycles::{elementary_circuits, Circuit, CircuitLimit};
-pub use ddg::{Ddg, DepEdge, DepKind, EdgeId, Loop, OpId, Operation};
+pub use ddg::{build_csr, Ddg, DepEdge, DepKind, EdgeId, Loop, OpId, Operation};
 pub use dot::to_dot;
 pub use error::{BuildError, IrError};
 pub use op::{FuKind, OpClass};

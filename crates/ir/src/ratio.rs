@@ -14,7 +14,6 @@
 //! refined by bisection.
 
 use std::cmp::Ordering;
-use std::collections::HashMap;
 use std::fmt;
 
 use crate::ddg::{Ddg, OpId};
@@ -77,13 +76,22 @@ impl SubGraph {
     }
 
     fn induced(ddg: &Ddg, members: &[OpId]) -> Self {
-        let remap: HashMap<OpId, usize> =
-            members.iter().enumerate().map(|(i, &op)| (op, i)).collect();
+        // Dense remap table: members are a subset of one graph's op ids.
+        let mut remap = vec![u32::MAX; ddg.num_ops()];
+        for (i, &op) in members.iter().enumerate() {
+            remap[op.index()] = u32::try_from(i).expect("member count fits u32");
+        }
         let mut edges = Vec::new();
         for &op in members {
             for e in ddg.succs(op) {
-                if let Some(&dst) = remap.get(&e.dst()) {
-                    edges.push((remap[&op], dst, e.latency(), e.distance()));
+                let dst = remap[e.dst().index()];
+                if dst != u32::MAX {
+                    edges.push((
+                        remap[op.index()] as usize,
+                        dst as usize,
+                        e.latency(),
+                        e.distance(),
+                    ));
                 }
             }
         }
@@ -234,8 +242,17 @@ pub fn max_cycle_ratio_in(ddg: &Ddg, members: &[OpId]) -> Option<CycleRatio> {
 
 /// `recMII`: the smallest integer `II` compatible with every dependence
 /// cycle, or `None` when a zero-distance cycle makes the loop unschedulable.
+///
+/// Served from the graph's analysis cache ([`Ddg::rec_mii_checked`]), so
+/// repeated queries — one per candidate configuration in the exploration
+/// sweeps — cost a load instead of a Bellman–Ford binary search.
 #[must_use]
 pub fn min_feasible_ii(ddg: &Ddg) -> Option<u32> {
+    ddg.rec_mii_checked()
+}
+
+/// The uncached computation behind [`Ddg::rec_mii_checked`].
+pub(crate) fn compute_min_feasible_ii(ddg: &Ddg) -> Option<u32> {
     SubGraph::whole(ddg).min_feasible_ii()
 }
 

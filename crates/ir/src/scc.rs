@@ -66,11 +66,11 @@ impl StronglyConnectedComponents {
                         frames.push(Frame::Resume(v, 0));
                     }
                     Frame::Resume(v, mut ei) => {
-                        let succs: Vec<usize> =
-                            ddg.succs(OpId(v as u32)).map(|e| e.dst().index()).collect();
+                        // The CSR row is a slice: no per-frame allocation.
+                        let succs = ddg.succ_edge_ids(OpId(v as u32));
                         let mut descended = false;
                         while ei < succs.len() {
-                            let w = succs[ei];
+                            let w = ddg.edge(succs[ei]).dst().index();
                             ei += 1;
                             if index[w] == usize::MAX {
                                 frames.push(Frame::Resume(v, ei));
@@ -204,11 +204,11 @@ impl Recurrence {
 }
 
 /// Returns, for each operation, the SCC it belongs to, plus the component
-/// list — convenience wrapper over
-/// [`StronglyConnectedComponents::compute`].
+/// list — an owned clone of the graph's cached analysis
+/// ([`Ddg::sccs`]; borrow that directly to avoid the clone).
 #[must_use]
 pub fn condensation(ddg: &Ddg) -> StronglyConnectedComponents {
-    StronglyConnectedComponents::compute(ddg)
+    ddg.sccs().clone()
 }
 
 #[cfg(test)]

@@ -28,12 +28,19 @@ impl Error for TopoError {}
 
 /// Kahn topological sort over distance-0 edges.
 ///
-/// Ties are broken by operation id, so the order is deterministic.
+/// Ties are broken by operation id, so the order is deterministic. The
+/// result is served from the graph's analysis cache ([`Ddg::topo_order`]);
+/// call that method directly to borrow the cached slice without cloning.
 ///
 /// # Errors
 ///
 /// Returns [`TopoError`] if the distance-0 subgraph contains a cycle.
 pub fn topological_order(ddg: &Ddg) -> Result<Vec<OpId>, TopoError> {
+    ddg.topo_order().map(<[OpId]>::to_vec)
+}
+
+/// The uncached computation behind [`Ddg::topo_order`].
+pub(crate) fn compute_topological_order(ddg: &Ddg) -> Result<Vec<OpId>, TopoError> {
     let n = ddg.num_ops();
     let mut indeg = vec![0usize; n];
     for e in ddg.edges() {

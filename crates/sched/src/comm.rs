@@ -18,8 +18,6 @@
 //! * the MCD synchronisation-queue penalty (one receiving-domain cycle) for
 //!   every crossing between domains of different frequency (Figure 2).
 
-use std::collections::HashMap;
-
 use vliw_ir::{Ddg, DepKind, FuKind, OpClass, OpId};
 use vliw_machine::{ClockedConfig, ClusterId, DomainId};
 
@@ -76,6 +74,12 @@ pub struct CopyNode {
 }
 
 /// The extended graph over which the iterative modulo scheduler runs.
+///
+/// Nodes and edges are stored densely (`NodeId` indexes every side table)
+/// and adjacency is compressed sparse row, mirroring [`Ddg`]'s layout: the
+/// first `num_real` node ids coincide with the DDG's `OpId`s, so issue
+/// cycles, ticks and assignments computed here index straight back into
+/// the IR without translation.
 #[derive(Debug, Clone)]
 pub struct ExtGraph {
     num_real: usize,
@@ -83,8 +87,12 @@ pub struct ExtGraph {
     fu_kinds: Vec<FuKind>,
     copies: Vec<CopyNode>,
     edges: Vec<ExtEdge>,
-    succ: Vec<Vec<usize>>,
-    pred: Vec<Vec<usize>>,
+    /// CSR offsets: out-edges of node `i` are
+    /// `edges[succ_adj[succ_off[i]..succ_off[i + 1]]]`.
+    succ_off: Vec<u32>,
+    succ_adj: Vec<u32>,
+    pred_off: Vec<u32>,
+    pred_adj: Vec<u32>,
     /// Result latency of each node in ticks (used for `it_length`).
     result_latency_ticks: Vec<u64>,
 }
@@ -120,7 +128,8 @@ impl ExtGraph {
             .collect();
 
         let mut copies: Vec<CopyNode> = Vec::new();
-        let mut copy_index: HashMap<OpId, NodeId> = HashMap::new();
+        // Dense per-producer copy index (one broadcast per producer).
+        let mut copy_of: Vec<Option<NodeId>> = vec![None; num_real];
         let mut edges: Vec<ExtEdge> = Vec::new();
 
         let icn_ticks = clocks.domain_cycle_ticks(DomainId::Icn);
@@ -155,26 +164,31 @@ impl ExtGraph {
             }
             // Cross-cluster flow: route through a broadcast copy (one per
             // producer; every consuming cluster latches from the bus).
-            let copy_node = *copy_index.entry(e.src()).or_insert_with(|| {
-                let id = NodeId((num_real + copies.len()) as u32);
-                copies.push(CopyNode { producer: e.src() });
-                places.push(NodePlace::Bus);
-                fu_kinds.push(FuKind::Bus);
-                // A copy holds the bus for one ICN cycle.
-                result_latency_ticks.push(icn_ticks);
-                // Producer result → bus, paying the cluster→ICN sync queue.
-                let sync_in = u64::from(
-                    config.sync_penalty_cycles(DomainId::Cluster(src_cluster), DomainId::Icn),
-                ) * icn_ticks;
-                edges.push(ExtEdge {
-                    src: src_node,
-                    dst: id,
-                    latency_ticks: result_latency_ticks[e.src().index()] + sync_in,
-                    distance: 0,
-                    value: true,
-                });
-                id
-            });
+            let copy_node = match copy_of[e.src().index()] {
+                Some(id) => id,
+                None => {
+                    let id = NodeId((num_real + copies.len()) as u32);
+                    copies.push(CopyNode { producer: e.src() });
+                    places.push(NodePlace::Bus);
+                    fu_kinds.push(FuKind::Bus);
+                    // A copy holds the bus for one ICN cycle.
+                    result_latency_ticks.push(icn_ticks);
+                    // Producer result → bus, paying the cluster→ICN sync
+                    // queue.
+                    let sync_in = u64::from(
+                        config.sync_penalty_cycles(DomainId::Cluster(src_cluster), DomainId::Icn),
+                    ) * icn_ticks;
+                    edges.push(ExtEdge {
+                        src: src_node,
+                        dst: id,
+                        latency_ticks: result_latency_ticks[e.src().index()] + sync_in,
+                        distance: 0,
+                        value: true,
+                    });
+                    copy_of[e.src().index()] = Some(id);
+                    id
+                }
+            };
             // Bus → consumer cluster, paying the ICN→cluster sync queue.
             let sync_out = u64::from(
                 config.sync_penalty_cycles(DomainId::Icn, DomainId::Cluster(dst_cluster)),
@@ -189,20 +203,18 @@ impl ExtGraph {
         }
 
         let n = places.len();
-        let mut succ = vec![Vec::new(); n];
-        let mut pred = vec![Vec::new(); n];
-        for (i, e) in edges.iter().enumerate() {
-            succ[e.src.index()].push(i);
-            pred[e.dst.index()].push(i);
-        }
+        let (succ_off, succ_adj) = csr(n, &edges, |e| e.src.index());
+        let (pred_off, pred_adj) = csr(n, &edges, |e| e.dst.index());
         ExtGraph {
             num_real,
             places,
             fu_kinds,
             copies,
             edges,
-            succ,
-            pred,
+            succ_off,
+            succ_adj,
+            pred_off,
+            pred_adj,
             result_latency_ticks,
         }
     }
@@ -259,19 +271,35 @@ impl ExtGraph {
     }
 
     /// Outgoing edges of `n`.
-    pub fn succs(&self, n: NodeId) -> impl Iterator<Item = &ExtEdge> + '_ {
-        self.succ[n.index()].iter().map(|&i| &self.edges[i])
+    pub fn succs(&self, n: NodeId) -> impl ExactSizeIterator<Item = &ExtEdge> + '_ {
+        let i = n.index();
+        self.succ_adj[self.succ_off[i] as usize..self.succ_off[i + 1] as usize]
+            .iter()
+            .map(|&e| &self.edges[e as usize])
     }
 
     /// Incoming edges of `n`.
-    pub fn preds(&self, n: NodeId) -> impl Iterator<Item = &ExtEdge> + '_ {
-        self.pred[n.index()].iter().map(|&i| &self.edges[i])
+    pub fn preds(&self, n: NodeId) -> impl ExactSizeIterator<Item = &ExtEdge> + '_ {
+        let i = n.index();
+        self.pred_adj[self.pred_off[i] as usize..self.pred_off[i + 1] as usize]
+            .iter()
+            .map(|&e| &self.edges[e as usize])
     }
 
     /// Iterate over all node ids.
     pub fn nodes(&self) -> impl ExactSizeIterator<Item = NodeId> + Clone {
         (0..self.places.len() as u32).map(NodeId)
     }
+}
+
+/// Builds one CSR direction over the extended edges (stored as positional
+/// edge indices), sharing `vliw_ir`'s layout contract and builder.
+fn csr(
+    num_nodes: usize,
+    edges: &[ExtEdge],
+    row: impl Fn(&ExtEdge) -> usize,
+) -> (Vec<u32>, Vec<u32>) {
+    vliw_ir::build_csr(num_nodes, edges, 0u32, row, |i, _| i)
 }
 
 /// Result latency of one operation class issued from `cluster`, in ticks.

@@ -7,9 +7,10 @@ use vliw_power::PowerModel;
 use crate::comm::ExtGraph;
 use crate::error::SchedError;
 use crate::ims;
-use crate::partition::{compute_partition, Partition, PartitionObjective};
+use crate::partition::{compute_partition_ws, Partition, PartitionObjective};
 use crate::schedule::ScheduledLoop;
 use crate::timing::{compute_mit, next_it_candidate, LoopClocks};
+use crate::workspace::SchedWorkspace;
 
 /// Knobs for [`schedule_loop`].
 #[derive(Debug, Clone)]
@@ -54,7 +55,29 @@ pub fn schedule_loop(
     power: Option<&PowerModel>,
     opts: &ScheduleOptions,
 ) -> Result<ScheduledLoop, SchedError> {
-    schedule_impl(ddg, config, power, opts, None)
+    let mut ws = SchedWorkspace::new();
+    schedule_impl(ddg, config, power, opts, None, &mut ws)
+}
+
+/// [`schedule_loop`] with a caller-provided [`SchedWorkspace`], reused
+/// across the IT-retry loop and across calls.
+///
+/// The workspace only changes *where* scratch memory lives: results are
+/// byte-identical to [`schedule_loop`]. The exploration layer keeps one
+/// workspace per worker thread so re-scheduling thousands of loops
+/// performs no steady-state allocation inside the IMS.
+///
+/// # Errors
+///
+/// As [`schedule_loop`].
+pub fn schedule_loop_ws(
+    ddg: &Ddg,
+    config: &ClockedConfig,
+    power: Option<&PowerModel>,
+    opts: &ScheduleOptions,
+    ws: &mut SchedWorkspace,
+) -> Result<ScheduledLoop, SchedError> {
+    schedule_impl(ddg, config, power, opts, None, ws)
 }
 
 /// Like [`schedule_loop`] but with a fixed, caller-provided partition —
@@ -71,7 +94,8 @@ pub fn schedule_loop_with_partition(
     partition: &Partition,
     opts: &ScheduleOptions,
 ) -> Result<ScheduledLoop, SchedError> {
-    schedule_impl(ddg, config, None, opts, Some(partition))
+    let mut ws = SchedWorkspace::new();
+    schedule_impl(ddg, config, None, opts, Some(partition), &mut ws)
 }
 
 fn schedule_impl(
@@ -80,6 +104,7 @@ fn schedule_impl(
     power: Option<&PowerModel>,
     opts: &ScheduleOptions,
     fixed: Option<&Partition>,
+    ws: &mut SchedWorkspace,
 ) -> Result<ScheduledLoop, SchedError> {
     ddg.validate_schedulable()
         .map_err(|_| SchedError::Unschedulable {
@@ -109,7 +134,7 @@ fn schedule_impl(
         match fixed {
             Some(p) => candidates.push(p.assignment.clone()),
             None => {
-                match compute_partition(ddg, config, &clocks, &objective) {
+                match compute_partition_ws(ddg, config, &clocks, &objective, &mut ws.part) {
                     Ok(p) => candidates.push(p.assignment),
                     Err(SchedError::RecurrenceDoesNotFit { .. }) => {}
                     Err(e) => return Err(e),
@@ -119,7 +144,9 @@ fn schedule_impl(
                         power: None,
                         trip_count: opts.trip_count,
                     };
-                    if let Ok(p) = compute_partition(ddg, config, &clocks, &time_objective) {
+                    if let Ok(p) =
+                        compute_partition_ws(ddg, config, &clocks, &time_objective, &mut ws.part)
+                    {
                         if !candidates.contains(&p.assignment) {
                             candidates.push(p.assignment);
                         }
@@ -142,13 +169,15 @@ fn schedule_impl(
         let mut best: Option<ScheduledLoop> = None;
         for assignment in candidates {
             let graph = ExtGraph::build(ddg, &assignment, config, &clocks);
-            if let Ok(result) = ims::schedule(&graph, config, &clocks, opts.budget_ratio) {
+            if ims::schedule_into(&graph, config, &clocks, opts.budget_ratio, ws).is_ok() {
                 let scheduled = ScheduledLoop::from_ims(
                     ddg,
                     &graph,
                     clocks.clone(),
                     assignment,
-                    result,
+                    &ws.issue_cycles,
+                    &ws.issue_ticks,
+                    &ws.max_live,
                     config.design().num_clusters,
                 );
                 // Same IT: prefer fewer communications (less bus energy),

@@ -16,8 +16,9 @@ use vliw_machine::{ClockedConfig, DomainId};
 
 use crate::comm::{ExtGraph, NodeId, NodePlace};
 use crate::mrt::{BusMrt, ClusterMrt};
-use crate::regs::max_lives;
+use crate::regs::max_lives_into;
 use crate::timing::LoopClocks;
+use crate::workspace::SchedWorkspace;
 
 /// A complete placement of every extended-graph node.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -52,6 +53,11 @@ const CYCLE_CAP: u64 = 1 << 20;
 
 /// Schedules `graph` at the clocks' initiation time.
 ///
+/// Allocating convenience wrapper over [`schedule_into`]: constructs a
+/// fresh [`SchedWorkspace`] and copies the placement out. Hot callers
+/// (the IT-retry driver, the exploration sweeps) use [`schedule_into`]
+/// with a long-lived workspace instead.
+///
 /// # Errors
 ///
 /// Returns an [`ImsFailure`] when no schedule exists at this `IT` within
@@ -62,27 +68,79 @@ pub fn schedule(
     clocks: &LoopClocks,
     budget_ratio: u32,
 ) -> Result<ImsResult, ImsFailure> {
+    let mut ws = SchedWorkspace::new();
+    schedule_into(graph, config, clocks, budget_ratio, &mut ws)?;
+    Ok(ImsResult {
+        issue_cycles: ws.issue_cycles().to_vec(),
+        issue_ticks: ws.issue_ticks().to_vec(),
+        max_live: ws.max_live().to_vec(),
+    })
+}
+
+/// Schedules `graph` at the clocks' initiation time, placing all scratch
+/// state and the resulting placement in `ws`.
+///
+/// On success the placement is available through
+/// [`SchedWorkspace::issue_cycles`], [`SchedWorkspace::issue_ticks`] and
+/// [`SchedWorkspace::max_live`]. All buffers retain their capacity across
+/// calls, so re-scheduling a graph of a size the workspace has seen before
+/// performs **no heap allocation**.
+///
+/// # Errors
+///
+/// Returns an [`ImsFailure`] when no schedule exists at this `IT` within
+/// the budget; the workspace's result buffers are unspecified after an
+/// error.
+pub fn schedule_into(
+    graph: &ExtGraph,
+    config: &ClockedConfig,
+    clocks: &LoopClocks,
+    budget_ratio: u32,
+    ws: &mut SchedWorkspace,
+) -> Result<(), ImsFailure> {
     let n = graph.num_nodes();
+    let design = config.design();
+    let num_clusters = usize::from(design.num_clusters);
+    ws.issue_cycles.clear();
+    ws.issue_ticks.clear();
+    ws.max_live.clear();
     if n == 0 {
-        return Ok(ImsResult {
-            issue_cycles: Vec::new(),
-            issue_ticks: Vec::new(),
-            max_live: vec![0; usize::from(config.design().num_clusters)],
-        });
+        ws.max_live.resize(num_clusters, 0);
+        return Ok(());
     }
     let l = clocks.ticks_per_it();
-    let heights = compute_heights(graph, l).ok_or(ImsFailure::PositiveCycle)?;
+    if !compute_heights_into(graph, l, &mut ws.heights) {
+        return Err(ImsFailure::PositiveCycle);
+    }
 
-    let design = config.design();
-    let mut cluster_mrts: Vec<ClusterMrt> = design
-        .clusters()
-        .map(|c| ClusterMrt::new(design.cluster, clocks.cluster_ii(c)))
-        .collect();
-    let mut bus_mrt = BusMrt::new(design.buses, clocks.icn_ii());
+    // Reservation tables: reset in place, allocating only when the machine
+    // grows beyond anything this workspace has seen.
+    while ws.cluster_mrts.len() < num_clusters {
+        ws.cluster_mrts.push(ClusterMrt::new(design.cluster, 1));
+    }
+    for c in design.clusters() {
+        ws.cluster_mrts[c.index()].reset(design.cluster, clocks.cluster_ii(c));
+    }
+    ws.bus_mrt.reset(design.buses, clocks.icn_ii());
 
-    let mut sched: Vec<Option<u64>> = vec![None; n];
-    let mut prev_cycle: Vec<Option<u64>> = vec![None; n];
+    ws.sched.clear();
+    ws.sched.resize(n, None);
+    ws.prev_cycle.clear();
+    ws.prev_cycle.resize(n, None);
     let mut budget: u64 = u64::from(budget_ratio) * n as u64;
+
+    // Disjoint field borrows for the placement loop.
+    let SchedWorkspace {
+        heights,
+        sched,
+        prev_cycle,
+        cluster_mrts,
+        bus_mrt,
+        eject,
+        ..
+    } = ws;
+    let heights: &[i64] = heights;
+    let cluster_mrts = &mut cluster_mrts[..num_clusters];
 
     let cyc_ticks = |v: NodeId| clocks.domain_cycle_ticks(issue_domain(graph, v));
     // Highest unscheduled priority first, id as tie-break.
@@ -92,7 +150,7 @@ pub fn schedule(
             .max_by_key(|&i| (heights[i], std::cmp::Reverse(i)))
             .map(|i| NodeId(i as u32))
     };
-    while let Some(v) = pick(&sched) {
+    while let Some(v) = pick(sched) {
         if budget == 0 {
             return Err(ImsFailure::BudgetExhausted);
         }
@@ -125,19 +183,19 @@ pub fn schedule(
         // Search one II window for a free slot; otherwise force estart.
         let ii = clocks.domain_ii(issue_domain(graph, v));
         let window_slot =
-            (estart..estart + ii).find(|&c| slot_free(graph, v, c, &cluster_mrts, &bus_mrt));
+            (estart..estart + ii).find(|&c| slot_free(graph, v, c, cluster_mrts, bus_mrt));
         let cycle = window_slot.unwrap_or(estart);
 
-        if !slot_free(graph, v, cycle, &cluster_mrts, &bus_mrt) {
-            eject_conflicting(graph, v, cycle, &mut sched, &mut cluster_mrts, &mut bus_mrt);
+        if !slot_free(graph, v, cycle, cluster_mrts, bus_mrt) {
+            eject_conflicting(graph, v, cycle, sched, cluster_mrts, bus_mrt, eject);
         }
-        reserve(graph, v, cycle, &mut cluster_mrts, &mut bus_mrt);
+        reserve(graph, v, cycle, cluster_mrts, bus_mrt);
         sched[v.index()] = Some(cycle);
         prev_cycle[v.index()] = Some(cycle);
 
         // Eject scheduled successors whose dependence is now violated.
         let v_tick = i128::from(cycle) * i128::from(vt);
-        let mut to_eject: Vec<NodeId> = Vec::new();
+        eject.clear();
         for e in graph.succs(v) {
             if e.dst == v {
                 continue;
@@ -147,36 +205,50 @@ pub fn schedule(
                 if dst_tick
                     < v_tick + i128::from(e.latency_ticks) - i128::from(e.distance) * i128::from(l)
                 {
-                    to_eject.push(e.dst);
+                    eject.push((e.dst, dst_cycle));
                 }
             }
         }
-        for w in to_eject {
+        for &(w, _) in eject.iter() {
             if let Some(c) = sched[w.index()].take() {
-                release(graph, w, c, &mut cluster_mrts, &mut bus_mrt);
+                release(graph, w, c, cluster_mrts, bus_mrt);
             }
         }
     }
 
-    let issue_cycles: Vec<u64> = sched
-        .into_iter()
-        .map(|s| s.expect("all scheduled"))
-        .collect();
-    let issue_ticks: Vec<u64> = issue_cycles
-        .iter()
-        .enumerate()
-        .map(|(i, &c)| c * cyc_ticks(NodeId(i as u32)))
-        .collect();
-    let live = max_lives(graph, clocks, design.num_clusters, &issue_ticks);
-    let over = live.iter().any(|&lv| lv > design.cluster.registers);
-    if over {
-        return Err(ImsFailure::RegisterPressure(live));
-    }
-    Ok(ImsResult {
+    // Materialise the placement into the workspace's result buffers.
+    let SchedWorkspace {
+        sched,
         issue_cycles,
         issue_ticks,
-        max_live: live,
-    })
+        ..
+    } = ws;
+    issue_cycles.extend(sched.iter().map(|s| s.expect("all scheduled")));
+    issue_ticks.extend(
+        issue_cycles
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| c * cyc_ticks(NodeId(i as u32))),
+    );
+    let SchedWorkspace {
+        issue_ticks,
+        regs,
+        max_live,
+        ..
+    } = ws;
+    max_lives_into(
+        graph,
+        clocks,
+        design.num_clusters,
+        issue_ticks,
+        regs,
+        max_live,
+    );
+    let over = max_live.iter().any(|&lv| lv > design.cluster.registers);
+    if over {
+        return Err(ImsFailure::RegisterPressure(ws.max_live.clone()));
+    }
+    Ok(())
 }
 
 fn issue_domain(graph: &ExtGraph, v: NodeId) -> DomainId {
@@ -225,7 +297,9 @@ fn release(
 }
 
 /// Ejects every scheduled node that occupies the resource `v` needs at
-/// `cycle` (same domain, same FU kind, same modulo row).
+/// `cycle` (same domain, same FU kind, same modulo row). Occupants are
+/// collected into the caller's reusable `eject` buffer.
+#[allow(clippy::too_many_arguments)]
 fn eject_conflicting(
     graph: &ExtGraph,
     v: NodeId,
@@ -233,6 +307,7 @@ fn eject_conflicting(
     sched: &mut [Option<u64>],
     cluster_mrts: &mut [ClusterMrt],
     bus_mrt: &mut BusMrt,
+    eject: &mut Vec<(NodeId, u64)>,
 ) {
     let place = graph.place(v);
     let kind = graph.fu_kind(v);
@@ -246,15 +321,17 @@ fn eject_conflicting(
             (ii, cycle % ii)
         }
     };
-    let occupants: Vec<(NodeId, u64)> = sched
-        .iter()
-        .enumerate()
-        .filter_map(|(i, s)| s.map(|c| (NodeId(i as u32), c)))
-        .filter(|&(w, c)| {
-            w != v && graph.place(w) == place && graph.fu_kind(w) == kind && c % ii == row
-        })
-        .collect();
-    for (w, c) in occupants {
+    eject.clear();
+    eject.extend(
+        sched
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.map(|c| (NodeId(i as u32), c)))
+            .filter(|&(w, c)| {
+                w != v && graph.place(w) == place && graph.fu_kind(w) == kind && c % ii == row
+            }),
+    );
+    for &(w, c) in eject.iter() {
         sched[w.index()] = None;
         release(graph, w, c, cluster_mrts, bus_mrt);
     }
@@ -267,11 +344,24 @@ fn eject_conflicting(
 /// cycle is positive at this `IT`, so no schedule exists.
 #[must_use]
 pub fn compute_heights(graph: &ExtGraph, l: u64) -> Option<Vec<i64>> {
+    let mut height = Vec::new();
+    if compute_heights_into(graph, l, &mut height) {
+        Some(height)
+    } else {
+        None
+    }
+}
+
+/// [`compute_heights`] into a reusable buffer; returns `false` when the
+/// relaxation does not converge (a positive cycle exists at this `IT`).
+fn compute_heights_into(graph: &ExtGraph, l: u64, height: &mut Vec<i64>) -> bool {
     let n = graph.num_nodes();
-    let mut height: Vec<i64> = graph
-        .nodes()
-        .map(|v| i64::try_from(graph.result_latency_ticks(v)).expect("latency fits i64"))
-        .collect();
+    height.clear();
+    height.extend(
+        graph
+            .nodes()
+            .map(|v| i64::try_from(graph.result_latency_ticks(v)).expect("latency fits i64")),
+    );
     for _ in 0..=n {
         let mut changed = false;
         for e in graph.edges() {
@@ -284,10 +374,10 @@ pub fn compute_heights(graph: &ExtGraph, l: u64) -> Option<Vec<i64>> {
             }
         }
         if !changed {
-            return Some(height);
+            return true;
         }
     }
-    None
+    false
 }
 
 #[cfg(test)]

@@ -25,6 +25,24 @@
 //! baseline \[2\]\[3\]) — pass a homogeneous [`ClockedConfig`] and no power
 //! model, and the ED² objective degenerates to execution time.
 //!
+//! # Workspaces and allocation discipline
+//!
+//! The evaluation re-runs this pipeline over thousands of loops, so the
+//! scheduler is built around a reusable [`SchedWorkspace`]: reservation
+//! tables, priority/placement arrays, register-pressure scratch and the
+//! partitioner's evaluation buffers all live in the workspace and are
+//! `clear()`ed rather than reallocated. Steady-state scheduling — a loop
+//! whose size the workspace has already seen — performs **no heap
+//! allocation** inside [`ims::schedule_into`] (asserted by a
+//! counting-allocator test). Use [`schedule_loop_ws`] with one workspace
+//! per worker thread; [`schedule_loop`] is the allocating convenience
+//! wrapper.
+//!
+//! All side tables are dense and indexed by `vliw_ir::OpId` order — see
+//! the `vliw_ir` crate docs for the index-stability invariants
+//! ([`ExtGraph`] extends that numbering with copy nodes at
+//! `num_real..`).
+//!
 //! # Example
 //!
 //! ```
@@ -65,17 +83,20 @@ pub mod partition;
 mod regs;
 mod schedule;
 pub mod timing;
+mod workspace;
 
 pub use comm::{ExtEdge, ExtGraph, NodeId, NodePlace};
 pub use error::SchedError;
-pub use hetero::{schedule_loop, schedule_loop_with_partition, ScheduleOptions};
+pub use hetero::{schedule_loop, schedule_loop_with_partition, schedule_loop_ws, ScheduleOptions};
 pub use mrt::{BusMrt, ClusterMrt};
 pub use partition::{
-    compute_partition, compute_partition_unrefined, Partition, PartitionObjective,
+    compute_partition, compute_partition_unrefined, compute_partition_ws, Partition,
+    PartitionObjective,
 };
 pub use regs::{lifetime_sum_ticks, max_lives};
 pub use schedule::{ScheduledCopy, ScheduledLoop};
 pub use timing::LoopClocks;
+pub use workspace::{PartitionScratch, SchedWorkspace};
 
 // Scheduling inputs/outputs cross the exploration worker pool.
 const fn _assert_send_sync<T: Send + Sync>() {}
@@ -85,4 +106,5 @@ const _: () = {
     _assert_send_sync::<SchedError>();
     _assert_send_sync::<LoopClocks>();
     _assert_send_sync::<Partition>();
+    _assert_send_sync::<SchedWorkspace>();
 };

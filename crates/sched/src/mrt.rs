@@ -38,6 +38,27 @@ impl ClusterMrt {
         }
     }
 
+    /// Re-initialises the table in place for a (possibly different) design
+    /// and initiation interval, clearing every reservation.
+    ///
+    /// Row storage is retained, so resetting to an `II` the table has seen
+    /// before performs no heap allocation — the scheduling workspace resets
+    /// its tables once per IMS run instead of constructing fresh ones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ii == 0`.
+    pub fn reset(&mut self, design: ClusterDesign, ii: u64) {
+        assert!(ii > 0, "initiation interval must be positive");
+        let n = usize::try_from(ii).expect("II fits in memory");
+        self.ii = ii;
+        self.design = design;
+        for rows in [&mut self.int_rows, &mut self.fp_rows, &mut self.mem_rows] {
+            rows.clear();
+            rows.resize(n, 0);
+        }
+    }
+
     /// The table's initiation interval.
     #[must_use]
     pub fn ii(&self) -> u64 {
@@ -132,6 +153,22 @@ impl BusMrt {
             buses,
             rows: vec![0; usize::try_from(ii).expect("II fits in memory")],
         }
+    }
+
+    /// Re-initialises the table in place, clearing every reservation (see
+    /// [`ClusterMrt::reset`]; row storage is likewise retained).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ii == 0` or `buses == 0`.
+    pub fn reset(&mut self, buses: u32, ii: u64) {
+        assert!(ii > 0, "initiation interval must be positive");
+        assert!(buses > 0, "at least one bus");
+        self.ii = ii;
+        self.buses = buses;
+        self.rows.clear();
+        self.rows
+            .resize(usize::try_from(ii).expect("II fits in memory"), 0);
     }
 
     /// The table's initiation interval.

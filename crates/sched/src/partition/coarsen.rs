@@ -1,8 +1,6 @@
 //! Coarsening: heavy-edge matching over macronodes (§4.1's multilevel step
 //! one) and the greedy seed assignment of the coarsest graph.
 
-use std::collections::HashMap;
-
 use vliw_ir::{Ddg, DepKind, FuKind, OpId};
 use vliw_machine::{ClockedConfig, ClusterId};
 
@@ -62,17 +60,22 @@ pub(crate) fn coarsen(
     // pinned neighbours sharing a target. Recurrences were pinned whole, so
     // grouping by connected pinned component per cluster is exact enough:
     // we simply group all pinned ops per *recurrence* using the fact that
-    // pin assigns per recurrence; reconstruct via SCCs.
-    let sccs = vliw_ir::condensation(ddg);
-    let mut scc_group: HashMap<u32, usize> = HashMap::new();
+    // pin assigns per recurrence; reconstruct via the DDG's cached SCCs.
+    let sccs = ddg.sccs();
+    let mut scc_group: Vec<Option<usize>> = vec![None; sccs.len()];
     for op in ddg.op_ids() {
         if let Some(home) = pinned[op.index()] {
             let scc = sccs.component_of(op);
-            let g = *scc_group.entry(scc.0).or_insert_with(|| {
-                base_groups.push(Vec::new());
-                base_pin.push(Some(home));
-                base_groups.len() - 1
-            });
+            let g = match scc_group[scc.index()] {
+                Some(g) => g,
+                None => {
+                    base_groups.push(Vec::new());
+                    base_pin.push(Some(home));
+                    let g = base_groups.len() - 1;
+                    scc_group[scc.index()] = Some(g);
+                    g
+                }
+            };
             base_groups[g].push(op);
             group_of_op[op.index()] = g;
         }
@@ -107,7 +110,9 @@ pub(crate) fn coarsen(
                 }
             }
         }
-        let mut weights: HashMap<(usize, usize), u64> = HashMap::new();
+        // Edge weights, accumulated without hashing: collect the
+        // normalised endpoint pairs, sort, and run-length count.
+        let mut pair_list: Vec<(usize, usize)> = Vec::new();
         for e in ddg.edges() {
             if e.kind() != DepKind::Flow {
                 continue;
@@ -116,10 +121,16 @@ pub(crate) fn coarsen(
             if a == b {
                 continue;
             }
-            let key = (a.min(b), a.max(b));
-            *weights.entry(key).or_insert(0) += 1;
+            pair_list.push((a.min(b), a.max(b)));
         }
-        let mut pairs: Vec<((usize, usize), u64)> = weights.into_iter().collect();
+        pair_list.sort_unstable();
+        let mut pairs: Vec<((usize, usize), u64)> = Vec::new();
+        for &p in &pair_list {
+            match pairs.last_mut() {
+                Some((last, w)) if *last == p => *w += 1,
+                _ => pairs.push((p, 1)),
+            }
+        }
         // Heaviest edges first; deterministic tie-break by indices.
         pairs.sort_by_key(|&((a, b), w)| (std::cmp::Reverse(w), a, b));
 

@@ -27,14 +27,29 @@ mod pin;
 mod pseudo;
 mod refine;
 
-pub use pseudo::{evaluate_partition, PseudoEval};
+pub use pseudo::{evaluate_partition, evaluate_partition_ws, PseudoEval};
 
-use vliw_ir::{condensation, Ddg};
+use vliw_ir::{Ddg, FuKind};
 use vliw_machine::{ClockedConfig, ClusterId};
 use vliw_power::PowerModel;
 
 use crate::error::SchedError;
 use crate::timing::LoopClocks;
+use crate::workspace::PartitionScratch;
+
+/// Dense slot index for the three cluster-resident FU kinds.
+///
+/// # Panics
+///
+/// Panics on [`FuKind::Bus`] — real operations never occupy the bus.
+pub(crate) fn fu_slot(kind: FuKind) -> usize {
+    match kind {
+        FuKind::Int => 0,
+        FuKind::Fp => 1,
+        FuKind::Mem => 2,
+        FuKind::Bus => unreachable!("operations never occupy the bus directly"),
+    }
+}
 
 /// A cluster assignment for every operation of a DDG.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -97,6 +112,24 @@ pub fn compute_partition(
     clocks: &LoopClocks,
     objective: &PartitionObjective<'_>,
 ) -> Result<Partition, SchedError> {
+    let mut scratch = PartitionScratch::new();
+    compute_partition_ws(ddg, config, clocks, objective, &mut scratch)
+}
+
+/// [`compute_partition`] with caller-provided scratch (normally the
+/// partition half of a [`crate::SchedWorkspace`]), reused across the
+/// refinement passes and across calls. Results are identical.
+///
+/// # Errors
+///
+/// As [`compute_partition`].
+pub fn compute_partition_ws(
+    ddg: &Ddg,
+    config: &ClockedConfig,
+    clocks: &LoopClocks,
+    objective: &PartitionObjective<'_>,
+    scratch: &mut PartitionScratch,
+) -> Result<Partition, SchedError> {
     let num_clusters = config.design().num_clusters;
     if ddg.is_empty() {
         return Ok(Partition {
@@ -107,10 +140,18 @@ pub fn compute_partition(
         return Ok(Partition::all_in_first(ddg.num_ops()));
     }
 
-    let recurrences = condensation(ddg).recurrences(ddg);
-    let pinned = pin::pin_recurrences(ddg, &recurrences, config, clocks)?;
+    let recurrences = ddg.recurrences();
+    let pinned = pin::pin_recurrences(ddg, recurrences, config, clocks)?;
     let hierarchy = coarsen::coarsen(ddg, &pinned, config, clocks);
-    let assignment = refine::refine(ddg, &hierarchy, &recurrences, config, clocks, objective);
+    let assignment = refine::refine(
+        ddg,
+        &hierarchy,
+        recurrences,
+        config,
+        clocks,
+        objective,
+        scratch,
+    );
     Ok(Partition { assignment })
 }
 
@@ -137,8 +178,8 @@ pub fn compute_partition_unrefined(
     if num_clusters == 1 {
         return Ok(Partition::all_in_first(ddg.num_ops()));
     }
-    let recurrences = condensation(ddg).recurrences(ddg);
-    let pinned = pin::pin_recurrences(ddg, &recurrences, config, clocks)?;
+    let recurrences = ddg.recurrences();
+    let pinned = pin::pin_recurrences(ddg, recurrences, config, clocks)?;
     let hierarchy = coarsen::coarsen(ddg, &pinned, config, clocks);
     let coarsest = hierarchy.base_groups_at(hierarchy.num_levels() - 1);
     let mut assignment = vec![vliw_machine::ClusterId(0); ddg.num_ops()];

@@ -8,11 +8,10 @@
 //! clusters consume less power, and an unnecessary fast-cluster placement
 //! wastes the heterogeneous design's entire point.
 
-use std::collections::HashMap;
-
 use vliw_ir::{Ddg, FuKind, Recurrence};
 use vliw_machine::{ClockedConfig, ClusterId};
 
+use super::fu_slot;
 use crate::error::SchedError;
 use crate::timing::LoopClocks;
 
@@ -38,15 +37,15 @@ pub(crate) fn pin_recurrences(
     clocks: &LoopClocks,
 ) -> Result<Pinned, SchedError> {
     let mut pinned: Pinned = vec![None; ddg.num_ops()];
-    // (cluster, kind) → ops already pinned there.
-    let mut load: HashMap<(ClusterId, FuKind), u64> = HashMap::new();
-    let slowest_first = config.clusters_slowest_first();
+    // Dense `load[cluster][kind]` → ops already pinned there.
     let design = config.design();
+    let mut load = vec![[0u64; 3]; usize::from(design.num_clusters)];
+    let slowest_first = config.clusters_slowest_first();
 
     for rec in recurrences {
-        let mut counts: HashMap<FuKind, u64> = HashMap::new();
+        let mut counts = [0u64; 3];
         for &op in &rec.ops {
-            *counts.entry(ddg.op(op).fu_kind()).or_insert(0) += 1;
+            counts[fu_slot(ddg.op(op).fu_kind())] += 1;
         }
         let min_ii = u64::from(rec.min_ii());
         let home = slowest_first.iter().copied().find(|&c| {
@@ -54,10 +53,10 @@ pub(crate) fn pin_recurrences(
             if ii < min_ii {
                 return false;
             }
-            counts.iter().all(|(&kind, &need)| {
+            // `fu_slot` indexes `load`/`counts` in CLUSTER_KINDS order.
+            FuKind::CLUSTER_KINDS.iter().enumerate().all(|(ki, &kind)| {
                 let cap = u64::from(design.cluster.fu_count(kind)) * ii;
-                let used = load.get(&(c, kind)).copied().unwrap_or(0);
-                used + need <= cap
+                load[c.index()][ki] + counts[ki] <= cap
             })
         });
         let Some(home) = home else {
@@ -68,7 +67,7 @@ pub(crate) fn pin_recurrences(
         };
         for &op in &rec.ops {
             pinned[op.index()] = Some(home);
-            *load.entry((home, ddg.op(op).fu_kind())).or_insert(0) += 1;
+            load[home.index()][fu_slot(ddg.op(op).fu_kind())] += 1;
         }
     }
     Ok(pinned)

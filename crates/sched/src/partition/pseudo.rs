@@ -16,15 +16,14 @@
 //! refiner minimises; without a power model the estimate degenerates to
 //! execution time (homogeneous baseline objective).
 
-use std::collections::HashSet;
-
 use vliw_ir::{Ddg, DepKind, FuKind, Recurrence};
 use vliw_machine::Time;
 use vliw_machine::{ClockedConfig, ClusterId, DomainId};
 use vliw_power::UsageProfile;
 
-use super::PartitionObjective;
+use super::{fu_slot, PartitionObjective};
 use crate::timing::LoopClocks;
+use crate::workspace::PartitionScratch;
 
 /// The pseudo-schedule's estimates for one candidate partition.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -44,6 +43,9 @@ pub struct PseudoEval {
 /// Infeasible partitions (e.g. FP work in a cluster with no FP units)
 /// return `ed2 = ∞` so the refiner steers away from them.
 ///
+/// Allocating wrapper over [`evaluate_partition_ws`]; results are
+/// identical.
+///
 /// # Panics
 ///
 /// Panics if `assignment.len() != ddg.num_ops()`.
@@ -55,6 +57,37 @@ pub fn evaluate_partition(
     config: &ClockedConfig,
     clocks: &LoopClocks,
     objective: &PartitionObjective<'_>,
+) -> PseudoEval {
+    let mut scratch = PartitionScratch::new();
+    evaluate_partition_ws(
+        ddg,
+        assignment,
+        recurrences,
+        config,
+        clocks,
+        objective,
+        &mut scratch,
+    )
+}
+
+/// [`evaluate_partition`] with caller-provided scratch buffers. The
+/// refiner evaluates hundreds of candidate moves per loop; reusing the
+/// scratch removes every per-evaluation allocation except the energy
+/// model's usage profile.
+///
+/// # Panics
+///
+/// Panics if `assignment.len() != ddg.num_ops()`.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn evaluate_partition_ws(
+    ddg: &Ddg,
+    assignment: &[ClusterId],
+    recurrences: &[Recurrence],
+    config: &ClockedConfig,
+    clocks: &LoopClocks,
+    objective: &PartitionObjective<'_>,
+    scratch: &mut PartitionScratch,
 ) -> PseudoEval {
     assert_eq!(assignment.len(), ddg.num_ops(), "one cluster per operation");
     let design = config.design();
@@ -72,15 +105,11 @@ pub fn evaluate_partition(
     };
 
     // --- Resource rows per cluster.
-    let mut counts = vec![[0u64; 3]; usize::from(design.num_clusters)];
-    let kind_index = |k: FuKind| match k {
-        FuKind::Int => 0usize,
-        FuKind::Fp => 1,
-        FuKind::Mem => 2,
-        FuKind::Bus => unreachable!("real ops never occupy the bus"),
-    };
+    let counts = &mut scratch.counts;
+    counts.clear();
+    counts.resize(usize::from(design.num_clusters), [0u64; 3]);
     for op in ddg.ops() {
-        counts[assignment[op.id().index()].index()][kind_index(op.fu_kind())] += 1;
+        counts[assignment[op.id().index()].index()][fu_slot(op.fu_kind())] += 1;
     }
     for c in design.clusters() {
         for (ki, kind) in [FuKind::Int, FuKind::Fp, FuKind::Mem]
@@ -101,37 +130,67 @@ pub fn evaluate_partition(
     }
 
     // --- Bus rows for the communications this partition implies (one
-    // broadcast per producer whose value leaves its cluster).
-    let mut comm_producers: HashSet<u32> = HashSet::new();
+    // broadcast per producer whose value leaves its cluster). Producers
+    // are deduplicated through a dense mark table cleared in O(marked).
+    for &i in &scratch.marked {
+        scratch.comm_marked[i as usize] = false;
+    }
+    scratch.marked.clear();
+    if scratch.comm_marked.len() < ddg.num_ops() {
+        scratch.comm_marked.resize(ddg.num_ops(), false);
+    }
+    let mut comms = 0u64;
     for e in ddg.edges() {
         if e.kind() != DepKind::Flow {
             continue;
         }
         let (s, d) = (assignment[e.src().index()], assignment[e.dst().index()]);
-        if s != d {
-            comm_producers.insert(e.src().0);
+        if s != d && !scratch.comm_marked[e.src().index()] {
+            scratch.comm_marked[e.src().index()] = true;
+            scratch.marked.push(e.src().0);
+            comms += 1;
         }
     }
-    let comms = comm_producers.len() as u64;
     if comms > 0 {
         let rows = comms.div_ceil(u64::from(design.buses));
         est_it = est_it.max(rows as f64 * icn_cycle_ns);
     }
 
     // --- Recurrence constraints.
+    if !recurrences.is_empty() && scratch.rec_stamp.len() < ddg.num_ops() {
+        scratch.rec_stamp.resize(ddg.num_ops(), 0);
+    }
     for rec in recurrences {
-        let used: HashSet<ClusterId> = rec.ops.iter().map(|&op| assignment[op.index()]).collect();
-        let slowest_used_ns = used.iter().map(|&c| cycle_ns(c)).fold(0.0f64, f64::max);
+        // One pass over the members: the slowest cluster the recurrence
+        // touches, and whether it spans more than one.
+        let first = assignment[rec.ops[0].index()];
+        let mut split = false;
+        let mut slowest_used_ns = 0.0f64;
+        for &op in &rec.ops {
+            let c = assignment[op.index()];
+            split |= c != first;
+            slowest_used_ns = slowest_used_ns.max(cycle_ns(c));
+        }
         let mut needed = rec.critical_ratio.value() * slowest_used_ns;
-        if used.len() > 1 {
+        if split {
             // Split recurrence: every crossing inside it pays a bus
-            // transfer plus two synchronisation-queue cycles.
+            // transfer plus two synchronisation-queue cycles. Membership
+            // is answered by an epoch-stamped dense table.
+            if scratch.rec_epoch == u32::MAX {
+                scratch.rec_stamp.iter_mut().for_each(|s| *s = 0);
+                scratch.rec_epoch = 0;
+            }
+            scratch.rec_epoch += 1;
+            for &op in &rec.ops {
+                scratch.rec_stamp[op.index()] = scratch.rec_epoch;
+            }
+            let epoch = scratch.rec_epoch;
             let crossings = ddg
                 .edges()
                 .filter(|e| {
                     e.kind() == DepKind::Flow
-                        && rec.ops.contains(&e.src())
-                        && rec.ops.contains(&e.dst())
+                        && scratch.rec_stamp[e.src().index()] == epoch
+                        && scratch.rec_stamp[e.dst().index()] == epoch
                         && assignment[e.src().index()] != assignment[e.dst().index()]
                 })
                 .count() as f64;
@@ -140,11 +199,14 @@ pub fn evaluate_partition(
         est_it = est_it.max(needed);
     }
 
-    // --- Iteration length: ASAP over the distance-0 subgraph.
-    let order = vliw_ir::topological_order(ddg).expect("validated DDG has an acyclic core");
-    let mut finish = vec![0.0f64; ddg.num_ops()];
+    // --- Iteration length: ASAP over the distance-0 subgraph (the order
+    // is cached on the DDG, so each evaluation is a linear walk).
+    let order = ddg.topo_order().expect("validated DDG has an acyclic core");
+    let finish = &mut scratch.finish;
+    finish.clear();
+    finish.resize(ddg.num_ops(), 0.0f64);
     let mut itlen = 0.0f64;
-    for &v in &order {
+    for &v in order {
         let cluster = assignment[v.index()];
         let mut start = 0.0f64;
         for e in ddg.preds(v) {

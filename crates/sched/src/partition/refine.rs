@@ -5,9 +5,10 @@ use vliw_ir::Recurrence;
 use vliw_machine::{ClockedConfig, ClusterId};
 
 use super::coarsen::Hierarchy;
-use super::pseudo::evaluate_partition;
+use super::pseudo::evaluate_partition_ws;
 use super::PartitionObjective;
 use crate::timing::LoopClocks;
+use crate::workspace::PartitionScratch;
 use vliw_ir::Ddg;
 
 /// Maximum improvement passes per hierarchy level.
@@ -15,6 +16,12 @@ const PASS_LIMIT: usize = 6;
 
 /// Refines the hierarchy's seed assignment from the coarsest level down to
 /// the base, returning the final per-op cluster assignment.
+///
+/// Candidate moves are priced with [`evaluate_partition_ws`] against the
+/// shared `scratch`, and the induced per-op assignment lives in one
+/// reusable buffer — the inner evaluation loop performs no steady-state
+/// allocation (except the energy model's usage profile under an ED²
+/// objective).
 pub(crate) fn refine(
     ddg: &Ddg,
     hierarchy: &Hierarchy,
@@ -22,6 +29,7 @@ pub(crate) fn refine(
     config: &ClockedConfig,
     clocks: &LoopClocks,
     objective: &PartitionObjective<'_>,
+    scratch: &mut PartitionScratch,
 ) -> Vec<ClusterId> {
     // Assignment per *base group*, seeded from the coarsest level.
     let coarsest_level = hierarchy.num_levels() - 1;
@@ -33,14 +41,26 @@ pub(crate) fn refine(
         }
     }
 
+    // The induced-assignment buffer is taken out of the scratch so it can
+    // be borrowed alongside it (and returned before exit for reuse).
+    let mut induced = std::mem::take(&mut scratch.induced);
+
     let clusters: Vec<ClusterId> = config.design().clusters().collect();
     // Walk levels coarsest → finest; at each level try moving whole
     // macronodes between clusters.
     for level in (0..hierarchy.num_levels()).rev() {
         let groups = hierarchy.base_groups_at(level);
         let mut current_eval = {
-            let assignment = induce(ddg, hierarchy, &base_assign);
-            evaluate_partition(ddg, &assignment, recurrences, config, clocks, objective)
+            induce_into(ddg, hierarchy, &base_assign, &mut induced);
+            evaluate_partition_ws(
+                ddg,
+                &induced,
+                recurrences,
+                config,
+                clocks,
+                objective,
+                scratch,
+            )
         };
         for _pass in 0..PASS_LIMIT {
             let mut improved = false;
@@ -58,14 +78,15 @@ pub(crate) fn refine(
                     for &bg in bgs {
                         base_assign[bg] = to;
                     }
-                    let assignment = induce(ddg, hierarchy, &base_assign);
-                    let eval = evaluate_partition(
+                    induce_into(ddg, hierarchy, &base_assign, &mut induced);
+                    let eval = evaluate_partition_ws(
                         ddg,
-                        &assignment,
+                        &induced,
                         recurrences,
                         config,
                         clocks,
                         objective,
+                        scratch,
                     );
                     if eval.ed2 < current_eval.ed2
                         && best.as_ref().is_none_or(|(_, b)| eval.ed2 < b.ed2)
@@ -94,18 +115,27 @@ pub(crate) fn refine(
             }
         }
     }
-    induce(ddg, hierarchy, &base_assign)
+    induce_into(ddg, hierarchy, &base_assign, &mut induced);
+    let result = induced.clone();
+    scratch.induced = induced;
+    result
 }
 
-/// Expands a base-group assignment to a per-op assignment.
-fn induce(ddg: &Ddg, hierarchy: &Hierarchy, base_assign: &[ClusterId]) -> Vec<ClusterId> {
-    let mut assignment = vec![ClusterId(0); ddg.num_ops()];
+/// Expands a base-group assignment to a per-op assignment, into a reusable
+/// buffer.
+fn induce_into(
+    ddg: &Ddg,
+    hierarchy: &Hierarchy,
+    base_assign: &[ClusterId],
+    out: &mut Vec<ClusterId>,
+) {
+    out.clear();
+    out.resize(ddg.num_ops(), ClusterId(0));
     for (bg, ops) in hierarchy.base_groups.iter().enumerate() {
         for &op in ops {
-            assignment[op.index()] = base_assign[bg];
+            out[op.index()] = base_assign[bg];
         }
     }
-    assignment
 }
 
 #[cfg(test)]

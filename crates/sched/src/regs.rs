@@ -11,6 +11,7 @@
 
 use crate::comm::{ExtGraph, NodePlace};
 use crate::timing::LoopClocks;
+use crate::workspace::RegScratch;
 
 /// Per-cluster MaxLives of a schedule.
 ///
@@ -18,6 +19,9 @@ use crate::timing::LoopClocks;
 /// Values are attributed to the register file that holds them: an
 /// operation's result lives in its own cluster; a broadcast copy's result
 /// lives in *every* cluster that consumes it.
+///
+/// Allocating wrapper over the scratch-based path the scheduler's
+/// register check runs on every attempt; the result is identical.
 ///
 /// # Panics
 ///
@@ -29,9 +33,40 @@ pub fn max_lives(
     num_clusters: u8,
     issue_ticks: &[u64],
 ) -> Vec<u32> {
+    let mut scratch = RegScratch::default();
+    let mut out = Vec::new();
+    max_lives_into(
+        graph,
+        clocks,
+        num_clusters,
+        issue_ticks,
+        &mut scratch,
+        &mut out,
+    );
+    out
+}
+
+/// [`max_lives`] into reusable scratch and output buffers — the
+/// allocation-free path the IMS register check runs on every attempt.
+pub(crate) fn max_lives_into(
+    graph: &ExtGraph,
+    clocks: &LoopClocks,
+    num_clusters: u8,
+    issue_ticks: &[u64],
+    scratch: &mut RegScratch,
+    out: &mut Vec<u32>,
+) {
     let l = clocks.ticks_per_it();
-    let intervals = lifetime_intervals(graph, clocks, num_clusters, issue_ticks);
-    intervals.iter().map(|iv| max_overlap(iv, l)).collect()
+    lifetime_intervals_into(graph, clocks, num_clusters, issue_ticks, scratch);
+    let RegScratch {
+        intervals, events, ..
+    } = scratch;
+    out.clear();
+    out.extend(
+        intervals[..usize::from(num_clusters)]
+            .iter()
+            .map(|iv| max_overlap_with(events, iv, l)),
+    );
 }
 
 /// Sum of all register lifetimes, in ticks — the quantity the paper's §3.2
@@ -48,27 +83,44 @@ pub fn lifetime_sum_ticks(
     num_clusters: u8,
     issue_ticks: &[u64],
 ) -> u64 {
-    lifetime_intervals(graph, clocks, num_clusters, issue_ticks)
+    let mut scratch = RegScratch::default();
+    lifetime_intervals_into(graph, clocks, num_clusters, issue_ticks, &mut scratch);
+    scratch.intervals[..usize::from(num_clusters)]
         .iter()
         .flatten()
         .map(|&(s, e)| e - s)
         .sum()
 }
 
-/// Per-cluster `[def, last_read)` intervals of every register value.
-fn lifetime_intervals(
+/// Per-cluster `[def, last_read)` intervals of every register value,
+/// written into `scratch.intervals[..num_clusters]` (inner buffers are
+/// cleared and reused, so warm calls allocate nothing).
+fn lifetime_intervals_into(
     graph: &ExtGraph,
     clocks: &LoopClocks,
     num_clusters: u8,
     issue_ticks: &[u64],
-) -> Vec<Vec<(u64, u64)>> {
+    scratch: &mut RegScratch,
+) {
     assert_eq!(
         issue_ticks.len(),
         graph.num_nodes(),
         "one issue tick per node"
     );
     let l = clocks.ticks_per_it();
-    let mut intervals: Vec<Vec<(u64, u64)>> = vec![Vec::new(); usize::from(num_clusters)];
+    let nc = usize::from(num_clusters);
+    if scratch.intervals.len() < nc {
+        scratch.intervals.resize_with(nc, Vec::new);
+    }
+    let RegScratch {
+        intervals,
+        per_cluster,
+        ..
+    } = scratch;
+    let intervals = &mut intervals[..nc];
+    for iv in intervals.iter_mut() {
+        iv.clear();
+    }
 
     for n in graph.nodes() {
         match graph.place(n) {
@@ -99,8 +151,8 @@ fn lifetime_intervals(
                 // cluster's register file: one interval per consumer
                 // cluster, from the (per-cluster) arrival to the last read
                 // in that cluster.
-                let mut per_cluster: Vec<Option<(u64, u64)>> =
-                    vec![None; usize::from(num_clusters)];
+                per_cluster.clear();
+                per_cluster.resize(nc, None);
                 for e in graph.succs(n) {
                     if !e.value {
                         continue;
@@ -116,27 +168,26 @@ fn lifetime_intervals(
                         Some((d, r)) => (d.min(def), r.max(read.max(def))),
                     });
                 }
-                for (c, slot) in per_cluster.into_iter().enumerate() {
-                    if let Some((def, end)) = slot {
+                for (c, slot) in per_cluster.iter().enumerate() {
+                    if let Some((def, end)) = *slot {
                         intervals[c].push((def, end.max(def)));
                     }
                 }
             }
         }
     }
-    intervals
 }
 
 /// Maximum number of simultaneously live `[start, end)` intervals folded
-/// modulo `l`.
-fn max_overlap(intervals: &[(u64, u64)], l: u64) -> u32 {
+/// modulo `l`, using the caller's reusable sweep-event buffer.
+fn max_overlap_with(events: &mut Vec<(u64, i64)>, intervals: &[(u64, u64)], l: u64) -> u32 {
     if intervals.is_empty() {
         return 0;
     }
     // Baseline: whole wraps.
     let mut base: u64 = 0;
     // Sweep events on [0, l).
-    let mut events: Vec<(u64, i64)> = Vec::with_capacity(intervals.len() * 2);
+    events.clear();
     for &(start, end) in intervals {
         let len = end - start;
         base += len / l;
@@ -159,7 +210,7 @@ fn max_overlap(intervals: &[(u64, u64)], l: u64) -> u32 {
     events.sort_unstable_by_key(|&(t, d)| (t, d));
     let mut current = i64::try_from(base).expect("pressure fits i64");
     let mut best = current;
-    for (_, d) in events {
+    for &(_, d) in events.iter() {
         current += d;
         best = best.max(current);
     }
@@ -273,13 +324,14 @@ mod tests {
 
     #[test]
     fn max_overlap_exact_boundaries() {
+        let mut ev = Vec::new();
         // Two abutting intervals never overlap.
-        assert_eq!(max_overlap(&[(0, 2), (2, 4)], 4), 1);
+        assert_eq!(max_overlap_with(&mut ev, &[(0, 2), (2, 4)], 4), 1);
         // Identical intervals stack.
-        assert_eq!(max_overlap(&[(0, 3), (0, 3), (0, 3)], 4), 3);
+        assert_eq!(max_overlap_with(&mut ev, &[(0, 3), (0, 3), (0, 3)], 4), 3);
         // Zero-length interval contributes nothing.
-        assert_eq!(max_overlap(&[(1, 1)], 4), 0);
+        assert_eq!(max_overlap_with(&mut ev, &[(1, 1)], 4), 0);
         // Exactly one full wrap counts once everywhere.
-        assert_eq!(max_overlap(&[(3, 7)], 4), 1);
+        assert_eq!(max_overlap_with(&mut ev, &[(3, 7)], 4), 1);
     }
 }

@@ -5,7 +5,6 @@ use vliw_machine::{ClusterId, Time};
 use vliw_power::UsageProfile;
 
 use crate::comm::ExtGraph;
-use crate::ims::ImsResult;
 use crate::timing::LoopClocks;
 
 /// A scheduled inter-cluster copy: one bus broadcast of `producer`'s value,
@@ -38,30 +37,36 @@ pub struct ScheduledLoop {
 }
 
 impl ScheduledLoop {
+    /// Materialises a schedule from the IMS placement arrays (borrowed
+    /// straight from the scheduling workspace — this is the only point the
+    /// driver allocates for a successful schedule).
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn from_ims(
         ddg: &Ddg,
         graph: &ExtGraph,
         clocks: LoopClocks,
         assignment: Vec<ClusterId>,
-        result: ImsResult,
+        issue_cycles: &[u64],
+        issue_ticks: &[u64],
+        max_live: &[u32],
         num_clusters: u8,
     ) -> Self {
         let num_real = graph.num_real();
-        let op_cycles = result.issue_cycles[..num_real].to_vec();
-        let op_ticks = result.issue_ticks[..num_real].to_vec();
+        let op_cycles = issue_cycles[..num_real].to_vec();
+        let op_ticks = issue_ticks[..num_real].to_vec();
         let copies: Vec<ScheduledCopy> = graph
             .copies()
             .iter()
             .enumerate()
             .map(|(i, c)| ScheduledCopy {
                 producer: c.producer,
-                cycle: result.issue_cycles[num_real + i],
+                cycle: issue_cycles[num_real + i],
             })
             .collect();
-        let copy_ticks = result.issue_ticks[num_real..].to_vec();
+        let copy_ticks = issue_ticks[num_real..].to_vec();
         let it_length_ticks = graph
             .nodes()
-            .map(|n| result.issue_ticks[n.index()] + graph.result_latency_ticks(n))
+            .map(|n| issue_ticks[n.index()] + graph.result_latency_ticks(n))
             .max()
             .unwrap_or(0);
         let mut weighted = vec![0.0f64; usize::from(num_clusters)];
@@ -70,7 +75,7 @@ impl ScheduledLoop {
         }
         let mem_accesses_per_iter = ddg.count_memory_ops() as u64;
         let lifetime_sum_ticks =
-            crate::regs::lifetime_sum_ticks(graph, &clocks, num_clusters, &result.issue_ticks);
+            crate::regs::lifetime_sum_ticks(graph, &clocks, num_clusters, issue_ticks);
         ScheduledLoop {
             clocks,
             assignment,
@@ -79,7 +84,7 @@ impl ScheduledLoop {
             copies,
             copy_ticks,
             it_length_ticks,
-            max_live: result.max_live,
+            max_live: max_live.to_vec(),
             lifetime_sum_ticks,
             weighted_ins_per_cluster: weighted,
             mem_accesses_per_iter,

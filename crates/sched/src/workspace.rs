@@ -1,0 +1,157 @@
+//! The reusable scheduling workspace: every scratch buffer the modulo
+//! scheduler needs, owned in one place so the hot path performs **no
+//! steady-state heap allocation**.
+//!
+//! The paper's evaluation re-runs the §4 pipeline over thousands of loops,
+//! and each loop retries the inner IMS at increasing initiation times
+//! (Figure 5). Allocating the reservation tables, height/placement arrays
+//! and register-pressure scratch afresh for every attempt dominated the
+//! allocator profile; a [`SchedWorkspace`] is instead created once per
+//! worker thread (or once per loop) and reused across:
+//!
+//! * the IT-retry loop of [`crate::schedule_loop`] /
+//!   [`crate::schedule_loop_ws`],
+//! * every [`crate::ims::schedule_into`] attempt inside one retry,
+//! * the partition refinement passes
+//!   ([`crate::partition::compute_partition_ws`]), and
+//! * across loops, when the exploration layer hands one workspace to each
+//!   worker of the `vliw-exec` pool.
+//!
+//! Buffers are `clear()`ed and `resize()`d rather than reconstructed, so
+//! after the first pass over a loop their capacity is warm and subsequent
+//! passes allocate nothing (asserted by the counting-allocator test in
+//! `crates/sched/tests/zero_alloc.rs`). The workspace never changes *what*
+//! is computed — results are byte-identical with a fresh workspace per
+//! call.
+
+use vliw_machine::ClusterId;
+
+use crate::comm::NodeId;
+use crate::mrt::{BusMrt, ClusterMrt};
+
+/// Scratch for the register-pressure (MaxLives) analysis.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct RegScratch {
+    /// Per-cluster `[def, last_read)` lifetime intervals.
+    pub(crate) intervals: Vec<Vec<(u64, u64)>>,
+    /// Per-consumer-cluster interval accumulator for one broadcast copy.
+    pub(crate) per_cluster: Vec<Option<(u64, u64)>>,
+    /// Sweep events for the modulo overlap count.
+    pub(crate) events: Vec<(u64, i64)>,
+}
+
+/// Scratch for the partitioner's pseudo-schedule evaluation and multilevel
+/// refinement (see [`crate::partition::evaluate_partition_ws`]).
+#[derive(Debug, Clone, Default)]
+pub struct PartitionScratch {
+    /// Per-cluster op counts `[int, fp, mem]`.
+    pub(crate) counts: Vec<[u64; 3]>,
+    /// Per-op "this producer already counted as a communication" flags.
+    pub(crate) comm_marked: Vec<bool>,
+    /// Ops marked in `comm_marked`, for O(marked) clearing.
+    pub(crate) marked: Vec<u32>,
+    /// Epoch-stamped recurrence membership (`rec_stamp[op] == rec_epoch`
+    /// means the op belongs to the recurrence under evaluation).
+    pub(crate) rec_stamp: Vec<u32>,
+    pub(crate) rec_epoch: u32,
+    /// ASAP finish times over the distance-0 subgraph.
+    pub(crate) finish: Vec<f64>,
+    /// Refinement's per-op induced-assignment buffer.
+    pub(crate) induced: Vec<ClusterId>,
+}
+
+impl PartitionScratch {
+    /// An empty scratch; buffers grow on first use and are then reused.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// All mutable state of one scheduling pipeline instance.
+///
+/// Create one with [`SchedWorkspace::new`] and thread it through
+/// [`crate::schedule_loop_ws`] (or directly through
+/// [`crate::ims::schedule_into`]); after [`crate::ims::schedule_into`]
+/// returns `Ok`, the placement is available through
+/// [`SchedWorkspace::issue_cycles`], [`SchedWorkspace::issue_ticks`] and
+/// [`SchedWorkspace::max_live`] until the next scheduling call.
+#[derive(Debug, Clone)]
+pub struct SchedWorkspace {
+    // --- IMS core ---
+    /// Dependence heights (priority function), one per extended node.
+    pub(crate) heights: Vec<i64>,
+    /// Current placement (`None` = unscheduled), one per extended node.
+    pub(crate) sched: Vec<Option<u64>>,
+    /// Last cycle each node was placed at (forced placements move up).
+    pub(crate) prev_cycle: Vec<Option<u64>>,
+    /// Per-cluster modulo reservation tables, reset per attempt.
+    pub(crate) cluster_mrts: Vec<ClusterMrt>,
+    /// The interconnect's reservation table, reset per attempt.
+    pub(crate) bus_mrt: BusMrt,
+    /// Eviction list shared by forced placement and dependence ejection.
+    pub(crate) eject: Vec<(NodeId, u64)>,
+    // --- results of the latest successful `schedule_into` ---
+    pub(crate) issue_cycles: Vec<u64>,
+    pub(crate) issue_ticks: Vec<u64>,
+    pub(crate) max_live: Vec<u32>,
+    // --- analysis scratch ---
+    pub(crate) regs: RegScratch,
+    pub(crate) part: PartitionScratch,
+}
+
+impl SchedWorkspace {
+    /// An empty workspace; every buffer grows on first use and is then
+    /// reused across scheduling attempts, loops and configurations.
+    #[must_use]
+    pub fn new() -> Self {
+        SchedWorkspace {
+            heights: Vec::new(),
+            sched: Vec::new(),
+            prev_cycle: Vec::new(),
+            cluster_mrts: Vec::new(),
+            bus_mrt: BusMrt::new(1, 1),
+            eject: Vec::new(),
+            issue_cycles: Vec::new(),
+            issue_ticks: Vec::new(),
+            max_live: Vec::new(),
+            regs: RegScratch::default(),
+            part: PartitionScratch::default(),
+        }
+    }
+
+    /// Issue cycle of every extended-graph node (domain-local cycles),
+    /// as placed by the latest successful [`crate::ims::schedule_into`].
+    #[must_use]
+    pub fn issue_cycles(&self) -> &[u64] {
+        &self.issue_cycles
+    }
+
+    /// Issue time of every extended-graph node, in ticks.
+    #[must_use]
+    pub fn issue_ticks(&self) -> &[u64] {
+        &self.issue_ticks
+    }
+
+    /// MaxLives per cluster of the latest successful schedule.
+    #[must_use]
+    pub fn max_live(&self) -> &[u32] {
+        &self.max_live
+    }
+
+    /// The partition scratch, for callers driving
+    /// [`crate::partition::compute_partition_ws`] directly.
+    pub fn partition_scratch(&mut self) -> &mut PartitionScratch {
+        &mut self.part
+    }
+}
+
+impl Default for SchedWorkspace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// One workspace per worker thread crosses the `vliw-exec` pool boundary.
+const fn _assert_send<T: Send>() {}
+const _: () = _assert_send::<SchedWorkspace>();

@@ -1,0 +1,192 @@
+//! Steady-state allocation discipline of the scheduler workspace.
+//!
+//! A counting global allocator wraps the system allocator; the test
+//! schedules a representative loop once through a [`SchedWorkspace`] to
+//! warm every buffer, then asserts that re-running the exact same
+//! scheduling work performs **zero** heap allocations.
+//!
+//! This is the tier-1 guard for the workspace architecture: any future
+//! change that sneaks a per-attempt `Vec`/`HashMap` back into the IMS
+//! inner loop fails here immediately.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts every allocation and reallocation passed to the system
+/// allocator.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates verbatim to `System`, only incrementing counters.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+use vliw_ir::{Ddg, DdgBuilder, OpClass};
+use vliw_machine::{ClockedConfig, ClusterId, FrequencyMenu, MachineDesign, Time};
+use vliw_sched::ims;
+use vliw_sched::{ExtGraph, LoopClocks, SchedWorkspace};
+
+/// A representative loop body: loads feeding a multiply/add tree with an
+/// accumulator recurrence and a store — chains, fans, a carried cycle and
+/// all three FU kinds.
+fn representative_ddg() -> Ddg {
+    let mut b = DdgBuilder::new("rep");
+    let l0 = b.op("ld a[i]", OpClass::FpMemory);
+    let l1 = b.op("ld b[i]", OpClass::FpMemory);
+    let l2 = b.op("ld c[i]", OpClass::FpMemory);
+    let m0 = b.op("mul0", OpClass::FpMul);
+    let m1 = b.op("mul1", OpClass::FpMul);
+    let s0 = b.op("add0", OpClass::FpArith);
+    let acc = b.op("acc", OpClass::FpArith);
+    let idx = b.op("i++", OpClass::IntArith);
+    let st = b.op("st d[i]", OpClass::FpMemory);
+    b.flow(l0, m0);
+    b.flow(l1, m0);
+    b.flow(l1, m1);
+    b.flow(l2, m1);
+    b.flow(m0, s0);
+    b.flow(m1, s0);
+    b.flow(s0, acc);
+    b.flow_carried(acc, acc, 1);
+    b.flow(acc, st);
+    b.flow_carried(idx, idx, 1);
+    b.build().unwrap()
+}
+
+/// Schedules the same extended graph twice through one workspace: the
+/// second pass must not touch the allocator at all.
+#[test]
+fn second_pass_through_workspace_allocates_nothing() {
+    let config = ClockedConfig::reference(MachineDesign::paper_machine(1));
+    let clocks = LoopClocks::select(&config, &FrequencyMenu::unrestricted(), Time::from_ns(6.0))
+        .expect("IT 6 ns synchronises the reference machine");
+    let ddg = representative_ddg();
+    // A two-cluster split so copies, the bus MRT and cross-cluster
+    // lifetimes are all exercised.
+    let assignment = [
+        ClusterId(0),
+        ClusterId(0),
+        ClusterId(1),
+        ClusterId(0),
+        ClusterId(1),
+        ClusterId(0),
+        ClusterId(0),
+        ClusterId(1),
+        ClusterId(0),
+    ];
+    // Warm the DDG's analysis caches (SCCs, topo order, recMII) outside
+    // the measured window, exactly as the IT-retry driver does before the
+    // first IMS attempt.
+    ddg.validate_schedulable().unwrap();
+    let _ = ddg.rec_mii();
+    let graph = ExtGraph::build(&ddg, &assignment, &config, &clocks);
+
+    let mut ws = SchedWorkspace::new();
+    // First pass grows every buffer to its steady-state capacity.
+    ims::schedule_into(&graph, &config, &clocks, ims::DEFAULT_BUDGET_RATIO, &mut ws)
+        .expect("representative loop schedules at IT 6 ns");
+    let first_cycles: Vec<u64> = ws.issue_cycles().to_vec();
+
+    // Second pass: identical work, zero allocations.
+    let before = allocations();
+    let result = ims::schedule_into(&graph, &config, &clocks, ims::DEFAULT_BUDGET_RATIO, &mut ws);
+    let after = allocations();
+    assert!(result.is_ok(), "second pass schedules identically");
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state scheduling must not allocate (second pass performed {} allocations)",
+        after - before
+    );
+    assert_eq!(
+        ws.issue_cycles(),
+        first_cycles.as_slice(),
+        "workspace reuse must not change the schedule"
+    );
+}
+
+/// The workspace also reaches steady state across *different* loops of the
+/// same shape family: after scheduling one loop, re-scheduling it at a
+/// different (previously seen) initiation time allocates nothing either.
+#[test]
+fn it_retry_reuse_allocates_nothing_once_warm() {
+    let config = ClockedConfig::reference(MachineDesign::paper_machine(1));
+    let menu = FrequencyMenu::unrestricted();
+    let ddg = representative_ddg();
+    ddg.validate_schedulable().unwrap();
+    let _ = ddg.rec_mii();
+    let assignment = [ClusterId(0); 9];
+    let clocks_a = LoopClocks::select(&config, &menu, Time::from_ns(6.0)).unwrap();
+    let clocks_b = LoopClocks::select(&config, &menu, Time::from_ns(8.0)).unwrap();
+    let graph_a = ExtGraph::build(&ddg, &assignment, &config, &clocks_a);
+    let graph_b = ExtGraph::build(&ddg, &assignment, &config, &clocks_b);
+
+    let mut ws = SchedWorkspace::new();
+    // Warm both IT shapes (8 cycles is the larger MRT).
+    ims::schedule_into(
+        &graph_b,
+        &config,
+        &clocks_b,
+        ims::DEFAULT_BUDGET_RATIO,
+        &mut ws,
+    )
+    .unwrap();
+    ims::schedule_into(
+        &graph_a,
+        &config,
+        &clocks_a,
+        ims::DEFAULT_BUDGET_RATIO,
+        &mut ws,
+    )
+    .unwrap();
+
+    let before = allocations();
+    ims::schedule_into(
+        &graph_b,
+        &config,
+        &clocks_b,
+        ims::DEFAULT_BUDGET_RATIO,
+        &mut ws,
+    )
+    .unwrap();
+    ims::schedule_into(
+        &graph_a,
+        &config,
+        &clocks_a,
+        ims::DEFAULT_BUDGET_RATIO,
+        &mut ws,
+    )
+    .unwrap();
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "IT-retry reuse must not allocate once buffers are warm"
+    );
+}

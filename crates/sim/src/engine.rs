@@ -1,6 +1,11 @@
 //! Schedule validation and execution.
-
-use std::collections::HashMap;
+//!
+//! The validator consumes the scheduler's dense index space directly: a
+//! [`ScheduledLoop`]'s issue arrays are indexed by `OpId` order, the
+//! rebuilt [`ExtGraph`] extends that numbering with copy nodes, and
+//! resource occupancy is re-derived into dense per-row tables (one row per
+//! modulo slot), so validation is allocation-light and reports violations
+//! in a deterministic (cluster, kind, row) order.
 
 use vliw_ir::{Ddg, FuKind};
 use vliw_machine::{ClockedConfig, DomainId};
@@ -121,37 +126,51 @@ pub fn validate(
         }
     }
 
-    // Resources: rebuild occupancy from scratch.
+    // Resources: rebuild occupancy into dense modulo-row tables (indexed
+    // `[cluster][kind][row]`), mirroring the scheduler's reservation
+    // tables; violations come out in deterministic table order.
     let design = config.design();
-    let mut cluster_rows: HashMap<(u8, FuKind, u64), u32> = HashMap::new();
+    const KINDS: [FuKind; 3] = FuKind::CLUSTER_KINDS;
+    let kind_slot = |k: FuKind| KINDS.iter().position(|&x| x == k).expect("cluster kind");
+    let mut cluster_rows: Vec<[Vec<u32>; 3]> = design
+        .clusters()
+        .map(|c| {
+            let ii = usize::try_from(clocks.cluster_ii(c)).expect("II fits in memory");
+            [vec![0u32; ii], vec![0u32; ii], vec![0u32; ii]]
+        })
+        .collect();
     for op in ddg.op_ids() {
         let cluster = sched.assignment()[op.index()];
         let ii = clocks.cluster_ii(cluster);
-        let kind = ddg.op(op).fu_kind();
-        *cluster_rows
-            .entry((cluster.0, kind, sched.op_cycle(op) % ii))
-            .or_insert(0) += 1;
+        let row = (sched.op_cycle(op) % ii) as usize;
+        cluster_rows[cluster.index()][kind_slot(ddg.op(op).fu_kind())][row] += 1;
     }
-    for ((c, kind, row), used) in cluster_rows {
-        let capacity = design.cluster.fu_count(kind);
-        if used > capacity {
-            violations.push(Violation::Resource {
-                resource: format!("C{c} {kind}"),
-                row,
-                used,
-                capacity,
-            });
+    for (c, tables) in cluster_rows.iter().enumerate() {
+        for (ki, rows) in tables.iter().enumerate() {
+            let kind = KINDS[ki];
+            let capacity = design.cluster.fu_count(kind);
+            for (row, &used) in rows.iter().enumerate() {
+                if used > capacity {
+                    violations.push(Violation::Resource {
+                        resource: format!("C{c} {kind}"),
+                        row: row as u64,
+                        used,
+                        capacity,
+                    });
+                }
+            }
         }
     }
-    let mut bus_rows: HashMap<u64, u32> = HashMap::new();
+    let icn_ii = usize::try_from(clocks.icn_ii()).expect("II fits in memory");
+    let mut bus_rows = vec![0u32; icn_ii];
     for copy in sched.copies() {
-        *bus_rows.entry(copy.cycle % clocks.icn_ii()).or_insert(0) += 1;
+        bus_rows[(copy.cycle % clocks.icn_ii()) as usize] += 1;
     }
-    for (row, used) in bus_rows {
+    for (row, &used) in bus_rows.iter().enumerate() {
         if used > design.buses {
             violations.push(Violation::Resource {
                 resource: "bus".to_owned(),
-                row,
+                row: row as u64,
                 used,
                 capacity: design.buses,
             });

@@ -11,7 +11,12 @@
 #       *results* changed, not just the speed;
 #   * wall-time: > BENCH_TIME_RATIO × baseline      (default 3×)
 #     — generous because CI runners vary, but a pipeline that suddenly
-#       takes 3× longer is a real regression.
+#       takes 3× longer is a real regression;
+#   * scheduler throughput: loops_per_second < baseline / BENCH_TIME_RATIO
+#     — a dedicated `schedbench` run times the §4 modulo-scheduling
+#       pipeline itself (partition + IMS + IT retry over the whole suite),
+#       so scheduler-core regressions are caught even when the figure6
+#       sweep hides them behind memoisation.
 #
 # Usage:
 #   scripts/perf_gate.sh                  # measure + compare
@@ -58,9 +63,16 @@ else
 fi
 grep -E '^\[time\]|^real' "$tmp/stderr" || true
 
-python3 - "$ROOT/target/paper-results/figure6.json" "$OUT" "$LOOPS" "$wall" <<'EOF'
+echo "== perf gate: schedbench --loops $LOOPS =="
+"$BIN" --experiment schedbench --loops "$LOOPS" --jobs 1 \
+    >"$tmp/sched-stdout" 2>"$tmp/sched-stderr"
+grep -E '^\[time\]|loops/s' "$tmp/sched-stdout" "$tmp/sched-stderr" || true
+
+python3 - "$ROOT/target/paper-results/figure6.json" "$OUT" "$LOOPS" "$wall" \
+    "$ROOT/target/paper-results/schedbench.json" <<'EOF'
 import json, statistics, sys
 rows = json.load(open(sys.argv[1]))
+sched = json.load(open(sys.argv[5]))
 mean = statistics.fmean(r["ed2_normalized"] for r in rows)
 mean_time = statistics.fmean(r["exec_time_het_ns"] for r in rows)
 record = {
@@ -70,9 +82,12 @@ record = {
     "mean_ed2_normalized": mean,
     "mean_exec_time_het_ns": mean_time,
     "wall_time_s": float(sys.argv[4]),
+    "sched_loops_per_second": sched["loops_per_second"],
+    "sched_loops_scheduled": sched["loops_scheduled"],
 }
 json.dump(record, open(sys.argv[2], "w"), indent=2)
-print(f"measured: mean ED2 {mean:.6f}, wall {record['wall_time_s']:.2f} s")
+print(f"measured: mean ED2 {mean:.6f}, wall {record['wall_time_s']:.2f} s, "
+      f"scheduler {record['sched_loops_per_second']:.1f} loops/s")
 EOF
 
 if [[ "${1:-}" == "--write-baseline" ]]; then
@@ -114,6 +129,22 @@ status = "FAIL" if p > limit else "ok"
 print(f"  wall_time_s: baseline {b:.2f}, pr {p:.2f}, limit {limit:.2f} ({status})")
 if p > limit:
     failures.append(f"wall time {p:.2f} s exceeds limit {limit:.2f} s ({ratio}x max(baseline, 2 s))")
+# Scheduler throughput: higher is better. Tolerate runner variance with
+# the same ratio, but a scheduler suddenly running BENCH_TIME_RATIO times
+# slower than the committed baseline is a real regression.
+b = base.get("sched_loops_per_second")
+p = pr.get("sched_loops_per_second")
+if b is not None and p is not None:
+    floor = b / ratio
+    status = "FAIL" if p < floor else "ok"
+    print(f"  sched_loops_per_second: baseline {b:.1f}, pr {p:.1f}, "
+          f"floor {floor:.1f}, speedup {p / b:.2f}x ({status})")
+    if p < floor:
+        failures.append(
+            f"scheduler throughput {p:.1f} loops/s below floor {floor:.1f} "
+            f"(baseline {b:.1f} / {ratio}x)")
+elif b is not None:
+    failures.append("baseline has sched_loops_per_second but the PR measurement lacks it")
 if failures:
     print("perf gate FAILED:")
     for f in failures:
