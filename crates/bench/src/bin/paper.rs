@@ -1,11 +1,15 @@
-//! `paper` — regenerate the tables and figures of the CGO 2007 paper.
+//! `paper` — regenerate the tables and figures of the CGO 2007 paper,
+//! and manage on-disk workload corpora.
 //!
 //! ```text
 //! Usage: paper [EXPERIMENT] [--experiment NAME] [--loops-per-benchmark N]
 //!              [--buses 1|2|both] [--jobs N]
+//!        paper corpus dump     [--out FILE]  [--loops-per-benchmark N]
+//!        paper corpus schedule [--in FILE]   [--jobs N] [--loops-per-benchmark N]
+//!        paper corpus stats    [--in FILE]   [--loops-per-benchmark N]
 //!
 //! EXPERIMENT: table1 | table2 | figure6 | figure7 | figure8 | figure9 |
-//!             schedbench | all
+//!             schedbench | familysweep | all
 //!             (default: all; positional and --experiment are equivalent)
 //! --loops-per-benchmark N
 //!             loops generated per benchmark (default 40 — the interactive
@@ -15,20 +19,39 @@
 //! --jobs N    worker threads for the exploration pipeline
 //!             (default 0 = available parallelism; absurd values are
 //!             clamped with a warning; output is identical for every N)
+//! --out FILE  where `corpus dump` writes (default
+//!             target/paper-results/corpus.json)
+//! --in FILE   corpus file for `corpus schedule` / `corpus stats`; without
+//!             it, the equivalent in-memory suite is used, and the output
+//!             is byte-identical to a dump-then-load run
 //! ```
+//!
+//! The `corpus` subcommands persist and consume the versioned workload
+//! corpus format of `vliw-workloads`: `dump` writes the SPEC-calibrated
+//! suite plus the four generator families, `schedule` modulo-schedules
+//! every loop on the reference and one heterogeneous configuration
+//! (validating every schedule with `vliw-sim`), and `stats` summarises
+//! the corpus per benchmark. `familysweep` is the sensitivity experiment
+//! sweeping the figure-6/7 configurations over the generator families.
 //!
 //! Each experiment's elapsed wall-time is reported on stderr as
 //! `[time] <experiment>: <seconds> s`, so CI perf gates and humans get
 //! timing without external tooling.
 //!
-//! Every suite-scale row dump (`table2`, `figure6`–`figure9`) is
-//! accompanied by a `<name>.meta.json` sidecar recording which suite
-//! scale (loops per benchmark) and bus selection produced it, so a saved
-//! artefact is self-describing without perturbing the byte-stable row
-//! files themselves. `table1` is scale-independent and `schedbench`
-//! embeds its scale in the record, so neither writes a sidecar.
+//! Every suite-scale row dump (`table2`, `figure6`–`figure9`,
+//! `familysweep`) is accompanied by a `<name>.meta.json` sidecar
+//! recording which suite scale (loops per benchmark) and bus selection
+//! produced it, so a saved artefact is self-describing without
+//! perturbing the byte-stable row files themselves. The `corpus`
+//! artefacts get sidecars recording where the loops came from instead —
+//! the generation scale for in-memory suites, the `--in` path for loaded
+//! corpora (whose own scale is whatever the file was dumped at) — and
+//! `corpus dump` writes its sidecar next to the `--out` file. `table1`
+//! is scale-independent and `schedbench` embeds its scale in the record,
+//! so neither writes a sidecar.
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -63,7 +86,10 @@ impl BusSel {
 }
 
 fn main() -> ExitCode {
-    let mut experiment = "all".to_owned();
+    let mut positionals: Vec<String> = Vec::new();
+    let mut experiment_flag: Option<String> = None;
+    let mut input: Option<PathBuf> = None;
+    let mut out: Option<PathBuf> = None;
     let mut args = Args {
         loops: DEFAULT_LOOPS_PER_BENCHMARK,
         buses: BusSel::Both,
@@ -87,14 +113,60 @@ fn main() -> ExitCode {
                 None => return usage("--jobs needs a non-negative integer (0 = auto)"),
             },
             "--experiment" => match it.next() {
-                Some(name) => experiment = name,
+                Some(name) => experiment_flag = Some(name),
                 None => return usage("--experiment needs a name"),
             },
+            "--in" => match it.next() {
+                Some(p) => input = Some(PathBuf::from(p)),
+                None => return usage("--in needs a file path"),
+            },
+            "--out" => match it.next() {
+                Some(p) => out = Some(PathBuf::from(p)),
+                None => return usage("--out needs a file path"),
+            },
             "--help" | "-h" => return usage(""),
-            name if !name.starts_with('-') => experiment = name.to_owned(),
+            name if !name.starts_with('-') => positionals.push(name.to_owned()),
             other => return usage(&format!("unknown flag {other}")),
         }
     }
+
+    // `paper corpus <action>` is a subcommand family, not an experiment.
+    if positionals.first().map(String::as_str) == Some("corpus") {
+        if experiment_flag.is_some() {
+            return usage("--experiment cannot be combined with the corpus subcommand");
+        }
+        if positionals.len() > 2 {
+            return usage(&format!("unexpected argument {}", positionals[2]));
+        }
+        let action = positionals.get(1).map(String::as_str);
+        // Flags that don't apply to an action are errors, not no-ops —
+        // silently dropping a user's path would misreport what ran.
+        if input.is_some() && action == Some("dump") {
+            return usage("corpus dump generates its corpus; --in is not accepted");
+        }
+        if out.is_some() && action != Some("dump") {
+            return usage("--out is only used by corpus dump");
+        }
+        let result = match action {
+            Some("dump") => timed("corpus dump", || corpus_dump(args, out.as_deref())),
+            Some("schedule") => timed("corpus schedule", || {
+                corpus_schedule(args, input.as_deref())
+            }),
+            Some("stats") => timed("corpus stats", || corpus_stats(args, input.as_deref())),
+            Some(other) => return usage(&format!("unknown corpus action {other}")),
+            None => return usage("corpus needs an action: dump | schedule | stats"),
+        };
+        return finish(result);
+    }
+    if positionals.len() > 1 {
+        return usage(&format!("unexpected argument {}", positionals[1]));
+    }
+    if input.is_some() || out.is_some() {
+        return usage("--in/--out only apply to the corpus subcommand");
+    }
+    let experiment = experiment_flag
+        .or_else(|| positionals.first().cloned())
+        .unwrap_or_else(|| "all".to_owned());
     // Reference profiles (and the measurement memo cache they carry) are
     // shared across every experiment of this invocation: `all` profiles
     // each bus count once, and Figure 7's unrestricted-menu variant reuses
@@ -108,6 +180,7 @@ fn main() -> ExitCode {
         "figure8" => timed("figure8", || figure8(args, &mut store)),
         "figure9" => timed("figure9", || figure9(args, &mut store)),
         "schedbench" => timed("schedbench", || schedbench(args)),
+        "familysweep" => timed("familysweep", || familysweep(args)),
         "all" => timed("table1", table1)
             .and_then(|()| timed("table2", || table2(args)))
             .and_then(|()| timed("figure6", || figure6(args, &mut store)))
@@ -116,6 +189,10 @@ fn main() -> ExitCode {
             .and_then(|()| timed("figure9", || figure9(args, &mut store))),
         other => return usage(&format!("unknown experiment {other}")),
     };
+    finish(result)
+}
+
+fn finish(result: Result<(), AnyError>) -> ExitCode {
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -139,8 +216,10 @@ fn usage(msg: &str) -> ExitCode {
         eprintln!("error: {msg}");
     }
     eprintln!(
-        "usage: paper [table1|table2|figure6|figure7|figure8|figure9|schedbench|all] \
-         [--experiment NAME] [--loops-per-benchmark N] [--buses 1|2|both] [--jobs N]"
+        "usage: paper [table1|table2|figure6|figure7|figure8|figure9|schedbench|familysweep|all] \
+         [--experiment NAME] [--loops-per-benchmark N] [--buses 1|2|both] [--jobs N]\n\
+         \x20      paper corpus dump [--out FILE] | corpus schedule [--in FILE] | \
+         corpus stats [--in FILE]"
     );
     if msg.is_empty() {
         ExitCode::SUCCESS
@@ -380,6 +459,272 @@ fn schedbench(args: Args) -> Result<(), AnyError> {
             loops_per_second: lps,
         },
     );
+    Ok(())
+}
+
+/// The corpus composition shared by `corpus dump` and the in-memory path
+/// of `corpus schedule`/`corpus stats`: the ten SPEC-calibrated benchmarks
+/// plus the four generator families, all at the same per-benchmark scale.
+fn corpus_benchmarks(loops: usize) -> Vec<heterovliw_core::workloads::Benchmark> {
+    let mut benches = heterovliw_core::workloads::suite(loops);
+    benches.extend(heterovliw_core::workloads::family_suite(loops));
+    benches
+}
+
+/// Sidecar for the corpus subcommands. Unlike the experiment sidecars it
+/// records where the loops actually came from: the generation scale is
+/// only meaningful for generated (in-memory) corpora — rows computed from
+/// an `--in` file inherit that file's scale, whatever it was — and the
+/// bus selection is not a corpus knob at all.
+#[derive(serde::Serialize)]
+struct CorpusMeta {
+    subcommand: String,
+    /// `"generated"` for in-memory suites, else the `--in` file path.
+    source: String,
+    /// Scale of a generated corpus; `null` when loops came from a file.
+    loops_per_benchmark: Option<usize>,
+}
+
+impl CorpusMeta {
+    fn new(subcommand: &str, loops: usize, input: Option<&std::path::Path>) -> Self {
+        CorpusMeta {
+            subcommand: subcommand.to_owned(),
+            source: input.map_or_else(|| "generated".to_owned(), |p| p.display().to_string()),
+            loops_per_benchmark: input.is_none().then_some(loops),
+        }
+    }
+}
+
+/// `corpus dump`: writes the corpus JSON (SPEC suite + generator families)
+/// to `--out` (default `target/paper-results/corpus.json`), with a
+/// `.meta.json` sidecar next to it.
+fn corpus_dump(args: Args, out: Option<&std::path::Path>) -> Result<(), AnyError> {
+    use heterovliw_core::workloads::Corpus;
+
+    let corpus = Corpus::from_benchmarks(corpus_benchmarks(args.loops));
+    let default_path = vliw_bench::results_dir().join("corpus.json");
+    let path = out.unwrap_or(&default_path);
+    corpus.save(path)?;
+    // The sidecar lives next to the artefact it describes, wherever
+    // --out pointed.
+    let meta_path = path.with_extension("meta.json");
+    std::fs::write(
+        &meta_path,
+        serde_json::to_string_pretty(&CorpusMeta::new("dump", args.loops, None))?,
+    )?;
+    println!(
+        "corpus: {} benchmarks, {} loops written to {}",
+        corpus.benchmarks.len(),
+        corpus.total_loops(),
+        path.display()
+    );
+    println!("  [meta written to {}]", meta_path.display());
+    Ok(())
+}
+
+/// One `corpus schedule` row: one loop modulo-scheduled (and validated)
+/// on one configuration. Byte-stable across job counts and across the
+/// file/in-memory paths.
+#[derive(serde::Serialize)]
+struct CorpusScheduleRow {
+    benchmark: String,
+    loop_name: String,
+    ops: usize,
+    edges: usize,
+    config: String,
+    it_ns: f64,
+    exec_time_ns: f64,
+    comms_per_iter: u64,
+    mem_accesses_per_iter: u64,
+}
+
+/// `corpus schedule`: modulo-schedules every loop of the corpus on the
+/// reference homogeneous machine and one heterogeneous configuration,
+/// validates every schedule with the `vliw-sim` checker, and dumps
+/// byte-stable per-loop rows.
+///
+/// With `--in FILE` the corpus is loaded (and strictly validated) from
+/// disk; without it, the equivalent in-memory suite is scheduled — the
+/// two paths produce byte-identical JSON, which CI diffs.
+fn corpus_schedule(args: Args, input: Option<&std::path::Path>) -> Result<(), AnyError> {
+    use heterovliw_core::exec::Executor;
+    use heterovliw_core::machine::{ClockedConfig, MachineDesign, Time};
+    use heterovliw_core::sched::{schedule_loop_ws, SchedWorkspace, ScheduleOptions};
+    use heterovliw_core::sim::validate;
+    use heterovliw_core::workloads::Corpus;
+
+    println!("\n== corpus schedule: per-loop modulo schedules (validated) ==");
+    let (benches, source) = match input {
+        Some(path) => (Corpus::load(path)?.benchmarks, path.display().to_string()),
+        None => (corpus_benchmarks(args.loops), "in-memory suite".to_owned()),
+    };
+    let design = MachineDesign::paper_machine(1);
+    let configs = [
+        ("reference", ClockedConfig::reference(design)),
+        (
+            "heterogeneous",
+            ClockedConfig::heterogeneous(design, Time::from_ns(1.0), 1, Time::from_ns(1.5)),
+        ),
+    ];
+    let jobs: Vec<(&str, &heterovliw_core::ir::Loop)> = benches
+        .iter()
+        .flat_map(|b| b.loops.iter().map(move |l| (b.name.as_str(), l)))
+        .collect();
+    let exec = Executor::new(args.jobs);
+    let per_loop = exec.try_map_init(
+        &jobs,
+        SchedWorkspace::new,
+        |ws, _, &(bench, l)| -> Result<Vec<CorpusScheduleRow>, String> {
+            let mut rows = Vec::with_capacity(configs.len());
+            for (config_name, config) in &configs {
+                let opts = ScheduleOptions {
+                    trip_count: l.trip_count(),
+                    ..ScheduleOptions::default()
+                };
+                let s = schedule_loop_ws(l.ddg(), config, None, &opts, ws)
+                    .map_err(|e| format!("{bench}/{}: {e}", l.ddg().name()))?;
+                validate(l.ddg(), config, &s).map_err(|violations| {
+                    format!(
+                        "{bench}/{}: schedule failed validation: {}",
+                        l.ddg().name(),
+                        violations
+                            .first()
+                            .map_or_else(|| "unknown violation".to_owned(), |v| v.to_string())
+                    )
+                })?;
+                rows.push(CorpusScheduleRow {
+                    benchmark: bench.to_owned(),
+                    loop_name: l.ddg().name().to_owned(),
+                    ops: l.ddg().num_ops(),
+                    edges: l.ddg().num_edges(),
+                    config: (*config_name).to_owned(),
+                    it_ns: s.it().as_ns(),
+                    exec_time_ns: s.exec_time(l.trip_count()).as_ns(),
+                    comms_per_iter: s.comms_per_iter(),
+                    mem_accesses_per_iter: s.mem_accesses_per_iter(),
+                });
+            }
+            Ok(rows)
+        },
+    )?;
+    let rows: Vec<CorpusScheduleRow> = per_loop.into_iter().flatten().collect();
+    println!(
+        "scheduled and validated {} loops x {} configs from {source}",
+        jobs.len(),
+        configs.len()
+    );
+    dump_json("corpus_schedule", &rows);
+    dump_json(
+        "corpus_schedule.meta",
+        &CorpusMeta::new("schedule", args.loops, input),
+    );
+    Ok(())
+}
+
+/// One `corpus stats` row: a benchmark summarised.
+#[derive(serde::Serialize)]
+struct CorpusStatsRow {
+    benchmark: String,
+    loops: usize,
+    total_ops: usize,
+    total_edges: usize,
+    resource_pct: f64,
+    borderline_pct: f64,
+    recurrence_pct: f64,
+    mean_rec_mii: f64,
+    max_rec_mii: u32,
+}
+
+/// `corpus stats`: per-benchmark structural summary of a corpus (loaded
+/// from `--in FILE`, or the equivalent in-memory suite without it).
+fn corpus_stats(args: Args, input: Option<&std::path::Path>) -> Result<(), AnyError> {
+    use heterovliw_core::machine::MachineDesign;
+    use heterovliw_core::workloads::{classify, Corpus, LoopClass};
+
+    println!("\n== corpus stats: per-benchmark structure ==");
+    let benches = match input {
+        Some(path) => Corpus::load(path)?.benchmarks,
+        None => corpus_benchmarks(args.loops),
+    };
+    let design = MachineDesign::paper_machine(1);
+    let mut rows = Vec::with_capacity(benches.len());
+    println!(
+        "{:<14} {:>5} {:>6} {:>6} {:>7} {:>7} {:>7} {:>8} {:>7}",
+        "benchmark", "loops", "ops", "edges", "res%", "bord%", "rec%", "recMII~", "recMII^"
+    );
+    for b in &benches {
+        let mut shares = [0.0f64; 3];
+        let mut rec_sum = 0u64;
+        let mut rec_max = 0u32;
+        for l in &b.loops {
+            let class = classify(l.ddg(), design);
+            let idx = LoopClass::ALL
+                .iter()
+                .position(|&c| c == class)
+                .expect("3 classes");
+            shares[idx] += l.weight();
+            let rm = l.ddg().rec_mii();
+            rec_sum += u64::from(rm);
+            rec_max = rec_max.max(rm);
+        }
+        let row = CorpusStatsRow {
+            benchmark: b.name.clone(),
+            loops: b.loops.len(),
+            total_ops: b.loops.iter().map(|l| l.ddg().num_ops()).sum(),
+            total_edges: b.loops.iter().map(|l| l.ddg().num_edges()).sum(),
+            resource_pct: shares[0] * 100.0,
+            borderline_pct: shares[1] * 100.0,
+            recurrence_pct: shares[2] * 100.0,
+            mean_rec_mii: rec_sum as f64 / b.loops.len() as f64,
+            max_rec_mii: rec_max,
+        };
+        println!(
+            "{:<14} {:>5} {:>6} {:>6} {:>6.1}% {:>6.1}% {:>6.1}% {:>8.2} {:>7}",
+            row.benchmark,
+            row.loops,
+            row.total_ops,
+            row.total_edges,
+            row.resource_pct,
+            row.borderline_pct,
+            row.recurrence_pct,
+            row.mean_rec_mii,
+            row.max_rec_mii
+        );
+        rows.push(row);
+    }
+    dump_json("corpus_stats", &rows);
+    dump_json(
+        "corpus_stats.meta",
+        &CorpusMeta::new("stats", args.loops, input),
+    );
+    Ok(())
+}
+
+/// `familysweep`: the sensitivity experiment sweeping the figure-6/7
+/// configurations (frequency menus x bus counts) over the four non-SPEC
+/// generator families.
+fn familysweep(args: Args) -> Result<(), AnyError> {
+    println!("\n== familysweep: ED2 of generator families across figure-6/7 configs ==");
+    let mut all = Vec::new();
+    for &buses in args.buses.list() {
+        println!("-- {buses} bus(es) --");
+        let study = study(args, buses);
+        let suite = heterovliw_core::workloads::family_suite(args.loops);
+        let profiled = experiments::profile_suite_with(
+            &suite,
+            buses,
+            &study.options().sched,
+            &study.executor(),
+        )?;
+        let rows = experiments::familysweep_with(&profiled, study.options(), &study.executor())?;
+        for r in &rows {
+            let label = format!("{}/{}", r.family, r.menu);
+            println!("{}", vliw_bench::format_bar(&label, r.ed2_normalized));
+        }
+        all.extend(rows);
+    }
+    dump_json("familysweep", &all);
+    dump_meta("familysweep", args);
     Ok(())
 }
 

@@ -141,3 +141,123 @@ fn table2_small_run_produces_json_rows() {
         assert!(json.contains(key), "json has {key}");
     }
 }
+
+#[test]
+fn corpus_bad_args_exit_nonzero() {
+    let cases: &[&[&str]] = &[
+        &["corpus"],                                // missing action
+        &["corpus", "frobnicate"],                  // unknown action
+        &["corpus", "dump", "extra"],               // trailing positional
+        &["corpus", "dump", "--experiment", "x"],   // incompatible flag
+        &["corpus", "dump", "--in", "x.json"],      // dump generates, no --in
+        &["corpus", "schedule", "--out", "x.json"], // --out is dump-only
+        &["figure6", "--out", "x.json"],            // --in/--out are corpus-only
+        &["table2", "--in", "x.json"],
+        &["--in"],  // missing value
+        &["--out"], // missing value
+    ];
+    for args in cases {
+        let out = paper(args);
+        assert!(!out.status.success(), "paper {args:?} must fail");
+        let text = String::from_utf8_lossy(&out.stderr);
+        assert!(text.contains("usage: paper"), "usage shown for {args:?}");
+    }
+}
+
+#[test]
+fn corpus_schedule_rejects_bad_file() {
+    let out = paper(&["corpus", "schedule", "--in", "/nonexistent/corpus.json"]);
+    assert!(!out.status.success(), "missing corpus file must fail");
+    let text = String::from_utf8_lossy(&out.stderr);
+    assert!(text.contains("error:"), "stderr explains: {text}");
+}
+
+/// The tentpole acceptance criterion, end to end through the binary: a
+/// corpus dumped by `paper corpus dump` reloads and schedules to
+/// byte-identical JSON vs. the in-memory suite, at `--jobs 1` and
+/// `--jobs 4`.
+#[test]
+fn corpus_dump_then_schedule_matches_in_memory_at_any_job_count() {
+    let dir = std::env::temp_dir();
+    let corpus_path = dir.join(format!("cli_corpus_{}.json", std::process::id()));
+    let corpus_arg = corpus_path.to_str().expect("utf-8 temp path");
+
+    let out = paper(&["corpus", "dump", "--loops", "2", "--out", corpus_arg]);
+    assert!(
+        out.status.success(),
+        "corpus dump: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc = std::fs::read_to_string(&corpus_path).expect("corpus file written");
+    assert!(doc.contains("heterovliw-corpus"), "format tag present");
+    assert!(doc.contains("\"stress\""), "family benchmarks included");
+    // The sidecar lands next to the --out file and records the scale.
+    let meta_path = corpus_path.with_extension("meta.json");
+    let meta = std::fs::read_to_string(&meta_path).expect("sidecar next to corpus");
+    assert!(meta.contains("\"loops_per_benchmark\": 2"), "{meta}");
+    std::fs::remove_file(&meta_path).ok();
+
+    let schedule = |args: &[&str]| -> String {
+        let out = paper(args);
+        assert!(
+            out.status.success(),
+            "paper {args:?}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        std::fs::read_to_string(results_dir().join("corpus_schedule.json"))
+            .expect("corpus_schedule.json")
+    };
+    let in_memory = schedule(&["corpus", "schedule", "--loops", "2", "--jobs", "1"]);
+    let from_file_j1 = schedule(&["corpus", "schedule", "--in", corpus_arg, "--jobs", "1"]);
+    let from_file_j4 = schedule(&["corpus", "schedule", "--in", corpus_arg, "--jobs", "4"]);
+    std::fs::remove_file(&corpus_path).ok();
+
+    assert_eq!(
+        in_memory, from_file_j1,
+        "reloaded corpus must schedule byte-identically to the in-memory suite"
+    );
+    assert_eq!(
+        from_file_j1, from_file_j4,
+        "--jobs must not change the JSON"
+    );
+    for key in [
+        "\"reference\"",
+        "\"heterogeneous\"",
+        "\"it_ns\"",
+        "membound",
+    ] {
+        assert!(in_memory.contains(key), "rows have {key}");
+    }
+}
+
+#[test]
+fn corpus_stats_summarises_families() {
+    let out = paper(&["corpus", "stats", "--loops", "2"]);
+    assert!(
+        out.status.success(),
+        "corpus stats: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json =
+        std::fs::read_to_string(results_dir().join("corpus_stats.json")).expect("corpus_stats");
+    for key in ["multirec", "ilpwide", "\"mean_rec_mii\"", "168.wupwise"] {
+        assert!(json.contains(key), "stats have {key}");
+    }
+}
+
+#[test]
+fn familysweep_emits_rows_per_family_and_menu() {
+    let out = paper(&["familysweep", "--loops", "1", "--buses", "2"]);
+    assert!(
+        out.status.success(),
+        "familysweep: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json =
+        std::fs::read_to_string(results_dir().join("familysweep.json")).expect("familysweep");
+    for key in [
+        "membound", "ilpwide", "multirec", "stress", "\"menu\"", "any freq",
+    ] {
+        assert!(json.contains(key), "sweep has {key}");
+    }
+}

@@ -272,6 +272,24 @@ impl Executor {
     /// run, so the reported error is deterministically the lowest-indexed
     /// one regardless of worker count).
     ///
+    /// # Example
+    ///
+    /// ```
+    /// use vliw_exec::Executor;
+    ///
+    /// let pool = Executor::new(4);
+    /// let halves = pool.try_map(&[2u32, 8, 10], |_idx, &x| {
+    ///     if x % 2 == 0 { Ok(x / 2) } else { Err(format!("{x} is odd")) }
+    /// });
+    /// assert_eq!(halves, Ok(vec![1, 4, 5]));
+    ///
+    /// // The lowest-indexed error wins, whatever the worker count.
+    /// let err = pool.try_map(&[2u32, 3, 5], |_idx, &x| {
+    ///     if x % 2 == 0 { Ok(x / 2) } else { Err(format!("{x} is odd")) }
+    /// });
+    /// assert_eq!(err, Err("3 is odd".to_owned()));
+    /// ```
+    ///
     /// # Errors
     ///
     /// Returns the error of the lowest-indexed failing item.
@@ -349,6 +367,19 @@ impl Default for Executor {
 /// callers memoising a deterministic function get bit-identical results
 /// with or without it (and under any thread interleaving: concurrent
 /// computations of the same key keep the first stored value).
+///
+/// # Example
+///
+/// ```
+/// use vliw_exec::MemoCache;
+///
+/// let cache: MemoCache<u32, u64> = MemoCache::new();
+/// let square = |x: u32| cache.get_or_compute(x, || u64::from(x) * u64::from(x));
+/// assert_eq!(square(7), 49);
+/// assert_eq!(square(7), 49); // served from the cache
+/// assert_eq!(cache.misses(), 1);
+/// assert_eq!(cache.hits(), 1);
+/// ```
 pub struct MemoCache<K, V> {
     map: Mutex<HashMap<K, V>>,
     hits: AtomicU64,

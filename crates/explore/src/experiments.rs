@@ -705,6 +705,82 @@ pub fn figure9_with(
     Ok(rows)
 }
 
+/// One `familysweep` row: a generator family's measured, normalised ED²
+/// under one figure-6/7 configuration (bus count × frequency menu).
+#[derive(Debug, Clone, Serialize)]
+pub struct FamilyRow {
+    /// Generator family name (`membound`, `ilpwide`, `multirec`, `stress`).
+    pub family: String,
+    /// Frequency-menu description ("any freq", "16 freqs", …).
+    pub menu: String,
+    /// Buses on the machine.
+    pub buses: u32,
+    /// `ED²(hetero) / ED²(homogeneous optimum)` for this family.
+    pub ed2_normalized: f64,
+    /// Measured heterogeneous execution time (ns).
+    pub exec_time_het_ns: f64,
+    /// Measured heterogeneous energy (reference units).
+    pub energy_het: f64,
+    /// Chosen fast-cluster cycle time (ns).
+    pub fast_cycle_ns: f64,
+    /// Chosen slow-cluster cycle time (ns).
+    pub slow_cycle_ns: f64,
+}
+
+/// `familysweep`: the sensitivity experiment over the non-SPEC generator
+/// families. Serial shorthand for [`familysweep_with`].
+///
+/// # Errors
+///
+/// Propagates scheduling failures.
+pub fn familysweep(
+    profiled: &ProfiledSuite,
+    base: &ExperimentOptions,
+) -> Result<Vec<FamilyRow>, SchedError> {
+    familysweep_with(profiled, base, &Executor::serial())
+}
+
+/// Sweeps the paper's figure-6/7 configurations over a profiled *family*
+/// suite (see `vliw_workloads::family_suite`): for every Figure 7
+/// frequency menu, the full Figure 6 measurement pipeline (calibrate →
+/// homogeneous baseline → select → re-schedule → measure) runs across the
+/// family benchmarks, one row per `(family, menu)`.
+///
+/// `profiled` is a family suite profiled with [`profile_suite_with`]; the
+/// caller sweeps bus counts by profiling one suite per bus count, exactly
+/// as the `paper` binary does for Figures 6–9. Rows come back in
+/// menu-major, family-minor order and are identical for every worker
+/// count.
+///
+/// # Errors
+///
+/// Propagates scheduling failures.
+pub fn familysweep_with(
+    profiled: &ProfiledSuite,
+    base: &ExperimentOptions,
+    exec: &Executor,
+) -> Result<Vec<FamilyRow>, SchedError> {
+    let mut rows = Vec::new();
+    for (menu_name, menu) in figure7_menus() {
+        let opts = ExperimentOptions {
+            menu,
+            ..base.clone()
+        };
+        let results = figure6_with(profiled, &opts, exec)?;
+        rows.extend(results.into_iter().map(|r| FamilyRow {
+            family: r.benchmark,
+            menu: menu_name.clone(),
+            buses: r.buses,
+            ed2_normalized: r.ed2_normalized,
+            exec_time_het_ns: r.exec_time_het_ns,
+            energy_het: r.energy_het,
+            fast_cycle_ns: r.fast_cycle_ns,
+            slow_cycle_ns: r.slow_cycle_ns,
+        }));
+    }
+    Ok(rows)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -783,6 +859,30 @@ mod tests {
             serde_json::to_string(&par6).unwrap(),
             "figure6 must not depend on the worker count"
         );
+    }
+
+    /// The acceptance criterion of the corpus/family subsystem: the
+    /// sensitivity sweep emits rows for **all four** generator families,
+    /// under every Figure 7 menu, with finite positive ED².
+    #[test]
+    fn familysweep_emits_rows_for_all_four_families() {
+        let suite = vliw_workloads::family_suite(3);
+        let profiled = profile_suite(&suite, 1, &ScheduleOptions::default()).unwrap();
+        let rows = familysweep(&profiled, &ExperimentOptions::default()).unwrap();
+        let menus = figure7_menus().len();
+        assert_eq!(rows.len(), 4 * menus);
+        for family in ["membound", "ilpwide", "multirec", "stress"] {
+            let family_rows: Vec<_> = rows.iter().filter(|r| r.family == family).collect();
+            assert_eq!(family_rows.len(), menus, "{family}");
+            for r in family_rows {
+                assert!(
+                    r.ed2_normalized.is_finite() && r.ed2_normalized > 0.0,
+                    "{family}/{}: ED² {}",
+                    r.menu,
+                    r.ed2_normalized
+                );
+            }
+        }
     }
 
     /// Repeating a sweep on the same profiled suite hits the measurement

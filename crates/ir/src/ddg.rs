@@ -83,6 +83,38 @@ pub enum DepKind {
     Order,
 }
 
+impl DepKind {
+    /// The kind's stable mnemonic — the exact string [`str::parse`]
+    /// accepts, used by the on-disk corpus format.
+    #[must_use]
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            DepKind::Flow => "flow",
+            DepKind::Order => "order",
+        }
+    }
+}
+
+impl fmt::Display for DepKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for DepKind {
+    type Err = crate::op::ParseMnemonicError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        [DepKind::Flow, DepKind::Order]
+            .into_iter()
+            .find(|k| k.as_str() == s)
+            .ok_or_else(|| crate::op::ParseMnemonicError {
+                input: s.to_owned(),
+                what: "dependence kind",
+            })
+    }
+}
+
 /// One operation of the loop body.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Operation {

@@ -57,7 +57,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod builder;
@@ -68,6 +68,7 @@ mod error;
 mod op;
 mod ratio;
 mod scc;
+mod serial;
 mod toposort;
 
 pub use builder::DdgBuilder;
@@ -75,7 +76,8 @@ pub use cycles::{elementary_circuits, Circuit, CircuitLimit};
 pub use ddg::{build_csr, Ddg, DepEdge, DepKind, EdgeId, Loop, OpId, Operation};
 pub use dot::to_dot;
 pub use error::{BuildError, IrError};
-pub use op::{FuKind, OpClass};
+pub use op::{FuKind, OpClass, ParseMnemonicError};
 pub use ratio::{max_cycle_ratio, min_feasible_ii, CycleRatio};
 pub use scc::{condensation, Recurrence, SccId, StronglyConnectedComponents};
+pub use serial::{check_fields, get_field, get_str_field, get_u32_field, SerialError};
 pub use toposort::{topological_order, TopoError};

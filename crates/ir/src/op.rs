@@ -138,9 +138,13 @@ impl OpClass {
     }
 }
 
-impl fmt::Display for OpClass {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
+impl OpClass {
+    /// The class's stable mnemonic — the exact string [`fmt::Display`]
+    /// prints and [`str::parse`] accepts, used by the on-disk corpus
+    /// format.
+    #[must_use]
+    pub const fn as_str(self) -> &'static str {
+        match self {
             OpClass::IntMemory => "imem",
             OpClass::FpMemory => "fmem",
             OpClass::IntArith => "iadd",
@@ -150,8 +154,45 @@ impl fmt::Display for OpClass {
             OpClass::IntDiv => "idiv",
             OpClass::FpDiv => "fdiv",
             OpClass::Copy => "copy",
-        };
-        f.write_str(s)
+        }
+    }
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Error parsing an [`OpClass`] or [`crate::DepKind`] mnemonic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseMnemonicError {
+    /// The rejected input.
+    pub input: String,
+    /// What was being parsed ("op class" / "dependence kind").
+    pub what: &'static str,
+}
+
+impl fmt::Display for ParseMnemonicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown {} mnemonic `{}`", self.what, self.input)
+    }
+}
+
+impl std::error::Error for ParseMnemonicError {}
+
+impl std::str::FromStr for OpClass {
+    type Err = ParseMnemonicError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        OpClass::SOURCE_CLASSES
+            .into_iter()
+            .chain([OpClass::Copy])
+            .find(|c| c.as_str() == s)
+            .ok_or_else(|| ParseMnemonicError {
+                input: s.to_owned(),
+                what: "op class",
+            })
     }
 }
 

@@ -1,0 +1,445 @@
+//! On-disk serialization of [`Ddg`]s and [`Loop`]s (corpus format v1).
+//!
+//! # Format
+//!
+//! A graph serialises to a JSON object with exactly three fields:
+//!
+//! ```json
+//! {
+//!   "name": "saxpy",
+//!   "ops":   [ {"name": "load x", "class": "fmem"}, ... ],
+//!   "edges": [ {"src": 0, "dst": 1, "latency": 2, "distance": 0,
+//!               "kind": "flow"}, ... ]
+//! }
+//! ```
+//!
+//! and a [`Loop`] wraps one with its profile data:
+//!
+//! ```json
+//! { "ddg": { ... }, "trip_count": 100, "weight": 0.25 }
+//! ```
+//!
+//! # Index invariants
+//!
+//! The arrays are written **in identifier order**: `ops[i]` is the
+//! operation with [`OpId`]`(i)` and `edges[j]` the edge with
+//! [`crate::EdgeId`]`(j)`. Loading rebuilds the graph through
+//! [`DdgBuilder`] by feeding ops and edges back in exactly that order, so
+//! the documented invariants — `OpId` order = insertion order = CSR row
+//! order, `EdgeId` order = insertion order — hold for a reloaded graph *by
+//! construction*, and a serialize → load round trip is structurally
+//! identical ([`Ddg`] equality) to the original.
+//!
+//! # Strictness
+//!
+//! Loading validates everything and fails with a [`SerialError`] naming
+//! the JSON path: missing or unknown fields, wrong types, out-of-range
+//! numbers, unknown mnemonics, dangling edge endpoints and zero-distance
+//! self-loops (the latter two via [`DdgBuilder::build`]). Floats use
+//! Rust's shortest round-trip `Display` form, so weights survive a round
+//! trip bit-exactly.
+
+use serde::{write_json_str, Serialize};
+use serde_json::Value;
+use std::fmt;
+
+use crate::builder::DdgBuilder;
+use crate::ddg::{Ddg, DepKind, Loop, OpId};
+use crate::op::OpClass;
+
+/// A deserialization failure: what went wrong and where in the document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SerialError {
+    /// JSON-path-like location (`$.ops[3].class`).
+    pub path: String,
+    /// What went wrong there.
+    pub message: String,
+}
+
+impl SerialError {
+    fn new(path: impl Into<String>, message: impl Into<String>) -> Self {
+        SerialError {
+            path: path.into(),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for SerialError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "at {}: {}", self.path, self.message)
+    }
+}
+
+impl std::error::Error for SerialError {}
+
+impl Serialize for Ddg {
+    fn serialize_into(&self, out: &mut String) {
+        out.push_str("{\"name\":");
+        write_json_str(self.name(), out);
+        out.push_str(",\"ops\":[");
+        for (i, op) in self.ops().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            write_json_str(op.name(), out);
+            out.push_str(",\"class\":");
+            write_json_str(op.class().as_str(), out);
+            out.push('}');
+        }
+        out.push_str("],\"edges\":[");
+        for (j, e) in self.edges().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"src\":{},\"dst\":{},\"latency\":{},\"distance\":{},\"kind\":",
+                e.src().0,
+                e.dst().0,
+                e.latency(),
+                e.distance()
+            ));
+            write_json_str(e.kind().as_str(), out);
+            out.push('}');
+        }
+        out.push_str("]}");
+    }
+}
+
+impl Serialize for Loop {
+    fn serialize_into(&self, out: &mut String) {
+        out.push_str("{\"ddg\":");
+        self.ddg().serialize_into(out);
+        out.push_str(&format!(
+            ",\"trip_count\":{},\"weight\":",
+            self.trip_count()
+        ));
+        self.weight().serialize_into(out);
+        out.push('}');
+    }
+}
+
+/// Asserts `v` is a JSON object whose keys are all in `allowed` — unknown
+/// keys are a hard error so format drift is caught at load time, not
+/// silently ignored. `path` names the object in error messages.
+///
+/// Shared by every strict loader built on the serial format (the corpus
+/// loader in `vliw-workloads` validates its envelope with the same
+/// helpers, so error wording is uniform across a document).
+///
+/// # Errors
+///
+/// Returns [`SerialError`] when `v` is not an object or has a key outside
+/// `allowed`.
+pub fn check_fields(v: &Value, path: &str, allowed: &[&str]) -> Result<(), SerialError> {
+    let pairs = v
+        .as_object()
+        .ok_or_else(|| SerialError::new(path, format!("expected object, got {}", v.type_name())))?;
+    for (k, _) in pairs {
+        if !allowed.contains(&k.as_str()) {
+            return Err(SerialError::new(
+                path,
+                format!("unknown field `{k}` (allowed: {})", allowed.join(", ")),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Fetches required field `key` of object `v` (see [`check_fields`]).
+///
+/// # Errors
+///
+/// Returns [`SerialError`] when the field is missing.
+pub fn get_field<'v>(v: &'v Value, path: &str, key: &str) -> Result<&'v Value, SerialError> {
+    v.get(key)
+        .ok_or_else(|| SerialError::new(path, format!("missing field `{key}`")))
+}
+
+/// Fetches required string field `key` of object `v`.
+///
+/// # Errors
+///
+/// Returns [`SerialError`] when the field is missing or not a string.
+pub fn get_str_field<'v>(v: &'v Value, path: &str, key: &str) -> Result<&'v str, SerialError> {
+    let field = get_field(v, path, key)?;
+    field.as_str().ok_or_else(|| {
+        SerialError::new(
+            format!("{path}.{key}"),
+            format!("expected string, got {}", field.type_name()),
+        )
+    })
+}
+
+/// Fetches required `u32` field `key` of object `v`.
+///
+/// # Errors
+///
+/// Returns [`SerialError`] when the field is missing, not a number, or
+/// not a non-negative integer in `u32` range.
+pub fn get_u32_field(v: &Value, path: &str, key: &str) -> Result<u32, SerialError> {
+    let field = get_field(v, path, key)?;
+    field
+        .as_number()
+        .and_then(serde_json::Number::as_u32)
+        .ok_or_else(|| {
+            SerialError::new(
+                format!("{path}.{key}"),
+                format!(
+                    "expected unsigned 32-bit integer, got {}",
+                    field.type_name()
+                ),
+            )
+        })
+}
+
+impl Ddg {
+    /// Rebuilds a graph from its parsed JSON form (see the module docs for
+    /// the format), re-validating everything through [`DdgBuilder`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SerialError`] naming the offending JSON path for any
+    /// structural problem: wrong types, missing/unknown fields, unknown
+    /// mnemonics, dangling edge endpoints or zero-distance self-loops.
+    pub fn from_json_value(v: &Value) -> Result<Self, SerialError> {
+        let path = "$";
+        check_fields(v, path, &["name", "ops", "edges"])?;
+        let name = get_str_field(v, path, "name")?;
+        let mut b = DdgBuilder::new(name);
+
+        let ops_path = format!("{path}.ops");
+        let ops = get_field(v, path, "ops")?.as_array().ok_or_else(|| {
+            SerialError::new(&ops_path, "expected array of operations".to_owned())
+        })?;
+        for (i, op) in ops.iter().enumerate() {
+            let p = format!("{ops_path}[{i}]");
+            check_fields(op, &p, &["name", "class"])?;
+            let op_name = get_str_field(op, &p, "name")?;
+            let class: OpClass = get_str_field(op, &p, "class")?
+                .parse()
+                .map_err(|e| SerialError::new(format!("{p}.class"), format!("{e}")))?;
+            b.op(op_name, class);
+        }
+
+        let edges_path = format!("{path}.edges");
+        let edges = get_field(v, path, "edges")?
+            .as_array()
+            .ok_or_else(|| SerialError::new(&edges_path, "expected array of edges".to_owned()))?;
+        for (j, e) in edges.iter().enumerate() {
+            let p = format!("{edges_path}[{j}]");
+            check_fields(e, &p, &["src", "dst", "latency", "distance", "kind"])?;
+            let src = OpId(get_u32_field(e, &p, "src")?);
+            let dst = OpId(get_u32_field(e, &p, "dst")?);
+            let latency = get_u32_field(e, &p, "latency")?;
+            let distance = get_u32_field(e, &p, "distance")?;
+            let kind: DepKind = get_str_field(e, &p, "kind")?
+                .parse()
+                .map_err(|err| SerialError::new(format!("{p}.kind"), format!("{err}")))?;
+            b.dep_full(src, dst, latency, distance, kind);
+        }
+
+        b.build()
+            .map_err(|e| SerialError::new(edges_path, format!("{e}")))
+    }
+
+    /// Parses a graph from its JSON text form.
+    ///
+    /// # Example
+    ///
+    /// A serialize → load round trip is structural equality:
+    ///
+    /// ```
+    /// use vliw_ir::{Ddg, DdgBuilder, OpClass};
+    ///
+    /// let mut b = DdgBuilder::new("axpy");
+    /// let ld = b.op("load", OpClass::FpMemory);
+    /// let mul = b.op("mul", OpClass::FpMul);
+    /// b.flow(ld, mul);
+    /// let ddg = b.build()?;
+    ///
+    /// let json = serde_json::to_string(&ddg)?;
+    /// let back = Ddg::from_json_str(&json)?;
+    /// assert_eq!(back, ddg);
+    /// assert_eq!(back.rec_mii(), ddg.rec_mii());
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SerialError`] for malformed JSON or any structural
+    /// problem [`Ddg::from_json_value`] rejects.
+    pub fn from_json_str(s: &str) -> Result<Self, SerialError> {
+        let v = serde_json::from_str(s).map_err(|e| SerialError::new("$", format!("{e}")))?;
+        Self::from_json_value(&v)
+    }
+}
+
+impl Loop {
+    /// Rebuilds a profiled loop from its parsed JSON form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SerialError`] for any problem in the embedded graph, a
+    /// zero trip count, or a weight that is not finite and positive (the
+    /// invariants [`Loop::new`] asserts, reported as errors here).
+    pub fn from_json_value(v: &Value) -> Result<Self, SerialError> {
+        let path = "$";
+        check_fields(v, path, &["ddg", "trip_count", "weight"])?;
+        let ddg = Ddg::from_json_value(get_field(v, path, "ddg")?)
+            .map_err(|e| SerialError::new(format!("$.ddg{}", &e.path[1..]), e.message))?;
+        let tc_field = get_field(v, path, "trip_count")?;
+        let trip_count = tc_field
+            .as_number()
+            .and_then(serde_json::Number::as_u64)
+            .ok_or_else(|| {
+                SerialError::new(
+                    "$.trip_count",
+                    format!(
+                        "expected unsigned 64-bit integer, got {}",
+                        tc_field.type_name()
+                    ),
+                )
+            })?;
+        if trip_count == 0 {
+            return Err(SerialError::new(
+                "$.trip_count",
+                "a profiled loop ran at least once".to_owned(),
+            ));
+        }
+        let w_field = get_field(v, path, "weight")?;
+        let weight = w_field.as_f64().ok_or_else(|| {
+            SerialError::new(
+                "$.weight",
+                format!("expected number, got {}", w_field.type_name()),
+            )
+        })?;
+        if !(weight.is_finite() && weight > 0.0) {
+            return Err(SerialError::new(
+                "$.weight",
+                format!("loop weight must be positive and finite, got {weight}"),
+            ));
+        }
+        Ok(Loop::new(ddg, trip_count, weight))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ddg::EdgeId;
+
+    fn sample() -> Ddg {
+        let mut b = DdgBuilder::new("sample \"loop\"");
+        let lx = b.op("load x", OpClass::FpMemory);
+        let m = b.op("a*x", OpClass::FpMul);
+        let acc = b.op("acc", OpClass::FpArith);
+        let st = b.op("store", OpClass::FpMemory);
+        b.flow(lx, m);
+        b.flow(m, acc);
+        b.flow_carried(acc, acc, 1);
+        b.flow(acc, st);
+        b.order(st, lx, 1, 1);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn ddg_round_trips_structurally() {
+        let g = sample();
+        let json = serde_json::to_string(&g).unwrap();
+        let back = Ddg::from_json_str(&json).unwrap();
+        assert_eq!(g, back);
+        // Identifier order is preserved exactly.
+        for (a, b) in g.ops().zip(back.ops()) {
+            assert_eq!(a.id(), b.id());
+            assert_eq!(a.name(), b.name());
+            assert_eq!(a.class(), b.class());
+        }
+        for (a, b) in g.edges().zip(back.edges()) {
+            assert_eq!(a.id(), b.id());
+        }
+        // CSR adjacency is rebuilt identically.
+        for id in g.op_ids() {
+            assert_eq!(g.succ_edge_ids(id), back.succ_edge_ids(id));
+            assert_eq!(g.pred_edge_ids(id), back.pred_edge_ids(id));
+        }
+        assert_eq!(g.rec_mii(), back.rec_mii());
+    }
+
+    #[test]
+    fn pretty_form_parses_too() {
+        let g = sample();
+        let pretty = serde_json::to_string_pretty(&g).unwrap();
+        assert_eq!(Ddg::from_json_str(&pretty).unwrap(), g);
+    }
+
+    #[test]
+    fn loop_round_trips_bit_exactly() {
+        let l = Loop::new(sample(), 12345, 0.1 + 0.2); // non-representable weight
+        let json = serde_json::to_string(&l).unwrap();
+        let v = serde_json::from_str(&json).unwrap();
+        let back = Loop::from_json_value(&v).unwrap();
+        assert_eq!(back.trip_count(), 12345);
+        assert_eq!(back.weight().to_bits(), l.weight().to_bits());
+        assert_eq!(back.ddg(), l.ddg());
+    }
+
+    #[test]
+    fn unknown_fields_are_rejected() {
+        let json = r#"{"name":"x","ops":[],"edges":[],"extra":1}"#;
+        let err = Ddg::from_json_str(json).unwrap_err();
+        assert!(err.message.contains("unknown field `extra`"), "{err}");
+    }
+
+    #[test]
+    fn bad_mnemonics_name_their_path() {
+        let json = r#"{"name":"x","ops":[{"name":"a","class":"warp"}],"edges":[]}"#;
+        let err = Ddg::from_json_str(json).unwrap_err();
+        assert_eq!(err.path, "$.ops[0].class");
+        assert!(err.message.contains("warp"), "{err}");
+    }
+
+    #[test]
+    fn dangling_edges_are_rejected() {
+        let json = r#"{"name":"x","ops":[{"name":"a","class":"iadd"}],
+                       "edges":[{"src":0,"dst":7,"latency":1,"distance":0,"kind":"flow"}]}"#;
+        let err = Ddg::from_json_str(json).unwrap_err();
+        assert!(err.message.contains('7'), "{err}");
+    }
+
+    #[test]
+    fn zero_distance_self_loop_is_rejected() {
+        let json = r#"{"name":"x","ops":[{"name":"a","class":"iadd"}],
+                       "edges":[{"src":0,"dst":0,"latency":1,"distance":0,"kind":"flow"}]}"#;
+        assert!(Ddg::from_json_str(json).is_err());
+    }
+
+    #[test]
+    fn loop_invariants_become_errors_not_panics() {
+        let g = r#"{"name":"x","ops":[{"name":"a","class":"iadd"}],"edges":[]}"#;
+        for (tc, w, path) in [
+            ("0", "0.5", "$.trip_count"),
+            ("10", "0", "$.weight"),
+            ("10", "-1.5", "$.weight"),
+            ("1.5", "0.5", "$.trip_count"),
+        ] {
+            let json = format!(r#"{{"ddg":{g},"trip_count":{tc},"weight":{w}}}"#);
+            let v = serde_json::from_str(&json).unwrap();
+            let err = Loop::from_json_value(&v).unwrap_err();
+            assert_eq!(err.path, path, "{err}");
+        }
+    }
+
+    #[test]
+    fn mnemonic_parsing_is_exact() {
+        for class in OpClass::SOURCE_CLASSES.into_iter().chain([OpClass::Copy]) {
+            assert_eq!(class.as_str().parse::<OpClass>().unwrap(), class);
+        }
+        assert!("IMEM".parse::<OpClass>().is_err());
+        assert_eq!("flow".parse::<DepKind>().unwrap(), DepKind::Flow);
+        assert_eq!("order".parse::<DepKind>().unwrap(), DepKind::Order);
+        assert!("anti".parse::<DepKind>().is_err());
+        let _ = EdgeId(0); // silence unused import on some cfgs
+    }
+}

@@ -67,6 +67,31 @@ pub fn schedule_loop(
 /// workspace per worker thread so re-scheduling thousands of loops
 /// performs no steady-state allocation inside the IMS.
 ///
+/// # Example
+///
+/// One workspace amortised across a whole batch of loops:
+///
+/// ```
+/// use vliw_ir::{DdgBuilder, OpClass};
+/// use vliw_machine::{ClockedConfig, MachineDesign};
+/// use vliw_sched::{schedule_loop_ws, SchedWorkspace, ScheduleOptions};
+///
+/// let config = ClockedConfig::reference(MachineDesign::paper_machine(1));
+/// let opts = ScheduleOptions::default();
+/// let mut ws = SchedWorkspace::new(); // created once, reused below
+/// for n in 2..5 {
+///     let mut b = DdgBuilder::new(format!("chain{n}"));
+///     let ops: Vec<_> = (0..n).map(|i| b.op(format!("n{i}"), OpClass::FpArith)).collect();
+///     for w in ops.windows(2) {
+///         b.flow(w[0], w[1]);
+///     }
+///     let ddg = b.build()?;
+///     let sched = schedule_loop_ws(&ddg, &config, None, &opts, &mut ws)?;
+///     assert!(sched.it().as_ns() >= 1.0);
+/// }
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+///
 /// # Errors
 ///
 /// As [`schedule_loop`].

@@ -1,0 +1,399 @@
+//! The on-disk workload corpus format (versioned, serde-backed).
+//!
+//! A *corpus* is a named set of benchmarks — loops with DDGs, trip counts
+//! and execution-time weights — persisted as a single JSON document so a
+//! loop population can be saved, exchanged, inspected and re-scheduled
+//! without re-deriving it from generator seeds. External or adversarial
+//! loop shapes can be fed to the scheduler the same way: write the JSON,
+//! load it, schedule it.
+//!
+//! # Format (version 1)
+//!
+//! ```json
+//! {
+//!   "format": "heterovliw-corpus",
+//!   "version": 1,
+//!   "benchmarks": [
+//!     { "name": "200.sixtrack",
+//!       "loops": [ { "ddg": { ... }, "trip_count": 100, "weight": 0.25 },
+//!                  ... ] },
+//!     ...
+//!   ]
+//! }
+//! ```
+//!
+//! The `ddg` object is the `vliw-ir` serial form (see `vliw_ir`'s
+//! serialization docs): ops and edges written in identifier order, so a
+//! reloaded graph preserves the workspace-wide index invariants by
+//! construction and round-trips to structural equality. Floats are
+//! written in Rust's shortest round-trip form, so weights — and therefore
+//! every schedule and experiment row computed from a reloaded corpus —
+//! are **bit-identical** to the in-memory originals.
+//!
+//! # Strictness
+//!
+//! [`Corpus::from_json_str`] validates the whole document before
+//! returning: the format tag and version must match, unknown or missing
+//! fields anywhere are errors, benchmark names must be unique and
+//! non-empty, every loop must satisfy the [`Loop`] invariants, and every
+//! DDG is rebuilt through the validating builder (dangling edge endpoints
+//! and zero-distance self-loops are rejected). Errors name the JSON path
+//! of the offending node.
+//!
+//! # Example
+//!
+//! ```
+//! use vliw_workloads::{generate, spec_fp2000, Corpus};
+//!
+//! let bench = generate(&spec_fp2000()[8], 4); // 200.sixtrack, 4 loops
+//! let corpus = Corpus::from_benchmarks(vec![bench]);
+//! let json = corpus.to_json_string();
+//! let back = Corpus::from_json_str(&json)?;
+//! assert_eq!(corpus, back); // structural equality, weights bit-exact
+//! # Ok::<(), vliw_workloads::CorpusError>(())
+//! ```
+
+use std::fmt;
+use std::path::Path;
+
+use serde::{write_json_str, Serialize};
+use serde_json::Value;
+use vliw_ir::{check_fields, get_field, get_str_field, Loop, SerialError};
+
+use crate::suite::Benchmark;
+
+/// The corpus document's format tag.
+pub const CORPUS_FORMAT: &str = "heterovliw-corpus";
+
+/// The corpus format version this build writes and accepts.
+pub const CORPUS_VERSION: u32 = 1;
+
+/// A persisted set of benchmarks (see the module docs for the format).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Corpus {
+    /// The benchmarks, in document order.
+    pub benchmarks: Vec<Benchmark>,
+}
+
+/// A corpus load/store failure.
+#[derive(Debug)]
+pub enum CorpusError {
+    /// Reading or writing the file failed.
+    Io {
+        /// The file involved.
+        path: String,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// The document is malformed or violates the format's invariants.
+    Format {
+        /// JSON-path-like location of the problem.
+        location: String,
+        /// What went wrong there.
+        message: String,
+    },
+}
+
+impl fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CorpusError::Io { path, source } => write!(f, "corpus I/O on {path}: {source}"),
+            CorpusError::Format { location, message } => {
+                write!(f, "corpus format error at {location}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CorpusError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CorpusError::Io { source, .. } => Some(source),
+            CorpusError::Format { .. } => None,
+        }
+    }
+}
+
+impl CorpusError {
+    fn format(location: impl Into<String>, message: impl Into<String>) -> Self {
+        CorpusError::Format {
+            location: location.into(),
+            message: message.into(),
+        }
+    }
+}
+
+/// The shared strict-loading helpers of `vliw-ir` report [`SerialError`];
+/// at the corpus layer that is a format error at the same location.
+impl From<SerialError> for CorpusError {
+    fn from(e: SerialError) -> Self {
+        CorpusError::Format {
+            location: e.path,
+            message: e.message,
+        }
+    }
+}
+
+impl Serialize for Corpus {
+    fn serialize_into(&self, out: &mut String) {
+        out.push_str(&format!(
+            "{{\"format\":\"{CORPUS_FORMAT}\",\"version\":{CORPUS_VERSION},\"benchmarks\":["
+        ));
+        for (i, bench) in self.benchmarks.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            write_json_str(&bench.name, out);
+            out.push_str(",\"loops\":");
+            bench.loops.serialize_into(out);
+            out.push('}');
+        }
+        out.push_str("]}");
+    }
+}
+
+impl Corpus {
+    /// Wraps benchmarks as a corpus (no copy, no validation — benchmarks
+    /// built by this crate already satisfy every invariant).
+    #[must_use]
+    pub fn from_benchmarks(benchmarks: Vec<Benchmark>) -> Self {
+        Corpus { benchmarks }
+    }
+
+    /// Total number of loops across all benchmarks.
+    #[must_use]
+    pub fn total_loops(&self) -> usize {
+        self.benchmarks.iter().map(|b| b.loops.len()).sum()
+    }
+
+    /// Serialises the corpus as pretty-printed JSON (the on-disk form).
+    #[must_use]
+    pub fn to_json_string(&self) -> String {
+        serde_json::to_string_pretty(self).expect("corpus serialisation is infallible")
+    }
+
+    /// Parses and strictly validates a corpus document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CorpusError::Format`] naming the JSON path for malformed
+    /// JSON, a wrong format tag or version, unknown/missing fields,
+    /// duplicate benchmark names, or any loop/DDG invariant violation.
+    pub fn from_json_str(s: &str) -> Result<Self, CorpusError> {
+        let v = serde_json::from_str(s).map_err(|e| CorpusError::format("$", e.to_string()))?;
+        Self::from_json_value(&v)
+    }
+
+    /// [`Corpus::from_json_str`] over an already parsed [`Value`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Corpus::from_json_str`], minus the JSON parse step.
+    pub fn from_json_value(v: &Value) -> Result<Self, CorpusError> {
+        check_fields(v, "$", &["format", "version", "benchmarks"])?;
+        let tag = get_str_field(v, "$", "format")?;
+        if tag != CORPUS_FORMAT {
+            return Err(CorpusError::format(
+                "$.format",
+                format!("expected \"{CORPUS_FORMAT}\", got \"{tag}\""),
+            ));
+        }
+        let version = get_field(v, "$", "version")?
+            .as_u64()
+            .ok_or_else(|| CorpusError::format("$.version", "expected unsigned integer"))?;
+        if version != u64::from(CORPUS_VERSION) {
+            return Err(CorpusError::format(
+                "$.version",
+                format!("unsupported corpus version {version} (this build reads {CORPUS_VERSION})"),
+            ));
+        }
+        let benches = get_field(v, "$", "benchmarks")?
+            .as_array()
+            .ok_or_else(|| CorpusError::format("$.benchmarks", "expected array"))?;
+
+        let mut benchmarks = Vec::with_capacity(benches.len());
+        let mut seen_names = std::collections::HashSet::new();
+        for (bi, bench) in benches.iter().enumerate() {
+            let bp = format!("$.benchmarks[{bi}]");
+            check_fields(bench, &bp, &["name", "loops"])?;
+            let name = get_str_field(bench, &bp, "name")?;
+            if name.is_empty() {
+                return Err(CorpusError::format(
+                    format!("{bp}.name"),
+                    "benchmark name must be non-empty",
+                ));
+            }
+            if !seen_names.insert(name.to_owned()) {
+                return Err(CorpusError::format(
+                    format!("{bp}.name"),
+                    format!("duplicate benchmark name `{name}`"),
+                ));
+            }
+            let loops_v = get_field(bench, &bp, "loops")?.as_array().ok_or_else(|| {
+                CorpusError::format(format!("{bp}.loops"), "expected array of loops")
+            })?;
+            if loops_v.is_empty() {
+                return Err(CorpusError::format(
+                    format!("{bp}.loops"),
+                    "a benchmark needs at least one loop",
+                ));
+            }
+            let mut loops = Vec::with_capacity(loops_v.len());
+            for (li, lv) in loops_v.iter().enumerate() {
+                let lp = format!("{bp}.loops[{li}]");
+                let l = Loop::from_json_value(lv).map_err(|e| {
+                    // Re-anchor the loop-relative path under the document path.
+                    CorpusError::format(format!("{lp}{}", &e.path[1..]), e.message)
+                })?;
+                loops.push(l);
+            }
+            benchmarks.push(Benchmark {
+                name: name.to_owned(),
+                loops,
+            });
+        }
+        Ok(Corpus { benchmarks })
+    }
+
+    /// Writes the corpus to `path` atomically (temp file + rename).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CorpusError::Io`] on any filesystem failure.
+    pub fn save(&self, path: &Path) -> Result<(), CorpusError> {
+        let io_err = |source| CorpusError::Io {
+            path: path.display().to_string(),
+            source,
+        };
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        std::fs::write(&tmp, self.to_json_string()).map_err(io_err)?;
+        std::fs::rename(&tmp, path).map_err(io_err)
+    }
+
+    /// Loads and strictly validates a corpus from `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CorpusError::Io`] on filesystem failure or
+    /// [`CorpusError::Format`] for any document problem.
+    pub fn load(path: &Path) -> Result<Self, CorpusError> {
+        let text = std::fs::read_to_string(path).map_err(|source| CorpusError::Io {
+            path: path.display().to_string(),
+            source,
+        })?;
+        Self::from_json_str(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::families::family_suite;
+    use crate::spec::spec_fp2000;
+    use crate::suite::generate;
+
+    fn small_corpus() -> Corpus {
+        let mut benches = vec![generate(&spec_fp2000()[8], 3)];
+        benches.extend(family_suite(2));
+        Corpus::from_benchmarks(benches)
+    }
+
+    #[test]
+    fn round_trips_to_structural_equality() {
+        let corpus = small_corpus();
+        let back = Corpus::from_json_str(&corpus.to_json_string()).unwrap();
+        assert_eq!(corpus, back);
+        // Weights are bit-exact, not merely approximately equal.
+        for (a, b) in corpus.benchmarks.iter().zip(&back.benchmarks) {
+            for (la, lb) in a.loops.iter().zip(&b.loops) {
+                assert_eq!(la.weight().to_bits(), lb.weight().to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn save_and_load_round_trip() {
+        let corpus = small_corpus();
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("corpus_test_{}.json", std::process::id()));
+        corpus.save(&path).unwrap();
+        let back = Corpus::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(corpus, back);
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        let err = Corpus::load(Path::new("/nonexistent/corpus.json")).unwrap_err();
+        assert!(matches!(err, CorpusError::Io { .. }), "{err}");
+        assert!(err.to_string().contains("/nonexistent/corpus.json"));
+    }
+
+    #[test]
+    fn wrong_tag_version_and_fields_are_rejected() {
+        let good = small_corpus().to_json_string();
+        let cases = [
+            (
+                good.replace("heterovliw-corpus", "other-format"),
+                "$.format",
+            ),
+            (
+                good.replace("\"version\": 1", "\"version\": 99"),
+                "$.version",
+            ),
+            (
+                good.replace("\"format\"", "\"fmt\""),
+                "$", // unknown field `fmt` + missing `format`
+            ),
+        ];
+        for (doc, where_) in cases {
+            let err = Corpus::from_json_str(&doc).unwrap_err();
+            match &err {
+                CorpusError::Format { location, .. } => {
+                    assert!(location.starts_with(where_), "{err}")
+                }
+                other => panic!("wanted format error, got {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_benchmark_names_are_rejected() {
+        let b = generate(&spec_fp2000()[0], 2);
+        let corpus = Corpus::from_benchmarks(vec![b.clone(), b]);
+        let err = Corpus::from_json_str(&corpus.to_json_string()).unwrap_err();
+        assert!(
+            err.to_string().contains("duplicate benchmark name"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn loop_errors_carry_document_paths() {
+        let doc = format!(
+            r#"{{"format":"{CORPUS_FORMAT}","version":{CORPUS_VERSION},"benchmarks":[
+                 {{"name":"b","loops":[
+                   {{"ddg":{{"name":"x","ops":[{{"name":"a","class":"zap"}}],"edges":[]}},
+                    "trip_count":1,"weight":0.5}}]}}]}}"#
+        );
+        let err = Corpus::from_json_str(&doc).unwrap_err();
+        match &err {
+            CorpusError::Format { location, message } => {
+                assert_eq!(location, "$.benchmarks[0].loops[0].ddg.ops[0].class");
+                assert!(message.contains("zap"), "{err}");
+            }
+            other => panic!("wanted format error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn empty_benchmarks_are_rejected() {
+        let doc = format!(
+            r#"{{"format":"{CORPUS_FORMAT}","version":{CORPUS_VERSION},"benchmarks":[
+                 {{"name":"b","loops":[]}}]}}"#
+        );
+        let err = Corpus::from_json_str(&doc).unwrap_err();
+        assert!(err.to_string().contains("at least one loop"), "{err}");
+    }
+}

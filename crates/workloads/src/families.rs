@@ -1,0 +1,418 @@
+//! Generator families beyond the Table 2 synthetic SPECfp2000 suite.
+//!
+//! The SPEC-calibrated generator ([`crate::generate`]) reproduces the
+//! paper's *benchmark mix*; these families instead stress individual
+//! axes of the heterogeneous scheduler:
+//!
+//! * [`Family::MemBound`] — memory-bound chains: loads and stores saturate
+//!   the memory ports while compute is thin, so `resMII` is pinned by the
+//!   port count and recurrences are trivial.
+//! * [`Family::IlpWide`] — wide, low-recurrence ILP loops: many short
+//!   independent floating-point chains and **no loop-carried dependence at
+//!   all** (`recMII = 0`), the best case for slot-hungry homogeneous
+//!   machines.
+//! * [`Family::MultiRec`] — deep multi-recurrence kernels: several
+//!   independent recurrences of differing latency and distance compete to
+//!   bind `recMII`, exercising the partitioner's most-critical-first
+//!   pre-placement (§4.1.1).
+//! * [`Family::Stress`] — a randomized layered-DAG family with seeded
+//!   reproducibility: op classes, dependence shapes and carried distances
+//!   are all drawn at random (forward distance-0 edges only, so the loop
+//!   is schedulable by construction).
+//!
+//! Every family is generated from a fixed per-family seed and is
+//! bit-for-bit reproducible, like the SPEC suite. All generated loops
+//! schedule on the reference machine (asserted in tests) and flow through
+//! the full figure-6/7 pipeline via the `familysweep` experiment.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use vliw_ir::{DdgBuilder, Loop, OpClass, OpId};
+
+use crate::suite::Benchmark;
+
+/// One of the non-SPEC generator families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// Memory-bound chains (memory ports bind, recurrences trivial).
+    MemBound,
+    /// Wide low-recurrence ILP loops (`recMII = 0`).
+    IlpWide,
+    /// Deep kernels with several competing recurrences.
+    MultiRec,
+    /// Randomized layered-DAG stress loops (seeded).
+    Stress,
+}
+
+impl Family {
+    /// All families, in canonical order.
+    pub const ALL: [Family; 4] = [
+        Family::MemBound,
+        Family::IlpWide,
+        Family::MultiRec,
+        Family::Stress,
+    ];
+
+    /// The family's stable name, used as its benchmark name and in
+    /// `familysweep` rows.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            Family::MemBound => "membound",
+            Family::IlpWide => "ilpwide",
+            Family::MultiRec => "multirec",
+            Family::Stress => "stress",
+        }
+    }
+
+    /// The deterministic default generation seed (distinct per family and
+    /// from every SPEC benchmark seed).
+    #[must_use]
+    pub const fn default_seed(self) -> u64 {
+        match self {
+            Family::MemBound => 0xB001,
+            Family::IlpWide => 0xB002,
+            Family::MultiRec => 0xB003,
+            Family::Stress => 0xB004,
+        }
+    }
+
+    /// Range of per-loop trip counts.
+    const fn trip_counts(self) -> (u64, u64) {
+        match self {
+            Family::MemBound => (64, 256),
+            Family::IlpWide => (100, 500),
+            Family::MultiRec => (40, 200),
+            Family::Stress => (10, 100),
+        }
+    }
+}
+
+/// Generates one family benchmark with `num_loops` loops from `seed`.
+///
+/// Per-loop execution-time weights are split with the same ±50 % jitter
+/// the SPEC generator uses and normalised to sum to 1.
+///
+/// # Panics
+///
+/// Panics if `num_loops == 0`.
+#[must_use]
+pub fn generate_family(family: Family, num_loops: usize, seed: u64) -> Benchmark {
+    assert!(num_loops > 0, "a benchmark needs at least one loop");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut raw: Vec<f64> = (0..num_loops).map(|_| rng.gen_range(0.5..1.5)).collect();
+    let norm: f64 = raw.iter().sum();
+    for w in &mut raw {
+        *w /= norm;
+    }
+    let (lo, hi) = family.trip_counts();
+    let loops = raw
+        .into_iter()
+        .enumerate()
+        .map(|(i, weight)| {
+            let name = format!("{}/{i}", family.name());
+            let ddg = match family {
+                Family::MemBound => gen_membound(&mut rng, &name),
+                Family::IlpWide => gen_ilpwide(&mut rng, &name),
+                Family::MultiRec => gen_multirec(&mut rng, &name),
+                Family::Stress => gen_stress(&mut rng, &name),
+            };
+            debug_assert!(ddg.validate_schedulable().is_ok(), "{name}");
+            let trips = rng.gen_range(lo..=hi);
+            Loop::new(ddg, trips, weight)
+        })
+        .collect();
+    Benchmark {
+        name: family.name().to_owned(),
+        loops,
+    }
+}
+
+/// Generates all four family benchmarks at their default seeds.
+///
+/// # Panics
+///
+/// Panics if `num_loops == 0`.
+#[must_use]
+pub fn family_suite(num_loops: usize) -> Vec<Benchmark> {
+    Family::ALL
+        .into_iter()
+        .map(|f| generate_family(f, num_loops, f.default_seed()))
+        .collect()
+}
+
+/// Memory-bound chain: `4·r` memory ops (r in 2..=6) arranged as
+/// address → load → thin compute → store chains; at most a trivial
+/// induction recurrence, so the memory ports bind `resMII`.
+fn gen_membound(rng: &mut SmallRng, name: &str) -> vliw_ir::Ddg {
+    let r = rng.gen_range(2u32..=6);
+    let mem_total = (4 * r) as usize;
+    let num_stores = (mem_total / 3).max(1);
+    let num_loads = mem_total - num_stores;
+    let mut b = DdgBuilder::new(name);
+
+    // A shared induction variable feeds the address arithmetic.
+    let iv = b.op("iv", OpClass::IntArith);
+    b.flow_carried(iv, iv, 1);
+    let addrs: Vec<OpId> = (0..rng.gen_range(1..=3usize))
+        .map(|i| {
+            let a = b.op(format!("addr{i}"), OpClass::IntArith);
+            b.flow(iv, a);
+            a
+        })
+        .collect();
+
+    let loads: Vec<OpId> = (0..num_loads)
+        .map(|i| {
+            let class = if rng.gen_bool(0.7) {
+                OpClass::FpMemory
+            } else {
+                OpClass::IntMemory
+            };
+            let l = b.op(format!("ld{i}"), class);
+            let a = addrs[rng.gen_range(0..addrs.len())];
+            b.flow(a, l);
+            l
+        })
+        .collect();
+
+    // Thin compute: roughly one fp op per three loads.
+    let mut values = loads.clone();
+    for i in 0..(num_loads / 3).max(1) {
+        let op = b.op(format!("fp{i}"), OpClass::FpArith);
+        for _ in 0..rng.gen_range(1..=2usize) {
+            let src = values[rng.gen_range(0..values.len())];
+            b.flow(src, op);
+        }
+        values.push(op);
+    }
+
+    for i in 0..num_stores {
+        let st = b.op(format!("st{i}"), OpClass::FpMemory);
+        let src = values[rng.gen_range(0..values.len())];
+        b.flow(src, st);
+    }
+    b.build().expect("membound generator is well-formed")
+}
+
+/// Wide ILP loop: many short independent fp chains seeded by loads, no
+/// carried dependence anywhere (`recMII = 0`).
+fn gen_ilpwide(rng: &mut SmallRng, name: &str) -> vliw_ir::Ddg {
+    let chains = rng.gen_range(6usize..=14);
+    let mut b = DdgBuilder::new(name);
+    for c in 0..chains {
+        let l = b.op(format!("ld{c}"), OpClass::FpMemory);
+        let mut prev = l;
+        for s in 0..rng.gen_range(1usize..=3) {
+            let class = if rng.gen_bool(0.6) {
+                OpClass::FpArith
+            } else {
+                OpClass::FpMul
+            };
+            let op = b.op(format!("c{c}s{s}"), class);
+            b.flow(prev, op);
+            prev = op;
+        }
+        if rng.gen_bool(0.5) {
+            let st = b.op(format!("st{c}"), OpClass::FpMemory);
+            b.flow(prev, st);
+        }
+    }
+    b.build().expect("ilpwide generator is well-formed")
+}
+
+/// Deep multi-recurrence kernel: `k` independent recurrences whose chain
+/// latencies and carried distances differ, so a different circuit binds
+/// `recMII` per draw; loads feed the chain heads, stores drain the tails.
+fn gen_multirec(rng: &mut SmallRng, name: &str) -> vliw_ir::Ddg {
+    let k = rng.gen_range(2usize..=4);
+    let mut b = DdgBuilder::new(name);
+    for r in 0..k {
+        let len = rng.gen_range(3usize..=6);
+        let chain: Vec<OpId> = (0..len)
+            .map(|i| {
+                let class = if rng.gen_bool(0.7) {
+                    OpClass::FpArith
+                } else {
+                    OpClass::FpMul
+                };
+                b.op(format!("r{r}n{i}"), class)
+            })
+            .collect();
+        for w in chain.windows(2) {
+            b.flow(w[0], w[1]);
+        }
+        let distance = rng.gen_range(1u32..=3);
+        b.flow_carried(chain[len - 1], chain[0], distance);
+        let l = b.op(format!("r{r}ld"), OpClass::FpMemory);
+        b.flow(l, chain[0]);
+        if rng.gen_bool(0.6) {
+            let st = b.op(format!("r{r}st"), OpClass::FpMemory);
+            b.flow(chain[len - 1], st);
+        }
+    }
+    b.build().expect("multirec generator is well-formed")
+}
+
+/// Randomized stress loop: a layered DAG with random op classes, random
+/// forward distance-0 flow edges, random loop-carried edges (any
+/// direction, distance ≥ 1) and occasional memory-ordering edges. Forward
+/// distance-0 edges cannot close a cycle, so every draw is schedulable.
+fn gen_stress(rng: &mut SmallRng, name: &str) -> vliw_ir::Ddg {
+    let layers = rng.gen_range(3usize..=5);
+    let mut b = DdgBuilder::new(name);
+    let mut by_layer: Vec<Vec<OpId>> = Vec::with_capacity(layers);
+    let mut mem_ops: Vec<OpId> = Vec::new();
+    for l in 0..layers {
+        let width = rng.gen_range(2usize..=5);
+        let mut layer = Vec::with_capacity(width);
+        for w in 0..width {
+            let roll: f64 = rng.gen();
+            let class = if roll < 0.25 {
+                if rng.gen_bool(0.7) {
+                    OpClass::FpMemory
+                } else {
+                    OpClass::IntMemory
+                }
+            } else if roll < 0.45 {
+                if rng.gen_bool(0.8) {
+                    OpClass::IntArith
+                } else {
+                    OpClass::IntMul
+                }
+            } else if roll < 0.85 {
+                OpClass::FpArith
+            } else if roll < 0.97 {
+                OpClass::FpMul
+            } else {
+                OpClass::FpDiv
+            };
+            let op = b.op(format!("l{l}w{w}"), class);
+            if class.is_memory() {
+                mem_ops.push(op);
+            }
+            // Same-iteration inputs come from strictly earlier layers.
+            if l > 0 {
+                for _ in 0..rng.gen_range(0..=2usize) {
+                    let src_layer = &by_layer[rng.gen_range(0..l)];
+                    let src = src_layer[rng.gen_range(0..src_layer.len())];
+                    b.flow(src, op);
+                }
+            }
+            layer.push(op);
+        }
+        by_layer.push(layer);
+    }
+    let all: Vec<OpId> = by_layer.iter().flatten().copied().collect();
+    // Carried flow edges: any direction, distance >= 1.
+    for _ in 0..rng.gen_range(1..=3usize) {
+        let src = all[rng.gen_range(0..all.len())];
+        let dst = all[rng.gen_range(0..all.len())];
+        let distance = rng.gen_range(1u32..=3);
+        if src == dst && rng.gen_bool(0.5) {
+            continue; // keep some draws free of self-accumulators
+        }
+        b.flow_carried(src, dst, distance);
+    }
+    // Occasional store→load ordering across iterations.
+    if mem_ops.len() >= 2 && rng.gen_bool(0.5) {
+        let a = mem_ops[rng.gen_range(0..mem_ops.len())];
+        let c = mem_ops[rng.gen_range(0..mem_ops.len())];
+        if a != c {
+            b.order(a, c, 1, rng.gen_range(1u32..=2));
+        }
+    }
+    b.build().expect("stress generator is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vliw_machine::{ClockedConfig, MachineDesign};
+    use vliw_sched::{schedule_loop, ScheduleOptions};
+
+    #[test]
+    fn names_and_seeds_are_distinct() {
+        let names: std::collections::HashSet<_> = Family::ALL.iter().map(|f| f.name()).collect();
+        assert_eq!(names.len(), 4);
+        let seeds: std::collections::HashSet<_> =
+            Family::ALL.iter().map(|f| f.default_seed()).collect();
+        assert_eq!(seeds.len(), 4);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        for f in Family::ALL {
+            let a = generate_family(f, 6, f.default_seed());
+            let b = generate_family(f, 6, f.default_seed());
+            assert_eq!(a, b, "{}", f.name());
+            let c = generate_family(f, 6, f.default_seed() ^ 0xFFFF);
+            assert!(a != c, "{}: different seeds should differ", f.name());
+        }
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        for f in Family::ALL {
+            let b = generate_family(f, 9, f.default_seed());
+            assert!((b.total_weight() - 1.0).abs() < 1e-9, "{}", b.name);
+            assert_eq!(b.loops.len(), 9);
+        }
+    }
+
+    #[test]
+    fn ilpwide_has_no_recurrences() {
+        let b = generate_family(Family::IlpWide, 8, Family::IlpWide.default_seed());
+        for l in &b.loops {
+            assert_eq!(l.ddg().rec_mii(), 0, "{}", l.ddg().name());
+        }
+    }
+
+    #[test]
+    fn multirec_has_several_recurrences() {
+        let b = generate_family(Family::MultiRec, 8, Family::MultiRec.default_seed());
+        for l in &b.loops {
+            assert!(
+                l.ddg().recurrences().len() >= 2,
+                "{}: wanted >= 2 recurrences, got {}",
+                l.ddg().name(),
+                l.ddg().recurrences().len()
+            );
+            assert!(l.ddg().rec_mii() >= 1);
+        }
+    }
+
+    #[test]
+    fn membound_is_memory_dominated() {
+        let b = generate_family(Family::MemBound, 8, Family::MemBound.default_seed());
+        for l in &b.loops {
+            let mem = l.ddg().count_memory_ops();
+            assert!(
+                mem * 2 >= l.ddg().num_ops(),
+                "{}: {} mem ops of {}",
+                l.ddg().name(),
+                mem,
+                l.ddg().num_ops()
+            );
+        }
+    }
+
+    #[test]
+    fn every_family_loop_schedules_on_reference_and_hetero() {
+        use vliw_machine::Time;
+        let design = MachineDesign::paper_machine(1);
+        let configs = [
+            ClockedConfig::reference(design),
+            ClockedConfig::heterogeneous(design, Time::from_ns(1.0), 1, Time::from_ns(1.5)),
+        ];
+        for bench in family_suite(6) {
+            for l in &bench.loops {
+                for config in &configs {
+                    schedule_loop(l.ddg(), config, None, &ScheduleOptions::default())
+                        .unwrap_or_else(|e| panic!("{} must schedule: {e}", l.ddg().name()));
+                }
+            }
+        }
+    }
+}

@@ -20,6 +20,14 @@
 //! Everything is generated from fixed seeds: suites are bit-for-bit
 //! reproducible across runs and platforms.
 //!
+//! Beyond the SPEC-calibrated suite, four *generator families*
+//! ([`Family`]) stress individual scheduler axes — memory-bound chains,
+//! wide low-recurrence ILP, deep multi-recurrence kernels, and a
+//! randomized seeded stress family — and any loop population can be
+//! persisted to and reloaded from the versioned on-disk [`Corpus`]
+//! format (serialize → load round-trips to structural equality, weights
+//! bit-exact).
+//!
 //! # Example
 //!
 //! ```
@@ -41,15 +49,19 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod classify;
+mod corpus;
+mod families;
 mod genloop;
 mod spec;
 mod suite;
 
 pub use classify::{classify, res_mii_machine, LoopClass};
+pub use corpus::{Corpus, CorpusError, CORPUS_FORMAT, CORPUS_VERSION};
+pub use families::{family_suite, generate_family, Family};
 pub use genloop::{generate_loop, LoopParams, RecurrenceSize};
 pub use spec::{spec_fp2000, BenchmarkSpec};
 pub use suite::{generate, suite, Benchmark, DEFAULT_LOOPS_PER_BENCHMARK};

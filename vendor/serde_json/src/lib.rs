@@ -1,7 +1,13 @@
 //! Vendored, API-compatible subset of `serde_json`: [`to_string`] and
-//! [`to_string_pretty`] over the serde stub's compact-JSON `Serialize`.
+//! [`to_string_pretty`] over the serde stub's compact-JSON `Serialize`,
+//! plus a strict [`Value`] tree parser ([`from_str`]) for the loading
+//! side (the workload-corpus format deserialises through it).
 
 #![forbid(unsafe_code)]
+
+mod value;
+
+pub use value::{from_str, Number, ParseError, Value};
 
 use std::fmt;
 

@@ -1,0 +1,591 @@
+//! A parsed JSON tree ([`Value`]) and a strict recursive-descent parser.
+//!
+//! Upstream `serde_json` deserialises through serde's `Deserialize`
+//! machinery; the vendored stub instead exposes the parsed tree directly
+//! and lets callers validate it field by field. Two deliberate choices
+//! serve the workload-corpus format built on top:
+//!
+//! * **Objects preserve key order** (a `Vec` of pairs, not a map) and
+//!   reject duplicate keys, so loaders can diagnose malformed files
+//!   precisely.
+//! * **Numbers keep their lexeme** ([`Number`] stores the raw text), so
+//!   `f64::to_string` → parse → `str::parse::<f64>` round-trips to the
+//!   exact same bits and `u64` values are never squeezed through `f64`.
+
+use std::fmt;
+
+/// A JSON number, kept as its raw lexeme so integers and floats parse
+/// losslessly on access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Number {
+    raw: String,
+}
+
+impl Number {
+    /// The raw JSON lexeme (already validated by the parser).
+    #[must_use]
+    pub fn as_str(&self) -> &str {
+        &self.raw
+    }
+
+    /// The number as `f64` (always succeeds for parser-produced lexemes).
+    #[must_use]
+    pub fn as_f64(&self) -> f64 {
+        self.raw.parse().expect("parser validated the lexeme")
+    }
+
+    /// The number as `u64`, if it is a non-negative integer lexeme in range.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        self.raw.parse().ok()
+    }
+
+    /// The number as `u32`, if it is a non-negative integer lexeme in range.
+    #[must_use]
+    pub fn as_u32(&self) -> Option<u32> {
+        self.raw.parse().ok()
+    }
+}
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number (raw lexeme, see [`Number`]).
+    Number(Number),
+    /// A string (escapes already decoded).
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object: key/value pairs **in document order**, duplicate keys
+    /// rejected at parse time.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up `key` in an object; `None` for missing keys or non-objects.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str`, if it is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value's object pairs (document order), if it is an object.
+    #[must_use]
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// The value as a number, if it is one.
+    #[must_use]
+    pub fn as_number(&self) -> Option<&Number> {
+        match self {
+            Value::Number(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64`, if it is a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        self.as_number().map(Number::as_f64)
+    }
+
+    /// The value as `u64`, if it is a non-negative integer number.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        self.as_number().and_then(Number::as_u64)
+    }
+
+    /// A short name of the value's JSON type, for error messages.
+    #[must_use]
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// A parse failure, with byte offset and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the input where the error was detected.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "JSON parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses one complete JSON document (trailing whitespace allowed,
+/// trailing garbage rejected).
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on malformed input, duplicate object keys, or
+/// trailing non-whitespace.
+pub fn from_str(input: &str) -> Result<Value, ParseError> {
+    let mut p = Parser {
+        input,
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after JSON document"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    /// The original input; `bytes` is the same data. Keeping the `&str`
+    /// lets string parsing slice out plain-character runs without
+    /// re-validating UTF-8 (the `&str` type already guarantees it).
+    input: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+/// Nesting depth cap: corpus files are a few levels deep; a hostile input
+/// must not be able to overflow the parser's stack.
+const MAX_DEPTH: usize = 128;
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, ParseError> {
+        self.value_at_depth(0)
+    }
+
+    fn value_at_depth(&mut self, depth: usize) -> Result<Value, ParseError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(self.err(format!("unexpected character `{}`", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Value) -> Result<Value, ParseError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(format!("expected `{lit}`")))
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Value, ParseError> {
+        self.expect(b'{')?;
+        let mut pairs: Vec<(String, Value)> = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            if pairs.iter().any(|(k, _)| *k == key) {
+                return Err(self.err(format!("duplicate object key `{key}`")));
+            }
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value_at_depth(depth + 1)?;
+            pairs.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(pairs));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Value, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value_at_depth(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000C}'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let c = self.unicode_escape()?;
+                            out.push(c);
+                            continue; // unicode_escape consumed its digits
+                        }
+                        _ => return Err(self.err("invalid escape sequence")),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) if c < 0x20 => {
+                    return Err(self.err("unescaped control character in string"));
+                }
+                Some(_) => {
+                    // Copy the whole run of plain characters in one slice
+                    // (O(run) — the input is a `&str`, so byte boundaries
+                    // inside the run are already-valid UTF-8).
+                    let start = self.pos;
+                    while matches!(self.peek(), Some(c) if c != b'"' && c != b'\\' && c >= 0x20) {
+                        self.pos += 1;
+                    }
+                    out.push_str(&self.input[start..self.pos]);
+                }
+            }
+        }
+    }
+
+    /// Parses the 4 hex digits of a `\uXXXX` escape (surrogate pairs
+    /// supported), with `self.pos` on the first digit.
+    fn unicode_escape(&mut self) -> Result<char, ParseError> {
+        let hi = self.hex4()?;
+        if (0xD800..=0xDBFF).contains(&hi) {
+            // High surrogate: a \uXXXX low surrogate must follow.
+            if self.bytes[self.pos..].starts_with(b"\\u") {
+                self.pos += 2;
+                let lo = self.hex4()?;
+                if !(0xDC00..=0xDFFF).contains(&lo) {
+                    return Err(self.err("invalid low surrogate"));
+                }
+                let c = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                return char::from_u32(c).ok_or_else(|| self.err("invalid surrogate pair"));
+            }
+            return Err(self.err("unpaired high surrogate"));
+        }
+        if (0xDC00..=0xDFFF).contains(&hi) {
+            return Err(self.err("unpaired low surrogate"));
+        }
+        char::from_u32(hi).ok_or_else(|| self.err("invalid unicode escape"))
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let d = match self.peek() {
+                Some(c @ b'0'..=b'9') => u32::from(c - b'0'),
+                Some(c @ b'a'..=b'f') => u32::from(c - b'a') + 10,
+                Some(c @ b'A'..=b'F') => u32::from(c - b'A') + 10,
+                _ => return Err(self.err("expected 4 hex digits in unicode escape")),
+            };
+            v = v * 16 + d;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Integer part: `0` alone or a non-zero-led digit run.
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(c) if c.is_ascii_digit() => {
+                while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.err("invalid number")),
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if !matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                return Err(self.err("digits required after decimal point"));
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                return Err(self.err("digits required in exponent"));
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let raw = self.input[start..self.pos].to_owned();
+        // Rust's `f64::from_str` saturates overflow to infinity rather
+        // than erroring, so the range check must test the parsed value.
+        match raw.parse::<f64>() {
+            Ok(x) if x.is_finite() => Ok(Value::Number(Number { raw })),
+            _ => Err(self.err("number out of range")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(from_str("null").unwrap(), Value::Null);
+        assert_eq!(from_str(" true ").unwrap(), Value::Bool(true));
+        assert_eq!(from_str("false").unwrap(), Value::Bool(false));
+        assert_eq!(from_str("\"hi\"").unwrap().as_str(), Some("hi"));
+        assert_eq!(from_str("42").unwrap().as_u64(), Some(42));
+        assert_eq!(from_str("-1.5e3").unwrap().as_f64(), Some(-1500.0));
+    }
+
+    #[test]
+    fn numbers_keep_their_lexeme() {
+        let v = from_str("0.30000000000000004").unwrap();
+        let n = v.as_number().unwrap();
+        assert_eq!(n.as_str(), "0.30000000000000004");
+        assert_eq!(n.as_f64(), 0.1 + 0.2);
+        // u64 precision survives where f64 would round.
+        let v = from_str("18446744073709551615").unwrap();
+        assert_eq!(v.as_u64(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn float_display_round_trips_exactly() {
+        for x in [0.1f64, 1.0 / 3.0, 1e-300, 123456.789, f64::MIN_POSITIVE] {
+            let v = from_str(&x.to_string()).unwrap();
+            let back = v.as_number().unwrap().as_str().parse::<f64>().unwrap();
+            assert_eq!(back.to_bits(), x.to_bits());
+        }
+    }
+
+    #[test]
+    fn objects_preserve_order_and_reject_duplicates() {
+        let v = from_str(r#"{"b":1,"a":2}"#).unwrap();
+        let keys: Vec<&str> = v
+            .as_object()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        assert_eq!(keys, ["b", "a"]);
+        assert_eq!(v.get("a").and_then(Value::as_u64), Some(2));
+        assert!(v.get("c").is_none());
+
+        let err = from_str(r#"{"a":1,"a":2}"#).unwrap_err();
+        assert!(err.message.contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn arrays_and_nesting() {
+        let v = from_str(r#"[1,[2,3],{"k":[]}]"#).unwrap();
+        let items = v.as_array().unwrap();
+        assert_eq!(items.len(), 3);
+        assert_eq!(items[1].as_array().unwrap().len(), 2);
+        assert_eq!(items[2].get("k").unwrap().as_array().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn string_escapes_decode() {
+        let v = from_str(r#""a\"b\\c\ndAé""#).unwrap();
+        assert_eq!(v.as_str(), Some("a\"b\\c\ndAé"));
+        // Surrogate pair.
+        let v = from_str(r#""😀""#).unwrap();
+        assert_eq!(v.as_str(), Some("😀"));
+    }
+
+    #[test]
+    fn serialize_then_parse_round_trips() {
+        // The stub's own Serialize output must parse back.
+        let compact = crate::to_string(&vec!["a\"b".to_owned(), "c\u{1}d".to_owned()]).unwrap();
+        let v = from_str(&compact).unwrap();
+        let items = v.as_array().unwrap();
+        assert_eq!(items[0].as_str(), Some("a\"b"));
+        assert_eq!(items[1].as_str(), Some("c\u{1}d"));
+        // Pretty output parses identically.
+        let pretty = crate::to_string_pretty(&vec![1u32, 2]).unwrap();
+        assert_eq!(from_str(&pretty).unwrap(), from_str("[1,2]").unwrap());
+    }
+
+    #[test]
+    fn malformed_inputs_error_with_offsets() {
+        for (input, needle) in [
+            ("", "end of input"),
+            ("{", "expected"),
+            ("[1,]", "unexpected"),
+            ("01", "trailing"),
+            ("1.", "decimal"),
+            ("1e", "exponent"),
+            ("\"abc", "unterminated"),
+            ("nul", "expected `null`"),
+            ("[1] x", "trailing"),
+            ("{\"a\" 1}", "expected `:`"),
+            ("\"\u{1}\"", "control"),
+        ] {
+            let err = from_str(input).unwrap_err();
+            assert!(
+                err.message.contains(needle),
+                "input {input:?}: got {err} (wanted {needle:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn overflowing_numbers_are_rejected_not_saturated() {
+        // f64::from_str saturates to infinity; the strict parser must not.
+        for input in ["1e999", "-1e999", "1e400"] {
+            let err = from_str(input).unwrap_err();
+            assert!(err.message.contains("out of range"), "{input}: {err}");
+        }
+        // Large-but-finite values still parse.
+        assert!(from_str("1e308").is_ok());
+    }
+
+    #[test]
+    fn long_plain_strings_parse_in_linear_time() {
+        // A ~1 MB document of short strings: the run-slicing string parser
+        // must handle this instantly (the old per-char path re-validated
+        // the whole remaining input per character, i.e. O(n²)).
+        let doc = format!("[{}]", vec!["\"abcdefgh😀\""; 50_000].join(","));
+        let start = std::time::Instant::now();
+        let v = from_str(&doc).unwrap();
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(2),
+            "parsing 1 MB took {:?}",
+            start.elapsed()
+        );
+        assert_eq!(v.as_array().unwrap().len(), 50_000);
+        assert_eq!(v.as_array().unwrap()[0].as_str(), Some("abcdefgh😀"));
+    }
+
+    #[test]
+    fn deep_nesting_is_bounded() {
+        let deep = "[".repeat(500) + &"]".repeat(500);
+        let err = from_str(&deep).unwrap_err();
+        assert!(err.message.contains("nesting"), "{err}");
+    }
+
+    #[test]
+    fn type_accessors_reject_mismatches() {
+        let v = from_str("[1]").unwrap();
+        assert!(v.as_str().is_none());
+        assert!(v.as_object().is_none());
+        assert!(v.as_f64().is_none());
+        assert_eq!(v.type_name(), "array");
+        assert_eq!(from_str("{}").unwrap().type_name(), "object");
+        // Fractional and negative numbers are not u64/u32.
+        assert!(from_str("1.5").unwrap().as_u64().is_none());
+        assert!(from_str("-3").unwrap().as_u64().is_none());
+    }
+}
