@@ -3,14 +3,19 @@
 //!
 //! ```text
 //! Usage: paper [EXPERIMENT] [--experiment NAME] [--loops-per-benchmark N]
-//!              [--buses 1|2|both] [--jobs N]
+//!              [--buses 1|2|both] [--jobs N] [--seed S]
+//!        paper search          [--strategy hillclimb|anneal|ga|exhaustive]
+//!                              [--budget N] [--space paper|extended]
+//!                              [--seed S] [--buses B] [--jobs N]
 //!        paper corpus dump     [--out FILE]  [--loops-per-benchmark N]
 //!        paper corpus schedule [--in FILE]   [--jobs N] [--loops-per-benchmark N]
 //!        paper corpus stats    [--in FILE]   [--loops-per-benchmark N]
 //!
 //! EXPERIMENT: table1 | table2 | figure6 | figure7 | figure8 | figure9 |
-//!             schedbench | familysweep | all
-//!             (default: all; positional and --experiment are equivalent)
+//!             schedbench | familysweep | search | searchbench | all
+//!             (default: all — which runs the table/figure set; search and
+//!             the bench experiments are invoked explicitly. Positional
+//!             and --experiment are equivalent.)
 //! --loops-per-benchmark N
 //!             loops generated per benchmark (default 40 — the interactive
 //!             10x scale-down; ~400 reproduces the paper's suite size).
@@ -19,6 +24,17 @@
 //! --jobs N    worker threads for the exploration pipeline
 //!             (default 0 = available parallelism; absurd values are
 //!             clamped with a warning; output is identical for every N)
+//! --seed S    global seed threaded through workload generation and the
+//!             search strategies (default 0, which reproduces the
+//!             historical fixed-seed suites bit for bit — all committed
+//!             golden fixtures and baselines use it)
+//! --strategy NAME
+//!             search optimizer (default hillclimb)
+//! --budget N  distinct candidate evaluations the search may spend
+//!             (default 64; memoised repeats are free)
+//! --space K   search space: `paper` (the 20-point §3.3 grid, first bus
+//!             of --buses) or `extended` (frequencies × speed split ×
+//!             explicit voltages × every bus of --buses; default paper)
 //! --out FILE  where `corpus dump` writes (default
 //!             target/paper-results/corpus.json)
 //! --in FILE   corpus file for `corpus schedule` / `corpus stats`; without
@@ -66,6 +82,25 @@ struct Args {
     loops: usize,
     buses: BusSel,
     jobs: usize,
+    seed: u64,
+}
+
+/// Flags of the `search` experiment.
+#[derive(Clone, Copy)]
+struct SearchArgs {
+    strategy: heterovliw_core::search::Strategy,
+    budget: u64,
+    space: heterovliw_core::explore::SpaceKind,
+}
+
+impl Default for SearchArgs {
+    fn default() -> Self {
+        SearchArgs {
+            strategy: heterovliw_core::search::Strategy::HillClimb,
+            budget: 64,
+            space: heterovliw_core::explore::SpaceKind::Paper,
+        }
+    }
 }
 
 #[derive(Clone, Copy)]
@@ -94,7 +129,10 @@ fn main() -> ExitCode {
         loops: DEFAULT_LOOPS_PER_BENCHMARK,
         buses: BusSel::Both,
         jobs: 0,
+        seed: 0,
     };
+    let mut search_args = SearchArgs::default();
+    let mut search_flag_seen = false;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -111,6 +149,36 @@ fn main() -> ExitCode {
             "--jobs" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(n) => args.jobs = n,
                 None => return usage("--jobs needs a non-negative integer (0 = auto)"),
+            },
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(s) => args.seed = s,
+                None => return usage("--seed needs a non-negative integer (default 0)"),
+            },
+            "--strategy" => match it.next().map(|v| v.parse()) {
+                Some(Ok(s)) => {
+                    search_args.strategy = s;
+                    search_flag_seen = true;
+                }
+                Some(Err(e)) => return usage(&e),
+                None => return usage("--strategy needs a name (hillclimb|anneal|ga|exhaustive)"),
+            },
+            "--budget" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => {
+                    search_args.budget = n;
+                    search_flag_seen = true;
+                }
+                _ => return usage("--budget needs a positive integer"),
+            },
+            "--space" => match it
+                .next()
+                .as_deref()
+                .and_then(heterovliw_core::explore::SpaceKind::from_name)
+            {
+                Some(k) => {
+                    search_args.space = k;
+                    search_flag_seen = true;
+                }
+                None => return usage("--space takes paper or extended"),
             },
             "--experiment" => match it.next() {
                 Some(name) => experiment_flag = Some(name),
@@ -134,6 +202,9 @@ fn main() -> ExitCode {
     if positionals.first().map(String::as_str) == Some("corpus") {
         if experiment_flag.is_some() {
             return usage("--experiment cannot be combined with the corpus subcommand");
+        }
+        if search_flag_seen {
+            return usage("--strategy/--budget/--space only apply to the search experiment");
         }
         if positionals.len() > 2 {
             return usage(&format!("unexpected argument {}", positionals[2]));
@@ -167,6 +238,9 @@ fn main() -> ExitCode {
     let experiment = experiment_flag
         .or_else(|| positionals.first().cloned())
         .unwrap_or_else(|| "all".to_owned());
+    if search_flag_seen && experiment != "search" {
+        return usage("--strategy/--budget/--space only apply to the search experiment");
+    }
     // Reference profiles (and the measurement memo cache they carry) are
     // shared across every experiment of this invocation: `all` profiles
     // each bus count once, and Figure 7's unrestricted-menu variant reuses
@@ -181,6 +255,8 @@ fn main() -> ExitCode {
         "figure9" => timed("figure9", || figure9(args, &mut store)),
         "schedbench" => timed("schedbench", || schedbench(args)),
         "familysweep" => timed("familysweep", || familysweep(args)),
+        "search" => timed("search", || search(args, search_args, &mut store)),
+        "searchbench" => timed("searchbench", || searchbench(args)),
         "all" => timed("table1", table1)
             .and_then(|()| timed("table2", || table2(args)))
             .and_then(|()| timed("figure6", || figure6(args, &mut store)))
@@ -216,8 +292,11 @@ fn usage(msg: &str) -> ExitCode {
         eprintln!("error: {msg}");
     }
     eprintln!(
-        "usage: paper [table1|table2|figure6|figure7|figure8|figure9|schedbench|familysweep|all] \
-         [--experiment NAME] [--loops-per-benchmark N] [--buses 1|2|both] [--jobs N]\n\
+        "usage: paper [table1|table2|figure6|figure7|figure8|figure9|schedbench|familysweep|\
+         search|searchbench|all] \
+         [--experiment NAME] [--loops-per-benchmark N] [--buses 1|2|both] [--jobs N] [--seed S]\n\
+         \x20      paper search [--strategy hillclimb|anneal|ga|exhaustive] [--budget N] \
+         [--space paper|extended] [--seed S]\n\
          \x20      paper corpus dump [--out FILE] | corpus schedule [--in FILE] | \
          corpus stats [--in FILE]"
     );
@@ -241,6 +320,7 @@ struct DumpMeta {
     experiment: String,
     loops_per_benchmark: usize,
     buses: Vec<u32>,
+    seed: u64,
 }
 
 fn dump_meta(name: &str, args: Args) {
@@ -250,6 +330,7 @@ fn dump_meta(name: &str, args: Args) {
             experiment: name.to_owned(),
             loops_per_benchmark: args.loops,
             buses: args.buses.list().to_vec(),
+            seed: args.seed,
         },
     );
 }
@@ -259,6 +340,7 @@ fn study(args: Args, buses: u32) -> Study {
         .with_loops_per_benchmark(args.loops)
         .with_buses(buses)
         .with_jobs(args.jobs)
+        .with_seed(args.seed)
 }
 
 /// Lazily profiled suites, one per bus count, shared by every experiment
@@ -283,6 +365,16 @@ impl ProfiledStore {
             self.per_bus.insert(buses, profiled);
         }
         Ok(&self.per_bus[&buses])
+    }
+
+    /// Profiles (lazily) and returns several bus counts at once, in the
+    /// order given — the search's extended space places candidates on
+    /// every profiled shape simultaneously.
+    fn get_many(&mut self, buses: &[u32]) -> Result<Vec<&ProfiledSuite>, AnyError> {
+        for &b in buses {
+            self.get(b)?;
+        }
+        Ok(buses.iter().map(|b| &self.per_bus[b]).collect())
     }
 }
 
@@ -419,7 +511,7 @@ fn schedbench(args: Args) -> Result<(), AnyError> {
     use heterovliw_core::sched::{schedule_loop_ws, SchedWorkspace, ScheduleOptions};
 
     println!("\n== schedbench: scheduler throughput (loops/second) ==");
-    let suite = heterovliw_core::workloads::suite(args.loops);
+    let suite = heterovliw_core::workloads::suite_seeded(args.loops, args.seed);
     let design = MachineDesign::paper_machine(1);
     let configs = [
         ClockedConfig::reference(design),
@@ -465,9 +557,9 @@ fn schedbench(args: Args) -> Result<(), AnyError> {
 /// The corpus composition shared by `corpus dump` and the in-memory path
 /// of `corpus schedule`/`corpus stats`: the ten SPEC-calibrated benchmarks
 /// plus the four generator families, all at the same per-benchmark scale.
-fn corpus_benchmarks(loops: usize) -> Vec<heterovliw_core::workloads::Benchmark> {
-    let mut benches = heterovliw_core::workloads::suite(loops);
-    benches.extend(heterovliw_core::workloads::family_suite(loops));
+fn corpus_benchmarks(loops: usize, seed: u64) -> Vec<heterovliw_core::workloads::Benchmark> {
+    let mut benches = heterovliw_core::workloads::suite_seeded(loops, seed);
+    benches.extend(heterovliw_core::workloads::family_suite_seeded(loops, seed));
     benches
 }
 
@@ -501,7 +593,7 @@ impl CorpusMeta {
 fn corpus_dump(args: Args, out: Option<&std::path::Path>) -> Result<(), AnyError> {
     use heterovliw_core::workloads::Corpus;
 
-    let corpus = Corpus::from_benchmarks(corpus_benchmarks(args.loops));
+    let corpus = Corpus::from_benchmarks(corpus_benchmarks(args.loops, args.seed));
     let default_path = vliw_bench::results_dir().join("corpus.json");
     let path = out.unwrap_or(&default_path);
     corpus.save(path)?;
@@ -556,7 +648,10 @@ fn corpus_schedule(args: Args, input: Option<&std::path::Path>) -> Result<(), An
     println!("\n== corpus schedule: per-loop modulo schedules (validated) ==");
     let (benches, source) = match input {
         Some(path) => (Corpus::load(path)?.benchmarks, path.display().to_string()),
-        None => (corpus_benchmarks(args.loops), "in-memory suite".to_owned()),
+        None => (
+            corpus_benchmarks(args.loops, args.seed),
+            "in-memory suite".to_owned(),
+        ),
     };
     let design = MachineDesign::paper_machine(1);
     let configs = [
@@ -644,7 +739,7 @@ fn corpus_stats(args: Args, input: Option<&std::path::Path>) -> Result<(), AnyEr
     println!("\n== corpus stats: per-benchmark structure ==");
     let benches = match input {
         Some(path) => Corpus::load(path)?.benchmarks,
-        None => corpus_benchmarks(args.loops),
+        None => corpus_benchmarks(args.loops, args.seed),
     };
     let design = MachineDesign::paper_machine(1);
     let mut rows = Vec::with_capacity(benches.len());
@@ -709,7 +804,7 @@ fn familysweep(args: Args) -> Result<(), AnyError> {
     for &buses in args.buses.list() {
         println!("-- {buses} bus(es) --");
         let study = study(args, buses);
-        let suite = heterovliw_core::workloads::family_suite(args.loops);
+        let suite = heterovliw_core::workloads::family_suite_seeded(args.loops, args.seed);
         let profiled = experiments::profile_suite_with(
             &suite,
             buses,
@@ -725,6 +820,160 @@ fn familysweep(args: Args) -> Result<(), AnyError> {
     }
     dump_json("familysweep", &all);
     dump_meta("familysweep", args);
+    Ok(())
+}
+
+/// Sidecar for the `search` experiment: every knob that shaped the run.
+#[derive(serde::Serialize)]
+struct SearchMeta {
+    experiment: String,
+    strategy: String,
+    space: String,
+    budget: u64,
+    seed: u64,
+    loops_per_benchmark: usize,
+    buses: Vec<u32>,
+}
+
+/// `search`: seeded metaheuristic design-space search with a Pareto
+/// archive. The paper space searches the §3.3 grid on the first bus of
+/// `--buses`; the extended space searches frequencies × speed split ×
+/// explicit voltages across every listed bus count. `search.json` is
+/// byte-stable: identical for every `--jobs` value and machine.
+fn search(args: Args, search_args: SearchArgs, store: &mut ProfiledStore) -> Result<(), AnyError> {
+    use heterovliw_core::explore::{run_search, SpaceKind};
+
+    println!(
+        "\n== search: {} over the {} space ==",
+        search_args.strategy,
+        search_args.space.name()
+    );
+    let buses: Vec<u32> = match search_args.space {
+        SpaceKind::Paper => vec![args.buses.list()[0]],
+        SpaceKind::Extended => args.buses.list().to_vec(),
+    };
+    let suites = store.get_many(&buses)?;
+    let study = study(args, buses[0]);
+    let report = run_search(
+        search_args.space,
+        search_args.strategy,
+        search_args.budget,
+        args.seed,
+        &suites,
+        study.options(),
+        &study.executor(),
+    );
+    println!(
+        "space {} ({} candidates), budget {}, seed {}: {} evaluations, {} frontier points",
+        report.space,
+        report.space_size,
+        report.budget,
+        report.seed,
+        report.evaluations,
+        report.frontier.len()
+    );
+    match &report.best {
+        Some(best) => {
+            println!(
+                "best: index {} | {} bus(es), {} fast, fast {:.2} ns, slow {:.2} ns, \
+                 Vdd {:.2}/{:.2}/{:.2}/{:.2} V | ED2 {:.6e}",
+                best.index,
+                best.buses,
+                best.num_fast,
+                best.fast_cycle_ns,
+                best.slow_cycle_ns,
+                best.vdd_fast,
+                best.vdd_slow,
+                best.vdd_icn,
+                best.vdd_cache,
+                best.ed2
+            );
+        }
+        None => println!("best: no feasible candidate found within the budget"),
+    }
+    for row in &report.frontier {
+        let label = format!(
+            "#{} {}b {}f {:.2}/{:.2}ns",
+            row.index, row.buses, row.num_fast, row.fast_cycle_ns, row.slow_cycle_ns
+        );
+        println!(
+            "{label:<28} time {:>12.1} ns  energy {:>8.4}  ED2 {:.6e}",
+            row.exec_time_ns, row.energy, row.ed2
+        );
+    }
+    dump_json("search", &report);
+    dump_json(
+        "search.meta",
+        &SearchMeta {
+            experiment: "search".to_owned(),
+            strategy: search_args.strategy.name().to_owned(),
+            space: search_args.space.name().to_owned(),
+            budget: search_args.budget,
+            seed: args.seed,
+            loops_per_benchmark: args.loops,
+            buses,
+        },
+    );
+    Ok(())
+}
+
+/// One `searchbench` record: candidate-evaluation throughput of the
+/// search loop over the memo-cached suite. Like `schedbench` it carries
+/// wall-clock measurements, so it is *not* byte-stable — it feeds the CI
+/// perf gate's `search_evals_per_second` metric.
+#[derive(serde::Serialize)]
+struct SearchBenchRecord {
+    experiment: String,
+    loops_per_benchmark: usize,
+    budget: u64,
+    evaluations: u64,
+    wall_time_s: f64,
+    search_evals_per_second: f64,
+}
+
+/// `searchbench`: times a full-coverage hill-climb of the paper grid on
+/// a freshly profiled (cold-cache) suite and reports distinct candidate
+/// evaluations per second. The evaluation count is deterministic (the
+/// 20-point grid), so the throughput is comparable across runs.
+fn searchbench(args: Args) -> Result<(), AnyError> {
+    use heterovliw_core::explore::{run_search, SpaceKind};
+    use heterovliw_core::search::Strategy;
+
+    println!("\n== searchbench: candidate evaluations/second (paper grid) ==");
+    let study = study(args, 1);
+    let profiled = study.profile()?;
+    let budget = 64; // > grid size, so every run spends exactly 20 evals
+    let start = Instant::now();
+    let report = run_search(
+        SpaceKind::Paper,
+        Strategy::HillClimb,
+        budget,
+        args.seed,
+        &[&profiled],
+        study.options(),
+        &study.executor(),
+    );
+    let wall = start.elapsed().as_secs_f64();
+    let eps = if wall > 0.0 {
+        report.evaluations as f64 / wall
+    } else {
+        f64::INFINITY
+    };
+    println!(
+        "evaluated {} candidates in {wall:.3} s => {eps:.2} evals/s",
+        report.evaluations
+    );
+    dump_json(
+        "searchbench",
+        &SearchBenchRecord {
+            experiment: "searchbench".to_owned(),
+            loops_per_benchmark: args.loops,
+            budget,
+            evaluations: report.evaluations,
+            wall_time_s: wall,
+            search_evals_per_second: eps,
+        },
+    );
     Ok(())
 }
 

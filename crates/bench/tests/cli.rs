@@ -143,6 +143,75 @@ fn table2_small_run_produces_json_rows() {
 }
 
 #[test]
+fn search_bad_args_exit_nonzero() {
+    let cases: &[&[&str]] = &[
+        &["search", "--strategy"],               // missing value
+        &["search", "--strategy", "frobnicate"], // unknown strategy
+        &["search", "--budget"],                 // missing value
+        &["search", "--budget", "0"],            // not positive
+        &["search", "--budget", "many"],         // not a number
+        &["search", "--space", "bogus"],         // unknown space
+        &["--seed"],                             // missing value
+        &["--seed", "minus-one"],                // not a number
+        &["figure6", "--strategy", "ga"],        // search-only flag
+        &["table2", "--budget", "4"],            // search-only flag
+        &["corpus", "dump", "--space", "paper"], // search-only flag
+    ];
+    for args in cases {
+        let out = paper(args);
+        assert!(!out.status.success(), "paper {args:?} must fail");
+        let text = String::from_utf8_lossy(&out.stderr);
+        assert!(text.contains("usage: paper"), "usage shown for {args:?}");
+    }
+}
+
+/// The acceptance criterion through the binary: `paper search` emits a
+/// deterministic Pareto-frontier JSON, byte-identical across `--jobs`.
+#[test]
+fn search_json_is_byte_identical_across_job_counts() {
+    let run = |jobs: &str| -> String {
+        let out = paper(&[
+            "search",
+            "--strategy",
+            "anneal",
+            "--budget",
+            "6",
+            "--seed",
+            "2",
+            "--loops",
+            "1",
+            "--buses",
+            "1",
+            "--jobs",
+            jobs,
+        ]);
+        assert!(
+            out.status.success(),
+            "search --jobs {jobs}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        std::fs::read_to_string(results_dir().join("search.json")).expect("search.json")
+    };
+    let serial = run("1");
+    let parallel = run("4");
+    assert_eq!(serial, parallel, "--jobs must not change search.json");
+    for key in [
+        "\"strategy\": \"anneal\"",
+        "\"space\": \"paper\"",
+        "\"frontier\"",
+        "\"trace\"",
+        "\"ed2\"",
+    ] {
+        assert!(serial.contains(key), "search.json has {key}");
+    }
+    // The sidecar records every knob that shaped the run.
+    let meta = std::fs::read_to_string(results_dir().join("search.meta.json")).expect("sidecar");
+    for key in ["\"budget\": 6", "\"seed\": 2", "\"strategy\": \"anneal\""] {
+        assert!(meta.contains(key), "meta has {key}: {meta}");
+    }
+}
+
+#[test]
 fn corpus_bad_args_exit_nonzero() {
     let cases: &[&[&str]] = &[
         &["corpus"],                                // missing action

@@ -8,10 +8,13 @@
 //! * [`machine`] — the clustered VLIW machine and MCD clocking model,
 //! * [`power`] — the §3.1 energy model, scaling laws and ED²,
 //! * [`sched`] — the §4 heterogeneous modulo scheduler,
+//! * [`search`] — metaheuristic design-space optimizers and the Pareto
+//!   archive,
 //! * [`sim`] — schedule validation, execution and profiling,
 //! * [`workloads`] — the synthetic SPECfp2000 loop suites,
-//! * [`explore`] — §3.2/§3.3 estimation, configuration selection and the
-//!   paper's experiment runners,
+//! * [`explore`] — §3.2/§3.3 estimation, configuration selection, the
+//!   paper's experiment runners, and the measured design-space search
+//!   built on [`search`],
 //!
 //! — and offers [`Study`], a builder that strings the whole pipeline
 //! together the way the paper's evaluation does.
@@ -41,6 +44,7 @@ pub use vliw_ir as ir;
 pub use vliw_machine as machine;
 pub use vliw_power as power;
 pub use vliw_sched as sched;
+pub use vliw_search as search;
 pub use vliw_sim as sim;
 pub use vliw_workloads as workloads;
 
@@ -49,10 +53,13 @@ use vliw_explore::experiments::{
     self, BenchmarkResult, ExperimentOptions, Figure7Row, Figure8Row, Figure9Row, ProfiledSuite,
     Table2Row,
 };
+use vliw_explore::search::SearchReport;
+use vliw_explore::SpaceKind;
 use vliw_machine::FrequencyMenu;
 use vliw_power::EnergyShares;
 use vliw_sched::{SchedError, ScheduleOptions};
-use vliw_workloads::{suite, Benchmark, DEFAULT_LOOPS_PER_BENCHMARK};
+use vliw_search::Strategy;
+use vliw_workloads::{suite_seeded, Benchmark, DEFAULT_LOOPS_PER_BENCHMARK};
 
 /// A configured reproduction study: the synthetic suite plus every knob
 /// the paper's evaluation turns.
@@ -63,6 +70,7 @@ use vliw_workloads::{suite, Benchmark, DEFAULT_LOOPS_PER_BENCHMARK};
 pub struct Study {
     loops_per_benchmark: usize,
     buses: u32,
+    seed: u64,
     options: ExperimentOptions,
     exec: Executor,
 }
@@ -77,6 +85,7 @@ impl Study {
         Study {
             loops_per_benchmark: DEFAULT_LOOPS_PER_BENCHMARK,
             buses: 1,
+            seed: 0,
             options: ExperimentOptions::default(),
             exec: Executor::serial(),
         }
@@ -103,6 +112,18 @@ impl Study {
     pub fn with_buses(mut self, buses: u32) -> Self {
         assert!(buses > 0, "at least one bus");
         self.buses = buses;
+        self
+    }
+
+    /// Sets the global generation seed threaded into workload generation
+    /// (and, via [`Study::search`], the search strategies).
+    ///
+    /// The default seed `0` reproduces the historical fixed-seed suites
+    /// bit for bit; any other value derives an independent, equally
+    /// deterministic suite.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
         self
     }
 
@@ -154,7 +175,33 @@ impl Study {
     /// Generates the study's (deterministic) benchmark suite.
     #[must_use]
     pub fn suite(&self) -> Vec<Benchmark> {
-        suite(self.loops_per_benchmark)
+        suite_seeded(self.loops_per_benchmark, self.seed)
+    }
+
+    /// Runs a seeded metaheuristic design-space search over this study's
+    /// profiled suite (see [`explore::search`]): `budget` distinct
+    /// candidate evaluations of `strategy` over `kind`, seeded with the
+    /// study's seed. The report is byte-stable across job counts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduling failures from the reference profiling runs.
+    pub fn search(
+        &self,
+        kind: SpaceKind,
+        strategy: Strategy,
+        budget: u64,
+    ) -> Result<SearchReport, SchedError> {
+        let profiled = self.profile()?;
+        Ok(vliw_explore::run_search(
+            kind,
+            strategy,
+            budget,
+            self.seed,
+            &[&profiled],
+            &self.options,
+            &self.exec,
+        ))
     }
 
     /// Profiles the suite on the reference homogeneous machine.

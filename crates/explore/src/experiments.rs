@@ -62,7 +62,7 @@ pub struct MeasureKey {
 }
 
 impl MeasureKey {
-    fn new(
+    pub(crate) fn new(
         bench: &Benchmark,
         config: &ClockedConfig,
         power: &PowerModel,
@@ -349,7 +349,7 @@ pub fn run_benchmark_with(
 /// `exec` with one [`SchedWorkspace`] per worker thread; contributions are
 /// folded in loop order, so the result is bit-identical for every worker
 /// count.
-fn measure_usage(
+pub(crate) fn measure_usage(
     bench: &Benchmark,
     profile: &BenchmarkProfile,
     config: &ClockedConfig,

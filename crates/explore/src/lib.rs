@@ -28,6 +28,7 @@ mod estimate;
 pub mod experiments;
 mod homog;
 mod profile;
+pub mod search;
 mod select;
 
 pub use estimate::{estimate_loop_it, estimate_program, estimate_usage, price_usage, HetEstimate};
@@ -39,6 +40,7 @@ pub use profile::{
     profile_benchmark, profile_benchmark_ws, reference_usage_scaled, suite_reference,
     BenchmarkProfile, LoopProfile, T_TOTAL,
 };
+pub use search::{run_search, ConfigSpace, SearchContext, SearchReport, SpaceKind};
 pub use select::{candidate_grid, select_heterogeneous, select_heterogeneous_with, HeteroChoice};
 
 // Everything the parallel experiment runners share across worker threads.
@@ -53,4 +55,6 @@ const _: () = {
     _assert_send_sync::<experiments::ProfiledSuite>();
     _assert_send_sync::<experiments::ExperimentOptions>();
     _assert_send_sync::<experiments::MeasureCache>();
+    _assert_send_sync::<ConfigSpace>();
+    _assert_send_sync::<SearchReport>();
 };

@@ -1,0 +1,185 @@
+//! The Pareto archive: the non-dominated frontier of everything a search
+//! evaluated, with deterministic tie-breaking.
+
+use crate::space::Objectives;
+
+/// One archived candidate: its canonical space index, the point itself,
+/// and its objectives.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArchiveEntry<P> {
+    /// Canonical index in the search space (the deterministic identity).
+    pub index: u64,
+    /// The candidate point.
+    pub point: P,
+    /// Its evaluated objectives.
+    pub objectives: Objectives,
+}
+
+/// Maintains the non-dominated `(exec time, energy, ED²)` frontier of the
+/// candidates inserted so far.
+///
+/// Determinism contract: the resulting frontier is a pure function of the
+/// *set* of inserted `(index, objectives)` pairs — insertion order never
+/// matters. This holds because
+///
+/// * dominated entries are rejected (or evicted) no matter when they
+///   arrive,
+/// * entries with **bit-identical objectives** are collapsed to the one
+///   with the lowest space index (decoded machine configurations can
+///   alias — e.g. every speed-split of a frequency-homogeneous design —
+///   and the lowest index is the canonical representative),
+/// * the frontier is kept sorted by `(exec time, energy, ED², index)`
+///   with `total_cmp`, a total order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParetoArchive<P> {
+    entries: Vec<ArchiveEntry<P>>,
+}
+
+impl<P: Clone> ParetoArchive<P> {
+    /// An empty archive.
+    #[must_use]
+    pub fn new() -> Self {
+        ParetoArchive {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Offers a candidate to the archive. Returns `true` when the entry
+    /// joined the frontier (possibly evicting entries it dominates or an
+    /// objective-identical entry with a higher index), `false` when it was
+    /// rejected (non-finite objectives, dominated, or an identical entry
+    /// with a lower-or-equal index already present).
+    pub fn insert(&mut self, entry: ArchiveEntry<P>) -> bool {
+        if !entry.objectives.is_finite() {
+            return false;
+        }
+        for existing in &self.entries {
+            if existing.objectives.dominates(&entry.objectives) {
+                return false;
+            }
+            if existing.objectives == entry.objectives && existing.index <= entry.index {
+                return false;
+            }
+        }
+        self.entries.retain(|e| {
+            let evicted = entry.objectives.dominates(&e.objectives)
+                || (e.objectives == entry.objectives && e.index > entry.index);
+            !evicted
+        });
+        let pos = self
+            .entries
+            .partition_point(|e| Self::frontier_order(e, &entry) == std::cmp::Ordering::Less);
+        self.entries.insert(pos, entry);
+        true
+    }
+
+    /// The frontier, sorted by `(exec time, energy, ED², index)`.
+    #[must_use]
+    pub fn entries(&self) -> &[ArchiveEntry<P>] {
+        &self.entries
+    }
+
+    /// Number of frontier entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the frontier is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The scalar winner: the entry minimising `(ED², exec time, energy,
+    /// index)` — the configuration a single-objective sweep would report.
+    #[must_use]
+    pub fn best(&self) -> Option<&ArchiveEntry<P>> {
+        self.entries.iter().min_by(|a, b| {
+            a.objectives
+                .scalar_cmp(&b.objectives)
+                .then_with(|| a.index.cmp(&b.index))
+        })
+    }
+
+    fn frontier_order(a: &ArchiveEntry<P>, b: &ArchiveEntry<P>) -> std::cmp::Ordering {
+        a.objectives
+            .exec_time_ns
+            .total_cmp(&b.objectives.exec_time_ns)
+            .then_with(|| a.objectives.energy.total_cmp(&b.objectives.energy))
+            .then_with(|| a.objectives.ed2.total_cmp(&b.objectives.ed2))
+            .then_with(|| a.index.cmp(&b.index))
+    }
+}
+
+impl<P: Clone> Default for ParetoArchive<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(index: u64, t: f64, e: f64) -> ArchiveEntry<u64> {
+        ArchiveEntry {
+            index,
+            point: index,
+            objectives: Objectives::from_time_energy(t, e),
+        }
+    }
+
+    #[test]
+    fn dominated_entries_are_rejected_and_evicted() {
+        let mut a = ParetoArchive::new();
+        assert!(a.insert(entry(0, 2.0, 2.0)));
+        assert!(!a.insert(entry(1, 3.0, 3.0)), "dominated on arrival");
+        assert!(a.insert(entry(2, 1.0, 3.0)), "incomparable joins");
+        assert!(a.insert(entry(3, 1.0, 1.0)), "dominates everything");
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.entries()[0].index, 3);
+    }
+
+    #[test]
+    fn identical_objectives_keep_the_lowest_index() {
+        let mut a = ParetoArchive::new();
+        assert!(a.insert(entry(7, 1.0, 2.0)));
+        assert!(!a.insert(entry(9, 1.0, 2.0)), "higher-index alias rejected");
+        assert!(a.insert(entry(4, 1.0, 2.0)), "lower-index alias replaces");
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.entries()[0].index, 4);
+    }
+
+    #[test]
+    fn frontier_is_sorted_by_time_then_energy() {
+        let mut a = ParetoArchive::new();
+        a.insert(entry(0, 3.0, 1.0));
+        a.insert(entry(1, 1.0, 3.0));
+        a.insert(entry(2, 2.0, 2.0));
+        let times: Vec<f64> = a
+            .entries()
+            .iter()
+            .map(|e| e.objectives.exec_time_ns)
+            .collect();
+        assert_eq!(times, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn best_minimises_ed2_with_index_tie_break() {
+        let mut a = ParetoArchive::new();
+        a.insert(entry(5, 1.0, 3.0));
+        a.insert(entry(2, 3.0, 1.0));
+        // ed2: 3e-18 vs 9e-18 — the first wins.
+        assert_eq!(a.best().unwrap().index, 5);
+        assert!(ParetoArchive::<u64>::new().best().is_none());
+    }
+
+    #[test]
+    fn non_finite_objectives_never_enter() {
+        let mut a = ParetoArchive::new();
+        assert!(!a.insert(entry(0, f64::NAN, 1.0)));
+        assert!(!a.insert(entry(1, f64::INFINITY, 1.0)));
+        assert!(a.is_empty());
+    }
+}

@@ -1,0 +1,74 @@
+//! Metaheuristic design-space search with a Pareto archive.
+//!
+//! The paper's evaluation sweeps a small hand-picked grid of
+//! cluster-frequency/voltage configurations exhaustively. Beyond that
+//! grid the configuration space explodes combinatorially (cycle factors ×
+//! speed-group splits × per-group voltages × bus widths), so exhaustive
+//! enumeration stops being an option. This crate provides the search
+//! machinery that replaces it:
+//!
+//! * [`SearchSpace`] — a finite, indexable candidate space with neighbour
+//!   generation, seeded random sampling, mutation and crossover
+//!   ([`GridSpace`] is the ready-made mixed-radix implementation the
+//!   exploration layer builds its configuration spaces from);
+//! * [`Optimizer`] — the common strategy interface, with three
+//!   metaheuristics ([`HillClimb`], [`Anneal`], [`Genetic`]) plus the
+//!   [`Exhaustive`] reference scan, all dispatchable by name through
+//!   [`Strategy`];
+//! * [`ParetoArchive`] — the non-dominated `(exec time, energy, ED²)`
+//!   frontier of everything a run evaluated, with deterministic
+//!   tie-breaking.
+//!
+//! # Determinism
+//!
+//! Every strategy is a deterministic function of `(space, evaluation
+//! function, budget, seed)`. Random draws come from a seeded
+//! `rand::rngs::SmallRng` and never depend on thread scheduling;
+//! candidate batches fan out across a [`vliw_exec::Executor`] whose
+//! `map` returns results in input order, so a parallel run is
+//! bit-identical to a serial one. The **budget counts distinct candidate
+//! evaluations** (feasible or not): repeats are served from an internal
+//! memo table and cost nothing, which also means a budget at least the
+//! size of a finite space makes *every* strategy degrade gracefully into
+//! full coverage — and therefore find the exhaustive optimum.
+//!
+//! # Example
+//!
+//! ```
+//! use vliw_search::{GridSpace, Objectives, Optimizer, SearchSpace, Strategy};
+//!
+//! // Minimise a bumpy bowl over a 32×32 grid.
+//! let space = GridSpace::new(vec![32, 32]);
+//! let eval = |genes: &Vec<u32>, _exec: &vliw_exec::Executor| {
+//!     let (x, y) = (f64::from(genes[0]) - 11.0, f64::from(genes[1]) - 23.0);
+//!     let time = 1.0 + x * x + (3.0 * x).sin().abs();
+//!     let energy = 1.0 + y * y;
+//!     Some(Objectives::from_time_energy(time, energy))
+//! };
+//! let outcome = Strategy::Anneal.run(&space, &eval, 400, 7);
+//! let best = outcome.best().expect("the space has feasible points");
+//! assert_eq!(best.point, vec![11, 23]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod archive;
+mod optimize;
+mod space;
+mod strategies;
+
+pub use archive::{ArchiveEntry, ParetoArchive};
+pub use optimize::{Optimizer, SearchOutcome, TracePoint};
+pub use space::{GridSpace, Objectives, SearchSpace};
+pub use strategies::{Anneal, Exhaustive, Genetic, HillClimb, Strategy};
+
+// Outcomes cross the executor's worker threads.
+const fn _assert_send_sync<T: Send + Sync>() {}
+const _: () = {
+    _assert_send_sync::<Objectives>();
+    _assert_send_sync::<GridSpace>();
+    _assert_send_sync::<Strategy>();
+    _assert_send_sync::<SearchOutcome<Vec<u32>>>();
+};

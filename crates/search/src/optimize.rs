@@ -1,0 +1,267 @@
+//! The [`Optimizer`] interface, the shared evaluation state every
+//! strategy runs on, and the [`SearchOutcome`] they all return.
+
+use std::collections::BTreeMap;
+
+use vliw_exec::Executor;
+
+use crate::archive::{ArchiveEntry, ParetoArchive};
+use crate::space::{Objectives, SearchSpace};
+
+/// One convergence-trace sample: the best scalar (ED²) seen after
+/// `evaluations` distinct candidate evaluations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TracePoint {
+    /// Distinct evaluations spent when this best was found.
+    pub evaluations: u64,
+    /// Canonical space index of the new best candidate.
+    pub index: u64,
+    /// Its ED².
+    pub ed2: f64,
+}
+
+/// Everything one strategy run produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchOutcome<P> {
+    /// The strategy that ran.
+    pub strategy: &'static str,
+    /// The requested evaluation budget.
+    pub budget: u64,
+    /// The seed the run was started with.
+    pub seed: u64,
+    /// Size of the searched space.
+    pub space_size: u64,
+    /// Distinct candidate evaluations actually spent (≤ `budget`, and ≤
+    /// `space_size` — memoised repeats are free).
+    pub evaluations: u64,
+    /// The non-dominated frontier of everything evaluated.
+    pub archive: ParetoArchive<P>,
+    /// Convergence trace: every improvement of the scalar best.
+    pub trace: Vec<TracePoint>,
+}
+
+impl<P: Clone> SearchOutcome<P> {
+    /// The scalar winner (minimum ED², deterministic tie-breaking), if
+    /// any feasible candidate was found.
+    #[must_use]
+    pub fn best(&self) -> Option<&ArchiveEntry<P>> {
+        self.archive.best()
+    }
+}
+
+/// A design-space search strategy.
+///
+/// Implementations must be deterministic functions of `(space, evaluate,
+/// budget, seed)`: random decisions come from `seed` alone, and candidate
+/// batches are fanned out through the executor's order-preserving `map`,
+/// so the outcome is identical for every worker count.
+pub trait Optimizer {
+    /// The strategy's stable name (CLI/JSON identifier).
+    fn name(&self) -> &'static str;
+
+    /// Runs the strategy until `budget` distinct candidate evaluations
+    /// are spent (or the whole space is evaluated, whichever comes
+    /// first), fanning evaluation batches across `exec`.
+    ///
+    /// `evaluate` returns `None` for infeasible candidates; infeasible
+    /// evaluations still consume budget (they cost the same work). It
+    /// receives an [`Executor`] for its *internal* fan-out: the full
+    /// pool when the engine has only one fresh candidate to evaluate
+    /// (sequential strategies like annealing would otherwise leave every
+    /// worker idle), the serial executor when candidates themselves are
+    /// being fanned out in parallel. Evaluations must be deterministic
+    /// for every worker count, as everything built on `Executor::map`
+    /// is.
+    ///
+    /// Budget left over when a strategy's stochastic phase stalls (its
+    /// restart/proposal/generation caps trip because random moves keep
+    /// revisiting evaluated points) is spent scanning unevaluated
+    /// candidates in index order. Consequently a budget of at least the
+    /// space size always yields full coverage — and therefore the
+    /// exhaustive-sweep optimum, the property the paper-grid validation
+    /// pins.
+    fn run_with<S, F>(
+        &self,
+        space: &S,
+        evaluate: &F,
+        budget: u64,
+        seed: u64,
+        exec: &Executor,
+    ) -> SearchOutcome<S::Point>
+    where
+        S: SearchSpace,
+        F: Fn(&S::Point, &Executor) -> Option<Objectives> + Sync;
+
+    /// [`Optimizer::run_with`] on the calling thread only.
+    fn run<S, F>(&self, space: &S, evaluate: &F, budget: u64, seed: u64) -> SearchOutcome<S::Point>
+    where
+        S: SearchSpace,
+        F: Fn(&S::Point, &Executor) -> Option<Objectives> + Sync,
+    {
+        self.run_with(space, evaluate, budget, seed, &Executor::serial())
+    }
+}
+
+/// The evaluation engine shared by every strategy: a memo table over
+/// canonical indices, the distinct-evaluation budget, the Pareto archive
+/// and the convergence trace.
+pub(crate) struct State<'a, S: SearchSpace, F> {
+    space: &'a S,
+    evaluate: &'a F,
+    exec: &'a Executor,
+    /// Effective budget: `min(requested, space size)` — once every point
+    /// is evaluated there is nothing left to spend on.
+    effective_budget: u64,
+    requested_budget: u64,
+    memo: BTreeMap<u64, Option<Objectives>>,
+    evaluations: u64,
+    archive: ParetoArchive<S::Point>,
+    trace: Vec<TracePoint>,
+    best: Option<(Objectives, u64)>,
+}
+
+impl<'a, S, F> State<'a, S, F>
+where
+    S: SearchSpace,
+    F: Fn(&S::Point, &Executor) -> Option<Objectives> + Sync,
+{
+    pub(crate) fn new(space: &'a S, evaluate: &'a F, budget: u64, exec: &'a Executor) -> Self {
+        State {
+            space,
+            evaluate,
+            exec,
+            effective_budget: budget.min(space.size()),
+            requested_budget: budget,
+            memo: BTreeMap::new(),
+            evaluations: 0,
+            archive: ParetoArchive::new(),
+            trace: Vec::new(),
+            best: None,
+        }
+    }
+
+    /// Whether the run is over: the budget is spent or the space is
+    /// fully evaluated.
+    pub(crate) fn done(&self) -> bool {
+        self.evaluations >= self.effective_budget
+    }
+
+    /// Distinct evaluations spent so far.
+    pub(crate) fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+
+    /// The effective budget (`min(requested, space size)`).
+    pub(crate) fn effective_budget(&self) -> u64 {
+        self.effective_budget
+    }
+
+    /// Evaluates a batch of points and returns their objectives in input
+    /// order (`None` for infeasible candidates *and* for points left
+    /// unevaluated because the budget ran out mid-batch).
+    ///
+    /// Already-memoised points are free; fresh points are deduplicated in
+    /// first-occurrence order, truncated to the remaining budget, and
+    /// fanned across the executor. Archive and trace updates happen in
+    /// batch order, so the whole operation is deterministic for every
+    /// worker count.
+    pub(crate) fn eval_batch(&mut self, points: &[S::Point]) -> Vec<Option<Objectives>> {
+        let mut fresh: Vec<(u64, S::Point)> = Vec::new();
+        let remaining = (self.effective_budget - self.evaluations) as usize;
+        for p in points {
+            if fresh.len() >= remaining {
+                break;
+            }
+            let idx = self.space.index(p);
+            if !self.memo.contains_key(&idx) && fresh.iter().all(|(i, _)| *i != idx) {
+                fresh.push((idx, p.clone()));
+            }
+        }
+        // With a single fresh candidate the outer map has no parallelism
+        // to offer, so the evaluation itself gets the pool (annealing
+        // proposals, hill-climb starts); with several, candidates fan
+        // out and each evaluation stays serial to avoid oversubscribing.
+        let evaluate = self.evaluate;
+        let inner = if fresh.len() == 1 {
+            *self.exec
+        } else {
+            Executor::serial()
+        };
+        let results = self.exec.map(&fresh, |_, (_, p)| evaluate(p, &inner));
+        for ((idx, p), obj) in fresh.into_iter().zip(results) {
+            self.evaluations += 1;
+            self.memo.insert(idx, obj);
+            if let Some(o) = obj {
+                if o.is_finite() {
+                    self.archive.insert(ArchiveEntry {
+                        index: idx,
+                        point: p,
+                        objectives: o,
+                    });
+                    let improved = match &self.best {
+                        None => true,
+                        Some((b, bi)) => {
+                            o.scalar_cmp(b) == std::cmp::Ordering::Less
+                                || (o.scalar_cmp(b) == std::cmp::Ordering::Equal && idx < *bi)
+                        }
+                    };
+                    if improved {
+                        self.best = Some((o, idx));
+                        self.trace.push(TracePoint {
+                            evaluations: self.evaluations,
+                            index: idx,
+                            ed2: o.ed2,
+                        });
+                    }
+                }
+            }
+        }
+        points
+            .iter()
+            .map(|p| self.memo.get(&self.space.index(p)).copied().flatten())
+            .collect()
+    }
+
+    /// Evaluates one point (convenience over [`State::eval_batch`]).
+    pub(crate) fn eval_one(&mut self, point: &S::Point) -> Option<Objectives> {
+        self.eval_batch(std::slice::from_ref(point))[0]
+    }
+
+    /// Spends any remaining budget on unevaluated candidates in canonical
+    /// index order.
+    ///
+    /// Strategies call this after their stochastic phase stalls (restart,
+    /// proposal or generation caps): random walks revisit evaluated
+    /// points ever more often as coverage grows, and this deterministic
+    /// top-up turns the "budget ≥ space size finds the exhaustive
+    /// optimum" property from a probabilistic one into a guarantee.
+    pub(crate) fn sweep_remaining(&mut self) {
+        let size = self.space.size();
+        let mut idx = 0u64;
+        let mut batch = Vec::new();
+        while !self.done() && idx < size {
+            batch.clear();
+            while idx < size && batch.len() < 256 {
+                if !self.memo.contains_key(&idx) {
+                    batch.push(self.space.point(idx));
+                }
+                idx += 1;
+            }
+            if !batch.is_empty() {
+                self.eval_batch(&batch);
+            }
+        }
+    }
+
+    pub(crate) fn finish(self, strategy: &'static str, seed: u64) -> SearchOutcome<S::Point> {
+        SearchOutcome {
+            strategy,
+            budget: self.requested_budget,
+            seed,
+            space_size: self.space.size(),
+            evaluations: self.evaluations,
+            archive: self.archive,
+            trace: self.trace,
+        }
+    }
+}

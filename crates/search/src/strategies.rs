@@ -1,0 +1,568 @@
+//! The built-in optimizers: steepest-descent hill climbing with restarts,
+//! simulated annealing, a small generational GA, and the exhaustive
+//! reference scan — plus [`Strategy`], the by-name dispatcher.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::str::FromStr;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use vliw_exec::Executor;
+
+use crate::optimize::{Optimizer, SearchOutcome, State};
+use crate::space::{Objectives, SearchSpace};
+
+/// Compares two evaluated candidates by `(objectives, index)`; `None`
+/// (infeasible) ranks after every feasible candidate, ties on index.
+fn candidate_cmp(a: (Option<Objectives>, u64), b: (Option<Objectives>, u64)) -> Ordering {
+    match (a.0, b.0) {
+        (Some(oa), Some(ob)) => oa.scalar_cmp(&ob).then_with(|| a.1.cmp(&b.1)),
+        (Some(_), None) => Ordering::Less,
+        (None, Some(_)) => Ordering::Greater,
+        (None, None) => a.1.cmp(&b.1),
+    }
+}
+
+/// Steepest-descent hill climbing with random restarts.
+///
+/// Each restart draws a random start, evaluates its full deterministic
+/// neighbourhood, moves to the strictly best improving neighbour, and
+/// repeats until a local optimum; restarts continue until the budget is
+/// spent. Because duplicate evaluations are free, a budget at least the
+/// space size drives the restarts into full coverage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HillClimb;
+
+impl Optimizer for HillClimb {
+    fn name(&self) -> &'static str {
+        "hillclimb"
+    }
+
+    fn run_with<S, F>(
+        &self,
+        space: &S,
+        evaluate: &F,
+        budget: u64,
+        seed: u64,
+        exec: &Executor,
+    ) -> SearchOutcome<S::Point>
+    where
+        S: SearchSpace,
+        F: Fn(&S::Point, &Executor) -> Option<Objectives> + Sync,
+    {
+        let mut state = State::new(space, evaluate, budget, exec);
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x4849_4C4C); // "HILL"
+        let mut neighborhood = Vec::new();
+        // Restarts that evaluate nothing new mean random sampling keeps
+        // landing on covered ground; after a streak of them, hand the
+        // remaining budget to the deterministic sweep below.
+        let mut stale_restarts = 0u32;
+        while !state.done() && stale_restarts < 256 {
+            let spent_before = state.evaluations();
+            let start = space.sample(&mut rng);
+            let Some(mut current_obj) = state.eval_one(&start) else {
+                if state.evaluations() == spent_before {
+                    stale_restarts += 1;
+                } else {
+                    stale_restarts = 0;
+                }
+                continue; // infeasible start: restart
+            };
+            let mut current = start;
+            while !state.done() {
+                neighborhood.clear();
+                space.neighbors(&current, &mut neighborhood);
+                let objs = state.eval_batch(&neighborhood);
+                let mut best: Option<(usize, Objectives)> = None;
+                for (i, obj) in objs.iter().enumerate() {
+                    let Some(o) = obj else { continue };
+                    let idx = space.index(&neighborhood[i]);
+                    let better = match best {
+                        None => true,
+                        Some((bi, bo)) => {
+                            candidate_cmp(
+                                (Some(*o), idx),
+                                (Some(bo), space.index(&neighborhood[bi])),
+                            ) == Ordering::Less
+                        }
+                    };
+                    if better {
+                        best = Some((i, *o));
+                    }
+                }
+                match best {
+                    Some((i, o)) if o.scalar_cmp(&current_obj) == Ordering::Less => {
+                        current = neighborhood[i].clone();
+                        current_obj = o;
+                    }
+                    _ => break, // local optimum: restart
+                }
+            }
+            if state.evaluations() == spent_before {
+                stale_restarts += 1;
+            } else {
+                stale_restarts = 0;
+            }
+        }
+        state.sweep_remaining();
+        state.finish(self.name(), seed)
+    }
+}
+
+/// Simulated annealing with a geometric cooling schedule on *relative*
+/// ED² deterioration.
+///
+/// Proposals are random [`SearchSpace::mutate`] moves; a worse candidate
+/// with deterioration `δ = (ED²ₙₑᵥᵥ − ED²ᵪᵤᵣ)/ED²ᵪᵤᵣ` relative to the
+/// chain's current point is
+/// accepted with probability `exp(−δ/T)`, where `T` cools geometrically
+/// from [`Anneal::t0`] to [`Anneal::t_end`] as the distinct-evaluation
+/// budget is consumed. Long rejection streaks trigger a random restart
+/// (re-heat), which also guarantees coverage on small spaces.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Anneal {
+    /// Initial relative temperature.
+    pub t0: f64,
+    /// Final relative temperature.
+    pub t_end: f64,
+}
+
+impl Default for Anneal {
+    fn default() -> Self {
+        Anneal {
+            t0: 0.25,
+            t_end: 1e-3,
+        }
+    }
+}
+
+impl Optimizer for Anneal {
+    fn name(&self) -> &'static str {
+        "anneal"
+    }
+
+    fn run_with<S, F>(
+        &self,
+        space: &S,
+        evaluate: &F,
+        budget: u64,
+        seed: u64,
+        exec: &Executor,
+    ) -> SearchOutcome<S::Point>
+    where
+        S: SearchSpace,
+        F: Fn(&S::Point, &Executor) -> Option<Objectives> + Sync,
+    {
+        let mut state = State::new(space, evaluate, budget, exec);
+        // 0x414E4E45414C spells "ANNEAL".
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x414E_4E45_414C);
+        // Memoised proposals are free but still advance the chain; the
+        // proposal cap bounds the walk when the space is nearly covered.
+        let max_proposals = state.effective_budget().saturating_mul(64).max(1024);
+        let mut proposals = 0u64;
+        'chains: while !state.done() && proposals < max_proposals {
+            let start = space.sample(&mut rng);
+            proposals += 1;
+            let Some(mut current_obj) = state.eval_one(&start) else {
+                continue;
+            };
+            let mut current = start;
+            let mut rejections = 0u32;
+            while !state.done() && proposals < max_proposals {
+                let proposal = space.mutate(&current, &mut rng);
+                proposals += 1;
+                let progress = if state.effective_budget() == 0 {
+                    1.0
+                } else {
+                    state.evaluations() as f64 / state.effective_budget() as f64
+                };
+                let temperature = self.t0 * (self.t_end / self.t0).powf(progress.clamp(0.0, 1.0));
+                match state.eval_one(&proposal) {
+                    None => rejections += 1,
+                    Some(o) => {
+                        let accept = if o.scalar_cmp(&current_obj) != Ordering::Greater {
+                            true
+                        } else {
+                            let scale = current_obj.ed2.abs().max(f64::MIN_POSITIVE);
+                            let delta = (o.ed2 - current_obj.ed2) / scale;
+                            rng.gen::<f64>() < (-delta / temperature).exp()
+                        };
+                        if accept {
+                            current = proposal;
+                            current_obj = o;
+                            rejections = 0;
+                        } else {
+                            rejections += 1;
+                        }
+                    }
+                }
+                if rejections > 64 {
+                    continue 'chains; // re-heat from a fresh random point
+                }
+            }
+        }
+        state.sweep_remaining();
+        state.finish(self.name(), seed)
+    }
+}
+
+/// A small generational genetic algorithm: tournament selection, uniform
+/// crossover, one-gene mutation, elitism, and random immigrants.
+///
+/// The immigrants keep the population from collapsing onto a local
+/// optimum and guarantee that, with enough budget, the whole (finite)
+/// space stays reachable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Genetic {
+    /// Population size (clamped to the effective budget).
+    pub population: usize,
+    /// Probability a child is mutated after crossover.
+    pub mutation_rate: f64,
+    /// Best-of-generation survivors copied verbatim.
+    pub elites: usize,
+    /// Fresh random points injected per generation.
+    pub immigrants: usize,
+}
+
+impl Default for Genetic {
+    fn default() -> Self {
+        Genetic {
+            population: 12,
+            mutation_rate: 0.3,
+            elites: 2,
+            immigrants: 2,
+        }
+    }
+}
+
+impl Optimizer for Genetic {
+    fn name(&self) -> &'static str {
+        "ga"
+    }
+
+    fn run_with<S, F>(
+        &self,
+        space: &S,
+        evaluate: &F,
+        budget: u64,
+        seed: u64,
+        exec: &Executor,
+    ) -> SearchOutcome<S::Point>
+    where
+        S: SearchSpace,
+        F: Fn(&S::Point, &Executor) -> Option<Objectives> + Sync,
+    {
+        let mut state = State::new(space, evaluate, budget, exec);
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x4745_4E45); // "GENE"
+        let pop_n = self
+            .population
+            .max(2)
+            .min(usize::try_from(state.effective_budget().max(2)).unwrap_or(usize::MAX));
+        let mut population: Vec<S::Point> = (0..pop_n).map(|_| space.sample(&mut rng)).collect();
+        let mut fitness = state.eval_batch(&population);
+        // Generations are bounded so a fully-memoised population (every
+        // child already evaluated) cannot spin forever near exhaustion.
+        let max_generations = state.effective_budget().saturating_mul(16).max(64);
+        let mut generation = 0u64;
+        let mut stale_generations = 0u32;
+        while !state.done() && generation < max_generations && stale_generations < 64 {
+            generation += 1;
+            let spent_before = state.evaluations();
+            let mut ranked: Vec<usize> = (0..population.len()).collect();
+            ranked.sort_by(|&a, &b| {
+                candidate_cmp(
+                    (fitness[a], space.index(&population[a])),
+                    (fitness[b], space.index(&population[b])),
+                )
+            });
+            let mut next: Vec<S::Point> = ranked
+                .iter()
+                .take(self.elites.min(pop_n))
+                .map(|&i| population[i].clone())
+                .collect();
+            for _ in 0..self.immigrants.min(pop_n.saturating_sub(next.len())) {
+                next.push(space.sample(&mut rng));
+            }
+            let tournament = |rng: &mut SmallRng| -> usize {
+                let a = rng.gen_range(0..population.len());
+                let b = rng.gen_range(0..population.len());
+                if candidate_cmp(
+                    (fitness[a], space.index(&population[a])),
+                    (fitness[b], space.index(&population[b])),
+                ) == Ordering::Greater
+                {
+                    b
+                } else {
+                    a
+                }
+            };
+            while next.len() < pop_n {
+                let pa = tournament(&mut rng);
+                let pb = tournament(&mut rng);
+                let mut child = space.crossover(&population[pa], &population[pb], &mut rng);
+                if rng.gen::<f64>() < self.mutation_rate {
+                    child = space.mutate(&child, &mut rng);
+                }
+                next.push(child);
+            }
+            fitness = state.eval_batch(&next);
+            population = next;
+            if state.evaluations() == spent_before {
+                stale_generations += 1;
+            } else {
+                stale_generations = 0;
+            }
+        }
+        state.sweep_remaining();
+        state.finish(self.name(), seed)
+    }
+}
+
+/// The exhaustive reference scan: evaluates every point of the space in
+/// canonical index order (truncated to the budget). This is the ground
+/// truth the metaheuristics are validated against on the paper's grid.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Exhaustive;
+
+impl Optimizer for Exhaustive {
+    fn name(&self) -> &'static str {
+        "exhaustive"
+    }
+
+    fn run_with<S, F>(
+        &self,
+        space: &S,
+        evaluate: &F,
+        budget: u64,
+        seed: u64,
+        exec: &Executor,
+    ) -> SearchOutcome<S::Point>
+    where
+        S: SearchSpace,
+        F: Fn(&S::Point, &Executor) -> Option<Objectives> + Sync,
+    {
+        let mut state = State::new(space, evaluate, budget, exec);
+        const CHUNK: u64 = 256;
+        let mut next = 0u64;
+        while !state.done() && next < space.size() {
+            let end = (next + CHUNK).min(space.size());
+            let batch: Vec<S::Point> = (next..end).map(|i| space.point(i)).collect();
+            state.eval_batch(&batch);
+            next = end;
+        }
+        state.finish(self.name(), seed)
+    }
+}
+
+/// The built-in strategies, dispatchable by their stable CLI names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Steepest-descent hill climbing with restarts (`hillclimb`).
+    HillClimb,
+    /// Simulated annealing (`anneal`).
+    Anneal,
+    /// Generational genetic algorithm (`ga`).
+    Genetic,
+    /// Exhaustive index-order scan (`exhaustive`).
+    Exhaustive,
+}
+
+impl Strategy {
+    /// Every strategy, in canonical order.
+    pub const ALL: [Strategy; 4] = [
+        Strategy::HillClimb,
+        Strategy::Anneal,
+        Strategy::Genetic,
+        Strategy::Exhaustive,
+    ];
+
+    /// The metaheuristics (everything except the exhaustive scan).
+    pub const METAHEURISTICS: [Strategy; 3] =
+        [Strategy::HillClimb, Strategy::Anneal, Strategy::Genetic];
+
+    /// The strategy's stable name (`hillclimb`, `anneal`, `ga`,
+    /// `exhaustive`).
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            Strategy::HillClimb => "hillclimb",
+            Strategy::Anneal => "anneal",
+            Strategy::Genetic => "ga",
+            Strategy::Exhaustive => "exhaustive",
+        }
+    }
+
+    /// Runs this strategy (default configuration) with the given
+    /// executor.
+    pub fn run_with<S, F>(
+        self,
+        space: &S,
+        evaluate: &F,
+        budget: u64,
+        seed: u64,
+        exec: &Executor,
+    ) -> SearchOutcome<S::Point>
+    where
+        S: SearchSpace,
+        F: Fn(&S::Point, &Executor) -> Option<Objectives> + Sync,
+    {
+        match self {
+            Strategy::HillClimb => HillClimb.run_with(space, evaluate, budget, seed, exec),
+            Strategy::Anneal => Anneal::default().run_with(space, evaluate, budget, seed, exec),
+            Strategy::Genetic => Genetic::default().run_with(space, evaluate, budget, seed, exec),
+            Strategy::Exhaustive => Exhaustive.run_with(space, evaluate, budget, seed, exec),
+        }
+    }
+
+    /// Runs this strategy serially.
+    pub fn run<S, F>(
+        self,
+        space: &S,
+        evaluate: &F,
+        budget: u64,
+        seed: u64,
+    ) -> SearchOutcome<S::Point>
+    where
+        S: SearchSpace,
+        F: Fn(&S::Point, &Executor) -> Option<Objectives> + Sync,
+    {
+        self.run_with(space, evaluate, budget, seed, &Executor::serial())
+    }
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for Strategy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Strategy::ALL
+            .into_iter()
+            .find(|st| st.name() == s)
+            .ok_or_else(|| format!("unknown strategy {s} (hillclimb|anneal|ga|exhaustive)"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::GridSpace;
+
+    /// A deterministic bumpy objective with one global optimum.
+    #[allow(clippy::ptr_arg)] // must match Fn(&<GridSpace as SearchSpace>::Point, &Executor)
+    fn bumpy(genes: &Vec<u32>, _exec: &Executor) -> Option<Objectives> {
+        let x = f64::from(genes[0]);
+        let y = f64::from(genes[1]);
+        // Infeasible pocket, as real voltage ranges produce.
+        if genes[0] == 3 && genes[1] < 4 {
+            return None;
+        }
+        let time = 2.0 + (x - 13.0).powi(2) + (2.3 * x).sin().abs();
+        let energy = 2.0 + (y - 5.0).powi(2) + (1.7 * y).cos().abs();
+        Some(Objectives::from_time_energy(time, energy))
+    }
+
+    fn space() -> GridSpace {
+        GridSpace::new(vec![24, 18])
+    }
+
+    #[test]
+    fn every_strategy_with_full_budget_matches_exhaustive() {
+        let s = space();
+        let truth = Exhaustive.run(&s, &bumpy, u64::MAX, 0);
+        assert_eq!(truth.evaluations, s.size());
+        let best = truth.best().expect("feasible points exist");
+        for strat in Strategy::METAHEURISTICS {
+            let outcome = strat.run(&s, &bumpy, s.size(), 11);
+            assert_eq!(
+                outcome.evaluations,
+                s.size(),
+                "{strat}: full budget must reach full coverage"
+            );
+            let got = outcome.best().expect("feasible");
+            assert_eq!(got.index, best.index, "{strat}");
+            assert_eq!(got.objectives, best.objectives, "{strat}");
+            assert_eq!(
+                outcome.archive.entries(),
+                truth.archive.entries(),
+                "{strat}: full coverage implies the exact frontier"
+            );
+        }
+    }
+
+    #[test]
+    fn budget_bounds_distinct_evaluations() {
+        let s = space();
+        for strat in Strategy::ALL {
+            for budget in [0u64, 1, 7, 40] {
+                let outcome = strat.run(&s, &bumpy, budget, 3);
+                assert!(
+                    outcome.evaluations <= budget,
+                    "{strat}: {} evaluations for budget {budget}",
+                    outcome.evaluations
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn outcomes_are_deterministic_across_worker_counts() {
+        let s = space();
+        for strat in Strategy::ALL {
+            let serial = strat.run(&s, &bumpy, 120, 42);
+            let parallel = strat.run_with(&s, &bumpy, 120, 42, &Executor::new(4));
+            assert_eq!(serial, parallel, "{strat}");
+        }
+    }
+
+    #[test]
+    fn different_seeds_explore_differently_but_stay_valid() {
+        let s = space();
+        let a = HillClimb.run(&s, &bumpy, 60, 1);
+        let b = HillClimb.run(&s, &bumpy, 60, 2);
+        // Both must produce non-empty frontiers of mutually non-dominated
+        // feasible points; the walks themselves almost surely differ.
+        for outcome in [&a, &b] {
+            assert!(!outcome.archive.is_empty());
+            let entries = outcome.archive.entries();
+            for (i, x) in entries.iter().enumerate() {
+                for (j, y) in entries.iter().enumerate() {
+                    if i != j {
+                        assert!(!x.objectives.dominates(&y.objectives));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trace_is_monotonically_improving() {
+        let s = space();
+        for strat in Strategy::ALL {
+            let outcome = strat.run(&s, &bumpy, 150, 5);
+            let trace = &outcome.trace;
+            assert!(!trace.is_empty(), "{strat}");
+            for w in trace.windows(2) {
+                assert!(w[0].ed2 >= w[1].ed2, "{strat}: trace must improve");
+                assert!(w[0].evaluations <= w[1].evaluations, "{strat}");
+            }
+            let best = outcome.best().unwrap();
+            let last = trace.last().unwrap();
+            assert_eq!(last.index, best.index, "{strat}");
+            assert_eq!(last.ed2, best.objectives.ed2, "{strat}");
+        }
+    }
+
+    #[test]
+    fn strategy_names_round_trip() {
+        for strat in Strategy::ALL {
+            assert_eq!(strat.name().parse::<Strategy>().unwrap(), strat);
+        }
+        assert!("frobnicate".parse::<Strategy>().is_err());
+    }
+}

@@ -1,0 +1,72 @@
+//! Property tests for the Pareto archive: the frontier is a pure
+//! function of the *set* of inserted candidates — insertion order never
+//! changes it.
+
+use proptest::prelude::*;
+use vliw_search::{ArchiveEntry, Objectives, ParetoArchive};
+
+/// Builds an archive by inserting `entries` in the order given by `perm`
+/// (a permutation encoded as successive removal positions).
+fn build(entries: &[(u64, f64, f64)], order: &[usize]) -> ParetoArchive<u64> {
+    let mut pool: Vec<&(u64, f64, f64)> = entries.iter().collect();
+    let mut archive = ParetoArchive::new();
+    for &pos in order {
+        let (index, t, e) = *pool.remove(pos % pool.len().max(1));
+        archive.insert(ArchiveEntry {
+            index,
+            point: index,
+            objectives: Objectives::from_time_energy(t, e),
+        });
+        if pool.is_empty() {
+            break;
+        }
+    }
+    archive
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Any two insertion orders of the same candidate set produce the
+    /// same frontier (same indices, same objectives, same sort order).
+    #[test]
+    fn insertion_order_never_changes_the_frontier(
+        // Coarse value grids force plenty of duplicate objectives and
+        // dominance relations.
+        raw in proptest::collection::vec((0u64..32, 1u32..8, 1u32..8), 1..24),
+        order_a in proptest::collection::vec(0usize..64, 24..25),
+        order_b in proptest::collection::vec(0usize..64, 24..25),
+    ) {
+        let entries: Vec<(u64, f64, f64)> = raw
+            .iter()
+            .map(|&(i, t, e)| (i, f64::from(t), f64::from(e)))
+            .collect();
+        let a = build(&entries, &order_a);
+        let b = build(&entries, &order_b);
+        prop_assert_eq!(a.entries(), b.entries());
+        prop_assert_eq!(a.best(), b.best());
+    }
+
+    /// The frontier never contains a dominated or duplicated entry.
+    #[test]
+    fn frontier_is_mutually_non_dominated(
+        raw in proptest::collection::vec((0u64..64, 1u32..10, 1u32..10), 1..32),
+        order in proptest::collection::vec(0usize..64, 32..33),
+    ) {
+        let entries: Vec<(u64, f64, f64)> = raw
+            .iter()
+            .map(|&(i, t, e)| (i, f64::from(t), f64::from(e)))
+            .collect();
+        let archive = build(&entries, &order);
+        let frontier = archive.entries();
+        prop_assert!(!frontier.is_empty());
+        for (i, x) in frontier.iter().enumerate() {
+            for (j, y) in frontier.iter().enumerate() {
+                if i != j {
+                    prop_assert!(!x.objectives.dominates(&y.objectives));
+                    prop_assert!(x.objectives != y.objectives);
+                }
+            }
+        }
+    }
+}

@@ -136,9 +136,21 @@ pub fn generate_family(family: Family, num_loops: usize, seed: u64) -> Benchmark
 /// Panics if `num_loops == 0`.
 #[must_use]
 pub fn family_suite(num_loops: usize) -> Vec<Benchmark> {
+    family_suite_seeded(num_loops, 0)
+}
+
+/// [`family_suite`] with an explicit global seed mixed into each
+/// family's default seed (seed `0`, the default, reproduces
+/// [`family_suite`] bit for bit — see `suite_seeded`).
+///
+/// # Panics
+///
+/// Panics if `num_loops == 0`.
+#[must_use]
+pub fn family_suite_seeded(num_loops: usize, seed: u64) -> Vec<Benchmark> {
     Family::ALL
         .into_iter()
-        .map(|f| generate_family(f, num_loops, f.default_seed()))
+        .map(|f| generate_family(f, num_loops, crate::suite::mix_seed(f.default_seed(), seed)))
         .collect()
 }
 

@@ -61,10 +61,12 @@ mod suite;
 
 pub use classify::{classify, res_mii_machine, LoopClass};
 pub use corpus::{Corpus, CorpusError, CORPUS_FORMAT, CORPUS_VERSION};
-pub use families::{family_suite, generate_family, Family};
+pub use families::{family_suite, family_suite_seeded, generate_family, Family};
 pub use genloop::{generate_loop, LoopParams, RecurrenceSize};
 pub use spec::{spec_fp2000, BenchmarkSpec};
-pub use suite::{generate, suite, Benchmark, DEFAULT_LOOPS_PER_BENCHMARK};
+pub use suite::{
+    generate, generate_seeded, suite, suite_seeded, Benchmark, DEFAULT_LOOPS_PER_BENCHMARK,
+};
 
 // Benchmarks are shared by reference with the exploration worker pool.
 const fn _assert_send_sync<T: Send + Sync>() {}

@@ -17,6 +17,25 @@ use crate::spec::{spec_fp2000, BenchmarkSpec};
 /// [`generate`]/[`suite`] to approach the paper's scale.
 pub const DEFAULT_LOOPS_PER_BENCHMARK: usize = 40;
 
+/// Derives the effective generation seed for one benchmark/family from
+/// its fixed base seed and a user-supplied global seed.
+///
+/// Global seed `0` is the documented default and returns the base seed
+/// unchanged, so every artefact generated before the `--seed` flag
+/// existed stays bit-identical. Any other global seed is mixed in with a
+/// SplitMix64-style finaliser, giving each `(base, global)` pair an
+/// independent stream.
+#[must_use]
+pub(crate) fn mix_seed(base: u64, global: u64) -> u64 {
+    if global == 0 {
+        return base;
+    }
+    let mut z = base ^ global.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// A benchmark: a named, weighted set of software-pipelinable loops.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Benchmark {
@@ -47,9 +66,21 @@ impl Benchmark {
 /// Panics if `num_loops == 0`.
 #[must_use]
 pub fn generate(spec: &BenchmarkSpec, num_loops: usize) -> Benchmark {
+    generate_seeded(spec, num_loops, 0)
+}
+
+/// [`generate`] with an explicit global seed mixed into the spec's fixed
+/// base seed (see [`suite_seeded`]; seed `0` reproduces [`generate`]
+/// exactly).
+///
+/// # Panics
+///
+/// Panics if `num_loops == 0`.
+#[must_use]
+pub fn generate_seeded(spec: &BenchmarkSpec, num_loops: usize, seed: u64) -> Benchmark {
     assert!(num_loops > 0, "a benchmark needs at least one loop");
     let design = MachineDesign::paper_machine(1);
-    let mut rng = SmallRng::seed_from_u64(spec.seed);
+    let mut rng = SmallRng::seed_from_u64(mix_seed(spec.seed, seed));
 
     // Allocate loop counts per class: largest-share classes first, with
     // every non-zero class getting at least one loop.
@@ -108,9 +139,25 @@ pub fn generate(spec: &BenchmarkSpec, num_loops: usize) -> Benchmark {
 /// Panics if `loops_per_benchmark == 0`.
 #[must_use]
 pub fn suite(loops_per_benchmark: usize) -> Vec<Benchmark> {
+    suite_seeded(loops_per_benchmark, 0)
+}
+
+/// [`suite`] with an explicit global seed.
+///
+/// Seed `0` is the default everywhere (`suite`, the `paper` binary, the
+/// committed golden fixtures) and reproduces the historical fixed-seed
+/// suites bit for bit; any other seed derives an independent but equally
+/// reproducible suite, so experiments can be repeated across seeds from
+/// the CLI.
+///
+/// # Panics
+///
+/// Panics if `loops_per_benchmark == 0`.
+#[must_use]
+pub fn suite_seeded(loops_per_benchmark: usize, seed: u64) -> Vec<Benchmark> {
     spec_fp2000()
         .iter()
-        .map(|spec| generate(spec, loops_per_benchmark))
+        .map(|spec| generate_seeded(spec, loops_per_benchmark, seed))
         .collect()
 }
 
@@ -148,6 +195,32 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn seed_zero_matches_legacy_generation() {
+        // The default global seed must keep every historical artefact
+        // (golden fixtures, committed baselines) bit-identical.
+        assert_eq!(suite(4), suite_seeded(4, 0));
+        assert_eq!(crate::family_suite(3), crate::family_suite_seeded(3, 0));
+    }
+
+    #[test]
+    fn nonzero_seeds_derive_distinct_deterministic_suites() {
+        let a = suite_seeded(4, 7);
+        assert_eq!(a, suite_seeded(4, 7), "same seed, same suite");
+        assert_ne!(a, suite(4), "seed 7 differs from the default");
+        assert_ne!(a, suite_seeded(4, 8), "distinct seeds differ");
+        for bench in &a {
+            assert!(
+                (bench.total_weight() - 1.0).abs() < 1e-9,
+                "{}: weights stay normalised under reseeding",
+                bench.name
+            );
+        }
+        let fam = crate::family_suite_seeded(3, 7);
+        assert_eq!(fam, crate::family_suite_seeded(3, 7));
+        assert_ne!(fam, crate::family_suite(3));
     }
 
     #[test]

@@ -17,6 +17,10 @@
 #       pipeline itself (partition + IMS + IT retry over the whole suite),
 #       so scheduler-core regressions are caught even when the figure6
 #       sweep hides them behind memoisation.
+#   * search throughput: search_evals_per_second < baseline / BENCH_TIME_RATIO
+#     — a `searchbench` run times candidate evaluations through the
+#       memo-cached suite (estimate → voltage descent → measure), gating
+#       the design-space search loop like the scheduler.
 #
 # Usage:
 #   scripts/perf_gate.sh                  # measure + compare
@@ -68,11 +72,18 @@ echo "== perf gate: schedbench --loops $LOOPS =="
     >"$tmp/sched-stdout" 2>"$tmp/sched-stderr"
 grep -E '^\[time\]|loops/s' "$tmp/sched-stdout" "$tmp/sched-stderr" || true
 
+echo "== perf gate: searchbench --loops $LOOPS =="
+"$BIN" --experiment searchbench --loops "$LOOPS" --jobs 1 \
+    >"$tmp/search-stdout" 2>"$tmp/search-stderr"
+grep -E '^\[time\]|evals/s' "$tmp/search-stdout" "$tmp/search-stderr" || true
+
 python3 - "$ROOT/target/paper-results/figure6.json" "$OUT" "$LOOPS" "$wall" \
-    "$ROOT/target/paper-results/schedbench.json" <<'EOF'
+    "$ROOT/target/paper-results/schedbench.json" \
+    "$ROOT/target/paper-results/searchbench.json" <<'EOF'
 import json, statistics, sys
 rows = json.load(open(sys.argv[1]))
 sched = json.load(open(sys.argv[5]))
+search = json.load(open(sys.argv[6]))
 mean = statistics.fmean(r["ed2_normalized"] for r in rows)
 mean_time = statistics.fmean(r["exec_time_het_ns"] for r in rows)
 record = {
@@ -84,10 +95,13 @@ record = {
     "wall_time_s": float(sys.argv[4]),
     "sched_loops_per_second": sched["loops_per_second"],
     "sched_loops_scheduled": sched["loops_scheduled"],
+    "search_evals_per_second": search["search_evals_per_second"],
+    "search_evaluations": search["evaluations"],
 }
 json.dump(record, open(sys.argv[2], "w"), indent=2)
 print(f"measured: mean ED2 {mean:.6f}, wall {record['wall_time_s']:.2f} s, "
-      f"scheduler {record['sched_loops_per_second']:.1f} loops/s")
+      f"scheduler {record['sched_loops_per_second']:.1f} loops/s, "
+      f"search {record['search_evals_per_second']:.2f} evals/s")
 EOF
 
 if [[ "${1:-}" == "--write-baseline" ]]; then
@@ -129,22 +143,24 @@ status = "FAIL" if p > limit else "ok"
 print(f"  wall_time_s: baseline {b:.2f}, pr {p:.2f}, limit {limit:.2f} ({status})")
 if p > limit:
     failures.append(f"wall time {p:.2f} s exceeds limit {limit:.2f} s ({ratio}x max(baseline, 2 s))")
-# Scheduler throughput: higher is better. Tolerate runner variance with
-# the same ratio, but a scheduler suddenly running BENCH_TIME_RATIO times
+# Throughput metrics: higher is better. Tolerate runner variance with
+# the same ratio, but a pipeline suddenly running BENCH_TIME_RATIO times
 # slower than the committed baseline is a real regression.
-b = base.get("sched_loops_per_second")
-p = pr.get("sched_loops_per_second")
-if b is not None and p is not None:
-    floor = b / ratio
-    status = "FAIL" if p < floor else "ok"
-    print(f"  sched_loops_per_second: baseline {b:.1f}, pr {p:.1f}, "
-          f"floor {floor:.1f}, speedup {p / b:.2f}x ({status})")
-    if p < floor:
-        failures.append(
-            f"scheduler throughput {p:.1f} loops/s below floor {floor:.1f} "
-            f"(baseline {b:.1f} / {ratio}x)")
-elif b is not None:
-    failures.append("baseline has sched_loops_per_second but the PR measurement lacks it")
+for key, what in (("sched_loops_per_second", "scheduler"),
+                  ("search_evals_per_second", "search")):
+    b = base.get(key)
+    p = pr.get(key)
+    if b is not None and p is not None:
+        floor = b / ratio
+        status = "FAIL" if p < floor else "ok"
+        print(f"  {key}: baseline {b:.2f}, pr {p:.2f}, "
+              f"floor {floor:.2f}, speedup {p / b:.2f}x ({status})")
+        if p < floor:
+            failures.append(
+                f"{what} throughput {p:.2f}/s below floor {floor:.2f} "
+                f"(baseline {b:.2f} / {ratio}x)")
+    elif b is not None:
+        failures.append(f"baseline has {key} but the PR measurement lacks it")
 if failures:
     print("perf gate FAILED:")
     for f in failures:
