@@ -1,0 +1,897 @@
+//! The shared [`Engine`]: one executor plus process-lifetime caches,
+//! executing [`Request`]s into [`Response`]s.
+//!
+//! The engine owns what the one-shot CLI used to rebuild on every
+//! invocation: the [`Executor`] worker pool and the reference-profiled
+//! suites (with their measurement memo caches). Each distinct
+//! suite scale × seed × bus count × family selection is profiled **at
+//! most once per process** — the suite cache's lock is held across
+//! profiling, so concurrent requests for the same suite block on the
+//! first profile instead of duplicating it — and every response carries
+//! a [`CacheStats`] snapshot so that reuse is observable.
+//!
+//! Rendering is ported line-for-line from the historical `paper` CLI:
+//! [`Response::text`] is byte-identical to the CLI's stdout and
+//! [`Response::body`] / [`Response::meta`] to its JSON artefacts, for
+//! every request kind. The two deliberate exceptions to caching:
+//!
+//! * `searchbench` profiles a **fresh** suite outside the cache — it
+//!   measures cold-cache candidate-evaluation throughput, and a warm
+//!   memo cache would inflate the metric;
+//! * `schedbench` does not profile at all (it times the scheduler
+//!   directly).
+
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use vliw_exec::Executor;
+use vliw_explore::experiments::{self, ExperimentOptions, ProfiledSuite};
+use vliw_explore::{run_search, SpaceKind};
+use vliw_ir::OpClass;
+use vliw_machine::{ClockedConfig, MachineDesign, Time};
+use vliw_sched::{schedule_loop_ws, SchedWorkspace, ScheduleOptions};
+use vliw_sim::validate;
+use vliw_workloads::{classify, family_suite_seeded, suite_seeded, Benchmark, Corpus, LoopClass};
+
+use crate::artifacts::format_bar;
+use crate::request::{Request, RunParams, SearchParams};
+use crate::response::{CacheStats, Response};
+
+/// `(body, meta)` artefacts of a successful run; the human-readable text
+/// accumulates in the caller's buffer (so failures keep partial output).
+type Artifacts = (Option<String>, Option<String>);
+
+/// Identity of a cached reference-profiled suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct SuiteKey {
+    /// `false` for the SPEC-calibrated suite, `true` for the generator
+    /// families (`familysweep`).
+    family: bool,
+    loops: usize,
+    seed: u64,
+    buses: u32,
+}
+
+/// The shared request executor: worker pool plus suite/measurement
+/// caches with process lifetime.
+#[derive(Debug)]
+pub struct Engine {
+    exec: Executor,
+    suites: Mutex<HashMap<SuiteKey, Arc<ProfiledSuite>>>,
+}
+
+impl Engine {
+    /// An engine fanning out over `jobs` worker threads (`0` = the
+    /// machine's available parallelism). Results are byte-identical for
+    /// every job count.
+    #[must_use]
+    pub fn new(jobs: usize) -> Self {
+        Engine {
+            exec: Executor::new(jobs),
+            suites: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The executor requests fan out across.
+    #[must_use]
+    pub fn executor(&self) -> Executor {
+        self.exec
+    }
+
+    /// A snapshot of the engine's caches (profiled suites plus the
+    /// measurement memo caches they carry).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the suite cache lock was poisoned by a panicking
+    /// request.
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        let suites = self.suites.lock().expect("engine suite cache poisoned");
+        let mut stats = CacheStats {
+            profiled_suites: suites.len(),
+            ..CacheStats::default()
+        };
+        for s in suites.values() {
+            stats.measure_entries += s.cache().len();
+            stats.measure_hits += s.cache().hits();
+            stats.measure_misses += s.cache().misses();
+        }
+        stats
+    }
+
+    /// Runs one request to completion. Failures become error responses
+    /// (with any partially rendered text preserved), never a panic or a
+    /// process exit.
+    #[must_use]
+    pub fn run(&self, req: &Request) -> Response {
+        let mut text = String::new();
+        match self.run_inner(req, &mut text) {
+            Ok((body, meta)) => Response::success(req, text, body, meta, self.cache_stats()),
+            Err(e) => Response::failure(req, text, e, self.cache_stats()),
+        }
+    }
+
+    /// Runs a batch of requests through the shared caches, fanning out
+    /// across the engine's worker pool. Responses come back in request
+    /// order regardless of completion order.
+    #[must_use]
+    pub fn run_batch(&self, reqs: &[Request]) -> Vec<Response> {
+        if reqs.len() <= 1 {
+            return reqs.iter().map(|r| self.run(r)).collect();
+        }
+        self.exec.map(reqs, |_, req| self.run(req))
+    }
+
+    /// The reference-profiled suite for one configuration, profiling it
+    /// on first use and caching it for the life of the process. The lock
+    /// is held across profiling so each configuration is profiled at
+    /// most once even under concurrent requests.
+    fn profiled(
+        &self,
+        family: bool,
+        loops: usize,
+        seed: u64,
+        buses: u32,
+    ) -> Result<Arc<ProfiledSuite>, String> {
+        let key = SuiteKey {
+            family,
+            loops,
+            seed,
+            buses,
+        };
+        let mut suites = self.suites.lock().expect("engine suite cache poisoned");
+        if let Some(s) = suites.get(&key) {
+            return Ok(Arc::clone(s));
+        }
+        let suite = if family {
+            family_suite_seeded(loops, seed)
+        } else {
+            suite_seeded(loops, seed)
+        };
+        let sched = ExperimentOptions::default().sched;
+        let profiled = experiments::profile_suite_with(&suite, buses, &sched, &self.exec)
+            .map_err(|e| e.to_string())?;
+        let arc = Arc::new(profiled);
+        suites.insert(key, Arc::clone(&arc));
+        Ok(arc)
+    }
+
+    fn run_inner(&self, req: &Request, text: &mut String) -> Result<Artifacts, String> {
+        match req {
+            Request::Ping => {
+                let _ = writeln!(text, "pong");
+                Ok((None, None))
+            }
+            Request::Shutdown => {
+                let _ = writeln!(text, "daemon shutting down");
+                Ok((None, None))
+            }
+            Request::Table1 => Self::table1(text),
+            Request::Table2(p) => self.table2(*p, text),
+            Request::Figure6(p) => self.figure6(*p, text),
+            Request::Figure7(p) => self.figure7(*p, text),
+            Request::Figure8(p) => self.figure8(*p, text),
+            Request::Figure9(p) => self.figure9(*p, text),
+            Request::SchedBench(p) => self.schedbench(*p, text),
+            Request::FamilySweep(p) => self.familysweep(*p, text),
+            Request::Search { params, search } => self.search(*params, *search, text),
+            Request::SearchBench(p) => self.searchbench(*p, text),
+            Request::CorpusSchedule { params, input } => {
+                self.corpus_schedule(*params, input.as_deref(), text)
+            }
+            Request::CorpusStats { params, input } => {
+                self.corpus_stats(*params, input.as_deref(), text)
+            }
+        }
+    }
+
+    fn table1(text: &mut String) -> Result<Artifacts, String> {
+        let _ = writeln!(
+            text,
+            "\n== Table 1: latency and relative energy per instruction class =="
+        );
+        let _ = writeln!(text, "{:<24} {:>7} {:>7}", "class", "latency", "energy");
+        let mut rows = Vec::new();
+        for class in OpClass::SOURCE_CLASSES {
+            let _ = writeln!(
+                text,
+                "{:<24} {:>7} {:>7.1}",
+                class.to_string(),
+                class.latency(),
+                class.relative_energy()
+            );
+            rows.push(Table1Row {
+                class: class.to_string(),
+                latency: class.latency(),
+                relative_energy: class.relative_energy(),
+            });
+        }
+        Ok((Some(pretty(&rows)), None))
+    }
+
+    fn table2(&self, p: RunParams, text: &mut String) -> Result<Artifacts, String> {
+        let _ = writeln!(
+            text,
+            "\n== Table 2: % execution time per constraint class =="
+        );
+        let rows = experiments::table2_with(&suite_seeded(p.loops, p.seed), &self.exec);
+        let _ = writeln!(
+            text,
+            "{:<14} {:>14} {:>26} {:>18}",
+            "benchmark", "recMII<resMII", "resMII<=recMII<1.3resMII", "1.3resMII<=recMII"
+        );
+        for r in &rows {
+            let _ = writeln!(
+                text,
+                "{:<14} {:>13.2}% {:>25.2}% {:>17.2}%",
+                r.benchmark, r.resource_pct, r.borderline_pct, r.recurrence_pct
+            );
+        }
+        Ok((Some(pretty(&rows)), Some(run_meta("table2", p))))
+    }
+
+    fn figure6(&self, p: RunParams, text: &mut String) -> Result<Artifacts, String> {
+        let _ = writeln!(
+            text,
+            "\n== Figure 6: ED2 of heterogeneous, normalised to optimum homogeneous =="
+        );
+        let opts = ExperimentOptions::default();
+        let mut all = Vec::new();
+        for &buses in p.buses.list() {
+            let _ = writeln!(text, "-- {buses} bus(es) --");
+            let profiled = self.profiled(false, p.loops, p.seed, buses)?;
+            let rows = experiments::figure6_with(&profiled, &opts, &self.exec)
+                .map_err(|e| e.to_string())?;
+            for r in &rows {
+                let _ = writeln!(text, "{}", format_bar(&r.benchmark, r.ed2_normalized));
+            }
+            let _ = writeln!(
+                text,
+                "{}",
+                format_bar("mean", experiments::mean_normalized(&rows))
+            );
+            all.extend(rows);
+        }
+        Ok((Some(pretty(&all)), Some(run_meta("figure6", p))))
+    }
+
+    fn figure7(&self, p: RunParams, text: &mut String) -> Result<Artifacts, String> {
+        let _ = writeln!(
+            text,
+            "\n== Figure 7: ED2 vs number of supported frequencies =="
+        );
+        let opts = ExperimentOptions::default();
+        let mut all = Vec::new();
+        for &buses in p.buses.list() {
+            let _ = writeln!(text, "-- {buses} bus(es) --");
+            let profiled = self.profiled(false, p.loops, p.seed, buses)?;
+            let rows = experiments::figure7_with(&profiled, &opts, &self.exec)
+                .map_err(|e| e.to_string())?;
+            for r in &rows {
+                let _ = writeln!(text, "{}", format_bar(&r.menu, r.mean_ed2_normalized));
+            }
+            all.extend(rows);
+        }
+        Ok((Some(pretty(&all)), Some(run_meta("figure7", p))))
+    }
+
+    fn figure8(&self, p: RunParams, text: &mut String) -> Result<Artifacts, String> {
+        let _ = writeln!(text, "\n== Figure 8: ED2 vs ICN/cache energy shares ==");
+        let opts = ExperimentOptions::default();
+        let mut all = Vec::new();
+        for &buses in p.buses.list() {
+            let _ = writeln!(text, "-- {buses} bus(es) --");
+            let profiled = self.profiled(false, p.loops, p.seed, buses)?;
+            let rows = experiments::figure8_with(&profiled, &opts, &self.exec)
+                .map_err(|e| e.to_string())?;
+            for r in &rows {
+                let label = format!(
+                    ".{:<2} / {:.2}",
+                    (r.icn_share * 100.0) as u32,
+                    r.cache_share
+                );
+                let _ = writeln!(text, "{}", format_bar(&label, r.mean_ed2_normalized));
+            }
+            all.extend(rows);
+        }
+        Ok((Some(pretty(&all)), Some(run_meta("figure8", p))))
+    }
+
+    fn figure9(&self, p: RunParams, text: &mut String) -> Result<Artifacts, String> {
+        let _ = writeln!(
+            text,
+            "\n== Figure 9: ED2 vs leakage shares (cluster/ICN/cache) =="
+        );
+        let opts = ExperimentOptions::default();
+        let mut all = Vec::new();
+        for &buses in p.buses.list() {
+            let _ = writeln!(text, "-- {buses} bus(es) --");
+            let profiled = self.profiled(false, p.loops, p.seed, buses)?;
+            let rows = experiments::figure9_with(&profiled, &opts, &self.exec)
+                .map_err(|e| e.to_string())?;
+            for r in &rows {
+                let label = format!(
+                    "{:.2}/{:.2}/{:.2}",
+                    r.leak_cluster, r.leak_icn, r.leak_cache
+                );
+                let _ = writeln!(text, "{}", format_bar(&label, r.mean_ed2_normalized));
+            }
+            all.extend(rows);
+        }
+        Ok((Some(pretty(&all)), Some(run_meta("figure9", p))))
+    }
+
+    fn schedbench(&self, p: RunParams, text: &mut String) -> Result<Artifacts, String> {
+        let _ = writeln!(
+            text,
+            "\n== schedbench: scheduler throughput (loops/second) =="
+        );
+        let suite = suite_seeded(p.loops, p.seed);
+        let design = MachineDesign::paper_machine(1);
+        let configs = [
+            ClockedConfig::reference(design),
+            ClockedConfig::heterogeneous(design, Time::from_ns(1.0), 1, Time::from_ns(1.5)),
+        ];
+        let base_opts = ScheduleOptions::default();
+        // One workspace for the whole run, exactly as the exploration
+        // pipeline holds one per worker thread.
+        let mut ws = SchedWorkspace::new();
+        let mut scheduled = 0u64;
+        let start = Instant::now();
+        for bench in &suite {
+            for l in &bench.loops {
+                let mut opts = base_opts.clone();
+                opts.trip_count = l.trip_count();
+                for config in &configs {
+                    schedule_loop_ws(l.ddg(), config, None, &opts, &mut ws)
+                        .map_err(|e| format!("schedbench: {e}"))?;
+                    scheduled += 1;
+                }
+            }
+        }
+        let wall = start.elapsed().as_secs_f64();
+        let lps = if wall > 0.0 {
+            scheduled as f64 / wall
+        } else {
+            f64::INFINITY
+        };
+        let _ = writeln!(
+            text,
+            "scheduled {scheduled} loops in {wall:.3} s => {lps:.1} loops/s"
+        );
+        let record = SchedBenchRecord {
+            experiment: "schedbench".to_owned(),
+            loops_per_benchmark: p.loops,
+            loops_scheduled: scheduled,
+            wall_time_s: wall,
+            loops_per_second: lps,
+        };
+        Ok((Some(pretty(&record)), None))
+    }
+
+    fn familysweep(&self, p: RunParams, text: &mut String) -> Result<Artifacts, String> {
+        let _ = writeln!(
+            text,
+            "\n== familysweep: ED2 of generator families across figure-6/7 configs =="
+        );
+        let opts = ExperimentOptions::default();
+        let mut all = Vec::new();
+        for &buses in p.buses.list() {
+            let _ = writeln!(text, "-- {buses} bus(es) --");
+            let profiled = self.profiled(true, p.loops, p.seed, buses)?;
+            let rows = experiments::familysweep_with(&profiled, &opts, &self.exec)
+                .map_err(|e| e.to_string())?;
+            for r in &rows {
+                let label = format!("{}/{}", r.family, r.menu);
+                let _ = writeln!(text, "{}", format_bar(&label, r.ed2_normalized));
+            }
+            all.extend(rows);
+        }
+        Ok((Some(pretty(&all)), Some(run_meta("familysweep", p))))
+    }
+
+    fn search(
+        &self,
+        p: RunParams,
+        sp: SearchParams,
+        text: &mut String,
+    ) -> Result<Artifacts, String> {
+        let _ = writeln!(
+            text,
+            "\n== search: {} over the {} space ==",
+            sp.strategy,
+            sp.space.name()
+        );
+        let buses: Vec<u32> = match sp.space {
+            SpaceKind::Paper => vec![p.buses.list()[0]],
+            SpaceKind::Extended => p.buses.list().to_vec(),
+        };
+        let suites: Vec<Arc<ProfiledSuite>> = buses
+            .iter()
+            .map(|&b| self.profiled(false, p.loops, p.seed, b))
+            .collect::<Result<_, _>>()?;
+        let suite_refs: Vec<&ProfiledSuite> = suites.iter().map(Arc::as_ref).collect();
+        let opts = ExperimentOptions::default();
+        let report = run_search(
+            sp.space,
+            sp.strategy,
+            sp.budget,
+            p.seed,
+            &suite_refs,
+            &opts,
+            &self.exec,
+        );
+        let _ = writeln!(
+            text,
+            "space {} ({} candidates), budget {}, seed {}: {} evaluations, {} frontier points",
+            report.space,
+            report.space_size,
+            report.budget,
+            report.seed,
+            report.evaluations,
+            report.frontier.len()
+        );
+        match &report.best {
+            Some(best) => {
+                let _ = writeln!(
+                    text,
+                    "best: index {} | {} bus(es), {} fast, fast {:.2} ns, slow {:.2} ns, \
+                     Vdd {:.2}/{:.2}/{:.2}/{:.2} V | ED2 {:.6e}",
+                    best.index,
+                    best.buses,
+                    best.num_fast,
+                    best.fast_cycle_ns,
+                    best.slow_cycle_ns,
+                    best.vdd_fast,
+                    best.vdd_slow,
+                    best.vdd_icn,
+                    best.vdd_cache,
+                    best.ed2
+                );
+            }
+            None => {
+                let _ = writeln!(text, "best: no feasible candidate found within the budget");
+            }
+        }
+        for row in &report.frontier {
+            let label = format!(
+                "#{} {}b {}f {:.2}/{:.2}ns",
+                row.index, row.buses, row.num_fast, row.fast_cycle_ns, row.slow_cycle_ns
+            );
+            let _ = writeln!(
+                text,
+                "{label:<28} time {:>12.1} ns  energy {:>8.4}  ED2 {:.6e}",
+                row.exec_time_ns, row.energy, row.ed2
+            );
+        }
+        let meta = pretty(&SearchMeta {
+            experiment: "search".to_owned(),
+            strategy: sp.strategy.name().to_owned(),
+            space: sp.space.name().to_owned(),
+            budget: sp.budget,
+            seed: p.seed,
+            loops_per_benchmark: p.loops,
+            buses,
+        });
+        Ok((Some(pretty(&report)), Some(meta)))
+    }
+
+    fn searchbench(&self, p: RunParams, text: &mut String) -> Result<Artifacts, String> {
+        use vliw_search::Strategy;
+
+        let _ = writeln!(
+            text,
+            "\n== searchbench: candidate evaluations/second (paper grid) =="
+        );
+        let opts = ExperimentOptions::default();
+        // Deliberately cold: a fresh profile outside the engine's suite
+        // cache, so the evals/second metric is comparable across runs
+        // instead of inflated by a warm measurement memo cache.
+        let suite = suite_seeded(p.loops, p.seed);
+        let profiled = experiments::profile_suite_with(&suite, 1, &opts.sched, &self.exec)
+            .map_err(|e| e.to_string())?;
+        let budget = 64; // > grid size, so every run spends exactly 20 evals
+        let start = Instant::now();
+        let report = run_search(
+            SpaceKind::Paper,
+            Strategy::HillClimb,
+            budget,
+            p.seed,
+            &[&profiled],
+            &opts,
+            &self.exec,
+        );
+        let wall = start.elapsed().as_secs_f64();
+        let eps = if wall > 0.0 {
+            report.evaluations as f64 / wall
+        } else {
+            f64::INFINITY
+        };
+        let _ = writeln!(
+            text,
+            "evaluated {} candidates in {wall:.3} s => {eps:.2} evals/s",
+            report.evaluations
+        );
+        let record = SearchBenchRecord {
+            experiment: "searchbench".to_owned(),
+            loops_per_benchmark: p.loops,
+            budget,
+            evaluations: report.evaluations,
+            wall_time_s: wall,
+            search_evals_per_second: eps,
+        };
+        Ok((Some(pretty(&record)), None))
+    }
+
+    fn corpus_schedule(
+        &self,
+        p: RunParams,
+        input: Option<&Path>,
+        text: &mut String,
+    ) -> Result<Artifacts, String> {
+        let _ = writeln!(
+            text,
+            "\n== corpus schedule: per-loop modulo schedules (validated) =="
+        );
+        let (benches, source) = match input {
+            Some(path) => (
+                Corpus::load(path).map_err(|e| e.to_string())?.benchmarks,
+                path.display().to_string(),
+            ),
+            None => (
+                corpus_benchmarks(p.loops, p.seed),
+                "in-memory suite".to_owned(),
+            ),
+        };
+        let design = MachineDesign::paper_machine(1);
+        let configs = [
+            ("reference", ClockedConfig::reference(design)),
+            (
+                "heterogeneous",
+                ClockedConfig::heterogeneous(design, Time::from_ns(1.0), 1, Time::from_ns(1.5)),
+            ),
+        ];
+        let jobs: Vec<(&str, &vliw_ir::Loop)> = benches
+            .iter()
+            .flat_map(|b| b.loops.iter().map(move |l| (b.name.as_str(), l)))
+            .collect();
+        let per_loop = self.exec.try_map_init(
+            &jobs,
+            SchedWorkspace::new,
+            |ws, _, &(bench, l)| -> Result<Vec<CorpusScheduleRow>, String> {
+                let mut rows = Vec::with_capacity(configs.len());
+                for (config_name, config) in &configs {
+                    let opts = ScheduleOptions {
+                        trip_count: l.trip_count(),
+                        ..ScheduleOptions::default()
+                    };
+                    let s = schedule_loop_ws(l.ddg(), config, None, &opts, ws)
+                        .map_err(|e| format!("{bench}/{}: {e}", l.ddg().name()))?;
+                    validate(l.ddg(), config, &s).map_err(|violations| {
+                        format!(
+                            "{bench}/{}: schedule failed validation: {}",
+                            l.ddg().name(),
+                            violations
+                                .first()
+                                .map_or_else(|| "unknown violation".to_owned(), |v| v.to_string())
+                        )
+                    })?;
+                    rows.push(CorpusScheduleRow {
+                        benchmark: bench.to_owned(),
+                        loop_name: l.ddg().name().to_owned(),
+                        ops: l.ddg().num_ops(),
+                        edges: l.ddg().num_edges(),
+                        config: (*config_name).to_owned(),
+                        it_ns: s.it().as_ns(),
+                        exec_time_ns: s.exec_time(l.trip_count()).as_ns(),
+                        comms_per_iter: s.comms_per_iter(),
+                        mem_accesses_per_iter: s.mem_accesses_per_iter(),
+                    });
+                }
+                Ok(rows)
+            },
+        )?;
+        let rows: Vec<CorpusScheduleRow> = per_loop.into_iter().flatten().collect();
+        let _ = writeln!(
+            text,
+            "scheduled and validated {} loops x {} configs from {source}",
+            jobs.len(),
+            configs.len()
+        );
+        let meta = pretty(&CorpusMeta::new("schedule", p.loops, input));
+        Ok((Some(pretty(&rows)), Some(meta)))
+    }
+
+    fn corpus_stats(
+        &self,
+        p: RunParams,
+        input: Option<&Path>,
+        text: &mut String,
+    ) -> Result<Artifacts, String> {
+        let _ = writeln!(text, "\n== corpus stats: per-benchmark structure ==");
+        let benches = match input {
+            Some(path) => Corpus::load(path).map_err(|e| e.to_string())?.benchmarks,
+            None => corpus_benchmarks(p.loops, p.seed),
+        };
+        let design = MachineDesign::paper_machine(1);
+        let mut rows = Vec::with_capacity(benches.len());
+        let _ = writeln!(
+            text,
+            "{:<14} {:>5} {:>6} {:>6} {:>7} {:>7} {:>7} {:>8} {:>7}",
+            "benchmark", "loops", "ops", "edges", "res%", "bord%", "rec%", "recMII~", "recMII^"
+        );
+        for b in &benches {
+            let mut shares = [0.0f64; 3];
+            let mut rec_sum = 0u64;
+            let mut rec_max = 0u32;
+            for l in &b.loops {
+                let class = classify(l.ddg(), design);
+                let idx = LoopClass::ALL
+                    .iter()
+                    .position(|&c| c == class)
+                    .expect("3 classes");
+                shares[idx] += l.weight();
+                let rm = l.ddg().rec_mii();
+                rec_sum += u64::from(rm);
+                rec_max = rec_max.max(rm);
+            }
+            let row = CorpusStatsRow {
+                benchmark: b.name.clone(),
+                loops: b.loops.len(),
+                total_ops: b.loops.iter().map(|l| l.ddg().num_ops()).sum(),
+                total_edges: b.loops.iter().map(|l| l.ddg().num_edges()).sum(),
+                resource_pct: shares[0] * 100.0,
+                borderline_pct: shares[1] * 100.0,
+                recurrence_pct: shares[2] * 100.0,
+                mean_rec_mii: rec_sum as f64 / b.loops.len() as f64,
+                max_rec_mii: rec_max,
+            };
+            let _ = writeln!(
+                text,
+                "{:<14} {:>5} {:>6} {:>6} {:>6.1}% {:>6.1}% {:>6.1}% {:>8.2} {:>7}",
+                row.benchmark,
+                row.loops,
+                row.total_ops,
+                row.total_edges,
+                row.resource_pct,
+                row.borderline_pct,
+                row.recurrence_pct,
+                row.mean_rec_mii,
+                row.max_rec_mii
+            );
+            rows.push(row);
+        }
+        let meta = pretty(&CorpusMeta::new("stats", p.loops, input));
+        Ok((Some(pretty(&rows)), Some(meta)))
+    }
+}
+
+/// The corpus composition shared by `corpus dump` and the in-memory path
+/// of `corpus schedule`/`corpus stats`: the ten SPEC-calibrated
+/// benchmarks plus the four generator families, all at the same
+/// per-benchmark scale.
+#[must_use]
+pub fn corpus_benchmarks(loops: usize, seed: u64) -> Vec<Benchmark> {
+    let mut benches = suite_seeded(loops, seed);
+    benches.extend(family_suite_seeded(loops, seed));
+    benches
+}
+
+/// Sidecar metadata for the corpus requests. Unlike the experiment
+/// sidecars it records where the loops actually came from: the
+/// generation scale is only meaningful for generated (in-memory)
+/// corpora — rows computed from an input file inherit that file's
+/// scale, whatever it was — and the bus selection is not a corpus knob
+/// at all.
+#[derive(Debug, serde::Serialize)]
+pub struct CorpusMeta {
+    /// Which corpus subcommand produced the artefact.
+    pub subcommand: String,
+    /// `"generated"` for in-memory suites, else the input file path.
+    pub source: String,
+    /// Scale of a generated corpus; `None` when loops came from a file.
+    pub loops_per_benchmark: Option<usize>,
+}
+
+impl CorpusMeta {
+    /// Sidecar for `subcommand` describing a generated (`input: None`)
+    /// or loaded corpus.
+    #[must_use]
+    pub fn new(subcommand: &str, loops: usize, input: Option<&Path>) -> Self {
+        CorpusMeta {
+            subcommand: subcommand.to_owned(),
+            source: input.map_or_else(|| "generated".to_owned(), |p| p.display().to_string()),
+            loops_per_benchmark: input.is_none().then_some(loops),
+        }
+    }
+}
+
+/// Serialises `rows` exactly as the artefact files store them.
+fn pretty<T: serde::Serialize>(rows: &T) -> String {
+    serde_json::to_string_pretty(rows).expect("serialise rows")
+}
+
+/// Sidecar metadata describing which suite scale a row dump came from.
+#[derive(serde::Serialize)]
+struct DumpMeta {
+    experiment: String,
+    loops_per_benchmark: usize,
+    buses: Vec<u32>,
+    seed: u64,
+}
+
+/// The `<name>.meta.json` sidecar body for a suite-scale experiment.
+fn run_meta(name: &str, p: RunParams) -> String {
+    pretty(&DumpMeta {
+        experiment: name.to_owned(),
+        loops_per_benchmark: p.loops,
+        buses: p.buses.list().to_vec(),
+        seed: p.seed,
+    })
+}
+
+/// One row of Table 1, serialised alongside the printed table.
+#[derive(serde::Serialize)]
+struct Table1Row {
+    class: String,
+    latency: u32,
+    relative_energy: f64,
+}
+
+/// One `schedbench` record: raw scheduler throughput on the synthetic
+/// suite (wall-clock; not byte-stable — it feeds the CI perf gate).
+#[derive(serde::Serialize)]
+struct SchedBenchRecord {
+    experiment: String,
+    loops_per_benchmark: usize,
+    loops_scheduled: u64,
+    wall_time_s: f64,
+    loops_per_second: f64,
+}
+
+/// One `searchbench` record: candidate-evaluation throughput
+/// (wall-clock; not byte-stable — it feeds the CI perf gate).
+#[derive(serde::Serialize)]
+struct SearchBenchRecord {
+    experiment: String,
+    loops_per_benchmark: usize,
+    budget: u64,
+    evaluations: u64,
+    wall_time_s: f64,
+    search_evals_per_second: f64,
+}
+
+/// Sidecar for the `search` experiment: every knob that shaped the run.
+#[derive(serde::Serialize)]
+struct SearchMeta {
+    experiment: String,
+    strategy: String,
+    space: String,
+    budget: u64,
+    seed: u64,
+    loops_per_benchmark: usize,
+    buses: Vec<u32>,
+}
+
+/// One `corpus schedule` row: one loop modulo-scheduled (and validated)
+/// on one configuration.
+#[derive(serde::Serialize)]
+struct CorpusScheduleRow {
+    benchmark: String,
+    loop_name: String,
+    ops: usize,
+    edges: usize,
+    config: String,
+    it_ns: f64,
+    exec_time_ns: f64,
+    comms_per_iter: u64,
+    mem_accesses_per_iter: u64,
+}
+
+/// One `corpus stats` row: a benchmark summarised.
+#[derive(serde::Serialize)]
+struct CorpusStatsRow {
+    benchmark: String,
+    loops: usize,
+    total_ops: usize,
+    total_edges: usize,
+    resource_pct: f64,
+    borderline_pct: f64,
+    recurrence_pct: f64,
+    mean_rec_mii: f64,
+    max_rec_mii: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{BusSel, SearchParams};
+
+    fn small() -> RunParams {
+        RunParams {
+            loops: 2,
+            buses: BusSel::One,
+            seed: 0,
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic_and_cached() {
+        let engine = Engine::new(1);
+        let req = Request::Figure6(small());
+        let first = engine.run(&req);
+        assert!(first.ok, "first run failed: {:?}", first.error);
+        let misses_after_first = first.cache.measure_misses;
+        assert_eq!(first.cache.profiled_suites, 1);
+        let second = engine.run(&req);
+        assert_eq!(second.text, first.text, "stdout rendering is byte-stable");
+        assert_eq!(second.body, first.body, "artefact body is byte-stable");
+        assert_eq!(second.meta, first.meta, "sidecar is byte-stable");
+        assert_eq!(
+            second.cache.measure_misses, misses_after_first,
+            "a warm second request does no re-measurements"
+        );
+        assert!(
+            second.cache.measure_hits > first.cache.measure_hits,
+            "the warm run was served from the memo cache"
+        );
+    }
+
+    #[test]
+    fn batches_preserve_request_order() {
+        let engine = Engine::new(2);
+        let reqs = vec![
+            Request::Ping,
+            Request::Table1,
+            Request::Table2(small()),
+            Request::Figure6(small()),
+        ];
+        let resps = engine.run_batch(&reqs);
+        assert_eq!(resps.len(), reqs.len());
+        for (req, resp) in reqs.iter().zip(&resps) {
+            assert!(resp.ok, "{} failed: {:?}", req.kind(), resp.error);
+            assert_eq!(resp.kind, req.kind());
+        }
+    }
+
+    #[test]
+    fn failures_become_error_responses() {
+        let engine = Engine::new(1);
+        let resp = engine.run(&Request::CorpusStats {
+            params: small(),
+            input: Some(std::path::PathBuf::from("/no/such/corpus.json")),
+        });
+        assert!(!resp.ok);
+        assert!(resp.error.is_some());
+        assert!(
+            resp.text.contains("corpus stats"),
+            "partial text is preserved: {:?}",
+            resp.text
+        );
+    }
+
+    #[test]
+    fn search_runs_through_the_shared_suite_cache() {
+        let engine = Engine::new(1);
+        let f6 = engine.run(&Request::Figure6(small()));
+        assert!(f6.ok);
+        let suites_before = f6.cache.profiled_suites;
+        let resp = engine.run(&Request::Search {
+            params: small(),
+            search: SearchParams {
+                budget: 4,
+                ..SearchParams::default()
+            },
+        });
+        assert!(resp.ok, "{:?}", resp.error);
+        assert_eq!(
+            resp.cache.profiled_suites, suites_before,
+            "search reused the profiled suite instead of re-profiling"
+        );
+    }
+}

@@ -1,0 +1,513 @@
+//! The serialisable [`Request`] type: every experiment entry point as a
+//! value.
+//!
+//! A request is one JSON object on the wire, keyed by `kind` plus the
+//! knobs that apply to it:
+//!
+//! ```json
+//! {"kind":"figure6","loops":5,"buses":"1","seed":0}
+//! {"kind":"search","loops":2,"buses":"1","seed":1,"strategy":"hillclimb","budget":8,"space":"paper"}
+//! {"kind":"corpus_stats","input":"target/paper-results/corpus.json"}
+//! ```
+//!
+//! Parsing is strict, mirroring the CLI's flag validation: unknown keys
+//! are rejected, and a knob that does not apply to the requested kind
+//! (`budget` on `figure6`, `input` on `search`, …) is an error rather
+//! than a silent no-op — dropping a caller's path would misreport what
+//! ran. Omitted knobs take the CLI defaults, so `{"kind":"figure6"}`
+//! and a bare `paper figure6` run identically.
+//!
+//! The vendored serde derive has no enum support, so [`Request`]
+//! serialises by hand ([`Request::to_json_string`]) and parses through
+//! the [`serde_json::Value`] tree ([`Request::from_json_str`]).
+
+use std::path::PathBuf;
+
+use serde_json::Value;
+use vliw_explore::SpaceKind;
+use vliw_search::Strategy;
+use vliw_workloads::DEFAULT_LOOPS_PER_BENCHMARK;
+
+/// Which bus configurations an experiment runs (the CLI's `--buses`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BusSel {
+    /// One inter-cluster bus.
+    One,
+    /// Two inter-cluster buses.
+    Two,
+    /// Both configurations, in order (the default).
+    Both,
+}
+
+impl BusSel {
+    /// The bus counts this selection expands to, in run order.
+    #[must_use]
+    pub fn list(self) -> &'static [u32] {
+        match self {
+            BusSel::One => &[1],
+            BusSel::Two => &[2],
+            BusSel::Both => &[1, 2],
+        }
+    }
+
+    /// The selection's stable wire/CLI name (`1`, `2` or `both`).
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            BusSel::One => "1",
+            BusSel::Two => "2",
+            BusSel::Both => "both",
+        }
+    }
+
+    /// Parses a wire/CLI name produced by [`BusSel::name`].
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "1" => Some(BusSel::One),
+            "2" => Some(BusSel::Two),
+            "both" => Some(BusSel::Both),
+            _ => None,
+        }
+    }
+}
+
+/// The global knobs shared by every experiment request: suite scale,
+/// bus selection and generation seed (the CLI's `--loops-per-benchmark`,
+/// `--buses` and `--seed`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RunParams {
+    /// Loops generated per benchmark (default 40, the interactive
+    /// 10× scale-down).
+    pub loops: usize,
+    /// Bus configurations to run.
+    pub buses: BusSel,
+    /// Global generation seed (0 reproduces the committed fixtures).
+    pub seed: u64,
+}
+
+impl Default for RunParams {
+    fn default() -> Self {
+        RunParams {
+            loops: DEFAULT_LOOPS_PER_BENCHMARK,
+            buses: BusSel::Both,
+            seed: 0,
+        }
+    }
+}
+
+/// The knobs of the `search` experiment (the CLI's `--strategy`,
+/// `--budget` and `--space`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SearchParams {
+    /// The optimizer to run.
+    pub strategy: Strategy,
+    /// Distinct candidate evaluations the search may spend.
+    pub budget: u64,
+    /// The configuration space to search.
+    pub space: SpaceKind,
+}
+
+impl Default for SearchParams {
+    fn default() -> Self {
+        SearchParams {
+            strategy: Strategy::HillClimb,
+            budget: 64,
+            space: SpaceKind::Paper,
+        }
+    }
+}
+
+/// One experiment invocation as a value: what the `paper` CLI's
+/// subcommand dispatch used to encode in control flow.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe; the engine answers without doing any work.
+    Ping,
+    /// Ask the daemon to shut down gracefully. The engine treats it as a
+    /// no-op; the serve loop intercepts it after responding.
+    Shutdown,
+    /// Table 1: per-class latency and relative energy (scale-free).
+    Table1,
+    /// Table 2: constraint-class time shares per benchmark.
+    Table2(RunParams),
+    /// Figure 6: per-benchmark normalised ED².
+    Figure6(RunParams),
+    /// Figure 7: frequency-menu sensitivity.
+    Figure7(RunParams),
+    /// Figure 8: ICN/cache energy-share sensitivity.
+    Figure8(RunParams),
+    /// Figure 9: leakage-share sensitivity.
+    Figure9(RunParams),
+    /// Scheduler-throughput bench (wall-clock; not byte-stable).
+    SchedBench(RunParams),
+    /// Generator-family sensitivity sweep.
+    FamilySweep(RunParams),
+    /// Seeded metaheuristic design-space search.
+    Search {
+        /// Suite scale, buses and seed.
+        params: RunParams,
+        /// Strategy, budget and space.
+        search: SearchParams,
+    },
+    /// Search-throughput bench (wall-clock; not byte-stable).
+    SearchBench(RunParams),
+    /// Schedule and validate every loop of a corpus.
+    CorpusSchedule {
+        /// Suite scale and seed (buses is not a corpus knob).
+        params: RunParams,
+        /// Corpus file to load; `None` uses the in-memory suite.
+        input: Option<PathBuf>,
+    },
+    /// Per-benchmark structural summary of a corpus.
+    CorpusStats {
+        /// Suite scale and seed (buses is not a corpus knob).
+        params: RunParams,
+        /// Corpus file to load; `None` uses the in-memory suite.
+        input: Option<PathBuf>,
+    },
+}
+
+impl Request {
+    /// Every kind name, in canonical order (the wire `kind` values).
+    pub const KINDS: [&'static str; 14] = [
+        "ping",
+        "shutdown",
+        "table1",
+        "table2",
+        "figure6",
+        "figure7",
+        "figure8",
+        "figure9",
+        "schedbench",
+        "familysweep",
+        "search",
+        "searchbench",
+        "corpus_schedule",
+        "corpus_stats",
+    ];
+
+    /// The request's stable kind name.
+    #[must_use]
+    pub const fn kind(&self) -> &'static str {
+        match self {
+            Request::Ping => "ping",
+            Request::Shutdown => "shutdown",
+            Request::Table1 => "table1",
+            Request::Table2(_) => "table2",
+            Request::Figure6(_) => "figure6",
+            Request::Figure7(_) => "figure7",
+            Request::Figure8(_) => "figure8",
+            Request::Figure9(_) => "figure9",
+            Request::SchedBench(_) => "schedbench",
+            Request::FamilySweep(_) => "familysweep",
+            Request::Search { .. } => "search",
+            Request::SearchBench(_) => "searchbench",
+            Request::CorpusSchedule { .. } => "corpus_schedule",
+            Request::CorpusStats { .. } => "corpus_stats",
+        }
+    }
+
+    /// The artefact stem this request's rows are persisted under
+    /// (`<stem>.json`, plus `<stem>.meta.json` when the response carries
+    /// a sidecar), or `None` for control requests.
+    #[must_use]
+    pub const fn artifact(&self) -> Option<&'static str> {
+        match self {
+            Request::Ping | Request::Shutdown => None,
+            _ => Some(self.kind()),
+        }
+    }
+
+    /// Whether the response body is byte-stable across runs, machines
+    /// and job counts. The two throughput benches embed wall-clock
+    /// measurements, so they are the exception.
+    #[must_use]
+    pub const fn is_byte_stable(&self) -> bool {
+        !matches!(self, Request::SchedBench(_) | Request::SearchBench(_))
+    }
+
+    /// The run params, for kinds that have them.
+    #[must_use]
+    pub const fn params(&self) -> Option<&RunParams> {
+        match self {
+            Request::Ping | Request::Shutdown | Request::Table1 => None,
+            Request::Table2(p)
+            | Request::Figure6(p)
+            | Request::Figure7(p)
+            | Request::Figure8(p)
+            | Request::Figure9(p)
+            | Request::SchedBench(p)
+            | Request::FamilySweep(p)
+            | Request::SearchBench(p)
+            | Request::Search { params: p, .. }
+            | Request::CorpusSchedule { params: p, .. }
+            | Request::CorpusStats { params: p, .. } => Some(p),
+        }
+    }
+
+    /// Serialises the request as one compact JSON object (the wire
+    /// format; always a single line).
+    #[must_use]
+    pub fn to_json_string(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"kind\":\"");
+        out.push_str(self.kind());
+        out.push('"');
+        if let Some(p) = self.params() {
+            out.push_str(&format!(
+                ",\"loops\":{},\"buses\":\"{}\",\"seed\":{}",
+                p.loops,
+                p.buses.name(),
+                p.seed
+            ));
+        }
+        if let Request::Search { search, .. } = self {
+            out.push_str(&format!(
+                ",\"strategy\":\"{}\",\"budget\":{},\"space\":\"{}\"",
+                search.strategy.name(),
+                search.budget,
+                search.space.name()
+            ));
+        }
+        if let Request::CorpusSchedule {
+            input: Some(path), ..
+        }
+        | Request::CorpusStats {
+            input: Some(path), ..
+        } = self
+        {
+            let mut encoded = String::new();
+            serde::write_json_str(&path.display().to_string(), &mut encoded);
+            out.push_str(&format!(",\"input\":{encoded}"));
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parses a request from its JSON wire form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending key or value on malformed
+    /// JSON, an unknown `kind`, an unknown key, or a knob that does not
+    /// apply to the requested kind.
+    pub fn from_json_str(s: &str) -> Result<Self, String> {
+        let value = serde_json::from_str(s).map_err(|e| format!("malformed request: {e}"))?;
+        Self::from_json_value(&value)
+    }
+
+    /// Parses a request from an already-parsed JSON tree (see
+    /// [`Request::from_json_str`]).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Request::from_json_str`].
+    pub fn from_json_value(value: &Value) -> Result<Self, String> {
+        let Value::Object(pairs) = value else {
+            return Err(format!(
+                "a request must be a JSON object, got {}",
+                value.type_name()
+            ));
+        };
+        let mut kind = None;
+        let mut params = RunParams::default();
+        let mut params_seen = false;
+        let mut search = SearchParams::default();
+        let mut search_seen = false;
+        let mut input: Option<PathBuf> = None;
+        for (key, v) in pairs {
+            match key.as_str() {
+                "kind" => {
+                    kind = Some(
+                        v.as_str()
+                            .ok_or_else(|| format!("kind must be a string, got {}", v.type_name()))?
+                            .to_owned(),
+                    );
+                }
+                "loops" => {
+                    params.loops = v
+                        .as_u64()
+                        .filter(|&n| n > 0)
+                        .and_then(|n| usize::try_from(n).ok())
+                        .ok_or("loops must be a positive integer")?;
+                    params_seen = true;
+                }
+                "buses" => {
+                    let name = match v {
+                        Value::String(s) => s.clone(),
+                        _ => v
+                            .as_u64()
+                            .ok_or_else(|| {
+                                format!("buses takes 1, 2 or both, got {}", v.type_name())
+                            })?
+                            .to_string(),
+                    };
+                    params.buses = BusSel::from_name(&name).ok_or("buses takes 1, 2 or both")?;
+                    params_seen = true;
+                }
+                "seed" => {
+                    params.seed = v.as_u64().ok_or("seed must be a non-negative integer")?;
+                    params_seen = true;
+                }
+                "strategy" => {
+                    let name = v.as_str().ok_or_else(|| {
+                        format!("strategy must be a string, got {}", v.type_name())
+                    })?;
+                    search.strategy = name.parse()?;
+                    search_seen = true;
+                }
+                "budget" => {
+                    search.budget = v
+                        .as_u64()
+                        .filter(|&n| n > 0)
+                        .ok_or("budget must be a positive integer")?;
+                    search_seen = true;
+                }
+                "space" => {
+                    let name = v
+                        .as_str()
+                        .ok_or_else(|| format!("space must be a string, got {}", v.type_name()))?;
+                    search.space =
+                        SpaceKind::from_name(name).ok_or("space takes paper or extended")?;
+                    search_seen = true;
+                }
+                "input" => {
+                    let path = v.as_str().ok_or_else(|| {
+                        format!("input must be a string path, got {}", v.type_name())
+                    })?;
+                    input = Some(PathBuf::from(path));
+                }
+                other => return Err(format!("unknown request key {other:?}")),
+            }
+        }
+        let kind = kind.ok_or("request is missing the kind key")?;
+        if search_seen && kind != "search" {
+            return Err("strategy/budget/space only apply to the search kind".to_owned());
+        }
+        if input.is_some() && !kind.starts_with("corpus_") {
+            return Err(
+                "input only applies to the corpus_schedule and corpus_stats kinds".to_owned(),
+            );
+        }
+        let reject_params = |what: &str| -> Result<(), String> {
+            if params_seen {
+                Err(format!("loops/buses/seed do not apply to the {what} kind"))
+            } else {
+                Ok(())
+            }
+        };
+        match kind.as_str() {
+            "ping" => reject_params("ping").map(|()| Request::Ping),
+            "shutdown" => reject_params("shutdown").map(|()| Request::Shutdown),
+            "table1" => reject_params("table1").map(|()| Request::Table1),
+            "table2" => Ok(Request::Table2(params)),
+            "figure6" => Ok(Request::Figure6(params)),
+            "figure7" => Ok(Request::Figure7(params)),
+            "figure8" => Ok(Request::Figure8(params)),
+            "figure9" => Ok(Request::Figure9(params)),
+            "schedbench" => Ok(Request::SchedBench(params)),
+            "familysweep" => Ok(Request::FamilySweep(params)),
+            "search" => Ok(Request::Search { params, search }),
+            "searchbench" => Ok(Request::SearchBench(params)),
+            "corpus_schedule" => Ok(Request::CorpusSchedule { params, input }),
+            "corpus_stats" => Ok(Request::CorpusStats { params, input }),
+            other => Err(format!("unknown request kind {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_every_kind() {
+        let params = RunParams {
+            loops: 5,
+            buses: BusSel::One,
+            seed: 3,
+        };
+        let reqs = [
+            Request::Ping,
+            Request::Shutdown,
+            Request::Table1,
+            Request::Table2(params),
+            Request::Figure6(params),
+            Request::Figure7(params),
+            Request::Figure8(params),
+            Request::Figure9(params),
+            Request::SchedBench(params),
+            Request::FamilySweep(params),
+            Request::Search {
+                params,
+                search: SearchParams {
+                    strategy: Strategy::Anneal,
+                    budget: 8,
+                    space: SpaceKind::Extended,
+                },
+            },
+            Request::SearchBench(params),
+            Request::CorpusSchedule {
+                params,
+                input: Some(PathBuf::from("/tmp/a corpus.json")),
+            },
+            Request::CorpusStats {
+                params,
+                input: None,
+            },
+        ];
+        for req in reqs {
+            let wire = req.to_json_string();
+            assert!(!wire.contains('\n'), "wire form is one line: {wire}");
+            let back = Request::from_json_str(&wire).expect("round trip");
+            assert_eq!(back, req, "through {wire}");
+        }
+    }
+
+    #[test]
+    fn defaults_match_the_cli() {
+        let req = Request::from_json_str("{\"kind\":\"figure6\"}").unwrap();
+        assert_eq!(req, Request::Figure6(RunParams::default()));
+        let req = Request::from_json_str("{\"kind\":\"search\"}").unwrap();
+        assert_eq!(
+            req,
+            Request::Search {
+                params: RunParams::default(),
+                search: SearchParams::default(),
+            }
+        );
+    }
+
+    #[test]
+    fn numeric_buses_accepted() {
+        let req = Request::from_json_str("{\"kind\":\"figure6\",\"buses\":2}").unwrap();
+        assert_eq!(
+            req.params().unwrap().buses,
+            BusSel::Two,
+            "numeric bus selector"
+        );
+    }
+
+    #[test]
+    fn strict_parsing_rejects_misuse() {
+        for (json, needle) in [
+            ("[1]", "must be a JSON object"),
+            ("{\"kind\":\"nope\"}", "unknown request kind"),
+            ("{\"loops\":5}", "missing the kind"),
+            ("{\"kind\":\"figure6\",\"frobs\":1}", "unknown request key"),
+            (
+                "{\"kind\":\"figure6\",\"budget\":5}",
+                "only apply to the search",
+            ),
+            ("{\"kind\":\"search\",\"input\":\"x\"}", "corpus_schedule"),
+            ("{\"kind\":\"ping\",\"loops\":5}", "do not apply"),
+            ("{\"kind\":\"figure6\",\"loops\":0}", "positive integer"),
+            ("{\"kind\":\"figure6\",\"buses\":\"3\"}", "1, 2 or both"),
+            ("not json", "malformed request"),
+        ] {
+            let err = Request::from_json_str(json).unwrap_err();
+            assert!(err.contains(needle), "{json} -> {err}");
+        }
+    }
+}

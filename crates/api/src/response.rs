@@ -1,0 +1,224 @@
+//! The [`Response`] type: everything one experiment run produced.
+//!
+//! A response carries the exact bytes the one-shot CLI has always
+//! produced — the human-readable stdout rendering in [`Response::text`]
+//! and the pretty-printed JSON artefact(s) in [`Response::body`] /
+//! [`Response::meta`] — so transports (CLI printing, daemon persistence)
+//! only decide *where* those bytes go, never *what* they are. Cache
+//! statistics ride along on every response so cross-request reuse of the
+//! engine's profile and measurement caches is observable.
+
+use serde_json::Value;
+
+use crate::request::Request;
+
+/// A snapshot of the engine's caches, taken after the request ran.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
+pub struct CacheStats {
+    /// Reference-profiled suites held by the engine (one per distinct
+    /// suite scale × seed × bus count × family selection).
+    pub profiled_suites: usize,
+    /// Memoised candidate measurements across all profiled suites.
+    pub measure_entries: usize,
+    /// Lifetime measurement-cache hits across all profiled suites.
+    pub measure_hits: u64,
+    /// Lifetime measurement-cache misses across all profiled suites.
+    pub measure_misses: u64,
+}
+
+/// The result of running one [`Request`] through the engine.
+///
+/// Serialises as one compact JSON object (JSON string escaping keeps the
+/// embedded newlines of `text`/`body` out of the line framing).
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct Response {
+    /// Whether the request succeeded. A failed request still yields a
+    /// response (with [`Response::error`] set) — the engine never turns
+    /// one bad request into a process exit.
+    pub ok: bool,
+    /// The request's kind name, echoed back.
+    pub kind: String,
+    /// Artefact stem the body/meta should be persisted under
+    /// (`<stem>.json`, `<stem>.meta.json`), if the kind produces one.
+    pub artifact: Option<String>,
+    /// The human-readable rendering: byte-identical to what the one-shot
+    /// CLI prints on stdout (minus the `[rows written to …]` lines the
+    /// persistence step appends).
+    pub text: String,
+    /// Pretty-printed JSON rows: byte-identical to the `<stem>.json`
+    /// artefact the one-shot CLI writes.
+    pub body: Option<String>,
+    /// Pretty-printed sidecar metadata: byte-identical to the
+    /// `<stem>.meta.json` artefact, for kinds that write one.
+    pub meta: Option<String>,
+    /// The failure message, when `ok` is false.
+    pub error: Option<String>,
+    /// Engine cache statistics after this request.
+    pub cache: CacheStats,
+}
+
+impl Response {
+    /// A successful response for `req`.
+    #[must_use]
+    pub fn success(
+        req: &Request,
+        text: String,
+        body: Option<String>,
+        meta: Option<String>,
+        cache: CacheStats,
+    ) -> Self {
+        Response {
+            ok: true,
+            kind: req.kind().to_owned(),
+            artifact: req.artifact().map(str::to_owned),
+            text,
+            body,
+            meta,
+            error: None,
+            cache,
+        }
+    }
+
+    /// A failed response for `req`. Any text rendered before the failure
+    /// is kept, so transports can reproduce the CLI's partial output.
+    #[must_use]
+    pub fn failure(req: &Request, text: String, error: String, cache: CacheStats) -> Self {
+        Response {
+            ok: false,
+            kind: req.kind().to_owned(),
+            artifact: req.artifact().map(str::to_owned),
+            text,
+            body: None,
+            meta: None,
+            error: Some(error),
+            cache,
+        }
+    }
+
+    /// A failed response for a request that never parsed (no kind known).
+    #[must_use]
+    pub fn protocol_error(error: String) -> Self {
+        Response {
+            ok: false,
+            kind: "error".to_owned(),
+            artifact: None,
+            text: String::new(),
+            body: None,
+            meta: None,
+            error: Some(error),
+            cache: CacheStats::default(),
+        }
+    }
+
+    /// Serialises the response as one compact JSON line (no trailing
+    /// newline).
+    #[must_use]
+    pub fn to_json_line(&self) -> String {
+        serde_json::to_string(self).expect("response serialises")
+    }
+
+    /// Parses a response from its JSON wire form (the client side).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on malformed JSON or a shape mismatch.
+    pub fn from_json_str(s: &str) -> Result<Self, String> {
+        let value = serde_json::from_str(s).map_err(|e| format!("malformed response: {e}"))?;
+        Self::from_json_value(&value)
+    }
+
+    /// Parses a response from an already-parsed JSON tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on a shape mismatch.
+    pub fn from_json_value(value: &Value) -> Result<Self, String> {
+        let obj = |key: &str| -> Result<&Value, String> {
+            value
+                .get(key)
+                .ok_or_else(|| format!("response is missing the {key} key"))
+        };
+        let string = |key: &str| -> Result<String, String> {
+            obj(key)?
+                .as_str()
+                .map(str::to_owned)
+                .ok_or_else(|| format!("response key {key} must be a string"))
+        };
+        let opt_string = |key: &str| -> Result<Option<String>, String> {
+            match obj(key)? {
+                Value::Null => Ok(None),
+                Value::String(s) => Ok(Some(s.clone())),
+                other => Err(format!(
+                    "response key {key} must be a string or null, got {}",
+                    other.type_name()
+                )),
+            }
+        };
+        let ok = match obj("ok")? {
+            Value::Bool(b) => *b,
+            other => {
+                return Err(format!(
+                    "response key ok must be a boolean, got {}",
+                    other.type_name()
+                ))
+            }
+        };
+        let count = |key: &str| -> Result<u64, String> {
+            obj("cache")?
+                .get(key)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("response cache.{key} must be an integer"))
+        };
+        let cache = CacheStats {
+            profiled_suites: usize::try_from(count("profiled_suites")?)
+                .map_err(|e| e.to_string())?,
+            measure_entries: usize::try_from(count("measure_entries")?)
+                .map_err(|e| e.to_string())?,
+            measure_hits: count("measure_hits")?,
+            measure_misses: count("measure_misses")?,
+        };
+        Ok(Response {
+            ok,
+            kind: string("kind")?,
+            artifact: opt_string("artifact")?,
+            text: string("text")?,
+            body: opt_string("body")?,
+            meta: opt_string("meta")?,
+            error: opt_string("error")?,
+            cache,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_round_trip_preserves_newlines() {
+        let resp = Response::success(
+            &Request::Table1,
+            "line one\nline two\n".to_owned(),
+            Some("[\n  1\n]".to_owned()),
+            None,
+            CacheStats {
+                profiled_suites: 1,
+                measure_entries: 2,
+                measure_hits: 3,
+                measure_misses: 4,
+            },
+        );
+        let line = resp.to_json_line();
+        assert!(!line.contains('\n'), "framing stays single-line: {line}");
+        let back = Response::from_json_str(&line).expect("round trip");
+        assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn protocol_errors_parse_back() {
+        let line = Response::protocol_error("bad line".to_owned()).to_json_line();
+        let back = Response::from_json_str(&line).unwrap();
+        assert!(!back.ok);
+        assert_eq!(back.error.as_deref(), Some("bad line"));
+    }
+}

@@ -1,0 +1,244 @@
+//! The `paper serve` daemon: the shared [`Engine`] behind a Unix
+//! socket.
+//!
+//! The wire protocol is newline-delimited JSON over
+//! [`std::os::unix::net`] (no external dependencies):
+//!
+//! * one [`Request`] object per line → one compact [`Response`] object
+//!   per line;
+//! * a JSON **array** of request objects on one line is a batch: it
+//!   fans out across the engine's worker pool ([`Engine::run_batch`])
+//!   and the reply is one array of responses in request order;
+//! * a malformed line yields a per-request error response — the
+//!   connection (and the daemon) stay up;
+//! * `{"kind":"shutdown"}` is acknowledged, then the daemon stops
+//!   accepting, unblocks every open connection and exits the serve loop
+//!   once all handler threads have drained (graceful shutdown).
+//!
+//! Because every connection shares one engine, cache hits persist
+//! across requests and clients: the first `figure6` profiles the suite,
+//! the hundredth is served from the measurement memo cache — exactly
+//! what the per-response [`CacheStats`](crate::response::CacheStats)
+//! makes observable.
+
+use std::fs;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::Shutdown;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::artifacts::persist_response;
+use crate::engine::Engine;
+use crate::request::Request;
+use crate::response::Response;
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Filesystem path of the Unix socket to listen on.
+    pub socket: PathBuf,
+    /// When set, the daemon also persists each successful response's
+    /// artefacts under this directory (the same shared write path the
+    /// CLI uses), logging the written files on stderr.
+    pub results: Option<PathBuf>,
+}
+
+/// Runs the daemon until a `shutdown` request arrives. Blocks the
+/// calling thread; connection handlers run on scoped threads sharing
+/// `engine`.
+///
+/// # Errors
+///
+/// Returns an error if the socket cannot be bound (a stale socket file
+/// left by a crashed daemon is detected and replaced; a *live* daemon
+/// on the same path is reported instead of hijacked).
+pub fn serve(engine: &Engine, opts: &ServeOptions) -> io::Result<()> {
+    let listener = bind(&opts.socket)?;
+    eprintln!("[serve] listening on {}", opts.socket.display());
+    let shutdown = AtomicBool::new(false);
+    let conns: Mutex<Vec<UnixStream>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for stream in listener.incoming() {
+            if shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("[serve] accept failed: {e}");
+                    continue;
+                }
+            };
+            if let Ok(clone) = stream.try_clone() {
+                conns.lock().expect("connection list poisoned").push(clone);
+            }
+            let shutdown = &shutdown;
+            let conns = &conns;
+            scope.spawn(move || {
+                handle_connection(engine, stream, opts, shutdown, conns);
+            });
+        }
+    });
+    let _ = fs::remove_file(&opts.socket);
+    eprintln!("[serve] shutdown complete");
+    Ok(())
+}
+
+/// Binds the socket, recovering from a stale file left by a crashed
+/// daemon (bind fails with `AddrInUse`, but nobody answers a probe
+/// connect).
+fn bind(path: &Path) -> io::Result<UnixListener> {
+    match UnixListener::bind(path) {
+        Ok(l) => Ok(l),
+        Err(e) if e.kind() == io::ErrorKind::AddrInUse => {
+            if UnixStream::connect(path).is_ok() {
+                return Err(io::Error::new(
+                    io::ErrorKind::AddrInUse,
+                    format!("a daemon is already serving on {}", path.display()),
+                ));
+            }
+            eprintln!("[serve] removing stale socket {}", path.display());
+            fs::remove_file(path)?;
+            UnixListener::bind(path)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// Serves one connection: a line of requests in, a line of responses
+/// out, until the peer hangs up or a shutdown request arrives.
+fn handle_connection(
+    engine: &Engine,
+    stream: UnixStream,
+    opts: &ServeOptions,
+    shutdown: &AtomicBool,
+    conns: &Mutex<Vec<UnixStream>>,
+) {
+    let Ok(read_half) = stream.try_clone() else {
+        eprintln!("[serve] could not clone connection");
+        return;
+    };
+    let reader = BufReader::new(read_half);
+    let mut writer = stream;
+    for line in reader.lines() {
+        let Ok(line) = line else {
+            break; // peer vanished or the daemon is shutting down
+        };
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (reply, stop) = answer_line(engine, line, opts);
+        if writer
+            .write_all(reply.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .is_err()
+        {
+            break;
+        }
+        if stop {
+            initiate_shutdown(&opts.socket, shutdown, conns);
+            return;
+        }
+    }
+}
+
+/// Produces the reply line for one request line, plus whether the
+/// daemon should shut down after sending it.
+fn answer_line(engine: &Engine, line: &str, opts: &ServeOptions) -> (String, bool) {
+    if line.starts_with('[') {
+        return (answer_batch(engine, line, opts), false);
+    }
+    match Request::from_json_str(line) {
+        Ok(req) => {
+            let resp = run_logged(engine, &req, opts);
+            let stop = matches!(req, Request::Shutdown);
+            (resp.to_json_line(), stop)
+        }
+        Err(e) => (Response::protocol_error(e).to_json_line(), false),
+    }
+}
+
+/// Runs a whole-line batch (a JSON array of requests). The batch is
+/// all-or-nothing at the parse stage: one malformed element rejects the
+/// line with a single error response, so the caller never has to guess
+/// which array positions ran.
+fn answer_batch(engine: &Engine, line: &str, opts: &ServeOptions) -> String {
+    let parsed: Result<Vec<Request>, String> = serde_json::from_str(line)
+        .map_err(|e| format!("malformed batch: {e}"))
+        .and_then(|value| {
+            let items = value
+                .as_array()
+                .ok_or_else(|| "a batch must be a JSON array of requests".to_owned())?;
+            items.iter().map(Request::from_json_value).collect()
+        });
+    let reqs = match parsed {
+        Ok(reqs) => reqs,
+        Err(e) => return Response::protocol_error(e).to_json_line(),
+    };
+    if reqs.iter().any(|r| matches!(r, Request::Shutdown)) {
+        return Response::protocol_error(
+            "shutdown must be a standalone request, not part of a batch".to_owned(),
+        )
+        .to_json_line();
+    }
+    let start = Instant::now();
+    let resps = engine.run_batch(&reqs);
+    eprintln!(
+        "[serve] batch of {}: {:.3} s",
+        reqs.len(),
+        start.elapsed().as_secs_f64()
+    );
+    for resp in &resps {
+        persist_if_configured(resp, opts);
+    }
+    let lines: Vec<String> = resps.iter().map(Response::to_json_line).collect();
+    format!("[{}]", lines.join(","))
+}
+
+/// Runs one request, logging its wall-time like the CLI's `[time]`
+/// lines, and persists its artefacts when the daemon was given a
+/// results directory.
+fn run_logged(engine: &Engine, req: &Request, opts: &ServeOptions) -> Response {
+    let start = Instant::now();
+    let resp = engine.run(req);
+    eprintln!(
+        "[serve] {}: {} ({:.3} s)",
+        req.kind(),
+        if resp.ok { "ok" } else { "error" },
+        start.elapsed().as_secs_f64()
+    );
+    persist_if_configured(&resp, opts);
+    resp
+}
+
+fn persist_if_configured(resp: &Response, opts: &ServeOptions) {
+    let Some(dir) = opts.results.as_deref() else {
+        return;
+    };
+    if !resp.ok {
+        return;
+    }
+    match persist_response(dir, resp) {
+        Ok(written) => {
+            for path in written {
+                eprintln!("[serve] wrote {}", path.display());
+            }
+        }
+        Err(e) => eprintln!("[serve] could not persist {}: {e}", resp.kind),
+    }
+}
+
+/// Graceful shutdown: stop accepting (a self-connect unblocks the
+/// accept loop) and wake every open connection so its handler thread
+/// sees EOF and drains.
+fn initiate_shutdown(socket: &Path, shutdown: &AtomicBool, conns: &Mutex<Vec<UnixStream>>) {
+    shutdown.store(true, Ordering::SeqCst);
+    let _ = UnixStream::connect(socket);
+    for conn in conns.lock().expect("connection list poisoned").iter() {
+        let _ = conn.shutdown(Shutdown::Both);
+    }
+}

@@ -1,5 +1,6 @@
 //! `paper` — regenerate the tables and figures of the CGO 2007 paper,
-//! and manage on-disk workload corpora.
+//! manage on-disk workload corpora, and serve the experiment engine as
+//! a daemon.
 //!
 //! ```text
 //! Usage: paper [EXPERIMENT] [--experiment NAME] [--loops-per-benchmark N]
@@ -10,6 +11,11 @@
 //!        paper corpus dump     [--out FILE]  [--loops-per-benchmark N]
 //!        paper corpus schedule [--in FILE]   [--jobs N] [--loops-per-benchmark N]
 //!        paper corpus stats    [--in FILE]   [--loops-per-benchmark N]
+//!        paper serve   --socket PATH [--jobs N] [--results DIR]
+//!        paper client  --socket PATH (EXPERIMENT | ping | shutdown |
+//!                                     corpus schedule|stats) [flags]
+//!        paper loadgen --socket PATH [--clients N] [--requests M]
+//!                                    [EXPERIMENT] [flags]
 //!
 //! EXPERIMENT: table1 | table2 | figure6 | figure7 | figure8 | figure9 |
 //!             schedbench | familysweep | search | searchbench | all
@@ -40,15 +46,26 @@
 //! --in FILE   corpus file for `corpus schedule` / `corpus stats`; without
 //!             it, the equivalent in-memory suite is used, and the output
 //!             is byte-identical to a dump-then-load run
+//! --socket PATH
+//!             Unix socket the daemon listens on (`serve`) or the client
+//!             connects to (`client` / `loadgen`)
+//! --results DIR
+//!             have the daemon persist each response's artefacts under
+//!             DIR (`serve` only; default: respond over the socket only)
+//! --clients N / --requests M
+//!             loadgen concurrency and per-client request count
+//!             (defaults 4 and 25)
 //! ```
 //!
-//! The `corpus` subcommands persist and consume the versioned workload
-//! corpus format of `vliw-workloads`: `dump` writes the SPEC-calibrated
-//! suite plus the four generator families, `schedule` modulo-schedules
-//! every loop on the reference and one heterogeneous configuration
-//! (validating every schedule with `vliw-sim`), and `stats` summarises
-//! the corpus per benchmark. `familysweep` is the sensitivity experiment
-//! sweeping the figure-6/7 configurations over the generator families.
+//! The CLI is a thin adapter over `vliw_api`: every subcommand builds a
+//! serialisable `Request`, runs it through the shared `Engine` (one
+//! worker pool plus process-lifetime profile/measurement caches) and
+//! prints the `Response` — the same core the `paper serve` daemon
+//! exposes over newline-delimited JSON on a Unix socket. `paper client`
+//! sends the identical request to a daemon and prints/persists the
+//! response exactly as the one-shot CLI would, so the two paths are
+//! byte-for-byte comparable; `paper loadgen` drives N concurrent
+//! clients and reports p50/p99 latency and requests/s.
 //!
 //! Each experiment's elapsed wall-time is reported on stderr as
 //! `[time] <experiment>: <seconds> s`, so CI perf gates and humans get
@@ -64,18 +81,19 @@
 //! corpora (whose own scale is whatever the file was dumped at) — and
 //! `corpus dump` writes its sidecar next to the `--out` file. `table1`
 //! is scale-independent and `schedbench` embeds its scale in the record,
-//! so neither writes a sidecar.
+//! so neither writes a sidecar. All artefact writes go through the one
+//! shared atomic write path in `vliw_api::artifacts`.
 
-use std::collections::HashMap;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Instant;
 
-use heterovliw_core::explore::experiments::{self, ProfiledSuite};
-use heterovliw_core::Study;
-use vliw_bench::dump_json;
-use vliw_ir::OpClass;
-use vliw_workloads::DEFAULT_LOOPS_PER_BENCHMARK;
+use heterovliw_core::api::engine::{corpus_benchmarks, CorpusMeta};
+use heterovliw_core::api::{
+    loadgen, persist_response, serve, write_atomic, BusSel, Client, Engine, LoadgenOptions,
+    Request, Response, RunParams, SearchParams, ServeOptions,
+};
+use vliw_bench::{dump_json, results_dir};
 
 #[derive(Clone, Copy)]
 struct Args {
@@ -85,37 +103,12 @@ struct Args {
     seed: u64,
 }
 
-/// Flags of the `search` experiment.
-#[derive(Clone, Copy)]
-struct SearchArgs {
-    strategy: heterovliw_core::search::Strategy,
-    budget: u64,
-    space: heterovliw_core::explore::SpaceKind,
-}
-
-impl Default for SearchArgs {
-    fn default() -> Self {
-        SearchArgs {
-            strategy: heterovliw_core::search::Strategy::HillClimb,
-            budget: 64,
-            space: heterovliw_core::explore::SpaceKind::Paper,
-        }
-    }
-}
-
-#[derive(Clone, Copy)]
-enum BusSel {
-    One,
-    Two,
-    Both,
-}
-
-impl BusSel {
-    fn list(self) -> &'static [u32] {
-        match self {
-            BusSel::One => &[1],
-            BusSel::Two => &[2],
-            BusSel::Both => &[1, 2],
+impl Args {
+    fn params(self) -> RunParams {
+        RunParams {
+            loops: self.loops,
+            buses: self.buses,
+            seed: self.seed,
         }
     }
 }
@@ -125,13 +118,17 @@ fn main() -> ExitCode {
     let mut experiment_flag: Option<String> = None;
     let mut input: Option<PathBuf> = None;
     let mut out: Option<PathBuf> = None;
+    let mut socket: Option<PathBuf> = None;
+    let mut results: Option<PathBuf> = None;
+    let mut clients: Option<usize> = None;
+    let mut requests: Option<usize> = None;
     let mut args = Args {
-        loops: DEFAULT_LOOPS_PER_BENCHMARK,
+        loops: RunParams::default().loops,
         buses: BusSel::Both,
         jobs: 0,
         seed: 0,
     };
-    let mut search_args = SearchArgs::default();
+    let mut search_args = SearchParams::default();
     let mut search_flag_seen = false;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -140,11 +137,9 @@ fn main() -> ExitCode {
                 Some(n) if n > 0 => args.loops = n,
                 _ => return usage("--loops-per-benchmark needs a positive integer"),
             },
-            "--buses" => match it.next().as_deref() {
-                Some("1") => args.buses = BusSel::One,
-                Some("2") => args.buses = BusSel::Two,
-                Some("both") => args.buses = BusSel::Both,
-                _ => return usage("--buses takes 1, 2 or both"),
+            "--buses" => match it.next().as_deref().and_then(BusSel::from_name) {
+                Some(sel) => args.buses = sel,
+                None => return usage("--buses takes 1, 2 or both"),
             },
             "--jobs" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(n) => args.jobs = n,
@@ -192,80 +187,281 @@ fn main() -> ExitCode {
                 Some(p) => out = Some(PathBuf::from(p)),
                 None => return usage("--out needs a file path"),
             },
+            "--socket" => match it.next() {
+                Some(p) => socket = Some(PathBuf::from(p)),
+                None => return usage("--socket needs a path"),
+            },
+            "--results" => match it.next() {
+                Some(p) => results = Some(PathBuf::from(p)),
+                None => return usage("--results needs a directory path"),
+            },
+            "--clients" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => clients = Some(n),
+                _ => return usage("--clients needs a positive integer"),
+            },
+            "--requests" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => requests = Some(n),
+                _ => return usage("--requests needs a positive integer"),
+            },
             "--help" | "-h" => return usage(""),
             name if !name.starts_with('-') => positionals.push(name.to_owned()),
             other => return usage(&format!("unknown flag {other}")),
         }
     }
 
-    // `paper corpus <action>` is a subcommand family, not an experiment.
-    if positionals.first().map(String::as_str) == Some("corpus") {
-        if experiment_flag.is_some() {
-            return usage("--experiment cannot be combined with the corpus subcommand");
-        }
-        if search_flag_seen {
-            return usage("--strategy/--budget/--space only apply to the search experiment");
-        }
-        if positionals.len() > 2 {
-            return usage(&format!("unexpected argument {}", positionals[2]));
-        }
-        let action = positionals.get(1).map(String::as_str);
-        // Flags that don't apply to an action are errors, not no-ops —
-        // silently dropping a user's path would misreport what ran.
-        if input.is_some() && action == Some("dump") {
-            return usage("corpus dump generates its corpus; --in is not accepted");
-        }
-        if out.is_some() && action != Some("dump") {
-            return usage("--out is only used by corpus dump");
-        }
-        let result = match action {
-            Some("dump") => timed("corpus dump", || corpus_dump(args, out.as_deref())),
-            Some("schedule") => timed("corpus schedule", || {
-                corpus_schedule(args, input.as_deref())
-            }),
-            Some("stats") => timed("corpus stats", || corpus_stats(args, input.as_deref())),
-            Some(other) => return usage(&format!("unknown corpus action {other}")),
-            None => return usage("corpus needs an action: dump | schedule | stats"),
-        };
-        return finish(result);
+    let mode = positionals.first().map(String::as_str);
+
+    // The daemon-facing subcommands own the daemon-facing flags; using
+    // them anywhere else is an error, not a no-op.
+    if !matches!(mode, Some("serve" | "client" | "loadgen")) && socket.is_some() {
+        return usage("--socket only applies to serve, client and loadgen");
     }
-    if positionals.len() > 1 {
-        return usage(&format!("unexpected argument {}", positionals[1]));
+    if mode != Some("serve") && results.is_some() {
+        return usage("--results only applies to serve");
     }
-    if input.is_some() || out.is_some() {
-        return usage("--in/--out only apply to the corpus subcommand");
+    if mode != Some("loadgen") && (clients.is_some() || requests.is_some()) {
+        return usage("--clients/--requests only apply to loadgen");
     }
-    let experiment = experiment_flag
-        .or_else(|| positionals.first().cloned())
-        .unwrap_or_else(|| "all".to_owned());
-    if search_flag_seen && experiment != "search" {
-        return usage("--strategy/--budget/--space only apply to the search experiment");
+
+    match mode {
+        Some("serve") => {
+            if experiment_flag.is_some() || !positionals[1..].is_empty() {
+                return usage("serve takes no experiment; it serves them all");
+            }
+            if search_flag_seen {
+                return usage("--strategy/--budget/--space only apply to the search experiment");
+            }
+            if input.is_some() || out.is_some() {
+                return usage("--in/--out only apply to the corpus subcommand");
+            }
+            let Some(socket) = socket else {
+                return usage("serve needs --socket PATH");
+            };
+            let engine = Engine::new(args.jobs);
+            let opts = ServeOptions { socket, results };
+            finish(serve(&engine, &opts).map_err(Into::into))
+        }
+        Some("client") => {
+            let Some(socket) = socket else {
+                return usage("client needs --socket PATH");
+            };
+            let req = match build_request(
+                &positionals[1..],
+                args,
+                search_args,
+                search_flag_seen,
+                input,
+                out,
+                true,
+            ) {
+                Ok(req) => req,
+                Err(msg) => return usage(&msg),
+            };
+            finish(run_remote(&socket, &req))
+        }
+        Some("loadgen") => {
+            let Some(socket) = socket else {
+                return usage("loadgen needs --socket PATH");
+            };
+            let request = if positionals.len() > 1 {
+                match build_request(
+                    &positionals[1..],
+                    args,
+                    search_args,
+                    search_flag_seen,
+                    input,
+                    out,
+                    false,
+                ) {
+                    Ok(req) => req,
+                    Err(msg) => return usage(&msg),
+                }
+            } else {
+                Request::Ping
+            };
+            let opts = LoadgenOptions {
+                clients: clients.unwrap_or(4),
+                requests_per_client: requests.unwrap_or(25),
+                request,
+            };
+            finish(timed("loadgen", || run_loadgen(&socket, &opts)))
+        }
+        Some("corpus") => {
+            // `paper corpus <action>` is a subcommand family, not an
+            // experiment.
+            if experiment_flag.is_some() {
+                return usage("--experiment cannot be combined with the corpus subcommand");
+            }
+            if search_flag_seen {
+                return usage("--strategy/--budget/--space only apply to the search experiment");
+            }
+            if positionals.len() > 2 {
+                return usage(&format!("unexpected argument {}", positionals[2]));
+            }
+            let action = positionals.get(1).map(String::as_str);
+            // Flags that don't apply to an action are errors, not no-ops —
+            // silently dropping a user's path would misreport what ran.
+            if input.is_some() && action == Some("dump") {
+                return usage("corpus dump generates its corpus; --in is not accepted");
+            }
+            if out.is_some() && action != Some("dump") {
+                return usage("--out is only used by corpus dump");
+            }
+            let result = match action {
+                Some("dump") => timed("corpus dump", || corpus_dump(args, out.as_deref())),
+                Some("schedule") => run_local(
+                    &Engine::new(args.jobs),
+                    &Request::CorpusSchedule {
+                        params: args.params(),
+                        input,
+                    },
+                ),
+                Some("stats") => run_local(
+                    &Engine::new(args.jobs),
+                    &Request::CorpusStats {
+                        params: args.params(),
+                        input,
+                    },
+                ),
+                Some(other) => return usage(&format!("unknown corpus action {other}")),
+                None => return usage("corpus needs an action: dump | schedule | stats"),
+            };
+            finish(result)
+        }
+        _ => {
+            if positionals.len() > 1 {
+                return usage(&format!("unexpected argument {}", positionals[1]));
+            }
+            if input.is_some() || out.is_some() {
+                return usage("--in/--out only apply to the corpus subcommand");
+            }
+            let experiment = experiment_flag
+                .or_else(|| positionals.first().cloned())
+                .unwrap_or_else(|| "all".to_owned());
+            if search_flag_seen && experiment != "search" {
+                return usage("--strategy/--budget/--space only apply to the search experiment");
+            }
+            // One engine for the whole invocation: reference profiles
+            // (and the measurement memo cache they carry) are shared
+            // across every experiment — `all` profiles each bus count
+            // once, and Figure 7's unrestricted-menu variant reuses
+            // Figure 6's measured configurations outright.
+            let engine = Engine::new(args.jobs);
+            let requests: Vec<Request> = if experiment == "all" {
+                let p = args.params();
+                vec![
+                    Request::Table1,
+                    Request::Table2(p),
+                    Request::Figure6(p),
+                    Request::Figure7(p),
+                    Request::Figure8(p),
+                    Request::Figure9(p),
+                ]
+            } else {
+                match experiment_request(&experiment, args, search_args) {
+                    Ok(req) => vec![req],
+                    Err(msg) => return usage(&msg),
+                }
+            };
+            let mut result = Ok(());
+            for req in &requests {
+                result = run_local(&engine, req);
+                if result.is_err() {
+                    break;
+                }
+            }
+            finish(result)
+        }
     }
-    // Reference profiles (and the measurement memo cache they carry) are
-    // shared across every experiment of this invocation: `all` profiles
-    // each bus count once, and Figure 7's unrestricted-menu variant reuses
-    // Figure 6's measured configurations outright.
-    let mut store = ProfiledStore::new(args);
-    let result = match experiment.as_str() {
-        "table1" => timed("table1", table1),
-        "table2" => timed("table2", || table2(args)),
-        "figure6" => timed("figure6", || figure6(args, &mut store)),
-        "figure7" => timed("figure7", || figure7(args, &mut store)),
-        "figure8" => timed("figure8", || figure8(args, &mut store)),
-        "figure9" => timed("figure9", || figure9(args, &mut store)),
-        "schedbench" => timed("schedbench", || schedbench(args)),
-        "familysweep" => timed("familysweep", || familysweep(args)),
-        "search" => timed("search", || search(args, search_args, &mut store)),
-        "searchbench" => timed("searchbench", || searchbench(args)),
-        "all" => timed("table1", table1)
-            .and_then(|()| timed("table2", || table2(args)))
-            .and_then(|()| timed("figure6", || figure6(args, &mut store)))
-            .and_then(|()| timed("figure7", || figure7(args, &mut store)))
-            .and_then(|()| timed("figure8", || figure8(args, &mut store)))
-            .and_then(|()| timed("figure9", || figure9(args, &mut store))),
-        other => return usage(&format!("unknown experiment {other}")),
-    };
-    finish(result)
+}
+
+/// Maps an experiment name (and the global/search flags) to its request.
+fn experiment_request(
+    name: &str,
+    args: Args,
+    search_args: SearchParams,
+) -> Result<Request, String> {
+    let p = args.params();
+    match name {
+        "table1" => Ok(Request::Table1),
+        "table2" => Ok(Request::Table2(p)),
+        "figure6" => Ok(Request::Figure6(p)),
+        "figure7" => Ok(Request::Figure7(p)),
+        "figure8" => Ok(Request::Figure8(p)),
+        "figure9" => Ok(Request::Figure9(p)),
+        "schedbench" => Ok(Request::SchedBench(p)),
+        "familysweep" => Ok(Request::FamilySweep(p)),
+        "search" => Ok(Request::Search {
+            params: p,
+            search: search_args,
+        }),
+        "searchbench" => Ok(Request::SearchBench(p)),
+        other => Err(format!("unknown experiment {other}")),
+    }
+}
+
+/// Builds the request for `client`/`loadgen` from the positional tail
+/// (everything after the subcommand name).
+fn build_request(
+    tail: &[String],
+    args: Args,
+    search_args: SearchParams,
+    search_flag_seen: bool,
+    input: Option<PathBuf>,
+    out: Option<PathBuf>,
+    allow_control: bool,
+) -> Result<Request, String> {
+    if out.is_some() {
+        return Err("--out is only used by corpus dump".to_owned());
+    }
+    let name = tail.first().map(String::as_str).ok_or(
+        "a request kind is needed: an experiment, ping, shutdown, or corpus schedule|stats",
+    )?;
+    if search_flag_seen && name != "search" {
+        return Err("--strategy/--budget/--space only apply to the search experiment".to_owned());
+    }
+    if input.is_some() && name != "corpus" {
+        return Err("--in/--out only apply to the corpus subcommand".to_owned());
+    }
+    match name {
+        "ping" | "shutdown" if !allow_control => {
+            Err(format!("loadgen cannot repeat {name}; pick an experiment"))
+        }
+        "ping" => ok_sole(tail, Request::Ping),
+        "shutdown" => ok_sole(tail, Request::Shutdown),
+        "corpus" => {
+            if tail.len() > 2 {
+                return Err(format!("unexpected argument {}", tail[2]));
+            }
+            match tail.get(1).map(String::as_str) {
+                Some("schedule") => Ok(Request::CorpusSchedule {
+                    params: args.params(),
+                    input,
+                }),
+                Some("stats") => Ok(Request::CorpusStats {
+                    params: args.params(),
+                    input,
+                }),
+                Some("dump") => {
+                    Err("corpus dump writes local files; run it without client".to_owned())
+                }
+                Some(other) => Err(format!("unknown corpus action {other}")),
+                None => Err("corpus needs an action: schedule | stats".to_owned()),
+            }
+        }
+        "all" => {
+            Err("the request protocol is one experiment per request; all is CLI-only".to_owned())
+        }
+        other => ok_sole(tail, experiment_request(other, args, search_args)?),
+    }
+}
+
+/// Rejects trailing positionals after a non-corpus request name.
+fn ok_sole(tail: &[String], req: Request) -> Result<Request, String> {
+    if tail.len() > 1 {
+        return Err(format!("unexpected argument {}", tail[1]));
+    }
+    Ok(req)
 }
 
 fn finish(result: Result<(), AnyError>) -> ExitCode {
@@ -278,13 +474,74 @@ fn finish(result: Result<(), AnyError>) -> ExitCode {
     }
 }
 
-/// Runs one experiment and reports its wall-time on stderr (stdout and the
+/// Runs one step and reports its wall-time on stderr (stdout and the
 /// JSON artefacts stay byte-identical regardless of timing or job count).
-fn timed(name: &str, run: impl FnOnce() -> Result<(), AnyError>) -> Result<(), AnyError> {
+fn timed<R>(name: &str, run: impl FnOnce() -> R) -> R {
     let start = Instant::now();
     let result = run();
     eprintln!("[time] {name}: {:.3} s", start.elapsed().as_secs_f64());
     result
+}
+
+/// The `[time]` label for a request (the corpus kinds keep their
+/// historical two-word labels).
+fn timed_label(req: &Request) -> &'static str {
+    match req {
+        Request::CorpusSchedule { .. } => "corpus schedule",
+        Request::CorpusStats { .. } => "corpus stats",
+        _ => req.kind(),
+    }
+}
+
+/// Prints a response and persists its artefacts exactly as the one-shot
+/// CLI always has: the text to stdout, the body/meta atomically to
+/// `target/paper-results/`, one `[rows written to …]` line per file.
+fn emit(resp: Response) -> Result<(), AnyError> {
+    print!("{}", resp.text);
+    if resp.ok {
+        for path in persist_response(&results_dir(), &resp)? {
+            println!("  [rows written to {}]", path.display());
+        }
+        Ok(())
+    } else {
+        Err(resp
+            .error
+            .unwrap_or_else(|| "request failed".to_owned())
+            .into())
+    }
+}
+
+/// Runs one request on the in-process engine and emits the response.
+fn run_local(engine: &Engine, req: &Request) -> Result<(), AnyError> {
+    let resp = timed(timed_label(req), || engine.run(req));
+    emit(resp)
+}
+
+/// Sends one request to a daemon and emits the response, so the output
+/// is byte-identical to running the same request in-process.
+fn run_remote(socket: &Path, req: &Request) -> Result<(), AnyError> {
+    let mut client = Client::connect(socket)
+        .map_err(|e| format!("could not connect to {}: {e}", socket.display()))?;
+    let resp = timed(timed_label(req), || client.request(req))?;
+    emit(resp)
+}
+
+/// Drives the load generator and dumps its report for the perf gate.
+fn run_loadgen(socket: &Path, opts: &LoadgenOptions) -> Result<(), AnyError> {
+    println!("\n== loadgen: daemon latency/throughput ==");
+    let report = loadgen(socket, opts)?;
+    println!(
+        "{} clients x {} x {}: p50 {:.2} ms, p99 {:.2} ms, mean {:.2} ms => {:.1} req/s",
+        report.clients,
+        report.requests_per_client,
+        report.kind,
+        report.p50_ms,
+        report.p99_ms,
+        report.mean_ms,
+        report.serve_requests_per_second
+    );
+    dump_json("loadgen", &report);
+    Ok(())
 }
 
 fn usage(msg: &str) -> ExitCode {
@@ -298,7 +555,10 @@ fn usage(msg: &str) -> ExitCode {
          \x20      paper search [--strategy hillclimb|anneal|ga|exhaustive] [--budget N] \
          [--space paper|extended] [--seed S]\n\
          \x20      paper corpus dump [--out FILE] | corpus schedule [--in FILE] | \
-         corpus stats [--in FILE]"
+         corpus stats [--in FILE]\n\
+         \x20      paper serve --socket PATH [--jobs N] [--results DIR]\n\
+         \x20      paper client --socket PATH (EXPERIMENT | ping | shutdown | corpus ACTION)\n\
+         \x20      paper loadgen --socket PATH [--clients N] [--requests M] [EXPERIMENT]"
     );
     if msg.is_empty() {
         ExitCode::SUCCESS
@@ -309,300 +569,25 @@ fn usage(msg: &str) -> ExitCode {
 
 type AnyError = Box<dyn std::error::Error>;
 
-/// Sidecar metadata describing which suite scale a row dump came from.
-///
-/// Written as `<name>.meta.json` next to `<name>.json` so saved artefacts
-/// are self-describing (a 40-loop interactive dump and a ~400-loop
-/// paper-scale dump are distinguishable after the fact) without changing a
-/// single byte of the row files the determinism and perf gates compare.
-#[derive(serde::Serialize)]
-struct DumpMeta {
-    experiment: String,
-    loops_per_benchmark: usize,
-    buses: Vec<u32>,
-    seed: u64,
-}
-
-fn dump_meta(name: &str, args: Args) {
-    dump_json(
-        &format!("{name}.meta"),
-        &DumpMeta {
-            experiment: name.to_owned(),
-            loops_per_benchmark: args.loops,
-            buses: args.buses.list().to_vec(),
-            seed: args.seed,
-        },
-    );
-}
-
-fn study(args: Args, buses: u32) -> Study {
-    Study::new()
-        .with_loops_per_benchmark(args.loops)
-        .with_buses(buses)
-        .with_jobs(args.jobs)
-        .with_seed(args.seed)
-}
-
-/// Lazily profiled suites, one per bus count, shared by every experiment
-/// of one invocation so reference profiling runs once and the measurement
-/// memo cache accumulates across figures.
-struct ProfiledStore {
-    args: Args,
-    per_bus: HashMap<u32, ProfiledSuite>,
-}
-
-impl ProfiledStore {
-    fn new(args: Args) -> Self {
-        ProfiledStore {
-            args,
-            per_bus: HashMap::new(),
-        }
-    }
-
-    fn get(&mut self, buses: u32) -> Result<&ProfiledSuite, AnyError> {
-        if !self.per_bus.contains_key(&buses) {
-            let profiled = study(self.args, buses).profile()?;
-            self.per_bus.insert(buses, profiled);
-        }
-        Ok(&self.per_bus[&buses])
-    }
-
-    /// Profiles (lazily) and returns several bus counts at once, in the
-    /// order given — the search's extended space places candidates on
-    /// every profiled shape simultaneously.
-    fn get_many(&mut self, buses: &[u32]) -> Result<Vec<&ProfiledSuite>, AnyError> {
-        for &b in buses {
-            self.get(b)?;
-        }
-        Ok(buses.iter().map(|b| &self.per_bus[b]).collect())
-    }
-}
-
-/// One row of Table 1, serialised alongside the printed table.
-#[derive(serde::Serialize)]
-struct Table1Row {
-    class: String,
-    latency: u32,
-    relative_energy: f64,
-}
-
-fn table1() -> Result<(), AnyError> {
-    println!("\n== Table 1: latency and relative energy per instruction class ==");
-    println!("{:<24} {:>7} {:>7}", "class", "latency", "energy");
-    let mut rows = Vec::new();
-    for class in OpClass::SOURCE_CLASSES {
-        println!(
-            "{:<24} {:>7} {:>7.1}",
-            class.to_string(),
-            class.latency(),
-            class.relative_energy()
-        );
-        rows.push(Table1Row {
-            class: class.to_string(),
-            latency: class.latency(),
-            relative_energy: class.relative_energy(),
-        });
-    }
-    dump_json("table1", &rows);
-    Ok(())
-}
-
-fn table2(args: Args) -> Result<(), AnyError> {
-    println!("\n== Table 2: % execution time per constraint class ==");
-    let rows = study(args, 1).table2();
-    println!(
-        "{:<14} {:>14} {:>26} {:>18}",
-        "benchmark", "recMII<resMII", "resMII<=recMII<1.3resMII", "1.3resMII<=recMII"
-    );
-    for r in &rows {
-        println!(
-            "{:<14} {:>13.2}% {:>25.2}% {:>17.2}%",
-            r.benchmark, r.resource_pct, r.borderline_pct, r.recurrence_pct
-        );
-    }
-    dump_json("table2", &rows);
-    dump_meta("table2", args);
-    Ok(())
-}
-
-fn figure6(args: Args, store: &mut ProfiledStore) -> Result<(), AnyError> {
-    println!("\n== Figure 6: ED2 of heterogeneous, normalised to optimum homogeneous ==");
-    let mut all = Vec::new();
-    for &buses in args.buses.list() {
-        println!("-- {buses} bus(es) --");
-        let study = study(args, buses);
-        let rows =
-            experiments::figure6_with(store.get(buses)?, study.options(), &study.executor())?;
-        for r in &rows {
-            println!("{}", vliw_bench::format_bar(&r.benchmark, r.ed2_normalized));
-        }
-        println!(
-            "{}",
-            vliw_bench::format_bar("mean", experiments::mean_normalized(&rows))
-        );
-        all.extend(rows);
-    }
-    dump_json("figure6", &all);
-    dump_meta("figure6", args);
-    Ok(())
-}
-
-fn figure7(args: Args, store: &mut ProfiledStore) -> Result<(), AnyError> {
-    println!("\n== Figure 7: ED2 vs number of supported frequencies ==");
-    let mut all = Vec::new();
-    for &buses in args.buses.list() {
-        println!("-- {buses} bus(es) --");
-        let study = study(args, buses);
-        let rows =
-            experiments::figure7_with(store.get(buses)?, study.options(), &study.executor())?;
-        for r in &rows {
-            println!("{}", vliw_bench::format_bar(&r.menu, r.mean_ed2_normalized));
-        }
-        all.extend(rows);
-    }
-    dump_json("figure7", &all);
-    dump_meta("figure7", args);
-    Ok(())
-}
-
-fn figure8(args: Args, store: &mut ProfiledStore) -> Result<(), AnyError> {
-    println!("\n== Figure 8: ED2 vs ICN/cache energy shares ==");
-    let mut all = Vec::new();
-    for &buses in args.buses.list() {
-        println!("-- {buses} bus(es) --");
-        let study = study(args, buses);
-        let rows =
-            experiments::figure8_with(store.get(buses)?, study.options(), &study.executor())?;
-        for r in &rows {
-            let label = format!(
-                ".{:<2} / {:.2}",
-                (r.icn_share * 100.0) as u32,
-                r.cache_share
-            );
-            println!("{}", vliw_bench::format_bar(&label, r.mean_ed2_normalized));
-        }
-        all.extend(rows);
-    }
-    dump_json("figure8", &all);
-    dump_meta("figure8", args);
-    Ok(())
-}
-
-/// One `schedbench` record: raw scheduler throughput on the synthetic
-/// suite. Unlike the figure/table dumps this artefact carries wall-clock
-/// measurements, so it is *not* byte-stable across runs — it exists for
-/// the CI perf gate, which compares `loops_per_second` against the
-/// committed baseline.
-#[derive(serde::Serialize)]
-struct SchedBenchRecord {
-    experiment: String,
-    loops_per_benchmark: usize,
-    loops_scheduled: u64,
-    wall_time_s: f64,
-    loops_per_second: f64,
-}
-
-/// `schedbench`: modulo-schedules every loop of the suite on the reference
-/// homogeneous machine and on one heterogeneous configuration, end to end
-/// through the §4 pipeline (partition + IMS + IT retry), and reports the
-/// aggregate loops-scheduled-per-second throughput.
-fn schedbench(args: Args) -> Result<(), AnyError> {
-    use heterovliw_core::machine::{ClockedConfig, MachineDesign, Time};
-    use heterovliw_core::sched::{schedule_loop_ws, SchedWorkspace, ScheduleOptions};
-
-    println!("\n== schedbench: scheduler throughput (loops/second) ==");
-    let suite = heterovliw_core::workloads::suite_seeded(args.loops, args.seed);
-    let design = MachineDesign::paper_machine(1);
-    let configs = [
-        ClockedConfig::reference(design),
-        ClockedConfig::heterogeneous(design, Time::from_ns(1.0), 1, Time::from_ns(1.5)),
-    ];
-    let base_opts = ScheduleOptions::default();
-    // One workspace for the whole run, exactly as the exploration pipeline
-    // holds one per worker thread.
-    let mut ws = SchedWorkspace::new();
-    let mut scheduled = 0u64;
-    let start = Instant::now();
-    for bench in &suite {
-        for l in &bench.loops {
-            let mut opts = base_opts.clone();
-            opts.trip_count = l.trip_count();
-            for config in &configs {
-                schedule_loop_ws(l.ddg(), config, None, &opts, &mut ws)
-                    .map_err(|e| format!("schedbench: {e}"))?;
-                scheduled += 1;
-            }
-        }
-    }
-    let wall = start.elapsed().as_secs_f64();
-    let lps = if wall > 0.0 {
-        scheduled as f64 / wall
-    } else {
-        f64::INFINITY
-    };
-    println!("scheduled {scheduled} loops in {wall:.3} s => {lps:.1} loops/s");
-    dump_json(
-        "schedbench",
-        &SchedBenchRecord {
-            experiment: "schedbench".to_owned(),
-            loops_per_benchmark: args.loops,
-            loops_scheduled: scheduled,
-            wall_time_s: wall,
-            loops_per_second: lps,
-        },
-    );
-    Ok(())
-}
-
-/// The corpus composition shared by `corpus dump` and the in-memory path
-/// of `corpus schedule`/`corpus stats`: the ten SPEC-calibrated benchmarks
-/// plus the four generator families, all at the same per-benchmark scale.
-fn corpus_benchmarks(loops: usize, seed: u64) -> Vec<heterovliw_core::workloads::Benchmark> {
-    let mut benches = heterovliw_core::workloads::suite_seeded(loops, seed);
-    benches.extend(heterovliw_core::workloads::family_suite_seeded(loops, seed));
-    benches
-}
-
-/// Sidecar for the corpus subcommands. Unlike the experiment sidecars it
-/// records where the loops actually came from: the generation scale is
-/// only meaningful for generated (in-memory) corpora — rows computed from
-/// an `--in` file inherit that file's scale, whatever it was — and the
-/// bus selection is not a corpus knob at all.
-#[derive(serde::Serialize)]
-struct CorpusMeta {
-    subcommand: String,
-    /// `"generated"` for in-memory suites, else the `--in` file path.
-    source: String,
-    /// Scale of a generated corpus; `null` when loops came from a file.
-    loops_per_benchmark: Option<usize>,
-}
-
-impl CorpusMeta {
-    fn new(subcommand: &str, loops: usize, input: Option<&std::path::Path>) -> Self {
-        CorpusMeta {
-            subcommand: subcommand.to_owned(),
-            source: input.map_or_else(|| "generated".to_owned(), |p| p.display().to_string()),
-            loops_per_benchmark: input.is_none().then_some(loops),
-        }
-    }
-}
-
-/// `corpus dump`: writes the corpus JSON (SPEC suite + generator families)
-/// to `--out` (default `target/paper-results/corpus.json`), with a
-/// `.meta.json` sidecar next to it.
-fn corpus_dump(args: Args, out: Option<&std::path::Path>) -> Result<(), AnyError> {
+/// `corpus dump`: writes the corpus JSON (SPEC suite + generator
+/// families) to `--out` (default `target/paper-results/corpus.json`),
+/// with a `.meta.json` sidecar next to it. This is the one subcommand
+/// that stays CLI-side — it exists to produce local files, which a
+/// daemon response cannot do for a remote caller.
+fn corpus_dump(args: Args, out: Option<&Path>) -> Result<(), AnyError> {
     use heterovliw_core::workloads::Corpus;
 
     let corpus = Corpus::from_benchmarks(corpus_benchmarks(args.loops, args.seed));
-    let default_path = vliw_bench::results_dir().join("corpus.json");
+    let default_path = results_dir().join("corpus.json");
     let path = out.unwrap_or(&default_path);
     corpus.save(path)?;
     // The sidecar lives next to the artefact it describes, wherever
-    // --out pointed.
+    // --out pointed; it goes through the same atomic write path as
+    // every other artefact.
     let meta_path = path.with_extension("meta.json");
-    std::fs::write(
+    write_atomic(
         &meta_path,
-        serde_json::to_string_pretty(&CorpusMeta::new("dump", args.loops, None))?,
+        &serde_json::to_string_pretty(&CorpusMeta::new("dump", args.loops, None))?,
     )?;
     println!(
         "corpus: {} benchmarks, {} loops written to {}",
@@ -611,390 +596,5 @@ fn corpus_dump(args: Args, out: Option<&std::path::Path>) -> Result<(), AnyError
         path.display()
     );
     println!("  [meta written to {}]", meta_path.display());
-    Ok(())
-}
-
-/// One `corpus schedule` row: one loop modulo-scheduled (and validated)
-/// on one configuration. Byte-stable across job counts and across the
-/// file/in-memory paths.
-#[derive(serde::Serialize)]
-struct CorpusScheduleRow {
-    benchmark: String,
-    loop_name: String,
-    ops: usize,
-    edges: usize,
-    config: String,
-    it_ns: f64,
-    exec_time_ns: f64,
-    comms_per_iter: u64,
-    mem_accesses_per_iter: u64,
-}
-
-/// `corpus schedule`: modulo-schedules every loop of the corpus on the
-/// reference homogeneous machine and one heterogeneous configuration,
-/// validates every schedule with the `vliw-sim` checker, and dumps
-/// byte-stable per-loop rows.
-///
-/// With `--in FILE` the corpus is loaded (and strictly validated) from
-/// disk; without it, the equivalent in-memory suite is scheduled — the
-/// two paths produce byte-identical JSON, which CI diffs.
-fn corpus_schedule(args: Args, input: Option<&std::path::Path>) -> Result<(), AnyError> {
-    use heterovliw_core::exec::Executor;
-    use heterovliw_core::machine::{ClockedConfig, MachineDesign, Time};
-    use heterovliw_core::sched::{schedule_loop_ws, SchedWorkspace, ScheduleOptions};
-    use heterovliw_core::sim::validate;
-    use heterovliw_core::workloads::Corpus;
-
-    println!("\n== corpus schedule: per-loop modulo schedules (validated) ==");
-    let (benches, source) = match input {
-        Some(path) => (Corpus::load(path)?.benchmarks, path.display().to_string()),
-        None => (
-            corpus_benchmarks(args.loops, args.seed),
-            "in-memory suite".to_owned(),
-        ),
-    };
-    let design = MachineDesign::paper_machine(1);
-    let configs = [
-        ("reference", ClockedConfig::reference(design)),
-        (
-            "heterogeneous",
-            ClockedConfig::heterogeneous(design, Time::from_ns(1.0), 1, Time::from_ns(1.5)),
-        ),
-    ];
-    let jobs: Vec<(&str, &heterovliw_core::ir::Loop)> = benches
-        .iter()
-        .flat_map(|b| b.loops.iter().map(move |l| (b.name.as_str(), l)))
-        .collect();
-    let exec = Executor::new(args.jobs);
-    let per_loop = exec.try_map_init(
-        &jobs,
-        SchedWorkspace::new,
-        |ws, _, &(bench, l)| -> Result<Vec<CorpusScheduleRow>, String> {
-            let mut rows = Vec::with_capacity(configs.len());
-            for (config_name, config) in &configs {
-                let opts = ScheduleOptions {
-                    trip_count: l.trip_count(),
-                    ..ScheduleOptions::default()
-                };
-                let s = schedule_loop_ws(l.ddg(), config, None, &opts, ws)
-                    .map_err(|e| format!("{bench}/{}: {e}", l.ddg().name()))?;
-                validate(l.ddg(), config, &s).map_err(|violations| {
-                    format!(
-                        "{bench}/{}: schedule failed validation: {}",
-                        l.ddg().name(),
-                        violations
-                            .first()
-                            .map_or_else(|| "unknown violation".to_owned(), |v| v.to_string())
-                    )
-                })?;
-                rows.push(CorpusScheduleRow {
-                    benchmark: bench.to_owned(),
-                    loop_name: l.ddg().name().to_owned(),
-                    ops: l.ddg().num_ops(),
-                    edges: l.ddg().num_edges(),
-                    config: (*config_name).to_owned(),
-                    it_ns: s.it().as_ns(),
-                    exec_time_ns: s.exec_time(l.trip_count()).as_ns(),
-                    comms_per_iter: s.comms_per_iter(),
-                    mem_accesses_per_iter: s.mem_accesses_per_iter(),
-                });
-            }
-            Ok(rows)
-        },
-    )?;
-    let rows: Vec<CorpusScheduleRow> = per_loop.into_iter().flatten().collect();
-    println!(
-        "scheduled and validated {} loops x {} configs from {source}",
-        jobs.len(),
-        configs.len()
-    );
-    dump_json("corpus_schedule", &rows);
-    dump_json(
-        "corpus_schedule.meta",
-        &CorpusMeta::new("schedule", args.loops, input),
-    );
-    Ok(())
-}
-
-/// One `corpus stats` row: a benchmark summarised.
-#[derive(serde::Serialize)]
-struct CorpusStatsRow {
-    benchmark: String,
-    loops: usize,
-    total_ops: usize,
-    total_edges: usize,
-    resource_pct: f64,
-    borderline_pct: f64,
-    recurrence_pct: f64,
-    mean_rec_mii: f64,
-    max_rec_mii: u32,
-}
-
-/// `corpus stats`: per-benchmark structural summary of a corpus (loaded
-/// from `--in FILE`, or the equivalent in-memory suite without it).
-fn corpus_stats(args: Args, input: Option<&std::path::Path>) -> Result<(), AnyError> {
-    use heterovliw_core::machine::MachineDesign;
-    use heterovliw_core::workloads::{classify, Corpus, LoopClass};
-
-    println!("\n== corpus stats: per-benchmark structure ==");
-    let benches = match input {
-        Some(path) => Corpus::load(path)?.benchmarks,
-        None => corpus_benchmarks(args.loops, args.seed),
-    };
-    let design = MachineDesign::paper_machine(1);
-    let mut rows = Vec::with_capacity(benches.len());
-    println!(
-        "{:<14} {:>5} {:>6} {:>6} {:>7} {:>7} {:>7} {:>8} {:>7}",
-        "benchmark", "loops", "ops", "edges", "res%", "bord%", "rec%", "recMII~", "recMII^"
-    );
-    for b in &benches {
-        let mut shares = [0.0f64; 3];
-        let mut rec_sum = 0u64;
-        let mut rec_max = 0u32;
-        for l in &b.loops {
-            let class = classify(l.ddg(), design);
-            let idx = LoopClass::ALL
-                .iter()
-                .position(|&c| c == class)
-                .expect("3 classes");
-            shares[idx] += l.weight();
-            let rm = l.ddg().rec_mii();
-            rec_sum += u64::from(rm);
-            rec_max = rec_max.max(rm);
-        }
-        let row = CorpusStatsRow {
-            benchmark: b.name.clone(),
-            loops: b.loops.len(),
-            total_ops: b.loops.iter().map(|l| l.ddg().num_ops()).sum(),
-            total_edges: b.loops.iter().map(|l| l.ddg().num_edges()).sum(),
-            resource_pct: shares[0] * 100.0,
-            borderline_pct: shares[1] * 100.0,
-            recurrence_pct: shares[2] * 100.0,
-            mean_rec_mii: rec_sum as f64 / b.loops.len() as f64,
-            max_rec_mii: rec_max,
-        };
-        println!(
-            "{:<14} {:>5} {:>6} {:>6} {:>6.1}% {:>6.1}% {:>6.1}% {:>8.2} {:>7}",
-            row.benchmark,
-            row.loops,
-            row.total_ops,
-            row.total_edges,
-            row.resource_pct,
-            row.borderline_pct,
-            row.recurrence_pct,
-            row.mean_rec_mii,
-            row.max_rec_mii
-        );
-        rows.push(row);
-    }
-    dump_json("corpus_stats", &rows);
-    dump_json(
-        "corpus_stats.meta",
-        &CorpusMeta::new("stats", args.loops, input),
-    );
-    Ok(())
-}
-
-/// `familysweep`: the sensitivity experiment sweeping the figure-6/7
-/// configurations (frequency menus x bus counts) over the four non-SPEC
-/// generator families.
-fn familysweep(args: Args) -> Result<(), AnyError> {
-    println!("\n== familysweep: ED2 of generator families across figure-6/7 configs ==");
-    let mut all = Vec::new();
-    for &buses in args.buses.list() {
-        println!("-- {buses} bus(es) --");
-        let study = study(args, buses);
-        let suite = heterovliw_core::workloads::family_suite_seeded(args.loops, args.seed);
-        let profiled = experiments::profile_suite_with(
-            &suite,
-            buses,
-            &study.options().sched,
-            &study.executor(),
-        )?;
-        let rows = experiments::familysweep_with(&profiled, study.options(), &study.executor())?;
-        for r in &rows {
-            let label = format!("{}/{}", r.family, r.menu);
-            println!("{}", vliw_bench::format_bar(&label, r.ed2_normalized));
-        }
-        all.extend(rows);
-    }
-    dump_json("familysweep", &all);
-    dump_meta("familysweep", args);
-    Ok(())
-}
-
-/// Sidecar for the `search` experiment: every knob that shaped the run.
-#[derive(serde::Serialize)]
-struct SearchMeta {
-    experiment: String,
-    strategy: String,
-    space: String,
-    budget: u64,
-    seed: u64,
-    loops_per_benchmark: usize,
-    buses: Vec<u32>,
-}
-
-/// `search`: seeded metaheuristic design-space search with a Pareto
-/// archive. The paper space searches the §3.3 grid on the first bus of
-/// `--buses`; the extended space searches frequencies × speed split ×
-/// explicit voltages across every listed bus count. `search.json` is
-/// byte-stable: identical for every `--jobs` value and machine.
-fn search(args: Args, search_args: SearchArgs, store: &mut ProfiledStore) -> Result<(), AnyError> {
-    use heterovliw_core::explore::{run_search, SpaceKind};
-
-    println!(
-        "\n== search: {} over the {} space ==",
-        search_args.strategy,
-        search_args.space.name()
-    );
-    let buses: Vec<u32> = match search_args.space {
-        SpaceKind::Paper => vec![args.buses.list()[0]],
-        SpaceKind::Extended => args.buses.list().to_vec(),
-    };
-    let suites = store.get_many(&buses)?;
-    let study = study(args, buses[0]);
-    let report = run_search(
-        search_args.space,
-        search_args.strategy,
-        search_args.budget,
-        args.seed,
-        &suites,
-        study.options(),
-        &study.executor(),
-    );
-    println!(
-        "space {} ({} candidates), budget {}, seed {}: {} evaluations, {} frontier points",
-        report.space,
-        report.space_size,
-        report.budget,
-        report.seed,
-        report.evaluations,
-        report.frontier.len()
-    );
-    match &report.best {
-        Some(best) => {
-            println!(
-                "best: index {} | {} bus(es), {} fast, fast {:.2} ns, slow {:.2} ns, \
-                 Vdd {:.2}/{:.2}/{:.2}/{:.2} V | ED2 {:.6e}",
-                best.index,
-                best.buses,
-                best.num_fast,
-                best.fast_cycle_ns,
-                best.slow_cycle_ns,
-                best.vdd_fast,
-                best.vdd_slow,
-                best.vdd_icn,
-                best.vdd_cache,
-                best.ed2
-            );
-        }
-        None => println!("best: no feasible candidate found within the budget"),
-    }
-    for row in &report.frontier {
-        let label = format!(
-            "#{} {}b {}f {:.2}/{:.2}ns",
-            row.index, row.buses, row.num_fast, row.fast_cycle_ns, row.slow_cycle_ns
-        );
-        println!(
-            "{label:<28} time {:>12.1} ns  energy {:>8.4}  ED2 {:.6e}",
-            row.exec_time_ns, row.energy, row.ed2
-        );
-    }
-    dump_json("search", &report);
-    dump_json(
-        "search.meta",
-        &SearchMeta {
-            experiment: "search".to_owned(),
-            strategy: search_args.strategy.name().to_owned(),
-            space: search_args.space.name().to_owned(),
-            budget: search_args.budget,
-            seed: args.seed,
-            loops_per_benchmark: args.loops,
-            buses,
-        },
-    );
-    Ok(())
-}
-
-/// One `searchbench` record: candidate-evaluation throughput of the
-/// search loop over the memo-cached suite. Like `schedbench` it carries
-/// wall-clock measurements, so it is *not* byte-stable — it feeds the CI
-/// perf gate's `search_evals_per_second` metric.
-#[derive(serde::Serialize)]
-struct SearchBenchRecord {
-    experiment: String,
-    loops_per_benchmark: usize,
-    budget: u64,
-    evaluations: u64,
-    wall_time_s: f64,
-    search_evals_per_second: f64,
-}
-
-/// `searchbench`: times a full-coverage hill-climb of the paper grid on
-/// a freshly profiled (cold-cache) suite and reports distinct candidate
-/// evaluations per second. The evaluation count is deterministic (the
-/// 20-point grid), so the throughput is comparable across runs.
-fn searchbench(args: Args) -> Result<(), AnyError> {
-    use heterovliw_core::explore::{run_search, SpaceKind};
-    use heterovliw_core::search::Strategy;
-
-    println!("\n== searchbench: candidate evaluations/second (paper grid) ==");
-    let study = study(args, 1);
-    let profiled = study.profile()?;
-    let budget = 64; // > grid size, so every run spends exactly 20 evals
-    let start = Instant::now();
-    let report = run_search(
-        SpaceKind::Paper,
-        Strategy::HillClimb,
-        budget,
-        args.seed,
-        &[&profiled],
-        study.options(),
-        &study.executor(),
-    );
-    let wall = start.elapsed().as_secs_f64();
-    let eps = if wall > 0.0 {
-        report.evaluations as f64 / wall
-    } else {
-        f64::INFINITY
-    };
-    println!(
-        "evaluated {} candidates in {wall:.3} s => {eps:.2} evals/s",
-        report.evaluations
-    );
-    dump_json(
-        "searchbench",
-        &SearchBenchRecord {
-            experiment: "searchbench".to_owned(),
-            loops_per_benchmark: args.loops,
-            budget,
-            evaluations: report.evaluations,
-            wall_time_s: wall,
-            search_evals_per_second: eps,
-        },
-    );
-    Ok(())
-}
-
-fn figure9(args: Args, store: &mut ProfiledStore) -> Result<(), AnyError> {
-    println!("\n== Figure 9: ED2 vs leakage shares (cluster/ICN/cache) ==");
-    let mut all = Vec::new();
-    for &buses in args.buses.list() {
-        println!("-- {buses} bus(es) --");
-        let study = study(args, buses);
-        let rows =
-            experiments::figure9_with(store.get(buses)?, study.options(), &study.executor())?;
-        for r in &rows {
-            let label = format!(
-                "{:.2}/{:.2}/{:.2}",
-                r.leak_cluster, r.leak_icn, r.leak_cache
-            );
-            println!("{}", vliw_bench::format_bar(&label, r.mean_ed2_normalized));
-        }
-        all.extend(rows);
-    }
-    dump_json("figure9", &all);
-    dump_meta("figure9", args);
     Ok(())
 }

@@ -3,11 +3,18 @@
 //! Each bench target in `benches/` regenerates one table or figure of the
 //! paper: it prints the rows (and writes them as JSON next to Criterion's
 //! output) before benchmarking the computational kernel behind it.
+//!
+//! The actual write discipline (atomic temp-file-plus-rename) and the
+//! bar rendering live in `vliw_api::artifacts`, shared with the CLI and
+//! the daemon; this crate only adds the bench-local convention of *where*
+//! artefacts go ([`results_dir`]).
 
 use std::fs;
 use std::path::PathBuf;
 
 use serde::Serialize;
+
+pub use vliw_api::artifacts::format_bar;
 
 /// Where experiment row dumps go (`target/paper-results/`).
 ///
@@ -23,7 +30,7 @@ pub fn results_dir() -> PathBuf {
 
 /// Serialises `rows` as pretty JSON to `target/paper-results/<name>.json`.
 ///
-/// The write is atomic (temp file + rename in the same directory), so a
+/// The write is atomic (via [`vliw_api::artifacts::write_atomic`]), so a
 /// concurrent reader never observes a truncated or partially written
 /// artefact — several `paper` processes may run at once under the test
 /// harness or CI.
@@ -32,20 +39,10 @@ pub fn results_dir() -> PathBuf {
 ///
 /// Panics on I/O or serialisation failure (benches want loud failures).
 pub fn dump_json<T: Serialize>(name: &str, rows: &T) {
-    let dir = results_dir();
-    let path = dir.join(format!("{name}.json"));
-    let tmp = dir.join(format!("{name}.json.tmp.{}", std::process::id()));
+    let path = results_dir().join(format!("{name}.json"));
     let json = serde_json::to_string_pretty(rows).expect("serialise rows");
-    fs::write(&tmp, json).expect("write rows");
-    fs::rename(&tmp, &path).expect("publish rows");
+    vliw_api::artifacts::write_atomic(&path, &json).expect("write rows");
     println!("  [rows written to {}]", path.display());
-}
-
-/// Renders a simple aligned two-column table.
-#[must_use]
-pub fn format_bar(label: &str, value: f64) -> String {
-    let width = (value * 50.0).clamp(0.0, 60.0) as usize;
-    format!("{label:<16} {value:>7.3}  {}", "#".repeat(width))
 }
 
 #[cfg(test)]

@@ -15,6 +15,9 @@
 //! * [`explore`] — §3.2/§3.3 estimation, configuration selection, the
 //!   paper's experiment runners, and the measured design-space search
 //!   built on [`search`],
+//! * [`api`] — the request/response service core: a serialisable
+//!   request per experiment, the shared caching engine, the Unix-socket
+//!   daemon and its client/load-generator,
 //!
 //! — and offers [`Study`], a builder that strings the whole pipeline
 //! together the way the paper's evaluation does.
@@ -38,6 +41,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub use vliw_api as api;
 pub use vliw_exec as exec;
 pub use vliw_explore as explore;
 pub use vliw_ir as ir;

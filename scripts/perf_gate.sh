@@ -21,6 +21,11 @@
 #     — a `searchbench` run times candidate evaluations through the
 #       memo-cached suite (estimate → voltage descent → measure), gating
 #       the design-space search loop like the scheduler.
+#   * service throughput: serve_requests_per_second < baseline / BENCH_TIME_RATIO
+#     — a `paper serve` daemon is started on a temp socket, warmed with
+#       one request, then driven by `paper loadgen` (concurrent clients,
+#       warm figure6 requests), gating the request/response service core
+#       (wire protocol + engine cache + connection handling).
 #
 # Usage:
 #   scripts/perf_gate.sh                  # measure + compare
@@ -77,13 +82,37 @@ echo "== perf gate: searchbench --loops $LOOPS =="
     >"$tmp/search-stdout" 2>"$tmp/search-stderr"
 grep -E '^\[time\]|evals/s' "$tmp/search-stdout" "$tmp/search-stderr" || true
 
+echo "== perf gate: serve + loadgen (warm figure6 over the socket) =="
+SOCK="$tmp/perf-gate.sock"
+"$BIN" serve --socket "$SOCK" --jobs 0 >"$tmp/serve-stdout" 2>"$tmp/serve-stderr" &
+serve_pid=$!
+for _ in $(seq 100); do
+    [[ -S "$SOCK" ]] && break
+    sleep 0.1
+done
+if [[ ! -S "$SOCK" ]]; then
+    echo "error: daemon never bound $SOCK" >&2
+    cat "$tmp/serve-stderr" >&2
+    exit 1
+fi
+# One warm-up request so loadgen measures the steady-state service path
+# (wire protocol + engine cache hits), not first-touch profiling.
+"$BIN" client --socket "$SOCK" figure6 --loops "$LOOPS" --buses 1 >/dev/null
+"$BIN" loadgen --socket "$SOCK" --clients 4 --requests 8 \
+    figure6 --loops "$LOOPS" --buses 1 >"$tmp/loadgen-stdout" 2>"$tmp/loadgen-stderr"
+grep -E 'req/s' "$tmp/loadgen-stdout" || true
+"$BIN" client --socket "$SOCK" shutdown >/dev/null
+wait "$serve_pid"
+
 python3 - "$ROOT/target/paper-results/figure6.json" "$OUT" "$LOOPS" "$wall" \
     "$ROOT/target/paper-results/schedbench.json" \
-    "$ROOT/target/paper-results/searchbench.json" <<'EOF'
+    "$ROOT/target/paper-results/searchbench.json" \
+    "$ROOT/target/paper-results/loadgen.json" <<'EOF'
 import json, statistics, sys
 rows = json.load(open(sys.argv[1]))
 sched = json.load(open(sys.argv[5]))
 search = json.load(open(sys.argv[6]))
+serve = json.load(open(sys.argv[7]))
 mean = statistics.fmean(r["ed2_normalized"] for r in rows)
 mean_time = statistics.fmean(r["exec_time_het_ns"] for r in rows)
 record = {
@@ -97,11 +126,16 @@ record = {
     "sched_loops_scheduled": sched["loops_scheduled"],
     "search_evals_per_second": search["search_evals_per_second"],
     "search_evaluations": search["evaluations"],
+    "serve_requests_per_second": serve["serve_requests_per_second"],
+    "serve_p50_ms": serve["p50_ms"],
+    "serve_p99_ms": serve["p99_ms"],
 }
 json.dump(record, open(sys.argv[2], "w"), indent=2)
 print(f"measured: mean ED2 {mean:.6f}, wall {record['wall_time_s']:.2f} s, "
       f"scheduler {record['sched_loops_per_second']:.1f} loops/s, "
-      f"search {record['search_evals_per_second']:.2f} evals/s")
+      f"search {record['search_evals_per_second']:.2f} evals/s, "
+      f"service {record['serve_requests_per_second']:.1f} req/s "
+      f"(p50 {record['serve_p50_ms']:.2f} ms, p99 {record['serve_p99_ms']:.2f} ms)")
 EOF
 
 if [[ "${1:-}" == "--write-baseline" ]]; then
@@ -147,7 +181,8 @@ if p > limit:
 # the same ratio, but a pipeline suddenly running BENCH_TIME_RATIO times
 # slower than the committed baseline is a real regression.
 for key, what in (("sched_loops_per_second", "scheduler"),
-                  ("search_evals_per_second", "search")):
+                  ("search_evals_per_second", "search"),
+                  ("serve_requests_per_second", "service")):
     b = base.get(key)
     p = pr.get(key)
     if b is not None and p is not None:

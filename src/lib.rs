@@ -11,4 +11,4 @@
 //! let _ = DdgBuilder::new("loop");
 //! ```
 
-pub use heterovliw_core::{explore, ir, machine, power, sched, sim, workloads, Study};
+pub use heterovliw_core::{api, explore, ir, machine, power, sched, sim, workloads, Study};
