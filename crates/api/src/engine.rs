@@ -4,11 +4,21 @@
 //! The engine owns what the one-shot CLI used to rebuild on every
 //! invocation: the [`Executor`] worker pool and the reference-profiled
 //! suites (with their measurement memo caches). Each distinct
-//! suite scale × seed × bus count × family selection is profiled **at
-//! most once per process** — the suite cache's lock is held across
+//! suite scale × seed × bus count × family selection × store is profiled
+//! **at most once per process** — the suite cache's lock is held across
 //! profiling, so concurrent requests for the same suite block on the
 //! first profile instead of duplicating it — and every response carries
 //! a [`CacheStats`] snapshot so that reuse is observable.
+//!
+//! Beneath the in-memory caches sits the persistent measurement store
+//! (`vliw-store`): a request carrying a `store` directory — or any
+//! request, when the engine was given a default store
+//! ([`Engine::with_default_store`], the daemon's `--store`) — loads
+//! reference profiles and candidate measurements from disk instead of
+//! re-scheduling them, and persists whatever it had to compute. Stores
+//! are opened once per engine and shared across requests; the
+//! `store_stats` / `store_compact` admin requests inspect and compact
+//! them.
 //!
 //! Rendering is ported line-for-line from the historical `paper` CLI:
 //! [`Response::text`] is byte-identical to the CLI's stdout and
@@ -21,7 +31,7 @@
 //! * `schedbench` does not profile at all (it times the scheduler
 //!   directly).
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -35,6 +45,7 @@ use vliw_ir::OpClass;
 use vliw_machine::{ClockedConfig, MachineDesign, Time};
 use vliw_sched::{schedule_loop_ws, SchedWorkspace, ScheduleOptions};
 use vliw_sim::validate;
+use vliw_store::{MeasureStore, StoreConfig};
 use vliw_workloads::{classify, family_suite_seeded, suite_seeded, Benchmark, Corpus, LoopClass};
 
 use crate::artifacts::format_bar;
@@ -46,7 +57,7 @@ use crate::response::{CacheStats, Response};
 type Artifacts = (Option<String>, Option<String>);
 
 /// Identity of a cached reference-profiled suite.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct SuiteKey {
     /// `false` for the SPEC-calibrated suite, `true` for the generator
     /// families (`familysweep`).
@@ -54,6 +65,9 @@ struct SuiteKey {
     loops: usize,
     seed: u64,
     buses: u32,
+    /// The persistent store the suite is wired to, if any: a suite
+    /// profiled without a store must not shadow one that checks disk.
+    store: Option<PathBuf>,
 }
 
 /// The shared request executor: worker pool plus suite/measurement
@@ -62,6 +76,13 @@ struct SuiteKey {
 pub struct Engine {
     exec: Executor,
     suites: Mutex<HashMap<SuiteKey, Arc<ProfiledSuite>>>,
+    /// Every persistent store this engine has opened, by directory. A
+    /// store is opened at most once per engine so all requests share
+    /// one writer log and one set of counters.
+    stores: Mutex<HashMap<PathBuf, Arc<MeasureStore>>>,
+    /// Store applied to requests that do not carry one (the daemon's
+    /// `--store`); disabled by default.
+    default_store: StoreConfig,
 }
 
 impl Engine {
@@ -73,13 +94,59 @@ impl Engine {
         Engine {
             exec: Executor::new(jobs),
             suites: Mutex::new(HashMap::new()),
+            stores: Mutex::new(HashMap::new()),
+            default_store: StoreConfig::none(),
         }
+    }
+
+    /// Gives the engine a default persistent store: requests that carry
+    /// no `store` of their own run against it (the daemon's `--store`).
+    #[must_use]
+    pub fn with_default_store(mut self, store: StoreConfig) -> Self {
+        self.default_store = store;
+        self
+    }
+
+    /// The store applied to requests that do not carry one.
+    #[must_use]
+    pub fn default_store(&self) -> &StoreConfig {
+        &self.default_store
     }
 
     /// The executor requests fan out across.
     #[must_use]
     pub fn executor(&self) -> Executor {
         self.exec
+    }
+
+    /// Resolves and opens the store a request runs against: the
+    /// request's own when enabled, else the engine default, else none.
+    /// Each directory is opened once and shared across requests.
+    fn store_for(&self, cfg: &StoreConfig) -> Result<Option<Arc<MeasureStore>>, String> {
+        let effective = if cfg.is_enabled() {
+            cfg
+        } else {
+            &self.default_store
+        };
+        let Some(dir) = effective.dir.clone() else {
+            return Ok(None);
+        };
+        let mut stores = self.stores.lock().expect("engine store registry poisoned");
+        if let Some(s) = stores.get(&dir) {
+            return Ok(Some(Arc::clone(s)));
+        }
+        let store = Arc::new(MeasureStore::open(&dir).map_err(|e| e.to_string())?);
+        stores.insert(dir, Arc::clone(&store));
+        Ok(Some(store))
+    }
+
+    /// Like [`store_for`](Self::store_for), but an admin request with no
+    /// store to operate on is an error instead of a silent no-op.
+    fn admin_store(&self, cfg: &StoreConfig) -> Result<Arc<MeasureStore>, String> {
+        self.store_for(cfg)?.ok_or_else(|| {
+            "no store configured: give \"store\" in the request or start the daemon with --store"
+                .to_owned()
+        })
     }
 
     /// A snapshot of the engine's caches (profiled suites plus the
@@ -98,8 +165,21 @@ impl Engine {
         };
         for s in suites.values() {
             stats.measure_entries += s.cache().len();
-            stats.measure_hits += s.cache().hits();
-            stats.measure_misses += s.cache().misses();
+            // A memo miss the disk store answered did not re-schedule
+            // anything: report it as a hit, as CacheStats documents.
+            let disk = s.disk_hits();
+            stats.measure_hits += s.cache().hits() + disk;
+            stats.measure_misses += s.cache().misses() - disk;
+        }
+        let stores = self.stores.lock().expect("engine store registry poisoned");
+        for store in stores.values() {
+            if let Ok(s) = store.stats() {
+                stats.store_hits += s.hits;
+                stats.store_misses += s.misses;
+                stats.store_entries += s.entries() as u64;
+                stats.store_bytes += s.bytes;
+                stats.store_skipped_lines += s.skipped_lines;
+            }
         }
         stats
     }
@@ -134,27 +214,28 @@ impl Engine {
     fn profiled(
         &self,
         family: bool,
-        loops: usize,
-        seed: u64,
+        p: &RunParams,
         buses: u32,
     ) -> Result<Arc<ProfiledSuite>, String> {
+        let store = self.store_for(&p.store)?;
         let key = SuiteKey {
             family,
-            loops,
-            seed,
+            loops: p.loops,
+            seed: p.seed,
             buses,
+            store: store.as_ref().map(|s| s.dir().to_path_buf()),
         };
         let mut suites = self.suites.lock().expect("engine suite cache poisoned");
         if let Some(s) = suites.get(&key) {
             return Ok(Arc::clone(s));
         }
         let suite = if family {
-            family_suite_seeded(loops, seed)
+            family_suite_seeded(p.loops, p.seed)
         } else {
-            suite_seeded(loops, seed)
+            suite_seeded(p.loops, p.seed)
         };
         let sched = ExperimentOptions::default().sched;
-        let profiled = experiments::profile_suite_with(&suite, buses, &sched, &self.exec)
+        let profiled = experiments::profile_suite_stored(&suite, buses, &sched, &self.exec, store)
             .map_err(|e| e.to_string())?;
         let arc = Arc::new(profiled);
         suites.insert(key, Arc::clone(&arc));
@@ -172,22 +253,72 @@ impl Engine {
                 Ok((None, None))
             }
             Request::Table1 => Self::table1(text),
-            Request::Table2(p) => self.table2(*p, text),
-            Request::Figure6(p) => self.figure6(*p, text),
-            Request::Figure7(p) => self.figure7(*p, text),
-            Request::Figure8(p) => self.figure8(*p, text),
-            Request::Figure9(p) => self.figure9(*p, text),
-            Request::SchedBench(p) => self.schedbench(*p, text),
-            Request::FamilySweep(p) => self.familysweep(*p, text),
-            Request::Search { params, search } => self.search(*params, *search, text),
-            Request::SearchBench(p) => self.searchbench(*p, text),
+            Request::Table2(p) => self.table2(p, text),
+            Request::Figure6(p) => self.figure6(p, text),
+            Request::Figure7(p) => self.figure7(p, text),
+            Request::Figure8(p) => self.figure8(p, text),
+            Request::Figure9(p) => self.figure9(p, text),
+            Request::SchedBench(p) => self.schedbench(p, text),
+            Request::FamilySweep(p) => self.familysweep(p, text),
+            Request::Search { params, search } => self.search(params, *search, text),
+            Request::SearchBench(p) => self.searchbench(p, text),
             Request::CorpusSchedule { params, input } => {
-                self.corpus_schedule(*params, input.as_deref(), text)
+                self.corpus_schedule(params, input.as_deref(), text)
             }
             Request::CorpusStats { params, input } => {
-                self.corpus_stats(*params, input.as_deref(), text)
+                self.corpus_stats(params, input.as_deref(), text)
             }
+            Request::StoreStats { store } => self.store_stats(store, text),
+            Request::StoreCompact { store } => self.store_compact(store, text),
         }
+    }
+
+    fn store_stats(&self, cfg: &StoreConfig, text: &mut String) -> Result<Artifacts, String> {
+        let store = self.admin_store(cfg)?;
+        let stats = store.stats().map_err(|e| e.to_string())?;
+        let _ = writeln!(text, "\n== store stats: {} ==", store.dir().display());
+        let _ = writeln!(
+            text,
+            "{} measurements + {} profiles in {} log file(s), {} bytes",
+            stats.measure_records, stats.profile_records, stats.log_files, stats.bytes
+        );
+        let _ = writeln!(
+            text,
+            "this process: {} hits, {} misses, {} truncated line(s) skipped",
+            stats.hits, stats.misses, stats.skipped_lines
+        );
+        let record = StoreStatsRecord {
+            experiment: "store_stats".to_owned(),
+            dir: store.dir().display().to_string(),
+            measure_records: stats.measure_records,
+            profile_records: stats.profile_records,
+            log_files: stats.log_files,
+            bytes: stats.bytes,
+            hits: stats.hits,
+            misses: stats.misses,
+            skipped_lines: stats.skipped_lines,
+        };
+        Ok((Some(pretty(&record)), None))
+    }
+
+    fn store_compact(&self, cfg: &StoreConfig, text: &mut String) -> Result<Artifacts, String> {
+        let store = self.admin_store(cfg)?;
+        let report = store.compact().map_err(|e| e.to_string())?;
+        let _ = writeln!(text, "\n== store compact: {} ==", store.dir().display());
+        let _ = writeln!(
+            text,
+            "merged {} log(s) into compact.jsonl: {} records, {} bytes ({} live writer log(s) left alone)",
+            report.merged_logs, report.records, report.bytes, report.skipped_live_logs
+        );
+        let record = StoreCompactRecord {
+            experiment: "store_compact".to_owned(),
+            dir: store.dir().display().to_string(),
+            records: report.records,
+            merged_logs: report.merged_logs,
+            skipped_live_logs: report.skipped_live_logs,
+            bytes: report.bytes,
+        };
+        Ok((Some(pretty(&record)), None))
     }
 
     fn table1(text: &mut String) -> Result<Artifacts, String> {
@@ -214,7 +345,7 @@ impl Engine {
         Ok((Some(pretty(&rows)), None))
     }
 
-    fn table2(&self, p: RunParams, text: &mut String) -> Result<Artifacts, String> {
+    fn table2(&self, p: &RunParams, text: &mut String) -> Result<Artifacts, String> {
         let _ = writeln!(
             text,
             "\n== Table 2: % execution time per constraint class =="
@@ -235,7 +366,7 @@ impl Engine {
         Ok((Some(pretty(&rows)), Some(run_meta("table2", p))))
     }
 
-    fn figure6(&self, p: RunParams, text: &mut String) -> Result<Artifacts, String> {
+    fn figure6(&self, p: &RunParams, text: &mut String) -> Result<Artifacts, String> {
         let _ = writeln!(
             text,
             "\n== Figure 6: ED2 of heterogeneous, normalised to optimum homogeneous =="
@@ -244,7 +375,7 @@ impl Engine {
         let mut all = Vec::new();
         for &buses in p.buses.list() {
             let _ = writeln!(text, "-- {buses} bus(es) --");
-            let profiled = self.profiled(false, p.loops, p.seed, buses)?;
+            let profiled = self.profiled(false, p, buses)?;
             let rows = experiments::figure6_with(&profiled, &opts, &self.exec)
                 .map_err(|e| e.to_string())?;
             for r in &rows {
@@ -260,7 +391,7 @@ impl Engine {
         Ok((Some(pretty(&all)), Some(run_meta("figure6", p))))
     }
 
-    fn figure7(&self, p: RunParams, text: &mut String) -> Result<Artifacts, String> {
+    fn figure7(&self, p: &RunParams, text: &mut String) -> Result<Artifacts, String> {
         let _ = writeln!(
             text,
             "\n== Figure 7: ED2 vs number of supported frequencies =="
@@ -269,7 +400,7 @@ impl Engine {
         let mut all = Vec::new();
         for &buses in p.buses.list() {
             let _ = writeln!(text, "-- {buses} bus(es) --");
-            let profiled = self.profiled(false, p.loops, p.seed, buses)?;
+            let profiled = self.profiled(false, p, buses)?;
             let rows = experiments::figure7_with(&profiled, &opts, &self.exec)
                 .map_err(|e| e.to_string())?;
             for r in &rows {
@@ -280,13 +411,13 @@ impl Engine {
         Ok((Some(pretty(&all)), Some(run_meta("figure7", p))))
     }
 
-    fn figure8(&self, p: RunParams, text: &mut String) -> Result<Artifacts, String> {
+    fn figure8(&self, p: &RunParams, text: &mut String) -> Result<Artifacts, String> {
         let _ = writeln!(text, "\n== Figure 8: ED2 vs ICN/cache energy shares ==");
         let opts = ExperimentOptions::default();
         let mut all = Vec::new();
         for &buses in p.buses.list() {
             let _ = writeln!(text, "-- {buses} bus(es) --");
-            let profiled = self.profiled(false, p.loops, p.seed, buses)?;
+            let profiled = self.profiled(false, p, buses)?;
             let rows = experiments::figure8_with(&profiled, &opts, &self.exec)
                 .map_err(|e| e.to_string())?;
             for r in &rows {
@@ -302,7 +433,7 @@ impl Engine {
         Ok((Some(pretty(&all)), Some(run_meta("figure8", p))))
     }
 
-    fn figure9(&self, p: RunParams, text: &mut String) -> Result<Artifacts, String> {
+    fn figure9(&self, p: &RunParams, text: &mut String) -> Result<Artifacts, String> {
         let _ = writeln!(
             text,
             "\n== Figure 9: ED2 vs leakage shares (cluster/ICN/cache) =="
@@ -311,7 +442,7 @@ impl Engine {
         let mut all = Vec::new();
         for &buses in p.buses.list() {
             let _ = writeln!(text, "-- {buses} bus(es) --");
-            let profiled = self.profiled(false, p.loops, p.seed, buses)?;
+            let profiled = self.profiled(false, p, buses)?;
             let rows = experiments::figure9_with(&profiled, &opts, &self.exec)
                 .map_err(|e| e.to_string())?;
             for r in &rows {
@@ -326,7 +457,7 @@ impl Engine {
         Ok((Some(pretty(&all)), Some(run_meta("figure9", p))))
     }
 
-    fn schedbench(&self, p: RunParams, text: &mut String) -> Result<Artifacts, String> {
+    fn schedbench(&self, p: &RunParams, text: &mut String) -> Result<Artifacts, String> {
         let _ = writeln!(
             text,
             "\n== schedbench: scheduler throughput (loops/second) =="
@@ -374,7 +505,7 @@ impl Engine {
         Ok((Some(pretty(&record)), None))
     }
 
-    fn familysweep(&self, p: RunParams, text: &mut String) -> Result<Artifacts, String> {
+    fn familysweep(&self, p: &RunParams, text: &mut String) -> Result<Artifacts, String> {
         let _ = writeln!(
             text,
             "\n== familysweep: ED2 of generator families across figure-6/7 configs =="
@@ -383,7 +514,7 @@ impl Engine {
         let mut all = Vec::new();
         for &buses in p.buses.list() {
             let _ = writeln!(text, "-- {buses} bus(es) --");
-            let profiled = self.profiled(true, p.loops, p.seed, buses)?;
+            let profiled = self.profiled(true, p, buses)?;
             let rows = experiments::familysweep_with(&profiled, &opts, &self.exec)
                 .map_err(|e| e.to_string())?;
             for r in &rows {
@@ -397,7 +528,7 @@ impl Engine {
 
     fn search(
         &self,
-        p: RunParams,
+        p: &RunParams,
         sp: SearchParams,
         text: &mut String,
     ) -> Result<Artifacts, String> {
@@ -413,7 +544,7 @@ impl Engine {
         };
         let suites: Vec<Arc<ProfiledSuite>> = buses
             .iter()
-            .map(|&b| self.profiled(false, p.loops, p.seed, b))
+            .map(|&b| self.profiled(false, p, b))
             .collect::<Result<_, _>>()?;
         let suite_refs: Vec<&ProfiledSuite> = suites.iter().map(Arc::as_ref).collect();
         let opts = ExperimentOptions::default();
@@ -481,7 +612,7 @@ impl Engine {
         Ok((Some(pretty(&report)), Some(meta)))
     }
 
-    fn searchbench(&self, p: RunParams, text: &mut String) -> Result<Artifacts, String> {
+    fn searchbench(&self, p: &RunParams, text: &mut String) -> Result<Artifacts, String> {
         use vliw_search::Strategy;
 
         let _ = writeln!(
@@ -490,8 +621,9 @@ impl Engine {
         );
         let opts = ExperimentOptions::default();
         // Deliberately cold: a fresh profile outside the engine's suite
-        // cache, so the evals/second metric is comparable across runs
-        // instead of inflated by a warm measurement memo cache.
+        // cache AND outside any configured disk store, so the
+        // evals/second metric is comparable across runs instead of
+        // inflated by a warm memo cache or a pre-populated store.
         let suite = suite_seeded(p.loops, p.seed);
         let profiled = experiments::profile_suite_with(&suite, 1, &opts.sched, &self.exec)
             .map_err(|e| e.to_string())?;
@@ -517,11 +649,19 @@ impl Engine {
             "evaluated {} candidates in {wall:.3} s => {eps:.2} evals/s",
             report.evaluations
         );
+        // disk_hits is 0 by construction (no store attached); keeping
+        // the subtraction makes the cold-path claim self-checking.
+        let measure_misses = profiled.cache().misses() - profiled.disk_hits();
+        let _ = writeln!(
+            text,
+            "{measure_misses} measurements executed cold (disk store bypassed)"
+        );
         let record = SearchBenchRecord {
             experiment: "searchbench".to_owned(),
             loops_per_benchmark: p.loops,
             budget,
             evaluations: report.evaluations,
+            measure_misses,
             wall_time_s: wall,
             search_evals_per_second: eps,
         };
@@ -530,7 +670,7 @@ impl Engine {
 
     fn corpus_schedule(
         &self,
-        p: RunParams,
+        p: &RunParams,
         input: Option<&Path>,
         text: &mut String,
     ) -> Result<Artifacts, String> {
@@ -609,7 +749,7 @@ impl Engine {
 
     fn corpus_stats(
         &self,
-        p: RunParams,
+        p: &RunParams,
         input: Option<&Path>,
         text: &mut String,
     ) -> Result<Artifacts, String> {
@@ -726,7 +866,7 @@ struct DumpMeta {
 }
 
 /// The `<name>.meta.json` sidecar body for a suite-scale experiment.
-fn run_meta(name: &str, p: RunParams) -> String {
+fn run_meta(name: &str, p: &RunParams) -> String {
     pretty(&DumpMeta {
         experiment: name.to_owned(),
         loops_per_benchmark: p.loops,
@@ -762,8 +902,37 @@ struct SearchBenchRecord {
     loops_per_benchmark: usize,
     budget: u64,
     evaluations: u64,
+    /// Configurations actually measured (scheduler executions). Equal
+    /// whether or not a warm store exists on disk — the bench bypasses
+    /// it by design.
+    measure_misses: u64,
     wall_time_s: f64,
     search_evals_per_second: f64,
+}
+
+/// The `store_stats` admin record (disk state; not byte-stable).
+#[derive(serde::Serialize)]
+struct StoreStatsRecord {
+    experiment: String,
+    dir: String,
+    measure_records: usize,
+    profile_records: usize,
+    log_files: usize,
+    bytes: u64,
+    hits: u64,
+    misses: u64,
+    skipped_lines: u64,
+}
+
+/// The `store_compact` admin record (disk state; not byte-stable).
+#[derive(serde::Serialize)]
+struct StoreCompactRecord {
+    experiment: String,
+    dir: String,
+    records: usize,
+    merged_logs: usize,
+    skipped_live_logs: usize,
+    bytes: u64,
 }
 
 /// Sidecar for the `search` experiment: every knob that shaped the run.
@@ -817,7 +986,15 @@ mod tests {
             loops: 2,
             buses: BusSel::One,
             seed: 0,
+            store: StoreConfig::none(),
         }
+    }
+
+    /// A unique, cleaned-up temp directory for a store test.
+    fn temp_store(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("vliw-api-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
     }
 
     #[test]
@@ -893,5 +1070,136 @@ mod tests {
             resp.cache.profiled_suites, suites_before,
             "search reused the profiled suite instead of re-profiling"
         );
+    }
+
+    #[test]
+    fn warm_store_spans_engines_and_preserves_bytes() {
+        let dir = temp_store("warm");
+        let stored = RunParams {
+            store: StoreConfig::at(&dir),
+            ..small()
+        };
+        let req = Request::Figure6(stored);
+
+        let cold = Engine::new(1).run(&req);
+        assert!(cold.ok, "cold run failed: {:?}", cold.error);
+        assert!(cold.cache.measure_misses > 0, "the cold run measured");
+        assert!(cold.cache.store_entries > 0, "the cold run persisted");
+
+        // A brand-new engine (fresh memo caches, same directory) must
+        // resolve every profile and measurement from disk.
+        let warm = Engine::new(1).run(&req);
+        assert!(warm.ok, "warm run failed: {:?}", warm.error);
+        assert_eq!(
+            warm.cache.measure_misses, 0,
+            "a warm store leaves nothing to re-schedule: {:?}",
+            warm.cache
+        );
+        assert!(warm.cache.store_hits > 0, "served from disk");
+        assert_eq!(warm.text, cold.text, "stdout rendering is byte-stable");
+        assert_eq!(warm.body, cold.body, "artefact body is byte-stable");
+        assert_eq!(warm.meta, cold.meta, "sidecar is byte-stable");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn searchbench_bypasses_the_warm_store() {
+        let dir = temp_store("searchbench");
+        let stored = RunParams {
+            store: StoreConfig::at(&dir),
+            ..small()
+        };
+        // Warm the store with exactly the measurements searchbench's
+        // internal run performs (paper grid, hillclimb, budget 64, same
+        // loops/seed, 1 bus).
+        let warmup = Engine::new(1).run(&Request::Search {
+            params: stored.clone(),
+            search: SearchParams::default(),
+        });
+        assert!(warmup.ok, "{:?}", warmup.error);
+
+        let misses = |resp: &Response| -> u64 {
+            let body: serde_json::Value =
+                serde_json::from_str(resp.body.as_deref().expect("record body")).expect("json");
+            body.get("measure_misses")
+                .and_then(serde_json::Value::as_u64)
+                .expect("measure_misses field")
+        };
+        let with_store = Engine::new(1).run(&Request::SearchBench(stored));
+        assert!(with_store.ok, "{:?}", with_store.error);
+        let without_store = Engine::new(1).run(&Request::SearchBench(small()));
+        assert!(without_store.ok, "{:?}", without_store.error);
+
+        // Cold-path honesty: the warm store on disk changed nothing —
+        // every candidate measurement was executed, not loaded.
+        assert!(misses(&with_store) > 0, "the bench measured something");
+        assert_eq!(
+            misses(&with_store),
+            misses(&without_store),
+            "a warm store must not shortcut the throughput bench"
+        );
+        assert_eq!(
+            with_store.cache.store_hits, 0,
+            "the bench never touched the store"
+        );
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_admin_requests_inspect_and_compact() {
+        let dir = temp_store("admin");
+
+        // Without any store configured, admin requests fail loudly.
+        let none = Engine::new(1).run(&Request::StoreStats {
+            store: StoreConfig::none(),
+        });
+        assert!(!none.ok);
+        assert!(
+            none.error
+                .as_deref()
+                .unwrap_or("")
+                .contains("no store configured"),
+            "{:?}",
+            none.error
+        );
+
+        // Populate, then inspect through the engine's default store
+        // (the daemon's --store path: requests carry no store of their
+        // own).
+        let engine = Engine::new(1).with_default_store(StoreConfig::at(&dir));
+        let run = engine.run(&Request::Figure6(small()));
+        assert!(run.ok, "{:?}", run.error);
+        assert!(
+            run.cache.store_entries > 0,
+            "the default store captured the run: {:?}",
+            run.cache
+        );
+        let stats = engine.run(&Request::StoreStats {
+            store: StoreConfig::none(),
+        });
+        assert!(stats.ok, "{:?}", stats.error);
+        assert!(stats.text.contains("store stats"), "{}", stats.text);
+
+        let compact = engine.run(&Request::StoreCompact {
+            store: StoreConfig::none(),
+        });
+        assert!(compact.ok, "{:?}", compact.error);
+        let body: serde_json::Value =
+            serde_json::from_str(compact.body.as_deref().expect("record")).expect("json");
+        assert!(
+            body.get("records")
+                .and_then(serde_json::Value::as_u64)
+                .unwrap()
+                > 0,
+            "compaction kept the records: {body:?}"
+        );
+        assert!(
+            dir.join("compact.jsonl").exists(),
+            "the compacted log exists"
+        );
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

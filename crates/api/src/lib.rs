@@ -42,6 +42,7 @@ pub mod serve;
 pub use artifacts::{format_bar, persist_response, write_atomic};
 pub use client::{loadgen, Client, LoadgenOptions, LoadgenReport};
 pub use engine::Engine;
-pub use request::{BusSel, Request, RunParams, SearchParams};
-pub use response::{CacheStats, Response};
+pub use request::{BusSel, Request, RequestBuilder, RunParams, SearchParams};
+pub use response::{CacheStats, Response, FORMAT_VERSION};
 pub use serve::{serve, ServeOptions};
+pub use vliw_store::StoreConfig;

@@ -7,15 +7,21 @@
 //! ```json
 //! {"kind":"figure6","loops":5,"buses":"1","seed":0}
 //! {"kind":"search","loops":2,"buses":"1","seed":1,"strategy":"hillclimb","budget":8,"space":"paper"}
+//! {"kind":"figure6","store":"target/paper-store"}
+//! {"kind":"store_stats"}
 //! {"kind":"corpus_stats","input":"target/paper-results/corpus.json"}
 //! ```
 //!
 //! Parsing is strict, mirroring the CLI's flag validation: unknown keys
 //! are rejected, and a knob that does not apply to the requested kind
-//! (`budget` on `figure6`, `input` on `search`, …) is an error rather
-//! than a silent no-op — dropping a caller's path would misreport what
-//! ran. Omitted knobs take the CLI defaults, so `{"kind":"figure6"}`
-//! and a bare `paper figure6` run identically.
+//! (`budget` on `figure6`, `input` on `search`, `store` on `ping`, …)
+//! is an error rather than a silent no-op — dropping a caller's path
+//! would misreport what ran. Omitted knobs take the CLI defaults, so
+//! `{"kind":"figure6"}` and a bare `paper figure6` run identically.
+//!
+//! Both the wire parser and the programmatic [`RequestBuilder`]
+//! assemble through one validation path ([`RequestBuilder::build`]), so
+//! "which knob applies to which kind" is defined exactly once.
 //!
 //! The vendored serde derive has no enum support, so [`Request`]
 //! serialises by hand ([`Request::to_json_string`]) and parses through
@@ -26,6 +32,7 @@ use std::path::PathBuf;
 use serde_json::Value;
 use vliw_explore::SpaceKind;
 use vliw_search::Strategy;
+use vliw_store::StoreConfig;
 use vliw_workloads::DEFAULT_LOOPS_PER_BENCHMARK;
 
 /// Which bus configurations an experiment runs (the CLI's `--buses`).
@@ -73,9 +80,10 @@ impl BusSel {
 }
 
 /// The global knobs shared by every experiment request: suite scale,
-/// bus selection and generation seed (the CLI's `--loops-per-benchmark`,
-/// `--buses` and `--seed`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// bus selection, generation seed and the persistent measurement store
+/// backing the run (the CLI's `--loops-per-benchmark`, `--buses`,
+/// `--seed` and `--store`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct RunParams {
     /// Loops generated per benchmark (default 40, the interactive
     /// 10× scale-down).
@@ -84,6 +92,10 @@ pub struct RunParams {
     pub buses: BusSel,
     /// Global generation seed (0 reproduces the committed fixtures).
     pub seed: u64,
+    /// Persistent measurement store backing the run. Disabled by
+    /// default (everything stays in memory); the wire key is `store`,
+    /// omitted when disabled so pre-store wire lines stay valid.
+    pub store: StoreConfig,
 }
 
 impl Default for RunParams {
@@ -92,6 +104,7 @@ impl Default for RunParams {
             loops: DEFAULT_LOOPS_PER_BENCHMARK,
             buses: BusSel::Both,
             seed: 0,
+            store: StoreConfig::none(),
         }
     }
 }
@@ -145,12 +158,14 @@ pub enum Request {
     FamilySweep(RunParams),
     /// Seeded metaheuristic design-space search.
     Search {
-        /// Suite scale, buses and seed.
+        /// Suite scale, buses, seed and store.
         params: RunParams,
         /// Strategy, budget and space.
         search: SearchParams,
     },
-    /// Search-throughput bench (wall-clock; not byte-stable).
+    /// Search-throughput bench (wall-clock; not byte-stable). The bench
+    /// deliberately bypasses any configured store: it measures
+    /// cold-path candidate-evaluation throughput.
     SearchBench(RunParams),
     /// Schedule and validate every loop of a corpus.
     CorpusSchedule {
@@ -166,11 +181,24 @@ pub enum Request {
         /// Corpus file to load; `None` uses the in-memory suite.
         input: Option<PathBuf>,
     },
+    /// Admin: statistics of a persistent measurement store.
+    StoreStats {
+        /// The store to inspect; disabled falls back to the daemon's
+        /// default store (an error when there is none).
+        store: StoreConfig,
+    },
+    /// Admin: merge a persistent measurement store's writer logs into
+    /// one compact log.
+    StoreCompact {
+        /// The store to compact; disabled falls back to the daemon's
+        /// default store (an error when there is none).
+        store: StoreConfig,
+    },
 }
 
 impl Request {
     /// Every kind name, in canonical order (the wire `kind` values).
-    pub const KINDS: [&'static str; 14] = [
+    pub const KINDS: [&'static str; 16] = [
         "ping",
         "shutdown",
         "table1",
@@ -185,7 +213,20 @@ impl Request {
         "searchbench",
         "corpus_schedule",
         "corpus_stats",
+        "store_stats",
+        "store_compact",
     ];
+
+    /// Starts building a request of the given kind; knobs are added
+    /// with the [`RequestBuilder`]'s setters and validated by
+    /// [`RequestBuilder::build`] under exactly the wire parser's rules.
+    #[must_use]
+    pub fn builder(kind: &str) -> RequestBuilder {
+        RequestBuilder {
+            kind: kind.to_owned(),
+            ..RequestBuilder::default()
+        }
+    }
 
     /// The request's stable kind name.
     #[must_use]
@@ -205,33 +246,49 @@ impl Request {
             Request::SearchBench(_) => "searchbench",
             Request::CorpusSchedule { .. } => "corpus_schedule",
             Request::CorpusStats { .. } => "corpus_stats",
+            Request::StoreStats { .. } => "store_stats",
+            Request::StoreCompact { .. } => "store_compact",
         }
     }
 
     /// The artefact stem this request's rows are persisted under
     /// (`<stem>.json`, plus `<stem>.meta.json` when the response carries
-    /// a sidecar), or `None` for control requests.
+    /// a sidecar), or `None` for control and admin requests.
     #[must_use]
     pub const fn artifact(&self) -> Option<&'static str> {
         match self {
-            Request::Ping | Request::Shutdown => None,
+            Request::Ping
+            | Request::Shutdown
+            | Request::StoreStats { .. }
+            | Request::StoreCompact { .. } => None,
             _ => Some(self.kind()),
         }
     }
 
     /// Whether the response body is byte-stable across runs, machines
     /// and job counts. The two throughput benches embed wall-clock
-    /// measurements, so they are the exception.
+    /// measurements and the store admin requests report mutable disk
+    /// state, so they are the exceptions.
     #[must_use]
     pub const fn is_byte_stable(&self) -> bool {
-        !matches!(self, Request::SchedBench(_) | Request::SearchBench(_))
+        !matches!(
+            self,
+            Request::SchedBench(_)
+                | Request::SearchBench(_)
+                | Request::StoreStats { .. }
+                | Request::StoreCompact { .. }
+        )
     }
 
     /// The run params, for kinds that have them.
     #[must_use]
     pub const fn params(&self) -> Option<&RunParams> {
         match self {
-            Request::Ping | Request::Shutdown | Request::Table1 => None,
+            Request::Ping
+            | Request::Shutdown
+            | Request::Table1
+            | Request::StoreStats { .. }
+            | Request::StoreCompact { .. } => None,
             Request::Table2(p)
             | Request::Figure6(p)
             | Request::Figure7(p)
@@ -243,6 +300,18 @@ impl Request {
             | Request::Search { params: p, .. }
             | Request::CorpusSchedule { params: p, .. }
             | Request::CorpusStats { params: p, .. } => Some(p),
+        }
+    }
+
+    /// The store configuration this request carries: the shared run
+    /// params' store for experiment kinds, the admin variants' own, and
+    /// `None` for kinds no store can apply to (`ping`, `shutdown`,
+    /// `table1`).
+    #[must_use]
+    pub fn store(&self) -> Option<&StoreConfig> {
+        match self {
+            Request::StoreStats { store } | Request::StoreCompact { store } => Some(store),
+            _ => self.params().map(|p| &p.store),
         }
     }
 
@@ -261,6 +330,11 @@ impl Request {
                 p.buses.name(),
                 p.seed
             ));
+        }
+        if let Some(dir) = self.store().and_then(|s| s.dir.as_ref()) {
+            let mut encoded = String::new();
+            serde::write_json_str(&dir.display().to_string(), &mut encoded);
+            out.push_str(&format!(",\"store\":{encoded}"));
         }
         if let Request::Search { search, .. } = self {
             out.push_str(&format!(
@@ -311,11 +385,7 @@ impl Request {
             ));
         };
         let mut kind = None;
-        let mut params = RunParams::default();
-        let mut params_seen = false;
-        let mut search = SearchParams::default();
-        let mut search_seen = false;
-        let mut input: Option<PathBuf> = None;
+        let mut b = RequestBuilder::default();
         for (key, v) in pairs {
             match key.as_str() {
                 "kind" => {
@@ -326,12 +396,12 @@ impl Request {
                     );
                 }
                 "loops" => {
-                    params.loops = v
-                        .as_u64()
-                        .filter(|&n| n > 0)
-                        .and_then(|n| usize::try_from(n).ok())
-                        .ok_or("loops must be a positive integer")?;
-                    params_seen = true;
+                    b = b.loops(
+                        v.as_u64()
+                            .filter(|&n| n > 0)
+                            .and_then(|n| usize::try_from(n).ok())
+                            .ok_or("loops must be a positive integer")?,
+                    );
                 }
                 "buses" => {
                     let name = match v {
@@ -343,45 +413,152 @@ impl Request {
                             })?
                             .to_string(),
                     };
-                    params.buses = BusSel::from_name(&name).ok_or("buses takes 1, 2 or both")?;
-                    params_seen = true;
+                    b = b.buses(BusSel::from_name(&name).ok_or("buses takes 1, 2 or both")?);
                 }
                 "seed" => {
-                    params.seed = v.as_u64().ok_or("seed must be a non-negative integer")?;
-                    params_seen = true;
+                    b = b.seed(v.as_u64().ok_or("seed must be a non-negative integer")?);
+                }
+                "store" => {
+                    let path = v.as_str().ok_or_else(|| {
+                        format!("store must be a string path, got {}", v.type_name())
+                    })?;
+                    b = b.store(StoreConfig::at(path));
                 }
                 "strategy" => {
                     let name = v.as_str().ok_or_else(|| {
                         format!("strategy must be a string, got {}", v.type_name())
                     })?;
-                    search.strategy = name.parse()?;
-                    search_seen = true;
+                    b = b.strategy(name.parse()?);
                 }
                 "budget" => {
-                    search.budget = v
-                        .as_u64()
-                        .filter(|&n| n > 0)
-                        .ok_or("budget must be a positive integer")?;
-                    search_seen = true;
+                    b = b.budget(
+                        v.as_u64()
+                            .filter(|&n| n > 0)
+                            .ok_or("budget must be a positive integer")?,
+                    );
                 }
                 "space" => {
                     let name = v
                         .as_str()
                         .ok_or_else(|| format!("space must be a string, got {}", v.type_name()))?;
-                    search.space =
-                        SpaceKind::from_name(name).ok_or("space takes paper or extended")?;
-                    search_seen = true;
+                    b = b.space(SpaceKind::from_name(name).ok_or("space takes paper or extended")?);
                 }
                 "input" => {
                     let path = v.as_str().ok_or_else(|| {
                         format!("input must be a string path, got {}", v.type_name())
                     })?;
-                    input = Some(PathBuf::from(path));
+                    b = b.input(path);
                 }
                 other => return Err(format!("unknown request key {other:?}")),
             }
         }
-        let kind = kind.ok_or("request is missing the kind key")?;
+        b.kind = kind.ok_or("request is missing the kind key")?;
+        b.build()
+    }
+}
+
+/// Incremental, programmatic construction of a [`Request`].
+///
+/// The builder and the JSON wire parser share this one assembly point:
+/// [`Request::from_json_value`] fills a builder key by key and calls
+/// [`RequestBuilder::build`], so the "which knob applies to which
+/// kind" rules cannot drift between the two paths, and the per-variant
+/// shared knobs (loops/buses/seed/store) are defined once instead of
+/// being repeated per constructor.
+#[derive(Debug, Clone, Default)]
+pub struct RequestBuilder {
+    kind: String,
+    params: RunParams,
+    params_seen: bool,
+    store_seen: bool,
+    search: SearchParams,
+    search_seen: bool,
+    input: Option<PathBuf>,
+}
+
+impl RequestBuilder {
+    /// Loops generated per benchmark.
+    #[must_use]
+    pub fn loops(mut self, loops: usize) -> Self {
+        self.params.loops = loops;
+        self.params_seen = true;
+        self
+    }
+
+    /// Bus configurations to run.
+    #[must_use]
+    pub fn buses(mut self, buses: BusSel) -> Self {
+        self.params.buses = buses;
+        self.params_seen = true;
+        self
+    }
+
+    /// Global generation seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.params.seed = seed;
+        self.params_seen = true;
+        self
+    }
+
+    /// The persistent measurement store backing the run (or, for the
+    /// store admin kinds, the store to operate on).
+    #[must_use]
+    pub fn store(mut self, store: StoreConfig) -> Self {
+        self.params.store = store;
+        self.store_seen = true;
+        self
+    }
+
+    /// The search strategy (`search` only).
+    #[must_use]
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.search.strategy = strategy;
+        self.search_seen = true;
+        self
+    }
+
+    /// The search evaluation budget (`search` only).
+    #[must_use]
+    pub fn budget(mut self, budget: u64) -> Self {
+        self.search.budget = budget;
+        self.search_seen = true;
+        self
+    }
+
+    /// The configuration space to search (`search` only).
+    #[must_use]
+    pub fn space(mut self, space: SpaceKind) -> Self {
+        self.search.space = space;
+        self.search_seen = true;
+        self
+    }
+
+    /// The corpus file to load (`corpus_schedule`/`corpus_stats` only).
+    #[must_use]
+    pub fn input(mut self, path: impl Into<PathBuf>) -> Self {
+        self.input = Some(path.into());
+        self
+    }
+
+    /// Assembles the request, validating that every knob that was set
+    /// applies to the kind — the same rules, word for word, that the
+    /// wire parser enforces.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending knob on an unknown kind
+    /// or a knob that does not apply to it.
+    pub fn build(self) -> Result<Request, String> {
+        let RequestBuilder {
+            kind,
+            params,
+            params_seen,
+            store_seen,
+            search,
+            search_seen,
+            input,
+        } = self;
         if search_seen && kind != "search" {
             return Err("strategy/budget/space only apply to the search kind".to_owned());
         }
@@ -397,10 +574,30 @@ impl Request {
                 Ok(())
             }
         };
+        let reject_store = |what: &str| -> Result<(), String> {
+            if store_seen {
+                Err(format!("store does not apply to the {what} kind"))
+            } else {
+                Ok(())
+            }
+        };
+        let store = params.store.clone();
         match kind.as_str() {
-            "ping" => reject_params("ping").map(|()| Request::Ping),
-            "shutdown" => reject_params("shutdown").map(|()| Request::Shutdown),
-            "table1" => reject_params("table1").map(|()| Request::Table1),
+            "ping" => {
+                reject_params("ping")?;
+                reject_store("ping")?;
+                Ok(Request::Ping)
+            }
+            "shutdown" => {
+                reject_params("shutdown")?;
+                reject_store("shutdown")?;
+                Ok(Request::Shutdown)
+            }
+            "table1" => {
+                reject_params("table1")?;
+                reject_store("table1")?;
+                Ok(Request::Table1)
+            }
             "table2" => Ok(Request::Table2(params)),
             "figure6" => Ok(Request::Figure6(params)),
             "figure7" => Ok(Request::Figure7(params)),
@@ -412,6 +609,15 @@ impl Request {
             "searchbench" => Ok(Request::SearchBench(params)),
             "corpus_schedule" => Ok(Request::CorpusSchedule { params, input }),
             "corpus_stats" => Ok(Request::CorpusStats { params, input }),
+            "store_stats" => {
+                reject_params("store_stats")?;
+                Ok(Request::StoreStats { store })
+            }
+            "store_compact" => {
+                reject_params("store_compact")?;
+                Ok(Request::StoreCompact { store })
+            }
+            "" => Err("request is missing the kind key".to_owned()),
             other => Err(format!("unknown request kind {other:?}")),
         }
     }
@@ -427,34 +633,49 @@ mod tests {
             loops: 5,
             buses: BusSel::One,
             seed: 3,
+            store: StoreConfig::none(),
+        };
+        let stored = RunParams {
+            store: StoreConfig::at("/tmp/paper store"),
+            ..params.clone()
         };
         let reqs = [
             Request::Ping,
             Request::Shutdown,
             Request::Table1,
-            Request::Table2(params),
-            Request::Figure6(params),
-            Request::Figure7(params),
-            Request::Figure8(params),
-            Request::Figure9(params),
-            Request::SchedBench(params),
-            Request::FamilySweep(params),
+            Request::Table2(params.clone()),
+            Request::Figure6(params.clone()),
+            Request::Figure6(stored.clone()),
+            Request::Figure7(params.clone()),
+            Request::Figure8(params.clone()),
+            Request::Figure9(params.clone()),
+            Request::SchedBench(params.clone()),
+            Request::FamilySweep(params.clone()),
             Request::Search {
-                params,
+                params: stored,
                 search: SearchParams {
                     strategy: Strategy::Anneal,
                     budget: 8,
                     space: SpaceKind::Extended,
                 },
             },
-            Request::SearchBench(params),
+            Request::SearchBench(params.clone()),
             Request::CorpusSchedule {
-                params,
+                params: params.clone(),
                 input: Some(PathBuf::from("/tmp/a corpus.json")),
             },
             Request::CorpusStats {
                 params,
                 input: None,
+            },
+            Request::StoreStats {
+                store: StoreConfig::none(),
+            },
+            Request::StoreStats {
+                store: StoreConfig::at("/tmp/paper store"),
+            },
+            Request::StoreCompact {
+                store: StoreConfig::at("/tmp/paper store"),
             },
         ];
         for req in reqs {
@@ -480,6 +701,29 @@ mod tests {
     }
 
     #[test]
+    fn store_key_stays_off_the_wire_when_disabled() {
+        // Pre-store clients never sent a store key; post-store servers
+        // must keep producing the exact same lines for store-less
+        // requests (and vice versa).
+        let req = Request::Figure6(RunParams {
+            loops: 5,
+            buses: BusSel::One,
+            seed: 3,
+            store: StoreConfig::none(),
+        });
+        assert_eq!(
+            req.to_json_string(),
+            "{\"kind\":\"figure6\",\"loops\":5,\"buses\":\"1\",\"seed\":3}"
+        );
+        let req = Request::from_json_str("{\"kind\":\"figure6\",\"store\":\"target/paper-store\"}")
+            .unwrap();
+        assert_eq!(
+            req.store().and_then(|s| s.dir.as_deref()),
+            Some(std::path::Path::new("target/paper-store"))
+        );
+    }
+
+    #[test]
     fn numeric_buses_accepted() {
         let req = Request::from_json_str("{\"kind\":\"figure6\",\"buses\":2}").unwrap();
         assert_eq!(
@@ -487,6 +731,41 @@ mod tests {
             BusSel::Two,
             "numeric bus selector"
         );
+    }
+
+    #[test]
+    fn builder_matches_the_wire_parser() {
+        let built = Request::builder("search")
+            .loops(5)
+            .buses(BusSel::One)
+            .seed(3)
+            .store(StoreConfig::at("/tmp/store"))
+            .strategy(Strategy::Anneal)
+            .budget(8)
+            .space(SpaceKind::Extended)
+            .build()
+            .unwrap();
+        let parsed = Request::from_json_str(&built.to_json_string()).unwrap();
+        assert_eq!(built, parsed, "builder and parser assemble identically");
+
+        // The builder enforces exactly the parser's applicability rules.
+        for (builder, needle) in [
+            (Request::builder("ping").loops(2), "do not apply"),
+            (
+                Request::builder("table1").store(StoreConfig::at("/s")),
+                "does not apply",
+            ),
+            (
+                Request::builder("figure6").budget(2),
+                "only apply to the search",
+            ),
+            (Request::builder("store_stats").seed(1), "do not apply"),
+            (Request::builder("search").input("x"), "corpus_schedule"),
+            (Request::builder("nope"), "unknown request kind"),
+        ] {
+            let err = builder.build().unwrap_err();
+            assert!(err.contains(needle), "{err}");
+        }
     }
 
     #[test]
@@ -502,6 +781,16 @@ mod tests {
             ),
             ("{\"kind\":\"search\",\"input\":\"x\"}", "corpus_schedule"),
             ("{\"kind\":\"ping\",\"loops\":5}", "do not apply"),
+            ("{\"kind\":\"ping\",\"store\":\"/tmp/s\"}", "does not apply"),
+            ("{\"kind\":\"store_stats\",\"loops\":5}", "do not apply"),
+            (
+                "{\"kind\":\"store_compact\",\"budget\":5}",
+                "only apply to the search",
+            ),
+            (
+                "{\"kind\":\"figure6\",\"store\":7}",
+                "must be a string path",
+            ),
             ("{\"kind\":\"figure6\",\"loops\":0}", "positive integer"),
             ("{\"kind\":\"figure6\",\"buses\":\"3\"}", "1, 2 or both"),
             ("not json", "malformed request"),

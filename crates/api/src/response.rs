@@ -6,24 +6,58 @@
 //! [`Response::meta`] — so transports (CLI printing, daemon persistence)
 //! only decide *where* those bytes go, never *what* they are. Cache
 //! statistics ride along on every response so cross-request reuse of the
-//! engine's profile and measurement caches is observable.
+//! engine's profile and measurement caches — and of the persistent
+//! measurement store behind them — is observable.
+//!
+//! The envelope is versioned: every response carries
+//! [`FORMAT_VERSION`] as its `format_version` key, and the client-side
+//! parser rejects a missing or mismatching version with an error that
+//! names both versions instead of silently misreading fields.
 
 use serde_json::Value;
 
 use crate::request::Request;
 
+/// The response envelope version this build speaks.
+///
+/// Version 1 is the original, retroactively numbered envelope without a
+/// `format_version` key; version 2 added the key itself plus the store
+/// fields of [`CacheStats`]. Bump it whenever the envelope changes
+/// shape incompatibly.
+pub const FORMAT_VERSION: u64 = 2;
+
 /// A snapshot of the engine's caches, taken after the request ran.
+///
+/// The `measure_*` fields count the in-memory measurement memo caches;
+/// `measure_misses` counts configurations the process actually
+/// re-scheduled, so a memo miss answered by the persistent store moves
+/// from `measure_misses` to `measure_hits` (and shows up in
+/// `store_hits`). The `store_*` fields aggregate every store the engine
+/// has opened.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
 pub struct CacheStats {
     /// Reference-profiled suites held by the engine (one per distinct
-    /// suite scale × seed × bus count × family selection).
+    /// suite scale × seed × bus count × family selection × store).
     pub profiled_suites: usize,
     /// Memoised candidate measurements across all profiled suites.
     pub measure_entries: usize,
-    /// Lifetime measurement-cache hits across all profiled suites.
+    /// Lifetime measurement-cache hits across all profiled suites,
+    /// including memo misses answered by the persistent store.
     pub measure_hits: u64,
-    /// Lifetime measurement-cache misses across all profiled suites.
+    /// Configurations actually re-scheduled by this process (memo
+    /// misses the store could not answer).
     pub measure_misses: u64,
+    /// Measurements and profiles served from the persistent store.
+    pub store_hits: u64,
+    /// Store lookups that fell through to an actual measurement.
+    pub store_misses: u64,
+    /// Records (measurements + profiles) held across all open stores.
+    pub store_entries: u64,
+    /// Total on-disk log bytes across all open stores.
+    pub store_bytes: u64,
+    /// Truncated trailing log lines skipped (and warned about) while
+    /// loading the open stores.
+    pub store_skipped_lines: u64,
 }
 
 /// The result of running one [`Request`] through the engine.
@@ -32,6 +66,9 @@ pub struct CacheStats {
 /// embedded newlines of `text`/`body` out of the line framing).
 #[derive(Debug, Clone, PartialEq, serde::Serialize)]
 pub struct Response {
+    /// Envelope version; always [`FORMAT_VERSION`] for responses built
+    /// by this process. The parser rejects other versions.
+    pub format_version: u64,
     /// Whether the request succeeded. A failed request still yields a
     /// response (with [`Response::error`] set) — the engine never turns
     /// one bad request into a process exit.
@@ -68,6 +105,7 @@ impl Response {
         cache: CacheStats,
     ) -> Self {
         Response {
+            format_version: FORMAT_VERSION,
             ok: true,
             kind: req.kind().to_owned(),
             artifact: req.artifact().map(str::to_owned),
@@ -84,6 +122,7 @@ impl Response {
     #[must_use]
     pub fn failure(req: &Request, text: String, error: String, cache: CacheStats) -> Self {
         Response {
+            format_version: FORMAT_VERSION,
             ok: false,
             kind: req.kind().to_owned(),
             artifact: req.artifact().map(str::to_owned),
@@ -99,6 +138,7 @@ impl Response {
     #[must_use]
     pub fn protocol_error(error: String) -> Self {
         Response {
+            format_version: FORMAT_VERSION,
             ok: false,
             kind: "error".to_owned(),
             artifact: None,
@@ -121,7 +161,8 @@ impl Response {
     ///
     /// # Errors
     ///
-    /// Returns a message on malformed JSON or a shape mismatch.
+    /// Returns a message on malformed JSON, a shape mismatch, or an
+    /// envelope version this build does not speak.
     pub fn from_json_str(s: &str) -> Result<Self, String> {
         let value = serde_json::from_str(s).map_err(|e| format!("malformed response: {e}"))?;
         Self::from_json_value(&value)
@@ -131,8 +172,26 @@ impl Response {
     ///
     /// # Errors
     ///
-    /// Returns a message on a shape mismatch.
+    /// Returns a message on a shape mismatch or an envelope version this
+    /// build does not speak (including the missing `format_version` of a
+    /// pre-versioning daemon).
     pub fn from_json_value(value: &Value) -> Result<Self, String> {
+        let format_version = value
+            .get("format_version")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| {
+                format!(
+                    "response has no format_version key: the daemon speaks envelope \
+                     version 1, this client requires version {FORMAT_VERSION} — \
+                     restart the daemon from the same build as the client"
+                )
+            })?;
+        if format_version != FORMAT_VERSION {
+            return Err(format!(
+                "response format_version is {format_version} but this client speaks \
+                 {FORMAT_VERSION} — restart the daemon from the same build as the client"
+            ));
+        }
         let obj = |key: &str| -> Result<&Value, String> {
             value
                 .get(key)
@@ -176,8 +235,14 @@ impl Response {
                 .map_err(|e| e.to_string())?,
             measure_hits: count("measure_hits")?,
             measure_misses: count("measure_misses")?,
+            store_hits: count("store_hits")?,
+            store_misses: count("store_misses")?,
+            store_entries: count("store_entries")?,
+            store_bytes: count("store_bytes")?,
+            store_skipped_lines: count("store_skipped_lines")?,
         };
         Ok(Response {
+            format_version,
             ok,
             kind: string("kind")?,
             artifact: opt_string("artifact")?,
@@ -206,6 +271,11 @@ mod tests {
                 measure_entries: 2,
                 measure_hits: 3,
                 measure_misses: 4,
+                store_hits: 5,
+                store_misses: 6,
+                store_entries: 7,
+                store_bytes: 8,
+                store_skipped_lines: 9,
             },
         );
         let line = resp.to_json_line();
@@ -220,5 +290,29 @@ mod tests {
         let back = Response::from_json_str(&line).unwrap();
         assert!(!back.ok);
         assert_eq!(back.error.as_deref(), Some("bad line"));
+    }
+
+    #[test]
+    fn envelope_version_mismatches_are_rejected() {
+        let good = Response::protocol_error("x".to_owned()).to_json_line();
+
+        // A future daemon speaking a newer envelope.
+        let newer = good.replace(
+            &format!("\"format_version\":{FORMAT_VERSION}"),
+            &format!("\"format_version\":{}", FORMAT_VERSION + 1),
+        );
+        assert_ne!(newer, good, "the substitution must have happened");
+        let err = Response::from_json_str(&newer).unwrap_err();
+        assert!(err.contains("format_version"), "{err}");
+        assert!(
+            err.contains(&FORMAT_VERSION.to_string()),
+            "names the client's version: {err}"
+        );
+
+        // A pre-versioning daemon (no key at all).
+        let older = good.replace(&format!("\"format_version\":{FORMAT_VERSION},"), "");
+        assert_ne!(older, good);
+        let err = Response::from_json_str(&older).unwrap_err();
+        assert!(err.contains("version 1"), "{err}");
     }
 }

@@ -44,6 +44,12 @@ pub struct ServeOptions {
     /// artefacts under this directory (the same shared write path the
     /// CLI uses), logging the written files on stderr.
     pub results: Option<PathBuf>,
+    /// The daemon's default persistent measurement store (`--store`):
+    /// applied to every request that does not carry its own. The
+    /// engine must be built with the same default
+    /// ([`Engine::with_default_store`]); the CLI wires both from one
+    /// flag.
+    pub store: vliw_store::StoreConfig,
 }
 
 /// Runs the daemon until a `shutdown` request arrives. Blocks the
@@ -58,6 +64,9 @@ pub struct ServeOptions {
 pub fn serve(engine: &Engine, opts: &ServeOptions) -> io::Result<()> {
     let listener = bind(&opts.socket)?;
     eprintln!("[serve] listening on {}", opts.socket.display());
+    if let Some(dir) = &opts.store.dir {
+        eprintln!("[serve] measurement store at {}", dir.display());
+    }
     let shutdown = AtomicBool::new(false);
     let conns: Mutex<Vec<UnixStream>> = Mutex::new(Vec::new());
     std::thread::scope(|scope| {

@@ -10,7 +10,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use vliw_api::{
-    loadgen, Client, Engine, LoadgenOptions, Request, Response, RunParams, ServeOptions,
+    loadgen, Client, Engine, LoadgenOptions, Request, Response, RunParams, SearchParams,
+    ServeOptions, StoreConfig,
 };
 
 /// A unique socket path per test (tests in one binary run in parallel).
@@ -45,7 +46,7 @@ fn with_daemon<T>(
     body: impl FnOnce(&ServeOptions) -> T,
 ) -> T {
     let opts = opts_for(socket_path());
-    let engine = Arc::new(Engine::new(2));
+    let engine = Arc::new(Engine::new(2).with_default_store(opts.store.clone()));
     let server = {
         let engine = Arc::clone(&engine);
         let opts = opts.clone();
@@ -69,6 +70,7 @@ fn small() -> RunParams {
         loops: 2,
         buses: vliw_api::BusSel::One,
         seed: 0,
+        store: StoreConfig::none(),
     }
 }
 
@@ -78,6 +80,7 @@ fn request_response_and_batch_round_trip() {
         |socket| ServeOptions {
             socket,
             results: None,
+            store: StoreConfig::none(),
         },
         |opts| {
             let mut client = Client::connect(&opts.socket).expect("connect");
@@ -125,6 +128,7 @@ fn malformed_lines_get_error_responses_and_the_connection_survives() {
         |socket| ServeOptions {
             socket,
             results: None,
+            store: StoreConfig::none(),
         },
         |opts| {
             let mut raw = UnixStream::connect(&opts.socket).expect("connect");
@@ -162,6 +166,7 @@ fn daemon_persists_artifacts_when_given_a_results_dir() {
         |socket| ServeOptions {
             socket,
             results: Some(dir.clone()),
+            store: StoreConfig::none(),
         },
         |opts| {
             let mut client = Client::connect(&opts.socket).expect("connect");
@@ -182,6 +187,7 @@ fn loadgen_reports_latency_percentiles_and_throughput() {
         |socket| ServeOptions {
             socket,
             results: None,
+            store: StoreConfig::none(),
         },
         |opts| {
             let report = loadgen(
@@ -204,6 +210,55 @@ fn loadgen_reports_latency_percentiles_and_throughput() {
 }
 
 #[test]
+fn daemon_default_store_makes_a_second_daemon_warm() {
+    let dir = std::env::temp_dir().join(format!("vliw-api-daemon-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let req = Request::Search {
+        params: small(),
+        search: SearchParams {
+            budget: 8,
+            ..SearchParams::default()
+        },
+    };
+
+    let run_once = || {
+        with_daemon(
+            |socket| ServeOptions {
+                socket,
+                results: None,
+                store: StoreConfig::at(&dir),
+            },
+            |opts| {
+                let mut client = Client::connect(&opts.socket).expect("connect");
+                client.request(&req).expect("search")
+            },
+        )
+    };
+    let cold = run_once();
+    assert!(cold.ok, "cold daemon run failed: {:?}", cold.error);
+    assert!(cold.cache.measure_misses > 0, "the first daemon measured");
+    assert!(cold.cache.store_entries > 0, "and persisted to its store");
+
+    // A brand-new daemon process state (fresh engine) over the same
+    // store directory serves the identical request without a single
+    // re-measurement — the tentpole's warm-run guarantee, through the
+    // daemon transport.
+    let warm = run_once();
+    assert!(warm.ok, "warm daemon run failed: {:?}", warm.error);
+    assert_eq!(
+        warm.cache.measure_misses, 0,
+        "the second daemon re-scheduled nothing: {:?}",
+        warm.cache
+    );
+    assert!(warm.cache.store_hits > 0, "it was served from the store");
+    assert_eq!(warm.text, cold.text, "stdout rendering is byte-stable");
+    assert_eq!(warm.body, cold.body, "search.json is byte-stable");
+    assert_eq!(warm.meta, cold.meta, "the sidecar is byte-stable");
+
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
 fn stale_socket_files_are_recovered() {
     let socket = socket_path();
     // A crashed daemon leaves the socket file behind; a fresh bind must
@@ -214,6 +269,7 @@ fn stale_socket_files_are_recovered() {
     let opts = ServeOptions {
         socket: socket.clone(),
         results: None,
+        store: StoreConfig::none(),
     };
     let server = std::thread::spawn(move || vliw_api::serve(&engine, &opts));
     // `connect_ready` may race the recovery (hitting the stale file

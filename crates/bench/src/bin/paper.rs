@@ -4,16 +4,19 @@
 //!
 //! ```text
 //! Usage: paper [EXPERIMENT] [--experiment NAME] [--loops-per-benchmark N]
-//!              [--buses 1|2|both] [--jobs N] [--seed S]
+//!              [--buses 1|2|both] [--jobs N] [--seed S] [--store DIR]
 //!        paper search          [--strategy hillclimb|anneal|ga|exhaustive]
 //!                              [--budget N] [--space paper|extended]
-//!                              [--seed S] [--buses B] [--jobs N]
+//!                              [--seed S] [--buses B] [--jobs N] [--store DIR]
 //!        paper corpus dump     [--out FILE]  [--loops-per-benchmark N]
 //!        paper corpus schedule [--in FILE]   [--jobs N] [--loops-per-benchmark N]
 //!        paper corpus stats    [--in FILE]   [--loops-per-benchmark N]
-//!        paper serve   --socket PATH [--jobs N] [--results DIR]
+//!        paper store stats     --store DIR
+//!        paper store compact   --store DIR
+//!        paper serve   --socket PATH [--jobs N] [--results DIR] [--store DIR]
 //!        paper client  --socket PATH (EXPERIMENT | ping | shutdown |
-//!                                     corpus schedule|stats) [flags]
+//!                                     corpus schedule|stats |
+//!                                     store stats|compact) [flags]
 //!        paper loadgen --socket PATH [--clients N] [--requests M]
 //!                                    [EXPERIMENT] [flags]
 //!
@@ -41,6 +44,14 @@
 //! --space K   search space: `paper` (the 20-point §3.3 grid, first bus
 //!             of --buses) or `extended` (frequencies × speed split ×
 //!             explicit voltages × every bus of --buses; default paper)
+//! --store DIR persistent content-addressed measurement store: results
+//!             already in DIR are reused instead of re-scheduled, fresh
+//!             results are appended for the next run (default: none —
+//!             in-memory caches only). On `serve` it becomes the
+//!             daemon's default store for every request that does not
+//!             carry its own. `paper store stats|compact` inspect and
+//!             compact DIR (stdout stays byte-stable; all store
+//!             reporting goes to stderr)
 //! --out FILE  where `corpus dump` writes (default
 //!             target/paper-results/corpus.json)
 //! --in FILE   corpus file for `corpus schedule` / `corpus stats`; without
@@ -91,24 +102,26 @@ use std::time::Instant;
 use heterovliw_core::api::engine::{corpus_benchmarks, CorpusMeta};
 use heterovliw_core::api::{
     loadgen, persist_response, serve, write_atomic, BusSel, Client, Engine, LoadgenOptions,
-    Request, Response, RunParams, SearchParams, ServeOptions,
+    Request, Response, RunParams, SearchParams, ServeOptions, StoreConfig,
 };
 use vliw_bench::{dump_json, results_dir};
 
-#[derive(Clone, Copy)]
+#[derive(Clone)]
 struct Args {
     loops: usize,
     buses: BusSel,
     jobs: usize,
     seed: u64,
+    store: StoreConfig,
 }
 
 impl Args {
-    fn params(self) -> RunParams {
+    fn params(&self) -> RunParams {
         RunParams {
             loops: self.loops,
             buses: self.buses,
             seed: self.seed,
+            store: self.store.clone(),
         }
     }
 }
@@ -127,6 +140,7 @@ fn main() -> ExitCode {
         buses: BusSel::Both,
         jobs: 0,
         seed: 0,
+        store: StoreConfig::none(),
     };
     let mut search_args = SearchParams::default();
     let mut search_flag_seen = false;
@@ -148,6 +162,10 @@ fn main() -> ExitCode {
             "--seed" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(s) => args.seed = s,
                 None => return usage("--seed needs a non-negative integer (default 0)"),
+            },
+            "--store" => match it.next() {
+                Some(p) => args.store = StoreConfig::at(PathBuf::from(p)),
+                None => return usage("--store needs a directory path"),
             },
             "--strategy" => match it.next().map(|v| v.parse()) {
                 Some(Ok(s)) => {
@@ -237,8 +255,15 @@ fn main() -> ExitCode {
             let Some(socket) = socket else {
                 return usage("serve needs --socket PATH");
             };
-            let engine = Engine::new(args.jobs);
-            let opts = ServeOptions { socket, results };
+            // --store wires both halves from the one flag: the engine's
+            // default store (applied to requests without their own) and
+            // the serve options (which log it on startup).
+            let engine = Engine::new(args.jobs).with_default_store(args.store.clone());
+            let opts = ServeOptions {
+                socket,
+                results,
+                store: args.store,
+            };
             finish(serve(&engine, &opts).map_err(Into::into))
         }
         Some("client") => {
@@ -247,7 +272,7 @@ fn main() -> ExitCode {
             };
             let req = match build_request(
                 &positionals[1..],
-                args,
+                &args,
                 search_args,
                 search_flag_seen,
                 input,
@@ -266,7 +291,7 @@ fn main() -> ExitCode {
             let request = if positionals.len() > 1 {
                 match build_request(
                     &positionals[1..],
-                    args,
+                    &args,
                     search_args,
                     search_flag_seen,
                     input,
@@ -308,7 +333,7 @@ fn main() -> ExitCode {
                 return usage("--out is only used by corpus dump");
             }
             let result = match action {
-                Some("dump") => timed("corpus dump", || corpus_dump(args, out.as_deref())),
+                Some("dump") => timed("corpus dump", || corpus_dump(&args, out.as_deref())),
                 Some("schedule") => run_local(
                     &Engine::new(args.jobs),
                     &Request::CorpusSchedule {
@@ -327,6 +352,33 @@ fn main() -> ExitCode {
                 None => return usage("corpus needs an action: dump | schedule | stats"),
             };
             finish(result)
+        }
+        Some("store") => {
+            // `paper store <action>` administers a measurement store
+            // directory; it is a subcommand family like `corpus`, not
+            // an experiment.
+            if experiment_flag.is_some() {
+                return usage("--experiment cannot be combined with the store subcommand");
+            }
+            if search_flag_seen {
+                return usage("--strategy/--budget/--space only apply to the search experiment");
+            }
+            if input.is_some() || out.is_some() {
+                return usage("--in/--out only apply to the corpus subcommand");
+            }
+            if positionals.len() > 2 {
+                return usage(&format!("unexpected argument {}", positionals[2]));
+            }
+            if !args.store.is_enabled() {
+                return usage("the store subcommand needs --store DIR");
+            }
+            let req = match positionals.get(1).map(String::as_str) {
+                Some("stats") => Request::StoreStats { store: args.store },
+                Some("compact") => Request::StoreCompact { store: args.store },
+                Some(other) => return usage(&format!("unknown store action {other}")),
+                None => return usage("store needs an action: stats | compact"),
+            };
+            finish(run_local(&Engine::new(args.jobs), &req))
         }
         _ => {
             if positionals.len() > 1 {
@@ -351,14 +403,14 @@ fn main() -> ExitCode {
                 let p = args.params();
                 vec![
                     Request::Table1,
-                    Request::Table2(p),
-                    Request::Figure6(p),
-                    Request::Figure7(p),
-                    Request::Figure8(p),
+                    Request::Table2(p.clone()),
+                    Request::Figure6(p.clone()),
+                    Request::Figure7(p.clone()),
+                    Request::Figure8(p.clone()),
                     Request::Figure9(p),
                 ]
             } else {
-                match experiment_request(&experiment, args, search_args) {
+                match experiment_request(&experiment, &args, search_args) {
                     Ok(req) => vec![req],
                     Err(msg) => return usage(&msg),
                 }
@@ -378,9 +430,15 @@ fn main() -> ExitCode {
 /// Maps an experiment name (and the global/search flags) to its request.
 fn experiment_request(
     name: &str,
-    args: Args,
+    args: &Args,
     search_args: SearchParams,
 ) -> Result<Request, String> {
+    // table1 measures nothing, so a --store would be a silent no-op —
+    // the CLI treats inapplicable flags as errors, like the request
+    // builder does on the wire.
+    if name == "table1" && args.store.is_enabled() {
+        return Err("--store does not apply to table1 (it measures nothing)".to_owned());
+    }
     let p = args.params();
     match name {
         "table1" => Ok(Request::Table1),
@@ -404,7 +462,7 @@ fn experiment_request(
 /// (everything after the subcommand name).
 fn build_request(
     tail: &[String],
-    args: Args,
+    args: &Args,
     search_args: SearchParams,
     search_flag_seen: bool,
     input: Option<PathBuf>,
@@ -415,7 +473,8 @@ fn build_request(
         return Err("--out is only used by corpus dump".to_owned());
     }
     let name = tail.first().map(String::as_str).ok_or(
-        "a request kind is needed: an experiment, ping, shutdown, or corpus schedule|stats",
+        "a request kind is needed: an experiment, ping, shutdown, corpus schedule|stats, \
+         or store stats|compact",
     )?;
     if search_flag_seen && name != "search" {
         return Err("--strategy/--budget/--space only apply to the search experiment".to_owned());
@@ -423,12 +482,29 @@ fn build_request(
     if input.is_some() && name != "corpus" {
         return Err("--in/--out only apply to the corpus subcommand".to_owned());
     }
+    if args.store.is_enabled() && matches!(name, "ping" | "shutdown") {
+        return Err(format!("--store does not apply to {name}"));
+    }
     match name {
         "ping" | "shutdown" if !allow_control => {
             Err(format!("loadgen cannot repeat {name}; pick an experiment"))
         }
         "ping" => ok_sole(tail, Request::Ping),
         "shutdown" => ok_sole(tail, Request::Shutdown),
+        "store" => {
+            if tail.len() > 2 {
+                return Err(format!("unexpected argument {}", tail[2]));
+            }
+            // Unlike the local subcommand, a client may omit --store:
+            // the daemon then administers its own default store.
+            let store = args.store.clone();
+            match tail.get(1).map(String::as_str) {
+                Some("stats") => Ok(Request::StoreStats { store }),
+                Some("compact") => Ok(Request::StoreCompact { store }),
+                Some(other) => Err(format!("unknown store action {other}")),
+                None => Err("store needs an action: stats | compact".to_owned()),
+            }
+        }
         "corpus" => {
             if tail.len() > 2 {
                 return Err(format!("unexpected argument {}", tail[2]));
@@ -489,6 +565,8 @@ fn timed_label(req: &Request) -> &'static str {
     match req {
         Request::CorpusSchedule { .. } => "corpus schedule",
         Request::CorpusStats { .. } => "corpus stats",
+        Request::StoreStats { .. } => "store stats",
+        Request::StoreCompact { .. } => "store compact",
         _ => req.kind(),
     }
 }
@@ -551,13 +629,16 @@ fn usage(msg: &str) -> ExitCode {
     eprintln!(
         "usage: paper [table1|table2|figure6|figure7|figure8|figure9|schedbench|familysweep|\
          search|searchbench|all] \
-         [--experiment NAME] [--loops-per-benchmark N] [--buses 1|2|both] [--jobs N] [--seed S]\n\
+         [--experiment NAME] [--loops-per-benchmark N] [--buses 1|2|both] [--jobs N] [--seed S] \
+         [--store DIR]\n\
          \x20      paper search [--strategy hillclimb|anneal|ga|exhaustive] [--budget N] \
-         [--space paper|extended] [--seed S]\n\
+         [--space paper|extended] [--seed S] [--store DIR]\n\
          \x20      paper corpus dump [--out FILE] | corpus schedule [--in FILE] | \
          corpus stats [--in FILE]\n\
-         \x20      paper serve --socket PATH [--jobs N] [--results DIR]\n\
-         \x20      paper client --socket PATH (EXPERIMENT | ping | shutdown | corpus ACTION)\n\
+         \x20      paper store stats --store DIR | store compact --store DIR\n\
+         \x20      paper serve --socket PATH [--jobs N] [--results DIR] [--store DIR]\n\
+         \x20      paper client --socket PATH (EXPERIMENT | ping | shutdown | corpus ACTION | \
+         store ACTION)\n\
          \x20      paper loadgen --socket PATH [--clients N] [--requests M] [EXPERIMENT]"
     );
     if msg.is_empty() {
@@ -574,7 +655,7 @@ type AnyError = Box<dyn std::error::Error>;
 /// with a `.meta.json` sidecar next to it. This is the one subcommand
 /// that stays CLI-side — it exists to produce local files, which a
 /// daemon response cannot do for a remote caller.
-fn corpus_dump(args: Args, out: Option<&Path>) -> Result<(), AnyError> {
+fn corpus_dump(args: &Args, out: Option<&Path>) -> Result<(), AnyError> {
     use heterovliw_core::workloads::Corpus;
 
     let corpus = Corpus::from_benchmarks(corpus_benchmarks(args.loops, args.seed));

@@ -9,7 +9,7 @@ use std::path::PathBuf;
 use std::process::{Child, Command, Output, Stdio};
 use std::time::{Duration, Instant};
 
-use vliw_api::{BusSel, Request, Response, RunParams};
+use vliw_api::{BusSel, Request, Response, RunParams, StoreConfig};
 
 fn paper(args: &[&str]) -> Output {
     Command::new(env!("CARGO_BIN_EXE_paper"))
@@ -112,6 +112,7 @@ fn cli_and_daemon_agree_byte_for_byte_across_job_counts() {
         loops: 2,
         buses: BusSel::One,
         seed: 0,
+        store: StoreConfig::none(),
     });
     let mut bodies = Vec::new();
     for jobs in ["1", "4"] {
@@ -207,6 +208,7 @@ fn warm_daemon_requests_do_no_new_measurements() {
         loops: 2,
         buses: BusSel::One,
         seed: 0,
+        store: StoreConfig::none(),
     });
     let daemon = Daemon::start("warm", "2");
     let cold = daemon.raw_request(&figure9);

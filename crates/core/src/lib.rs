@@ -11,6 +11,7 @@
 //! * [`search`] — metaheuristic design-space optimizers and the Pareto
 //!   archive,
 //! * [`sim`] — schedule validation, execution and profiling,
+//! * [`store`] — the persistent content-addressed measurement store,
 //! * [`workloads`] — the synthetic SPECfp2000 loop suites,
 //! * [`explore`] — §3.2/§3.3 estimation, configuration selection, the
 //!   paper's experiment runners, and the measured design-space search
@@ -50,6 +51,7 @@ pub use vliw_power as power;
 pub use vliw_sched as sched;
 pub use vliw_search as search;
 pub use vliw_sim as sim;
+pub use vliw_store as store;
 pub use vliw_workloads as workloads;
 
 use vliw_exec::Executor;

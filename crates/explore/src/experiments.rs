@@ -13,17 +13,25 @@
 //!    heterogeneous modulo scheduler (§4) and *measure* ED²;
 //! 6. report `ED²(hetero, measured) / ED²(homogeneous optimum)`.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
 use serde::Serialize;
 
 use vliw_exec::{Executor, MemoCache};
 use vliw_machine::{ClockedConfig, FrequencyMenu, MachineDesign, MenuKind, Time};
 use vliw_power::{EnergyShares, PowerModel, UsageProfile};
 use vliw_sched::{schedule_loop_ws, SchedError, SchedWorkspace, ScheduleOptions};
+use vliw_store::{MeasureStore, StoreKey};
 use vliw_workloads::{classify, Benchmark, LoopClass};
 
 use crate::homog::{optimum_homogeneous_suite_with, HomogChoice};
 use crate::profile::{profile_benchmark_ws, suite_reference, BenchmarkProfile};
 use crate::select::select_heterogeneous_with;
+use crate::store_keys::{
+    benchmark_content_hash, config_fingerprint, profile_to_record, record_to_profile,
+    record_to_usage, usage_to_record,
+};
 
 /// Options shared by all experiment runners.
 #[derive(Debug, Clone)]
@@ -133,6 +141,16 @@ pub struct ProfiledSuite {
     /// on this suite (the key embeds the power model and scheduler
     /// options, so cross-variant reuse is sound).
     cache: MeasureCache,
+    /// The persistent store behind the memo cache, when attached
+    /// ([`profile_suite_stored`]). Checked only on memo misses.
+    store: Option<Arc<MeasureStore>>,
+    /// Per-benchmark structural content hashes (the first half of every
+    /// store key), computed once at profiling time.
+    content: Vec<u64>,
+    /// Memo misses that were answered by the disk store instead of an
+    /// actual measurement. `cache.misses() − disk_hits` is the number of
+    /// configurations this process truly re-scheduled.
+    disk_hits: AtomicU64,
 }
 
 impl ProfiledSuite {
@@ -140,6 +158,64 @@ impl ProfiledSuite {
     #[must_use]
     pub fn cache(&self) -> &MeasureCache {
         &self.cache
+    }
+
+    /// The attached persistent store, if any.
+    #[must_use]
+    pub fn store(&self) -> Option<&Arc<MeasureStore>> {
+        self.store.as_ref()
+    }
+
+    /// Memo misses served from the disk store (no scheduling happened).
+    #[must_use]
+    pub fn disk_hits(&self) -> u64 {
+        self.disk_hits.load(Ordering::Relaxed)
+    }
+
+    /// Measures benchmark `index` on `config`, memoised in this suite's
+    /// cache and — on memo misses — in the attached persistent store.
+    /// The expensive path (re-scheduling every loop) only runs when both
+    /// layers miss; the freshly measured profile is then persisted.
+    ///
+    /// Results are identical with and without a store: stored records
+    /// round-trip bit-exactly and measurements are deterministic.
+    ///
+    /// # Errors
+    ///
+    /// Propagates heterogeneous scheduling failures (memoised, but never
+    /// persisted — errors are cheap to reproduce and builds may fix
+    /// them).
+    pub fn measure_memoised(
+        &self,
+        index: usize,
+        config: &ClockedConfig,
+        power: &PowerModel,
+        sched_opts: &ScheduleOptions,
+        exec: &Executor,
+    ) -> Result<UsageProfile, SchedError> {
+        let bench = &self.benches[index];
+        let profile = &self.profiles[index];
+        let key = MeasureKey::new(bench, config, power, sched_opts);
+        self.cache.get_or_compute(key, || {
+            let skey = self.store.as_ref().map(|_| StoreKey {
+                content: self.content[index],
+                config: config_fingerprint(config, Some(power), sched_opts),
+            });
+            if let (Some(store), Some(skey)) = (&self.store, skey) {
+                if let Some(rec) = store.get_measure(skey) {
+                    self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(record_to_usage(&rec));
+                }
+            }
+            let usage =
+                measure_usage(bench, profile, config, power, sched_opts, self.design, exec)?;
+            if let (Some(store), Some(skey)) = (&self.store, skey) {
+                if let Err(e) = store.put_measure(skey, usage_to_record(&usage)) {
+                    eprintln!("[store] warning: failed to persist measurement: {e}");
+                }
+            }
+            Ok(usage)
+        })
     }
 }
 
@@ -172,15 +248,78 @@ pub fn profile_suite_with(
     sched: &ScheduleOptions,
     exec: &Executor,
 ) -> Result<ProfiledSuite, SchedError> {
+    profile_suite_stored(suite, buses, sched, exec, None)
+}
+
+/// [`profile_suite_with`] backed by a persistent store: reference
+/// profiles already on disk are loaded instead of re-scheduled, fresh
+/// ones are persisted, and the resulting suite keeps the store attached
+/// so [`ProfiledSuite::measure_memoised`] checks it on every memo miss.
+///
+/// Profile records are keyed by (benchmark content hash, fingerprint of
+/// the reference configuration + scheduler options); the power model is
+/// not part of the profile key because profiling precedes calibration
+/// and does not depend on it.
+///
+/// # Errors
+///
+/// Propagates scheduling failures from the reference runs (the
+/// lowest-indexed failing benchmark, matching the serial path). Store
+/// *write* failures are downgraded to warnings — persistence is an
+/// optimisation, never a correctness requirement.
+pub fn profile_suite_stored(
+    suite: &[Benchmark],
+    buses: u32,
+    sched: &ScheduleOptions,
+    exec: &Executor,
+    store: Option<Arc<MeasureStore>>,
+) -> Result<ProfiledSuite, SchedError> {
     let design = MachineDesign::paper_machine(buses);
-    let profiles = exec.try_map_init(suite, SchedWorkspace::new, |ws, _, bench| {
+    let content: Vec<u64> = suite.iter().map(benchmark_content_hash).collect();
+    let profile_keys: Option<Vec<StoreKey>> = store.as_ref().map(|_| {
+        let reference = ClockedConfig::reference(design);
+        let config = config_fingerprint(&reference, None, sched);
+        content
+            .iter()
+            .map(|&c| StoreKey { content: c, config })
+            .collect()
+    });
+
+    // Resolve from disk first, then schedule only the missing ones (in
+    // parallel, preserving suite order and the serial error order).
+    let mut profiles: Vec<Option<BenchmarkProfile>> = match (&store, &profile_keys) {
+        (Some(store), Some(keys)) => keys
+            .iter()
+            .map(|&k| store.get_profile(k).map(|r| record_to_profile(&r)))
+            .collect(),
+        _ => vec![None; suite.len()],
+    };
+    let missing: Vec<usize> = (0..suite.len())
+        .filter(|&i| profiles[i].is_none())
+        .collect();
+    let jobs: Vec<&Benchmark> = missing.iter().map(|&i| &suite[i]).collect();
+    let fresh = exec.try_map_init(&jobs, SchedWorkspace::new, |ws, _, bench| {
         profile_benchmark_ws(bench, design, sched, ws)
     })?;
+    for (&i, profile) in missing.iter().zip(fresh) {
+        if let (Some(store), Some(keys)) = (&store, &profile_keys) {
+            if let Err(e) = store.put_profile(keys[i], profile_to_record(&profile)) {
+                eprintln!("[store] warning: failed to persist profile: {e}");
+            }
+        }
+        profiles[i] = Some(profile);
+    }
     Ok(ProfiledSuite {
         design,
-        profiles,
+        profiles: profiles
+            .into_iter()
+            .map(|p| p.expect("all filled"))
+            .collect(),
         benches: suite.to_vec(),
         cache: MeasureCache::new(),
+        store,
+        content,
+        disk_hits: AtomicU64::new(0),
     })
 }
 
@@ -241,11 +380,13 @@ pub fn run_benchmark(
 
 /// [`run_benchmark`] with the §3.3 candidate sweep and the per-loop
 /// measurement fanned out across `exec`'s worker pool, and the measured
-/// usage optionally memoised in `cache`.
+/// usage optionally memoised through `suite` (the suite's in-memory
+/// cache plus, when attached, its persistent store); `suite` is the
+/// profiled suite and this benchmark's index in it.
 ///
-/// The result is identical for every worker count and with or without the
-/// cache: candidates are reduced in grid order and per-loop contributions
-/// are folded in loop order.
+/// The result is identical for every worker count and with or without
+/// the memo layers: candidates are reduced in grid order and per-loop
+/// contributions are folded in loop order.
 ///
 /// # Errors
 ///
@@ -259,7 +400,7 @@ pub fn run_benchmark_with(
     power: &PowerModel,
     opts: &ExperimentOptions,
     exec: &Executor,
-    cache: Option<&MeasureCache>,
+    suite: Option<(&ProfiledSuite, usize)>,
 ) -> Result<BenchmarkResult, SchedError> {
     let het = select_heterogeneous_with(profile, design, power, &opts.menu, exec)
         .expect("the selection space contains feasible points");
@@ -297,21 +438,10 @@ pub fn run_benchmark_with(
     // loop (memoised when a cache is supplied).
     let mut sched_opts = opts.sched.clone();
     sched_opts.menu = opts.menu.clone();
-    let usage = match cache {
-        Some(cache) => cache.get_or_compute(
-            MeasureKey::new(bench, &het.config, power, &sched_opts),
-            || {
-                measure_usage(
-                    bench,
-                    profile,
-                    &het.config,
-                    power,
-                    &sched_opts,
-                    design,
-                    exec,
-                )
-            },
-        )?,
+    let usage = match suite {
+        Some((suite, index)) => {
+            suite.measure_memoised(index, &het.config, power, &sched_opts, exec)?
+        }
         None => measure_usage(
             bench,
             profile,
@@ -426,16 +556,17 @@ pub fn figure6_with(
     );
     let baseline =
         optimum_homogeneous_suite_with(&profiled.profiles, profiled.design, &power, exec);
-    let jobs: Vec<(&Benchmark, &BenchmarkProfile, &HomogChoice)> = profiled
+    let jobs: Vec<(usize, &Benchmark, &BenchmarkProfile, &HomogChoice)> = profiled
         .benches
         .iter()
         .zip(&profiled.profiles)
         .zip(&baseline.per_benchmark)
-        .map(|((bench, profile), hom)| (bench, profile, hom))
+        .enumerate()
+        .map(|(i, ((bench, profile), hom))| (i, bench, profile, hom))
         .collect();
     // One worker per benchmark; the per-candidate/per-loop fan-out inside
     // run_benchmark_with stays serial to avoid oversubscribing the pool.
-    exec.try_map(&jobs, |_, &(bench, profile, hom)| {
+    exec.try_map(&jobs, |_, &(i, bench, profile, hom)| {
         run_benchmark_with(
             bench,
             profile,
@@ -444,7 +575,7 @@ pub fn figure6_with(
             &power,
             opts,
             &Executor::serial(),
-            Some(&profiled.cache),
+            Some((profiled, i)),
         )
     })
 }
@@ -883,6 +1014,61 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// A second process (simulated by a fresh suite over the same store
+    /// directory) performs zero measurements and zero reference
+    /// profiling runs: everything comes from disk, and the rows are
+    /// byte-identical.
+    #[test]
+    fn warm_store_eliminates_measurements_and_preserves_bytes() {
+        let dir =
+            std::env::temp_dir().join(format!("vliw-explore-warm-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let suite = small_suite();
+        let opts = ExperimentOptions::default();
+
+        let cold_store = Arc::new(MeasureStore::open(&dir).unwrap());
+        let cold = profile_suite_stored(
+            &suite,
+            1,
+            &opts.sched,
+            &Executor::serial(),
+            Some(cold_store),
+        )
+        .unwrap();
+        let first = figure6(&cold, &opts).unwrap();
+        let cold_measured = cold.cache().misses() - cold.disk_hits();
+        assert!(cold_measured > 0, "the cold run must actually measure");
+        drop(cold); // close the writer log
+
+        let warm_store = Arc::new(MeasureStore::open(&dir).unwrap());
+        let warm = profile_suite_stored(
+            &suite,
+            1,
+            &opts.sched,
+            &Executor::serial(),
+            Some(warm_store.clone()),
+        )
+        .unwrap();
+        assert_eq!(
+            warm_store.stats().unwrap().misses,
+            0,
+            "profiles must come from disk on the warm run"
+        );
+        let second = figure6(&warm, &opts).unwrap();
+        assert_eq!(
+            warm.cache().misses() - warm.disk_hits(),
+            0,
+            "the warm run must not measure anything"
+        );
+        assert_eq!(
+            serde_json::to_string(&first).unwrap(),
+            serde_json::to_string(&second).unwrap(),
+            "store hits must reproduce the rows byte for byte"
+        );
+        drop(warm);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     /// Repeating a sweep on the same profiled suite hits the measurement

@@ -30,6 +30,7 @@ mod homog;
 mod profile;
 pub mod search;
 mod select;
+pub mod store_keys;
 
 pub use estimate::{estimate_loop_it, estimate_program, estimate_usage, price_usage, HetEstimate};
 pub use homog::{
@@ -42,6 +43,7 @@ pub use profile::{
 };
 pub use search::{run_search, ConfigSpace, SearchContext, SearchReport, SpaceKind};
 pub use select::{candidate_grid, select_heterogeneous, select_heterogeneous_with, HeteroChoice};
+pub use store_keys::{benchmark_content_hash, config_fingerprint};
 
 // Everything the parallel experiment runners share across worker threads.
 const fn _assert_send_sync<T: Send + Sync>() {}

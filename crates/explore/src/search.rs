@@ -37,7 +37,7 @@ use vliw_power::{PowerModel, UsageProfile};
 use vliw_search::{ArchiveEntry, GridSpace, Objectives, SearchSpace, Strategy};
 
 use crate::estimate::estimate_usage;
-use crate::experiments::{measure_usage, ExperimentOptions, MeasureKey, ProfiledSuite};
+use crate::experiments::{ExperimentOptions, ProfiledSuite};
 use crate::homog::optimise_voltages_grouped;
 use crate::profile::{reference_usage_scaled, suite_reference};
 use crate::select::{FAST_FACTORS, SLOW_RATIOS};
@@ -416,26 +416,14 @@ impl<'a> SearchContext<'a> {
         let mut total_time_ns = 0.0f64;
         let mut total_energy = 0.0f64;
         let mut total_ed2 = 0.0f64;
-        for (bench, profile) in bus.suite.benches.iter().zip(&bus.suite.profiles) {
+        for (i, profile) in bus.suite.profiles.iter().enumerate() {
             let usage = if config.is_homogeneous() {
                 let factor =
                     config.fastest_cluster_cycle().as_ns() / ClockedConfig::REFERENCE_CYCLE.as_ns();
                 reference_usage_scaled(profile, design.num_clusters, factor)
             } else {
-                let key = MeasureKey::new(bench, config, &bus.power, &self.opts.sched);
                 bus.suite
-                    .cache()
-                    .get_or_compute(key, || {
-                        measure_usage(
-                            bench,
-                            profile,
-                            config,
-                            &bus.power,
-                            &self.opts.sched,
-                            design,
-                            exec,
-                        )
-                    })
+                    .measure_memoised(i, config, &bus.power, &self.opts.sched, exec)
                     .ok()?
             };
             let energy = bus.power.estimate_energy(config, &usage)?;

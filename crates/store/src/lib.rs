@@ -1,0 +1,76 @@
+//! Persistent content-addressed measurement store.
+//!
+//! Measuring one machine configuration against one benchmark is
+//! deterministic and expensive (a full modulo-scheduling pass per
+//! loop), which makes every measurement worth keeping. This crate
+//! stores them on disk, keyed by *what* was measured rather than *when*
+//! or *by whom*:
+//!
+//! ```text
+//! (content hash of the benchmark's loop DDGs, machine-config fingerprint)
+//!     → usage profile  /  reference profile
+//! ```
+//!
+//! Both key halves are [`StableHasher`] digests (FNV-1a 64 with fixed
+//! byte encodings), so a key computed today on one machine equals the
+//! key computed next year on another — the property that makes
+//! cross-process and cross-machine result sharing sound.
+//!
+//! The disk format is an append-only newline-JSON log per writing
+//! process ([`MeasureStore`]), merged deterministically on read and
+//! compacted explicitly ([`MeasureStore::compact`]). Loading is strict:
+//! every complete line either parses exactly or fails with a JSON-path
+//! error, the same discipline as the corpus loader in `vliw-ir`.
+//!
+//! This crate is domain-blind on purpose: records hold plain numbers
+//! (femtosecond times, weighted instruction counts), and the mapping
+//! from scheduler/power-model types to keys and records lives in
+//! `vliw-explore`, keeping the dependency arrow pointing one way.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hash;
+mod log;
+mod record;
+
+pub use hash::StableHasher;
+pub use log::{CompactReport, MeasureStore, StoreError, StoreStats, LOG_HEADER};
+pub use record::{LoopProfileRecord, MeasureRecord, ProfileRecord, Record, StoreKey};
+
+use std::path::PathBuf;
+
+/// Where (and whether) to persist measurements — the store dimension a
+/// request carries.
+///
+/// `StoreConfig` is plain data so it can ride in a `Request` over the
+/// wire: the daemon opens the named directory itself. An unset config
+/// (`StoreConfig::none()`) means in-memory caching only, the
+/// pre-store behaviour.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct StoreConfig {
+    /// Store directory, or `None` for no persistence.
+    pub dir: Option<PathBuf>,
+}
+
+impl StoreConfig {
+    /// No persistence (in-memory caches only).
+    #[must_use]
+    pub fn none() -> Self {
+        StoreConfig { dir: None }
+    }
+
+    /// Persist under `dir` (created on first use).
+    #[must_use]
+    pub fn at(dir: impl Into<PathBuf>) -> Self {
+        StoreConfig {
+            dir: Some(dir.into()),
+        }
+    }
+
+    /// Whether persistence is enabled.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.dir.is_some()
+    }
+}

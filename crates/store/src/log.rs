@@ -1,0 +1,875 @@
+//! The on-disk store: append-only JSONL logs under one directory,
+//! merged deterministically on read, compacted explicitly.
+//!
+//! # Layout
+//!
+//! ```text
+//! store/
+//!   compact.jsonl           # optional: the last compaction's merge
+//!   writer-4221-0.jsonl     # one log per writing process instance
+//!   writer-4221-0.jsonl.lock
+//! ```
+//!
+//! Every log starts with the header line
+//! `{"format":"heterovliw-store","version":1}` followed by one
+//! [`Record`] per line. A process never appends to a log it did not
+//! create: each [`MeasureStore`] opens its own `writer-<pid>-<n>.jsonl`
+//! (guarded by a lock file holding the pid) on first write, so
+//! concurrent processes cannot interleave bytes. Readers merge all
+//! `*.jsonl` logs in sorted filename order; duplicate keys must carry
+//! identical payloads (measurements are deterministic), and a
+//! same-key-different-value pair is a hard [`StoreError::Conflict`].
+//!
+//! # Corruption policy
+//!
+//! A final line with no trailing newline is the signature of a writer
+//! killed mid-append: it is skipped and counted
+//! ([`StoreStats::skipped_lines`]). Every other malformed line is a
+//! hard [`StoreError::Corrupt`] naming the file, line and JSON path —
+//! silent data loss is never an option for lines the format says are
+//! complete.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use vliw_ir::SerialError;
+
+use crate::record::{MeasureRecord, ProfileRecord, Record, StoreKey};
+
+/// The header line opening every store log.
+pub const LOG_HEADER: &str = "{\"format\":\"heterovliw-store\",\"version\":1}";
+
+/// Distinguishes writer instances within one process, so a store opened
+/// twice (or two stores on different directories) never fight over one
+/// lock name.
+static INSTANCE: AtomicU64 = AtomicU64::new(0);
+
+/// Errors from opening, reading or writing a store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An I/O operation failed; `path` names the file or directory.
+    Io {
+        /// The file or directory the operation touched.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// A complete log line is malformed; the path names file, line and
+    /// JSON field.
+    Corrupt(SerialError),
+    /// Two logs carry the same key with different payloads.
+    Conflict {
+        /// The contested content address.
+        key: StoreKey,
+        /// `<file>#<line>` of the losing record.
+        path: String,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { path, source } => {
+                write!(f, "store i/o error at {}: {}", path.display(), source)
+            }
+            StoreError::Corrupt(err) => write!(f, "corrupt store log {err}"),
+            StoreError::Conflict { key, path } => write!(
+                f,
+                "store conflict at {path}: key {key} already stored with a different value \
+                 (measurements are deterministic; this store mixes incompatible builds)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            StoreError::Corrupt(err) => Some(err),
+            StoreError::Conflict { .. } => None,
+        }
+    }
+}
+
+impl From<SerialError> for StoreError {
+    fn from(err: SerialError) -> Self {
+        StoreError::Corrupt(err)
+    }
+}
+
+fn io_err(path: &Path, source: std::io::Error) -> StoreError {
+    StoreError::Io {
+        path: path.to_path_buf(),
+        source,
+    }
+}
+
+/// Counters describing one open store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Stored usage measurements.
+    pub measure_records: usize,
+    /// Stored reference profiles.
+    pub profile_records: usize,
+    /// Lookups answered from the store since open.
+    pub hits: u64,
+    /// Lookups that found nothing since open.
+    pub misses: u64,
+    /// Truncated trailing lines skipped while loading.
+    pub skipped_lines: u64,
+    /// Log files currently on disk.
+    pub log_files: usize,
+    /// Total bytes of log files on disk.
+    pub bytes: u64,
+}
+
+impl StoreStats {
+    /// Total records of both kinds.
+    #[must_use]
+    pub fn entries(&self) -> usize {
+        self.measure_records + self.profile_records
+    }
+}
+
+/// What a [`MeasureStore::compact`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactReport {
+    /// Records written to the compacted log.
+    pub records: usize,
+    /// Logs merged and removed.
+    pub merged_logs: usize,
+    /// Logs left in place because a live foreign writer holds them.
+    pub skipped_live_logs: usize,
+    /// Size of the compacted log in bytes.
+    pub bytes: u64,
+}
+
+struct Writer {
+    file: fs::File,
+    log_path: PathBuf,
+    lock_path: PathBuf,
+}
+
+impl Drop for Writer {
+    fn drop(&mut self) {
+        // The log outlives the writer; only the liveness marker goes.
+        let _ = fs::remove_file(&self.lock_path);
+    }
+}
+
+#[derive(Default)]
+struct Maps {
+    measures: HashMap<StoreKey, MeasureRecord>,
+    profiles: HashMap<StoreKey, ProfileRecord>,
+}
+
+impl Maps {
+    fn insert(&mut self, record: Record, path: &str) -> Result<bool, StoreError> {
+        match record {
+            Record::Measure { key, value } => match self.measures.get(&key) {
+                None => {
+                    self.measures.insert(key, value);
+                    Ok(true)
+                }
+                Some(existing) if *existing == value => Ok(false),
+                Some(_) => Err(StoreError::Conflict {
+                    key,
+                    path: path.to_owned(),
+                }),
+            },
+            Record::Profile { key, value } => match self.profiles.get(&key) {
+                None => {
+                    self.profiles.insert(key, value);
+                    Ok(true)
+                }
+                Some(existing) if *existing == value => Ok(false),
+                Some(_) => Err(StoreError::Conflict {
+                    key,
+                    path: path.to_owned(),
+                }),
+            },
+        }
+    }
+}
+
+struct Inner {
+    maps: Maps,
+    writer: Option<Writer>,
+}
+
+/// A persistent content-addressed measurement store over one directory.
+///
+/// Cheap to share behind an `Arc`: lookups and appends take `&self`.
+pub struct MeasureStore {
+    dir: PathBuf,
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    skipped_lines: AtomicU64,
+}
+
+impl fmt::Debug for MeasureStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MeasureStore")
+            .field("dir", &self.dir)
+            .finish_non_exhaustive()
+    }
+}
+
+impl MeasureStore {
+    /// Opens (creating if needed) the store at `dir`, merging every log
+    /// already present.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on filesystem trouble, [`StoreError::Corrupt`]
+    /// on any malformed complete log line, [`StoreError::Conflict`] if
+    /// two logs disagree about one key.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, StoreError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|e| io_err(&dir, e))?;
+        let mut maps = Maps::default();
+        let mut skipped = 0;
+        for path in log_paths(&dir)? {
+            skipped += load_log(&path, &mut maps)?;
+        }
+        Ok(MeasureStore {
+            dir,
+            inner: Mutex::new(Inner { maps, writer: None }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            skipped_lines: AtomicU64::new(skipped),
+        })
+    }
+
+    /// The store directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Looks up a stored measurement.
+    pub fn get_measure(&self, key: StoreKey) -> Option<MeasureRecord> {
+        let found = self.inner.lock().unwrap().maps.measures.get(&key).cloned();
+        self.count(found.is_some());
+        found
+    }
+
+    /// Looks up a stored reference profile.
+    pub fn get_profile(&self, key: StoreKey) -> Option<ProfileRecord> {
+        let found = self.inner.lock().unwrap().maps.profiles.get(&key).cloned();
+        self.count(found.is_some());
+        found
+    }
+
+    /// Stores a measurement, appending to this process's writer log.
+    /// Re-storing an identical value is a no-op; a different value under
+    /// the same key is a [`StoreError::Conflict`].
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] or [`StoreError::Conflict`].
+    pub fn put_measure(&self, key: StoreKey, value: MeasureRecord) -> Result<(), StoreError> {
+        self.put(Record::Measure { key, value })
+    }
+
+    /// Stores a reference profile; same contract as
+    /// [`put_measure`](Self::put_measure).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] or [`StoreError::Conflict`].
+    pub fn put_profile(&self, key: StoreKey, value: ProfileRecord) -> Result<(), StoreError> {
+        self.put(Record::Profile { key, value })
+    }
+
+    fn put(&self, record: Record) -> Result<(), StoreError> {
+        let mut inner = self.inner.lock().unwrap();
+        let line = record.to_json_line();
+        let fresh = inner.maps.insert(record, "<put>")?;
+        if !fresh {
+            return Ok(());
+        }
+        if inner.writer.is_none() {
+            inner.writer = Some(open_writer(&self.dir)?);
+        }
+        let writer = inner.writer.as_mut().expect("just opened");
+        writer
+            .file
+            .write_all(format!("{line}\n").as_bytes())
+            .and_then(|()| writer.file.flush())
+            .map_err(|e| io_err(&writer.log_path, e))
+    }
+
+    /// Current counters, including on-disk sizes.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] if the directory cannot be listed.
+    pub fn stats(&self) -> Result<StoreStats, StoreError> {
+        let inner = self.inner.lock().unwrap();
+        let paths = log_paths(&self.dir)?;
+        let mut bytes = 0;
+        for p in &paths {
+            bytes += fs::metadata(p).map_err(|e| io_err(p, e))?.len();
+        }
+        Ok(StoreStats {
+            measure_records: inner.maps.measures.len(),
+            profile_records: inner.maps.profiles.len(),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            skipped_lines: self.skipped_lines.load(Ordering::Relaxed),
+            log_files: paths.len(),
+            bytes,
+        })
+    }
+
+    /// Merges every quiescent log into a single `compact.jsonl` and
+    /// removes the merged logs. This store's own writer is closed
+    /// first; logs held by a *live* foreign writer are left untouched
+    /// and counted in the report.
+    ///
+    /// # Errors
+    ///
+    /// Same error surface as [`open`](Self::open), plus I/O while
+    /// writing the compacted log.
+    pub fn compact(&self) -> Result<CompactReport, StoreError> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.writer = None; // Drop flushes nothing (writes are flushed) and frees our lock.
+
+        // Re-read from disk rather than trusting our maps: other
+        // processes may have written since we opened.
+        let mut merged = Maps::default();
+        let mut merged_paths = Vec::new();
+        let mut skipped_live = 0;
+        for path in log_paths(&self.dir)? {
+            if is_live_foreign_log(&path) {
+                skipped_live += 1;
+                continue;
+            }
+            self.skipped_lines
+                .fetch_add(load_log(&path, &mut merged)?, Ordering::Relaxed);
+            merged_paths.push(path);
+        }
+
+        let tmp = self.dir.join("compact.jsonl.tmp");
+        let target = self.dir.join("compact.jsonl");
+        let mut out = String::from(LOG_HEADER);
+        out.push('\n');
+        let mut records = 0;
+        let mut profile_keys: Vec<StoreKey> = merged.profiles.keys().copied().collect();
+        profile_keys.sort_by_key(|k| (k.content, k.config));
+        for key in profile_keys {
+            let value = merged.profiles.remove(&key).expect("own key");
+            out.push_str(&Record::Profile { key, value }.to_json_line());
+            out.push('\n');
+            records += 1;
+        }
+        let mut measure_keys: Vec<StoreKey> = merged.measures.keys().copied().collect();
+        measure_keys.sort_by_key(|k| (k.content, k.config));
+        for key in measure_keys {
+            let value = merged.measures.remove(&key).expect("own key");
+            out.push_str(&Record::Measure { key, value }.to_json_line());
+            out.push('\n');
+            records += 1;
+        }
+        fs::write(&tmp, out.as_bytes()).map_err(|e| io_err(&tmp, e))?;
+        fs::rename(&tmp, &target).map_err(|e| io_err(&target, e))?;
+        let merged_logs = merged_paths.iter().filter(|p| **p != target).count();
+        for path in merged_paths {
+            if path != target {
+                fs::remove_file(&path).map_err(|e| io_err(&path, e))?;
+            }
+        }
+        let bytes = fs::metadata(&target).map_err(|e| io_err(&target, e))?.len();
+
+        // The compacted view replaces our in-memory merge: records from
+        // skipped live logs stay visible (they were loaded at open or
+        // re-read above only if quiescent), so reload them too.
+        let mut maps = merged;
+        debug_assert!(maps.measures.is_empty() && maps.profiles.is_empty());
+        for path in log_paths(&self.dir)? {
+            self.skipped_lines
+                .fetch_add(load_log(&path, &mut maps)?, Ordering::Relaxed);
+        }
+        inner.maps = maps;
+
+        Ok(CompactReport {
+            records,
+            merged_logs,
+            skipped_live_logs: skipped_live,
+            bytes,
+        })
+    }
+
+    fn count(&self, hit: bool) {
+        if hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// All log files in `dir`, in sorted filename order (the merge order).
+fn log_paths(dir: &Path) -> Result<Vec<PathBuf>, StoreError> {
+    let mut paths = Vec::new();
+    for entry in fs::read_dir(dir).map_err(|e| io_err(dir, e))? {
+        let entry = entry.map_err(|e| io_err(dir, e))?;
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) == Some("jsonl") {
+            paths.push(path);
+        }
+    }
+    paths.sort();
+    Ok(paths)
+}
+
+/// Loads one log into `maps`; returns how many truncated trailing lines
+/// were skipped (0 or 1).
+fn load_log(path: &Path, maps: &mut Maps) -> Result<u64, StoreError> {
+    let content = fs::read_to_string(path).map_err(|e| io_err(path, e))?;
+    let name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("<log>")
+        .to_owned();
+    let terminated = content.ends_with('\n');
+    let lines: Vec<&str> = content.lines().collect();
+    for (i, line) in lines.iter().enumerate() {
+        let truncated_tail = !terminated && i + 1 == lines.len();
+        let label = format!("{name}#{}", i + 1);
+        let parsed = parse_line(line, i == 0, &label);
+        match parsed {
+            Ok(Some(record)) => {
+                if truncated_tail {
+                    // A record with no newline *could* still be a prefix
+                    // of a longer line that happens to parse; the only
+                    // safe reading of an unterminated tail is "the
+                    // writer died here", so drop it.
+                    eprintln!("[store] warning: skipping truncated final line {label}");
+                    return Ok(1);
+                }
+                maps.insert(record, &label)?;
+            }
+            Ok(None) => {} // header
+            Err(err) => {
+                if truncated_tail {
+                    eprintln!("[store] warning: skipping truncated final line {label}");
+                    return Ok(1);
+                }
+                return Err(err);
+            }
+        }
+    }
+    Ok(0)
+}
+
+/// Parses one log line: `Ok(None)` for the header, `Ok(Some(_))` for a
+/// record.
+fn parse_line(line: &str, is_header: bool, label: &str) -> Result<Option<Record>, StoreError> {
+    let value = serde_json::from_str(line).map_err(|e| {
+        StoreError::Corrupt(SerialError {
+            path: label.to_owned(),
+            message: format!("not valid JSON: {e}"),
+        })
+    })?;
+    if is_header {
+        let format = vliw_ir::get_str_field(&value, label, "format")?;
+        if format != "heterovliw-store" {
+            return Err(StoreError::Corrupt(SerialError {
+                path: format!("{label}.format"),
+                message: format!("expected \"heterovliw-store\", got {format:?}"),
+            }));
+        }
+        let version = crate::record::get_u64_field(&value, label, "version")?;
+        if version != 1 {
+            return Err(StoreError::Corrupt(SerialError {
+                path: format!("{label}.version"),
+                message: format!("unsupported store format version {version} (this build reads 1)"),
+            }));
+        }
+        vliw_ir::check_fields(&value, label, &["format", "version"])?;
+        return Ok(None);
+    }
+    Record::from_json_value(&value, label)
+        .map(Some)
+        .map_err(StoreError::Corrupt)
+}
+
+/// True when `path` is a writer log whose lock names a live process
+/// other than us.
+fn is_live_foreign_log(path: &Path) -> bool {
+    let lock = lock_path_for(path);
+    let Ok(content) = fs::read_to_string(&lock) else {
+        return false; // no lock: the writer is done
+    };
+    let Ok(pid) = content.trim().parse::<u32>() else {
+        return true; // unreadable lock: be conservative, leave it alone
+    };
+    if pid == std::process::id() {
+        return false;
+    }
+    process_alive(pid)
+}
+
+fn lock_path_for(log: &Path) -> PathBuf {
+    let mut name = log.file_name().unwrap_or_default().to_os_string();
+    name.push(".lock");
+    log.with_file_name(name)
+}
+
+/// Best-effort liveness probe. Where `/proc` is absent we assume alive —
+/// wrongly skipping a dead writer's log during compaction only delays
+/// its merge, while merging a live one would lose racing appends.
+fn process_alive(pid: u32) -> bool {
+    let proc_root = Path::new("/proc");
+    if !proc_root.exists() {
+        return true;
+    }
+    proc_root.join(pid.to_string()).exists()
+}
+
+/// Creates this process's writer log (with header) and its lock file.
+fn open_writer(dir: &Path) -> Result<Writer, StoreError> {
+    let pid = std::process::id();
+    loop {
+        let instance = INSTANCE.fetch_add(1, Ordering::Relaxed);
+        let log_path = dir.join(format!("writer-{pid}-{instance}.jsonl"));
+        let lock_path = lock_path_for(&log_path);
+        match fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&lock_path)
+        {
+            Ok(mut lock) => {
+                lock.write_all(pid.to_string().as_bytes())
+                    .map_err(|e| io_err(&lock_path, e))?;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                // A lock bearing our own pid can only be a leftover from
+                // a dead process that recycled the pid: our in-process
+                // instance counter never reuses a number. Take it over.
+                let stale_log_gone = fs::remove_file(&log_path)
+                    .or_else(|e| {
+                        if e.kind() == std::io::ErrorKind::NotFound {
+                            Ok(())
+                        } else {
+                            Err(e)
+                        }
+                    })
+                    .is_ok();
+                if !stale_log_gone {
+                    continue; // cannot reclaim; try the next instance number
+                }
+                fs::remove_file(&lock_path).map_err(|e| io_err(&lock_path, e))?;
+                continue;
+            }
+            Err(e) => return Err(io_err(&lock_path, e)),
+        }
+        let mut file = match fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&log_path)
+        {
+            Ok(f) => f,
+            Err(e) => {
+                let _ = fs::remove_file(&lock_path);
+                return Err(io_err(&log_path, e));
+            }
+        };
+        if let Err(e) = file
+            .write_all(format!("{LOG_HEADER}\n").as_bytes())
+            .and_then(|()| file.flush())
+        {
+            let _ = fs::remove_file(&lock_path);
+            return Err(io_err(&log_path, e));
+        }
+        return Ok(Writer {
+            file,
+            log_path,
+            lock_path,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{LoopProfileRecord, ProfileRecord};
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("vliw-store-test-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn key(n: u64) -> StoreKey {
+        StoreKey {
+            content: n,
+            config: n.wrapping_mul(3),
+        }
+    }
+
+    fn measure(n: u64) -> MeasureRecord {
+        MeasureRecord {
+            weighted_ins_per_cluster: vec![n as f64, 0.5],
+            comms: n,
+            mem_accesses: n + 1,
+            exec_time_fs: 1000 + n,
+        }
+    }
+
+    fn profile(name: &str) -> ProfileRecord {
+        ProfileRecord {
+            name: name.to_owned(),
+            loops: vec![LoopProfileRecord {
+                name: format!("{name}.l0"),
+                weight: 1.0,
+                trips: 10,
+                rec_mii: 2,
+                fu_counts: [1, 2, 3],
+                comms: 4,
+                lifetime_fs: 5,
+                it_length_fs: 6,
+                it_ref_fs: 7,
+                weighted_ins: 8.0,
+                rec_weighted_ins: 1.0,
+                mem_accesses: 9,
+                exec_time_fs: 10,
+                invocations: 1.0,
+            }],
+            ref_weighted_ins: 8.0,
+            ref_comms: 4,
+            ref_mem_accesses: 9,
+            ref_exec_time_fs: 10,
+        }
+    }
+
+    #[test]
+    fn round_trips_through_disk() {
+        let dir = tmp_dir("roundtrip");
+        {
+            let store = MeasureStore::open(&dir).unwrap();
+            store.put_measure(key(1), measure(1)).unwrap();
+            store.put_profile(key(2), profile("p")).unwrap();
+            assert_eq!(store.get_measure(key(1)), Some(measure(1)));
+        }
+        let store = MeasureStore::open(&dir).unwrap();
+        assert_eq!(store.get_measure(key(1)), Some(measure(1)));
+        assert_eq!(store.get_profile(key(2)), Some(profile("p")));
+        assert_eq!(store.get_measure(key(99)), None);
+        let stats = store.stats().unwrap();
+        assert_eq!(stats.entries(), 2);
+        assert_eq!((stats.hits, stats.misses), (2, 1));
+        assert_eq!(stats.skipped_lines, 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn duplicate_put_is_a_noop_and_conflict_is_an_error() {
+        let dir = tmp_dir("conflict");
+        let store = MeasureStore::open(&dir).unwrap();
+        store.put_measure(key(1), measure(1)).unwrap();
+        store.put_measure(key(1), measure(1)).unwrap(); // dedupe
+        let err = store.put_measure(key(1), measure(2)).unwrap_err();
+        assert!(matches!(err, StoreError::Conflict { .. }), "{err}");
+        drop(store);
+        // Only one record line made it to disk.
+        let store = MeasureStore::open(&dir).unwrap();
+        assert_eq!(store.stats().unwrap().entries(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn two_writers_in_one_dir_merge_deterministically() {
+        let dir = tmp_dir("two-writers");
+        let a = MeasureStore::open(&dir).unwrap();
+        let b = MeasureStore::open(&dir).unwrap();
+        a.put_measure(key(1), measure(1)).unwrap();
+        b.put_measure(key(2), measure(2)).unwrap();
+        b.put_measure(key(1), measure(1)).unwrap(); // duplicate across logs: fine
+        drop(a);
+        drop(b);
+        let merged = MeasureStore::open(&dir).unwrap();
+        assert_eq!(merged.get_measure(key(1)), Some(measure(1)));
+        assert_eq!(merged.get_measure(key(2)), Some(measure(2)));
+        assert_eq!(merged.stats().unwrap().log_files, 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn cross_log_conflict_is_detected_on_open() {
+        let dir = tmp_dir("cross-conflict");
+        {
+            let a = MeasureStore::open(&dir).unwrap();
+            a.put_measure(key(1), measure(1)).unwrap();
+        }
+        {
+            let b = MeasureStore::open(&dir).unwrap();
+            // b opened after a's writer closed, so it sees a's value and
+            // would refuse; force the conflict by writing the log by hand.
+            drop(b);
+            let line = Record::Measure {
+                key: key(1),
+                value: measure(7),
+            }
+            .to_json_line();
+            fs::write(
+                dir.join("writer-zz-forged.jsonl"),
+                format!("{LOG_HEADER}\n{line}\n"),
+            )
+            .unwrap();
+        }
+        let err = MeasureStore::open(&dir).unwrap_err();
+        assert!(matches!(err, StoreError::Conflict { .. }), "{err}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_final_line_is_skipped_and_counted() {
+        let dir = tmp_dir("truncated");
+        {
+            let store = MeasureStore::open(&dir).unwrap();
+            store.put_measure(key(1), measure(1)).unwrap();
+        }
+        // Chop the last record mid-line, as a killed writer would.
+        let log = log_paths(&dir).unwrap().pop().unwrap();
+        let content = fs::read_to_string(&log).unwrap();
+        fs::write(&log, &content[..content.len() - 9]).unwrap();
+        let store = MeasureStore::open(&dir).unwrap();
+        assert_eq!(store.get_measure(key(1)), None);
+        assert_eq!(store.stats().unwrap().skipped_lines, 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn malformed_middle_line_is_a_hard_error() {
+        let dir = tmp_dir("malformed");
+        fs::create_dir_all(&dir).unwrap();
+        let line = Record::Measure {
+            key: key(1),
+            value: measure(1),
+        }
+        .to_json_line();
+        fs::write(
+            dir.join("writer-1-0.jsonl"),
+            format!("{LOG_HEADER}\n{{\"kind\":\"bogus\"}}\n{line}\n"),
+        )
+        .unwrap();
+        let err = MeasureStore::open(&dir).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("writer-1-0.jsonl#2"), "{msg}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bad_header_is_a_hard_error() {
+        let dir = tmp_dir("header");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(
+            dir.join("writer-1-0.jsonl"),
+            "{\"format\":\"heterovliw-store\",\"version\":2}\n",
+        )
+        .unwrap();
+        let err = MeasureStore::open(&dir).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_merges_to_one_sorted_log() {
+        let dir = tmp_dir("compact");
+        {
+            let a = MeasureStore::open(&dir).unwrap();
+            a.put_measure(key(5), measure(5)).unwrap();
+            a.put_measure(key(3), measure(3)).unwrap();
+        }
+        let store = MeasureStore::open(&dir).unwrap();
+        store.put_profile(key(4), profile("q")).unwrap();
+        let report = store.compact().unwrap();
+        assert_eq!(report.records, 3);
+        assert_eq!(report.merged_logs, 2);
+        assert_eq!(report.skipped_live_logs, 0);
+        // Everything still visible, now from one file.
+        assert_eq!(store.get_measure(key(5)), Some(measure(5)));
+        assert_eq!(store.get_profile(key(4)), Some(profile("q")));
+        let stats = store.stats().unwrap();
+        assert_eq!(stats.log_files, 1);
+        assert_eq!(stats.entries(), 3);
+        // Compacting twice is byte-stable.
+        let first = fs::read(dir.join("compact.jsonl")).unwrap();
+        store.compact().unwrap();
+        assert_eq!(fs::read(dir.join("compact.jsonl")).unwrap(), first);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_skips_live_foreign_writers() {
+        let dir = tmp_dir("compact-live");
+        let other = MeasureStore::open(&dir).unwrap();
+        other.put_measure(key(9), measure(9)).unwrap();
+        // Forge the other writer's lock to belong to a live foreign
+        // process (pid 1 is always alive on Linux).
+        let log = log_paths(&dir)
+            .unwrap()
+            .into_iter()
+            .find(|p| {
+                p.file_name()
+                    .unwrap()
+                    .to_str()
+                    .unwrap()
+                    .starts_with("writer-")
+            })
+            .unwrap();
+        std::mem::forget(other); // keep its lock file on disk
+        fs::write(lock_path_for(&log), "1").unwrap();
+
+        let store = MeasureStore::open(&dir).unwrap();
+        store.put_measure(key(8), measure(8)).unwrap();
+        let report = store.compact().unwrap();
+        assert_eq!(report.skipped_live_logs, 1);
+        assert_eq!(report.records, 1);
+        // The live log's record is still visible after compaction.
+        assert_eq!(store.get_measure(key(9)), Some(measure(9)));
+        assert_eq!(store.get_measure(key(8)), Some(measure(8)));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn lock_files_are_removed_on_close_but_logs_stay() {
+        let dir = tmp_dir("locks");
+        {
+            let store = MeasureStore::open(&dir).unwrap();
+            store.put_measure(key(1), measure(1)).unwrap();
+            let locks: Vec<_> = fs::read_dir(&dir)
+                .unwrap()
+                .filter(|e| {
+                    e.as_ref()
+                        .unwrap()
+                        .path()
+                        .extension()
+                        .is_some_and(|x| x == "lock")
+                })
+                .collect();
+            assert_eq!(locks.len(), 1);
+        }
+        let leftover: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        assert!(
+            leftover.iter().all(|n| !n.ends_with(".lock")),
+            "{leftover:?}"
+        );
+        assert_eq!(leftover.len(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,498 @@
+//! Store records: content-addressed keys and the measurement/profile
+//! payloads they map to, with their newline-JSON wire form.
+//!
+//! One record is one line of a store log:
+//!
+//! ```json
+//! {"kind":"measure","content":"00c5…","config":"81aa…","ins":[12.5,3.0],
+//!  "comms":40,"mems":11,"exec_fs":1250000}
+//! ```
+//!
+//! Keys are 16-digit lowercase-hex [`StableHasher`](crate::StableHasher)
+//! digests (hex strings, not JSON numbers, so the full 64-bit range
+//! survives every JSON implementation). Floats are written in Rust's
+//! shortest round-trip `Display` form and parsed back bit-exactly — the
+//! same discipline the corpus format (`vliw-ir::serial`) pins — so a
+//! record loaded from disk reproduces the measurement it stored down to
+//! the last ULP.
+//!
+//! Parsing is strict and path-addressed: unknown fields, missing fields
+//! and wrong types all fail with a [`SerialError`] naming the offending
+//! JSON path (`writer-42-0.jsonl#3.ins[1]` style), mirroring the corpus
+//! loader's discipline.
+
+use serde::write_json_str;
+use serde_json::Value;
+use vliw_ir::{check_fields, get_field, get_str_field, SerialError};
+
+/// The content address of one stored result: *what* was measured and
+/// *on which machine*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StoreKey {
+    /// Structural hash of the benchmark content (loop DDGs, trip
+    /// counts, weights) — independent of how the benchmark was obtained.
+    pub content: u64,
+    /// Fingerprint of the full machine configuration: cycle times,
+    /// voltages, buses, scheduler options and the calibrated power
+    /// model, all hashed by exact bit pattern.
+    pub config: u64,
+}
+
+impl std::fmt::Display for StoreKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}/{:016x}", self.content, self.config)
+    }
+}
+
+/// A measured usage profile, in store-native units (times in
+/// femtoseconds, exactly as `vliw_machine::Time` stores them).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeasureRecord {
+    /// Energy-weighted instructions per cluster.
+    pub weighted_ins_per_cluster: Vec<f64>,
+    /// Inter-cluster communications.
+    pub comms: u64,
+    /// Memory accesses.
+    pub mem_accesses: u64,
+    /// Execution time in femtoseconds.
+    pub exec_time_fs: u64,
+}
+
+/// One loop of a stored reference profile (see
+/// `vliw_explore::profile::LoopProfile`; times in femtoseconds).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoopProfileRecord {
+    /// Loop name.
+    pub name: String,
+    /// Fraction of program time.
+    pub weight: f64,
+    /// Iterations per invocation.
+    pub trips: u64,
+    /// Recurrence-constrained minimum II (cycles).
+    pub rec_mii: u32,
+    /// Operations per FU kind `[int, fp, mem]`.
+    pub fu_counts: [u64; 3],
+    /// Inter-cluster communications per iteration.
+    pub comms: u64,
+    /// Sum of register lifetimes per iteration (fs).
+    pub lifetime_fs: u64,
+    /// Iteration length of the reference schedule (fs).
+    pub it_length_fs: u64,
+    /// Initiation time of the reference schedule (fs).
+    pub it_ref_fs: u64,
+    /// Energy-weighted instructions per iteration.
+    pub weighted_ins: f64,
+    /// Energy-weighted instructions on non-trivial recurrences.
+    pub rec_weighted_ins: f64,
+    /// Memory accesses per iteration.
+    pub mem_accesses: u64,
+    /// Execution time of one invocation (fs).
+    pub exec_time_fs: u64,
+    /// Invocation multiplier.
+    pub invocations: f64,
+}
+
+/// A stored reference profile of one benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileRecord {
+    /// Benchmark name.
+    pub name: String,
+    /// Per-loop measurements.
+    pub loops: Vec<LoopProfileRecord>,
+    /// Aggregate reference energy-weighted instructions.
+    pub ref_weighted_ins: f64,
+    /// Aggregate reference communications.
+    pub ref_comms: u64,
+    /// Aggregate reference memory accesses.
+    pub ref_mem_accesses: u64,
+    /// Aggregate reference execution time (fs).
+    pub ref_exec_time_fs: u64,
+}
+
+/// One store log line: a key plus its payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Record {
+    /// A measured heterogeneous usage profile.
+    Measure {
+        /// Content address.
+        key: StoreKey,
+        /// Payload.
+        value: MeasureRecord,
+    },
+    /// A reference profile.
+    Profile {
+        /// Content address.
+        key: StoreKey,
+        /// Payload.
+        value: ProfileRecord,
+    },
+}
+
+impl Record {
+    /// The record's content address.
+    #[must_use]
+    pub fn key(&self) -> StoreKey {
+        match self {
+            Record::Measure { key, .. } | Record::Profile { key, .. } => *key,
+        }
+    }
+
+    /// Serialises the record as one compact JSON line (no newline).
+    #[must_use]
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::new();
+        match self {
+            Record::Measure { key, value } => {
+                out.push_str(&format!(
+                    "{{\"kind\":\"measure\",\"content\":\"{:016x}\",\"config\":\"{:016x}\",\"ins\":[",
+                    key.content, key.config
+                ));
+                for (i, &v) in value.weighted_ins_per_cluster.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    push_f64(&mut out, v);
+                }
+                out.push_str(&format!(
+                    "],\"comms\":{},\"mems\":{},\"exec_fs\":{}}}",
+                    value.comms, value.mem_accesses, value.exec_time_fs
+                ));
+            }
+            Record::Profile { key, value } => {
+                out.push_str(&format!(
+                    "{{\"kind\":\"profile\",\"content\":\"{:016x}\",\"config\":\"{:016x}\",\"name\":",
+                    key.content, key.config
+                ));
+                write_json_str(&value.name, &mut out);
+                out.push_str(",\"ref_ins\":");
+                push_f64(&mut out, value.ref_weighted_ins);
+                out.push_str(&format!(
+                    ",\"ref_comms\":{},\"ref_mems\":{},\"ref_exec_fs\":{},\"loops\":[",
+                    value.ref_comms, value.ref_mem_accesses, value.ref_exec_time_fs
+                ));
+                for (i, l) in value.loops.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str("{\"name\":");
+                    write_json_str(&l.name, &mut out);
+                    out.push_str(",\"weight\":");
+                    push_f64(&mut out, l.weight);
+                    out.push_str(&format!(
+                        ",\"trips\":{},\"rec_mii\":{},\"fu\":[{},{},{}],\"comms\":{},\
+                         \"lifetime_fs\":{},\"it_length_fs\":{},\"it_ref_fs\":{},\"ins\":",
+                        l.trips,
+                        l.rec_mii,
+                        l.fu_counts[0],
+                        l.fu_counts[1],
+                        l.fu_counts[2],
+                        l.comms,
+                        l.lifetime_fs,
+                        l.it_length_fs,
+                        l.it_ref_fs
+                    ));
+                    push_f64(&mut out, l.weighted_ins);
+                    out.push_str(",\"rec_ins\":");
+                    push_f64(&mut out, l.rec_weighted_ins);
+                    out.push_str(&format!(
+                        ",\"mems\":{},\"exec_fs\":{},\"invocations\":",
+                        l.mem_accesses, l.exec_time_fs
+                    ));
+                    push_f64(&mut out, l.invocations);
+                    out.push('}');
+                }
+                out.push_str("]}");
+            }
+        }
+        out
+    }
+
+    /// Parses one record from a parsed JSON tree; `path` names the
+    /// record's location (`<file>#<line>`) for error reporting.
+    ///
+    /// # Errors
+    ///
+    /// A [`SerialError`] naming the exact JSON path on any missing or
+    /// unknown field, wrong type, or malformed key.
+    pub fn from_json_value(value: &Value, path: &str) -> Result<Self, SerialError> {
+        let kind = get_str_field(value, path, "kind")?;
+        let key = StoreKey {
+            content: get_hex_field(value, path, "content")?,
+            config: get_hex_field(value, path, "config")?,
+        };
+        match kind {
+            "measure" => {
+                check_fields(
+                    value,
+                    path,
+                    &[
+                        "kind", "content", "config", "ins", "comms", "mems", "exec_fs",
+                    ],
+                )?;
+                let ins = get_array_field(value, path, "ins")?;
+                let weighted_ins_per_cluster = ins
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| as_f64(v, &format!("{path}.ins[{i}]")))
+                    .collect::<Result<Vec<f64>, SerialError>>()?;
+                Ok(Record::Measure {
+                    key,
+                    value: MeasureRecord {
+                        weighted_ins_per_cluster,
+                        comms: get_u64_field(value, path, "comms")?,
+                        mem_accesses: get_u64_field(value, path, "mems")?,
+                        exec_time_fs: get_u64_field(value, path, "exec_fs")?,
+                    },
+                })
+            }
+            "profile" => {
+                check_fields(
+                    value,
+                    path,
+                    &[
+                        "kind",
+                        "content",
+                        "config",
+                        "name",
+                        "ref_ins",
+                        "ref_comms",
+                        "ref_mems",
+                        "ref_exec_fs",
+                        "loops",
+                    ],
+                )?;
+                let loops_value = get_array_field(value, path, "loops")?;
+                let mut loops = Vec::with_capacity(loops_value.len());
+                for (i, l) in loops_value.iter().enumerate() {
+                    loops.push(parse_loop(l, &format!("{path}.loops[{i}]"))?);
+                }
+                Ok(Record::Profile {
+                    key,
+                    value: ProfileRecord {
+                        name: get_str_field(value, path, "name")?.to_owned(),
+                        loops,
+                        ref_weighted_ins: get_f64_field(value, path, "ref_ins")?,
+                        ref_comms: get_u64_field(value, path, "ref_comms")?,
+                        ref_mem_accesses: get_u64_field(value, path, "ref_mems")?,
+                        ref_exec_time_fs: get_u64_field(value, path, "ref_exec_fs")?,
+                    },
+                })
+            }
+            other => Err(SerialError {
+                path: format!("{path}.kind"),
+                message: format!("unknown record kind {other:?} (expected measure or profile)"),
+            }),
+        }
+    }
+}
+
+fn parse_loop(value: &Value, path: &str) -> Result<LoopProfileRecord, SerialError> {
+    check_fields(
+        value,
+        path,
+        &[
+            "name",
+            "weight",
+            "trips",
+            "rec_mii",
+            "fu",
+            "comms",
+            "lifetime_fs",
+            "it_length_fs",
+            "it_ref_fs",
+            "ins",
+            "rec_ins",
+            "mems",
+            "exec_fs",
+            "invocations",
+        ],
+    )?;
+    let fu = get_array_field(value, path, "fu")?;
+    if fu.len() != 3 {
+        return Err(SerialError {
+            path: format!("{path}.fu"),
+            message: format!("fu must have exactly 3 counts, got {}", fu.len()),
+        });
+    }
+    let fu_counts = [
+        as_u64(&fu[0], &format!("{path}.fu[0]"))?,
+        as_u64(&fu[1], &format!("{path}.fu[1]"))?,
+        as_u64(&fu[2], &format!("{path}.fu[2]"))?,
+    ];
+    Ok(LoopProfileRecord {
+        name: get_str_field(value, path, "name")?.to_owned(),
+        weight: get_f64_field(value, path, "weight")?,
+        trips: get_u64_field(value, path, "trips")?,
+        rec_mii: u32::try_from(get_u64_field(value, path, "rec_mii")?).map_err(|_| {
+            SerialError {
+                path: format!("{path}.rec_mii"),
+                message: "rec_mii does not fit in u32".to_owned(),
+            }
+        })?,
+        fu_counts,
+        comms: get_u64_field(value, path, "comms")?,
+        lifetime_fs: get_u64_field(value, path, "lifetime_fs")?,
+        it_length_fs: get_u64_field(value, path, "it_length_fs")?,
+        it_ref_fs: get_u64_field(value, path, "it_ref_fs")?,
+        weighted_ins: get_f64_field(value, path, "ins")?,
+        rec_weighted_ins: get_f64_field(value, path, "rec_ins")?,
+        mem_accesses: get_u64_field(value, path, "mems")?,
+        exec_time_fs: get_u64_field(value, path, "exec_fs")?,
+        invocations: get_f64_field(value, path, "invocations")?,
+    })
+}
+
+/// Writes a finite `f64` in shortest round-trip form.
+///
+/// # Panics
+///
+/// Panics on non-finite values — measurements are finite by
+/// construction, and JSON has no encoding for NaN/∞.
+pub(crate) fn push_f64(out: &mut String, v: f64) {
+    assert!(v.is_finite(), "store records hold finite floats, got {v}");
+    out.push_str(&format!("{v}"));
+    // An integral float like `2` prints without a decimal point; that is
+    // fine — the parser goes through f64 either way and the bit pattern
+    // survives.
+}
+
+fn as_f64(v: &Value, path: &str) -> Result<f64, SerialError> {
+    match v {
+        Value::Number(_) => Ok(v.as_f64().expect("numbers parse as f64")),
+        other => Err(SerialError {
+            path: path.to_owned(),
+            message: format!("expected a number, got {}", other.type_name()),
+        }),
+    }
+}
+
+fn as_u64(v: &Value, path: &str) -> Result<u64, SerialError> {
+    v.as_u64().ok_or_else(|| SerialError {
+        path: path.to_owned(),
+        message: format!("expected a non-negative integer, got {}", v.type_name()),
+    })
+}
+
+pub(crate) fn get_u64_field(v: &Value, path: &str, key: &str) -> Result<u64, SerialError> {
+    as_u64(get_field(v, path, key)?, &format!("{path}.{key}"))
+}
+
+pub(crate) fn get_f64_field(v: &Value, path: &str, key: &str) -> Result<f64, SerialError> {
+    as_f64(get_field(v, path, key)?, &format!("{path}.{key}"))
+}
+
+/// A 16-digit lowercase-hex `u64` field (the key encoding).
+pub(crate) fn get_hex_field(v: &Value, path: &str, key: &str) -> Result<u64, SerialError> {
+    let s = get_str_field(v, path, key)?;
+    if s.len() != 16 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return Err(SerialError {
+            path: format!("{path}.{key}"),
+            message: format!("expected 16 hex digits, got {s:?}"),
+        });
+    }
+    u64::from_str_radix(s, 16).map_err(|e| SerialError {
+        path: format!("{path}.{key}"),
+        message: format!("malformed hex key: {e}"),
+    })
+}
+
+fn get_array_field<'v>(v: &'v Value, path: &str, key: &str) -> Result<&'v [Value], SerialError> {
+    let field = get_field(v, path, key)?;
+    field.as_array().ok_or_else(|| SerialError {
+        path: format!("{path}.{key}"),
+        message: format!("expected an array, got {}", field.type_name()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn measure() -> Record {
+        Record::Measure {
+            key: StoreKey {
+                content: 0x00c5_1234_5678_9abc,
+                config: u64::MAX,
+            },
+            value: MeasureRecord {
+                weighted_ins_per_cluster: vec![12.5, 0.1 + 0.2, -0.0, 3e-300],
+                comms: 40,
+                mem_accesses: 11,
+                exec_time_fs: 1_250_000,
+            },
+        }
+    }
+
+    fn profile() -> Record {
+        Record::Profile {
+            key: StoreKey {
+                content: 1,
+                config: 2,
+            },
+            value: ProfileRecord {
+                name: "171.swim".to_owned(),
+                loops: vec![LoopProfileRecord {
+                    name: "l\"0\"".to_owned(),
+                    weight: 0.3,
+                    trips: 100,
+                    rec_mii: 3,
+                    fu_counts: [5, 6, 7],
+                    comms: 4,
+                    lifetime_fs: 5,
+                    it_length_fs: 6,
+                    it_ref_fs: 7,
+                    weighted_ins: 8.5,
+                    rec_weighted_ins: 2.5,
+                    mem_accesses: 9,
+                    exec_time_fs: 10,
+                    invocations: 11.75,
+                }],
+                ref_weighted_ins: 1.5,
+                ref_comms: 2,
+                ref_mem_accesses: 3,
+                ref_exec_time_fs: 4,
+            },
+        }
+    }
+
+    #[test]
+    fn records_round_trip_bit_exactly() {
+        for rec in [measure(), profile()] {
+            let line = rec.to_json_line();
+            assert!(!line.contains('\n'));
+            let value = serde_json::from_str(&line).expect("valid JSON");
+            let back = Record::from_json_value(&value, "t#1").expect("round trip");
+            assert_eq!(back, rec, "through {line}");
+        }
+    }
+
+    #[test]
+    fn unknown_field_is_a_path_error() {
+        let mut line = measure().to_json_line();
+        line.insert_str(line.len() - 1, ",\"frobs\":1");
+        let value = serde_json::from_str(&line).unwrap();
+        let err = Record::from_json_value(&value, "log#7").unwrap_err();
+        assert!(err.path.starts_with("log#7"), "{err}");
+        assert!(err.to_string().contains("frobs"), "{err}");
+    }
+
+    #[test]
+    fn malformed_key_is_a_path_error() {
+        let line = "{\"kind\":\"measure\",\"content\":\"xyz\",\"config\":\"0000000000000000\",\
+                    \"ins\":[],\"comms\":0,\"mems\":0,\"exec_fs\":0}";
+        let value = serde_json::from_str(line).unwrap();
+        let err = Record::from_json_value(&value, "log#2").unwrap_err();
+        assert_eq!(err.path, "log#2.content");
+        assert!(err.message.contains("16 hex digits"), "{err}");
+    }
+
+    #[test]
+    fn wrong_type_is_a_path_error() {
+        let line = "{\"kind\":\"measure\",\"content\":\"0000000000000001\",\
+                    \"config\":\"0000000000000002\",\"ins\":[true],\"comms\":0,\"mems\":0,\
+                    \"exec_fs\":0}";
+        let value = serde_json::from_str(line).unwrap();
+        let err = Record::from_json_value(&value, "log#3").unwrap_err();
+        assert_eq!(err.path, "log#3.ins[0]");
+    }
+}

@@ -1,0 +1,207 @@
+//! Property tests: store records survive the JSONL wire bit-exactly.
+
+use proptest::prelude::*;
+
+use vliw_store::{LoopProfileRecord, MeasureRecord, ProfileRecord, Record, StoreKey};
+
+fn arb_u64() -> impl Strategy<Value = u64> {
+    0u64..=u64::MAX
+}
+
+/// Finite `f64`s drawn from raw bit patterns, so subnormals, huge
+/// magnitudes and negative zero all show up — the values most likely to
+/// break a decimal round trip.
+fn arb_finite_f64() -> impl Strategy<Value = f64> {
+    arb_u64().prop_map(|bits| {
+        let v = f64::from_bits(bits);
+        if v.is_finite() {
+            v
+        } else {
+            f64::from_bits(bits & 0x000f_ffff_ffff_ffff) // clear the exponent: finite
+        }
+    })
+}
+
+/// Names over an alphabet that includes the JSON-hostile characters
+/// (quote, backslash, newline) so escaping is exercised.
+fn arb_name() -> impl Strategy<Value = String> {
+    const ALPHABET: &[char] = &[
+        'a', 'b', 'z', '0', '9', '_', '.', '-', '"', '\\', '\n', '\t', ' ', 'é',
+    ];
+    proptest::collection::vec(0usize..ALPHABET.len(), 0..12)
+        .prop_map(|ix| ix.into_iter().map(|i| ALPHABET[i]).collect())
+}
+
+fn arb_key() -> impl Strategy<Value = StoreKey> {
+    (arb_u64(), arb_u64()).prop_map(|(content, config)| StoreKey { content, config })
+}
+
+fn arb_measure() -> impl Strategy<Value = MeasureRecord> {
+    (
+        proptest::collection::vec(arb_finite_f64(), 0..8),
+        arb_u64(),
+        arb_u64(),
+        arb_u64(),
+    )
+        .prop_map(
+            |(weighted_ins_per_cluster, comms, mem_accesses, exec_time_fs)| MeasureRecord {
+                weighted_ins_per_cluster,
+                comms,
+                mem_accesses,
+                exec_time_fs,
+            },
+        )
+}
+
+fn arb_loop() -> impl Strategy<Value = LoopProfileRecord> {
+    (
+        (
+            arb_name(),
+            arb_finite_f64(),
+            arb_u64(),
+            0u32..=u32::MAX,
+            (arb_u64(), arb_u64(), arb_u64()),
+            arb_u64(),
+        ),
+        (
+            arb_u64(),
+            arb_u64(),
+            arb_u64(),
+            arb_finite_f64(),
+            arb_finite_f64(),
+        ),
+        (arb_u64(), arb_u64(), arb_finite_f64()),
+    )
+        .prop_map(
+            |(
+                (name, weight, trips, rec_mii, (fu0, fu1, fu2), comms),
+                (lifetime_fs, it_length_fs, it_ref_fs, weighted_ins, rec_weighted_ins),
+                (mem_accesses, exec_time_fs, invocations),
+            )| LoopProfileRecord {
+                name,
+                weight,
+                trips,
+                rec_mii,
+                fu_counts: [fu0, fu1, fu2],
+                comms,
+                lifetime_fs,
+                it_length_fs,
+                it_ref_fs,
+                weighted_ins,
+                rec_weighted_ins,
+                mem_accesses,
+                exec_time_fs,
+                invocations,
+            },
+        )
+}
+
+fn arb_profile() -> impl Strategy<Value = ProfileRecord> {
+    (
+        arb_name(),
+        proptest::collection::vec(arb_loop(), 0..4),
+        arb_finite_f64(),
+        arb_u64(),
+        arb_u64(),
+        arb_u64(),
+    )
+        .prop_map(
+            |(name, loops, ref_weighted_ins, ref_comms, ref_mem_accesses, ref_exec_time_fs)| {
+                ProfileRecord {
+                    name,
+                    loops,
+                    ref_weighted_ins,
+                    ref_comms,
+                    ref_mem_accesses,
+                    ref_exec_time_fs,
+                }
+            },
+        )
+}
+
+fn arb_record() -> impl Strategy<Value = Record> {
+    (
+        arb_key(),
+        proptest::option::of(arb_measure()),
+        arb_profile(),
+    )
+        .prop_map(|(key, measure, profile)| match measure {
+            Some(value) => Record::Measure { key, value },
+            None => Record::Profile {
+                key,
+                value: profile,
+            },
+        })
+}
+
+/// Bit-exact equality, distinguishing `0.0` from `-0.0` (plain `==`
+/// would conflate them).
+fn bits_equal(a: &Record, b: &Record) -> bool {
+    fn f(a: f64, b: f64) -> bool {
+        a.to_bits() == b.to_bits()
+    }
+    match (a, b) {
+        (Record::Measure { key: ka, value: va }, Record::Measure { key: kb, value: vb }) => {
+            ka == kb
+                && va.weighted_ins_per_cluster.len() == vb.weighted_ins_per_cluster.len()
+                && va
+                    .weighted_ins_per_cluster
+                    .iter()
+                    .zip(&vb.weighted_ins_per_cluster)
+                    .all(|(&x, &y)| f(x, y))
+                && va.comms == vb.comms
+                && va.mem_accesses == vb.mem_accesses
+                && va.exec_time_fs == vb.exec_time_fs
+        }
+        (Record::Profile { key: ka, value: va }, Record::Profile { key: kb, value: vb }) => {
+            ka == kb
+                && va.name == vb.name
+                && f(va.ref_weighted_ins, vb.ref_weighted_ins)
+                && va.ref_comms == vb.ref_comms
+                && va.ref_mem_accesses == vb.ref_mem_accesses
+                && va.ref_exec_time_fs == vb.ref_exec_time_fs
+                && va.loops.len() == vb.loops.len()
+                && va.loops.iter().zip(&vb.loops).all(|(x, y)| {
+                    x.name == y.name
+                        && f(x.weight, y.weight)
+                        && x.trips == y.trips
+                        && x.rec_mii == y.rec_mii
+                        && x.fu_counts == y.fu_counts
+                        && x.comms == y.comms
+                        && x.lifetime_fs == y.lifetime_fs
+                        && x.it_length_fs == y.it_length_fs
+                        && x.it_ref_fs == y.it_ref_fs
+                        && f(x.weighted_ins, y.weighted_ins)
+                        && f(x.rec_weighted_ins, y.rec_weighted_ins)
+                        && x.mem_accesses == y.mem_accesses
+                        && x.exec_time_fs == y.exec_time_fs
+                        && f(x.invocations, y.invocations)
+                })
+        }
+        _ => false,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Any record encodes to one JSON line and decodes back bit-exactly.
+    #[test]
+    fn records_round_trip_bit_exactly(record in arb_record()) {
+        let line = record.to_json_line();
+        prop_assert!(!line.contains('\n'), "one record, one line: {line}");
+        let value = serde_json::from_str(&line).expect("emitted lines are valid JSON");
+        let back = Record::from_json_value(&value, "prop#1").expect("emitted lines parse");
+        prop_assert!(bits_equal(&record, &back), "through {line}");
+    }
+
+    /// Re-encoding a decoded record reproduces the original bytes —
+    /// the property compaction's byte-stability rests on.
+    #[test]
+    fn encoding_is_canonical(record in arb_record()) {
+        let line = record.to_json_line();
+        let value = serde_json::from_str(&line).unwrap();
+        let back = Record::from_json_value(&value, "prop#1").unwrap();
+        prop_assert_eq!(back.to_json_line(), line);
+    }
+}

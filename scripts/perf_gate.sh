@@ -26,6 +26,11 @@
 #       one request, then driven by `paper loadgen` (concurrent clients,
 #       warm figure6 requests), gating the request/response service core
 #       (wire protocol + engine cache + connection handling).
+#   * warm-store throughput: warm_search_evals_per_second < baseline / BENCH_TIME_RATIO
+#     — a seeded `search --store` run populates a temp measurement
+#       store, then a second *process* replays it; every evaluation must
+#       come off the disk store, so this gates the store read path
+#       (log load + content-addressed lookup) end to end.
 #
 # Usage:
 #   scripts/perf_gate.sh                  # measure + compare
@@ -82,6 +87,22 @@ echo "== perf gate: searchbench --loops $LOOPS =="
     >"$tmp/search-stdout" 2>"$tmp/search-stderr"
 grep -E '^\[time\]|evals/s' "$tmp/search-stdout" "$tmp/search-stderr" || true
 
+echo "== perf gate: warm search over a persistent --store (second process) =="
+STORE="$tmp/measure-store"
+SEARCH_BUDGET=64
+"$BIN" search --space extended --budget "$SEARCH_BUDGET" --loops "$LOOPS" --buses 1 \
+    --jobs 0 --store "$STORE" >"$tmp/coldstore-stdout" 2>"$tmp/coldstore-stderr"
+start_ns="$(date +%s%N)"
+"$BIN" search --space extended --budget "$SEARCH_BUDGET" --loops "$LOOPS" --buses 1 \
+    --jobs 0 --store "$STORE" >"$tmp/warmstore-stdout" 2>"$tmp/warmstore-stderr"
+end_ns="$(date +%s%N)"
+warm_search_s="$(awk -v a="$start_ns" -v b="$end_ns" 'BEGIN {printf "%.4f", (b - a) / 1e9}')"
+if ! cmp -s "$tmp/coldstore-stdout" "$tmp/warmstore-stdout"; then
+    echo "error: warm --store search is not byte-identical to the cold run" >&2
+    exit 1
+fi
+echo "warm --store search: $SEARCH_BUDGET evaluations in $warm_search_s s"
+
 echo "== perf gate: serve + loadgen (warm figure6 over the socket) =="
 SOCK="$tmp/perf-gate.sock"
 "$BIN" serve --socket "$SOCK" --jobs 0 >"$tmp/serve-stdout" 2>"$tmp/serve-stderr" &
@@ -107,7 +128,8 @@ wait "$serve_pid"
 python3 - "$ROOT/target/paper-results/figure6.json" "$OUT" "$LOOPS" "$wall" \
     "$ROOT/target/paper-results/schedbench.json" \
     "$ROOT/target/paper-results/searchbench.json" \
-    "$ROOT/target/paper-results/loadgen.json" <<'EOF'
+    "$ROOT/target/paper-results/loadgen.json" \
+    "$SEARCH_BUDGET" "$warm_search_s" <<'EOF'
 import json, statistics, sys
 rows = json.load(open(sys.argv[1]))
 sched = json.load(open(sys.argv[5]))
@@ -115,6 +137,7 @@ search = json.load(open(sys.argv[6]))
 serve = json.load(open(sys.argv[7]))
 mean = statistics.fmean(r["ed2_normalized"] for r in rows)
 mean_time = statistics.fmean(r["exec_time_het_ns"] for r in rows)
+warm_budget, warm_s = int(sys.argv[8]), float(sys.argv[9])
 record = {
     "experiment": "figure6",
     "loops": int(sys.argv[3]),
@@ -129,11 +152,14 @@ record = {
     "serve_requests_per_second": serve["serve_requests_per_second"],
     "serve_p50_ms": serve["p50_ms"],
     "serve_p99_ms": serve["p99_ms"],
+    "warm_search_evals_per_second": warm_budget / warm_s if warm_s else 0.0,
+    "warm_search_wall_time_s": warm_s,
 }
 json.dump(record, open(sys.argv[2], "w"), indent=2)
 print(f"measured: mean ED2 {mean:.6f}, wall {record['wall_time_s']:.2f} s, "
       f"scheduler {record['sched_loops_per_second']:.1f} loops/s, "
       f"search {record['search_evals_per_second']:.2f} evals/s, "
+      f"warm store {record['warm_search_evals_per_second']:.2f} evals/s, "
       f"service {record['serve_requests_per_second']:.1f} req/s "
       f"(p50 {record['serve_p50_ms']:.2f} ms, p99 {record['serve_p99_ms']:.2f} ms)")
 EOF
@@ -180,6 +206,26 @@ if p > limit:
 # Throughput metrics: higher is better. Tolerate runner variance with
 # the same ratio, but a pipeline suddenly running BENCH_TIME_RATIO times
 # slower than the committed baseline is a real regression.
+# The warm-store replay is startup-dominated (tens of milliseconds), so
+# it gets the same floored wall-time check as the figure6 run rather
+# than a raw throughput floor: a warm run that re-measures instead of
+# reading the store costs seconds, not milliseconds, and blows the
+# limit; runner startup noise does not.
+wb = base.get("warm_search_wall_time_s")
+wp = pr.get("warm_search_wall_time_s")
+if wb is not None and wp is not None:
+    limit = max(wb, 2.0) * ratio
+    status = "FAIL" if wp > limit else "ok"
+    print(f"  warm_search_evals_per_second: baseline "
+          f"{base['warm_search_evals_per_second']:.2f}, "
+          f"pr {pr['warm_search_evals_per_second']:.2f} "
+          f"(warm wall {wp:.3f} s, limit {limit:.2f} s, {status})")
+    if wp > limit:
+        failures.append(
+            f"warm --store search took {wp:.2f} s, over limit {limit:.2f} s "
+            f"({ratio}x max(baseline, 2 s)) — the store read path regressed")
+elif wb is not None:
+    failures.append("baseline has warm_search_wall_time_s but the PR measurement lacks it")
 for key, what in (("sched_loops_per_second", "scheduler"),
                   ("search_evals_per_second", "search"),
                   ("serve_requests_per_second", "service")):
