@@ -28,8 +28,11 @@
 //! * `searchbench` profiles a **fresh** suite outside the cache — it
 //!   measures cold-cache candidate-evaluation throughput, and a warm
 //!   memo cache would inflate the metric;
-//! * `schedbench` does not profile at all (it times the scheduler
-//!   directly).
+//! * `schedbench` does not profile a suite at all (it times the
+//!   scheduler directly); with the `profile` knob it additionally turns
+//!   on the workspace's per-phase timers and re-validates every
+//!   schedule through `vliw-sim`, reporting the phase breakdown in the
+//!   JSON record.
 
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
@@ -43,7 +46,7 @@ use vliw_explore::experiments::{self, ExperimentOptions, ProfiledSuite};
 use vliw_explore::{run_search, SpaceKind};
 use vliw_ir::OpClass;
 use vliw_machine::{ClockedConfig, MachineDesign, Time};
-use vliw_sched::{schedule_loop_ws, SchedWorkspace, ScheduleOptions};
+use vliw_sched::{schedule_loop_ws, Phase, SchedWorkspace, ScheduleOptions};
 use vliw_sim::validate;
 use vliw_store::{MeasureStore, StoreConfig};
 use vliw_workloads::{classify, family_suite_seeded, suite_seeded, Benchmark, Corpus, LoopClass};
@@ -472,6 +475,9 @@ impl Engine {
         // One workspace for the whole run, exactly as the exploration
         // pipeline holds one per worker thread.
         let mut ws = SchedWorkspace::new();
+        if p.profile {
+            ws.enable_profiling();
+        }
         let mut scheduled = 0u64;
         let start = Instant::now();
         for bench in &suite {
@@ -479,9 +485,22 @@ impl Engine {
                 let mut opts = base_opts.clone();
                 opts.trip_count = l.trip_count();
                 for config in &configs {
-                    schedule_loop_ws(l.ddg(), config, None, &opts, &mut ws)
+                    let sched = schedule_loop_ws(l.ddg(), config, None, &opts, &mut ws)
                         .map_err(|e| format!("schedbench: {e}"))?;
                     scheduled += 1;
+                    // The profiled variant also re-validates each
+                    // schedule through `vliw-sim`, timed as the
+                    // `validate` phase — the one pipeline phase the
+                    // scheduler itself never runs.
+                    if p.profile {
+                        let t0 = Instant::now();
+                        validate(l.ddg(), config, &sched)
+                            .map_err(|v| format!("schedbench: validation failed: {v:?}"))?;
+                        let elapsed = t0.elapsed();
+                        if let Some(prof) = ws.profile_mut() {
+                            prof.add(Phase::Validate, elapsed);
+                        }
+                    }
                 }
             }
         }
@@ -495,14 +514,56 @@ impl Engine {
             text,
             "scheduled {scheduled} loops in {wall:.3} s => {lps:.1} loops/s"
         );
-        let record = SchedBenchRecord {
-            experiment: "schedbench".to_owned(),
-            loops_per_benchmark: p.loops,
-            loops_scheduled: scheduled,
-            wall_time_s: wall,
-            loops_per_second: lps,
+        let phases = ws.profile().map(|prof| {
+            let mut rows = Vec::with_capacity(Phase::ALL.len());
+            for ph in Phase::ALL {
+                let row = PhaseRow {
+                    phase: ph.name().to_owned(),
+                    nanos: prof.nanos(ph),
+                    entries: prof.count(ph),
+                    share_of_wall: if wall > 0.0 {
+                        prof.seconds(ph) / wall
+                    } else {
+                        0.0
+                    },
+                };
+                let _ = writeln!(
+                    text,
+                    "  phase {:<9} {:>9.3} ms  ({:>5.1}% of wall, {} entries)",
+                    row.phase,
+                    row.nanos as f64 / 1e6,
+                    row.share_of_wall * 100.0,
+                    row.entries
+                );
+                rows.push(row);
+            }
+            let accounted = prof.total_nanos();
+            let _ = writeln!(
+                text,
+                "  phases account for {:.3} ms of {:.3} ms wall",
+                accounted as f64 / 1e6,
+                wall * 1e3
+            );
+            rows
+        });
+        let body = match phases {
+            Some(phases) => pretty(&SchedBenchProfiledRecord {
+                experiment: "schedbench".to_owned(),
+                loops_per_benchmark: p.loops,
+                loops_scheduled: scheduled,
+                wall_time_s: wall,
+                loops_per_second: lps,
+                phases,
+            }),
+            None => pretty(&SchedBenchRecord {
+                experiment: "schedbench".to_owned(),
+                loops_per_benchmark: p.loops,
+                loops_scheduled: scheduled,
+                wall_time_s: wall,
+                loops_per_second: lps,
+            }),
         };
-        Ok((Some(pretty(&record)), None))
+        Ok((Some(body), None))
     }
 
     fn familysweep(&self, p: &RunParams, text: &mut String) -> Result<Artifacts, String> {
@@ -894,6 +955,29 @@ struct SchedBenchRecord {
     loops_per_second: f64,
 }
 
+/// The `schedbench --profile` record: the throughput fields of
+/// [`SchedBenchRecord`] plus the per-phase breakdown. A separate shape
+/// (rather than an optional field) so unprofiled records stay
+/// byte-compatible with their historical form.
+#[derive(serde::Serialize)]
+struct SchedBenchProfiledRecord {
+    experiment: String,
+    loops_per_benchmark: usize,
+    loops_scheduled: u64,
+    wall_time_s: f64,
+    loops_per_second: f64,
+    phases: Vec<PhaseRow>,
+}
+
+/// One phase of the profiled `schedbench` breakdown.
+#[derive(serde::Serialize)]
+struct PhaseRow {
+    phase: String,
+    nanos: u64,
+    entries: u64,
+    share_of_wall: f64,
+}
+
 /// One `searchbench` record: candidate-evaluation throughput
 /// (wall-clock; not byte-stable — it feeds the CI perf gate).
 #[derive(serde::Serialize)]
@@ -987,6 +1071,7 @@ mod tests {
             buses: BusSel::One,
             seed: 0,
             store: StoreConfig::none(),
+            profile: false,
         }
     }
 

@@ -80,9 +80,10 @@ impl BusSel {
 }
 
 /// The global knobs shared by every experiment request: suite scale,
-/// bus selection, generation seed and the persistent measurement store
-/// backing the run (the CLI's `--loops-per-benchmark`, `--buses`,
-/// `--seed` and `--store`).
+/// bus selection, generation seed, the persistent measurement store
+/// backing the run and the scheduler phase-profiling switch (the CLI's
+/// `--loops-per-benchmark`, `--buses`, `--seed`, `--store` and
+/// `--profile`).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct RunParams {
     /// Loops generated per benchmark (default 40, the interactive
@@ -96,6 +97,11 @@ pub struct RunParams {
     /// default (everything stays in memory); the wire key is `store`,
     /// omitted when disabled so pre-store wire lines stay valid.
     pub store: StoreConfig,
+    /// Collect and report a per-phase timing breakdown of the scheduler
+    /// (`schedbench` only; the CLI's `--profile`). The wire key is
+    /// `profile`, omitted when false so pre-profile wire lines stay
+    /// valid.
+    pub profile: bool,
 }
 
 impl Default for RunParams {
@@ -105,6 +111,7 @@ impl Default for RunParams {
             buses: BusSel::Both,
             seed: 0,
             store: StoreConfig::none(),
+            profile: false,
         }
     }
 }
@@ -336,6 +343,9 @@ impl Request {
             serde::write_json_str(&dir.display().to_string(), &mut encoded);
             out.push_str(&format!(",\"store\":{encoded}"));
         }
+        if self.params().is_some_and(|p| p.profile) {
+            out.push_str(",\"profile\":true");
+        }
         if let Request::Search { search, .. } = self {
             out.push_str(&format!(
                 ",\"strategy\":\"{}\",\"budget\":{},\"space\":\"{}\"",
@@ -424,6 +434,12 @@ impl Request {
                     })?;
                     b = b.store(StoreConfig::at(path));
                 }
+                "profile" => {
+                    b =
+                        b.profile(v.as_bool().ok_or_else(|| {
+                            format!("profile must be a bool, got {}", v.type_name())
+                        })?);
+                }
                 "strategy" => {
                     let name = v.as_str().ok_or_else(|| {
                         format!("strategy must be a string, got {}", v.type_name())
@@ -471,6 +487,7 @@ pub struct RequestBuilder {
     params: RunParams,
     params_seen: bool,
     store_seen: bool,
+    profile_seen: bool,
     search: SearchParams,
     search_seen: bool,
     input: Option<PathBuf>,
@@ -507,6 +524,15 @@ impl RequestBuilder {
     pub fn store(mut self, store: StoreConfig) -> Self {
         self.params.store = store;
         self.store_seen = true;
+        self
+    }
+
+    /// Whether to collect the scheduler's per-phase timing breakdown
+    /// (`schedbench` only).
+    #[must_use]
+    pub fn profile(mut self, profile: bool) -> Self {
+        self.params.profile = profile;
+        self.profile_seen = true;
         self
     }
 
@@ -555,12 +581,16 @@ impl RequestBuilder {
             params,
             params_seen,
             store_seen,
+            profile_seen,
             search,
             search_seen,
             input,
         } = self;
         if search_seen && kind != "search" {
             return Err("strategy/budget/space only apply to the search kind".to_owned());
+        }
+        if profile_seen && kind != "schedbench" {
+            return Err("profile only applies to the schedbench kind".to_owned());
         }
         if input.is_some() && !kind.starts_with("corpus_") {
             return Err(
@@ -634,9 +664,14 @@ mod tests {
             buses: BusSel::One,
             seed: 3,
             store: StoreConfig::none(),
+            profile: false,
         };
         let stored = RunParams {
             store: StoreConfig::at("/tmp/paper store"),
+            ..params.clone()
+        };
+        let profiled = RunParams {
+            profile: true,
             ..params.clone()
         };
         let reqs = [
@@ -650,6 +685,7 @@ mod tests {
             Request::Figure8(params.clone()),
             Request::Figure9(params.clone()),
             Request::SchedBench(params.clone()),
+            Request::SchedBench(profiled),
             Request::FamilySweep(params.clone()),
             Request::Search {
                 params: stored,
@@ -710,6 +746,7 @@ mod tests {
             buses: BusSel::One,
             seed: 3,
             store: StoreConfig::none(),
+            profile: false,
         });
         assert_eq!(
             req.to_json_string(),
@@ -758,6 +795,10 @@ mod tests {
             (
                 Request::builder("figure6").budget(2),
                 "only apply to the search",
+            ),
+            (
+                Request::builder("figure6").profile(true),
+                "only applies to the schedbench",
             ),
             (Request::builder("store_stats").seed(1), "do not apply"),
             (Request::builder("search").input("x"), "corpus_schedule"),

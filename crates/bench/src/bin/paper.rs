@@ -44,6 +44,10 @@
 //! --space K   search space: `paper` (the 20-point §3.3 grid, first bus
 //!             of --buses) or `extended` (frequencies × speed split ×
 //!             explicit voltages × every bus of --buses; default paper)
+//! --profile   collect the scheduler's per-phase timing breakdown
+//!             (clocks, partition, extgraph, place, eject, regs plus a
+//!             vliw-sim validation pass) and report it in the JSON
+//!             record (`schedbench` only)
 //! --store DIR persistent content-addressed measurement store: results
 //!             already in DIR are reused instead of re-scheduled, fresh
 //!             results are appended for the next run (default: none —
@@ -113,6 +117,7 @@ struct Args {
     jobs: usize,
     seed: u64,
     store: StoreConfig,
+    profile: bool,
 }
 
 impl Args {
@@ -122,6 +127,7 @@ impl Args {
             buses: self.buses,
             seed: self.seed,
             store: self.store.clone(),
+            profile: self.profile,
         }
     }
 }
@@ -141,6 +147,7 @@ fn main() -> ExitCode {
         jobs: 0,
         seed: 0,
         store: StoreConfig::none(),
+        profile: false,
     };
     let mut search_args = SearchParams::default();
     let mut search_flag_seen = false;
@@ -167,6 +174,7 @@ fn main() -> ExitCode {
                 Some(p) => args.store = StoreConfig::at(PathBuf::from(p)),
                 None => return usage("--store needs a directory path"),
             },
+            "--profile" => args.profile = true,
             "--strategy" => match it.next().map(|v| v.parse()) {
                 Some(Ok(s)) => {
                     search_args.strategy = s;
@@ -239,6 +247,18 @@ fn main() -> ExitCode {
     }
     if mode != Some("loadgen") && (clients.is_some() || requests.is_some()) {
         return usage("--clients/--requests only apply to loadgen");
+    }
+    // --profile only drives the schedbench phase breakdown; anywhere
+    // else it would be a silent no-op, which this CLI treats as an
+    // error (like --store on table1).
+    if args.profile {
+        let is_schedbench = experiment_flag.as_deref() == Some("schedbench")
+            || mode == Some("schedbench")
+            || (matches!(mode, Some("client" | "loadgen"))
+                && positionals.get(1).map(String::as_str) == Some("schedbench"));
+        if !is_schedbench {
+            return usage("--profile only applies to the schedbench experiment");
+        }
     }
 
     match mode {
@@ -630,7 +650,7 @@ fn usage(msg: &str) -> ExitCode {
         "usage: paper [table1|table2|figure6|figure7|figure8|figure9|schedbench|familysweep|\
          search|searchbench|all] \
          [--experiment NAME] [--loops-per-benchmark N] [--buses 1|2|both] [--jobs N] [--seed S] \
-         [--store DIR]\n\
+         [--store DIR] [--profile (schedbench only)]\n\
          \x20      paper search [--strategy hillclimb|anneal|ga|exhaustive] [--budget N] \
          [--space paper|extended] [--seed S] [--store DIR]\n\
          \x20      paper corpus dump [--out FILE] | corpus schedule [--in FILE] | \

@@ -113,6 +113,7 @@ fn cli_and_daemon_agree_byte_for_byte_across_job_counts() {
         buses: BusSel::One,
         seed: 0,
         store: StoreConfig::none(),
+        profile: false,
     });
     let mut bodies = Vec::new();
     for jobs in ["1", "4"] {
@@ -209,6 +210,7 @@ fn warm_daemon_requests_do_no_new_measurements() {
         buses: BusSel::One,
         seed: 0,
         store: StoreConfig::none(),
+        profile: false,
     });
     let daemon = Daemon::start("warm", "2");
     let cold = daemon.raw_request(&figure9);

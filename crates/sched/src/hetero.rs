@@ -8,6 +8,7 @@ use crate::comm::ExtGraph;
 use crate::error::SchedError;
 use crate::ims;
 use crate::partition::{compute_partition_ws, Partition, PartitionObjective};
+use crate::profile::{commit, probe, Phase};
 use crate::schedule::ScheduledLoop;
 use crate::timing::{compute_mit, next_it_candidate, LoopClocks};
 use crate::workspace::SchedWorkspace;
@@ -138,7 +139,10 @@ fn schedule_impl(
     if let Some(p) = fixed {
         assert_eq!(p.len(), ddg.num_ops(), "fixed partition must cover the DDG");
     }
-    let mit = compute_mit(ddg, config, &opts.menu)?;
+    let clocks_start = probe(&ws.profile);
+    let mit = compute_mit(ddg, config, &opts.menu);
+    commit(&mut ws.profile, Phase::Clocks, clocks_start);
+    let mit = mit?;
     let mut it = mit;
     let objective = PartitionObjective {
         power,
@@ -146,7 +150,10 @@ fn schedule_impl(
     };
 
     for attempt in 0..opts.max_it_attempts {
-        let Some(clocks) = LoopClocks::select(config, &opts.menu, it) else {
+        let clocks_start = probe(&ws.profile);
+        let selected = LoopClocks::select(config, &opts.menu, it);
+        commit(&mut ws.profile, Phase::Clocks, clocks_start);
+        let Some(clocks) = selected else {
             it = next_it_candidate(config, &opts.menu, it);
             continue;
         };
@@ -156,6 +163,7 @@ fn schedule_impl(
         // consistent between profiling (time-objective) and heterogeneous
         // (ED²-objective) runs.
         let mut candidates: Vec<Vec<ClusterId>> = Vec::new();
+        let partition_start = probe(&ws.profile);
         match fixed {
             Some(p) => candidates.push(p.assignment.clone()),
             None => {
@@ -186,14 +194,18 @@ fn schedule_impl(
                     }
                 }
                 if candidates.is_empty() {
+                    commit(&mut ws.profile, Phase::Partition, partition_start);
                     it = next_it_candidate(config, &opts.menu, it);
                     continue;
                 }
             }
         }
+        commit(&mut ws.profile, Phase::Partition, partition_start);
         let mut best: Option<ScheduledLoop> = None;
         for assignment in candidates {
+            let ext_start = probe(&ws.profile);
             let graph = ExtGraph::build(ddg, &assignment, config, &clocks);
+            commit(&mut ws.profile, Phase::ExtGraph, ext_start);
             if ims::schedule_into(&graph, config, &clocks, opts.budget_ratio, ws).is_ok() {
                 let scheduled = ScheduledLoop::from_ims(
                     ddg,

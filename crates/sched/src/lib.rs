@@ -80,6 +80,7 @@ mod hetero;
 pub mod ims;
 mod mrt;
 pub mod partition;
+pub mod profile;
 mod regs;
 mod schedule;
 pub mod timing;
@@ -88,11 +89,12 @@ mod workspace;
 pub use comm::{ExtEdge, ExtGraph, NodeId, NodePlace};
 pub use error::SchedError;
 pub use hetero::{schedule_loop, schedule_loop_with_partition, schedule_loop_ws, ScheduleOptions};
-pub use mrt::{BusMrt, ClusterMrt};
+pub use mrt::{BusMrt, ClusterMrt, ReferenceBusMrt, ReferenceClusterMrt};
 pub use partition::{
     compute_partition, compute_partition_unrefined, compute_partition_ws, Partition,
     PartitionObjective,
 };
+pub use profile::{Phase, PhaseProfile};
 pub use regs::{lifetime_sum_ticks, max_lives};
 pub use schedule::{ScheduledCopy, ScheduledLoop};
 pub use timing::LoopClocks;

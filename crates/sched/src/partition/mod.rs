@@ -27,6 +27,7 @@ mod pin;
 mod pseudo;
 mod refine;
 
+pub(crate) use pseudo::EvalCtx;
 pub use pseudo::{evaluate_partition, evaluate_partition_ws, PseudoEval};
 
 use vliw_ir::{Ddg, FuKind};

@@ -79,7 +79,6 @@ pub fn evaluate_partition(
 ///
 /// Panics if `assignment.len() != ddg.num_ops()`.
 #[must_use]
-#[allow(clippy::too_many_lines)]
 pub fn evaluate_partition_ws(
     ddg: &Ddg,
     assignment: &[ClusterId],
@@ -89,12 +88,211 @@ pub fn evaluate_partition_ws(
     objective: &PartitionObjective<'_>,
     scratch: &mut PartitionScratch,
 ) -> PseudoEval {
+    let mut ctx = std::mem::take(&mut scratch.ctx);
+    ctx.build(ddg, config, clocks);
+    let eval = evaluate_partition_ctx(
+        ddg,
+        assignment,
+        recurrences,
+        config,
+        objective,
+        &ctx,
+        scratch,
+    );
+    scratch.ctx = ctx;
+    eval
+}
+
+/// Everything about one (DDG, config, clocks) triple that candidate
+/// evaluations share, precomputed so the `O(V + E)` body of
+/// [`evaluate_partition_ctx`] is pure table lookups.
+///
+/// The refiner prices hundreds of candidate moves against the *same*
+/// graph and clocks; only the assignment changes. Each table entry is
+/// produced by the exact floating-point expression the non-cached
+/// evaluation used, so evaluations through a context are bit-identical to
+/// [`evaluate_partition`].
+#[derive(Debug, Clone, Default)]
+pub(crate) struct EvalCtx {
+    /// Clusters in the design.
+    nc: usize,
+    /// The initiation time, ns (the `est_it` floor).
+    it_ns: f64,
+    /// ICN cycle, ns.
+    icn_cycle_ns: f64,
+    /// Cost of one cross-cluster flow edge: bus transfer plus two
+    /// sync-queue cycles (`3.0 * icn_cycle_ns`).
+    comm_ns: f64,
+    /// Per-cluster cycle, ns.
+    cycle_ns: Vec<f64>,
+    /// Per-kind FU counts of the (uniform) cluster design.
+    fus: [u64; 3],
+    /// Per-op dense FU-kind slot.
+    slot: Vec<u8>,
+    /// Per-(op, cluster) operation latency, ns (`lat[op * nc + cluster]`).
+    lat: Vec<f64>,
+    /// `(src, dst)` of every flow edge, in edge order.
+    flow_pairs: Vec<(u32, u32)>,
+    /// CSR offsets into `preds` (one row per op).
+    pred_off: Vec<u32>,
+    /// Distance-0 predecessors as `(src, pays_comm_when_split)` pairs,
+    /// rows ordered like the op's `ddg.preds` iteration.
+    preds: Vec<(u32, bool)>,
+    /// Assignment-independent lower bound on the ASAP iteration length:
+    /// the distance-0 critical path priced with every op's *fastest*
+    /// cluster latency and zero communication. Every candidate's true
+    /// `itlen` is ≥ this (fp-monotone argument in
+    /// [`evaluate_partition_ctx`]).
+    cp_min_max: f64,
+}
+
+impl EvalCtx {
+    /// (Re)builds the context in place, reusing retained buffers.
+    pub(crate) fn build(&mut self, ddg: &Ddg, config: &ClockedConfig, clocks: &LoopClocks) {
+        let design = config.design();
+        let n = ddg.num_ops();
+        self.nc = usize::from(design.num_clusters);
+        self.it_ns = clocks.it().as_ns();
+        self.icn_cycle_ns = self.it_ns / clocks.icn_ii() as f64;
+        self.comm_ns = 3.0 * self.icn_cycle_ns;
+        let cache_cycle_ns = self.it_ns / clocks.cache_ii() as f64;
+        self.cycle_ns.clear();
+        self.cycle_ns.extend(
+            design
+                .clusters()
+                .map(|c| self.it_ns / clocks.cluster_ii(c) as f64),
+        );
+        for (ki, kind) in [FuKind::Int, FuKind::Fp, FuKind::Mem]
+            .into_iter()
+            .enumerate()
+        {
+            self.fus[ki] = u64::from(design.cluster.fu_count(kind));
+        }
+        self.slot.clear();
+        self.slot
+            .extend(ddg.ops().map(|op| fu_slot(op.fu_kind()) as u8));
+        self.lat.clear();
+        self.lat.reserve(n * self.nc);
+        for op in ddg.ops() {
+            let class = op.class();
+            for c in design.clusters() {
+                let lat_ns = if class.is_memory() {
+                    let cluster_dom = DomainId::Cluster(c);
+                    let syncs = f64::from(
+                        config.sync_penalty_cycles(cluster_dom, DomainId::Cache)
+                            + config.sync_penalty_cycles(DomainId::Cache, cluster_dom),
+                    );
+                    (f64::from(class.latency()) + syncs) * cache_cycle_ns
+                } else {
+                    f64::from(class.latency()) * self.cycle_ns[c.index()]
+                };
+                self.lat.push(lat_ns);
+            }
+        }
+        self.flow_pairs.clear();
+        self.flow_pairs.extend(
+            ddg.edges()
+                .filter(|e| e.kind() == DepKind::Flow)
+                .map(|e| (e.src().0, e.dst().0)),
+        );
+        self.pred_off.clear();
+        self.preds.clear();
+        self.pred_off.push(0);
+        for v in ddg.op_ids() {
+            for e in ddg.preds(v) {
+                if e.distance() != 0 {
+                    continue;
+                }
+                self.preds.push((e.src().0, e.kind() == DepKind::Flow));
+            }
+            self.pred_off
+                .push(u32::try_from(self.preds.len()).expect("edge count fits u32"));
+        }
+        // Minimum-latency critical path (see the field doc). `finish` here
+        // is a local scratch-free pass over the cached topo order.
+        self.cp_min_max = 0.0;
+        if let Ok(order) = ddg.topo_order() {
+            let mut cpmin = vec![0.0f64; n];
+            for &v in order {
+                let mut start = 0.0f64;
+                let row = self.pred_off[v.index()] as usize..self.pred_off[v.index() + 1] as usize;
+                for &(src, _) in &self.preds[row] {
+                    start = start.max(cpmin[src as usize]);
+                }
+                let mut min_lat = f64::INFINITY;
+                for c in 0..self.nc {
+                    min_lat = min_lat.min(self.lat[v.index() * self.nc + c]);
+                }
+                cpmin[v.index()] = start + min_lat;
+                self.cp_min_max = self.cp_min_max.max(cpmin[v.index()]);
+            }
+        }
+    }
+}
+
+/// [`evaluate_partition_ws`] against a prebuilt [`EvalCtx`] — the
+/// refiner's inner loop. Results are bit-identical to the other entry
+/// points.
+///
+/// # Panics
+///
+/// Panics if `assignment.len() != ddg.num_ops()` or the context was built
+/// for a different graph.
+#[allow(clippy::too_many_lines)]
+pub(crate) fn evaluate_partition_ctx(
+    ddg: &Ddg,
+    assignment: &[ClusterId],
+    recurrences: &[Recurrence],
+    config: &ClockedConfig,
+    objective: &PartitionObjective<'_>,
+    ctx: &EvalCtx,
+    scratch: &mut PartitionScratch,
+) -> PseudoEval {
+    evaluate_partition_bounded(
+        ddg,
+        assignment,
+        recurrences,
+        config,
+        objective,
+        ctx,
+        scratch,
+        None,
+    )
+}
+
+/// [`evaluate_partition_ctx`] with an optional rejection bar: when `bar`
+/// is the ED² a candidate must *strictly beat* and a cheap lower bound on
+/// the candidate's ED² already reaches the bar, the expensive ASAP pass is
+/// skipped and an `ed2 = ∞` sentinel is returned.
+///
+/// The skip is exact for the refiner: the bound is built from the true
+/// `est_it`/`comms` plus a provable lower bound on the iteration length
+/// (each op's finish time is ≥ its own latency, and ≥ the min-latency
+/// critical path, under IEEE-754 monotonicity of `+`, `*` by a
+/// non-negative value, and `max`), so `ed2_lb ≤ ed2` holds exactly and a
+/// bounded-out candidate could never have been accepted. Only the
+/// time-only objective (`power = None`) uses the bound — with a power
+/// model the energy term needs the ASAP result anyway.
+///
+/// # Panics
+///
+/// As [`evaluate_partition_ctx`].
+#[allow(clippy::too_many_arguments, clippy::too_many_lines)]
+pub(crate) fn evaluate_partition_bounded(
+    ddg: &Ddg,
+    assignment: &[ClusterId],
+    recurrences: &[Recurrence],
+    config: &ClockedConfig,
+    objective: &PartitionObjective<'_>,
+    ctx: &EvalCtx,
+    scratch: &mut PartitionScratch,
+    bar: Option<f64>,
+) -> PseudoEval {
     assert_eq!(assignment.len(), ddg.num_ops(), "one cluster per operation");
+    assert_eq!(ctx.slot.len(), ddg.num_ops(), "context matches the graph");
     let design = config.design();
-    let it_ns = clocks.it().as_ns();
-    let cycle_ns = |c: ClusterId| it_ns / clocks.cluster_ii(c) as f64;
-    let icn_cycle_ns = it_ns / clocks.icn_ii() as f64;
-    let cache_cycle_ns = it_ns / clocks.cache_ii() as f64;
+    let it_ns = ctx.it_ns;
+    let icn_cycle_ns = ctx.icn_cycle_ns;
 
     let mut est_it = it_ns;
     let infeasible = PseudoEval {
@@ -107,25 +305,39 @@ pub fn evaluate_partition_ws(
     // --- Resource rows per cluster.
     let counts = &mut scratch.counts;
     counts.clear();
-    counts.resize(usize::from(design.num_clusters), [0u64; 3]);
-    for op in ddg.ops() {
-        counts[assignment[op.id().index()].index()][fu_slot(op.fu_kind())] += 1;
+    counts.resize(ctx.nc, [0u64; 3]);
+    for (i, &s) in ctx.slot.iter().enumerate() {
+        counts[assignment[i].index()][usize::from(s)] += 1;
     }
-    for c in design.clusters() {
-        for (ki, kind) in [FuKind::Int, FuKind::Fp, FuKind::Mem]
-            .into_iter()
-            .enumerate()
-        {
-            let n = counts[c.index()][ki];
+    for (c, row) in counts.iter().enumerate() {
+        for (ki, &n) in row.iter().enumerate() {
             if n == 0 {
                 continue;
             }
-            let fus = u64::from(design.cluster.fu_count(kind));
+            let fus = ctx.fus[ki];
             if fus == 0 {
                 return infeasible;
             }
             let rows = n.div_ceil(fus);
-            est_it = est_it.max(rows as f64 * cycle_ns(c));
+            est_it = est_it.max(rows as f64 * ctx.cycle_ns[c]);
+        }
+    }
+
+    // --- Early rejection bound, before the communication sweep: the true
+    // ED² is ≥ `1.0 * secs² ` with `secs` built from the (still partial,
+    // only-growing) `est_it` and the min-latency critical path — all
+    // fp-monotone, see `evaluate_partition_bounded`.
+    let trips = objective.trip_count.max(1) as f64;
+    if let (Some(bar), None) = (bar, objective.power) {
+        let est_exec_lb = (trips - 1.0) * est_it + ctx.cp_min_max;
+        let secs_lb = est_exec_lb * 1e-9;
+        if secs_lb * secs_lb >= bar {
+            return PseudoEval {
+                est_it_ns: est_it,
+                est_exec_ns: f64::INFINITY,
+                energy: f64::INFINITY,
+                ed2: f64::INFINITY,
+            };
         }
     }
 
@@ -140,14 +352,11 @@ pub fn evaluate_partition_ws(
         scratch.comm_marked.resize(ddg.num_ops(), false);
     }
     let mut comms = 0u64;
-    for e in ddg.edges() {
-        if e.kind() != DepKind::Flow {
-            continue;
-        }
-        let (s, d) = (assignment[e.src().index()], assignment[e.dst().index()]);
-        if s != d && !scratch.comm_marked[e.src().index()] {
-            scratch.comm_marked[e.src().index()] = true;
-            scratch.marked.push(e.src().0);
+    for &(src, dst) in &ctx.flow_pairs {
+        let (s, d) = (assignment[src as usize], assignment[dst as usize]);
+        if s != d && !scratch.comm_marked[src as usize] {
+            scratch.comm_marked[src as usize] = true;
+            scratch.marked.push(src);
             comms += 1;
         }
     }
@@ -169,7 +378,7 @@ pub fn evaluate_partition_ws(
         for &op in &rec.ops {
             let c = assignment[op.index()];
             split |= c != first;
-            slowest_used_ns = slowest_used_ns.max(cycle_ns(c));
+            slowest_used_ns = slowest_used_ns.max(ctx.cycle_ns[c.index()]);
         }
         let mut needed = rec.critical_ratio.value() * slowest_used_ns;
         if split {
@@ -185,13 +394,13 @@ pub fn evaluate_partition_ws(
                 scratch.rec_stamp[op.index()] = scratch.rec_epoch;
             }
             let epoch = scratch.rec_epoch;
-            let crossings = ddg
-                .edges()
-                .filter(|e| {
-                    e.kind() == DepKind::Flow
-                        && scratch.rec_stamp[e.src().index()] == epoch
-                        && scratch.rec_stamp[e.dst().index()] == epoch
-                        && assignment[e.src().index()] != assignment[e.dst().index()]
+            let crossings = ctx
+                .flow_pairs
+                .iter()
+                .filter(|&&(s, d)| {
+                    scratch.rec_stamp[s as usize] == epoch
+                        && scratch.rec_stamp[d as usize] == epoch
+                        && assignment[s as usize] != assignment[d as usize]
                 })
                 .count() as f64;
             needed += crossings * 3.0 * icn_cycle_ns;
@@ -199,8 +408,29 @@ pub fn evaluate_partition_ws(
         est_it = est_it.max(needed);
     }
 
+    // --- Rejection bound: skip the ASAP pass when even a lower bound on
+    // this candidate's ED² reaches the bar it must strictly beat.
+    if let (Some(bar), None) = (bar, objective.power) {
+        let mut itlen_lb = ctx.cp_min_max;
+        for (v, &c) in assignment.iter().enumerate() {
+            itlen_lb = itlen_lb.max(ctx.lat[v * ctx.nc + c.index()]);
+        }
+        let est_exec_lb = (trips - 1.0) * est_it + itlen_lb;
+        let energy = 1.0 + 0.002 * comms as f64;
+        let secs_lb = est_exec_lb * 1e-9;
+        if energy * secs_lb * secs_lb >= bar {
+            return PseudoEval {
+                est_it_ns: est_it,
+                est_exec_ns: f64::INFINITY,
+                energy,
+                ed2: f64::INFINITY,
+            };
+        }
+    }
+
     // --- Iteration length: ASAP over the distance-0 subgraph (the order
-    // is cached on the DDG, so each evaluation is a linear walk).
+    // is cached on the DDG, so each evaluation is a linear walk over the
+    // context's predecessor CSR and latency table).
     let order = ddg.topo_order().expect("validated DDG has an acyclic core");
     let finish = &mut scratch.finish;
     finish.clear();
@@ -209,34 +439,20 @@ pub fn evaluate_partition_ws(
     for &v in order {
         let cluster = assignment[v.index()];
         let mut start = 0.0f64;
-        for e in ddg.preds(v) {
-            if e.distance() != 0 {
-                continue;
-            }
-            let mut ready = finish[e.src().index()];
-            if e.kind() == DepKind::Flow && assignment[e.src().index()] != cluster {
+        let row = ctx.pred_off[v.index()] as usize..ctx.pred_off[v.index() + 1] as usize;
+        for &(src, pays_comm) in &ctx.preds[row] {
+            let mut ready = finish[src as usize];
+            if pays_comm && assignment[src as usize] != cluster {
                 // Bus transfer + two sync-queue cycles, as in the extended
                 // graph's copy path.
-                ready += 3.0 * icn_cycle_ns;
+                ready += ctx.comm_ns;
             }
             start = start.max(ready);
         }
-        let class = ddg.op(v).class();
-        let lat_ns = if class.is_memory() {
-            let cluster_dom = DomainId::Cluster(cluster);
-            let syncs = f64::from(
-                config.sync_penalty_cycles(cluster_dom, DomainId::Cache)
-                    + config.sync_penalty_cycles(DomainId::Cache, cluster_dom),
-            );
-            (f64::from(class.latency()) + syncs) * cache_cycle_ns
-        } else {
-            f64::from(class.latency()) * cycle_ns(cluster)
-        };
-        finish[v.index()] = start + lat_ns;
+        finish[v.index()] = start + ctx.lat[v.index() * ctx.nc + cluster.index()];
         itlen = itlen.max(finish[v.index()]);
     }
 
-    let trips = objective.trip_count.max(1) as f64;
     let est_exec_ns = (trips - 1.0) * est_it + itlen;
 
     // --- Energy.

@@ -5,7 +5,7 @@ use vliw_ir::Recurrence;
 use vliw_machine::{ClockedConfig, ClusterId};
 
 use super::coarsen::Hierarchy;
-use super::pseudo::evaluate_partition_ws;
+use super::pseudo::{evaluate_partition_bounded, evaluate_partition_ctx};
 use super::PartitionObjective;
 use crate::timing::LoopClocks;
 use crate::workspace::PartitionScratch;
@@ -17,7 +17,7 @@ const PASS_LIMIT: usize = 6;
 /// Refines the hierarchy's seed assignment from the coarsest level down to
 /// the base, returning the final per-op cluster assignment.
 ///
-/// Candidate moves are priced with [`evaluate_partition_ws`] against the
+/// Candidate moves are priced with [`evaluate_partition_bounded`] against the
 /// shared `scratch`, and the induced per-op assignment lives in one
 /// reusable buffer — the inner evaluation loop performs no steady-state
 /// allocation (except the energy model's usage profile under an ED²
@@ -42,31 +42,47 @@ pub(crate) fn refine(
     }
 
     // The induced-assignment buffer is taken out of the scratch so it can
-    // be borrowed alongside it (and returned before exit for reuse).
+    // be borrowed alongside it (and returned before exit for reuse). It is
+    // maintained *incrementally*: a candidate move rewrites only the moved
+    // group's ops, not the whole array.
     let mut induced = std::mem::take(&mut scratch.induced);
+    let mut group_version = std::mem::take(&mut scratch.group_version);
+    // The evaluation context (latency tables, edge lists) is fixed for the
+    // whole refinement run — built once, shared by every candidate pricing.
+    let mut ctx = std::mem::take(&mut scratch.ctx);
+    ctx.build(ddg, config, clocks);
+
+    // Move counter for the rejection-skip below: bumped on every accepted
+    // move, i.e. whenever the global assignment changes.
+    let mut version: u64 = 0;
+
+    // All level compositions in one upward pass (base_groups_at rebuilds
+    // levels 0..k on every call, which is quadratic over the walk below).
+    let groups_by_level = level_compositions(hierarchy);
 
     let clusters: Vec<ClusterId> = config.design().clusters().collect();
     // Walk levels coarsest → finest; at each level try moving whole
     // macronodes between clusters.
     for level in (0..hierarchy.num_levels()).rev() {
-        let groups = hierarchy.base_groups_at(level);
-        let mut current_eval = {
-            induce_into(ddg, hierarchy, &base_assign, &mut induced);
-            evaluate_partition_ws(
-                ddg,
-                &induced,
-                recurrences,
-                config,
-                clocks,
-                objective,
-                scratch,
-            )
-        };
+        let groups = &groups_by_level[level];
+        group_version.clear();
+        group_version.resize(groups.len(), u64::MAX);
+        induce_into(ddg, hierarchy, &base_assign, &mut induced);
+        let mut current_eval =
+            evaluate_partition_ctx(ddg, &induced, recurrences, config, objective, &ctx, scratch);
         for _pass in 0..PASS_LIMIT {
             let mut improved = false;
-            for bgs in &groups {
+            for (gi, bgs) in groups.iter().enumerate() {
                 // Pinned groups are fixed (recurrence pre-placement).
                 if bgs.iter().any(|&bg| hierarchy.base_pin[bg].is_some()) {
+                    continue;
+                }
+                // Rejection skip: if every candidate move of this group was
+                // rejected and no move has been accepted anywhere since,
+                // the assignment — and therefore every candidate's ED² and
+                // the bar it must beat — is unchanged, so re-evaluating
+                // would reject again. Skipping is exact.
+                if group_version[gi] == version {
                     continue;
                 }
                 let from = base_assign[bgs[0]];
@@ -75,18 +91,16 @@ pub(crate) fn refine(
                     if to == from {
                         continue;
                     }
-                    for &bg in bgs {
-                        base_assign[bg] = to;
-                    }
-                    induce_into(ddg, hierarchy, &base_assign, &mut induced);
-                    let eval = evaluate_partition_ws(
+                    move_group(hierarchy, bgs, to, &mut base_assign, &mut induced);
+                    let eval = evaluate_partition_bounded(
                         ddg,
                         &induced,
                         recurrences,
                         config,
-                        clocks,
                         objective,
+                        &ctx,
                         scratch,
+                        Some(best.as_ref().map_or(current_eval.ed2, |(_, b)| b.ed2)),
                     );
                     if eval.ed2 < current_eval.ed2
                         && best.as_ref().is_none_or(|(_, b)| eval.ed2 < b.ed2)
@@ -96,17 +110,14 @@ pub(crate) fn refine(
                 }
                 match best {
                     Some((to, eval)) => {
-                        for &bg in bgs {
-                            base_assign[bg] = to;
-                        }
+                        move_group(hierarchy, bgs, to, &mut base_assign, &mut induced);
                         current_eval = eval;
                         improved = true;
+                        version += 1;
                     }
                     None => {
-                        // Restore.
-                        for &bg in bgs {
-                            base_assign[bg] = from;
-                        }
+                        move_group(hierarchy, bgs, from, &mut base_assign, &mut induced);
+                        group_version[gi] = version;
                     }
                 }
             }
@@ -118,7 +129,44 @@ pub(crate) fn refine(
     induce_into(ddg, hierarchy, &base_assign, &mut induced);
     let result = induced.clone();
     scratch.induced = induced;
+    scratch.group_version = group_version;
+    scratch.ctx = ctx;
     result
+}
+
+/// Reassigns one macronode: updates both the base-group assignment and the
+/// ops it induces, keeping `induced` consistent without a full rebuild.
+fn move_group(
+    hierarchy: &Hierarchy,
+    bgs: &[usize],
+    to: ClusterId,
+    base_assign: &mut [ClusterId],
+    induced: &mut [ClusterId],
+) {
+    for &bg in bgs {
+        base_assign[bg] = to;
+        for &op in &hierarchy.base_groups[bg] {
+            induced[op.index()] = to;
+        }
+    }
+}
+
+/// The base-group composition of every hierarchy level, built bottom-up in
+/// one pass (level `k+1` merges level `k`, exactly as
+/// [`Hierarchy::base_groups_at`] computes each level from scratch).
+fn level_compositions(hierarchy: &Hierarchy) -> Vec<Vec<Vec<usize>>> {
+    let mut levels: Vec<Vec<Vec<usize>>> = Vec::with_capacity(hierarchy.num_levels());
+    levels.push((0..hierarchy.base_groups.len()).map(|i| vec![i]).collect());
+    for merge in &hierarchy.merges {
+        let prev = levels.last().expect("level 0 pushed above");
+        let parents = merge.iter().copied().max().map_or(0, |m| m + 1);
+        let mut next: Vec<Vec<usize>> = vec![Vec::new(); parents];
+        for (child, &parent) in merge.iter().enumerate() {
+            next[parent].extend(prev[child].iter().copied());
+        }
+        levels.push(next);
+    }
+    levels
 }
 
 /// Expands a base-group assignment to a per-op assignment, into a reusable

@@ -1,0 +1,234 @@
+//! Phase-level profiling of the scheduling pipeline.
+//!
+//! The paper's methodology schedules thousands of loops per design point,
+//! so scheduler throughput multiplies every experiment — but optimising it
+//! blind is guesswork. A [`PhaseProfile`] splits one scheduling run (or a
+//! whole suite of them) into the pipeline's phases — clock selection,
+//! partitioning, extended-graph construction, IMS placement, ejection,
+//! the register-pressure sweep and simulator validation — each
+//! cycle-counted with the monotonic [`Instant`] clock.
+//!
+//! Profiling is **off by default and zero-cost when off**: the workspace
+//! holds an `Option<PhaseProfile>` and every probe site first tests the
+//! flag, so the hot path pays one predictable branch per phase boundary
+//! and no timer reads. Enable it with
+//! [`SchedWorkspace::enable_profiling`], run any number of loops, and
+//! read the accumulated breakdown back with
+//! [`SchedWorkspace::profile`]; per-worker profiles from an exploration
+//! pool merge with [`PhaseProfile::merge`]. The `paper schedbench
+//! --profile` experiment surfaces the breakdown as a JSON artifact.
+//!
+//! [`SchedWorkspace::enable_profiling`]: crate::SchedWorkspace::enable_profiling
+//! [`SchedWorkspace::profile`]: crate::SchedWorkspace::profile
+
+use std::time::{Duration, Instant};
+
+/// One phase of the scheduling pipeline (Figure 5's boxes, made
+/// measurable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// `(frequency, II)` selection and MIT computation
+    /// ([`crate::timing`]).
+    Clocks,
+    /// Multilevel partitioning, including the pseudo-schedule
+    /// evaluations of refinement ([`crate::partition`]).
+    Partition,
+    /// Extended-graph construction: copy insertion and tick-latency
+    /// conversion ([`crate::ExtGraph::build`]).
+    ExtGraph,
+    /// The IMS placement loop proper: priority pick, dependence-earliest
+    /// start, window search and reservation (ejection excluded).
+    Place,
+    /// Forced-placement ejection and dependence re-ejection inside the
+    /// IMS loop.
+    Eject,
+    /// The register-pressure (MaxLives) check of a complete placement.
+    Regs,
+    /// Independent re-validation of a finished schedule by `vliw-sim`
+    /// (only runs where a caller validates, e.g. `schedbench
+    /// --profile`).
+    Validate,
+}
+
+impl Phase {
+    /// Every phase, in pipeline order (the order reports render in).
+    pub const ALL: [Phase; 7] = [
+        Phase::Clocks,
+        Phase::Partition,
+        Phase::ExtGraph,
+        Phase::Place,
+        Phase::Eject,
+        Phase::Regs,
+        Phase::Validate,
+    ];
+
+    const COUNT: usize = Self::ALL.len();
+
+    /// The phase's stable snake_case name (JSON keys, report rows).
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            Phase::Clocks => "clocks",
+            Phase::Partition => "partition",
+            Phase::ExtGraph => "extgraph",
+            Phase::Place => "place",
+            Phase::Eject => "eject",
+            Phase::Regs => "regs",
+            Phase::Validate => "validate",
+        }
+    }
+
+    const fn index(self) -> usize {
+        match self {
+            Phase::Clocks => 0,
+            Phase::Partition => 1,
+            Phase::ExtGraph => 2,
+            Phase::Place => 3,
+            Phase::Eject => 4,
+            Phase::Regs => 5,
+            Phase::Validate => 6,
+        }
+    }
+}
+
+/// Accumulated per-phase wall time and entry counts.
+///
+/// Durations accumulate in integer nanoseconds from the monotonic clock;
+/// the struct is plain data (no timers running inside), so it can be
+/// cloned, merged across worker threads and serialised freely.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PhaseProfile {
+    nanos: [u64; Phase::COUNT],
+    counts: [u64; Phase::COUNT],
+}
+
+impl PhaseProfile {
+    /// An empty profile.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accumulates one timed entry into `phase`.
+    #[inline]
+    pub fn add(&mut self, phase: Phase, elapsed: Duration) {
+        let i = phase.index();
+        self.nanos[i] += u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        self.counts[i] += 1;
+    }
+
+    /// Accumulates `elapsed` into `phase` without counting an entry —
+    /// used when a phase's time is carved out of an enclosing
+    /// measurement.
+    #[inline]
+    pub fn add_nanos(&mut self, phase: Phase, nanos: u64) {
+        self.nanos[phase.index()] += nanos;
+    }
+
+    /// Total accumulated time of `phase`, in nanoseconds.
+    #[must_use]
+    pub fn nanos(&self, phase: Phase) -> u64 {
+        self.nanos[phase.index()]
+    }
+
+    /// Total accumulated time of `phase`, in seconds.
+    #[must_use]
+    pub fn seconds(&self, phase: Phase) -> f64 {
+        self.nanos(phase) as f64 / 1e9
+    }
+
+    /// How many timed entries `phase` accumulated.
+    #[must_use]
+    pub fn count(&self, phase: Phase) -> u64 {
+        self.counts[phase.index()]
+    }
+
+    /// Sum of every phase's accumulated time, in nanoseconds. Phases are
+    /// disjoint by construction, so this is the pipeline time the
+    /// profile accounts for; the gap to a caller's wall clock is
+    /// unattributed driver overhead.
+    #[must_use]
+    pub fn total_nanos(&self) -> u64 {
+        self.nanos.iter().sum()
+    }
+
+    /// Folds another profile (e.g. a different worker thread's) into
+    /// this one.
+    pub fn merge(&mut self, other: &PhaseProfile) {
+        for i in 0..Phase::COUNT {
+            self.nanos[i] += other.nanos[i];
+            self.counts[i] += other.counts[i];
+        }
+    }
+
+    /// Clears every accumulator.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+/// Starts a probe: `Some(now)` when profiling is on, `None` (no timer
+/// read) when off.
+#[inline]
+#[must_use]
+pub(crate) fn probe(profile: &Option<PhaseProfile>) -> Option<Instant> {
+    if profile.is_some() {
+        Some(Instant::now())
+    } else {
+        None
+    }
+}
+
+/// Finishes a probe started by [`probe`], attributing the elapsed time
+/// to `phase`.
+#[inline]
+pub(crate) fn commit(profile: &mut Option<PhaseProfile>, phase: Phase, start: Option<Instant>) {
+    if let (Some(p), Some(t0)) = (profile.as_mut(), start) {
+        p.add(phase, t0.elapsed());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_accumulate_and_merge() {
+        let mut a = PhaseProfile::new();
+        a.add(Phase::Place, Duration::from_nanos(10));
+        a.add(Phase::Place, Duration::from_nanos(5));
+        a.add(Phase::Regs, Duration::from_nanos(7));
+        assert_eq!(a.nanos(Phase::Place), 15);
+        assert_eq!(a.count(Phase::Place), 2);
+        assert_eq!(a.total_nanos(), 22);
+
+        let mut b = PhaseProfile::new();
+        b.add(Phase::Eject, Duration::from_nanos(3));
+        b.merge(&a);
+        assert_eq!(b.nanos(Phase::Place), 15);
+        assert_eq!(b.nanos(Phase::Eject), 3);
+        assert_eq!(b.total_nanos(), 25);
+
+        b.reset();
+        assert_eq!(b.total_nanos(), 0);
+    }
+
+    #[test]
+    fn probe_is_none_when_disabled() {
+        let off: Option<PhaseProfile> = None;
+        assert!(probe(&off).is_none());
+        let on = Some(PhaseProfile::new());
+        assert!(probe(&on).is_some());
+    }
+
+    #[test]
+    fn names_are_unique_and_ordered() {
+        let names: Vec<_> = Phase::ALL.iter().map(|p| p.name()).collect();
+        let mut dedup = names.clone();
+        dedup.dedup();
+        assert_eq!(names, dedup);
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i, "ALL order matches index order");
+        }
+    }
+}

@@ -46,8 +46,11 @@ pub fn max_lives(
     out
 }
 
-/// [`max_lives`] into reusable scratch and output buffers — the
-/// allocation-free path the IMS register check runs on every attempt.
+/// [`max_lives`] into reusable scratch and output buffers — the from-scratch
+/// path (every producer's last read found by scanning its successors). The
+/// IMS itself runs on [`max_lives_maintained_into`]; this one is the public
+/// API's entry point and the differential oracle the incremental state is
+/// proptested against.
 pub(crate) fn max_lives_into(
     graph: &ExtGraph,
     clocks: &LoopClocks,
@@ -56,8 +59,55 @@ pub(crate) fn max_lives_into(
     scratch: &mut RegScratch,
     out: &mut Vec<u32>,
 ) {
+    max_lives_core(graph, clocks, num_clusters, issue_ticks, None, scratch, out);
+}
+
+/// [`max_lives_into`] using the scheduler's incrementally maintained
+/// per-producer `(last_read, readers)` state instead of re-scanning every
+/// producer's successors — the path the IMS register check runs on every
+/// attempt. Results are identical once every node is placed (pinned by the
+/// `regs_incremental` proptest).
+#[allow(clippy::too_many_arguments)] // mirrors the workspace's flat scratch fields
+pub(crate) fn max_lives_maintained_into(
+    graph: &ExtGraph,
+    clocks: &LoopClocks,
+    num_clusters: u8,
+    issue_ticks: &[u64],
+    reg_last_read: &[u64],
+    reg_readers: &[u32],
+    scratch: &mut RegScratch,
+    out: &mut Vec<u32>,
+) {
+    max_lives_core(
+        graph,
+        clocks,
+        num_clusters,
+        issue_ticks,
+        Some((reg_last_read, reg_readers)),
+        scratch,
+        out,
+    );
+}
+
+#[allow(clippy::too_many_arguments)]
+fn max_lives_core(
+    graph: &ExtGraph,
+    clocks: &LoopClocks,
+    num_clusters: u8,
+    issue_ticks: &[u64],
+    maintained: Option<(&[u64], &[u32])>,
+    scratch: &mut RegScratch,
+    out: &mut Vec<u32>,
+) {
     let l = clocks.ticks_per_it();
-    lifetime_intervals_into(graph, clocks, num_clusters, issue_ticks, scratch);
+    lifetime_intervals_core(
+        graph,
+        clocks,
+        num_clusters,
+        issue_ticks,
+        maintained,
+        scratch,
+    );
     let RegScratch {
         intervals, events, ..
     } = scratch;
@@ -84,7 +134,7 @@ pub fn lifetime_sum_ticks(
     issue_ticks: &[u64],
 ) -> u64 {
     let mut scratch = RegScratch::default();
-    lifetime_intervals_into(graph, clocks, num_clusters, issue_ticks, &mut scratch);
+    lifetime_intervals_core(graph, clocks, num_clusters, issue_ticks, None, &mut scratch);
     scratch.intervals[..usize::from(num_clusters)]
         .iter()
         .flatten()
@@ -95,11 +145,18 @@ pub fn lifetime_sum_ticks(
 /// Per-cluster `[def, last_read)` intervals of every register value,
 /// written into `scratch.intervals[..num_clusters]` (inner buffers are
 /// cleared and reused, so warm calls allocate nothing).
-fn lifetime_intervals_into(
+///
+/// With `maintained = Some((last_read, readers))`, a cluster producer's
+/// last read comes from the scheduler's incrementally carried state
+/// (`O(1)` per producer) instead of a successor scan; broadcast copies are
+/// always collected by scanning (they are few, and their per-consumer-
+/// cluster slot merge needs every edge anyway).
+fn lifetime_intervals_core(
     graph: &ExtGraph,
     clocks: &LoopClocks,
     num_clusters: u8,
     issue_ticks: &[u64],
+    maintained: Option<(&[u64], &[u32])>,
     scratch: &mut RegScratch,
 ) {
     assert_eq!(
@@ -131,14 +188,20 @@ fn lifetime_intervals_into(
                 // which is covered because the copy is a successor of the
                 // producer in the extended graph.
                 let def = issue_ticks[n.index()] + graph.result_latency_ticks(n);
-                let mut last_read: Option<u64> = None;
-                for e in graph.succs(n) {
-                    if !e.value {
-                        continue;
+                let last_read: Option<u64> = match maintained {
+                    Some((lr, readers)) => (readers[n.index()] > 0).then(|| lr[n.index()]),
+                    None => {
+                        let mut last = None;
+                        for e in graph.succs(n) {
+                            if !e.value {
+                                continue;
+                            }
+                            let read = issue_ticks[e.dst.index()] + u64::from(e.distance) * l;
+                            last = Some(last.map_or(read, |r: u64| r.max(read)));
+                        }
+                        last
                     }
-                    let read = issue_ticks[e.dst.index()] + u64::from(e.distance) * l;
-                    last_read = Some(last_read.map_or(read, |r| r.max(read)));
-                }
+                };
                 if let Some(end) = last_read {
                     // A valid schedule reads after the def; clamp
                     // defensively so a broken caller sees pressure rather

@@ -28,6 +28,7 @@ use vliw_machine::ClusterId;
 
 use crate::comm::NodeId;
 use crate::mrt::{BusMrt, ClusterMrt};
+use crate::profile::PhaseProfile;
 
 /// Scratch for the register-pressure (MaxLives) analysis.
 #[derive(Debug, Clone, Default)]
@@ -58,6 +59,13 @@ pub struct PartitionScratch {
     pub(crate) finish: Vec<f64>,
     /// Refinement's per-op induced-assignment buffer.
     pub(crate) induced: Vec<ClusterId>,
+    /// Refinement's per-group rejection versions (see
+    /// `partition::refine`): the move-counter value at which a group last
+    /// had every candidate move rejected.
+    pub(crate) group_version: Vec<u64>,
+    /// The prebuilt evaluation context shared by every candidate pricing
+    /// of one refinement run (latency tables, flow-edge lists, pred CSR).
+    pub(crate) ctx: crate::partition::EvalCtx,
 }
 
 impl PartitionScratch {
@@ -91,6 +99,24 @@ pub struct SchedWorkspace {
     pub(crate) bus_mrt: BusMrt,
     /// Eviction list shared by forced placement and dependence ejection.
     pub(crate) eject: Vec<(NodeId, u64)>,
+    // --- height-ordered ready structure ---
+    /// Node ids sorted by (height desc, id asc) — the IMS pick order.
+    pub(crate) order: Vec<u32>,
+    /// Inverse of `order`: node id → position.
+    pub(crate) pos: Vec<u32>,
+    /// Bitset over `order` positions; bit set = node unscheduled.
+    pub(crate) ready: Vec<u64>,
+    // --- eject enumeration ---
+    /// Per-resource scheduled-node bitsets (resources = cluster × FU kind
+    /// rows plus one bus block), node-indexed with a per-resource stride.
+    pub(crate) res_sched: Vec<u64>,
+    /// Ticks per local cycle of each node's issue domain, precomputed.
+    pub(crate) node_cyc_ticks: Vec<u64>,
+    // --- incremental register-pressure state ---
+    /// Per-producer max read tick over *currently placed* value consumers.
+    pub(crate) reg_last_read: Vec<u64>,
+    /// Per-producer count of currently placed value consumers.
+    pub(crate) reg_readers: Vec<u32>,
     // --- results of the latest successful `schedule_into` ---
     pub(crate) issue_cycles: Vec<u64>,
     pub(crate) issue_ticks: Vec<u64>,
@@ -98,6 +124,10 @@ pub struct SchedWorkspace {
     // --- analysis scratch ---
     pub(crate) regs: RegScratch,
     pub(crate) part: PartitionScratch,
+    // --- observability ---
+    /// Phase-time accumulator; `None` (the default) keeps the hot path
+    /// timer-free.
+    pub(crate) profile: Option<PhaseProfile>,
 }
 
 impl SchedWorkspace {
@@ -112,12 +142,48 @@ impl SchedWorkspace {
             cluster_mrts: Vec::new(),
             bus_mrt: BusMrt::new(1, 1),
             eject: Vec::new(),
+            order: Vec::new(),
+            pos: Vec::new(),
+            ready: Vec::new(),
+            res_sched: Vec::new(),
+            node_cyc_ticks: Vec::new(),
+            reg_last_read: Vec::new(),
+            reg_readers: Vec::new(),
             issue_cycles: Vec::new(),
             issue_ticks: Vec::new(),
             max_live: Vec::new(),
             regs: RegScratch::default(),
             part: PartitionScratch::default(),
+            profile: None,
         }
+    }
+
+    /// Turns on phase profiling: subsequent scheduling calls through this
+    /// workspace accumulate per-phase wall time into [`PhaseProfile`]
+    /// (readable via [`SchedWorkspace::profile`]). Off by default; when
+    /// off the pipeline reads no timers at all.
+    pub fn enable_profiling(&mut self) {
+        if self.profile.is_none() {
+            self.profile = Some(PhaseProfile::new());
+        }
+    }
+
+    /// Turns phase profiling off and discards any accumulated profile.
+    pub fn disable_profiling(&mut self) {
+        self.profile = None;
+    }
+
+    /// The accumulated phase profile, if profiling is enabled.
+    #[must_use]
+    pub fn profile(&self) -> Option<&PhaseProfile> {
+        self.profile.as_ref()
+    }
+
+    /// Mutable access to the accumulated profile (e.g. to add a
+    /// [`crate::profile::Phase::Validate`] entry timed by the caller, or
+    /// to reset between runs), if profiling is enabled.
+    pub fn profile_mut(&mut self) -> Option<&mut PhaseProfile> {
+        self.profile.as_mut()
     }
 
     /// Issue cycle of every extended-graph node (domain-local cycles),

@@ -190,3 +190,78 @@ fn it_retry_reuse_allocates_nothing_once_warm() {
         "IT-retry reuse must not allocate once buffers are warm"
     );
 }
+
+/// Phase profiling must preserve the zero-alloc steady state: the
+/// [`PhaseProfile`] lives inline in the workspace and every probe only
+/// reads the monotonic clock, so an enabled profile adds no allocations
+/// to a warm pass.
+///
+/// [`PhaseProfile`]: vliw_sched::PhaseProfile
+#[test]
+fn profiling_enabled_steady_state_allocates_nothing() {
+    let config = ClockedConfig::reference(MachineDesign::paper_machine(1));
+    let clocks =
+        LoopClocks::select(&config, &FrequencyMenu::unrestricted(), Time::from_ns(6.0)).unwrap();
+    let ddg = representative_ddg();
+    ddg.validate_schedulable().unwrap();
+    let _ = ddg.rec_mii();
+    let assignment = [ClusterId(0); 9];
+    let graph = ExtGraph::build(&ddg, &assignment, &config, &clocks);
+
+    let mut ws = SchedWorkspace::new();
+    ws.enable_profiling();
+    ims::schedule_into(&graph, &config, &clocks, ims::DEFAULT_BUDGET_RATIO, &mut ws).unwrap();
+
+    let before = allocations();
+    ims::schedule_into(&graph, &config, &clocks, ims::DEFAULT_BUDGET_RATIO, &mut ws).unwrap();
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "profiled steady-state scheduling must not allocate"
+    );
+    let profile = ws.profile().expect("profiling stays enabled");
+    assert!(
+        profile.count(vliw_sched::Phase::Place) >= 2,
+        "both passes were profiled"
+    );
+}
+
+/// The bitset MRTs keep their retained storage across IIs wider than one
+/// 64-bit word: once a workspace has seen a multi-word reservation window
+/// (II > 64 local cycles in some domain), re-scheduling at that shape
+/// allocates nothing.
+#[test]
+fn multi_word_mrt_reuse_allocates_nothing_once_warm() {
+    let config = ClockedConfig::reference(MachineDesign::paper_machine(1));
+    let menu = FrequencyMenu::unrestricted();
+    // A long chain of int ops so a very large IT still has placements
+    // spread across the window rather than all at cycle 0.
+    let mut b = DdgBuilder::new("wide");
+    let ids: Vec<_> = (0..24)
+        .map(|i| b.op(format!("n{i}"), OpClass::IntArith))
+        .collect();
+    for w in ids.windows(2) {
+        b.flow(w[0], w[1]);
+    }
+    let ddg = b.build().unwrap();
+    ddg.validate_schedulable().unwrap();
+    let _ = ddg.rec_mii();
+    let assignment = vec![ClusterId(0); 24];
+    // IT 70 ns => 70 rows per FU kind at the reference 1 GHz clock: the
+    // per-unit row-sets span two u64 words (wpr = 2).
+    let clocks = LoopClocks::select(&config, &menu, Time::from_ns(70.0)).unwrap();
+    let graph = ExtGraph::build(&ddg, &assignment, &config, &clocks);
+
+    let mut ws = SchedWorkspace::new();
+    ims::schedule_into(&graph, &config, &clocks, ims::DEFAULT_BUDGET_RATIO, &mut ws).unwrap();
+
+    let before = allocations();
+    ims::schedule_into(&graph, &config, &clocks, ims::DEFAULT_BUDGET_RATIO, &mut ws).unwrap();
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "multi-word MRT reuse must not allocate once buffers are warm"
+    );
+}

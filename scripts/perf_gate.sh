@@ -32,6 +32,12 @@
 #       come off the disk store, so this gates the store read path
 #       (log load + content-addressed lookup) end to end.
 #
+# Every *timing* measurement is taken best-of-N (default 3): wall times
+# keep the minimum, throughputs the maximum. The pipeline's metrics are
+# deterministic — repeats produce byte-identical results — so repetition
+# only de-noises the clock, never the numbers, and the best run is the
+# one least perturbed by the runner.
+#
 # Usage:
 #   scripts/perf_gate.sh                  # measure + compare
 #   scripts/perf_gate.sh --write-baseline # measure + (re)write the baseline
@@ -39,6 +45,7 @@
 # Environment:
 #   PAPER_BIN         paper binary (default target/release/paper)
 #   BENCH_LOOPS       loops per benchmark (default 16)
+#   BENCH_REPS        repetitions per timing measurement (default 3)
 #   BENCH_OUT         output json (default BENCH_pr.json)
 #   BENCH_BASELINE    baseline json (default BENCH_baseline.json)
 #   BENCH_METRIC_TOL  relative metric tolerance (default 0.01)
@@ -50,6 +57,7 @@ BIN="${PAPER_BIN:-$ROOT/target/release/paper}"
 OUT="${BENCH_OUT:-$ROOT/BENCH_pr.json}"
 BASELINE="${BENCH_BASELINE:-$ROOT/BENCH_baseline.json}"
 LOOPS="${BENCH_LOOPS:-16}"
+REPS="${BENCH_REPS:-3}"
 METRIC_TOL="${BENCH_METRIC_TOL:-0.01}"
 TIME_RATIO="${BENCH_TIME_RATIO:-3.0}"
 
@@ -61,47 +69,81 @@ fi
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 
-echo "== perf gate: figure6 --loops $LOOPS --buses 1 =="
-if [[ -x /usr/bin/time ]]; then
-    /usr/bin/time -p "$BIN" --experiment figure6 --loops "$LOOPS" --buses 1 --jobs 0 \
-        >"$tmp/stdout" 2>"$tmp/stderr"
-    wall="$(awk '/^real/ {print $2}' "$tmp/stderr")"
-else
-    # Portable fallback for environments without GNU time; the binary's own
-    # stderr [time] line still gives per-experiment wall-time.
-    start_ns="$(date +%s%N)"
-    "$BIN" --experiment figure6 --loops "$LOOPS" --buses 1 --jobs 0 \
-        >"$tmp/stdout" 2>"$tmp/stderr"
-    end_ns="$(date +%s%N)"
-    wall="$(awk -v a="$start_ns" -v b="$end_ns" 'BEGIN {printf "%.2f", (b - a) / 1e9}')"
-fi
-grep -E '^\[time\]|^real' "$tmp/stderr" || true
+echo "== perf gate: figure6 --loops $LOOPS --buses 1 (best of $REPS) =="
+wall=""
+for rep in $(seq "$REPS"); do
+    if [[ -x /usr/bin/time ]]; then
+        /usr/bin/time -p "$BIN" --experiment figure6 --loops "$LOOPS" --buses 1 --jobs 0 \
+            >"$tmp/stdout" 2>"$tmp/stderr"
+        rep_wall="$(awk '/^real/ {print $2}' "$tmp/stderr")"
+    else
+        # Portable fallback for environments without GNU time; the binary's
+        # own stderr [time] line still gives per-experiment wall-time.
+        start_ns="$(date +%s%N)"
+        "$BIN" --experiment figure6 --loops "$LOOPS" --buses 1 --jobs 0 \
+            >"$tmp/stdout" 2>"$tmp/stderr"
+        end_ns="$(date +%s%N)"
+        rep_wall="$(awk -v a="$start_ns" -v b="$end_ns" 'BEGIN {printf "%.2f", (b - a) / 1e9}')"
+    fi
+    grep -E '^\[time\]|^real' "$tmp/stderr" || true
+    if [[ -z "$wall" ]] || awk -v a="$rep_wall" -v b="$wall" 'BEGIN {exit !(a < b)}'; then
+        wall="$rep_wall"
+    fi
+done
+echo "best wall: $wall s"
 
-echo "== perf gate: schedbench --loops $LOOPS =="
-"$BIN" --experiment schedbench --loops "$LOOPS" --jobs 1 \
-    >"$tmp/sched-stdout" 2>"$tmp/sched-stderr"
-grep -E '^\[time\]|loops/s' "$tmp/sched-stdout" "$tmp/sched-stderr" || true
+# Repeats a throughput experiment, keeping the JSON record of the run
+# with the highest value of the given key: $1 = experiment args...,
+# last two args = JSON key and destination for the best record.
+best_of() {
+    local key="${@: -2:1}" dest="${@: -1}"
+    local args=("${@:1:$#-2}")
+    local best=""
+    for rep in $(seq "$REPS"); do
+        "$BIN" "${args[@]}" >"$tmp/bench-stdout" 2>"$tmp/bench-stderr"
+        grep -E '^\[time\]|loops/s|evals/s' "$tmp/bench-stdout" "$tmp/bench-stderr" || true
+        local produced="$ROOT/target/paper-results/${args[1]}.json"
+        local value
+        value="$(python3 -c "import json,sys; print(json.load(open(sys.argv[1]))[sys.argv[2]])" \
+            "$produced" "$key")"
+        if [[ -z "$best" ]] || awk -v a="$value" -v b="$best" 'BEGIN {exit !(a > b)}'; then
+            best="$value"
+            cp "$produced" "$dest"
+        fi
+    done
+    echo "best $key: $best"
+}
 
-echo "== perf gate: searchbench --loops $LOOPS =="
-"$BIN" --experiment searchbench --loops "$LOOPS" --jobs 1 \
-    >"$tmp/search-stdout" 2>"$tmp/search-stderr"
-grep -E '^\[time\]|evals/s' "$tmp/search-stdout" "$tmp/search-stderr" || true
+echo "== perf gate: schedbench --loops $LOOPS (best of $REPS) =="
+best_of --experiment schedbench --loops "$LOOPS" --jobs 1 \
+    loops_per_second "$tmp/best-schedbench.json"
 
-echo "== perf gate: warm search over a persistent --store (second process) =="
+echo "== perf gate: searchbench --loops $LOOPS (best of $REPS) =="
+best_of --experiment searchbench --loops "$LOOPS" --jobs 1 \
+    search_evals_per_second "$tmp/best-searchbench.json"
+
+echo "== perf gate: warm search over a persistent --store (best of $REPS, second process) =="
 STORE="$tmp/measure-store"
 SEARCH_BUDGET=64
 "$BIN" search --space extended --budget "$SEARCH_BUDGET" --loops "$LOOPS" --buses 1 \
     --jobs 0 --store "$STORE" >"$tmp/coldstore-stdout" 2>"$tmp/coldstore-stderr"
-start_ns="$(date +%s%N)"
-"$BIN" search --space extended --budget "$SEARCH_BUDGET" --loops "$LOOPS" --buses 1 \
-    --jobs 0 --store "$STORE" >"$tmp/warmstore-stdout" 2>"$tmp/warmstore-stderr"
-end_ns="$(date +%s%N)"
-warm_search_s="$(awk -v a="$start_ns" -v b="$end_ns" 'BEGIN {printf "%.4f", (b - a) / 1e9}')"
-if ! cmp -s "$tmp/coldstore-stdout" "$tmp/warmstore-stdout"; then
-    echo "error: warm --store search is not byte-identical to the cold run" >&2
-    exit 1
-fi
-echo "warm --store search: $SEARCH_BUDGET evaluations in $warm_search_s s"
+warm_search_s=""
+for rep in $(seq "$REPS"); do
+    start_ns="$(date +%s%N)"
+    "$BIN" search --space extended --budget "$SEARCH_BUDGET" --loops "$LOOPS" --buses 1 \
+        --jobs 0 --store "$STORE" >"$tmp/warmstore-stdout" 2>"$tmp/warmstore-stderr"
+    end_ns="$(date +%s%N)"
+    rep_s="$(awk -v a="$start_ns" -v b="$end_ns" 'BEGIN {printf "%.4f", (b - a) / 1e9}')"
+    if ! cmp -s "$tmp/coldstore-stdout" "$tmp/warmstore-stdout"; then
+        echo "error: warm --store search is not byte-identical to the cold run" >&2
+        exit 1
+    fi
+    if [[ -z "$warm_search_s" ]] || \
+        awk -v a="$rep_s" -v b="$warm_search_s" 'BEGIN {exit !(a < b)}'; then
+        warm_search_s="$rep_s"
+    fi
+done
+echo "warm --store search: $SEARCH_BUDGET evaluations in $warm_search_s s (best of $REPS)"
 
 echo "== perf gate: serve + loadgen (warm figure6 over the socket) =="
 SOCK="$tmp/perf-gate.sock"
@@ -119,16 +161,25 @@ fi
 # One warm-up request so loadgen measures the steady-state service path
 # (wire protocol + engine cache hits), not first-touch profiling.
 "$BIN" client --socket "$SOCK" figure6 --loops "$LOOPS" --buses 1 >/dev/null
-"$BIN" loadgen --socket "$SOCK" --clients 4 --requests 8 \
-    figure6 --loops "$LOOPS" --buses 1 >"$tmp/loadgen-stdout" 2>"$tmp/loadgen-stderr"
-grep -E 'req/s' "$tmp/loadgen-stdout" || true
+best_rps=""
+for rep in $(seq "$REPS"); do
+    "$BIN" loadgen --socket "$SOCK" --clients 4 --requests 8 \
+        figure6 --loops "$LOOPS" --buses 1 >"$tmp/loadgen-stdout" 2>"$tmp/loadgen-stderr"
+    grep -E 'req/s' "$tmp/loadgen-stdout" || true
+    rep_rps="$(python3 -c "import json,sys; print(json.load(open(sys.argv[1]))['serve_requests_per_second'])" \
+        "$ROOT/target/paper-results/loadgen.json")"
+    if [[ -z "$best_rps" ]] || awk -v a="$rep_rps" -v b="$best_rps" 'BEGIN {exit !(a > b)}'; then
+        best_rps="$rep_rps"
+        cp "$ROOT/target/paper-results/loadgen.json" "$tmp/best-loadgen.json"
+    fi
+done
 "$BIN" client --socket "$SOCK" shutdown >/dev/null
 wait "$serve_pid"
 
 python3 - "$ROOT/target/paper-results/figure6.json" "$OUT" "$LOOPS" "$wall" \
-    "$ROOT/target/paper-results/schedbench.json" \
-    "$ROOT/target/paper-results/searchbench.json" \
-    "$ROOT/target/paper-results/loadgen.json" \
+    "$tmp/best-schedbench.json" \
+    "$tmp/best-searchbench.json" \
+    "$tmp/best-loadgen.json" \
     "$SEARCH_BUDGET" "$warm_search_s" <<'EOF'
 import json, statistics, sys
 rows = json.load(open(sys.argv[1]))

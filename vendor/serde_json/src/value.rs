@@ -84,6 +84,15 @@ impl Value {
         }
     }
 
+    /// The value as `bool`, if it is a boolean.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The value as an array slice, if it is an array.
     #[must_use]
     pub fn as_array(&self) -> Option<&[Value]> {
