@@ -43,7 +43,7 @@ use std::fmt::Write as _;
 
 use vliw_exec::Executor;
 use vliw_explore::experiments::{self, ExperimentOptions, ProfiledSuite};
-use vliw_explore::{run_search, SpaceKind};
+use vliw_explore::{run_search_scaled, run_search_shard, SpaceKind};
 use vliw_ir::OpClass;
 use vliw_machine::{ClockedConfig, MachineDesign, Time};
 use vliw_sched::{schedule_loop_ws, Phase, SchedWorkspace, ScheduleOptions};
@@ -282,8 +282,12 @@ impl Engine {
         let _ = writeln!(text, "\n== store stats: {} ==", store.dir().display());
         let _ = writeln!(
             text,
-            "{} measurements + {} profiles in {} log file(s), {} bytes",
-            stats.measure_records, stats.profile_records, stats.log_files, stats.bytes
+            "{} measurements + {} profiles + {} evals in {} log file(s), {} bytes",
+            stats.measure_records,
+            stats.profile_records,
+            stats.eval_records,
+            stats.log_files,
+            stats.bytes
         );
         let _ = writeln!(
             text,
@@ -295,6 +299,7 @@ impl Engine {
             dir: store.dir().display().to_string(),
             measure_records: stats.measure_records,
             profile_records: stats.profile_records,
+            eval_records: stats.eval_records,
             log_files: stats.log_files,
             bytes: stats.bytes,
             hits: stats.hits,
@@ -609,7 +614,57 @@ impl Engine {
             .collect::<Result<_, _>>()?;
         let suite_refs: Vec<&ProfiledSuite> = suites.iter().map(Arc::as_ref).collect();
         let opts = ExperimentOptions::default();
-        let report = run_search(
+        if let Some((shard, shard_count)) = sp.shard {
+            let result = run_search_shard(
+                sp.space,
+                sp.strategy,
+                sp.budget,
+                p.seed,
+                &suite_refs,
+                &opts,
+                &self.exec,
+                sp.racing,
+                shard,
+                shard_count,
+            );
+            let report = &result.report;
+            let _ = writeln!(
+                text,
+                "shard {}/{}: {} of {} candidates, budget {}, seed {}: {} evaluations, \
+                 {} frontier points",
+                report.shard,
+                report.shard_count,
+                report.shard_size,
+                report.space_size,
+                report.budget,
+                report.seed,
+                report.evaluations,
+                report.frontier.len()
+            );
+            if sp.racing {
+                let _ = writeln!(
+                    text,
+                    "racing: {} candidates screened on the subsample suite",
+                    result.stats.screened
+                );
+            }
+            render_frontier(text, report.best.as_ref(), &report.frontier);
+            let meta = pretty(&ShardSearchMeta {
+                experiment: "search_shard".to_owned(),
+                strategy: sp.strategy.name().to_owned(),
+                space: sp.space.name().to_owned(),
+                budget: sp.budget,
+                seed: p.seed,
+                loops_per_benchmark: p.loops,
+                buses,
+                racing: sp.racing,
+                screened: result.stats.screened,
+                shard,
+                shard_count,
+            });
+            return Ok((Some(pretty(report)), Some(meta)));
+        }
+        let result = run_search_scaled(
             sp.space,
             sp.strategy,
             sp.budget,
@@ -617,7 +672,9 @@ impl Engine {
             &suite_refs,
             &opts,
             &self.exec,
+            sp.racing,
         );
+        let report = &result.report;
         let _ = writeln!(
             text,
             "space {} ({} candidates), budget {}, seed {}: {} evaluations, {} frontier points",
@@ -628,39 +685,14 @@ impl Engine {
             report.evaluations,
             report.frontier.len()
         );
-        match &report.best {
-            Some(best) => {
-                let _ = writeln!(
-                    text,
-                    "best: index {} | {} bus(es), {} fast, fast {:.2} ns, slow {:.2} ns, \
-                     Vdd {:.2}/{:.2}/{:.2}/{:.2} V | ED2 {:.6e}",
-                    best.index,
-                    best.buses,
-                    best.num_fast,
-                    best.fast_cycle_ns,
-                    best.slow_cycle_ns,
-                    best.vdd_fast,
-                    best.vdd_slow,
-                    best.vdd_icn,
-                    best.vdd_cache,
-                    best.ed2
-                );
-            }
-            None => {
-                let _ = writeln!(text, "best: no feasible candidate found within the budget");
-            }
-        }
-        for row in &report.frontier {
-            let label = format!(
-                "#{} {}b {}f {:.2}/{:.2}ns",
-                row.index, row.buses, row.num_fast, row.fast_cycle_ns, row.slow_cycle_ns
-            );
+        if sp.racing {
             let _ = writeln!(
                 text,
-                "{label:<28} time {:>12.1} ns  energy {:>8.4}  ED2 {:.6e}",
-                row.exec_time_ns, row.energy, row.ed2
+                "racing: {} candidates screened on the subsample suite",
+                result.stats.screened
             );
         }
+        render_frontier(text, report.best.as_ref(), &report.frontier);
         let meta = pretty(&SearchMeta {
             experiment: "search".to_owned(),
             strategy: sp.strategy.name().to_owned(),
@@ -669,8 +701,10 @@ impl Engine {
             seed: p.seed,
             loops_per_benchmark: p.loops,
             buses,
+            racing: sp.racing,
+            screened: result.stats.screened,
         });
-        Ok((Some(pretty(&report)), Some(meta)))
+        Ok((Some(pretty(report)), Some(meta)))
     }
 
     fn searchbench(&self, p: &RunParams, text: &mut String) -> Result<Artifacts, String> {
@@ -690,7 +724,9 @@ impl Engine {
             .map_err(|e| e.to_string())?;
         let budget = 64; // > grid size, so every run spends exactly 20 evals
         let start = Instant::now();
-        let report = run_search(
+        // Racing is on: the bench measures the throughput of the search
+        // as it actually runs at scale, screens included.
+        let result = run_search_scaled(
             SpaceKind::Paper,
             Strategy::HillClimb,
             budget,
@@ -698,16 +734,28 @@ impl Engine {
             &[&profiled],
             &opts,
             &self.exec,
+            true,
         );
         let wall = start.elapsed().as_secs_f64();
+        let report = &result.report;
+        let screened = result.stats.screened;
         let eps = if wall > 0.0 {
             report.evaluations as f64 / wall
         } else {
             f64::INFINITY
         };
+        // A screened candidate is a disposed candidate too: the search
+        // learned its subsample rank without paying a full-suite
+        // measurement for it.
+        let effective = if wall > 0.0 {
+            (report.evaluations + screened) as f64 / wall
+        } else {
+            f64::INFINITY
+        };
         let _ = writeln!(
             text,
-            "evaluated {} candidates in {wall:.3} s => {eps:.2} evals/s",
+            "evaluated {} candidates (+{screened} screened) in {wall:.3} s => {eps:.2} evals/s \
+             ({effective:.2} effective)",
             report.evaluations
         );
         // disk_hits is 0 by construction (no store attached); keeping
@@ -722,9 +770,11 @@ impl Engine {
             loops_per_benchmark: p.loops,
             budget,
             evaluations: report.evaluations,
+            screened,
             measure_misses,
             wall_time_s: wall,
             search_evals_per_second: eps,
+            effective_evals_per_second: effective,
         };
         Ok((Some(pretty(&record)), None))
     }
@@ -912,6 +962,50 @@ impl CorpusMeta {
     }
 }
 
+/// Renders the best line and the frontier rows of a search (or search
+/// shard) run. Shared so the shard path prints candidates exactly as
+/// the unsharded path does — the labels carry global indices either
+/// way.
+fn render_frontier(
+    text: &mut String,
+    best: Option<&vliw_explore::search::FrontierRow>,
+    frontier: &[vliw_explore::search::FrontierRow],
+) {
+    match best {
+        Some(best) => {
+            let _ = writeln!(
+                text,
+                "best: index {} | {} bus(es), {} fast, fast {:.2} ns, slow {:.2} ns, \
+                 Vdd {:.2}/{:.2}/{:.2}/{:.2} V | ED2 {:.6e}",
+                best.index,
+                best.buses,
+                best.num_fast,
+                best.fast_cycle_ns,
+                best.slow_cycle_ns,
+                best.vdd_fast,
+                best.vdd_slow,
+                best.vdd_icn,
+                best.vdd_cache,
+                best.ed2
+            );
+        }
+        None => {
+            let _ = writeln!(text, "best: no feasible candidate found within the budget");
+        }
+    }
+    for row in frontier {
+        let label = format!(
+            "#{} {}b {}f {:.2}/{:.2}ns",
+            row.index, row.buses, row.num_fast, row.fast_cycle_ns, row.slow_cycle_ns
+        );
+        let _ = writeln!(
+            text,
+            "{label:<28} time {:>12.1} ns  energy {:>8.4}  ED2 {:.6e}",
+            row.exec_time_ns, row.energy, row.ed2
+        );
+    }
+}
+
 /// Serialises `rows` exactly as the artefact files store them.
 fn pretty<T: serde::Serialize>(rows: &T) -> String {
     serde_json::to_string_pretty(rows).expect("serialise rows")
@@ -986,12 +1080,18 @@ struct SearchBenchRecord {
     loops_per_benchmark: usize,
     budget: u64,
     evaluations: u64,
+    /// Candidates ranked on the subsample suite by the racing screen
+    /// (the bench always races).
+    screened: u64,
     /// Configurations actually measured (scheduler executions). Equal
     /// whether or not a warm store exists on disk — the bench bypasses
     /// it by design.
     measure_misses: u64,
     wall_time_s: f64,
     search_evals_per_second: f64,
+    /// Candidates disposed of per second: full measurements plus
+    /// subsample screens, over the same wall clock.
+    effective_evals_per_second: f64,
 }
 
 /// The `store_stats` admin record (disk state; not byte-stable).
@@ -1001,6 +1101,7 @@ struct StoreStatsRecord {
     dir: String,
     measure_records: usize,
     profile_records: usize,
+    eval_records: usize,
     log_files: usize,
     bytes: u64,
     hits: u64,
@@ -1020,6 +1121,11 @@ struct StoreCompactRecord {
 }
 
 /// Sidecar for the `search` experiment: every knob that shaped the run.
+///
+/// `screened` is derived, not a knob, but it is a pure function of the
+/// knobs (racing screens a deterministic candidate set), so recording
+/// it here keeps the sidecar byte-stable across cold and store-warmed
+/// replays of the same request.
 #[derive(serde::Serialize)]
 struct SearchMeta {
     experiment: String,
@@ -1029,6 +1135,27 @@ struct SearchMeta {
     seed: u64,
     loops_per_benchmark: usize,
     buses: Vec<u32>,
+    racing: bool,
+    screened: u64,
+}
+
+/// Sidecar for a sharded `search` run: [`SearchMeta`]'s knobs plus the
+/// shard coordinates. A separate shape (rather than always-present
+/// shard fields on [`SearchMeta`]) so unsharded sidecars stay free of
+/// placeholder coordinates.
+#[derive(serde::Serialize)]
+struct ShardSearchMeta {
+    experiment: String,
+    strategy: String,
+    space: String,
+    budget: u64,
+    seed: u64,
+    loops_per_benchmark: usize,
+    buses: Vec<u32>,
+    racing: bool,
+    screened: u64,
+    shard: u32,
+    shard_count: u32,
 }
 
 /// One `corpus schedule` row: one loop modulo-scheduled (and validated)
@@ -1286,5 +1413,86 @@ mod tests {
         );
 
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn warm_search_replays_from_the_store_byte_for_byte() {
+        for racing in [false, true] {
+            let dir = temp_store(if racing { "searchwarm-r" } else { "searchwarm" });
+            let stored = RunParams {
+                store: StoreConfig::at(&dir),
+                ..small()
+            };
+            let req = Request::Search {
+                params: stored,
+                search: SearchParams {
+                    budget: 12,
+                    racing,
+                    ..SearchParams::default()
+                },
+            };
+
+            let cold = Engine::new(1).run(&req);
+            assert!(cold.ok, "cold run failed: {:?}", cold.error);
+            assert!(cold.cache.measure_misses > 0, "the cold run measured");
+
+            // A brand-new engine (fresh memo caches, same directory)
+            // warm-starts every evaluation from the persisted records.
+            let warm = Engine::new(1).run(&req);
+            assert!(warm.ok, "warm run failed: {:?}", warm.error);
+            assert!(warm.cache.store_hits > 0, "served from disk");
+            assert_eq!(
+                warm.cache.measure_misses, 0,
+                "a warm store leaves nothing to re-measure (racing={racing}): {:?}",
+                warm.cache
+            );
+            assert_eq!(warm.text, cold.text, "stdout rendering is byte-stable");
+            assert_eq!(warm.body, cold.body, "frontier/best/trace are byte-stable");
+            assert_eq!(warm.meta, cold.meta, "sidecar is byte-stable");
+
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn sharded_searches_merge_to_the_unsharded_frontier() {
+        use vliw_explore::{merge_shard_reports, ShardReport};
+        use vliw_search::Strategy;
+
+        let engine = Engine::new(1);
+        let exhaustive = |shard| Request::Search {
+            params: small(),
+            search: SearchParams {
+                strategy: Strategy::Exhaustive,
+                shard,
+                ..SearchParams::default()
+            },
+        };
+        let whole = engine.run(&exhaustive(None));
+        assert!(whole.ok, "{:?}", whole.error);
+
+        let mut shards = Vec::new();
+        for i in 1..=2 {
+            let resp = engine.run(&exhaustive(Some((i, 2))));
+            assert!(resp.ok, "shard {i}/2 failed: {:?}", resp.error);
+            let report = ShardReport::from_json_str(resp.body.as_deref().expect("shard body"))
+                .expect("shard artifact parses strictly");
+            assert_eq!(report.shard, i);
+            assert_eq!(report.evaluations, report.shard_size);
+            shards.push(report);
+        }
+        let merged = merge_shard_reports(&shards).expect("shards merge");
+
+        let body: serde_json::Value =
+            serde_json::from_str(whole.body.as_deref().expect("search body")).expect("json");
+        let frontier = body.get("frontier").and_then(|f| f.as_array()).unwrap();
+        assert_eq!(merged.frontier.len(), frontier.len());
+        let best = body
+            .get("best")
+            .and_then(|b| b.get("index"))
+            .and_then(serde_json::Value::as_u64)
+            .expect("unsharded best");
+        assert_eq!(merged.best.as_ref().map(|b| b.index), Some(best));
+        assert_eq!(merged.evaluations, 20, "both shards cover the paper grid");
     }
 }

@@ -7,6 +7,7 @@
 //! ```json
 //! {"kind":"figure6","loops":5,"buses":"1","seed":0}
 //! {"kind":"search","loops":2,"buses":"1","seed":1,"strategy":"hillclimb","budget":8,"space":"paper"}
+//! {"kind":"search","strategy":"ga","budget":200,"space":"extended","racing":true,"shard":"2/3"}
 //! {"kind":"figure6","store":"target/paper-store"}
 //! {"kind":"store_stats"}
 //! {"kind":"corpus_stats","input":"target/paper-results/corpus.json"}
@@ -117,7 +118,7 @@ impl Default for RunParams {
 }
 
 /// The knobs of the `search` experiment (the CLI's `--strategy`,
-/// `--budget` and `--space`).
+/// `--budget`, `--space`, `--racing` and `--shard`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SearchParams {
     /// The optimizer to run.
@@ -126,6 +127,15 @@ pub struct SearchParams {
     pub budget: u64,
     /// The configuration space to search.
     pub space: SpaceKind,
+    /// Successive-halving racing: screen fresh candidate batches on a
+    /// truncated suite and promote only the most promising rung to the
+    /// full measurement. The wire key is `racing`, omitted when false
+    /// so pre-racing wire lines stay valid.
+    pub racing: bool,
+    /// Run only shard `i` of an `n`-way round-robin split of the gene
+    /// grid, as 1-based `(i, n)`. The wire key is `shard` with value
+    /// `"i/n"`, omitted when unsharded.
+    pub shard: Option<(u32, u32)>,
 }
 
 impl Default for SearchParams {
@@ -134,6 +144,8 @@ impl Default for SearchParams {
             strategy: Strategy::HillClimb,
             budget: 64,
             space: SpaceKind::Paper,
+            racing: false,
+            shard: None,
         }
     }
 }
@@ -268,6 +280,16 @@ impl Request {
             | Request::Shutdown
             | Request::StoreStats { .. }
             | Request::StoreCompact { .. } => None,
+            // Shard runs produce a mergeable shard artefact, not a
+            // plain search report — keep the stems distinct so a shard
+            // can never clobber a full search result.
+            Request::Search { search, .. } => {
+                if search.shard.is_some() {
+                    Some("search_shard")
+                } else {
+                    Some("search")
+                }
+            }
             _ => Some(self.kind()),
         }
     }
@@ -353,6 +375,12 @@ impl Request {
                 search.budget,
                 search.space.name()
             ));
+            if search.racing {
+                out.push_str(",\"racing\":true");
+            }
+            if let Some((shard, count)) = search.shard {
+                out.push_str(&format!(",\"shard\":\"{shard}/{count}\""));
+            }
         }
         if let Request::CorpusSchedule {
             input: Some(path), ..
@@ -459,6 +487,22 @@ impl Request {
                         .ok_or_else(|| format!("space must be a string, got {}", v.type_name()))?;
                     b = b.space(SpaceKind::from_name(name).ok_or("space takes paper or extended")?);
                 }
+                "racing" => {
+                    b =
+                        b.racing(v.as_bool().ok_or_else(|| {
+                            format!("racing must be a bool, got {}", v.type_name())
+                        })?);
+                }
+                "shard" => {
+                    let text = v.as_str().ok_or_else(|| {
+                        format!("shard must be a string \"i/n\", got {}", v.type_name())
+                    })?;
+                    let (i, n) = text
+                        .split_once('/')
+                        .and_then(|(i, n)| Some((i.parse().ok()?, n.parse().ok()?)))
+                        .ok_or("shard must be \"i/n\" with positive integers")?;
+                    b = b.shard(i, n);
+                }
                 "input" => {
                     let path = v.as_str().ok_or_else(|| {
                         format!("input must be a string path, got {}", v.type_name())
@@ -560,6 +604,23 @@ impl RequestBuilder {
         self
     }
 
+    /// Enables successive-halving racing (`search` only).
+    #[must_use]
+    pub fn racing(mut self, racing: bool) -> Self {
+        self.search.racing = racing;
+        self.search_seen = true;
+        self
+    }
+
+    /// Runs only 1-based shard `shard` of a `count`-way round-robin
+    /// split of the gene grid (`search` only).
+    #[must_use]
+    pub fn shard(mut self, shard: u32, count: u32) -> Self {
+        self.search.shard = Some((shard, count));
+        self.search_seen = true;
+        self
+    }
+
     /// The corpus file to load (`corpus_schedule`/`corpus_stats` only).
     #[must_use]
     pub fn input(mut self, path: impl Into<PathBuf>) -> Self {
@@ -587,7 +648,14 @@ impl RequestBuilder {
             input,
         } = self;
         if search_seen && kind != "search" {
-            return Err("strategy/budget/space only apply to the search kind".to_owned());
+            return Err(
+                "strategy/budget/space/racing/shard only apply to the search kind".to_owned(),
+            );
+        }
+        if let Some((i, n)) = search.shard {
+            if i < 1 || i > n {
+                return Err(format!("shard {i}/{n} is not \"i/n\" with 1 <= i <= n"));
+            }
         }
         if profile_seen && kind != "schedbench" {
             return Err("profile only applies to the schedbench kind".to_owned());
@@ -688,11 +756,23 @@ mod tests {
             Request::SchedBench(profiled),
             Request::FamilySweep(params.clone()),
             Request::Search {
-                params: stored,
+                params: stored.clone(),
                 search: SearchParams {
                     strategy: Strategy::Anneal,
                     budget: 8,
                     space: SpaceKind::Extended,
+                    racing: false,
+                    shard: None,
+                },
+            },
+            Request::Search {
+                params: stored,
+                search: SearchParams {
+                    strategy: Strategy::Genetic,
+                    budget: 200,
+                    space: SpaceKind::Extended,
+                    racing: true,
+                    shard: Some((2, 3)),
                 },
             },
             Request::SearchBench(params.clone()),
@@ -780,6 +860,8 @@ mod tests {
             .strategy(Strategy::Anneal)
             .budget(8)
             .space(SpaceKind::Extended)
+            .racing(true)
+            .shard(1, 4)
             .build()
             .unwrap();
         let parsed = Request::from_json_str(&built.to_json_string()).unwrap();
@@ -796,6 +878,16 @@ mod tests {
                 Request::builder("figure6").budget(2),
                 "only apply to the search",
             ),
+            (
+                Request::builder("figure6").racing(true),
+                "only apply to the search",
+            ),
+            (
+                Request::builder("table2").shard(1, 2),
+                "only apply to the search",
+            ),
+            (Request::builder("search").shard(0, 2), "1 <= i <= n"),
+            (Request::builder("search").shard(3, 2), "1 <= i <= n"),
             (
                 Request::builder("figure6").profile(true),
                 "only applies to the schedbench",
@@ -834,6 +926,14 @@ mod tests {
             ),
             ("{\"kind\":\"figure6\",\"loops\":0}", "positive integer"),
             ("{\"kind\":\"figure6\",\"buses\":\"3\"}", "1, 2 or both"),
+            (
+                "{\"kind\":\"figure6\",\"racing\":true}",
+                "only apply to the search",
+            ),
+            ("{\"kind\":\"search\",\"racing\":1}", "must be a bool"),
+            ("{\"kind\":\"search\",\"shard\":3}", "must be a string"),
+            ("{\"kind\":\"search\",\"shard\":\"3\"}", "positive integers"),
+            ("{\"kind\":\"search\",\"shard\":\"0/3\"}", "1 <= i <= n"),
             ("not json", "malformed request"),
         ] {
             let err = Request::from_json_str(json).unwrap_err();

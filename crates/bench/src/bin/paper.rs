@@ -7,7 +7,9 @@
 //!              [--buses 1|2|both] [--jobs N] [--seed S] [--store DIR]
 //!        paper search          [--strategy hillclimb|anneal|ga|exhaustive]
 //!                              [--budget N] [--space paper|extended]
+//!                              [--racing] [--shard I/N]
 //!                              [--seed S] [--buses B] [--jobs N] [--store DIR]
+//!        paper search merge    SHARD_FILE... [--out FILE]
 //!        paper corpus dump     [--out FILE]  [--loops-per-benchmark N]
 //!        paper corpus schedule [--in FILE]   [--jobs N] [--loops-per-benchmark N]
 //!        paper corpus stats    [--in FILE]   [--loops-per-benchmark N]
@@ -44,6 +46,16 @@
 //! --space K   search space: `paper` (the 20-point §3.3 grid, first bus
 //!             of --buses) or `extended` (frequencies × speed split ×
 //!             explicit voltages × every bus of --buses; default paper)
+//! --racing    successive-halving racing: rank each optimizer batch on a
+//!             deterministic loop subsample first and spend full-suite
+//!             measurements only on the survivors. The final frontier is
+//!             unchanged — racing only reorders which candidates reach
+//!             full measurement when (`search` only)
+//! --shard I/N run shard I of an N-way deterministic partition of the
+//!             gene grid and write a mergeable `search_shard.json`
+//!             artifact; fold the per-shard artifacts with
+//!             `paper search merge` — the merged frontier's bytes are
+//!             independent of N and of merge order (`search` only)
 //! --profile   collect the scheduler's per-phase timing breakdown
 //!             (clocks, partition, extgraph, place, eject, regs plus a
 //!             vliw-sim validation pass) and report it in the JSON
@@ -57,7 +69,8 @@
 //!             compact DIR (stdout stays byte-stable; all store
 //!             reporting goes to stderr)
 //! --out FILE  where `corpus dump` writes (default
-//!             target/paper-results/corpus.json)
+//!             target/paper-results/corpus.json) and where `search
+//!             merge` writes (default target/paper-results/search_merge.json)
 //! --in FILE   corpus file for `corpus schedule` / `corpus stats`; without
 //!             it, the equivalent in-memory suite is used, and the output
 //!             is byte-identical to a dump-then-load run
@@ -201,6 +214,20 @@ fn main() -> ExitCode {
                 }
                 None => return usage("--space takes paper or extended"),
             },
+            "--racing" => {
+                search_args.racing = true;
+                search_flag_seen = true;
+            }
+            "--shard" => match it.next() {
+                Some(v) => match parse_shard(&v) {
+                    Ok(pair) => {
+                        search_args.shard = Some(pair);
+                        search_flag_seen = true;
+                    }
+                    Err(msg) => return usage(&msg),
+                },
+                None => return usage("--shard needs i/n (e.g. 2/3)"),
+            },
             "--experiment" => match it.next() {
                 Some(name) => experiment_flag = Some(name),
                 None => return usage("--experiment needs a name"),
@@ -267,7 +294,7 @@ fn main() -> ExitCode {
                 return usage("serve takes no experiment; it serves them all");
             }
             if search_flag_seen {
-                return usage("--strategy/--budget/--space only apply to the search experiment");
+                return usage("--strategy/--budget/--space/--racing/--shard only apply to the search experiment");
             }
             if input.is_some() || out.is_some() {
                 return usage("--in/--out only apply to the corpus subcommand");
@@ -338,7 +365,7 @@ fn main() -> ExitCode {
                 return usage("--experiment cannot be combined with the corpus subcommand");
             }
             if search_flag_seen {
-                return usage("--strategy/--budget/--space only apply to the search experiment");
+                return usage("--strategy/--budget/--space/--racing/--shard only apply to the search experiment");
             }
             if positionals.len() > 2 {
                 return usage(&format!("unexpected argument {}", positionals[2]));
@@ -381,7 +408,7 @@ fn main() -> ExitCode {
                 return usage("--experiment cannot be combined with the store subcommand");
             }
             if search_flag_seen {
-                return usage("--strategy/--budget/--space only apply to the search experiment");
+                return usage("--strategy/--budget/--space/--racing/--shard only apply to the search experiment");
             }
             if input.is_some() || out.is_some() {
                 return usage("--in/--out only apply to the corpus subcommand");
@@ -400,6 +427,33 @@ fn main() -> ExitCode {
             };
             finish(run_local(&Engine::new(args.jobs), &req))
         }
+        Some("search") if positionals.get(1).map(String::as_str) == Some("merge") => {
+            // `paper search merge SHARD...` folds shard artifacts into
+            // one frontier CLI-side — it reads local files, which a
+            // request cannot carry.
+            if experiment_flag.is_some() {
+                return usage("--experiment cannot be combined with search merge");
+            }
+            if search_flag_seen {
+                return usage(
+                    "search merge folds existing shard artifacts; \
+                     the search flags do not apply",
+                );
+            }
+            if input.is_some() {
+                return usage("--in only applies to the corpus subcommand");
+            }
+            if args.store.is_enabled() {
+                return usage("--store does not apply to search merge (it reads shard files)");
+            }
+            let files = &positionals[2..];
+            if files.is_empty() {
+                return usage("search merge needs at least one shard artifact file");
+            }
+            finish(timed("search merge", || {
+                search_merge(files, out.as_deref())
+            }))
+        }
         _ => {
             if positionals.len() > 1 {
                 return usage(&format!("unexpected argument {}", positionals[1]));
@@ -411,7 +465,7 @@ fn main() -> ExitCode {
                 .or_else(|| positionals.first().cloned())
                 .unwrap_or_else(|| "all".to_owned());
             if search_flag_seen && experiment != "search" {
-                return usage("--strategy/--budget/--space only apply to the search experiment");
+                return usage("--strategy/--budget/--space/--racing/--shard only apply to the search experiment");
             }
             // One engine for the whole invocation: reference profiles
             // (and the measurement memo cache they carry) are shared
@@ -497,7 +551,10 @@ fn build_request(
          or store stats|compact",
     )?;
     if search_flag_seen && name != "search" {
-        return Err("--strategy/--budget/--space only apply to the search experiment".to_owned());
+        return Err(
+            "--strategy/--budget/--space/--racing/--shard only apply to the search experiment"
+                .to_owned(),
+        );
     }
     if input.is_some() && name != "corpus" {
         return Err("--in/--out only apply to the corpus subcommand".to_owned());
@@ -652,7 +709,8 @@ fn usage(msg: &str) -> ExitCode {
          [--experiment NAME] [--loops-per-benchmark N] [--buses 1|2|both] [--jobs N] [--seed S] \
          [--store DIR] [--profile (schedbench only)]\n\
          \x20      paper search [--strategy hillclimb|anneal|ga|exhaustive] [--budget N] \
-         [--space paper|extended] [--seed S] [--store DIR]\n\
+         [--space paper|extended] [--racing] [--shard I/N] [--seed S] [--store DIR]\n\
+         \x20      paper search merge SHARD_FILE... [--out FILE]\n\
          \x20      paper corpus dump [--out FILE] | corpus schedule [--in FILE] | \
          corpus stats [--in FILE]\n\
          \x20      paper store stats --store DIR | store compact --store DIR\n\
@@ -669,6 +727,50 @@ fn usage(msg: &str) -> ExitCode {
 }
 
 type AnyError = Box<dyn std::error::Error>;
+
+/// Parses `--shard i/n` (1-based shard `i` of `n`).
+fn parse_shard(v: &str) -> Result<(u32, u32), String> {
+    let Some((i, n)) = v.split_once('/') else {
+        return Err(format!("--shard takes i/n (e.g. 2/3), got {v}"));
+    };
+    match (i.parse::<u32>(), n.parse::<u32>()) {
+        (Ok(i), Ok(n)) if i >= 1 && i <= n => Ok((i, n)),
+        (Ok(i), Ok(n)) => Err(format!("--shard {i}/{n} needs 1 <= i <= n")),
+        _ => Err(format!("--shard takes positive integers i/n, got {v}")),
+    }
+}
+
+/// `search merge`: folds shard artifacts (written by `search --shard`)
+/// into one frontier. The merged bytes are independent of shard count
+/// and of the order the files are named in, so any partition of a
+/// space merges to the same artifact as the unsharded run's frontier.
+fn search_merge(files: &[String], out: Option<&Path>) -> Result<(), AnyError> {
+    use heterovliw_core::explore::{merge_shard_reports, ShardReport};
+
+    let mut shards = Vec::new();
+    for f in files {
+        let text = std::fs::read_to_string(f).map_err(|e| format!("{f}: {e}"))?;
+        shards.push(ShardReport::from_json_str(&text).map_err(|e| format!("{f}: {e}"))?);
+    }
+    let merged = merge_shard_reports(&shards)?;
+    println!("\n== search merge: {} shard artifact(s) ==", shards.len());
+    println!(
+        "space {} ({} candidates): {} evaluations, {} frontier points",
+        merged.space,
+        merged.space_size,
+        merged.evaluations,
+        merged.frontier.len()
+    );
+    match &merged.best {
+        Some(best) => println!("best: index {} | ED2 {:.6e}", best.index, best.ed2),
+        None => println!("best: no feasible candidate found within the budget"),
+    }
+    let default_path = results_dir().join("search_merge.json");
+    let path = out.unwrap_or(&default_path);
+    write_atomic(path, &serde_json::to_string_pretty(&merged)?)?;
+    println!("  [rows written to {}]", path.display());
+    Ok(())
+}
 
 /// `corpus dump`: writes the corpus JSON (SPEC suite + generator
 /// families) to `--out` (default `target/paper-results/corpus.json`),

@@ -145,17 +145,27 @@ fn table2_small_run_produces_json_rows() {
 #[test]
 fn search_bad_args_exit_nonzero() {
     let cases: &[&[&str]] = &[
-        &["search", "--strategy"],               // missing value
-        &["search", "--strategy", "frobnicate"], // unknown strategy
-        &["search", "--budget"],                 // missing value
-        &["search", "--budget", "0"],            // not positive
-        &["search", "--budget", "many"],         // not a number
-        &["search", "--space", "bogus"],         // unknown space
-        &["--seed"],                             // missing value
-        &["--seed", "minus-one"],                // not a number
-        &["figure6", "--strategy", "ga"],        // search-only flag
-        &["table2", "--budget", "4"],            // search-only flag
-        &["corpus", "dump", "--space", "paper"], // search-only flag
+        &["search", "--strategy"],                           // missing value
+        &["search", "--strategy", "frobnicate"],             // unknown strategy
+        &["search", "--budget"],                             // missing value
+        &["search", "--budget", "0"],                        // not positive
+        &["search", "--budget", "many"],                     // not a number
+        &["search", "--space", "bogus"],                     // unknown space
+        &["--seed"],                                         // missing value
+        &["--seed", "minus-one"],                            // not a number
+        &["figure6", "--strategy", "ga"],                    // search-only flag
+        &["table2", "--budget", "4"],                        // search-only flag
+        &["corpus", "dump", "--space", "paper"],             // search-only flag
+        &["figure6", "--racing"],                            // search-only flag
+        &["table2", "--shard", "1/2"],                       // search-only flag
+        &["search", "--shard"],                              // missing value
+        &["search", "--shard", "3"],                         // not i/n
+        &["search", "--shard", "a/b"],                       // not numbers
+        &["search", "--shard", "0/2"],                       // shard is 1-based
+        &["search", "--shard", "3/2"],                       // i beyond n
+        &["search", "merge"],                                // no shard files
+        &["search", "merge", "x.json", "--budget", "4"],     // flags don't apply
+        &["search", "merge", "x.json", "--store", "/tmp/s"], // reads files, no store
     ];
     for args in cases {
         let out = paper(args);
@@ -163,6 +173,27 @@ fn search_bad_args_exit_nonzero() {
         let text = String::from_utf8_lossy(&out.stderr);
         assert!(text.contains("usage: paper"), "usage shown for {args:?}");
     }
+}
+
+#[test]
+fn search_merge_rejects_unreadable_and_invalid_shards() {
+    let out = paper(&["search", "merge", "/nonexistent/shard.json"]);
+    assert!(!out.status.success(), "missing shard file must fail");
+    let text = String::from_utf8_lossy(&out.stderr);
+    assert!(text.contains("error:"), "stderr explains: {text}");
+
+    // A JSON file that is not a shard artifact fails the strict parse.
+    let dir = std::env::temp_dir();
+    let bogus = dir.join(format!("cli_bogus_shard_{}.json", std::process::id()));
+    std::fs::write(&bogus, "{\"strategy\": \"ga\"}").expect("write bogus shard");
+    let out = paper(&["search", "merge", bogus.to_str().expect("utf-8 path")]);
+    std::fs::remove_file(&bogus).ok();
+    assert!(!out.status.success(), "non-shard JSON must fail");
+    let text = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        text.contains("missing field"),
+        "strict parse named the gap: {text}"
+    );
 }
 
 /// The acceptance criterion through the binary: `paper search` emits a
@@ -209,6 +240,114 @@ fn search_json_is_byte_identical_across_job_counts() {
     for key in ["\"budget\": 6", "\"seed\": 2", "\"strategy\": \"anneal\""] {
         assert!(meta.contains(key), "meta has {key}: {meta}");
     }
+}
+
+/// The scaled-search contract, end to end through the binary. One test
+/// (not several) because every shard run writes the same
+/// `search_shard.json` artifact — the phases must not interleave.
+///
+/// Phase 1 (sharding): the paper grid searched as 3 shards and as 1
+/// shard merges to byte-identical frontiers regardless of shard count
+/// and merge order. Phase 2 (racing): a racing run of the full grid
+/// produces the exact bytes of the non-racing run. Phase 3 (warm
+/// start): re-running the racing search against the now-populated
+/// store replays the same bytes without re-measuring, and the store
+/// reports the persisted evaluations.
+#[test]
+fn sharded_racing_and_warm_searches_reproduce_the_plain_frontier() {
+    let dir = std::env::temp_dir().join(format!("cli_scale_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let path = |name: &str| dir.join(name).to_str().expect("utf-8 path").to_owned();
+
+    let shard_run = |extra: &[&str]| {
+        let mut args = vec![
+            "search",
+            "--strategy",
+            "exhaustive",
+            "--budget",
+            "64",
+            "--loops",
+            "1",
+            "--buses",
+            "1",
+            "--jobs",
+            "2",
+        ];
+        args.extend_from_slice(extra);
+        let out = paper(&args);
+        assert!(
+            out.status.success(),
+            "paper {args:?}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        std::fs::read_to_string(results_dir().join("search_shard.json")).expect("shard artifact")
+    };
+
+    // 3-way and 1-way partitions of the same grid.
+    for i in 1..=3 {
+        let artifact = shard_run(&["--shard", &format!("{i}/3")]);
+        std::fs::write(path(&format!("shard{i}.json")), artifact).expect("stash shard");
+    }
+    let whole = shard_run(&["--shard", "1/1"]);
+    std::fs::write(path("whole.json"), &whole).expect("stash 1/1 shard");
+
+    let merge = |files: &[&str], out_name: &str| -> String {
+        let out_path = path(out_name);
+        let mut args = vec!["search", "merge"];
+        args.extend_from_slice(files);
+        args.extend_from_slice(&["--out", &out_path]);
+        let out = paper(&args);
+        assert!(
+            out.status.success(),
+            "paper {args:?}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        std::fs::read_to_string(&out_path).expect("merged artifact")
+    };
+    let s1 = path("shard1.json");
+    let s2 = path("shard2.json");
+    let s3 = path("shard3.json");
+    let w = path("whole.json");
+    let merged = merge(&[&s1, &s2, &s3], "merged3.json");
+    let reversed = merge(&[&s3, &s2, &s1], "merged3r.json");
+    let one_way = merge(&[&w], "merged1.json");
+    assert_eq!(merged, reversed, "merge order must not change the bytes");
+    assert_eq!(merged, one_way, "shard count must not change the bytes");
+    for key in ["\"evaluations\": 20", "\"frontier\"", "\"best\""] {
+        assert!(merged.contains(key), "merged artifact has {key}: {merged}");
+    }
+
+    // Racing reorders when candidates reach full measurement; on full
+    // coverage it must change nothing at all.
+    let raced = shard_run(&["--shard", "1/1", "--racing"]);
+    assert_eq!(raced, whole, "racing must not change the frontier bytes");
+
+    // Warm start: a cold racing run populates the store; a fresh
+    // process replays it byte for byte.
+    let store = path("store");
+    let cold = shard_run(&["--shard", "1/1", "--racing", "--store", &store]);
+    assert_eq!(cold, whole, "the store must not change the frontier bytes");
+    let warm = shard_run(&["--shard", "1/1", "--racing", "--store", &store]);
+    assert_eq!(warm, cold, "a warm replay reproduces the cold bytes");
+
+    let stats = paper(&["store", "stats", "--store", &store]);
+    assert!(
+        stats.status.success(),
+        "store stats: {}",
+        String::from_utf8_lossy(&stats.stderr)
+    );
+    let stats_text = String::from_utf8_lossy(&stats.stdout).to_string();
+    assert!(
+        !stats_text.contains("+ 0 evals"),
+        "the search persisted eval records: {stats_text}"
+    );
+    assert!(
+        stats_text.contains("evals"),
+        "store stats report eval records: {stats_text}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

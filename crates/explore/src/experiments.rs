@@ -26,7 +26,7 @@ use vliw_store::{MeasureStore, StoreKey};
 use vliw_workloads::{classify, Benchmark, LoopClass};
 
 use crate::homog::{optimum_homogeneous_suite_with, HomogChoice};
-use crate::profile::{profile_benchmark_ws, suite_reference, BenchmarkProfile};
+use crate::profile::{profile_benchmark_ws, suite_reference, BenchmarkProfile, T_TOTAL};
 use crate::select::select_heterogeneous_with;
 use crate::store_keys::{
     benchmark_content_hash, config_fingerprint, profile_to_record, record_to_profile,
@@ -217,7 +217,90 @@ impl ProfiledSuite {
             Ok(usage)
         })
     }
+
+    /// Per-benchmark structural content hashes, in suite order (the first
+    /// half of every store key).
+    pub(crate) fn content(&self) -> &[u64] {
+        &self.content
+    }
+
+    /// A cheap *screening* copy of this suite for racing: every benchmark
+    /// keeps only its first `max(1, n / SCREEN_LOOPS_DIVISOR)` loops, with
+    /// the kept loops' weights renormalised to sum to 1.
+    ///
+    /// Renormalising keeps the truncated suite on the same scale as the
+    /// full one: invocation counts still reconstruct [`T_TOTAL`] per
+    /// benchmark, so the recomputed per-benchmark
+    /// [`vliw_power::ReferenceProfile`]s —
+    /// and the power model calibrated on them — stay commensurable with
+    /// the full-suite pipeline, and homogeneous candidates (measured off
+    /// the reference profile, not by re-scheduling) rank consistently
+    /// against heterogeneous ones.
+    ///
+    /// The screening suite shares the attached persistent store but owns
+    /// a fresh memo cache and *distinct* content hashes (truncated
+    /// benchmarks hash differently), so screening measurements never
+    /// pollute full-fidelity records.
+    #[must_use]
+    pub fn screen_subset(&self) -> ProfiledSuite {
+        let mut benches = Vec::with_capacity(self.benches.len());
+        let mut profiles = Vec::with_capacity(self.profiles.len());
+        for (bench, profile) in self.benches.iter().zip(&self.profiles) {
+            let keep = (bench.loops.len() / SCREEN_LOOPS_DIVISOR).max(1);
+            let kept_weight: f64 = bench.loops[..keep].iter().map(vliw_ir::Loop::weight).sum();
+            benches.push(Benchmark {
+                name: bench.name.clone(),
+                loops: bench.loops[..keep]
+                    .iter()
+                    .map(|l| {
+                        vliw_ir::Loop::new(
+                            l.ddg().clone(),
+                            l.trip_count(),
+                            l.weight() / kept_weight,
+                        )
+                    })
+                    .collect(),
+            });
+            let mut loops: Vec<_> = profile.loops[..keep].to_vec();
+            let mut agg_ins = 0.0f64;
+            let mut agg_comms = 0.0f64;
+            let mut agg_mem = 0.0f64;
+            for lp in &mut loops {
+                lp.weight /= kept_weight;
+                lp.invocations /= kept_weight;
+                let trips = lp.trips as f64;
+                agg_ins += lp.invocations * lp.weighted_ins * trips;
+                agg_comms += lp.invocations * lp.comms as f64 * trips;
+                agg_mem += lp.invocations * lp.mem_accesses as f64 * trips;
+            }
+            profiles.push(BenchmarkProfile {
+                name: profile.name.clone(),
+                loops,
+                reference: vliw_power::ReferenceProfile {
+                    weighted_ins: agg_ins,
+                    comms: agg_comms.round() as u64,
+                    mem_accesses: agg_mem.round() as u64,
+                    exec_time: T_TOTAL,
+                },
+            });
+        }
+        let content = benches.iter().map(benchmark_content_hash).collect();
+        ProfiledSuite {
+            design: self.design,
+            profiles,
+            benches,
+            cache: MeasureCache::new(),
+            store: self.store.clone(),
+            content,
+            disk_hits: AtomicU64::new(0),
+        }
+    }
 }
+
+/// Loop-count divisor for [`ProfiledSuite::screen_subset`]: screening
+/// suites keep the first `max(1, n / SCREEN_LOOPS_DIVISOR)` loops of each
+/// benchmark.
+pub const SCREEN_LOOPS_DIVISOR: usize = 8;
 
 /// Profiles `suite` on the paper's machine with `buses` buses. Serial
 /// shorthand for [`profile_suite_with`].

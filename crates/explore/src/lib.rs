@@ -28,6 +28,7 @@ mod estimate;
 pub mod experiments;
 mod homog;
 mod profile;
+pub mod scale;
 pub mod search;
 mod select;
 pub mod store_keys;
@@ -40,6 +41,10 @@ pub use homog::{
 pub use profile::{
     profile_benchmark, profile_benchmark_ws, reference_usage_scaled, suite_reference,
     BenchmarkProfile, LoopProfile, T_TOTAL,
+};
+pub use scale::{
+    merge_shard_reports, run_search_scaled, run_search_shard, MergedReport, ScaleStats,
+    ScaledSearch, ShardReport, ShardSearch,
 };
 pub use search::{run_search, ConfigSpace, SearchContext, SearchReport, SpaceKind};
 pub use select::{candidate_grid, select_heterogeneous, select_heterogeneous_with, HeteroChoice};
@@ -59,4 +64,7 @@ const _: () = {
     _assert_send_sync::<experiments::MeasureCache>();
     _assert_send_sync::<ConfigSpace>();
     _assert_send_sync::<SearchReport>();
+    _assert_send_sync::<ShardReport>();
+    _assert_send_sync::<MergedReport>();
+    _assert_send_sync::<ScaleStats>();
 };

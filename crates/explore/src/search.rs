@@ -439,7 +439,67 @@ impl<'a> SearchContext<'a> {
         })
     }
 
-    fn frontier_row(&self, entry: &ArchiveEntry<Vec<u32>>) -> FrontierRow {
+    /// Stable content address of this search's *evaluation function*:
+    /// everything that determines `evaluate(point(i))` for a canonical
+    /// index `i` — the space kind, its menus and gene grid, every
+    /// profiled machine shape with its benchmark content hashes and
+    /// calibrated power model, and the scheduler options.
+    ///
+    /// Two contexts with equal fingerprints agree on every candidate's
+    /// objectives, so persisted evaluations keyed by
+    /// `(fingerprint, index)` are shareable across processes, shards,
+    /// strategies and seeds. Anything that changes a measurement — suite
+    /// scale or seed, bus counts, menus, energy shares (via the
+    /// calibrated model), scheduler knobs — changes the fingerprint.
+    #[must_use]
+    pub fn space_fingerprint(&self) -> u64 {
+        let mut h = vliw_store::StableHasher::new();
+        h.write_str(self.space.kind.name());
+        h.write_u64(self.space.grid.size());
+        h.write_u64(self.space.fast_factors.len() as u64);
+        for &v in &self.space.fast_factors {
+            h.write_f64(v);
+        }
+        h.write_u64(self.space.slow_ratios.len() as u64);
+        for &v in &self.space.slow_ratios {
+            h.write_f64(v);
+        }
+        h.write_u64(self.space.num_fast.len() as u64);
+        for &n in &self.space.num_fast {
+            h.write_u8(n);
+        }
+        if self.space.kind == SpaceKind::Extended {
+            for menu in [
+                &EXT_CLUSTER_VDDS[..],
+                &EXT_ICN_VDDS[..],
+                &EXT_CACHE_VDDS[..],
+            ] {
+                h.write_u64(menu.len() as u64);
+                for &v in menu {
+                    h.write_f64(v);
+                }
+            }
+        }
+        h.write_u64(self.buses.len() as u64);
+        for bus in &self.buses {
+            let design = bus.suite.design;
+            h.write_u8(design.num_clusters);
+            h.write_u32(design.buses);
+            h.write_u32(design.cluster.int_fus);
+            h.write_u32(design.cluster.fp_fus);
+            h.write_u32(design.cluster.mem_ports);
+            h.write_u32(design.cluster.registers);
+            h.write_u64(bus.suite.content().len() as u64);
+            for &c in bus.suite.content() {
+                h.write_u64(c);
+            }
+            crate::store_keys::hash_power(&mut h, &bus.power);
+        }
+        crate::store_keys::hash_sched(&mut h, &self.opts.sched);
+        h.finish()
+    }
+
+    pub(crate) fn frontier_row(&self, entry: &ArchiveEntry<Vec<u32>>) -> FrontierRow {
         let (buses, config) = self
             .decode(&entry.point)
             .expect("archived candidates are feasible by construction");
@@ -563,6 +623,12 @@ pub struct SearchReport {
 /// fanned out with input-ordered reduction, and the evaluation itself is
 /// deterministic).
 ///
+/// When the first suite carries a persistent store, evaluations are
+/// persisted and replayed runs warm-start from them — a replay of the
+/// same arguments produces the same bytes without re-measuring (see
+/// [`run_search_scaled`](crate::scale::run_search_scaled) for the
+/// racing and sharding variants).
+///
 /// # Panics
 ///
 /// Panics if `suites` is empty.
@@ -576,41 +642,7 @@ pub fn run_search(
     opts: &ExperimentOptions,
     exec: &Executor,
 ) -> SearchReport {
-    let ctx = SearchContext::new(kind, suites, opts);
-    let evaluate = |genes: &Vec<u32>, inner: &Executor| ctx.evaluate_with(genes, inner);
-    let outcome = strategy.run_with(ctx.space(), &evaluate, budget, seed, exec);
-    // Decoding a paper-space row repeats the voltage descent, so each
-    // frontier entry is decoded once; the scalar winner is one of them.
-    let frontier: Vec<FrontierRow> = outcome
-        .archive
-        .entries()
-        .iter()
-        .map(|e| ctx.frontier_row(e))
-        .collect();
-    let best = outcome
-        .best()
-        .map(|e| e.index)
-        .and_then(|idx| frontier.iter().find(|row| row.index == idx))
-        .cloned();
-    SearchReport {
-        strategy: outcome.strategy.to_owned(),
-        space: kind.name().to_owned(),
-        budget: outcome.budget,
-        seed: outcome.seed,
-        space_size: outcome.space_size,
-        evaluations: outcome.evaluations,
-        best,
-        frontier,
-        trace: outcome
-            .trace
-            .iter()
-            .map(|t| TraceRow {
-                evaluations: t.evaluations,
-                index: t.index,
-                ed2: t.ed2,
-            })
-            .collect(),
-    }
+    crate::scale::run_search_scaled(kind, strategy, budget, seed, suites, opts, exec, false).report
 }
 
 #[cfg(test)]

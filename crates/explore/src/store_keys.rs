@@ -90,6 +90,21 @@ pub fn config_fingerprint(
     }
     h.write_f64(config.voltages().icn);
     h.write_f64(config.voltages().cache);
+    hash_sched(&mut h, sched);
+    match power {
+        None => h.write_u8(0),
+        Some(p) => {
+            h.write_u8(1);
+            hash_power(&mut h, p);
+        }
+    }
+    h.finish()
+}
+
+/// Absorbs the measurement-relevant scheduler options: budget ratio, IT
+/// retry cap, and the frequency menu (the per-loop trip count is
+/// overwritten while measuring and deliberately left out).
+pub(crate) fn hash_sched(h: &mut StableHasher, sched: &ScheduleOptions) {
     h.write_u32(sched.budget_ratio);
     h.write_u32(sched.max_it_attempts);
     match sched.menu.cycle_times_at_least(Time::from_fs(1)) {
@@ -102,36 +117,35 @@ pub fn config_fingerprint(
             }
         }
     }
-    match power {
-        None => h.write_u8(0),
-        Some(p) => {
-            h.write_u8(1);
-            let s = p.shares();
-            let u = p.units();
-            let a = p.alpha_model();
-            for v in [
-                s.icn,
-                s.cache,
-                s.leak_cluster,
-                s.leak_icn,
-                s.leak_cache,
-                u.e_ins,
-                u.e_comm,
-                u.e_access,
-                u.e_static_cluster_per_s,
-                u.e_static_icn_per_s,
-                u.e_static_cache_per_s,
-                a.alpha(),
-                a.vdd_ref(),
-                a.vth_ref(),
-                a.freq_ref_ghz(),
-                a.swing(),
-            ] {
-                h.write_f64(v);
-            }
-        }
+}
+
+/// Absorbs every stable parameter of a calibrated power model — the
+/// exact list `PowerModel::fingerprint` digests in memory, hashed with
+/// the on-disk discipline.
+pub(crate) fn hash_power(h: &mut StableHasher, p: &PowerModel) {
+    let s = p.shares();
+    let u = p.units();
+    let a = p.alpha_model();
+    for v in [
+        s.icn,
+        s.cache,
+        s.leak_cluster,
+        s.leak_icn,
+        s.leak_cache,
+        u.e_ins,
+        u.e_comm,
+        u.e_access,
+        u.e_static_cluster_per_s,
+        u.e_static_icn_per_s,
+        u.e_static_cache_per_s,
+        a.alpha(),
+        a.vdd_ref(),
+        a.vth_ref(),
+        a.freq_ref_ghz(),
+        a.swing(),
+    ] {
+        h.write_f64(v);
     }
-    h.finish()
 }
 
 pub(crate) fn usage_to_record(usage: &UsageProfile) -> MeasureRecord {

@@ -1,0 +1,237 @@
+//! The [`Evaluator`] abstraction: what the optimizers call to score a
+//! candidate, extended with the two scaling hooks the engine understands
+//! — successive-halving **racing** (a cheap screening measurement gates
+//! promotion to the full measurement) and **warm starts** (persisted
+//! evaluations seed the archive and replace re-measurement).
+//!
+//! A plain closure `Fn(&P, &Executor) -> Option<Objectives>` is an
+//! [`Evaluator`] via the blanket impl (full measurement only, no
+//! screening, no warm entries), so every pre-existing call site keeps
+//! working unchanged. [`ScaledEvaluator`] composes a full-measurement
+//! closure with a screening closure, a [`RacingPlan`] and a warm-entry
+//! table without requiring a hand-written trait impl.
+//!
+//! # Equivalence contract
+//!
+//! Racing never lets a screening result into the archive: screened
+//! losers are simply *not measured this batch* (they return `None` and
+//! stay un-memoised), while survivors go through the ordinary
+//! full-measurement path. Combined with the engine's deterministic
+//! index-order sweep of leftover budget, a budget of at least the space
+//! size still reaches full coverage — so the final frontier is
+//! *identical* to the non-racing frontier, a property the differential
+//! tests pin per strategy. Under a partial budget racing is a heuristic
+//! reallocation of measurements, not an equivalence.
+
+use vliw_exec::Executor;
+
+use crate::space::Objectives;
+
+/// Successive-halving parameters for a racing evaluator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RacingPlan {
+    /// Smallest fresh-candidate batch racing engages on. Below this the
+    /// batch is fully measured — screening one or two candidates saves
+    /// nothing and single-candidate batches (hill-climb starts,
+    /// annealing proposals) must stay exact.
+    pub min_batch: usize,
+    /// Halving factor: `ceil(n / eta)` screened candidates survive each
+    /// rung.
+    pub eta: u64,
+    /// Hard cap on survivors promoted per rung, derived from the budget
+    /// so one oversized batch cannot swallow the whole run.
+    pub max_rung: u64,
+}
+
+impl RacingPlan {
+    /// The default plan for a given evaluation budget: engage at batches
+    /// of 4, halve each rung (`eta = 2`), and cap rungs at a quarter of
+    /// the budget (at least 1).
+    #[must_use]
+    pub fn from_budget(budget: u64) -> Self {
+        RacingPlan {
+            min_batch: 4,
+            eta: 2,
+            max_rung: (budget / 4).max(1),
+        }
+    }
+
+    /// Survivors of a rung over `fresh` screened candidates:
+    /// `min(ceil(fresh / eta), max_rung)`, at least 1.
+    #[must_use]
+    pub fn survivors(&self, fresh: usize) -> usize {
+        let halved = (fresh as u64).div_ceil(self.eta.max(1)).max(1);
+        usize::try_from(halved.min(self.max_rung.max(1))).unwrap_or(fresh)
+    }
+}
+
+/// Scores candidates for the optimizers.
+///
+/// Implementations must be deterministic: the same point yields the
+/// same objectives on every call, worker count and machine. `None`
+/// means the candidate is infeasible (also deterministic).
+pub trait Evaluator<P>: Sync {
+    /// The full-fidelity measurement. This is the only method whose
+    /// results reach the archive, memo table and convergence trace.
+    fn evaluate(&self, point: &P, exec: &Executor) -> Option<Objectives>;
+
+    /// The cheap screening measurement racing ranks by (defaults to the
+    /// full measurement, which makes racing pointless but correct).
+    /// Screening results never reach the archive; they only order
+    /// candidates within a rung.
+    fn screen(&self, point: &P, exec: &Executor) -> Option<Objectives> {
+        self.evaluate(point, exec)
+    }
+
+    /// The racing plan, or `None` to measure every candidate fully.
+    fn racing(&self) -> Option<RacingPlan> {
+        None
+    }
+
+    /// Persisted evaluations to warm-start from, as `(canonical index,
+    /// result)` pairs sorted by index. Warm entries pre-seed the Pareto
+    /// archive before the first optimizer step and replace the
+    /// [`evaluate`](Evaluator::evaluate) call when the walk first
+    /// touches that index — the touch still consumes budget and updates
+    /// memo/archive/trace exactly as a measurement would, so a warm run
+    /// replays its cold counterpart byte for byte.
+    fn warm(&self) -> &[(u64, Option<Objectives>)] {
+        &[]
+    }
+}
+
+impl<P, F> Evaluator<P> for F
+where
+    F: Fn(&P, &Executor) -> Option<Objectives> + Sync,
+{
+    fn evaluate(&self, point: &P, exec: &Executor) -> Option<Objectives> {
+        self(point, exec)
+    }
+}
+
+/// An [`Evaluator`] assembled from closures plus the scaling knobs:
+/// a full-measurement function, an optional screening function with its
+/// [`RacingPlan`], and an optional warm-entry table.
+pub struct ScaledEvaluator<F, G> {
+    full: F,
+    screening: G,
+    racing: Option<RacingPlan>,
+    warm: Vec<(u64, Option<Objectives>)>,
+}
+
+impl<F, G> std::fmt::Debug for ScaledEvaluator<F, G> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScaledEvaluator")
+            .field("racing", &self.racing)
+            .field("warm_entries", &self.warm.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<F> ScaledEvaluator<F, F>
+where
+    F: Clone,
+{
+    /// An evaluator that measures fully on both paths (no racing, no
+    /// warm entries) — the identity wrapping of a plain closure.
+    pub fn full(evaluate: F) -> Self {
+        ScaledEvaluator {
+            full: evaluate.clone(),
+            screening: evaluate,
+            racing: None,
+            warm: Vec::new(),
+        }
+    }
+}
+
+impl<F, G> ScaledEvaluator<F, G> {
+    /// An evaluator with distinct full and screening measurements
+    /// (racing still off until [`with_racing`](Self::with_racing)).
+    pub fn new(full: F, screening: G) -> Self {
+        ScaledEvaluator {
+            full,
+            screening,
+            racing: None,
+            warm: Vec::new(),
+        }
+    }
+
+    /// Enables successive-halving racing with `plan`.
+    #[must_use]
+    pub fn with_racing(mut self, plan: RacingPlan) -> Self {
+        self.racing = Some(plan);
+        self
+    }
+
+    /// Installs warm-start entries (must be sorted by index with no
+    /// duplicates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `warm` is not strictly sorted by index.
+    #[must_use]
+    pub fn with_warm(mut self, warm: Vec<(u64, Option<Objectives>)>) -> Self {
+        assert!(
+            warm.windows(2).all(|w| w[0].0 < w[1].0),
+            "warm entries must be strictly sorted by index"
+        );
+        self.warm = warm;
+        self
+    }
+}
+
+impl<P, F, G> Evaluator<P> for ScaledEvaluator<F, G>
+where
+    F: Fn(&P, &Executor) -> Option<Objectives> + Sync,
+    G: Fn(&P, &Executor) -> Option<Objectives> + Sync,
+{
+    fn evaluate(&self, point: &P, exec: &Executor) -> Option<Objectives> {
+        (self.full)(point, exec)
+    }
+
+    fn screen(&self, point: &P, exec: &Executor) -> Option<Objectives> {
+        (self.screening)(point, exec)
+    }
+
+    fn racing(&self) -> Option<RacingPlan> {
+        self.racing
+    }
+
+    fn warm(&self) -> &[(u64, Option<Objectives>)] {
+        &self.warm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_from_budget_scales_rungs() {
+        let plan = RacingPlan::from_budget(64);
+        assert_eq!((plan.min_batch, plan.eta, plan.max_rung), (4, 2, 16));
+        assert_eq!(RacingPlan::from_budget(0).max_rung, 1);
+        assert_eq!(RacingPlan::from_budget(3).max_rung, 1);
+    }
+
+    #[test]
+    fn survivors_halve_and_cap() {
+        let plan = RacingPlan {
+            min_batch: 4,
+            eta: 2,
+            max_rung: 3,
+        };
+        assert_eq!(plan.survivors(8), 3); // ceil(8/2)=4, capped at 3
+        assert_eq!(plan.survivors(5), 3);
+        assert_eq!(plan.survivors(4), 2);
+        assert_eq!(plan.survivors(1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_warm_entries_panic() {
+        let obj = Objectives::from_time_energy(1.0, 1.0);
+        let _ = ScaledEvaluator::full(|_: &u64, _: &Executor| None::<Objectives>)
+            .with_warm(vec![(3, Some(obj)), (1, None)]);
+    }
+}

@@ -17,7 +17,12 @@
 //!   [`Strategy`];
 //! * [`ParetoArchive`] — the non-dominated `(exec time, energy, ED²)`
 //!   frontier of everything a run evaluated, with deterministic
-//!   tie-breaking.
+//!   tie-breaking;
+//! * the scaling layer — [`Evaluator`]/[`ScaledEvaluator`] add
+//!   successive-halving **racing** ([`RacingPlan`]) and **warm starts**
+//!   from persisted evaluations, and [`ShardedSpace`] partitions a space
+//!   round-robin so independent processes can search disjoint slices and
+//!   merge frontiers byte-stably.
 //!
 //! # Determinism
 //!
@@ -55,12 +60,16 @@
 #![warn(missing_debug_implementations)]
 
 mod archive;
+mod evaluate;
 mod optimize;
+mod shard;
 mod space;
 mod strategies;
 
 pub use archive::{ArchiveEntry, ParetoArchive};
+pub use evaluate::{Evaluator, RacingPlan, ScaledEvaluator};
 pub use optimize::{Optimizer, SearchOutcome, TracePoint};
+pub use shard::ShardedSpace;
 pub use space::{GridSpace, Objectives, SearchSpace};
 pub use strategies::{Anneal, Exhaustive, Genetic, HillClimb, Strategy};
 

@@ -1,12 +1,30 @@
 //! The [`Optimizer`] interface, the shared evaluation state every
 //! strategy runs on, and the [`SearchOutcome`] they all return.
 
-use std::collections::BTreeMap;
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BTreeSet};
 
 use vliw_exec::Executor;
 
 use crate::archive::{ArchiveEntry, ParetoArchive};
+use crate::evaluate::{Evaluator, RacingPlan};
 use crate::space::{Objectives, SearchSpace};
+
+/// Compares two evaluated candidates by `(objectives, index)`; `None`
+/// (infeasible) ranks after every feasible candidate, ties on index.
+/// Shared by the strategies' selection logic and the racing rung
+/// ranking.
+pub(crate) fn candidate_cmp(
+    a: (Option<Objectives>, u64),
+    b: (Option<Objectives>, u64),
+) -> Ordering {
+    match (a.0, b.0) {
+        (Some(oa), Some(ob)) => oa.scalar_cmp(&ob).then_with(|| a.1.cmp(&b.1)),
+        (Some(_), None) => Ordering::Less,
+        (None, Some(_)) => Ordering::Greater,
+        (None, None) => a.1.cmp(&b.1),
+    }
+}
 
 /// One convergence-trace sample: the best scalar (ED²) seen after
 /// `evaluations` distinct candidate evaluations.
@@ -34,6 +52,10 @@ pub struct SearchOutcome<P> {
     /// Distinct candidate evaluations actually spent (≤ `budget`, and ≤
     /// `space_size` — memoised repeats are free).
     pub evaluations: u64,
+    /// Distinct candidates screened by racing (0 when racing is off).
+    /// Screens consume no budget; `evaluations + screened` is the total
+    /// number of candidate dispositions the run made.
+    pub screened: u64,
     /// The non-dominated frontier of everything evaluated.
     pub archive: ParetoArchive<P>,
     /// Convergence trace: every improvement of the scalar best.
@@ -63,15 +85,17 @@ pub trait Optimizer {
     /// are spent (or the whole space is evaluated, whichever comes
     /// first), fanning evaluation batches across `exec`.
     ///
-    /// `evaluate` returns `None` for infeasible candidates; infeasible
-    /// evaluations still consume budget (they cost the same work). It
-    /// receives an [`Executor`] for its *internal* fan-out: the full
-    /// pool when the engine has only one fresh candidate to evaluate
-    /// (sequential strategies like annealing would otherwise leave every
-    /// worker idle), the serial executor when candidates themselves are
-    /// being fanned out in parallel. Evaluations must be deterministic
-    /// for every worker count, as everything built on `Executor::map`
-    /// is.
+    /// `evaluate` is any [`Evaluator`] — a plain closure via the blanket
+    /// impl, or a [`crate::ScaledEvaluator`] carrying racing and
+    /// warm-start hooks. It returns `None` for infeasible candidates;
+    /// infeasible evaluations still consume budget (they cost the same
+    /// work). Each call receives an [`Executor`] for its *internal*
+    /// fan-out: the full pool when the engine has only one fresh
+    /// candidate to evaluate (sequential strategies like annealing would
+    /// otherwise leave every worker idle), the serial executor when
+    /// candidates themselves are being fanned out in parallel.
+    /// Evaluations must be deterministic for every worker count, as
+    /// everything built on `Executor::map` is.
     ///
     /// Budget left over when a strategy's stochastic phase stalls (its
     /// restart/proposal/generation caps trip because random moves keep
@@ -90,13 +114,13 @@ pub trait Optimizer {
     ) -> SearchOutcome<S::Point>
     where
         S: SearchSpace,
-        F: Fn(&S::Point, &Executor) -> Option<Objectives> + Sync;
+        F: Evaluator<S::Point>;
 
     /// [`Optimizer::run_with`] on the calling thread only.
     fn run<S, F>(&self, space: &S, evaluate: &F, budget: u64, seed: u64) -> SearchOutcome<S::Point>
     where
         S: SearchSpace,
-        F: Fn(&S::Point, &Executor) -> Option<Objectives> + Sync,
+        F: Evaluator<S::Point>,
     {
         self.run_with(space, evaluate, budget, seed, &Executor::serial())
     }
@@ -104,7 +128,8 @@ pub trait Optimizer {
 
 /// The evaluation engine shared by every strategy: a memo table over
 /// canonical indices, the distinct-evaluation budget, the Pareto archive
-/// and the convergence trace.
+/// and the convergence trace — plus the racing screen memo and the
+/// warm-start table when the evaluator provides them.
 pub(crate) struct State<'a, S: SearchSpace, F> {
     space: &'a S,
     evaluate: &'a F,
@@ -118,14 +143,43 @@ pub(crate) struct State<'a, S: SearchSpace, F> {
     archive: ParetoArchive<S::Point>,
     trace: Vec<TracePoint>,
     best: Option<(Objectives, u64)>,
+    /// Successive-halving parameters, when the evaluator races.
+    racing: Option<RacingPlan>,
+    /// Screening results (racing only). Screens are free — they consume
+    /// no budget — and never reach the memo, archive or trace.
+    screen_memo: BTreeMap<u64, Option<Objectives>>,
+    /// Distinct candidates screened (for throughput reporting).
+    screened: u64,
+    /// Warm-start table: persisted results consulted instead of
+    /// [`Evaluator::evaluate`]. A warm hit still consumes budget and
+    /// updates memo/archive/trace exactly as a measurement would.
+    warm: BTreeMap<u64, Option<Objectives>>,
 }
 
 impl<'a, S, F> State<'a, S, F>
 where
     S: SearchSpace,
-    F: Fn(&S::Point, &Executor) -> Option<Objectives> + Sync,
+    F: Evaluator<S::Point>,
 {
     pub(crate) fn new(space: &'a S, evaluate: &'a F, budget: u64, exec: &'a Executor) -> Self {
+        let mut archive = ParetoArchive::new();
+        let mut warm = BTreeMap::new();
+        for &(idx, obj) in evaluate.warm() {
+            assert!(idx < space.size(), "warm index {idx} out of range");
+            warm.insert(idx, obj);
+            // Seed the archive before the first optimizer step: persisted
+            // feasible results are part of the frontier even if this
+            // run's walk never touches them again (resume semantics).
+            if let Some(o) = obj {
+                if o.is_finite() {
+                    archive.insert(ArchiveEntry {
+                        index: idx,
+                        point: space.point(idx),
+                        objectives: o,
+                    });
+                }
+            }
+        }
         State {
             space,
             evaluate,
@@ -134,9 +188,13 @@ where
             requested_budget: budget,
             memo: BTreeMap::new(),
             evaluations: 0,
-            archive: ParetoArchive::new(),
+            archive,
             trace: Vec::new(),
             best: None,
+            racing: evaluate.racing(),
+            screen_memo: BTreeMap::new(),
+            screened: 0,
+            warm,
         }
     }
 
@@ -177,17 +235,61 @@ where
                 fresh.push((idx, p.clone()));
             }
         }
+        // Racing: screen the batch on the cheap measurement and promote
+        // only the most promising rung to the full measurement. Screens
+        // consume no budget and never reach the archive; losers simply
+        // stay un-memoised (they answer `None` this batch and remain
+        // eligible for later rungs, where their cached screen is free).
+        if let Some(plan) = self.racing {
+            if fresh.len() >= plan.min_batch {
+                let to_screen: Vec<(u64, S::Point)> = fresh
+                    .iter()
+                    .filter(|(i, _)| !self.screen_memo.contains_key(i))
+                    .cloned()
+                    .collect();
+                let evaluate = self.evaluate;
+                let inner = if to_screen.len() == 1 {
+                    *self.exec
+                } else {
+                    Executor::serial()
+                };
+                let screens = self
+                    .exec
+                    .map(&to_screen, |_, (_, p)| evaluate.screen(p, &inner));
+                self.screened += to_screen.len() as u64;
+                for ((idx, _), obj) in to_screen.into_iter().zip(screens) {
+                    self.screen_memo.insert(idx, obj);
+                }
+                let mut order: Vec<usize> = (0..fresh.len()).collect();
+                order.sort_by(|&a, &b| {
+                    candidate_cmp(
+                        (self.screen_memo[&fresh[a].0], fresh[a].0),
+                        (self.screen_memo[&fresh[b].0], fresh[b].0),
+                    )
+                });
+                let keep: BTreeSet<u64> = order
+                    .iter()
+                    .take(plan.survivors(fresh.len()))
+                    .map(|&i| fresh[i].0)
+                    .collect();
+                fresh.retain(|(i, _)| keep.contains(i));
+            }
+        }
         // With a single fresh candidate the outer map has no parallelism
         // to offer, so the evaluation itself gets the pool (annealing
         // proposals, hill-climb starts); with several, candidates fan
         // out and each evaluation stays serial to avoid oversubscribing.
         let evaluate = self.evaluate;
+        let warm = &self.warm;
         let inner = if fresh.len() == 1 {
             *self.exec
         } else {
             Executor::serial()
         };
-        let results = self.exec.map(&fresh, |_, (_, p)| evaluate(p, &inner));
+        let results = self.exec.map(&fresh, |_, (idx, p)| match warm.get(idx) {
+            Some(&stored) => stored,
+            None => evaluate.evaluate(p, &inner),
+        });
         for ((idx, p), obj) in fresh.into_iter().zip(results) {
             self.evaluations += 1;
             self.memo.insert(idx, obj);
@@ -235,20 +337,31 @@ where
     /// points ever more often as coverage grows, and this deterministic
     /// top-up turns the "budget ≥ space size finds the exhaustive
     /// optimum" property from a probabilistic one into a guarantee.
+    ///
+    /// Under racing each pass is one rung — a batch promotes only its
+    /// screened survivors — so the sweep loops to a fixpoint: geometric
+    /// promotion still reaches full coverage when the budget allows,
+    /// preserving the frontier-equivalence guarantee.
     pub(crate) fn sweep_remaining(&mut self) {
-        let size = self.space.size();
-        let mut idx = 0u64;
-        let mut batch = Vec::new();
-        while !self.done() && idx < size {
-            batch.clear();
-            while idx < size && batch.len() < 256 {
-                if !self.memo.contains_key(&idx) {
-                    batch.push(self.space.point(idx));
+        loop {
+            let spent_before = self.evaluations;
+            let size = self.space.size();
+            let mut idx = 0u64;
+            let mut batch = Vec::new();
+            while !self.done() && idx < size {
+                batch.clear();
+                while idx < size && batch.len() < 256 {
+                    if !self.memo.contains_key(&idx) {
+                        batch.push(self.space.point(idx));
+                    }
+                    idx += 1;
                 }
-                idx += 1;
+                if !batch.is_empty() {
+                    self.eval_batch(&batch);
+                }
             }
-            if !batch.is_empty() {
-                self.eval_batch(&batch);
+            if self.done() || self.evaluations == spent_before {
+                break;
             }
         }
     }
@@ -260,6 +373,7 @@ where
             seed,
             space_size: self.space.size(),
             evaluations: self.evaluations,
+            screened: self.screened,
             archive: self.archive,
             trace: self.trace,
         }

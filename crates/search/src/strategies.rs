@@ -10,19 +10,9 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use vliw_exec::Executor;
 
-use crate::optimize::{Optimizer, SearchOutcome, State};
+use crate::evaluate::Evaluator;
+use crate::optimize::{candidate_cmp, Optimizer, SearchOutcome, State};
 use crate::space::{Objectives, SearchSpace};
-
-/// Compares two evaluated candidates by `(objectives, index)`; `None`
-/// (infeasible) ranks after every feasible candidate, ties on index.
-fn candidate_cmp(a: (Option<Objectives>, u64), b: (Option<Objectives>, u64)) -> Ordering {
-    match (a.0, b.0) {
-        (Some(oa), Some(ob)) => oa.scalar_cmp(&ob).then_with(|| a.1.cmp(&b.1)),
-        (Some(_), None) => Ordering::Less,
-        (None, Some(_)) => Ordering::Greater,
-        (None, None) => a.1.cmp(&b.1),
-    }
-}
 
 /// Steepest-descent hill climbing with random restarts.
 ///
@@ -49,7 +39,7 @@ impl Optimizer for HillClimb {
     ) -> SearchOutcome<S::Point>
     where
         S: SearchSpace,
-        F: Fn(&S::Point, &Executor) -> Option<Objectives> + Sync,
+        F: Evaluator<S::Point>,
     {
         let mut state = State::new(space, evaluate, budget, exec);
         let mut rng = SmallRng::seed_from_u64(seed ^ 0x4849_4C4C); // "HILL"
@@ -152,7 +142,7 @@ impl Optimizer for Anneal {
     ) -> SearchOutcome<S::Point>
     where
         S: SearchSpace,
-        F: Fn(&S::Point, &Executor) -> Option<Objectives> + Sync,
+        F: Evaluator<S::Point>,
     {
         let mut state = State::new(space, evaluate, budget, exec);
         // 0x414E4E45414C spells "ANNEAL".
@@ -251,7 +241,7 @@ impl Optimizer for Genetic {
     ) -> SearchOutcome<S::Point>
     where
         S: SearchSpace,
-        F: Fn(&S::Point, &Executor) -> Option<Objectives> + Sync,
+        F: Evaluator<S::Point>,
     {
         let mut state = State::new(space, evaluate, budget, exec);
         let mut rng = SmallRng::seed_from_u64(seed ^ 0x4745_4E45); // "GENE"
@@ -340,7 +330,7 @@ impl Optimizer for Exhaustive {
     ) -> SearchOutcome<S::Point>
     where
         S: SearchSpace,
-        F: Fn(&S::Point, &Executor) -> Option<Objectives> + Sync,
+        F: Evaluator<S::Point>,
     {
         let mut state = State::new(space, evaluate, budget, exec);
         const CHUNK: u64 = 256;
@@ -351,6 +341,10 @@ impl Optimizer for Exhaustive {
             state.eval_batch(&batch);
             next = end;
         }
+        // Under racing each chunk promotes only its screened survivors;
+        // the fixpoint sweep spends the leftover budget on the losers so
+        // full-budget runs still cover the whole space.
+        state.sweep_remaining();
         state.finish(self.name(), seed)
     }
 }
@@ -405,7 +399,7 @@ impl Strategy {
     ) -> SearchOutcome<S::Point>
     where
         S: SearchSpace,
-        F: Fn(&S::Point, &Executor) -> Option<Objectives> + Sync,
+        F: Evaluator<S::Point>,
     {
         match self {
             Strategy::HillClimb => HillClimb.run_with(space, evaluate, budget, seed, exec),
@@ -425,7 +419,7 @@ impl Strategy {
     ) -> SearchOutcome<S::Point>
     where
         S: SearchSpace,
-        F: Fn(&S::Point, &Executor) -> Option<Objectives> + Sync,
+        F: Evaluator<S::Point>,
     {
         self.run_with(space, evaluate, budget, seed, &Executor::serial())
     }
@@ -556,6 +550,132 @@ mod tests {
             assert_eq!(last.index, best.index, "{strat}");
             assert_eq!(last.ed2, best.objectives.ed2, "{strat}");
         }
+    }
+
+    /// A deliberately misleading cheap proxy for [`bumpy`]: same bowls,
+    /// no texture, swapped weighting — close enough to rank rungs, wrong
+    /// enough that leaking it into the archive would be caught.
+    #[allow(clippy::ptr_arg)]
+    fn bumpy_screen(genes: &Vec<u32>, _exec: &Executor) -> Option<Objectives> {
+        if genes[0] == 3 && genes[1] < 4 {
+            return None;
+        }
+        let x = f64::from(genes[0]);
+        let y = f64::from(genes[1]);
+        let time = 1.0 + 0.5 * (x - 13.0).powi(2);
+        let energy = 1.0 + 2.0 * (y - 5.0).powi(2);
+        Some(Objectives::from_time_energy(time, energy))
+    }
+
+    #[test]
+    fn racing_with_full_budget_matches_the_full_measurement_frontier() {
+        use crate::evaluate::{RacingPlan, ScaledEvaluator};
+        // ≤ 200 points, as the differential-test contract specifies.
+        let s = GridSpace::new(vec![16, 12]);
+        for strat in Strategy::ALL {
+            let plain = strat.run(&s, &bumpy, s.size(), 11);
+            let racing = ScaledEvaluator::new(bumpy, bumpy_screen)
+                .with_racing(RacingPlan::from_budget(s.size()));
+            let raced = strat.run(&s, &racing, s.size(), 11);
+            assert_eq!(
+                raced.evaluations,
+                s.size(),
+                "{strat}: racing must still reach full coverage"
+            );
+            // Annealing proposes one candidate at a time, and single
+            // fresh candidates are always measured fully — a chain that
+            // covers the space alone never forms a rung.
+            if strat != Strategy::Anneal {
+                assert!(raced.screened > 0, "{strat}: racing must actually screen");
+            }
+            assert_eq!(
+                raced.archive.entries(),
+                plain.archive.entries(),
+                "{strat}: the racing frontier must be identical to full measurement"
+            );
+            assert_eq!(
+                raced.best().map(|b| (b.index, b.objectives)),
+                plain.best().map(|b| (b.index, b.objectives)),
+                "{strat}"
+            );
+        }
+    }
+
+    #[test]
+    fn racing_respects_budgets_and_worker_counts() {
+        use crate::evaluate::{RacingPlan, ScaledEvaluator};
+        let s = space();
+        for strat in Strategy::ALL {
+            let racing =
+                ScaledEvaluator::new(bumpy, bumpy_screen).with_racing(RacingPlan::from_budget(100));
+            let serial = strat.run(&s, &racing, 100, 42);
+            assert!(serial.evaluations <= 100, "{strat}");
+            let parallel = strat.run_with(&s, &racing, 100, 42, &Executor::new(4));
+            assert_eq!(serial, parallel, "{strat}: racing must stay deterministic");
+        }
+    }
+
+    #[test]
+    fn warm_start_replays_the_cold_run_without_measuring() {
+        use crate::evaluate::ScaledEvaluator;
+        use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+        use std::sync::Mutex;
+        let s = space();
+        for strat in Strategy::ALL {
+            // Cold run, recording every measured (index, result) pair the
+            // way the persistent store would.
+            let log = Mutex::new(Vec::new());
+            let recording = |genes: &Vec<u32>, exec: &Executor| {
+                let r = bumpy(genes, exec);
+                log.lock().unwrap().push((s.index(genes), r));
+                r
+            };
+            let cold = strat.run(&s, &recording, 90, 9);
+            let mut entries = log.into_inner().unwrap();
+            entries.sort_by_key(|&(i, _)| i);
+            entries.dedup_by_key(|&mut (i, _)| i);
+            assert_eq!(entries.len() as u64, cold.evaluations);
+
+            // Warm run: every touch must come from the table, none from
+            // the measurement function, and the outcome must be
+            // byte-for-byte the cold one.
+            let measured = AtomicU64::new(0);
+            let counting = |genes: &Vec<u32>, exec: &Executor| {
+                measured.fetch_add(1, AtomicOrdering::Relaxed);
+                bumpy(genes, exec)
+            };
+            let warm_eval = ScaledEvaluator::full(counting).with_warm(entries);
+            let warm = strat.run(&s, &warm_eval, 90, 9);
+            assert_eq!(warm, cold, "{strat}: warm must replay cold exactly");
+            assert_eq!(
+                measured.load(AtomicOrdering::Relaxed),
+                0,
+                "{strat}: a fully-warmed run must not measure"
+            );
+        }
+    }
+
+    #[test]
+    fn partial_warm_table_seeds_the_archive() {
+        use crate::evaluate::ScaledEvaluator;
+        let s = space();
+        // Warm the table with one strong point the tiny budget would
+        // never find, then search with budget 1: the archive must still
+        // carry the seeded entry (resume semantics).
+        let seeded_idx = {
+            let truth = Exhaustive.run(&s, &bumpy, u64::MAX, 0);
+            truth.best().unwrap().index
+        };
+        let seeded_obj = bumpy(&s.point(seeded_idx), &Executor::serial()).unwrap();
+        let warm_eval =
+            ScaledEvaluator::full(bumpy).with_warm(vec![(seeded_idx, Some(seeded_obj))]);
+        let outcome = HillClimb.run(&s, &warm_eval, 1, 2);
+        assert!(outcome
+            .archive
+            .entries()
+            .iter()
+            .any(|e| e.index == seeded_idx));
+        assert_eq!(outcome.best().unwrap().index, seeded_idx);
     }
 
     #[test]

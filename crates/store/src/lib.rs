@@ -36,7 +36,9 @@ mod record;
 
 pub use hash::StableHasher;
 pub use log::{CompactReport, MeasureStore, StoreError, StoreStats, LOG_HEADER};
-pub use record::{LoopProfileRecord, MeasureRecord, ProfileRecord, Record, StoreKey};
+pub use record::{
+    EvalObjectives, EvalRecord, LoopProfileRecord, MeasureRecord, ProfileRecord, Record, StoreKey,
+};
 
 use std::path::PathBuf;
 

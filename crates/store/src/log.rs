@@ -39,7 +39,7 @@ use std::sync::Mutex;
 
 use vliw_ir::SerialError;
 
-use crate::record::{MeasureRecord, ProfileRecord, Record, StoreKey};
+use crate::record::{EvalRecord, MeasureRecord, ProfileRecord, Record, StoreKey};
 
 /// The header line opening every store log.
 pub const LOG_HEADER: &str = "{\"format\":\"heterovliw-store\",\"version\":1}";
@@ -117,6 +117,8 @@ pub struct StoreStats {
     pub measure_records: usize,
     /// Stored reference profiles.
     pub profile_records: usize,
+    /// Stored search evaluations.
+    pub eval_records: usize,
     /// Lookups answered from the store since open.
     pub hits: u64,
     /// Lookups that found nothing since open.
@@ -130,10 +132,10 @@ pub struct StoreStats {
 }
 
 impl StoreStats {
-    /// Total records of both kinds.
+    /// Total records of every kind.
     #[must_use]
     pub fn entries(&self) -> usize {
-        self.measure_records + self.profile_records
+        self.measure_records + self.profile_records + self.eval_records
     }
 }
 
@@ -167,6 +169,7 @@ impl Drop for Writer {
 struct Maps {
     measures: HashMap<StoreKey, MeasureRecord>,
     profiles: HashMap<StoreKey, ProfileRecord>,
+    evals: HashMap<StoreKey, EvalRecord>,
 }
 
 impl Maps {
@@ -186,6 +189,17 @@ impl Maps {
             Record::Profile { key, value } => match self.profiles.get(&key) {
                 None => {
                     self.profiles.insert(key, value);
+                    Ok(true)
+                }
+                Some(existing) if *existing == value => Ok(false),
+                Some(_) => Err(StoreError::Conflict {
+                    key,
+                    path: path.to_owned(),
+                }),
+            },
+            Record::Eval { key, value } => match self.evals.get(&key) {
+                None => {
+                    self.evals.insert(key, value);
                     Ok(true)
                 }
                 Some(existing) if *existing == value => Ok(false),
@@ -289,6 +303,49 @@ impl MeasureStore {
         self.put(Record::Profile { key, value })
     }
 
+    /// Looks up a stored search evaluation.
+    pub fn get_eval(&self, key: StoreKey) -> Option<EvalRecord> {
+        let found = self.inner.lock().unwrap().maps.evals.get(&key).copied();
+        self.count(found.is_some());
+        found
+    }
+
+    /// Stores a search evaluation; same contract as
+    /// [`put_measure`](Self::put_measure).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] or [`StoreError::Conflict`].
+    pub fn put_eval(&self, key: StoreKey, value: EvalRecord) -> Result<(), StoreError> {
+        self.put(Record::Eval { key, value })
+    }
+
+    /// Probes every stored evaluation of one search-space fingerprint in
+    /// a single lock acquisition: returns all `(candidate index, record)`
+    /// pairs whose key is `{content, index}` with `index < size`, sorted
+    /// by index. Found records count as hits; if any index in
+    /// `0..size` is absent, one collective miss is counted — a warm
+    /// probe asks one question ("what does the store know about this
+    /// space?"), not `size` questions.
+    pub fn warm_evals(&self, content: u64, size: u64) -> Vec<(u64, EvalRecord)> {
+        let mut found: Vec<(u64, EvalRecord)> = {
+            let inner = self.inner.lock().unwrap();
+            inner
+                .maps
+                .evals
+                .iter()
+                .filter(|(k, _)| k.content == content && k.config < size)
+                .map(|(k, v)| (k.config, *v))
+                .collect()
+        };
+        found.sort_unstable_by_key(|&(i, _)| i);
+        self.hits.fetch_add(found.len() as u64, Ordering::Relaxed);
+        if (found.len() as u64) < size {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
     fn put(&self, record: Record) -> Result<(), StoreError> {
         let mut inner = self.inner.lock().unwrap();
         let line = record.to_json_line();
@@ -322,6 +379,7 @@ impl MeasureStore {
         Ok(StoreStats {
             measure_records: inner.maps.measures.len(),
             profile_records: inner.maps.profiles.len(),
+            eval_records: inner.maps.evals.len(),
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             skipped_lines: self.skipped_lines.load(Ordering::Relaxed),
@@ -379,6 +437,14 @@ impl MeasureStore {
             out.push('\n');
             records += 1;
         }
+        let mut eval_keys: Vec<StoreKey> = merged.evals.keys().copied().collect();
+        eval_keys.sort_by_key(|k| (k.content, k.config));
+        for key in eval_keys {
+            let value = merged.evals.remove(&key).expect("own key");
+            out.push_str(&Record::Eval { key, value }.to_json_line());
+            out.push('\n');
+            records += 1;
+        }
         fs::write(&tmp, out.as_bytes()).map_err(|e| io_err(&tmp, e))?;
         fs::rename(&tmp, &target).map_err(|e| io_err(&target, e))?;
         let merged_logs = merged_paths.iter().filter(|p| **p != target).count();
@@ -393,7 +459,9 @@ impl MeasureStore {
         // skipped live logs stay visible (they were loaded at open or
         // re-read above only if quiescent), so reload them too.
         let mut maps = merged;
-        debug_assert!(maps.measures.is_empty() && maps.profiles.is_empty());
+        debug_assert!(
+            maps.measures.is_empty() && maps.profiles.is_empty() && maps.evals.is_empty()
+        );
         for path in log_paths(&self.dir)? {
             self.skipped_lines
                 .fetch_add(load_log(&path, &mut maps)?, Ordering::Relaxed);
@@ -670,6 +738,84 @@ mod tests {
         assert_eq!(stats.entries(), 2);
         assert_eq!((stats.hits, stats.misses), (2, 1));
         assert_eq!(stats.skipped_lines, 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn eval(n: u64) -> EvalRecord {
+        EvalRecord {
+            objectives: Some(crate::record::EvalObjectives {
+                exec_time_ns: n as f64 + 0.5,
+                energy: n as f64 * 2.0,
+                ed2: n as f64 * 3.0,
+            }),
+        }
+    }
+
+    #[test]
+    fn evals_round_trip_and_warm_probe_finds_them() {
+        let dir = tmp_dir("evals");
+        let space = 0xabcd;
+        {
+            let store = MeasureStore::open(&dir).unwrap();
+            for i in [0, 2, 5] {
+                let key = StoreKey {
+                    content: space,
+                    config: i,
+                };
+                store.put_eval(key, eval(i)).unwrap();
+            }
+            // An infeasible candidate is worth remembering too.
+            store
+                .put_eval(
+                    StoreKey {
+                        content: space,
+                        config: 7,
+                    },
+                    EvalRecord { objectives: None },
+                )
+                .unwrap();
+            // A different space's evals must not leak into the probe.
+            store
+                .put_eval(
+                    StoreKey {
+                        content: space + 1,
+                        config: 1,
+                    },
+                    eval(1),
+                )
+                .unwrap();
+        }
+        let store = MeasureStore::open(&dir).unwrap();
+        let warm = store.warm_evals(space, 8);
+        assert_eq!(warm.len(), 4);
+        assert_eq!(
+            warm.iter().map(|&(i, _)| i).collect::<Vec<_>>(),
+            vec![0, 2, 5, 7]
+        );
+        assert_eq!(warm[3].1, EvalRecord { objectives: None });
+        // Out-of-range indices are filtered: a probe of a smaller space
+        // under the same fingerprint sees only the prefix.
+        assert_eq!(store.warm_evals(space, 3).len(), 2);
+        let stats = store.stats().unwrap();
+        assert_eq!(stats.eval_records, 5);
+        assert_eq!(stats.entries(), 5);
+        assert_eq!(stats.hits, 6);
+        assert_eq!(stats.misses, 2);
+        // Conflicting eval payloads under one key are hard errors.
+        let err = store
+            .put_eval(
+                StoreKey {
+                    content: space,
+                    config: 0,
+                },
+                eval(9),
+            )
+            .unwrap_err();
+        assert!(matches!(err, StoreError::Conflict { .. }), "{err}");
+        // Compaction keeps evals.
+        let report = store.compact().unwrap();
+        assert_eq!(report.records, 5);
+        assert_eq!(store.stats().unwrap().eval_records, 5);
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -109,6 +109,36 @@ pub struct ProfileRecord {
     pub ref_exec_time_fs: u64,
 }
 
+/// The suite-level objectives of one stored search evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalObjectives {
+    /// Suite execution time in nanoseconds.
+    pub exec_time_ns: f64,
+    /// Suite energy in reference units.
+    pub energy: f64,
+    /// Suite energy-delay-squared product.
+    pub ed2: f64,
+}
+
+/// One persisted design-space-search evaluation: the measured suite
+/// objectives of one candidate, or its recorded infeasibility.
+///
+/// Unlike measurements and profiles, eval records are keyed by
+/// *(search-space fingerprint, candidate index)*: `StoreKey::content`
+/// holds the fingerprint of the whole evaluation context (space, suite
+/// contents, scheduler and power knobs) and `StoreKey::config` holds
+/// the candidate's canonical index in that space. Warm-started searches
+/// probe these records to reseed their Pareto archive and evaluation
+/// memo before the first optimizer step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalRecord {
+    /// The measured objectives, or `None` for an infeasible candidate
+    /// (out-of-range voltages, unsustainable frequencies, scheduling
+    /// failure — infeasibility is deterministic too, so it is worth
+    /// remembering).
+    pub objectives: Option<EvalObjectives>,
+}
+
 /// One store log line: a key plus its payload.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Record {
@@ -126,6 +156,13 @@ pub enum Record {
         /// Payload.
         value: ProfileRecord,
     },
+    /// A design-space-search evaluation.
+    Eval {
+        /// Content address (space fingerprint / candidate index).
+        key: StoreKey,
+        /// Payload.
+        value: EvalRecord,
+    },
 }
 
 impl Record {
@@ -133,7 +170,9 @@ impl Record {
     #[must_use]
     pub fn key(&self) -> StoreKey {
         match self {
-            Record::Measure { key, .. } | Record::Profile { key, .. } => *key,
+            Record::Measure { key, .. }
+            | Record::Profile { key, .. }
+            | Record::Eval { key, .. } => *key,
         }
     }
 
@@ -202,6 +241,24 @@ impl Record {
                     out.push('}');
                 }
                 out.push_str("]}");
+            }
+            Record::Eval { key, value } => {
+                out.push_str(&format!(
+                    "{{\"kind\":\"eval\",\"content\":\"{:016x}\",\"config\":\"{:016x}\"",
+                    key.content, key.config
+                ));
+                match &value.objectives {
+                    Some(o) => {
+                        out.push_str(",\"time_ns\":");
+                        push_f64(&mut out, o.exec_time_ns);
+                        out.push_str(",\"energy\":");
+                        push_f64(&mut out, o.energy);
+                        out.push_str(",\"ed2\":");
+                        push_f64(&mut out, o.ed2);
+                    }
+                    None => out.push_str(",\"infeasible\":true"),
+                }
+                out.push('}');
             }
         }
         out
@@ -278,9 +335,43 @@ impl Record {
                     },
                 })
             }
+            "eval" => {
+                if has_field(value, "infeasible") {
+                    check_fields(value, path, &["kind", "content", "config", "infeasible"])?;
+                    let flag = get_field(value, path, "infeasible")?;
+                    if flag.as_bool() != Some(true) {
+                        return Err(SerialError {
+                            path: format!("{path}.infeasible"),
+                            message: "infeasible must be true when present".to_owned(),
+                        });
+                    }
+                    Ok(Record::Eval {
+                        key,
+                        value: EvalRecord { objectives: None },
+                    })
+                } else {
+                    check_fields(
+                        value,
+                        path,
+                        &["kind", "content", "config", "time_ns", "energy", "ed2"],
+                    )?;
+                    Ok(Record::Eval {
+                        key,
+                        value: EvalRecord {
+                            objectives: Some(EvalObjectives {
+                                exec_time_ns: get_f64_field(value, path, "time_ns")?,
+                                energy: get_f64_field(value, path, "energy")?,
+                                ed2: get_f64_field(value, path, "ed2")?,
+                            }),
+                        },
+                    })
+                }
+            }
             other => Err(SerialError {
                 path: format!("{path}.kind"),
-                message: format!("unknown record kind {other:?} (expected measure or profile)"),
+                message: format!(
+                    "unknown record kind {other:?} (expected measure, profile or eval)"
+                ),
             }),
         }
     }
@@ -396,6 +487,10 @@ pub(crate) fn get_hex_field(v: &Value, path: &str, key: &str) -> Result<u64, Ser
     })
 }
 
+fn has_field(v: &Value, key: &str) -> bool {
+    get_field(v, "", key).is_ok()
+}
+
 fn get_array_field<'v>(v: &'v Value, path: &str, key: &str) -> Result<&'v [Value], SerialError> {
     let field = get_field(v, path, key)?;
     field.as_array().ok_or_else(|| SerialError {
@@ -455,9 +550,35 @@ mod tests {
         }
     }
 
+    fn eval_feasible() -> Record {
+        Record::Eval {
+            key: StoreKey {
+                content: 0xdead_beef_0000_0001,
+                config: 42,
+            },
+            value: EvalRecord {
+                objectives: Some(EvalObjectives {
+                    exec_time_ns: 0.1 + 0.2,
+                    energy: 3e-300,
+                    ed2: 1234.5,
+                }),
+            },
+        }
+    }
+
+    fn eval_infeasible() -> Record {
+        Record::Eval {
+            key: StoreKey {
+                content: 0xdead_beef_0000_0001,
+                config: 43,
+            },
+            value: EvalRecord { objectives: None },
+        }
+    }
+
     #[test]
     fn records_round_trip_bit_exactly() {
-        for rec in [measure(), profile()] {
+        for rec in [measure(), profile(), eval_feasible(), eval_infeasible()] {
             let line = rec.to_json_line();
             assert!(!line.contains('\n'));
             let value = serde_json::from_str(&line).expect("valid JSON");
@@ -484,6 +605,23 @@ mod tests {
         let err = Record::from_json_value(&value, "log#2").unwrap_err();
         assert_eq!(err.path, "log#2.content");
         assert!(err.message.contains("16 hex digits"), "{err}");
+    }
+
+    #[test]
+    fn eval_rejects_mixed_feasibility() {
+        // An infeasible marker alongside objectives is a field-set error.
+        let line = "{\"kind\":\"eval\",\"content\":\"0000000000000001\",\
+                    \"config\":\"0000000000000002\",\"time_ns\":1.0,\"energy\":2.0,\
+                    \"ed2\":3.0,\"infeasible\":true}";
+        let value = serde_json::from_str(line).unwrap();
+        let err = Record::from_json_value(&value, "log#4").unwrap_err();
+        assert!(err.path.starts_with("log#4"), "{err}");
+
+        let line = "{\"kind\":\"eval\",\"content\":\"0000000000000001\",\
+                    \"config\":\"0000000000000002\",\"infeasible\":false}";
+        let value = serde_json::from_str(line).unwrap();
+        let err = Record::from_json_value(&value, "log#5").unwrap_err();
+        assert_eq!(err.path, "log#5.infeasible");
     }
 
     #[test]

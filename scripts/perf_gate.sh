@@ -27,10 +27,16 @@
 #       warm figure6 requests), gating the request/response service core
 #       (wire protocol + engine cache + connection handling).
 #   * warm-store throughput: warm_search_evals_per_second < baseline / BENCH_TIME_RATIO
-#     — a seeded `search --store` run populates a temp measurement
-#       store, then a second *process* replays it; every evaluation must
-#       come off the disk store, so this gates the store read path
-#       (log load + content-addressed lookup) end to end.
+#     — a seeded `search --racing --store` run populates a temp
+#       measurement store, then a second *process* replays it; every
+#       evaluation must come off the disk store, so this gates the store
+#       read path (log load + content-addressed lookup) end to end.
+#   * effective throughput: effective_evals_per_second < 10 × search_evals_per_second
+#     — candidates *disposed of* per second (full evaluations plus
+#       racing screens) by the warm racing replay on the extended
+#       space. The scaled-search machinery (racing + warm store) must
+#       hold at least a 10× advantage over the cold full-measurement
+#       rate, or the whole subsystem has stopped paying for itself.
 #
 # Every *timing* measurement is taken best-of-N (default 3): wall times
 # keep the minimum, throughputs the maximum. The pipeline's metrics are
@@ -122,15 +128,15 @@ echo "== perf gate: searchbench --loops $LOOPS (best of $REPS) =="
 best_of --experiment searchbench --loops "$LOOPS" --jobs 1 \
     search_evals_per_second "$tmp/best-searchbench.json"
 
-echo "== perf gate: warm search over a persistent --store (best of $REPS, second process) =="
+echo "== perf gate: warm racing search over a persistent --store (best of $REPS, second process) =="
 STORE="$tmp/measure-store"
 SEARCH_BUDGET=64
-"$BIN" search --space extended --budget "$SEARCH_BUDGET" --loops "$LOOPS" --buses 1 \
+"$BIN" search --space extended --budget "$SEARCH_BUDGET" --racing --loops "$LOOPS" --buses 1 \
     --jobs 0 --store "$STORE" >"$tmp/coldstore-stdout" 2>"$tmp/coldstore-stderr"
 warm_search_s=""
 for rep in $(seq "$REPS"); do
     start_ns="$(date +%s%N)"
-    "$BIN" search --space extended --budget "$SEARCH_BUDGET" --loops "$LOOPS" --buses 1 \
+    "$BIN" search --space extended --budget "$SEARCH_BUDGET" --racing --loops "$LOOPS" --buses 1 \
         --jobs 0 --store "$STORE" >"$tmp/warmstore-stdout" 2>"$tmp/warmstore-stderr"
     end_ns="$(date +%s%N)"
     rep_s="$(awk -v a="$start_ns" -v b="$end_ns" 'BEGIN {printf "%.4f", (b - a) / 1e9}')"
@@ -180,15 +186,22 @@ python3 - "$ROOT/target/paper-results/figure6.json" "$OUT" "$LOOPS" "$wall" \
     "$tmp/best-schedbench.json" \
     "$tmp/best-searchbench.json" \
     "$tmp/best-loadgen.json" \
-    "$SEARCH_BUDGET" "$warm_search_s" <<'EOF'
+    "$SEARCH_BUDGET" "$warm_search_s" \
+    "$ROOT/target/paper-results/search.json" \
+    "$ROOT/target/paper-results/search.meta.json" <<'EOF'
 import json, statistics, sys
 rows = json.load(open(sys.argv[1]))
 sched = json.load(open(sys.argv[5]))
 search = json.load(open(sys.argv[6]))
 serve = json.load(open(sys.argv[7]))
+scaled = json.load(open(sys.argv[10]))
+scaled_meta = json.load(open(sys.argv[11]))
 mean = statistics.fmean(r["ed2_normalized"] for r in rows)
 mean_time = statistics.fmean(r["exec_time_het_ns"] for r in rows)
 warm_budget, warm_s = int(sys.argv[8]), float(sys.argv[9])
+# Candidates the warm racing replay disposed of: full evaluations plus
+# racing screens, all answered from the store.
+disposed = scaled["evaluations"] + scaled_meta["screened"]
 record = {
     "experiment": "figure6",
     "loops": int(sys.argv[3]),
@@ -205,12 +218,15 @@ record = {
     "serve_p99_ms": serve["p99_ms"],
     "warm_search_evals_per_second": warm_budget / warm_s if warm_s else 0.0,
     "warm_search_wall_time_s": warm_s,
+    "effective_evaluations": disposed,
+    "effective_evals_per_second": disposed / warm_s if warm_s else 0.0,
 }
 json.dump(record, open(sys.argv[2], "w"), indent=2)
 print(f"measured: mean ED2 {mean:.6f}, wall {record['wall_time_s']:.2f} s, "
       f"scheduler {record['sched_loops_per_second']:.1f} loops/s, "
       f"search {record['search_evals_per_second']:.2f} evals/s, "
       f"warm store {record['warm_search_evals_per_second']:.2f} evals/s, "
+      f"effective {record['effective_evals_per_second']:.2f} evals/s, "
       f"service {record['serve_requests_per_second']:.1f} req/s "
       f"(p50 {record['serve_p50_ms']:.2f} ms, p99 {record['serve_p99_ms']:.2f} ms)")
 EOF
@@ -277,6 +293,23 @@ if wb is not None and wp is not None:
             f"({ratio}x max(baseline, 2 s)) — the store read path regressed")
 elif wb is not None:
     failures.append("baseline has warm_search_wall_time_s but the PR measurement lacks it")
+# The scaled-search advantage is an absolute target, not a drift check:
+# racing + warm store must dispose of candidates at least 10x faster
+# than the cold full-measurement search, whatever the runner's speed.
+eb = base.get("effective_evals_per_second")
+ep = pr.get("effective_evals_per_second")
+if eb is not None and ep is None:
+    failures.append("baseline has effective_evals_per_second but the PR measurement lacks it")
+if ep is not None:
+    target = 10.0 * pr["search_evals_per_second"]
+    status = "FAIL" if ep < target else "ok"
+    print(f"  effective_evals_per_second: baseline "
+          f"{eb if eb is not None else float('nan'):.2f}, pr {ep:.2f}, "
+          f"10x-cold target {target:.2f} ({status})")
+    if ep < target:
+        failures.append(
+            f"effective throughput {ep:.2f}/s is under 10x the cold search rate "
+            f"({target:.2f}/s) — racing + warm store stopped paying for themselves")
 for key, what in (("sched_loops_per_second", "scheduler"),
                   ("search_evals_per_second", "search"),
                   ("serve_requests_per_second", "service")):
