@@ -175,8 +175,8 @@ pub fn loadgen(socket: &Path, opts: &LoadgenOptions) -> Result<LoadgenReport, St
         clients: opts.clients,
         requests_per_client: opts.requests_per_client,
         total_requests: total,
-        p50_ms: percentile(&latencies_ms, 50.0),
-        p99_ms: percentile(&latencies_ms, 99.0),
+        p50_ms: vliw_obs::nearest_rank(&latencies_ms, 50.0),
+        p99_ms: vliw_obs::nearest_rank(&latencies_ms, 99.0),
         mean_ms: latencies_ms.iter().sum::<f64>() / total as f64,
         min_ms: latencies_ms[0],
         max_ms: latencies_ms[total - 1],
@@ -203,23 +203,16 @@ fn run_client(socket: &Path, opts: &LoadgenOptions) -> Result<Vec<f64>, String> 
     Ok(latencies)
 }
 
-/// Nearest-rank percentile of an ascending-sorted sample.
-fn percentile(sorted: &[f64], q: f64) -> f64 {
-    assert!(!sorted.is_empty(), "percentile of an empty sample");
-    let rank = (q / 100.0 * sorted.len() as f64).ceil() as usize;
-    sorted[rank.clamp(1, sorted.len()) - 1]
-}
-
 #[cfg(test)]
 mod tests {
-    use super::*;
-
     #[test]
     fn nearest_rank_percentiles() {
+        // The report's quantiles come from the shared obs helper; keep
+        // loadgen's historical semantics pinned at the call site.
         let sample = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0];
-        assert!((percentile(&sample, 50.0) - 5.0).abs() < f64::EPSILON);
-        assert!((percentile(&sample, 99.0) - 10.0).abs() < f64::EPSILON);
-        assert!((percentile(&sample, 100.0) - 10.0).abs() < f64::EPSILON);
-        assert!((percentile(&sample, 0.0) - 1.0).abs() < f64::EPSILON);
+        assert!((vliw_obs::nearest_rank(&sample, 50.0) - 5.0).abs() < f64::EPSILON);
+        assert!((vliw_obs::nearest_rank(&sample, 99.0) - 10.0).abs() < f64::EPSILON);
+        assert!((vliw_obs::nearest_rank(&sample, 100.0) - 10.0).abs() < f64::EPSILON);
+        assert!((vliw_obs::nearest_rank(&sample, 0.0) - 1.0).abs() < f64::EPSILON);
     }
 }

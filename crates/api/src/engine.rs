@@ -192,10 +192,22 @@ impl Engine {
     /// process exit.
     #[must_use]
     pub fn run(&self, req: &Request) -> Response {
+        let kind = req.kind();
+        vliw_obs::counter_with("engine_requests_total", "kind", kind).inc();
+        let _span = vliw_obs::span_kv("engine.run", "kind", kind);
+        let start = vliw_obs::timer_start();
         let mut text = String::new();
-        match self.run_inner(req, &mut text) {
+        let result = self.run_inner(req, &mut text);
+        if let Some(s) = start {
+            vliw_obs::histogram_with("engine_request_nanos", "kind", kind)
+                .record(vliw_obs::elapsed_nanos(s));
+        }
+        match result {
             Ok((body, meta)) => Response::success(req, text, body, meta, self.cache_stats()),
-            Err(e) => Response::failure(req, text, e, self.cache_stats()),
+            Err(e) => {
+                vliw_obs::counter_with("engine_request_errors_total", "kind", kind).inc();
+                Response::failure(req, text, e, self.cache_stats())
+            }
         }
     }
 
@@ -204,6 +216,7 @@ impl Engine {
     /// order regardless of completion order.
     #[must_use]
     pub fn run_batch(&self, reqs: &[Request]) -> Vec<Response> {
+        vliw_obs::histogram("engine_batch_size").record(reqs.len() as u64);
         if reqs.len() <= 1 {
             return reqs.iter().map(|r| self.run(r)).collect();
         }
@@ -230,8 +243,10 @@ impl Engine {
         };
         let mut suites = self.suites.lock().expect("engine suite cache poisoned");
         if let Some(s) = suites.get(&key) {
+            vliw_obs::counter("engine_suite_cache_hits_total").inc();
             return Ok(Arc::clone(s));
         }
+        vliw_obs::counter("engine_suite_cache_misses_total").inc();
         let suite = if family {
             family_suite_seeded(p.loops, p.seed)
         } else {
@@ -273,7 +288,28 @@ impl Engine {
             }
             Request::StoreStats { store } => self.store_stats(store, text),
             Request::StoreCompact { store } => self.store_compact(store, text),
+            Request::Metrics => self.metrics(text),
         }
+    }
+
+    /// Folds the engine's cache snapshot into gauges, then renders the
+    /// process-wide registry as Prometheus-style text exposition. The
+    /// response text *is* the exposition (no banner), so a scraper can
+    /// consume it untouched.
+    fn metrics(&self, text: &mut String) -> Result<Artifacts, String> {
+        let stats = self.cache_stats();
+        let clamped = |n: u64| i64::try_from(n).unwrap_or(i64::MAX);
+        let counted = |n: usize| i64::try_from(n).unwrap_or(i64::MAX);
+        vliw_obs::gauge("engine_profiled_suites").set(counted(stats.profiled_suites));
+        vliw_obs::gauge("engine_measure_cache_entries").set(counted(stats.measure_entries));
+        vliw_obs::gauge("engine_measure_cache_hits").set(clamped(stats.measure_hits));
+        vliw_obs::gauge("engine_measure_cache_misses").set(clamped(stats.measure_misses));
+        vliw_obs::gauge("engine_store_entries").set(clamped(stats.store_entries));
+        vliw_obs::gauge("engine_store_hits").set(clamped(stats.store_hits));
+        vliw_obs::gauge("engine_store_misses").set(clamped(stats.store_misses));
+        vliw_obs::gauge("engine_store_bytes").set(clamped(stats.store_bytes));
+        text.push_str(&vliw_obs::render());
+        Ok((None, None))
     }
 
     fn store_stats(&self, cfg: &StoreConfig, text: &mut String) -> Result<Artifacts, String> {
@@ -294,6 +330,11 @@ impl Engine {
             "this process: {} hits, {} misses, {} truncated line(s) skipped",
             stats.hits, stats.misses, stats.skipped_lines
         );
+        let _ = writeln!(
+            text,
+            "this process: {} bytes read, {} bytes written, {} lock takeover(s)",
+            stats.bytes_read, stats.bytes_written, stats.lock_takeovers
+        );
         let record = StoreStatsRecord {
             experiment: "store_stats".to_owned(),
             dir: store.dir().display().to_string(),
@@ -305,6 +346,9 @@ impl Engine {
             hits: stats.hits,
             misses: stats.misses,
             skipped_lines: stats.skipped_lines,
+            bytes_read: stats.bytes_read,
+            bytes_written: stats.bytes_written,
+            lock_takeovers: stats.lock_takeovers,
         };
         Ok((Some(pretty(&record)), None))
     }
@@ -522,6 +566,12 @@ impl Engine {
         let phases = ws.profile().map(|prof| {
             let mut rows = Vec::with_capacity(Phase::ALL.len());
             for ph in Phase::ALL {
+                // Mirror the profile into the process-wide registry so a
+                // scrape sees the phase breakdown as histograms. The
+                // profile only carries per-phase totals, so each phase
+                // is folded in at its mean entry cost.
+                vliw_obs::histogram_with("sched_phase_nanos", "phase", ph.name())
+                    .record_aggregate(prof.nanos(ph), prof.count(ph));
                 let row = PhaseRow {
                     phase: ph.name().to_owned(),
                     nanos: prof.nanos(ph),
@@ -1107,6 +1157,12 @@ struct StoreStatsRecord {
     hits: u64,
     misses: u64,
     skipped_lines: u64,
+    /// Log bytes this process read back, across every store it opened.
+    bytes_read: u64,
+    /// Log bytes this process appended, across every store it opened.
+    bytes_written: u64,
+    /// Stale writer-log locks this process broke and took over.
+    lock_takeovers: u64,
 }
 
 /// The `store_compact` admin record (disk state; not byte-stable).

@@ -213,11 +213,15 @@ pub enum Request {
         /// default store (an error when there is none).
         store: StoreConfig,
     },
+    /// Admin: the process-wide metrics registry rendered as
+    /// Prometheus-style text exposition (stable sort order; values are
+    /// live process state, so not byte-stable).
+    Metrics,
 }
 
 impl Request {
     /// Every kind name, in canonical order (the wire `kind` values).
-    pub const KINDS: [&'static str; 16] = [
+    pub const KINDS: [&'static str; 17] = [
         "ping",
         "shutdown",
         "table1",
@@ -234,6 +238,7 @@ impl Request {
         "corpus_stats",
         "store_stats",
         "store_compact",
+        "metrics",
     ];
 
     /// Starts building a request of the given kind; knobs are added
@@ -267,6 +272,7 @@ impl Request {
             Request::CorpusStats { .. } => "corpus_stats",
             Request::StoreStats { .. } => "store_stats",
             Request::StoreCompact { .. } => "store_compact",
+            Request::Metrics => "metrics",
         }
     }
 
@@ -278,6 +284,7 @@ impl Request {
         match self {
             Request::Ping
             | Request::Shutdown
+            | Request::Metrics
             | Request::StoreStats { .. }
             | Request::StoreCompact { .. } => None,
             // Shard runs produce a mergeable shard artefact, not a
@@ -296,8 +303,9 @@ impl Request {
 
     /// Whether the response body is byte-stable across runs, machines
     /// and job counts. The two throughput benches embed wall-clock
-    /// measurements and the store admin requests report mutable disk
-    /// state, so they are the exceptions.
+    /// measurements, the store admin requests report mutable disk
+    /// state and `metrics` reports live process state, so they are the
+    /// exceptions.
     #[must_use]
     pub const fn is_byte_stable(&self) -> bool {
         !matches!(
@@ -306,6 +314,7 @@ impl Request {
                 | Request::SearchBench(_)
                 | Request::StoreStats { .. }
                 | Request::StoreCompact { .. }
+                | Request::Metrics
         )
     }
 
@@ -316,6 +325,7 @@ impl Request {
             Request::Ping
             | Request::Shutdown
             | Request::Table1
+            | Request::Metrics
             | Request::StoreStats { .. }
             | Request::StoreCompact { .. } => None,
             Request::Table2(p)
@@ -715,6 +725,11 @@ impl RequestBuilder {
                 reject_params("store_compact")?;
                 Ok(Request::StoreCompact { store })
             }
+            "metrics" => {
+                reject_params("metrics")?;
+                reject_store("metrics")?;
+                Ok(Request::Metrics)
+            }
             "" => Err("request is missing the kind key".to_owned()),
             other => Err(format!("unknown request kind {other:?}")),
         }
@@ -793,6 +808,7 @@ mod tests {
             Request::StoreCompact {
                 store: StoreConfig::at("/tmp/paper store"),
             },
+            Request::Metrics,
         ];
         for req in reqs {
             let wire = req.to_json_string();
@@ -915,6 +931,11 @@ mod tests {
             ("{\"kind\":\"search\",\"input\":\"x\"}", "corpus_schedule"),
             ("{\"kind\":\"ping\",\"loops\":5}", "do not apply"),
             ("{\"kind\":\"ping\",\"store\":\"/tmp/s\"}", "does not apply"),
+            ("{\"kind\":\"metrics\",\"loops\":5}", "do not apply"),
+            (
+                "{\"kind\":\"metrics\",\"store\":\"/tmp/s\"}",
+                "does not apply",
+            ),
             ("{\"kind\":\"store_stats\",\"loops\":5}", "do not apply"),
             (
                 "{\"kind\":\"store_compact\",\"budget\":5}",

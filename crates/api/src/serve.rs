@@ -62,6 +62,10 @@ pub struct ServeOptions {
 /// left by a crashed daemon is detected and replaced; a *live* daemon
 /// on the same path is reported instead of hijacked).
 pub fn serve(engine: &Engine, opts: &ServeOptions) -> io::Result<()> {
+    // A daemon always has a potential metrics consumer (any client can
+    // send {"kind":"metrics"}), so latency histograms are live for the
+    // whole serve lifetime.
+    vliw_obs::enable_timing();
     let listener = bind(&opts.socket)?;
     eprintln!("[serve] listening on {}", opts.socket.display());
     if let Some(dir) = &opts.store.dir {
@@ -130,6 +134,8 @@ fn handle_connection(
         eprintln!("[serve] could not clone connection");
         return;
     };
+    let _span = vliw_obs::span("serve.connection");
+    let _in_flight = InFlightConnection::new();
     let reader = BufReader::new(read_half);
     let mut writer = stream;
     for line in reader.lines() {
@@ -167,7 +173,10 @@ fn answer_line(engine: &Engine, line: &str, opts: &ServeOptions) -> (String, boo
             let stop = matches!(req, Request::Shutdown);
             (resp.to_json_line(), stop)
         }
-        Err(e) => (Response::protocol_error(e).to_json_line(), false),
+        Err(e) => {
+            vliw_obs::counter("serve_errors_total").inc();
+            (Response::protocol_error(e).to_json_line(), false)
+        }
     }
 }
 
@@ -186,13 +195,21 @@ fn answer_batch(engine: &Engine, line: &str, opts: &ServeOptions) -> String {
         });
     let reqs = match parsed {
         Ok(reqs) => reqs,
-        Err(e) => return Response::protocol_error(e).to_json_line(),
+        Err(e) => {
+            vliw_obs::counter("serve_errors_total").inc();
+            return Response::protocol_error(e).to_json_line();
+        }
     };
     if reqs.iter().any(|r| matches!(r, Request::Shutdown)) {
+        vliw_obs::counter("serve_errors_total").inc();
         return Response::protocol_error(
             "shutdown must be a standalone request, not part of a batch".to_owned(),
         )
         .to_json_line();
+    }
+    let _span = vliw_obs::span("serve.batch");
+    for req in &reqs {
+        vliw_obs::counter_with("serve_requests_total", "kind", req.kind()).inc();
     }
     let start = Instant::now();
     let resps = engine.run_batch(&reqs);
@@ -202,6 +219,9 @@ fn answer_batch(engine: &Engine, line: &str, opts: &ServeOptions) -> String {
         start.elapsed().as_secs_f64()
     );
     for resp in &resps {
+        if !resp.ok {
+            vliw_obs::counter("serve_errors_total").inc();
+        }
         persist_if_configured(resp, opts);
     }
     let lines: Vec<String> = resps.iter().map(Response::to_json_line).collect();
@@ -212,13 +232,24 @@ fn answer_batch(engine: &Engine, line: &str, opts: &ServeOptions) -> String {
 /// lines, and persists its artefacts when the daemon was given a
 /// results directory.
 fn run_logged(engine: &Engine, req: &Request, opts: &ServeOptions) -> Response {
+    let kind = req.kind();
+    let _span = vliw_obs::span_kv("serve.request", "kind", kind);
+    vliw_obs::counter_with("serve_requests_total", "kind", kind).inc();
     let start = Instant::now();
     let resp = engine.run(req);
+    let elapsed = start.elapsed();
+    // The daemon's log line already read the clock, so the server-side
+    // latency histogram costs nothing extra.
+    vliw_obs::histogram_with("serve_request_nanos", "kind", kind)
+        .record(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
+    if !resp.ok {
+        vliw_obs::counter("serve_errors_total").inc();
+    }
     eprintln!(
         "[serve] {}: {} ({:.3} s)",
-        req.kind(),
+        kind,
         if resp.ok { "ok" } else { "error" },
-        start.elapsed().as_secs_f64()
+        elapsed.as_secs_f64()
     );
     persist_if_configured(&resp, opts);
     resp
@@ -238,6 +269,26 @@ fn persist_if_configured(resp: &Response, opts: &ServeOptions) {
             }
         }
         Err(e) => eprintln!("[serve] could not persist {}: {e}", resp.kind),
+    }
+}
+
+/// RAII hold on the `serve_connections_in_flight` gauge: incremented
+/// while a connection handler is live, decremented on every exit path
+/// (including panics unwinding through the handler).
+#[derive(Debug)]
+struct InFlightConnection(std::sync::Arc<vliw_obs::Gauge>);
+
+impl InFlightConnection {
+    fn new() -> Self {
+        let gauge = vliw_obs::gauge("serve_connections_in_flight");
+        gauge.inc();
+        InFlightConnection(gauge)
+    }
+}
+
+impl Drop for InFlightConnection {
+    fn drop(&mut self) {
+        self.0.dec();
     }
 }
 

@@ -5,6 +5,7 @@
 //! ```text
 //! Usage: paper [EXPERIMENT] [--experiment NAME] [--loops-per-benchmark N]
 //!              [--buses 1|2|both] [--jobs N] [--seed S] [--store DIR]
+//!              [--metrics] [--trace FILE]
 //!        paper search          [--strategy hillclimb|anneal|ga|exhaustive]
 //!                              [--budget N] [--space paper|extended]
 //!                              [--racing] [--shard I/N]
@@ -23,7 +24,7 @@
 //!                                    [EXPERIMENT] [flags]
 //!
 //! EXPERIMENT: table1 | table2 | figure6 | figure7 | figure8 | figure9 |
-//!             schedbench | familysweep | search | searchbench | all
+//!             schedbench | familysweep | search | searchbench | metrics | all
 //!             (default: all — which runs the table/figure set; search and
 //!             the bench experiments are invoked explicitly. Positional
 //!             and --experiment are equivalent.)
@@ -60,6 +61,15 @@
 //!             (clocks, partition, extgraph, place, eject, regs plus a
 //!             vliw-sim validation pass) and report it in the JSON
 //!             record (`schedbench` only)
+//! --metrics   turn on the clock reads behind the latency histograms for
+//!             a one-shot run (`paper serve` always has them on). The
+//!             `metrics` experiment name renders the process-wide
+//!             registry as Prometheus-style text exposition; scrape a
+//!             live daemon with `paper client --socket PATH metrics`
+//! --trace FILE
+//!             write structured span trace events (newline-JSON, with
+//!             monotonic `seq` ordering and parent/child span IDs) to
+//!             FILE; applies to every mode including serve
 //! --store DIR persistent content-addressed measurement store: results
 //!             already in DIR are reused instead of re-scheduled, fresh
 //!             results are appended for the next run (default: none —
@@ -164,9 +174,16 @@ fn main() -> ExitCode {
     };
     let mut search_args = SearchParams::default();
     let mut search_flag_seen = false;
+    let mut trace: Option<PathBuf> = None;
+    let mut metrics_flag = false;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--trace" => match it.next() {
+                Some(p) => trace = Some(PathBuf::from(p)),
+                None => return usage("--trace needs a file path"),
+            },
+            "--metrics" => metrics_flag = true,
             "--loops" | "--loops-per-benchmark" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(n) if n > 0 => args.loops = n,
                 _ => return usage("--loops-per-benchmark needs a positive integer"),
@@ -259,6 +276,19 @@ fn main() -> ExitCode {
             "--help" | "-h" => return usage(""),
             name if !name.starts_with('-') => positionals.push(name.to_owned()),
             other => return usage(&format!("unknown flag {other}")),
+        }
+    }
+
+    // The observability switches are process-global and apply to every
+    // mode: --metrics turns on the clock reads behind the latency
+    // histograms (serve always does), --trace installs the span tracer.
+    if metrics_flag {
+        heterovliw_core::obs::enable_timing();
+    }
+    if let Some(path) = &trace {
+        if let Err(e) = heterovliw_core::obs::trace::init(path) {
+            eprintln!("error: --trace {}: {e}", path.display());
+            return ExitCode::FAILURE;
         }
     }
 
@@ -513,9 +543,13 @@ fn experiment_request(
     if name == "table1" && args.store.is_enabled() {
         return Err("--store does not apply to table1 (it measures nothing)".to_owned());
     }
+    if name == "metrics" && args.store.is_enabled() {
+        return Err("--store does not apply to metrics (it only reads the registry)".to_owned());
+    }
     let p = args.params();
     match name {
         "table1" => Ok(Request::Table1),
+        "metrics" => Ok(Request::Metrics),
         "table2" => Ok(Request::Table2(p)),
         "figure6" => Ok(Request::Figure6(p)),
         "figure7" => Ok(Request::Figure7(p)),
@@ -618,6 +652,9 @@ fn ok_sole(tail: &[String], req: Request) -> Result<Request, String> {
 }
 
 fn finish(result: Result<(), AnyError>) -> ExitCode {
+    // The tracer's writer is buffered and process-global; flush it on
+    // every exit path so a trace file always ends on a complete event.
+    heterovliw_core::obs::trace::flush();
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -705,9 +742,9 @@ fn usage(msg: &str) -> ExitCode {
     }
     eprintln!(
         "usage: paper [table1|table2|figure6|figure7|figure8|figure9|schedbench|familysweep|\
-         search|searchbench|all] \
+         search|searchbench|metrics|all] \
          [--experiment NAME] [--loops-per-benchmark N] [--buses 1|2|both] [--jobs N] [--seed S] \
-         [--store DIR] [--profile (schedbench only)]\n\
+         [--store DIR] [--profile (schedbench only)] [--metrics] [--trace FILE]\n\
          \x20      paper search [--strategy hillclimb|anneal|ga|exhaustive] [--budget N] \
          [--space paper|extended] [--racing] [--shard I/N] [--seed S] [--store DIR]\n\
          \x20      paper search merge SHARD_FILE... [--out FILE]\n\

@@ -19,6 +19,9 @@
 //! * [`api`] — the request/response service core: a serialisable
 //!   request per experiment, the shared caching engine, the Unix-socket
 //!   daemon and its client/load-generator,
+//! * [`obs`] — the observability layer: the process-wide metrics
+//!   registry behind `Request::Metrics` / `paper metrics` and the
+//!   `--trace` span tracer,
 //!
 //! — and offers [`Study`], a builder that strings the whole pipeline
 //! together the way the paper's evaluation does.
@@ -47,6 +50,7 @@ pub use vliw_exec as exec;
 pub use vliw_explore as explore;
 pub use vliw_ir as ir;
 pub use vliw_machine as machine;
+pub use vliw_obs as obs;
 pub use vliw_power as power;
 pub use vliw_sched as sched;
 pub use vliw_search as search;

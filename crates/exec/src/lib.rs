@@ -17,7 +17,10 @@
 //!
 //! Both are deliberately free of external dependencies: everything is
 //! built on `std::thread::scope`, `std::sync::mpsc` and `Mutex`, so the
-//! crate compiles in offline environments and stays auditable.
+//! crate compiles in offline environments and stays auditable. The pool
+//! reports into [`vliw_obs`] (itself std-only): `exec_queue_depth`, and
+//! per-worker `exec_tasks_total` / `exec_worker_busy_nanos_total` (the
+//! busy clock only ticks when `vliw_obs::enable_timing` was called).
 //!
 //! # Example
 //!
@@ -176,6 +179,13 @@ impl Executor {
                 .collect();
         }
 
+        // One gauge handle per process, interned on the first parallel
+        // map; each map call clones the Arc (cheap) so the feeder and
+        // workers update it without touching the registry again.
+        static QUEUE_GAUGE: std::sync::OnceLock<std::sync::Arc<vliw_obs::Gauge>> =
+            std::sync::OnceLock::new();
+        let queue_depth = QUEUE_GAUGE.get_or_init(|| vliw_obs::gauge("exec_queue_depth"));
+
         let (job_tx, job_rx) = mpsc::sync_channel::<usize>(workers * QUEUE_DEPTH);
         // The receiver lives behind `Option` so the *last exiting worker*
         // can drop it (see `RxGuard`), which unblocks a feeder stuck in a
@@ -208,7 +218,7 @@ impl Executor {
         }
 
         std::thread::scope(|scope| {
-            for _ in 0..workers {
+            for w in 0..workers {
                 let res_tx = res_tx.clone();
                 let job_rx = &job_rx;
                 let live = &live;
@@ -216,6 +226,15 @@ impl Executor {
                 let f = &f;
                 scope.spawn(move || {
                     let _guard = RxGuard { live, job_rx };
+                    // Intern this worker's metrics once per map call;
+                    // the per-task cost is then one atomic add each.
+                    let worker_label = w.to_string();
+                    let tasks = vliw_obs::counter_with("exec_tasks_total", "worker", &worker_label);
+                    let busy = vliw_obs::counter_with(
+                        "exec_worker_busy_nanos_total",
+                        "worker",
+                        &worker_label,
+                    );
                     let mut state = init();
                     loop {
                         // Hold the receiver lock only while popping;
@@ -231,7 +250,13 @@ impl Executor {
                             }
                         };
                         let Ok(idx) = idx else { break };
+                        queue_depth.dec();
+                        let start = vliw_obs::timer_start();
                         let result = f(&mut state, idx, &items[idx]);
+                        if let Some(s) = start {
+                            busy.add(vliw_obs::elapsed_nanos(s));
+                        }
+                        tasks.inc();
                         if res_tx.send((idx, result)).is_err() {
                             break;
                         }
@@ -246,7 +271,11 @@ impl Executor {
             // worker dies, the last one disconnects the job channel, so
             // this send returns `Err` instead of blocking forever.
             for idx in 0..items.len() {
+                // Inc before the send so the gauge never dips negative
+                // (the worker's dec strictly follows a completed send).
+                queue_depth.inc();
                 if job_tx.send(idx).is_err() {
+                    queue_depth.dec();
                     break; // every worker exited early (panic propagates below)
                 }
             }

@@ -1,0 +1,178 @@
+//! The span tracer: structured, newline-JSON trace events with
+//! monotonic ordering and explicit parent/child span IDs.
+//!
+//! Tracing is off until [`init`] installs the process-wide tracer
+//! (`--trace FILE` on the CLI and daemon). When off, [`span`] returns
+//! an inert guard — the cost is one relaxed atomic load and no
+//! allocation. When on, every span emits a `b` (begin) event at
+//! construction and an `e` (end) event at drop:
+//!
+//! ```text
+//! {"ev":"b","seq":3,"id":2,"parent":1,"tid":1,"t_ns":8123,"name":"engine.run","kind":"figure6"}
+//! {"ev":"e","seq":9,"id":2,"tid":1,"t_ns":104532}
+//! ```
+//!
+//! * `seq` is assigned under the writer lock, so file order equals
+//!   `seq` order — a strictly monotonic interleaving across threads.
+//! * `id` is unique per span; `parent` is the enclosing span on the
+//!   same thread (`0` for roots), maintained by a thread-local stack.
+//! * `t_ns` is nanoseconds since the tracer was installed, from the
+//!   process monotonic clock.
+
+use std::cell::RefCell;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+struct Tracer {
+    epoch: Instant,
+    next_span: AtomicU64,
+    /// Writer state: the sink plus the sequence counter, advanced under
+    /// the same lock so emitted `seq` values appear in file order.
+    out: Mutex<(BufWriter<File>, u64)>,
+}
+
+static TRACER: OnceLock<Tracer> = OnceLock::new();
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// Enclosing-span stack of the current thread (top = innermost).
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Installs the process-wide tracer writing to `path`.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error when the file cannot be created,
+/// or `InvalidInput` when a tracer is already installed.
+pub fn init(path: &Path) -> std::io::Result<()> {
+    let file = File::create(path)?;
+    let tracer = Tracer {
+        epoch: Instant::now(),
+        next_span: AtomicU64::new(1),
+        out: Mutex::new((BufWriter::new(file), 0)),
+    };
+    TRACER.set(tracer).map_err(|_| {
+        std::io::Error::new(std::io::ErrorKind::InvalidInput, "tracer already installed")
+    })
+}
+
+/// Whether a tracer is installed.
+#[must_use]
+pub fn enabled() -> bool {
+    TRACER.get().is_some()
+}
+
+/// Flushes buffered trace events to the file.
+pub fn flush() {
+    if let Some(t) = TRACER.get() {
+        let mut out = t.out.lock().expect("tracer poisoned");
+        let _ = out.0.flush();
+    }
+}
+
+fn escape_into(out: &mut String, v: &str) {
+    for c in v.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+impl Tracer {
+    /// Writes one event line, assigning its `seq` under the writer lock
+    /// so file order equals `seq` order. `tail` is the remainder of the
+    /// event object after `"seq":N,` — already valid JSON.
+    fn emit(&self, ev: char, tail: &str) {
+        let mut out = self.out.lock().expect("tracer poisoned");
+        out.1 += 1;
+        let seq = out.1;
+        let _ = writeln!(out.0, "{{\"ev\":\"{ev}\",\"seq\":{seq},{tail}}}");
+    }
+}
+
+/// An active span: emits its end event (and pops the thread's parent
+/// stack) when dropped. Obtain via [`span`] or [`span_kv`].
+#[derive(Debug)]
+pub struct Span {
+    /// Span ID when tracing is active, `None` for the inert guard.
+    id: Option<u64>,
+}
+
+impl Span {
+    /// This span's ID (0 when tracing is off) — useful for tests.
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        self.id.unwrap_or(0)
+    }
+}
+
+/// Opens a span named `name`; the returned guard ends it on drop.
+#[must_use]
+pub fn span(name: &str) -> Span {
+    span_inner(name, None)
+}
+
+/// Opens a span with one `key:value` attribute (e.g. the request kind).
+#[must_use]
+pub fn span_kv(name: &str, key: &str, value: &str) -> Span {
+    span_inner(name, Some((key, value)))
+}
+
+fn span_inner(name: &str, attr: Option<(&str, &str)>) -> Span {
+    let Some(t) = TRACER.get() else {
+        return Span { id: None };
+    };
+    let id = t.next_span.fetch_add(1, Ordering::Relaxed);
+    let parent = SPAN_STACK.with(|s| {
+        let mut s = s.borrow_mut();
+        let parent = s.last().copied().unwrap_or(0);
+        s.push(id);
+        parent
+    });
+    let tid = TID.with(|t| *t);
+    let t_ns = t.epoch.elapsed().as_nanos();
+    let mut tail =
+        format!("\"id\":{id},\"parent\":{parent},\"tid\":{tid},\"t_ns\":{t_ns},\"name\":\"");
+    escape_into(&mut tail, name);
+    tail.push('"');
+    if let Some((k, v)) = attr {
+        tail.push_str(",\"");
+        escape_into(&mut tail, k);
+        tail.push_str("\":\"");
+        escape_into(&mut tail, v);
+        tail.push('"');
+    }
+    t.emit('b', &tail);
+    Span { id: Some(id) }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(id) = self.id else { return };
+        let Some(t) = TRACER.get() else { return };
+        SPAN_STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            // Guards normally drop innermost-first; tolerate manual
+            // out-of-order drops by removing by value.
+            if s.last() == Some(&id) {
+                s.pop();
+            } else if let Some(pos) = s.iter().rposition(|&x| x == id) {
+                s.remove(pos);
+            }
+        });
+        let tid = TID.with(|t| *t);
+        let t_ns = t.epoch.elapsed().as_nanos();
+        t.emit('e', &format!("\"id\":{id},\"tid\":{tid},\"t_ns\":{t_ns}"));
+    }
+}

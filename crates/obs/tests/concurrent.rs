@@ -1,0 +1,83 @@
+//! Concurrency discipline of the registry: N threads hammering the same
+//! counters, gauges and histograms must account for exactly the same
+//! totals as the serial sum — no lost updates, no torn histograms.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use vliw_obs::{Histogram, MetricsRegistry};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Each thread adds its slice of `increments` to one shared counter
+    /// and records its slice of `samples` into one shared histogram;
+    /// afterwards the counter equals the serial sum and the histogram's
+    /// count/sum/buckets equal the serially-computed ones.
+    #[test]
+    fn threads_hammering_the_registry_equal_the_serial_sum(
+        increments in proptest::collection::vec(0u64..1_000, 1..64),
+        samples in proptest::collection::vec(0u64..1u64 << 48, 1..64),
+        threads in 2usize..8,
+    ) {
+        let registry = Arc::new(MetricsRegistry::new());
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let registry = Arc::clone(&registry);
+                let incs: Vec<u64> =
+                    increments.iter().skip(t).step_by(threads).copied().collect();
+                let vals: Vec<u64> =
+                    samples.iter().skip(t).step_by(threads).copied().collect();
+                scope.spawn(move || {
+                    // Re-interning per update exercises the registry's
+                    // lock path concurrently with the atomic updates.
+                    for n in incs {
+                        registry.counter("hits").add(n);
+                        registry.gauge("depth").inc();
+                    }
+                    let hist = registry.histogram("lat");
+                    for v in vals {
+                        hist.record(v);
+                    }
+                });
+            }
+        });
+        prop_assert_eq!(
+            registry.counter("hits").get(),
+            increments.iter().sum::<u64>()
+        );
+        prop_assert_eq!(registry.gauge("depth").get(), increments.len() as i64);
+
+        let serial = Histogram::new();
+        for &v in &samples {
+            serial.record(v);
+        }
+        let hist = registry.histogram("lat");
+        prop_assert_eq!(hist.count(), serial.count());
+        prop_assert_eq!(hist.sum(), serial.sum());
+        prop_assert_eq!(hist.bucket_counts(), serial.bucket_counts());
+        prop_assert_eq!(hist.quantile(50.0), serial.quantile(50.0));
+        prop_assert_eq!(hist.quantile(99.0), serial.quantile(99.0));
+    }
+
+    /// The shared nearest-rank helper agrees with a brute-force
+    /// "sort and index" reference for every percentile.
+    #[test]
+    fn nearest_rank_matches_brute_force(
+        raw in proptest::collection::vec(-1e9f64..1e9, 1..200),
+        q in 0.0f64..100.0,
+    ) {
+        let mut sample = raw;
+        sample.sort_by(f64::total_cmp);
+        let got = vliw_obs::nearest_rank(&sample, q);
+        // Brute force: smallest element with at least q% of the sample
+        // at or below it (nearest-rank definition, rank at least 1).
+        let n = sample.len();
+        let mut rank = 1;
+        while (rank as f64) < q / 100.0 * n as f64 {
+            rank += 1;
+        }
+        let expect = sample[rank.min(n) - 1];
+        prop_assert_eq!(got.to_bits(), expect.to_bits());
+    }
+}

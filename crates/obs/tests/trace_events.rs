@@ -1,0 +1,86 @@
+//! Wire format of the span tracer: monotonic `seq`, balanced
+//! begin/end events, correct parent/child nesting. Runs in its own
+//! test binary because the tracer is process-global.
+
+use std::path::PathBuf;
+
+fn field(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let rest = &line[line.find(&pat)? + pat.len()..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+#[test]
+fn trace_file_is_monotonic_and_nested() {
+    let path = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("trace_events.jsonl");
+    vliw_obs::trace::init(&path).expect("install tracer");
+    assert!(vliw_obs::trace::enabled());
+    assert!(
+        vliw_obs::trace::init(&path).is_err(),
+        "double init must fail"
+    );
+
+    {
+        let _root = vliw_obs::span("root");
+        {
+            let _child = vliw_obs::span_kv("child", "kind", "figure6");
+        }
+        let t = std::thread::spawn(|| {
+            let _other = vliw_obs::span("other-thread");
+        });
+        t.join().unwrap();
+    }
+    vliw_obs::trace::flush();
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 6, "3 spans x begin+end: {text}");
+
+    // seq is strictly monotonic and equals file order.
+    let seqs: Vec<u64> = lines.iter().map(|l| field(l, "seq").unwrap()).collect();
+    assert_eq!(seqs, (1..=6).collect::<Vec<u64>>());
+
+    let begins: Vec<&&str> = lines
+        .iter()
+        .filter(|l| l.contains("\"ev\":\"b\""))
+        .collect();
+    let ends: Vec<&&str> = lines
+        .iter()
+        .filter(|l| l.contains("\"ev\":\"e\""))
+        .collect();
+    assert_eq!((begins.len(), ends.len()), (3, 3));
+
+    // Parent/child: root is a root span; child's parent is root's id;
+    // the other thread's span is a root again (its own stack).
+    let root_b = begins
+        .iter()
+        .find(|l| l.contains("\"name\":\"root\""))
+        .unwrap();
+    let child_b = begins
+        .iter()
+        .find(|l| l.contains("\"name\":\"child\""))
+        .unwrap();
+    let other_b = begins
+        .iter()
+        .find(|l| l.contains("\"name\":\"other-thread\""))
+        .unwrap();
+    assert_eq!(field(root_b, "parent"), Some(0));
+    assert_eq!(field(child_b, "parent"), field(root_b, "id"));
+    assert_eq!(field(other_b, "parent"), Some(0));
+    assert!(child_b.contains("\"kind\":\"figure6\""), "{child_b}");
+    assert_ne!(
+        field(other_b, "tid"),
+        field(root_b, "tid"),
+        "thread ids distinguish stacks"
+    );
+
+    // t_ns is monotonic per thread between begin and end.
+    let root_e = ends
+        .iter()
+        .find(|l| field(l, "id") == field(root_b, "id"))
+        .unwrap();
+    assert!(field(root_e, "t_ns").unwrap() >= field(root_b, "t_ns").unwrap());
+}

@@ -132,6 +132,36 @@ fn schedule_impl(
     fixed: Option<&Partition>,
     ws: &mut SchedWorkspace,
 ) -> Result<ScheduledLoop, SchedError> {
+    // Process-wide scheduling telemetry. Handles are interned once and
+    // cached; the steady-state cost is one relaxed atomic add for the
+    // counter and — only when a metrics consumer enabled timing — two
+    // clock reads plus a lock-free histogram record. Nothing here
+    // allocates after the first call, preserving the zero-alloc
+    // discipline the allocator-counting test pins (with metrics on).
+    use std::sync::{Arc, OnceLock};
+    static LOOPS: OnceLock<Arc<vliw_obs::Counter>> = OnceLock::new();
+    static NANOS: OnceLock<Arc<vliw_obs::Histogram>> = OnceLock::new();
+    LOOPS
+        .get_or_init(|| vliw_obs::counter("sched_loops_scheduled_total"))
+        .inc();
+    let start = vliw_obs::timer_start();
+    let result = schedule_impl_untimed(ddg, config, power, opts, fixed, ws);
+    if let Some(s) = start {
+        NANOS
+            .get_or_init(|| vliw_obs::histogram("sched_schedule_nanos"))
+            .record(vliw_obs::elapsed_nanos(s));
+    }
+    result
+}
+
+fn schedule_impl_untimed(
+    ddg: &Ddg,
+    config: &ClockedConfig,
+    power: Option<&PowerModel>,
+    opts: &ScheduleOptions,
+    fixed: Option<&Partition>,
+    ws: &mut SchedWorkspace,
+) -> Result<ScheduledLoop, SchedError> {
     ddg.validate_schedulable()
         .map_err(|_| SchedError::Unschedulable {
             loop_name: ddg.name().to_owned(),

@@ -227,6 +227,52 @@ fn profiling_enabled_steady_state_allocates_nothing() {
     );
 }
 
+/// Observability must not break the steady-state discipline: with
+/// timing enabled and the metric handles warm (exactly the state of the
+/// instrumented `schedule_loop` wrapper after its first call), a
+/// scheduling pass plus its counter increment, clock reads and
+/// histogram record — and even a registry re-lookup by name, which must
+/// hit the borrowed-key fast path — allocate nothing.
+#[test]
+fn metrics_enabled_steady_state_allocates_nothing() {
+    vliw_obs::enable_timing();
+    let config = ClockedConfig::reference(MachineDesign::paper_machine(1));
+    let clocks =
+        LoopClocks::select(&config, &FrequencyMenu::unrestricted(), Time::from_ns(6.0)).unwrap();
+    let ddg = representative_ddg();
+    ddg.validate_schedulable().unwrap();
+    let _ = ddg.rec_mii();
+    let assignment = [ClusterId(0); 9];
+    let graph = ExtGraph::build(&ddg, &assignment, &config, &clocks);
+
+    let mut ws = SchedWorkspace::new();
+    ims::schedule_into(&graph, &config, &clocks, ims::DEFAULT_BUDGET_RATIO, &mut ws).unwrap();
+    // Warm the handles (first intern inserts into the registry).
+    let loops = vliw_obs::counter("zero_alloc_loops_total");
+    let nanos = vliw_obs::histogram("zero_alloc_schedule_nanos");
+    loops.inc();
+    if let Some(s) = vliw_obs::timer_start() {
+        nanos.record(vliw_obs::elapsed_nanos(s));
+    }
+
+    let before = allocations();
+    loops.inc();
+    let start = vliw_obs::timer_start();
+    ims::schedule_into(&graph, &config, &clocks, ims::DEFAULT_BUDGET_RATIO, &mut ws).unwrap();
+    if let Some(s) = start {
+        nanos.record(vliw_obs::elapsed_nanos(s));
+    }
+    vliw_obs::counter("zero_alloc_loops_total").inc();
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "instrumented steady-state scheduling must not allocate"
+    );
+    assert_eq!(loops.get(), 3, "every increment landed");
+    assert!(nanos.count() >= 1, "the timed pass was recorded");
+}
+
 /// The bitset MRTs keep their retained storage across IIs wider than one
 /// 64-bit word: once a workspace has seen a multi-word reservation window
 /// (II > 64 local cycles in some domain), re-scheduling at that shape

@@ -61,6 +61,7 @@
 
 mod archive;
 mod evaluate;
+mod obs_counters;
 mod optimize;
 mod shard;
 mod space;

@@ -1,0 +1,35 @@
+//! Process-wide search telemetry: interned-once counter handles for the
+//! evaluation engine (`search_evals_total`, `search_screens_total`,
+//! `search_promotions_total`, `search_archive_inserts_total`).
+//!
+//! Handles live in `OnceLock`s so the per-event cost is one relaxed
+//! atomic add — the search hot loop never touches the registry lock
+//! after the first batch.
+
+use std::sync::{Arc, OnceLock};
+
+use vliw_obs::Counter;
+
+/// Distinct full-fidelity candidate evaluations.
+pub(crate) fn evals() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| vliw_obs::counter("search_evals_total"))
+}
+
+/// Candidates screened by racing (cheap measurements).
+pub(crate) fn screens() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| vliw_obs::counter("search_screens_total"))
+}
+
+/// Screened candidates promoted to the full measurement.
+pub(crate) fn promotions() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| vliw_obs::counter("search_promotions_total"))
+}
+
+/// Candidates that joined the Pareto frontier.
+pub(crate) fn archive_inserts() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| vliw_obs::counter("search_archive_inserts_total"))
+}

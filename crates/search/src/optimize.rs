@@ -8,6 +8,7 @@ use vliw_exec::Executor;
 
 use crate::archive::{ArchiveEntry, ParetoArchive};
 use crate::evaluate::{Evaluator, RacingPlan};
+use crate::obs_counters;
 use crate::space::{Objectives, SearchSpace};
 
 /// Compares two evaluated candidates by `(objectives, index)`; `None`
@@ -171,12 +172,14 @@ where
             // feasible results are part of the frontier even if this
             // run's walk never touches them again (resume semantics).
             if let Some(o) = obj {
-                if o.is_finite() {
-                    archive.insert(ArchiveEntry {
+                if o.is_finite()
+                    && archive.insert(ArchiveEntry {
                         index: idx,
                         point: space.point(idx),
                         objectives: o,
-                    });
+                    })
+                {
+                    obs_counters::archive_inserts().inc();
                 }
             }
         }
@@ -257,6 +260,7 @@ where
                     .exec
                     .map(&to_screen, |_, (_, p)| evaluate.screen(p, &inner));
                 self.screened += to_screen.len() as u64;
+                obs_counters::screens().add(to_screen.len() as u64);
                 for ((idx, _), obj) in to_screen.into_iter().zip(screens) {
                     self.screen_memo.insert(idx, obj);
                 }
@@ -273,6 +277,7 @@ where
                     .map(|&i| fresh[i].0)
                     .collect();
                 fresh.retain(|(i, _)| keep.contains(i));
+                obs_counters::promotions().add(fresh.len() as u64);
             }
         }
         // With a single fresh candidate the outer map has no parallelism
@@ -290,16 +295,19 @@ where
             Some(&stored) => stored,
             None => evaluate.evaluate(p, &inner),
         });
+        obs_counters::evals().add(fresh.len() as u64);
         for ((idx, p), obj) in fresh.into_iter().zip(results) {
             self.evaluations += 1;
             self.memo.insert(idx, obj);
             if let Some(o) = obj {
                 if o.is_finite() {
-                    self.archive.insert(ArchiveEntry {
+                    if self.archive.insert(ArchiveEntry {
                         index: idx,
                         point: p,
                         objectives: o,
-                    });
+                    }) {
+                        obs_counters::archive_inserts().inc();
+                    }
                     let improved = match &self.best {
                         None => true,
                         Some((b, bi)) => {

@@ -41,6 +41,57 @@ use vliw_ir::SerialError;
 
 use crate::record::{EvalRecord, MeasureRecord, ProfileRecord, Record, StoreKey};
 
+/// Process-wide store telemetry: interned-once counter handles. These
+/// aggregate over every store a process opens — the I/O view `store
+/// stats` and the metrics exposition report alongside the per-store
+/// hit/miss counters.
+mod obs {
+    use std::sync::{Arc, OnceLock};
+
+    use vliw_obs::Counter;
+
+    macro_rules! handle {
+        ($fn_name:ident, $metric:literal, $doc:literal) => {
+            #[doc = $doc]
+            pub(crate) fn $fn_name() -> &'static Arc<Counter> {
+                static C: OnceLock<Arc<Counter>> = OnceLock::new();
+                C.get_or_init(|| vliw_obs::counter($metric))
+            }
+        };
+    }
+
+    handle!(
+        records_read,
+        "store_records_read_total",
+        "Records loaded from logs."
+    );
+    handle!(
+        records_written,
+        "store_records_written_total",
+        "Records appended to our writer log."
+    );
+    handle!(
+        bytes_read,
+        "store_bytes_read_total",
+        "Log bytes read from disk."
+    );
+    handle!(
+        bytes_written,
+        "store_bytes_written_total",
+        "Log bytes written to disk."
+    );
+    handle!(
+        lock_takeovers,
+        "store_lock_takeovers_total",
+        "Stale writer locks reclaimed."
+    );
+    handle!(
+        skipped_lines,
+        "store_skipped_lines_total",
+        "Truncated trailing lines skipped."
+    );
+}
+
 /// The header line opening every store log.
 pub const LOG_HEADER: &str = "{\"format\":\"heterovliw-store\",\"version\":1}";
 
@@ -129,6 +180,15 @@ pub struct StoreStats {
     pub log_files: usize,
     /// Total bytes of log files on disk.
     pub bytes: u64,
+    /// Log bytes read by *this process* so far (every store, from the
+    /// process-wide `store_bytes_read_total` counter) — explains
+    /// warm-vs-cold behaviour without strace.
+    pub bytes_read: u64,
+    /// Log bytes written by this process so far (process-wide).
+    pub bytes_written: u64,
+    /// Writer-lock takeovers this process performed (a takeover means a
+    /// dead process's recycled-pid lock was reclaimed; process-wide).
+    pub lock_takeovers: u64,
 }
 
 impl StoreStats {
@@ -361,7 +421,10 @@ impl MeasureStore {
             .file
             .write_all(format!("{line}\n").as_bytes())
             .and_then(|()| writer.file.flush())
-            .map_err(|e| io_err(&writer.log_path, e))
+            .map_err(|e| io_err(&writer.log_path, e))?;
+        obs::records_written().inc();
+        obs::bytes_written().add(line.len() as u64 + 1);
+        Ok(())
     }
 
     /// Current counters, including on-disk sizes.
@@ -385,6 +448,9 @@ impl MeasureStore {
             skipped_lines: self.skipped_lines.load(Ordering::Relaxed),
             log_files: paths.len(),
             bytes,
+            bytes_read: obs::bytes_read().get(),
+            bytes_written: obs::bytes_written().get(),
+            lock_takeovers: obs::lock_takeovers().get(),
         })
     }
 
@@ -503,6 +569,7 @@ fn log_paths(dir: &Path) -> Result<Vec<PathBuf>, StoreError> {
 /// were skipped (0 or 1).
 fn load_log(path: &Path, maps: &mut Maps) -> Result<u64, StoreError> {
     let content = fs::read_to_string(path).map_err(|e| io_err(path, e))?;
+    obs::bytes_read().add(content.len() as u64);
     let name = path
         .file_name()
         .and_then(|n| n.to_str())
@@ -522,14 +589,17 @@ fn load_log(path: &Path, maps: &mut Maps) -> Result<u64, StoreError> {
                     // safe reading of an unterminated tail is "the
                     // writer died here", so drop it.
                     eprintln!("[store] warning: skipping truncated final line {label}");
+                    obs::skipped_lines().inc();
                     return Ok(1);
                 }
                 maps.insert(record, &label)?;
+                obs::records_read().inc();
             }
             Ok(None) => {} // header
             Err(err) => {
                 if truncated_tail {
                     eprintln!("[store] warning: skipping truncated final line {label}");
+                    obs::skipped_lines().inc();
                     return Ok(1);
                 }
                 return Err(err);
@@ -624,6 +694,7 @@ fn open_writer(dir: &Path) -> Result<Writer, StoreError> {
                 // A lock bearing our own pid can only be a leftover from
                 // a dead process that recycled the pid: our in-process
                 // instance counter never reuses a number. Take it over.
+                obs::lock_takeovers().inc();
                 let stale_log_gone = fs::remove_file(&log_path)
                     .or_else(|e| {
                         if e.kind() == std::io::ErrorKind::NotFound {

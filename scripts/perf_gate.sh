@@ -17,6 +17,11 @@
 #       pipeline itself (partition + IMS + IT retry over the whole suite),
 #       so scheduler-core regressions are caught even when the figure6
 #       sweep hides them behind memoisation.
+#   * instrumentation overhead: a second `schedbench` run with the
+#     observability layer live (`--metrics`) must keep loops_per_second
+#     within OBS_OVERHEAD_TOL (default 5 %) of the plain run — the
+#     "near-zero-cost metrics" claim, checked relatively within one
+#     runner so machine speed cancels out.
 #   * search throughput: search_evals_per_second < baseline / BENCH_TIME_RATIO
 #     — a `searchbench` run times candidate evaluations through the
 #       memo-cached suite (estimate → voltage descent → measure), gating
@@ -56,6 +61,10 @@
 #   BENCH_BASELINE    baseline json (default BENCH_baseline.json)
 #   BENCH_METRIC_TOL  relative metric tolerance (default 0.01)
 #   BENCH_TIME_RATIO  wall-time regression multiplier (default 3.0)
+#   OBS_OVERHEAD_TOL  allowed relative schedbench slowdown under
+#                     --metrics (default 0.05)
+#   OBS_REPS          paired repetitions for the overhead check
+#                     (default 5)
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -123,6 +132,40 @@ best_of() {
 echo "== perf gate: schedbench --loops $LOOPS (best of $REPS) =="
 best_of --experiment schedbench --loops "$LOOPS" --jobs 1 \
     loops_per_second "$tmp/best-schedbench.json"
+
+echo "== perf gate: schedbench --metrics instrumentation overhead (paired best of ${OBS_REPS:-5}) =="
+# Relative check within one runner, so machine speed cancels out. The
+# plain side is re-measured here, *interleaved* with the instrumented
+# runs, rather than reusing the stage above: pairing in time keeps
+# thermal / background-load drift from masquerading as overhead.
+OBS_TOL="${OBS_OVERHEAD_TOL:-0.05}"
+OBS_REPS="${OBS_REPS:-5}"
+plain_lps=""
+obs_lps=""
+lps_of_run() {
+    "$BIN" --experiment schedbench --loops "$LOOPS" --jobs 1 "$@" >/dev/null 2>&1
+    python3 -c "import json,sys; print(json.load(open(sys.argv[1]))['loops_per_second'])" \
+        "$ROOT/target/paper-results/schedbench.json"
+}
+for rep in $(seq "$OBS_REPS"); do
+    rep_plain="$(lps_of_run)"
+    rep_obs="$(lps_of_run --metrics)"
+    echo "  rep $rep: plain $rep_plain loops/s, --metrics $rep_obs loops/s"
+    if [[ -z "$plain_lps" ]] || awk -v a="$rep_plain" -v b="$plain_lps" 'BEGIN {exit !(a > b)}'; then
+        plain_lps="$rep_plain"
+    fi
+    if [[ -z "$obs_lps" ]] || awk -v a="$rep_obs" -v b="$obs_lps" 'BEGIN {exit !(a > b)}'; then
+        obs_lps="$rep_obs"
+    fi
+done
+if awk -v m="$obs_lps" -v p="$plain_lps" -v t="$OBS_TOL" 'BEGIN {exit !(m < p * (1 - t))}'; then
+    echo "error: schedbench with --metrics ran at $obs_lps loops/s," \
+         "more than $(awk -v t="$OBS_TOL" 'BEGIN {printf "%.0f%%", t * 100}')" \
+         "below the plain run's $plain_lps loops/s — the observability" \
+         "layer is no longer near-zero-cost" >&2
+    exit 1
+fi
+echo "instrumentation overhead ok: $obs_lps loops/s with --metrics vs $plain_lps plain"
 
 echo "== perf gate: searchbench --loops $LOOPS (best of $REPS) =="
 best_of --experiment searchbench --loops "$LOOPS" --jobs 1 \
